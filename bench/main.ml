@@ -1,0 +1,225 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 6) and times the core computations with Bechamel.
+
+   Phase 1 prints the rows/series of each artifact (fig1, fig2, fig6a-d,
+   fig7a, tab3, fig7b, fig8a-b, fig9a-d, fig10a-d) via Expt.Experiments —
+   the same drivers `optjs_cli expt` exposes.
+
+   Phase 2 runs one Bechamel micro-benchmark per artifact, timing the
+   computational kernel behind that figure (JQ estimation, exhaustive or
+   annealed JSP, system comparison, per-question selection on the
+   synthetic AMT data).
+
+   Flags:
+     --fast           smoke-test configuration (tiny reps; used by CI)
+     --reps N         replications per plotted point (default 20)
+     --questions N    synthetic-AMT questions for the fig10 sweeps
+     --seed N         master seed
+     --only ID        only the artifact ID (phase 1), e.g. --only fig6a
+     --skip-rows      skip phase 1
+     --skip-timing    skip phase 2
+     --csv-dir DIR    also write each phase-1 table as CSV *)
+
+open Bechamel
+open Toolkit
+
+(* ---- Argument parsing ------------------------------------------------ *)
+
+type options = {
+  mutable config : Expt.Config.t;
+  mutable only : string option;
+  mutable skip_rows : bool;
+  mutable skip_timing : bool;
+  mutable skip_ablations : bool;
+  mutable charts : bool;
+  mutable csv_dir : string option;
+}
+
+let parse_options () =
+  let o =
+    {
+      config = Expt.Config.default;
+      only = None;
+      skip_rows = false;
+      skip_timing = false;
+      skip_ablations = false;
+      charts = false;
+      csv_dir = None;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        o.config <- { Expt.Config.fast with seed = o.config.Expt.Config.seed };
+        go rest
+    | "--reps" :: n :: rest ->
+        o.config <- Expt.Config.with_reps (int_of_string n) o.config;
+        go rest
+    | "--questions" :: n :: rest ->
+        o.config <- Expt.Config.with_questions (int_of_string n) o.config;
+        go rest
+    | "--seed" :: n :: rest ->
+        o.config <- Expt.Config.with_seed (int_of_string n) o.config;
+        go rest
+    | "--domains" :: n :: rest ->
+        o.config <- Expt.Config.with_domains (int_of_string n) o.config;
+        go rest
+    | "--only" :: id :: rest ->
+        o.only <- Some id;
+        go rest
+    | "--skip-rows" :: rest ->
+        o.skip_rows <- true;
+        go rest
+    | "--skip-timing" :: rest ->
+        o.skip_timing <- true;
+        go rest
+    | "--skip-ablations" :: rest ->
+        o.skip_ablations <- true;
+        go rest
+    | "--charts" :: rest ->
+        o.charts <- true;
+        go rest
+    | "--csv-dir" :: dir :: rest ->
+        o.csv_dir <- Some dir;
+        go rest
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+(* ---- Phase 1: experiment rows ----------------------------------------- *)
+
+let print_rows o =
+  let emit table =
+    Expt.Report.print table;
+    if o.charts then
+      Option.iter print_string (Expt.Chart.render table);
+    match o.csv_dir with
+    | Some dir -> ignore (Expt.Report.save_csv ~dir table)
+    | None -> ()
+  in
+  let lookup id =
+    match Expt.Experiments.by_id id with
+    | Some _ as d -> d
+    | None -> Expt.Ablations.by_id id
+  in
+  match o.only with
+  | Some id -> (
+      match lookup id with
+      | Some driver -> emit (driver ~config:o.config ())
+      | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+  | None ->
+      List.iter emit (Expt.Experiments.all ~config:o.config ());
+      if not o.skip_ablations then
+        List.iter emit (Expt.Ablations.all ~config:o.config ())
+
+(* ---- Phase 2: Bechamel timing ------------------------------------------ *)
+
+(* Fixed inputs shared by the timing kernels, prepared once outside the
+   timed region. *)
+let bench_tests config =
+  let gen = Workers.Generator.default in
+  let rng = Prob.Rng.create 987 in
+  let pool7 = Workers.Generator.figure1_pool () in
+  let pool11 = Workers.Generator.gaussian_pool rng gen 11 in
+  let pool50 = Workers.Generator.gaussian_pool rng gen 50 in
+  let pool100 = Workers.Generator.gaussian_pool rng gen 100 in
+  let q11 = Workers.Pool.qualities pool11 in
+  let q200 =
+    Workers.Pool.qualities (Workers.Generator.gaussian_pool rng gen 200)
+  in
+  let annealing = config.Expt.Config.annealing in
+  let dataset = Crowd.Amt_dataset.generate (Prob.Rng.create 4242) in
+  let costs = Array.make 128 0.05 in
+  let amt_pool = Crowd.Amt_dataset.candidate_pool dataset ~costs ~task_id:0 in
+  let solve_rng = Prob.Rng.create 31337 in
+  let test name f = Test.make ~name (Staged.stage f) in
+  [
+    test "fig1/budget-quality-table (exact, N=7)" (fun () ->
+        Jsp.Table.build ~budgets:[ 5.; 10.; 15.; 20. ] pool7
+          ~solve:(fun ~budget pool ->
+            Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha:0.5 ~budget pool));
+    test "fig2/exact-jq-enumeration (n=3)" (fun () ->
+        Jq.Exact.jq Voting.Bayesian.strategy ~alpha:0.5
+          ~qualities:Workers.Generator.example2_qualities);
+    test "fig6/system-comparison-point (N=50)" (fun () ->
+        let mv =
+          Jsp.Mvjs.select ~params:annealing ~rng:solve_rng ~alpha:0.5 ~budget:0.5
+            pool50
+        in
+        let opt =
+          Optjs.select_jury ~rng:solve_rng ~alpha:0.5 ~budget:0.5 pool50
+        in
+        (mv.Jsp.Solver.score, opt.Jsp.Solver.score));
+    test "fig7a+tab3/exhaustive-jsp (N=11)" (fun () ->
+        Jsp.Enumerate.solve_bv ~alpha:0.5 ~budget:0.3 pool11);
+    test "fig7b/annealed-jsp (N=100)" (fun () ->
+        Jsp.Annealing.solve ~params:annealing (Jsp.Objective.bv_bucket ())
+          ~rng:solve_rng ~alpha:0.5 ~budget:0.5 pool100);
+    test "fig8/four-strategy-exact-jq (n=11)" (fun () ->
+        List.map
+          (fun s -> Jq.Exact.jq s ~alpha:0.5 ~qualities:q11)
+          Voting.Registry.comparison_set);
+    test "fig9a/bucket-estimate (n=11, buckets=50)" (fun () ->
+        Jq.Bucket.estimate ~num_buckets:50 q11);
+    test "fig9b+c/bucket-estimate (n=11, buckets=200)" (fun () ->
+        Jq.Bucket.estimate ~num_buckets:200 q11);
+    test "fig9d/bucket-estimate-pruned (n=200)" (fun () ->
+        Jq.Bucket.estimate ~pruning:true q200);
+    test "fig9d/bucket-estimate-unpruned (n=200)" (fun () ->
+        Jq.Bucket.estimate ~pruning:false q200);
+    test "fig10/per-question-jsp (synthetic AMT, N=20)" (fun () ->
+        let mv =
+          Jsp.Mvjs.select ~params:annealing ~rng:solve_rng ~alpha:0.5 ~budget:0.5
+            amt_pool
+        in
+        let opt =
+          Optjs.select_jury ~rng:solve_rng ~alpha:0.5 ~budget:0.5 amt_pool
+        in
+        (mv.Jsp.Solver.score, opt.Jsp.Solver.score));
+    test "fig10d/first-z-grading (z=9, 600 questions)" (fun () ->
+        Crowd.Evaluate.strategy_on_dataset ~strategy:Voting.Bayesian.strategy ~z:9
+          dataset);
+  ]
+
+let run_timing config =
+  let tests = bench_tests config in
+  let grouped = Test.make_grouped ~name:"optjs" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  Printf.printf "== timing: Bechamel (monotonic clock, ns/run) ==\n";
+  Printf.printf "%-55s  %s\n" "benchmark" "time/run";
+  Printf.printf "%s  %s\n" (String.make 55 '-') (String.make 12 '-');
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-55s  %s\n" name human)
+    rows;
+  print_newline ()
+
+let () =
+  let o = parse_options () in
+  if not o.skip_rows then print_rows o;
+  if not o.skip_timing then run_timing o.config

@@ -1,0 +1,368 @@
+(* optjs — command-line front end.
+
+   Subcommands:
+     jq       estimate/exactly compute JQ for a quality vector
+     select   solve JSP for a synthetic pool or an inline worker list
+     table    budget-quality table for an inline worker list
+     expt     regenerate one paper experiment (or all) as ASCII tables
+     amt      generate the synthetic AMT dataset and print its statistics *)
+
+open Cmdliner
+
+let qualities_arg =
+  let doc = "Comma-separated worker qualities, e.g. 0.9,0.6,0.6." in
+  Arg.(required & opt (some string) None & info [ "q"; "qualities" ] ~doc)
+
+let parse_floats s =
+  List.map
+    (fun tok ->
+      match float_of_string_opt (String.trim tok) with
+      | Some f -> f
+      | None -> failwith (Printf.sprintf "not a number: %S" tok))
+    (String.split_on_char ',' s)
+
+let alpha_arg =
+  let doc = "Prior alpha = Pr(t = 0)." in
+  Arg.(value & opt float 0.5 & info [ "a"; "alpha" ] ~doc)
+
+let buckets_arg =
+  let doc = "numBuckets for the approximation (Algorithm 1)." in
+  Arg.(value & opt int Jq.Bucket.default_num_buckets & info [ "buckets" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+(* ---- jq ----------------------------------------------------------- *)
+
+let jq_cmd =
+  let run qualities alpha buckets exact =
+    let qs = Array.of_list (parse_floats qualities) in
+    let stats = Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha qs in
+    Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n" stats.value
+      (100. *. stats.error_bound);
+    if exact && Array.length qs <= Jq.Exact.max_jury then begin
+      let exact_jq = Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs) in
+      Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
+    end;
+    Printf.printf "JQ under MV:       %.6f\n" (Jq.Mv_closed.jq ~alpha ~qualities:qs)
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact JQ (n <= 20).")
+  in
+  Cmd.v
+    (Cmd.info "jq" ~doc:"Compute the Jury Quality of a quality vector.")
+    Term.(const run $ qualities_arg $ alpha_arg $ buckets_arg $ exact)
+
+(* ---- select ------------------------------------------------------- *)
+
+let budget_arg =
+  let doc = "Budget B." in
+  Arg.(required & opt (some float) None & info [ "b"; "budget" ] ~doc)
+
+let pool_of qualities costs =
+  let qs = parse_floats qualities and cs = parse_floats costs in
+  if List.length qs <> List.length cs then
+    failwith "qualities and costs must have the same length";
+  Workers.Pool.of_list
+    (List.mapi
+       (fun id (q, c) -> Workers.Worker.make ~id ~quality:q ~cost:c ())
+       (List.combine qs cs))
+
+let file_arg =
+  let doc = "Load the worker pool from a CSV file (name,quality,cost)." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc)
+
+let select_cmd =
+  let qualities_opt =
+    Arg.(value & opt (some string) None & info [ "q"; "qualities" ] ~doc:"Worker qualities.")
+  in
+  let costs_opt =
+    Arg.(value & opt (some string) None & info [ "c"; "costs" ] ~doc:"Worker costs.")
+  in
+  let run file qualities costs alpha budget seed =
+    let pool =
+      match (file, qualities, costs) with
+      | Some path, _, _ -> Workers.Pool_io.load path
+      | None, Some q, Some c -> pool_of q c
+      | None, _, _ -> failwith "provide --file or both --qualities and --costs"
+    in
+    let rng = Prob.Rng.create seed in
+    let result = Optjs.select_jury ~rng ~alpha ~budget pool in
+    Format.printf "jury: %a@." Workers.Pool.pp result.Jsp.Solver.jury;
+    Printf.printf "estimated JQ: %.6f\ncost: %g (budget %g)\n"
+      result.Jsp.Solver.score
+      (Workers.Pool.total_cost result.Jsp.Solver.jury)
+      budget
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Solve JSP for an inline or CSV-loaded worker list.")
+    Term.(
+      const run $ file_arg $ qualities_opt $ costs_opt $ alpha_arg $ budget_arg
+      $ seed_arg)
+
+(* ---- table -------------------------------------------------------- *)
+
+let table_cmd =
+  let budgets_arg =
+    let doc = "Comma-separated budgets for the table rows." in
+    Arg.(value & opt string "5,10,15,20" & info [ "budgets" ] ~doc)
+  in
+  let figure1 =
+    Arg.(value & flag & info [ "figure1" ] ~doc:"Use the paper's Figure-1 workers A-G.")
+  in
+  let qualities_opt =
+    Arg.(value & opt (some string) None & info [ "q"; "qualities" ] ~doc:"Worker qualities.")
+  in
+  let costs_opt =
+    Arg.(value & opt (some string) None & info [ "c"; "costs" ] ~doc:"Worker costs.")
+  in
+  let run figure1 file qualities costs alpha budgets seed =
+    let pool =
+      if figure1 then Workers.Generator.figure1_pool ()
+      else
+        match (file, qualities, costs) with
+        | Some path, _, _ -> Workers.Pool_io.load path
+        | None, Some q, Some c -> pool_of q c
+        | None, _, _ ->
+            failwith "provide --figure1, --file, or both --qualities and --costs"
+    in
+    let budgets = parse_floats budgets in
+    let table =
+      if Workers.Pool.size pool <= Jsp.Enumerate.max_pool then
+        Jsp.Table.build ~budgets pool ~solve:(fun ~budget pool ->
+            Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha ~budget pool)
+      else
+        let rng = Prob.Rng.create seed in
+        Optjs.budget_quality_table ~rng ~alpha ~budgets pool
+    in
+    Format.printf "%a" Jsp.Table.pp table
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print a budget-quality table (Figure 1).")
+    Term.(
+      const run $ figure1 $ file_arg $ qualities_opt $ costs_opt $ alpha_arg
+      $ budgets_arg $ seed_arg)
+
+(* ---- expt --------------------------------------------------------- *)
+
+let expt_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig1, fig2, fig6a..fig10d, tab3) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let reps_arg =
+    Arg.(value & opt (some int) None & info [ "reps" ] ~doc:"Replications per point.")
+  in
+  let questions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "questions" ] ~doc:"Synthetic-AMT questions for fig10 sweeps.")
+  in
+  let fast_arg =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Smoke-test configuration (tiny reps).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv-dir" ] ~doc:"Also write each table as CSV into this directory.")
+  in
+  let run id reps questions fast seed csv_dir =
+    let config = if fast then Expt.Config.fast else Expt.Config.default in
+    let config = Expt.Config.with_seed seed config in
+    let config =
+      match reps with Some r -> Expt.Config.with_reps r config | None -> config
+    in
+    let config =
+      match questions with
+      | Some q -> Expt.Config.with_questions q config
+      | None -> config
+    in
+    let emit table =
+      Expt.Report.print table;
+      match csv_dir with
+      | Some dir -> ignore (Expt.Report.save_csv ~dir table)
+      | None -> ()
+    in
+    match String.lowercase_ascii id with
+    | "all" -> List.iter emit (Expt.Experiments.all ~config ())
+    | "ablations" -> List.iter emit (Expt.Ablations.all ~config ())
+    | name -> (
+        let driver =
+          match Expt.Experiments.by_id name with
+          | Some _ as d -> d
+          | None -> Expt.Ablations.by_id name
+        in
+        match driver with
+        | Some driver -> emit (driver ~config ())
+        | None ->
+            failwith
+              (Printf.sprintf "unknown experiment %S; known: %s" name
+                 (String.concat ", "
+                    (Expt.Experiments.ids @ Expt.Ablations.ids))))
+  in
+  Cmd.v
+    (Cmd.info "expt" ~doc:"Regenerate paper experiments.")
+    Term.(
+      const run $ id_arg $ reps_arg $ questions_arg $ fast_arg $ seed_arg $ csv_arg)
+
+(* ---- frontier ------------------------------------------------------ *)
+
+let frontier_cmd =
+  let figure1 =
+    Arg.(value & flag & info [ "figure1" ] ~doc:"Use the paper's Figure-1 workers A-G.")
+  in
+  let run figure1 file alpha =
+    let pool =
+      if figure1 then Workers.Generator.figure1_pool ()
+      else
+        match file with
+        | Some path -> Workers.Pool_io.load path
+        | None -> failwith "provide --figure1 or --file"
+    in
+    if Workers.Pool.size pool > Jsp.Enumerate.max_pool then
+      failwith "exact frontier needs a pool of at most 20 workers";
+    let points = Jsp.Frontier.exact Jsp.Objective.bv_exact ~alpha pool in
+    Format.printf "%a" Jsp.Frontier.pp points
+  in
+  Cmd.v
+    (Cmd.info "frontier" ~doc:"Print the exact budget-quality Pareto frontier.")
+    Term.(const run $ figure1 $ file_arg $ alpha_arg)
+
+(* ---- online --------------------------------------------------------- *)
+
+let online_cmd =
+  let policy_arg =
+    let policies =
+      [
+        ("quality", Crowd.Online.By_quality);
+        ("cost", Crowd.Online.By_cost);
+        ("random", Crowd.Online.Random_order);
+        ("gain", Crowd.Online.By_information_gain);
+      ]
+    in
+    let doc = "Ask policy: quality, cost, random, or gain." in
+    Arg.(value & opt (enum policies) Crowd.Online.By_information_gain & info [ "policy" ] ~doc)
+  in
+  let confidence_arg =
+    Arg.(value & opt float 0.95 & info [ "confidence" ] ~doc:"Posterior stopping threshold.")
+  in
+  let tasks_arg =
+    Arg.(value & opt int 1000 & info [ "tasks" ] ~doc:"Simulated tasks.")
+  in
+  let n_arg =
+    Arg.(value & opt int 25 & info [ "n" ] ~doc:"Pool size (synthetic Gaussian pool).")
+  in
+  let run policy confidence budget alpha tasks n seed =
+    let rng = Prob.Rng.create seed in
+    let pool = Workers.Generator.gaussian_pool rng Workers.Generator.default n in
+    let s =
+      Crowd.Online.simulate_many rng ~policy ~confidence ~budget ~alpha ~tasks pool
+    in
+    Printf.printf "tasks: %d\naccuracy: %.4f\nmean cost/task: %.4f\nmean votes/task: %.2f\n"
+      s.Crowd.Online.tasks s.Crowd.Online.accuracy s.Crowd.Online.mean_cost
+      s.Crowd.Online.mean_votes
+  in
+  Cmd.v
+    (Cmd.info "online" ~doc:"Simulate adaptive (online) vote collection.")
+    Term.(
+      const run $ policy_arg $ confidence_arg $ budget_arg $ alpha_arg $ tasks_arg
+      $ n_arg $ seed_arg)
+
+(* ---- estimate ------------------------------------------------------- *)
+
+let estimate_cmd =
+  let votes_arg =
+    let doc = "Votes CSV (task,worker,vote[,truth])." in
+    Arg.(required & opt (some string) None & info [ "votes" ] ~doc)
+  in
+  let method_arg =
+    let doc = "Estimator: 'gold' (needs truth column) or 'em' (Dawid-Skene)." in
+    Arg.(value & opt (enum [ ("gold", `Gold); ("em", `Em) ]) `Em & info [ "method" ] ~doc)
+  in
+  let run votes_path method_ =
+    let records = Crowd.Votes_io.load votes_path in
+    let n_tasks, n_workers, n_labels = Crowd.Votes_io.dimensions records in
+    if n_workers = 0 then failwith "no votes in file";
+    Printf.printf "# %d votes, %d tasks, %d workers, %d labels\n"
+      (List.length records) n_tasks n_workers n_labels;
+    (match method_ with
+    | `Gold ->
+        let histories = Crowd.Votes_io.histories records in
+        Printf.printf "worker,quality,answers\n";
+        Array.iter
+          (fun h ->
+            match Workers.History.empirical_quality h with
+            | Some q ->
+                Printf.printf "%d,%.4f,%d\n" (Workers.History.worker_id h) q
+                  (Workers.History.graded_count h)
+            | None ->
+                Printf.printf "%d,,%d\n" (Workers.History.worker_id h)
+                  (Workers.History.length h))
+          histories
+    | `Em ->
+        let result =
+          Workers.Dawid_skene.run ~n_tasks ~n_workers
+            ~n_labels:(max 2 n_labels)
+            (Crowd.Votes_io.to_dawid_skene records)
+        in
+        Printf.printf "# EM converged in %d iterations (log-likelihood %.2f)\n"
+          result.Workers.Dawid_skene.iterations
+          result.Workers.Dawid_skene.log_likelihood;
+        if n_labels <= 2 then begin
+          Printf.printf "worker,quality\n";
+          Array.iteri
+            (fun w q -> Printf.printf "%d,%.4f\n" w q)
+            (Workers.Dawid_skene.binary_qualities result)
+        end
+        else begin
+          Printf.printf "worker,diagonal_accuracy\n";
+          Array.iteri
+            (fun w m ->
+              let l = Array.length m in
+              let diag = ref 0. in
+              for j = 0 to l - 1 do
+                diag := !diag +. m.(j).(j)
+              done;
+              Printf.printf "%d,%.4f\n" w (!diag /. float_of_int l))
+            result.Workers.Dawid_skene.confusions
+        end)
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate worker qualities from a votes CSV (gold or Dawid-Skene EM).")
+    Term.(const run $ votes_arg $ method_arg)
+
+(* ---- amt ---------------------------------------------------------- *)
+
+let amt_cmd =
+  let run seed =
+    let dataset = Crowd.Amt_dataset.generate (Prob.Rng.create seed) in
+    let s = Crowd.Amt_dataset.statistics dataset in
+    Printf.printf "workers: %d\n" s.n_workers;
+    Printf.printf "mean estimated quality: %.4f (paper: 0.71)\n"
+      s.mean_estimated_quality;
+    Printf.printf "estimated quality > 0.8: %d (paper: 40)\n" s.above_080;
+    Printf.printf "estimated quality < 0.6: %d (paper: ~13)\n" s.below_060;
+    Printf.printf "answered all questions: %d (paper: 2)\n" s.answered_all;
+    Printf.printf "answered the minimum: %d (paper: 67)\n" s.answered_min;
+    Printf.printf "mean answers per worker: %.2f (paper: 93.75)\n"
+      s.mean_answers_per_worker
+  in
+  Cmd.v
+    (Cmd.info "amt" ~doc:"Generate the synthetic AMT dataset and print statistics.")
+    Term.(const run $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "optjs" ~version:Optjs.version
+             ~doc:"Optimal Jury Selection System (EDBT 2015 reproduction).")
+          [
+            jq_cmd; select_cmd; table_cmd; frontier_cmd; online_cmd;
+            estimate_cmd; expt_cmd; amt_cmd;
+          ]))

@@ -1,0 +1,85 @@
+(** OPTJS — the Optimal Jury Selection System (Figure 1).
+
+    The one-stop facade over the library: estimate Jury Quality under the
+    provably optimal Bayesian Voting strategy (Theorem 1), select juries
+    under a budget (JSP, §5), build budget–quality tables, and aggregate
+    collected votes.  The sub-libraries remain available for finer control:
+
+    - {!Prob} — RNG, distributions, Poisson–binomial, statistics
+    - {!Workers} — worker models, pools, generators, quality estimation
+    - {!Voting} — the strategy zoo (MV, BV, RMV, RBV, weighted, multi-class)
+    - {!Jq} — exact / closed-form / bucket-approximate JQ computation
+    - {!Jsp} — exhaustive, annealing and greedy jury selection, MVJS baseline
+    - {!Crowd} — simulated platform, synthetic AMT dataset, evaluation *)
+
+type config = {
+  num_buckets : int;                  (** Algorithm-1 resolution (default 50). *)
+  annealing : Jsp.Annealing.params;   (** JSP search schedule. *)
+}
+
+val default_config : config
+
+(** {1 Jury quality} *)
+
+val jury_quality : ?config:config -> alpha:float -> Workers.Pool.t -> float
+(** ĴQ(J, BV, α) by the bucket approximation — polynomial time, error under
+    e^(nδ/4) − 1 and never above the true JQ. *)
+
+val jury_quality_exact : alpha:float -> Workers.Pool.t -> float
+(** Exact JQ(J, BV, α) by enumeration (juries of ≤ {!Jq.Exact.max_jury}). *)
+
+val jury_quality_of : Voting.Strategy.t -> alpha:float -> Workers.Pool.t -> float
+(** Exact JQ of any strategy, for comparisons (small juries). *)
+
+(** {1 Jury selection (JSP)} *)
+
+val select_jury :
+  ?config:config ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:float ->
+  Workers.Pool.t ->
+  Jsp.Solver.result
+(** Solve JSP for BV: the Lemma-1/2 fast paths when they apply, otherwise
+    the best of simulated annealing (Algorithms 3–4) and the greedy seeds.
+    The returned jury is always feasible. *)
+
+val select_jury_exact :
+  ?config:config ->
+  alpha:float ->
+  budget:float ->
+  Workers.Pool.t ->
+  Jsp.Solver.result
+(** Exhaustive JSP (pools of ≤ {!Jsp.Enumerate.max_pool}). *)
+
+val budget_quality_table :
+  ?config:config ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budgets:float list ->
+  Workers.Pool.t ->
+  Jsp.Table.t
+(** One {!select_jury} row per budget — the Figure-1 artifact. *)
+
+(** {1 Packaged systems}
+
+    The two end-to-end systems of the paper's §6 comparison, ready for
+    {!Crowd.Campaign.run}. *)
+
+val system : ?config:config -> unit -> Crowd.Campaign.system
+(** OPTJS: select with {!select_jury}, aggregate with Bayesian Voting. *)
+
+val mvjs_system : ?config:config -> unit -> Crowd.Campaign.system
+(** The MVJS baseline: select for MV JQ, aggregate with Majority Voting. *)
+
+(** {1 Aggregation} *)
+
+val aggregate :
+  alpha:float -> qualities:float array -> Voting.Vote.voting -> Voting.Vote.t
+(** The Bayesian Voting decision for collected votes (Theorem 1). *)
+
+val posterior_no :
+  alpha:float -> qualities:float array -> Voting.Vote.voting -> float
+(** Pr(t = 0 | V) — the confidence behind {!aggregate}'s answer. *)
+
+val version : string

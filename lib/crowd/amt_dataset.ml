@@ -1,0 +1,180 @@
+type params = {
+  n_tasks : int;
+  tasks_per_hit : int;
+  votes_per_task : int;
+  n_workers : int;
+  n_power_workers : int;
+  n_single_workers : int;
+}
+
+let default_params =
+  {
+    n_tasks = 600;
+    tasks_per_hit = 20;
+    votes_per_task = 20;
+    n_workers = 128;
+    n_power_workers = 2;
+    n_single_workers = 67;
+  }
+
+type t = {
+  params : params;
+  tasks : Task.t array;
+  true_qualities : float array;
+  estimated_qualities : float array;
+  votes : (int * Voting.Vote.t) array array;
+  histories : Workers.History.t array;
+}
+
+(* Three-tier *latent* quality profile tuned so that the *estimated*
+   qualities (empirical proportions, noisy for one-HIT workers with only 20
+   graded answers) match the published histogram: mean ~0.71, ~40 workers
+   above 0.8, ~10% below 0.6.  Binomial noise leaks mass into both tails,
+   so the latent middle tier sits above 0.6 and the low tier is slightly
+   smaller than the target count. *)
+let draw_qualities rng n =
+  let n_high = int_of_float (Float.round (float_of_int n *. 42. /. 128.)) in
+  let n_low = int_of_float (Float.round (float_of_int n *. 10. /. 128.)) in
+  let n_mid = n - n_high - n_low in
+  if n_mid < 0 then invalid_arg "Amt_dataset: too few workers for the profile";
+  let qs =
+    Array.concat
+      [
+        Array.init n_high (fun _ -> Prob.Distributions.sample_uniform rng ~lo:0.81 ~hi:0.95);
+        Array.init n_low (fun _ -> Prob.Distributions.sample_uniform rng ~lo:0.50 ~hi:0.60);
+        Array.init n_mid (fun _ -> Prob.Distributions.sample_uniform rng ~lo:0.60 ~hi:0.71);
+      ]
+  in
+  Prob.Rng.shuffle rng qs;
+  qs
+
+let make_tasks rng n =
+  let truths = Array.init n (fun i -> if i < n / 2 then Voting.Vote.No else Voting.Vote.Yes) in
+  Prob.Rng.shuffle rng truths;
+  Array.init n (fun id ->
+      Task.make
+        ~description:(Printf.sprintf "sentiment of tweet #%d is positive?" id)
+        ~prior:0.5 ~truth:truths.(id) ~id ())
+
+(* Worker roles: [0, n_power) answer every HIT; the next n_single answer one
+   HIT each (round-robin); the remaining "mid" workers fill leftover seats
+   in rotation.  Worker indices are shuffled afterwards via a permutation so
+   role and quality tier stay independent. *)
+let completions rng params ~n_hits =
+  let p = params in
+  let seats = p.votes_per_task in
+  if seats > p.n_workers then invalid_arg "Amt_dataset: votes_per_task > n_workers";
+  if p.n_power_workers + p.n_single_workers > p.n_workers then
+    invalid_arg "Amt_dataset: role counts exceed n_workers";
+  let n_mid = p.n_workers - p.n_power_workers - p.n_single_workers in
+  let singles_in_hit h =
+    (* Singles are dealt round-robin: HIT h hosts singles s with s mod n_hits = h. *)
+    (p.n_single_workers / n_hits) + (if h < p.n_single_workers mod n_hits then 1 else 0)
+  in
+  for h = 0 to n_hits - 1 do
+    let need = seats - p.n_power_workers - singles_in_hit h in
+    if need < 0 then invalid_arg "Amt_dataset: too many single-HIT workers per HIT";
+    if need > n_mid then invalid_arg "Amt_dataset: not enough mid workers to fill a HIT"
+  done;
+  let permutation = Array.init p.n_workers Fun.id in
+  Prob.Rng.shuffle rng permutation;
+  let mid_cursor = ref 0 in
+  let next_single = ref 0 in
+  List.concat
+    (List.init n_hits (fun h ->
+         let members = ref [] in
+         for w = 0 to p.n_power_workers - 1 do
+           members := w :: !members
+         done;
+         for _ = 1 to singles_in_hit h do
+           members := (p.n_power_workers + !next_single) :: !members;
+           incr next_single
+         done;
+         let need = seats - List.length !members in
+         for _ = 1 to need do
+           let mid = p.n_power_workers + p.n_single_workers + (!mid_cursor mod n_mid) in
+           members := mid :: !members;
+           incr mid_cursor
+         done;
+         let arr = Array.of_list !members in
+         Prob.Rng.shuffle rng arr;
+         Array.to_list
+           (Array.map
+              (fun w -> { Platform.hit_id = h; worker_id = permutation.(w) })
+              arr)))
+
+let generate ?(params = default_params) rng =
+  if params.n_tasks <= 0 || params.tasks_per_hit <= 0 then
+    invalid_arg "Amt_dataset.generate: task counts";
+  let tasks = make_tasks rng params.n_tasks in
+  let hits = Platform.batch ~per_hit:params.tasks_per_hit tasks in
+  let true_qualities = draw_qualities rng params.n_workers in
+  let completions = completions rng params ~n_hits:(Array.length hits) in
+  let collected =
+    Platform.run rng ~tasks ~qualities:true_qualities ~completions ~hits
+  in
+  let estimated_qualities =
+    Array.map
+      (fun h ->
+        match Workers.History.empirical_quality h with
+        | Some q -> q
+        | None -> 0.5)
+      collected.Platform.histories
+  in
+  {
+    params;
+    tasks;
+    true_qualities;
+    estimated_qualities;
+    votes = collected.Platform.votes;
+    histories = collected.Platform.histories;
+  }
+
+type statistics = {
+  n_workers : int;
+  mean_estimated_quality : float;
+  above_080 : int;
+  below_060 : int;
+  answered_all : int;
+  answered_min : int;
+  mean_answers_per_worker : float;
+}
+
+let statistics t =
+  let counts = Array.map Workers.History.length t.histories in
+  let min_count = Array.fold_left min max_int counts in
+  {
+    n_workers = t.params.n_workers;
+    mean_estimated_quality = Prob.Stats.mean t.estimated_qualities;
+    above_080 =
+      Array.fold_left (fun a q -> if q > 0.8 then a + 1 else a) 0 t.estimated_qualities;
+    below_060 =
+      Array.fold_left (fun a q -> if q < 0.6 then a + 1 else a) 0 t.estimated_qualities;
+    answered_all =
+      Array.fold_left (fun a c -> if c = t.params.n_tasks then a + 1 else a) 0 counts;
+    answered_min =
+      Array.fold_left (fun a c -> if c = min_count then a + 1 else a) 0 counts;
+    mean_answers_per_worker =
+      Prob.Stats.mean (Array.map float_of_int counts);
+  }
+
+(* Exact 0/1 empirical estimates would make logits blow up downstream; the
+   paper's qualities never reach the boundary either. *)
+let clamp_quality q = Float.min 0.99 (Float.max 0.01 q)
+
+let candidate_pool t ~costs ~task_id =
+  if task_id < 0 || task_id >= Array.length t.votes then
+    invalid_arg "Amt_dataset.candidate_pool: task id";
+  Workers.Pool.of_list
+    (List.map
+       (fun (worker_id, _) ->
+         Workers.Worker.make ~id:worker_id
+           ~quality:(clamp_quality t.estimated_qualities.(worker_id))
+           ~cost:costs.(worker_id) ())
+       (Array.to_list t.votes.(task_id)))
+
+let task_votes t ~task_id ~max_votes =
+  if task_id < 0 || task_id >= Array.length t.votes then
+    invalid_arg "Amt_dataset.task_votes: task id";
+  let all = t.votes.(task_id) in
+  Array.sub all 0 (min max_votes (Array.length all))

@@ -1,0 +1,72 @@
+(** Synthetic stand-in for the paper's real AMT sentiment dataset (§6.2.1).
+
+    The original experiment crowdsourced 600 tweets (Sanders sentiment
+    corpus) on Amazon Mechanical Turk: 30 HITs of 20 questions, 20
+    assignments per HIT, 128 distinct workers, average worker quality 0.71,
+    40 workers above 0.8 and about 10% below 0.6, two workers answering
+    everything and 67 answering exactly one HIT, balanced ground truth,
+    prior α = 0.5.
+
+    Neither AMT nor the corpus is reachable offline, so — per the
+    substitution rule recorded in DESIGN.md — this module generates a
+    dataset with those *published statistics*: latent worker qualities are
+    drawn from a three-tier profile matching the quality histogram, HIT
+    participation follows the published skew (power / mid / one-HIT
+    workers), votes are sampled from the latent qualities, and the
+    *estimated* qualities handed to JSP are recomputed from the realized
+    answers exactly as the paper does ("proportion of correctly answered
+    questions"), preserving estimation noise. *)
+
+type params = {
+  n_tasks : int;          (** default 600 *)
+  tasks_per_hit : int;    (** default 20 *)
+  votes_per_task : int;   (** default 20 (the HIT's assignment count m) *)
+  n_workers : int;        (** default 128 *)
+  n_power_workers : int;  (** workers answering every HIT (default 2) *)
+  n_single_workers : int; (** workers answering exactly one HIT (default 67) *)
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  tasks : Task.t array;
+  true_qualities : float array;       (** Latent, per worker. *)
+  estimated_qualities : float array;  (** Empirical, per worker (§6.2.1). *)
+  votes : (int * Voting.Vote.t) array array;
+      (** Per task, (worker id, vote) in answering-sequence order. *)
+  histories : Workers.History.t array;
+}
+
+val generate : ?params:params -> Prob.Rng.t -> t
+(** Build one dataset.  Deterministic given the generator state.
+    @raise Invalid_argument when the parameters are inconsistent (e.g. a
+    HIT cannot seat [votes_per_task] distinct workers). *)
+
+type statistics = {
+  n_workers : int;
+  mean_estimated_quality : float;
+  above_080 : int;        (** Workers with estimated quality > 0.8. *)
+  below_060 : int;        (** Workers with estimated quality < 0.6. *)
+  answered_all : int;     (** Workers who answered every task. *)
+  answered_min : int;     (** Workers who answered the minimum (one HIT). *)
+  mean_answers_per_worker : float;
+}
+
+val statistics : t -> statistics
+(** The §6.2.1 summary numbers, for validation against the paper. *)
+
+val candidate_pool : t -> costs:float array -> task_id:int -> Workers.Pool.t
+(** The JSP candidate set for one question: the workers who answered it,
+    with their *estimated* qualities and caller-supplied per-worker costs.
+    Worker ids refer to the dataset's worker indexing. *)
+
+val clamp_quality : float -> float
+(** Estimated qualities clamped into [0.01, 0.99]: exact-0/1 empirical
+    estimates would blow up downstream logits, and the paper's measured
+    qualities never reach the boundary either. *)
+
+val task_votes :
+  t -> task_id:int -> max_votes:int -> (int * Voting.Vote.t) array
+(** The first [max_votes] answers of the question's answering sequence
+    (Figure 10(d)'s "first z votes"). *)

@@ -1,0 +1,110 @@
+open Voting
+
+type t = {
+  n_bins : int;
+  counts : int array;
+  hits : int array;
+  confidence_sums : float array;
+  mutable brier_acc : float;
+  mutable samples : int;
+}
+
+type bin = {
+  lo : float;
+  hi : float;
+  count : int;
+  mean_confidence : float;
+  empirical_accuracy : float;
+}
+
+type report = {
+  bins : bin list;
+  brier : float;
+  expected_calibration_error : float;
+  samples : int;
+}
+
+let create ?(bins = 10) () =
+  if bins <= 0 then invalid_arg "Calibration.create: bins <= 0";
+  {
+    n_bins = bins;
+    counts = Array.make bins 0;
+    hits = Array.make bins 0;
+    confidence_sums = Array.make bins 0.;
+    brier_acc = 0.;
+    samples = 0;
+  }
+
+let bin_index t confidence =
+  let width = 0.5 /. float_of_int t.n_bins in
+  let i = int_of_float ((confidence -. 0.5) /. width) in
+  max 0 (min (t.n_bins - 1) i)
+
+let observe t ~confidence ~correct =
+  if confidence < 0.5 -. 1e-9 || confidence > 1. +. 1e-9 then
+    invalid_arg "Calibration.observe: confidence outside [0.5, 1]";
+  let confidence = Float.min 1. (Float.max 0.5 confidence) in
+  let i = bin_index t confidence in
+  t.counts.(i) <- t.counts.(i) + 1;
+  if correct then t.hits.(i) <- t.hits.(i) + 1;
+  t.confidence_sums.(i) <- t.confidence_sums.(i) +. confidence;
+  let outcome = if correct then 1. else 0. in
+  t.brier_acc <- t.brier_acc +. ((confidence -. outcome) ** 2.);
+  t.samples <- t.samples + 1
+
+let report t =
+  let width = 0.5 /. float_of_int t.n_bins in
+  let bins =
+    List.filter_map
+      (fun i ->
+        if t.counts.(i) = 0 then None
+        else
+          let count = float_of_int t.counts.(i) in
+          Some
+            {
+              lo = 0.5 +. (float_of_int i *. width);
+              hi = 0.5 +. (float_of_int (i + 1) *. width);
+              count = t.counts.(i);
+              mean_confidence = t.confidence_sums.(i) /. count;
+              empirical_accuracy = float_of_int t.hits.(i) /. count;
+            })
+      (List.init t.n_bins Fun.id)
+  in
+  let samples = float_of_int t.samples in
+  let ece =
+    List.fold_left
+      (fun acc b ->
+        acc
+        +. (float_of_int b.count /. samples)
+           *. Float.abs (b.mean_confidence -. b.empirical_accuracy))
+      0. bins
+  in
+  {
+    bins;
+    brier = (if t.samples = 0 then nan else t.brier_acc /. samples);
+    expected_calibration_error = (if t.samples = 0 then nan else ece);
+    samples = t.samples;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "samples=%d brier=%.4f ece=%.4f@." r.samples r.brier
+    r.expected_calibration_error;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  [%.2f, %.2f): n=%d conf=%.3f acc=%.3f@." b.lo b.hi
+        b.count b.mean_confidence b.empirical_accuracy)
+    r.bins
+
+let of_simulation rng ~qualities ~alpha ~tasks =
+  if tasks <= 0 then invalid_arg "Calibration.of_simulation: tasks <= 0";
+  let acc = create () in
+  for _ = 1 to tasks do
+    let truth = Simulate.sample_truth rng ~alpha in
+    let votes = Simulate.voting rng ~truth qualities in
+    let posterior_no = Bayesian.posterior_no ~alpha ~qualities votes in
+    let answer = if posterior_no >= 0.5 then Vote.No else Vote.Yes in
+    observe acc
+      ~confidence:(Float.max posterior_no (1. -. posterior_no))
+      ~correct:(Vote.equal answer truth)
+  done;
+  report acc

@@ -1,0 +1,55 @@
+(** Calibration of Bayesian Voting's posterior confidence.
+
+    "Is JQ a good prediction?" (§6.2.3) asks about *average* accuracy; a
+    sharper question is whether the per-task posterior Pr(t = 0 | V) is
+    calibrated — among tasks answered with 90% confidence, are 90% right?
+    When the worker model holds exactly, BV's posterior is the true
+    conditional probability, so calibration should be perfect up to
+    sampling noise; model violations (estimation error, task difficulty)
+    show up as calibration drift.  This module bins predictions, builds a
+    reliability table, and computes the Brier score and expected
+    calibration error (ECE). *)
+
+type t
+(** Mutable accumulator of graded decisions. *)
+
+type bin = {
+  lo : float;
+  hi : float;
+  count : int;
+  mean_confidence : float;    (** Average predicted probability in the bin. *)
+  empirical_accuracy : float; (** Fraction of those predictions that hit. *)
+}
+
+type report = {
+  bins : bin list;            (** Non-empty bins, low confidence first. *)
+  brier : float;              (** Mean squared error of the probability. *)
+  expected_calibration_error : float;
+      (** Count-weighted mean |confidence − accuracy| over bins. *)
+  samples : int;
+}
+
+val create : ?bins:int -> unit -> t
+(** Accumulator with [bins] equal-width confidence bins on [0.5, 1]
+    (default 10) — the confidence of a binary decision never falls below
+    0.5.  @raise Invalid_argument for bins <= 0. *)
+
+val observe : t -> confidence:float -> correct:bool -> unit
+(** Record one graded decision: the winning posterior mass and whether the
+    decision was right.  @raise Invalid_argument for confidence outside
+    [0.5, 1] (tolerates tiny rounding). *)
+
+val report : t -> report
+(** Snapshot.  Empty accumulators give an empty bin list and NaN scores. *)
+
+val pp : Format.formatter -> report -> unit
+
+val of_simulation :
+  Prob.Rng.t ->
+  qualities:float array ->
+  alpha:float ->
+  tasks:int ->
+  report
+(** Simulate [tasks] decision tasks with the given jury, aggregate with BV,
+    and grade its confidence — the model-holds baseline (should be
+    calibrated). *)

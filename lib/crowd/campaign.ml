@@ -1,0 +1,49 @@
+open Voting
+
+type system = {
+  name : string;
+  select :
+    Prob.Rng.t -> alpha:float -> budget:float -> Workers.Pool.t -> Workers.Pool.t;
+  aggregate :
+    Prob.Rng.t -> alpha:float -> qualities:float array -> Vote.voting -> Vote.t;
+}
+
+type result = {
+  tasks : int;
+  accuracy : float;
+  mean_jury_size : float;
+  mean_jury_cost : float;
+}
+
+let run rng system ~alpha ~budget ~candidates ~tasks =
+  let n = Array.length tasks in
+  if n = 0 then invalid_arg "Campaign.run: no tasks";
+  let correct = ref 0 in
+  let sizes = ref 0 in
+  let costs = Prob.Kahan.create () in
+  Array.iter
+    (fun task ->
+      let truth = Task.truth_exn task in
+      let pool = candidates (Task.id task) in
+      let jury = system.select rng ~alpha ~budget pool in
+      let qualities = Workers.Pool.qualities jury in
+      let votes = Simulate.voting rng ~truth qualities in
+      let answer = system.aggregate rng ~alpha ~qualities votes in
+      if Vote.equal answer truth then incr correct;
+      sizes := !sizes + Workers.Pool.size jury;
+      Prob.Kahan.add costs (Workers.Pool.total_cost jury))
+    tasks;
+  let t = float_of_int n in
+  {
+    tasks = n;
+    accuracy = float_of_int !correct /. t;
+    mean_jury_size = float_of_int !sizes /. t;
+    mean_jury_cost = Prob.Kahan.total costs /. t;
+  }
+
+let run_uniform rng system ~alpha ~budget ~pool ~n_tasks =
+  let tasks =
+    Array.init n_tasks (fun id ->
+        Task.make ~id ~prior:alpha ~truth:(Simulate.sample_truth rng ~alpha) ())
+  in
+  run rng system ~alpha ~budget ~candidates:(fun _ -> pool) ~tasks

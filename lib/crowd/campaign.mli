@@ -1,0 +1,54 @@
+(** End-to-end campaign orchestration.
+
+    A *system* bundles the two decisions a crowdsourcing deployment makes —
+    which jury to hire for a task, and how to aggregate its votes — behind
+    one interface, so whole campaigns (select → collect → aggregate →
+    grade) can be run and compared in one call.  The Optimal Jury Selection
+    System of Figure 1 and the MVJS baseline are both packaged as systems
+    by {!Optjs.system} / {!Optjs.mvjs_system} (in `lib/core`); custom
+    systems are just records. *)
+
+type system = {
+  name : string;
+  select :
+    Prob.Rng.t -> alpha:float -> budget:float -> Workers.Pool.t -> Workers.Pool.t;
+      (** Choose a feasible jury from the candidates. *)
+  aggregate :
+    Prob.Rng.t ->
+    alpha:float ->
+    qualities:float array ->
+    Voting.Vote.voting ->
+    Voting.Vote.t;
+      (** Decide the answer from the jury's votes. *)
+}
+
+type result = {
+  tasks : int;
+  accuracy : float;         (** Fraction of tasks answered correctly. *)
+  mean_jury_size : float;
+  mean_jury_cost : float;
+}
+
+val run :
+  Prob.Rng.t ->
+  system ->
+  alpha:float ->
+  budget:float ->
+  candidates:(int -> Workers.Pool.t) ->
+  tasks:Task.t array ->
+  result
+(** Run the campaign: per task, select a jury from [candidates task_id],
+    sample its votes against the task's ground truth, aggregate, grade.
+    Tasks must carry modelled truths.
+    @raise Invalid_argument on an empty task array. *)
+
+val run_uniform :
+  Prob.Rng.t ->
+  system ->
+  alpha:float ->
+  budget:float ->
+  pool:Workers.Pool.t ->
+  n_tasks:int ->
+  result
+(** Convenience wrapper: the same candidate pool for every task, with
+    truths drawn from the prior. *)

@@ -1,0 +1,44 @@
+open Voting
+
+let effective_quality ~quality ~difficulty =
+  if quality < 0. || quality > 1. then invalid_arg "Difficulty: quality";
+  if difficulty < 0. || difficulty > 1. then invalid_arg "Difficulty: difficulty";
+  0.5 +. ((quality -. 0.5) *. (1. -. difficulty))
+
+let sample_difficulties rng ~spread ~n =
+  if spread < 0. || spread > 1. then invalid_arg "Difficulty: spread outside [0, 1]";
+  Array.init n (fun _ ->
+      if spread = 0. then 0.
+      else spread *. Prob.Distributions.sample_beta rng ~a:1. ~b:3.)
+
+type outcome = { predicted_jq : float; realized_accuracy : float; tasks : int }
+
+let campaign rng ~jury ~alpha ~spread ~tasks =
+  if tasks <= 0 then invalid_arg "Difficulty.campaign: tasks <= 0";
+  let qualities = Workers.Pool.qualities jury in
+  let predicted_jq =
+    if Workers.Pool.is_empty jury then Float.max alpha (1. -. alpha)
+    else Jq.Bucket.estimate ~alpha qualities
+  in
+  let difficulties = sample_difficulties rng ~spread ~n:tasks in
+  let correct = ref 0 in
+  Array.iter
+    (fun difficulty ->
+      let truth = Simulate.sample_truth rng ~alpha in
+      let votes =
+        Array.map
+          (fun q ->
+            Simulate.vote rng ~truth
+              ~quality:(effective_quality ~quality:q ~difficulty))
+          qualities
+      in
+      (* Aggregation still believes the latent qualities — exactly the
+         information OPTJS would have. *)
+      let answer = Bayesian.decide_exact ~alpha ~qualities votes in
+      if Vote.equal answer truth then incr correct)
+    difficulties;
+  {
+    predicted_jq;
+    realized_accuracy = float_of_int !correct /. float_of_int tasks;
+    tasks;
+  }

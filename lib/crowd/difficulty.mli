@@ -1,0 +1,45 @@
+(** Task difficulty — a deliberate violation of the paper's worker model.
+
+    The paper (like [7, 25]) models a worker's quality as a constant
+    `q = Pr(v = t)` across tasks.  In reality some tasks are harder: in the
+    GLAD-style model (Whitehill et al. [42], cited in §8) a worker of skill
+    q facing a task of difficulty d ∈ [0, 1] answers correctly with
+    probability
+
+      effective_quality q d = 0.5 + (q − 0.5)·(1 − d)
+
+    (d = 0: the model's assumption holds; d = 1: every worker is a coin).
+    This module generates difficulty-aware campaigns so the robustness of
+    JQ-based selection can be measured when the constant-quality assumption
+    breaks — the `abl-difficulty` ablation reports how far realized
+    accuracy falls below the (difficulty-blind) predicted JQ as the
+    difficulty spread grows. *)
+
+val effective_quality : quality:float -> difficulty:float -> float
+(** The formula above.  @raise Invalid_argument for arguments outside
+    [0, 1]. *)
+
+val sample_difficulties :
+  Prob.Rng.t -> spread:float -> n:int -> float array
+(** [n] task difficulties drawn from Beta(1, b) scaled to [0, spread]
+    (most tasks easy, a tail of hard ones); [spread = 0] reproduces the
+    paper's model exactly.  @raise Invalid_argument for spread outside
+    [0, 1]. *)
+
+type outcome = {
+  predicted_jq : float;    (** Difficulty-blind JQ of the fixed jury. *)
+  realized_accuracy : float;
+  tasks : int;
+}
+
+val campaign :
+  Prob.Rng.t ->
+  jury:Workers.Pool.t ->
+  alpha:float ->
+  spread:float ->
+  tasks:int ->
+  outcome
+(** Fix a jury, predict its JQ from the latent qualities (as OPTJS would),
+    then run [tasks] simulated tasks whose difficulties follow
+    [sample_difficulties] and grade Bayesian Voting's answers.  The gap
+    between the two numbers is the model-violation penalty. *)

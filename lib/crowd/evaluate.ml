@@ -1,0 +1,54 @@
+open Voting
+
+type grade = { accuracy : float; average_jq : float; tasks : int }
+
+let strategy_on_dataset ?num_buckets ?rng ~strategy ~z (dataset : Amt_dataset.t) =
+  if z <= 0 then invalid_arg "Evaluate.strategy_on_dataset: z <= 0";
+  let rng = match rng with Some r -> r | None -> Prob.Rng.create 0x5EED in
+  let n_tasks = Array.length dataset.tasks in
+  let correct = ref 0 in
+  let jq_acc = Prob.Kahan.create () in
+  for task_id = 0 to n_tasks - 1 do
+    let votes = Amt_dataset.task_votes dataset ~task_id ~max_votes:z in
+    let qualities =
+      Array.map
+        (fun (w, _) -> Amt_dataset.clamp_quality dataset.estimated_qualities.(w))
+        votes
+    in
+    let voting = Array.map snd votes in
+    let alpha = Task.prior dataset.tasks.(task_id) in
+    let answer = Strategy.run strategy rng ~alpha ~qualities voting in
+    if Vote.equal answer (Task.truth_exn dataset.tasks.(task_id)) then incr correct;
+    Prob.Kahan.add jq_acc (Jq.Bucket.estimate ?num_buckets ~alpha qualities)
+  done;
+  {
+    accuracy = float_of_int !correct /. float_of_int n_tasks;
+    average_jq = Prob.Kahan.total jq_acc /. float_of_int n_tasks;
+    tasks = n_tasks;
+  }
+
+let accuracy_of_juries ?rng ~strategy ~juries (dataset : Amt_dataset.t) =
+  let rng = match rng with Some r -> r | None -> Prob.Rng.create 0x5EED in
+  let n_tasks = Array.length dataset.tasks in
+  if Array.length juries <> n_tasks then
+    invalid_arg "Evaluate.accuracy_of_juries: one jury per task required";
+  let correct = ref 0 in
+  for task_id = 0 to n_tasks - 1 do
+    let jury = juries.(task_id) in
+    let members = Workers.Pool.to_array jury in
+    let vote_of w =
+      match
+        Array.find_opt
+          (fun (voter, _) -> voter = Workers.Worker.id w)
+          dataset.votes.(task_id)
+      with
+      | Some (_, v) -> v
+      | None -> invalid_arg "Evaluate.accuracy_of_juries: juror did not answer"
+    in
+    let voting = Array.map vote_of members in
+    let qualities = Array.map Workers.Worker.quality members in
+    let alpha = Task.prior dataset.tasks.(task_id) in
+    let answer = Strategy.run strategy rng ~alpha ~qualities voting in
+    if Vote.equal answer (Task.truth_exn dataset.tasks.(task_id)) then incr correct
+  done;
+  float_of_int !correct /. float_of_int n_tasks

@@ -1,0 +1,31 @@
+(** Grading aggregation strategies against ground truth, and checking that
+    the analytic JQ predicts realized accuracy (§6.2.3 / Figure 10(d)). *)
+
+type grade = {
+  accuracy : float;     (** Fraction of tasks the strategy answered correctly. *)
+  average_jq : float;   (** Mean predicted JQ over the same tasks. *)
+  tasks : int;
+}
+
+val strategy_on_dataset :
+  ?num_buckets:int ->
+  ?rng:Prob.Rng.t ->
+  strategy:Voting.Strategy.t ->
+  z:int ->
+  Amt_dataset.t ->
+  grade
+(** For every task: take the first [z] votes of its answering sequence,
+    aggregate them with [strategy] using the dataset's estimated worker
+    qualities and prior 0.5, grade against the truth; predict JQ for the
+    same first-z jury with the bucket algorithm.  [rng] is only consulted
+    for randomized strategies (defaults to a fixed seed). *)
+
+val accuracy_of_juries :
+  ?rng:Prob.Rng.t ->
+  strategy:Voting.Strategy.t ->
+  juries:Workers.Pool.t array ->
+  Amt_dataset.t ->
+  float
+(** Grade per-task *selected* juries (e.g. the output of JSP): for each
+    task, aggregate only the votes of that task's jury members.  Jury
+    members must have answered the task. *)

@@ -1,0 +1,170 @@
+type params = {
+  n_tasks : int;
+  labels : int;
+  n_workers : int;
+  votes_per_task : int;
+  careful_share : float;
+  spammer_share : float;
+}
+
+let default_params =
+  {
+    n_tasks = 200;
+    labels = 3;
+    n_workers = 40;
+    votes_per_task = 7;
+    careful_share = 0.4;
+    spammer_share = 0.15;
+  }
+
+type t = {
+  params : params;
+  prior : float array;
+  truths : int array;
+  votes : (int * int) array array;
+  true_matrices : Workers.Confusion.t array;
+  estimated_matrices : Workers.Confusion.t array;
+}
+
+(* Worker archetypes over l labels. *)
+let careful rng ~labels ~id ~cost =
+  let diag = Prob.Distributions.sample_uniform rng ~lo:0.75 ~hi:0.92 in
+  let off = (1. -. diag) /. float_of_int (labels - 1) in
+  let matrix =
+    Array.init labels (fun j ->
+        Array.init labels (fun k -> if j = k then diag else off))
+  in
+  Workers.Confusion.make ~id ~matrix ~cost ()
+
+let hedger rng ~labels ~id ~cost =
+  (* Decent on the diagonal, but a chunk of mass drifts to the last label
+     ("unsure") whatever the truth. *)
+  let diag = Prob.Distributions.sample_uniform rng ~lo:0.45 ~hi:0.6 in
+  let hedge = Prob.Distributions.sample_uniform rng ~lo:0.25 ~hi:0.4 in
+  let matrix =
+    Array.init labels (fun j ->
+        Array.init labels (fun k ->
+            if j = labels - 1 then
+              (* The "unsure"-truth row has nowhere to hedge to. *)
+              if j = k then diag else (1. -. diag) /. float_of_int (labels - 1)
+            else
+              let base =
+                if j = k then diag
+                else (1. -. diag -. hedge) /. float_of_int (labels - 1)
+              in
+              if k = labels - 1 then base +. hedge else base))
+  in
+  Workers.Confusion.make ~id ~matrix ~cost ()
+
+let spammer ~labels ~id ~cost = Workers.Confusion.uniform_spammer ~labels ~id ~cost
+
+let draw_workers rng p =
+  let n_careful = int_of_float (Float.round (p.careful_share *. float_of_int p.n_workers)) in
+  let n_spam = int_of_float (Float.round (p.spammer_share *. float_of_int p.n_workers)) in
+  if n_careful + n_spam > p.n_workers then
+    invalid_arg "Multi_dataset: archetype shares exceed 1";
+  let archetypes =
+    Array.init p.n_workers (fun i ->
+        if i < n_careful then `Careful else if i < n_careful + n_spam then `Spam
+        else `Hedger)
+  in
+  Prob.Rng.shuffle rng archetypes;
+  Array.mapi
+    (fun id archetype ->
+      let cost = Prob.Distributions.sample_uniform rng ~lo:0.02 ~hi:0.15 in
+      match archetype with
+      | `Careful -> careful rng ~labels:p.labels ~id ~cost
+      | `Hedger -> hedger rng ~labels:p.labels ~id ~cost
+      | `Spam -> spammer ~labels:p.labels ~id ~cost)
+    archetypes
+
+let mild_prior labels =
+  (* Mildly skewed: the last label (e.g. "unsure") is a priori rarer. *)
+  let base = Array.make labels (1. /. float_of_int labels) in
+  if labels < 2 then base
+  else begin
+    let shift = 0.5 /. float_of_int labels in
+    base.(0) <- base.(0) +. shift;
+    base.(labels - 1) <- base.(labels - 1) -. shift;
+    base
+  end
+
+let generate ?(params = default_params) rng =
+  let p = params in
+  if p.labels < 2 || p.n_tasks <= 0 then invalid_arg "Multi_dataset: parameters";
+  if p.votes_per_task > p.n_workers then
+    invalid_arg "Multi_dataset: votes_per_task > n_workers";
+  let true_matrices = draw_workers rng p in
+  let prior = mild_prior p.labels in
+  let truths =
+    Array.init p.n_tasks (fun _ -> Prob.Distributions.sample_categorical rng prior)
+  in
+  let ids = Array.init p.n_workers Fun.id in
+  let histories =
+    Array.init p.n_workers (fun worker_id -> Workers.History.create ~worker_id)
+  in
+  let votes =
+    Array.mapi
+      (fun task_id truth ->
+        let panel = Prob.Rng.sample_without_replacement rng p.votes_per_task ids in
+        Array.map
+          (fun worker ->
+            let label = Simulate.multi_vote rng ~truth true_matrices.(worker) in
+            Workers.History.record_gold histories.(worker) ~task_id ~vote:label
+              ~truth;
+            (worker, label))
+          panel)
+      truths
+  in
+  let estimated_matrices =
+    Array.mapi
+      (fun id h ->
+        Workers.Confusion.make ~id
+          ~matrix:
+            (Workers.Estimator.confusion_empirical ~labels:p.labels
+               ~prior_strength:1.0 h)
+          ~cost:(Workers.Confusion.cost true_matrices.(id))
+          ())
+      histories
+  in
+  { params = p; prior; truths; votes; true_matrices; estimated_matrices }
+
+let candidate_jury t ~task_id =
+  if task_id < 0 || task_id >= Array.length t.votes then
+    invalid_arg "Multi_dataset.candidate_jury: task id";
+  Array.map (fun (w, _) -> t.estimated_matrices.(w)) t.votes.(task_id)
+
+let grade t strategy =
+  let rng = Prob.Rng.create 0xACE in
+  let correct = ref 0 in
+  Array.iteri
+    (fun task_id truth ->
+      let jury = candidate_jury t ~task_id in
+      let voting = Array.map snd t.votes.(task_id) in
+      let answer = Voting.Multiclass.run strategy rng ~prior:t.prior ~jury voting in
+      if answer = truth then incr correct)
+    t.truths;
+  float_of_int !correct /. float_of_int (Array.length t.truths)
+
+let spammer_recall ?slack t =
+  let spam_ids =
+    List.filter
+      (fun i -> Workers.Spammer.score t.true_matrices.(i) < 0.01)
+      (List.init t.params.n_workers Fun.id)
+  in
+  match spam_ids with
+  | [] -> 1.
+  | _ ->
+      let n_spam = List.length spam_ids in
+      let slack = match slack with Some s -> s | None -> n_spam in
+      let by_estimated_score =
+        List.sort
+          (fun a b ->
+            compare
+              (Workers.Spammer.score t.estimated_matrices.(a))
+              (Workers.Spammer.score t.estimated_matrices.(b)))
+          (List.init t.params.n_workers Fun.id)
+      in
+      let bottom = List.filteri (fun rank _ -> rank < n_spam + slack) by_estimated_score in
+      let caught = List.length (List.filter (fun i -> List.mem i bottom) spam_ids) in
+      float_of_int caught /. float_of_int n_spam

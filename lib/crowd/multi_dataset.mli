@@ -1,0 +1,57 @@
+(** Synthetic multi-choice campaign (§7's setting, end to end).
+
+    The binary {!Amt_dataset} has a multi-class sibling: ℓ-label tasks
+    (e.g. entity resolution: same / different / unsure) answered by
+    confusion-matrix workers drawn from three archetypes —
+
+    - *careful*: strongly diagonal matrices,
+    - *hedger*: decent accuracy but biased toward the last label,
+    - *spammer*: votes uniformly at random —
+
+    with votes sampled from each worker's true matrix.  Workers' matrices
+    are then *re-estimated* from their graded answers (additive smoothing),
+    so downstream selection sees realistic estimation noise, exactly as the
+    binary pipeline does. *)
+
+type params = {
+  n_tasks : int;            (** default 200 *)
+  labels : int;             (** default 3 *)
+  n_workers : int;          (** default 40 *)
+  votes_per_task : int;     (** default 7 *)
+  careful_share : float;    (** default 0.4 *)
+  spammer_share : float;    (** default 0.15 (rest are hedgers) *)
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  prior : float array;
+  truths : int array;                        (** Per task. *)
+  votes : (int * int) array array;           (** Per task: (worker, label). *)
+  true_matrices : Workers.Confusion.t array; (** Latent, per worker. *)
+  estimated_matrices : Workers.Confusion.t array;
+      (** Re-estimated from graded answers (smoothing 1.0). *)
+}
+
+val generate : ?params:params -> Prob.Rng.t -> t
+(** Build one campaign.  Truths follow a mildly skewed prior.
+    @raise Invalid_argument on inconsistent parameters. *)
+
+val candidate_jury : t -> task_id:int -> Workers.Confusion.t array
+(** The estimated matrices of the workers who answered the task, in
+    answering order. *)
+
+val grade : t -> Voting.Multiclass.t -> float
+(** Accuracy of a multi-class strategy over all tasks, aggregating each
+    task's realized votes with the *estimated* matrices (deterministic
+    strategies only get exercised deterministically; randomized ones use a
+    fixed seed). *)
+
+val spammer_recall : ?slack:int -> t -> float
+(** Rank-based spammer detection under estimation noise: the fraction of
+    true spammers found among the [n_spammers + slack] lowest *estimated*
+    spammer scores (slack defaults to [n_spammers]).  Rank-based because
+    empirical total-variation scores carry a positive finite-sample bias
+    that makes absolute thresholds meaningless at realistic answer
+    counts. *)

@@ -1,0 +1,55 @@
+type hit = { hit_id : int; task_ids : int array }
+type completion = { hit_id : int; worker_id : int }
+
+type collected = {
+  tasks : Task.t array;
+  votes : (int * Voting.Vote.t) array array;
+  histories : Workers.History.t array;
+}
+
+let batch ~per_hit tasks =
+  if per_hit <= 0 then invalid_arg "Platform.batch: per_hit <= 0";
+  let n = Array.length tasks in
+  let n_hits = (n + per_hit - 1) / per_hit in
+  Array.init n_hits (fun h ->
+      let start = h * per_hit in
+      let len = min per_hit (n - start) in
+      { hit_id = h; task_ids = Array.init len (fun i -> Task.id tasks.(start + i)) })
+
+let uniform_completions rng ~hits ~n_workers ~per_hit =
+  if per_hit > n_workers then
+    invalid_arg "Platform.uniform_completions: per_hit > n_workers";
+  let ids = Array.init n_workers Fun.id in
+  Array.to_list hits
+  |> List.concat_map (fun (h : hit) ->
+         Array.to_list
+           (Array.map
+              (fun worker_id -> { hit_id = h.hit_id; worker_id })
+              (Prob.Rng.sample_without_replacement rng per_hit ids)))
+
+let run rng ~tasks ~qualities ~completions ~hits =
+  let n_tasks = Array.length tasks in
+  let n_workers = Array.length qualities in
+  let votes_rev = Array.make n_tasks [] in
+  let histories = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id) in
+  List.iter
+    (fun c ->
+      if c.worker_id < 0 || c.worker_id >= n_workers then
+        invalid_arg "Platform.run: dangling worker id";
+      if c.hit_id < 0 || c.hit_id >= Array.length hits then
+        invalid_arg "Platform.run: dangling hit id";
+      Array.iter
+        (fun task_id ->
+          let task = tasks.(task_id) in
+          let truth = Task.truth_exn task in
+          let v = Simulate.vote rng ~truth ~quality:qualities.(c.worker_id) in
+          votes_rev.(task_id) <- (c.worker_id, v) :: votes_rev.(task_id);
+          Workers.History.record_gold histories.(c.worker_id) ~task_id
+            ~vote:(Voting.Vote.to_int v) ~truth:(Voting.Vote.to_int truth))
+        hits.(c.hit_id).task_ids)
+    completions;
+  {
+    tasks;
+    votes = Array.map (fun l -> Array.of_list (List.rev l)) votes_rev;
+    histories;
+  }

@@ -1,0 +1,39 @@
+(** A simulated micro-task platform in the AMT mould (§6.2.1): tasks are
+    batched into HITs, a HIT is completed by several distinct workers, and
+    every completion contributes one vote per task of the HIT, in arrival
+    order.  The collected answers feed quality estimation and the
+    evaluation drivers. *)
+
+type hit = { hit_id : int; task_ids : int array }
+
+type completion = { hit_id : int; worker_id : int }
+(** One worker finishing one HIT (voting on all its tasks). *)
+
+type collected = {
+  tasks : Task.t array;
+  votes : (int * Voting.Vote.t) array array;
+      (** [votes.(task_id)] lists (worker id, vote) in arrival order. *)
+  histories : Workers.History.t array;
+      (** Per worker, every answer graded against the task's truth. *)
+}
+
+val batch : per_hit:int -> Task.t array -> hit array
+(** Consecutive tasks grouped [per_hit] at a time (last batch may be
+    short).  @raise Invalid_argument for per_hit <= 0. *)
+
+val uniform_completions :
+  Prob.Rng.t -> hits:hit array -> n_workers:int -> per_hit:int -> completion list
+(** For each HIT draw [per_hit] distinct workers uniformly — the platform's
+    default assignment policy.  @raise Invalid_argument when
+    [per_hit > n_workers]. *)
+
+val run :
+  Prob.Rng.t ->
+  tasks:Task.t array ->
+  qualities:float array ->
+  completions:completion list ->
+  hits:hit array ->
+  collected
+(** Execute completions in list order: each worker votes on every task of
+    the HIT with her latent quality (tasks must carry ground truth).
+    @raise Invalid_argument on dangling worker/hit ids. *)

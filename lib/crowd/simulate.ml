@@ -1,0 +1,32 @@
+open Voting
+
+let vote rng ~truth ~quality =
+  if quality < 0. || quality > 1. || Float.is_nan quality then
+    invalid_arg "Simulate.vote: quality outside [0, 1]";
+  if Prob.Rng.bernoulli rng quality then truth else Vote.flip truth
+
+let voting rng ~truth qualities =
+  Array.map (fun q -> vote rng ~truth ~quality:q) qualities
+
+let voting_of_jury rng ~truth jury =
+  voting rng ~truth (Workers.Pool.qualities jury)
+
+let sample_truth rng ~alpha =
+  if alpha < 0. || alpha > 1. then invalid_arg "Simulate.sample_truth: alpha";
+  if Prob.Rng.bernoulli rng alpha then Vote.No else Vote.Yes
+
+let multi_vote rng ~truth confusion =
+  Prob.Distributions.sample_categorical rng (Workers.Confusion.row confusion truth)
+
+let multi_voting rng ~truth jury = Array.map (fun c -> multi_vote rng ~truth c) jury
+
+let empirical_jq rng ~trials ~strategy ~alpha ~qualities =
+  if trials <= 0 then invalid_arg "Simulate.empirical_jq: trials <= 0";
+  let correct = ref 0 in
+  for _ = 1 to trials do
+    let truth = sample_truth rng ~alpha in
+    let v = voting rng ~truth qualities in
+    let answer = Strategy.run strategy rng ~alpha ~qualities v in
+    if Vote.equal answer truth then incr correct
+  done;
+  float_of_int !correct /. float_of_int trials

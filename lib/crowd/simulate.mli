@@ -1,0 +1,33 @@
+(** Vote simulation: the generative model of §2.1 — worker j_i votes the
+    truth with probability q_i, independently of everyone else. *)
+
+val vote : Prob.Rng.t -> truth:Voting.Vote.t -> quality:float -> Voting.Vote.t
+(** One vote from a quality-q worker. *)
+
+val voting :
+  Prob.Rng.t -> truth:Voting.Vote.t -> float array -> Voting.Vote.voting
+(** One vote per quality, jury order. *)
+
+val voting_of_jury :
+  Prob.Rng.t -> truth:Voting.Vote.t -> Workers.Pool.t -> Voting.Vote.voting
+
+val sample_truth : Prob.Rng.t -> alpha:float -> Voting.Vote.t
+(** Draw the latent truth from the prior: [No] with probability α. *)
+
+val multi_vote :
+  Prob.Rng.t -> truth:int -> Workers.Confusion.t -> int
+(** One multi-class vote drawn from the worker's confusion row. *)
+
+val multi_voting :
+  Prob.Rng.t -> truth:int -> Workers.Confusion.t array -> int array
+
+val empirical_jq :
+  Prob.Rng.t ->
+  trials:int ->
+  strategy:Voting.Strategy.t ->
+  alpha:float ->
+  qualities:float array ->
+  float
+(** Monte-Carlo JQ: fraction of [trials] simulated (truth, voting) pairs the
+    strategy answers correctly.  Converges to Definition 3's JQ — the
+    cross-check used by tests against the analytic computations. *)

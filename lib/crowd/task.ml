@@ -1,0 +1,54 @@
+type t = {
+  id : int;
+  description : string;
+  prior : float;
+  truth : Voting.Vote.t option;
+}
+
+let make ?(description = "") ?(prior = 0.5) ?truth ~id () =
+  if prior < 0. || prior > 1. || Float.is_nan prior then
+    invalid_arg "Task.make: prior outside [0, 1]";
+  { id; description; prior; truth }
+
+let id t = t.id
+let prior t = t.prior
+
+let truth_exn t =
+  match t.truth with
+  | Some v -> v
+  | None -> invalid_arg "Task.truth_exn: task has no modelled ground truth"
+
+let pp ppf t =
+  Format.fprintf ppf "task#%d(prior=%g%s)" t.id t.prior
+    (match t.truth with
+    | Some v -> Printf.sprintf ", truth=%d" (Voting.Vote.to_int v)
+    | None -> "")
+
+module Multi = struct
+  type t = {
+    id : int;
+    description : string;
+    prior : float array;
+    truth : int option;
+  }
+
+  let make ?(description = "") ?truth ~id ~prior () =
+    let l = Array.length prior in
+    if l < 2 then invalid_arg "Task.Multi.make: need at least 2 labels";
+    Array.iter
+      (fun p -> if p < 0. || Float.is_nan p then invalid_arg "Task.Multi.make: prior")
+      prior;
+    if Float.abs (Prob.Kahan.sum_array prior -. 1.) > 1e-9 then
+      invalid_arg "Task.Multi.make: prior does not sum to 1";
+    (match truth with
+    | Some v when v < 0 || v >= l -> invalid_arg "Task.Multi.make: truth out of range"
+    | Some _ | None -> ());
+    { id; description; prior = Array.copy prior; truth }
+
+  let labels t = Array.length t.prior
+
+  let truth_exn t =
+    match t.truth with
+    | Some v -> v
+    | None -> invalid_arg "Task.Multi.truth_exn: no modelled ground truth"
+end

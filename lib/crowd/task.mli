@@ -1,0 +1,52 @@
+(** Decision-making and multi-choice tasks (§2.1, §7).
+
+    A decision-making task carries a prior α = Pr(t = 0) and — in
+    simulation — a latent ground truth, hidden from every selection or
+    aggregation step and consulted only when grading answers. *)
+
+type t = private {
+  id : int;
+  description : string;
+  prior : float;                 (** α = Pr(t = 0). *)
+  truth : Voting.Vote.t option;  (** Latent ground truth, if modelled. *)
+}
+
+val make :
+  ?description:string ->
+  ?prior:float ->
+  ?truth:Voting.Vote.t ->
+  id:int ->
+  unit ->
+  t
+(** Defaults: empty description, prior 0.5, no ground truth.
+    @raise Invalid_argument when the prior lies outside [0, 1]. *)
+
+val id : t -> int
+val prior : t -> float
+val truth_exn : t -> Voting.Vote.t
+(** @raise Invalid_argument when the task has no modelled truth. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Multi-choice tasks over ℓ labels with a prior vector. *)
+module Multi : sig
+  type t = private {
+    id : int;
+    description : string;
+    prior : float array;      (** Distribution over labels (sums to 1). *)
+    truth : int option;
+  }
+
+  val make :
+    ?description:string ->
+    ?truth:int ->
+    id:int ->
+    prior:float array ->
+    unit ->
+    t
+  (** @raise Invalid_argument when the prior is not a distribution or the
+      truth is out of range. *)
+
+  val labels : t -> int
+  val truth_exn : t -> int
+end

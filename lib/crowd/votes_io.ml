@@ -1,0 +1,106 @@
+type record = { task : int; worker : int; vote : int; truth : int option }
+
+let parse_int ~line_number ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= 0 -> v
+  | Some _ | None ->
+      failwith
+        (Printf.sprintf "Votes_io: line %d: %s is not a nonnegative integer: %S"
+           line_number what s)
+
+let parse_line ~line_number line =
+  match String.split_on_char ',' line with
+  | [ task; worker; vote ] ->
+      {
+        task = parse_int ~line_number ~what:"task" task;
+        worker = parse_int ~line_number ~what:"worker" worker;
+        vote = parse_int ~line_number ~what:"vote" vote;
+        truth = None;
+      }
+  | [ task; worker; vote; truth ] ->
+      {
+        task = parse_int ~line_number ~what:"task" task;
+        worker = parse_int ~line_number ~what:"worker" worker;
+        vote = parse_int ~line_number ~what:"vote" vote;
+        truth =
+          (if String.trim truth = "" then None
+           else Some (parse_int ~line_number ~what:"truth" truth));
+      }
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "Votes_io: line %d: expected 'task,worker,vote[,truth]': %S"
+           line_number line)
+
+let is_header line =
+  match String.lowercase_ascii (String.trim line) with
+  | "task,worker,vote" | "task,worker,vote,truth" -> true
+  | _ -> false
+
+let of_csv_string doc =
+  let rows = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' || (idx = 0 && is_header line) then ()
+      else rows := parse_line ~line_number:(idx + 1) line :: !rows)
+    (String.split_on_char '\n' doc);
+  List.rev !rows
+
+let to_csv_string records =
+  let line r =
+    match r.truth with
+    | Some t -> Printf.sprintf "%d,%d,%d,%d" r.task r.worker r.vote t
+    | None -> Printf.sprintf "%d,%d,%d," r.task r.worker r.vote
+  in
+  String.concat "\n" ("task,worker,vote,truth" :: List.map line records) ^ "\n"
+
+let load path =
+  let ic = open_in path in
+  let size = in_channel_length ic in
+  let content = really_input_string ic size in
+  close_in ic;
+  of_csv_string content
+
+let save path records =
+  let oc = open_out path in
+  output_string oc (to_csv_string records);
+  close_out oc
+
+let dimensions records =
+  List.fold_left
+    (fun (t, w, l) r ->
+      let label_hi = match r.truth with Some tr -> max r.vote tr | None -> r.vote in
+      (max t (r.task + 1), max w (r.worker + 1), max l (label_hi + 1)))
+    (0, 0, 0) records
+
+let to_dawid_skene records =
+  List.map
+    (fun r -> { Workers.Dawid_skene.task = r.task; worker = r.worker; label = r.vote })
+    records
+
+let histories records =
+  let _, n_workers, _ = dimensions records in
+  let hs = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id) in
+  List.iter
+    (fun r ->
+      match r.truth with
+      | Some truth ->
+          Workers.History.record_gold hs.(r.worker) ~task_id:r.task ~vote:r.vote ~truth
+      | None -> Workers.History.record_vote hs.(r.worker) ~task_id:r.task ~vote:r.vote)
+    records;
+  hs
+
+let of_amt_dataset (dataset : Amt_dataset.t) =
+  let records = ref [] in
+  Array.iteri
+    (fun task_id votes ->
+      let truth = Voting.Vote.to_int (Task.truth_exn dataset.tasks.(task_id)) in
+      Array.iter
+        (fun (worker, v) ->
+          records :=
+            { task = task_id; worker; vote = Voting.Vote.to_int v; truth = Some truth }
+            :: !records)
+        votes)
+    dataset.votes;
+  List.rev !records

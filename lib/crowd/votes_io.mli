@@ -1,0 +1,41 @@
+(** Loading and saving vote matrices as CSV.
+
+    Format: a header line [task,worker,vote] or [task,worker,vote,truth]
+    (optional), then one vote per line:
+
+    {v
+    task,worker,vote,truth
+    0,3,1,1
+    0,7,0,1
+    v}
+
+    Ids must be nonnegative; [truth] is optional per line (leave the column
+    out or empty when unknown).  Lines that are empty or start with [#] are
+    skipped.  This is the interchange point between a real crowdsourcing
+    export and the estimation stack ({!Workers.Dawid_skene},
+    {!Workers.Estimator}): `optjs_cli estimate` reads this format. *)
+
+type record = { task : int; worker : int; vote : int; truth : int option }
+
+val of_csv_string : string -> record list
+(** @raise Failure with a line-numbered message on malformed rows. *)
+
+val to_csv_string : record list -> string
+
+val load : string -> record list
+val save : string -> record list -> unit
+
+val dimensions : record list -> int * int * int
+(** [(n_tasks, n_workers, n_labels)] inferred as 1 + the maxima (labels
+    also count truths).  (0, 0, 0) on the empty list. *)
+
+val to_dawid_skene : record list -> Workers.Dawid_skene.vote list
+(** Forget the truth column. *)
+
+val histories : record list -> Workers.History.t array
+(** One history per worker id (dense up to the max id); graded entries for
+    records carrying a truth. *)
+
+val of_amt_dataset : Amt_dataset.t -> record list
+(** Export the synthetic AMT dataset (with truths) — so the full estimation
+    loop can be exercised on files. *)

@@ -1,0 +1,53 @@
+(** Ablation benches for the library's own design choices — not paper
+    artifacts, but the measurements that justify the defaults DESIGN.md
+    records (solver choice, bucket resolution, keep-best memory, tie
+    conventions, quality estimators, the static-vs-online trade-off, and
+    the §7 multi-class solver). *)
+
+type driver = ?config:Config.t -> unit -> Report.table
+
+val solver_comparison : driver
+(** [abl-solver] — exhaustive vs annealing vs beam (widths 8/32) vs greedy
+    on N = 12 pools across budgets: mean JQ and objective evaluations. *)
+
+val bucket_resolution : driver
+(** [abl-buckets] — numBuckets vs estimate error (against a 5000-bucket
+    reference) and CPU time for n = 50 juries: the accuracy/cost knee that
+    motivates numBuckets = 50. *)
+
+val keep_best : driver
+(** [abl-keepbest] — annealing with and without best-seen memory against
+    the exhaustive optimum (N = 11): the literal Algorithm 3 returns its
+    final state; memory is free insurance. *)
+
+val tie_breaking : driver
+(** [abl-ties] — JQ of MV (ties to 1), MV-coin (random ties) and Half
+    (ties to 0) on even juries across priors: the conventions only separate
+    when the prior is skewed. *)
+
+val estimators : driver
+(** [abl-estimators] — gold-question empirical estimation vs Dawid-Skene EM
+    (no gold needed): RMSE of recovered qualities as votes per worker grow. *)
+
+val online_vs_static : driver
+(** [abl-online] — static OPTJS jury vs adaptive collection (quality /
+    cost / information-gain policies) at equal budget: accuracy and money
+    actually spent. *)
+
+val multiclass_solvers : driver
+(** [abl-multiclass] — the §7 extension's solvers (exhaustive vs annealing
+    vs spammer-score greedy) on 3-label confusion-matrix pools. *)
+
+val estimation_noise : driver
+(** [abl-noise] — perturb the (assumed-known) qualities and measure both
+    the JQ evaluation error and the selection regret of exhaustive JSP:
+    how much the "qualities are known in advance" assumption is worth. *)
+
+val difficulty_robustness : driver
+(** [abl-difficulty] — deliberately violate the constant-quality model with
+    GLAD-style task difficulties and measure how far realized accuracy
+    drops below the difficulty-blind JQ prediction. *)
+
+val ids : string list
+val by_id : string -> driver option
+val all : ?config:Config.t -> unit -> Report.table list

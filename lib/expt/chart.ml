@@ -1,0 +1,95 @@
+let symbols = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let parse_cell cell =
+  let cell = String.trim cell in
+  let number prefix_len = float_of_string_opt (String.trim (String.sub cell 0 prefix_len)) in
+  let n = String.length cell in
+  if n = 0 then None
+  else if cell.[n - 1] = '%' then Option.map (fun v -> v /. 100.) (number (n - 1))
+  else if n > 2 && String.sub cell (n - 2) 2 = "ms" then
+    Option.map (fun v -> v /. 1e3) (number (n - 2))
+  else if n > 2 && String.sub cell (n - 2) 2 = "us" then
+    Option.map (fun v -> v /. 1e6) (number (n - 2))
+  else if n > 1 && cell.[n - 1] = 's' then number (n - 1)
+  else float_of_string_opt cell
+
+(* Columns (beyond the first) where every row parses as a number. *)
+let numeric_columns (table : Report.table) =
+  let n_cols = List.length table.header in
+  List.filter
+    (fun col ->
+      List.for_all
+        (fun row ->
+          match List.nth_opt row col with
+          | Some cell -> parse_cell cell <> None
+          | None -> false)
+        table.rows)
+    (List.init (n_cols - 1) (fun i -> i + 1))
+
+let render ?(height = 12) ?(width = 72) (table : Report.table) =
+  let columns = numeric_columns table in
+  let n_rows = List.length table.rows in
+  if columns = [] || n_rows < 2 || height < 2 then None
+  else begin
+    let series =
+      List.map
+        (fun col ->
+          ( List.nth table.header col,
+            List.map
+              (fun row -> Option.get (parse_cell (List.nth row col)))
+              table.rows ))
+        columns
+    in
+    let all = List.concat_map snd series in
+    let lo = List.fold_left Float.min infinity all in
+    let hi = List.fold_left Float.max neg_infinity all in
+    let margin = Float.max 1e-9 (0.05 *. (hi -. lo)) in
+    let lo = lo -. margin and hi = hi +. margin in
+    (* Spread the points over at least ~3 columns each so neighbouring
+       series stay distinguishable on short sweeps. *)
+    let plot_width = min width (max 24 (3 * n_rows)) in
+    let grid = Array.make_matrix height plot_width ' ' in
+    let x_of i = (i * (plot_width - 1)) / max 1 (n_rows - 1) in
+    let y_of v =
+      let frac = (v -. lo) /. (hi -. lo) in
+      let y = int_of_float (Float.round (frac *. float_of_int (height - 1))) in
+      height - 1 - max 0 (min (height - 1) y)
+    in
+    List.iteri
+      (fun s (_, values) ->
+        let symbol = symbols.(s mod Array.length symbols) in
+        List.iteri (fun i v -> grid.(y_of v).(x_of i) <- symbol) values)
+      series;
+    let buf = Buffer.create 1024 in
+    Array.iteri
+      (fun row_idx row ->
+        let label =
+          if row_idx = 0 then Printf.sprintf "%8.4g |" hi
+          else if row_idx = height - 1 then Printf.sprintf "%8.4g |" lo
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init plot_width (Array.get row));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make plot_width '-'));
+    let x_first = match table.rows with r :: _ -> List.hd r | [] -> "" in
+    let x_last =
+      match List.rev table.rows with r :: _ -> List.hd r | [] -> ""
+    in
+    Buffer.add_string
+      (buf)
+      (Printf.sprintf "%8s  %s%s%s\n" "" x_first
+         (String.make (max 1 (plot_width - String.length x_first - String.length x_last)) ' ')
+         x_last);
+    Buffer.add_string buf "legend: ";
+    List.iteri
+      (fun s (name, _) ->
+        if s > 0 then Buffer.add_string buf "  ";
+        Buffer.add_char buf (symbols.(s mod Array.length symbols));
+        Buffer.add_char buf '=';
+        Buffer.add_string buf name)
+      series;
+    Buffer.add_char buf '\n';
+    Some (Buffer.contents buf)
+  end

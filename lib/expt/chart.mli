@@ -1,0 +1,24 @@
+(** ASCII charts for experiment tables.
+
+    Renders a {!Report.table} whose first column is the x-axis and whose
+    remaining columns are numeric series (plain numbers, percentages like
+    ["93.40%"], or timings like ["0.012s"]) as a fixed-height character
+    grid, one plotting symbol per series — enough to eyeball the shape of
+    a figure (who is on top, where curves bend) straight from the bench
+    output, without leaving the terminal. *)
+
+val symbols : char array
+(** Plotting symbols assigned to series columns in order: '*', '+', 'o',
+    'x', '#', '@'. *)
+
+val parse_cell : string -> float option
+(** Numeric value of a cell: ["84.50%"] → 0.845, ["0.012s"] → 0.012,
+    ["17"] → 17.; [None] when the cell is not numeric. *)
+
+val render : ?height:int -> ?width:int -> Report.table -> string option
+(** [render table] is the chart, or [None] when fewer than two rows or no
+    numeric series column exists.  Default grid: 12 rows by up to 72
+    columns.  The y-range spans the data (with a small margin); a legend
+    line maps symbols to column names.  When two series collide on a cell
+    the later series' symbol wins (drawn last ⇒ visible), which is the
+    useful behaviour for "curves nearly coincide" figures. *)

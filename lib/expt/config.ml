@@ -1,0 +1,40 @@
+type t = {
+  seed : int;
+  reps : int;
+  n_workers : int;
+  budget : float;
+  alpha : float;
+  num_buckets : int;
+  generator : Workers.Generator.params;
+  annealing : Jsp.Annealing.params;
+  amt_questions : int;
+  domains : int;
+}
+
+let default =
+  {
+    seed = 20150323;  (* EDBT 2015 opening day. *)
+    reps = 100;
+    n_workers = 50;
+    budget = 0.5;
+    alpha = 0.5;
+    num_buckets = 50;
+    generator = Workers.Generator.default;
+    annealing = Jsp.Annealing.default_params;
+    amt_questions = 150;
+    domains = 1;
+  }
+
+let fast =
+  {
+    default with
+    reps = 3;
+    amt_questions = 20;
+    annealing = { Jsp.Annealing.default_params with epsilon = 1e-3 };
+  }
+
+let rng t = Prob.Rng.create t.seed
+let with_reps reps t = { t with reps }
+let with_seed seed t = { t with seed }
+let with_questions amt_questions t = { t with amt_questions }
+let with_domains domains t = { t with domains = max 1 domains }

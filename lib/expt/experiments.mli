@@ -1,0 +1,85 @@
+(** One driver per paper artifact (the per-experiment index of DESIGN.md).
+
+    Every driver regenerates the rows/series of its figure or table and
+    returns them as a {!Report.table}; `bench/main.exe` prints them all and
+    `bin/optjs_cli.ml expt <id>` prints one.  Absolute numbers depend on
+    [reps] and hardware (timings); the *shape* — who wins, by what margin,
+    where curves bend — is the reproduction target recorded in
+    EXPERIMENTS.md. *)
+
+type driver = ?config:Config.t -> unit -> Report.table
+
+val fig1 : driver
+(** Figure 1: budget–quality table for the seven workers A–G. *)
+
+val fig2 : driver
+(** Figure 2: the worked JQ example — per-voting contributions for MV and
+    BV on qualities (0.9, 0.6, 0.6); totals 79.2% vs 90%. *)
+
+val fig6a : driver
+(** Figure 6(a): MVJS vs OPTJS, varying quality mean µ ∈ [0.5, 1]. *)
+
+val fig6b : driver
+(** Figure 6(b): varying budget B ∈ [0.1, 1]. *)
+
+val fig6c : driver
+(** Figure 6(c): varying pool size N ∈ [10, 100]. *)
+
+val fig6d : driver
+(** Figure 6(d): varying cost deviation σ̂ ∈ [0.1, 1]. *)
+
+val fig7a : driver
+(** Figure 7(a): JQ of the exhaustive optimum J* vs the annealed Ĵ,
+    N = 11, B ∈ [0.05, 0.5]. *)
+
+val tab3 : driver
+(** Table 3: counts of JQ(J star) minus JQ(J hat) in the paper's error
+    ranges (percent). *)
+
+val fig7a_and_tab3 : ?config:Config.t -> unit -> Report.table * Report.table
+(** Both of the above from one run (they share their data). *)
+
+val fig7b : driver
+(** Figure 7(b): JSP wall-clock vs N ∈ [100, 500] for four budgets. *)
+
+val fig8a : driver
+(** Figure 8(a): exact JQ of MV/BV/RBV/RMV, n = 11, varying µ. *)
+
+val fig8b : driver
+(** Figure 8(b): same strategies, µ = 0.7, varying jury size n ∈ [1, 11]. *)
+
+val fig9a : driver
+(** Figure 9(a): JQ(J, BV, 0.5) vs µ for quality variances
+    {0.01, 0.03, 0.05, 0.1}. *)
+
+val fig9b : driver
+(** Figure 9(b): mean approximation error vs numBuckets ∈ [10, 200]. *)
+
+val fig9c : driver
+(** Figure 9(c): histogram of approximation errors at numBuckets = 50. *)
+
+val fig9d : driver
+(** Figure 9(d): EstimateJQ runtime with vs without pruning,
+    n ∈ [100, 500]. *)
+
+val fig10a : driver
+(** Figure 10(a): synthetic-AMT data, MVJS vs OPTJS, varying B. *)
+
+val fig10b : driver
+(** Figure 10(b): varying candidate count N ∈ [3, 20]. *)
+
+val fig10c : driver
+(** Figure 10(c): varying cost deviation σ̂. *)
+
+val fig10d : driver
+(** Figure 10(d): is JQ a good prediction? Accuracy vs average JQ for the
+    first z votes, z ∈ [3, 20]. *)
+
+val ids : string list
+(** All experiment ids, in paper order. *)
+
+val by_id : string -> driver option
+(** Case-insensitive lookup. *)
+
+val all : ?config:Config.t -> unit -> Report.table list
+(** Every table, in paper order (sharing work where drivers overlap). *)

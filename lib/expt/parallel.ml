@@ -1,0 +1,27 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let map ?(domains = 1) f xs =
+  if domains <= 0 then invalid_arg "Parallel.map: domains <= 0";
+  let n = List.length xs in
+  let domains = min domains n in
+  if domains <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let outputs = Array.make n None in
+    (* Static block partition: domain d owns indices [d*n/D, (d+1)*n/D). *)
+    let worker d () =
+      let lo = d * n / domains and hi = (d + 1) * n / domains in
+      for i = lo to hi - 1 do
+        outputs.(i) <- Some (f inputs.(i))
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    List.init n (fun i ->
+        match outputs.(i) with
+        | Some y -> y
+        | None -> assert false)
+  end

@@ -1,0 +1,59 @@
+type table = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
+let cell_float x = Printf.sprintf "%.6g" x
+let cell_int = string_of_int
+
+let widths t =
+  let all = t.header :: t.rows in
+  let n = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let w = Array.make n 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) row)
+    all;
+  w
+
+let pp ppf t =
+  let w = widths t in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i c -> Printf.sprintf "%-*s" w.(i) c) row)
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%s@." (line t.header);
+  Format.fprintf ppf "%s@."
+    (String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w)));
+  List.iter (fun r -> Format.fprintf ppf "%s@." (line r)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@." n) t.notes;
+  Format.fprintf ppf "@."
+
+let print t = pp Format.std_formatter t
+
+let escape_csv c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map escape_csv row))
+       (t.header :: t.rows))
+
+let save_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  output_string oc "\n";
+  close_out oc;
+  path

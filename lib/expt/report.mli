@@ -1,0 +1,37 @@
+(** Tabular reporting for experiment results: the "same rows/series the
+    paper reports", rendered as aligned ASCII and exportable as CSV. *)
+
+type table = {
+  id : string;             (** Experiment id, e.g. "fig6a". *)
+  title : string;          (** Human caption, e.g. the figure caption. *)
+  header : string list;    (** Column names; first column is the x-axis. *)
+  rows : string list list; (** One list of cells per row. *)
+  notes : string list;     (** Paper-vs-measured commentary lines. *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  table
+
+val cell_pct : float -> string
+(** "93.27%" *)
+
+val cell_float : float -> string
+(** 6 significant digits. *)
+
+val cell_int : int -> string
+
+val pp : Format.formatter -> table -> unit
+(** Aligned rendering with the id/title banner and notes. *)
+
+val print : table -> unit
+(** [pp] to stdout. *)
+
+val to_csv : table -> string
+
+val save_csv : dir:string -> table -> string
+(** Write [<dir>/<id>.csv]; returns the path.  Creates [dir] if needed. *)

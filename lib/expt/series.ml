@@ -1,0 +1,15 @@
+let replicate_collect ?(domains = 1) rng ~reps f =
+  (* Split every stream up front so the set of streams does not depend on
+     how the work is scheduled. *)
+  let streams = List.init reps (fun _ -> Prob.Rng.split rng) in
+  Parallel.map ~domains f streams
+
+let replicate ?domains rng ~reps f =
+  Prob.Stats.summarize (Array.of_list (replicate_collect ?domains rng ~reps f))
+
+let mean ?domains rng ~reps f = (replicate ?domains rng ~reps f).Prob.Stats.mean
+
+let timed f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. start)

@@ -1,0 +1,24 @@
+(** Replication plumbing: every plotted point is the mean of [reps]
+    independent replications, each on a private RNG stream split from the
+    master seed, so adding experiments never perturbs earlier ones.
+
+    All streams are split *before* any replication runs, which makes the
+    results independent of execution order — passing [domains > 1] fans the
+    replications over OCaml domains and returns bit-identical numbers. *)
+
+val replicate_collect :
+  ?domains:int -> Prob.Rng.t -> reps:int -> (Prob.Rng.t -> 'a) -> 'a list
+(** Run [reps] replications, each with its own split stream, optionally in
+    parallel (default sequential). *)
+
+val replicate :
+  ?domains:int -> Prob.Rng.t -> reps:int -> (Prob.Rng.t -> float) -> Prob.Stats.summary
+(** Summary statistics of {!replicate_collect}. *)
+
+val mean :
+  ?domains:int -> Prob.Rng.t -> reps:int -> (Prob.Rng.t -> float) -> float
+(** Mean of {!replicate}. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** CPU seconds consumed by the thunk (Sys.time based — the coarse timings
+    of the runtime figures; Bechamel gives the precise ones in bench/). *)

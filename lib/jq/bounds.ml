@@ -1,0 +1,16 @@
+let additive_bound ~upper ~num_buckets ~n =
+  if num_buckets <= 0 then invalid_arg "Bounds.additive_bound: num_buckets";
+  if n <= 0 then 0.
+  else
+    let delta = upper /. float_of_int num_buckets in
+    exp (float_of_int n *. delta /. 4.) -. 1.
+
+let buckets_for_error ~upper ~n ~epsilon =
+  if epsilon <= 0. then invalid_arg "Bounds.buckets_for_error: epsilon <= 0";
+  if n <= 0 || upper <= 0. then 1
+  else
+    int_of_float (Float.ceil (upper *. float_of_int n /. (4. *. log1p epsilon)))
+
+let recommended_d = 200
+let paper_guarantee = exp (5. /. 800.) -. 1.
+let logit_upper_default = 5.

@@ -1,0 +1,24 @@
+(** The approximation-error guarantee of §4.4.
+
+    With bucket width δ and jury size n, Algorithm 1 satisfies
+    ĴQ ≤ JQ  and  JQ − ĴQ < e^(nδ/4) − 1.
+    With numBuckets = d·n and the logit range upper < 5 (i.e. no worker
+    above quality 0.99), δ < 5/(d·n) and the bound becomes e^(5/(4d)) − 1,
+    which is below 1% whenever d ≥ 200. *)
+
+val additive_bound : upper:float -> num_buckets:int -> n:int -> float
+(** [e^(n·δ/4) − 1] with δ = upper / num_buckets. *)
+
+val buckets_for_error : upper:float -> n:int -> epsilon:float -> int
+(** Minimal numBuckets guaranteeing [additive_bound <= epsilon]:
+    ⌈upper·n / (4·ln(1+epsilon))⌉.  @raise Invalid_argument for
+    [epsilon <= 0]. *)
+
+val recommended_d : int
+(** The paper's d ≥ 200 recommendation. *)
+
+val paper_guarantee : float
+(** e^(5/800) − 1 ≈ 0.627% — the bound quoted in §4.4 for d = 200. *)
+
+val logit_upper_default : float
+(** 5.0 — the "assume upper < 5" cap of §4.4, i.e. quality ≤ ~0.993. *)

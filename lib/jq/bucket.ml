@@ -1,0 +1,126 @@
+type stats = {
+  value : float;
+  upper : float;
+  delta : float;
+  max_map_size : int;
+  pruned_pairs : int;
+  error_bound : float;
+}
+
+let default_num_buckets = 50
+
+let bucketize ~num_buckets logits =
+  if num_buckets <= 0 then invalid_arg "Bucket.bucketize: num_buckets <= 0";
+  let upper = Array.fold_left Float.max 0. logits in
+  if upper = 0. then (Array.map (fun _ -> 0) logits, 0.)
+  else
+    let delta = upper /. float_of_int num_buckets in
+    (* Nearest bucket: b = ceil(phi/delta - 1/2). *)
+    ( Array.map
+        (fun phi -> int_of_float (Float.ceil ((phi /. delta) -. 0.5)))
+        logits,
+      delta )
+
+let validate_quality q =
+  if q < 0. || q > 1. || Float.is_nan q then
+    invalid_arg "Bucket.estimate: quality outside [0, 1]"
+
+(* Core of Algorithm 1, after prior folding and canonicalization: all
+   qualities lie in [0.5, 1). *)
+let run ~num_buckets ~pruning qualities =
+  let n = Array.length qualities in
+  let logits = Array.map Prob.Log_space.logit qualities in
+  let buckets, delta = bucketize ~num_buckets logits in
+  let upper = Array.fold_left Float.max 0. logits in
+  (* Process large buckets first so pruning settles pairs as early as
+     possible (Algorithm 1 steps 2-3 sort both arrays in decreasing order). *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match compare buckets.(j) buckets.(i) with
+      | 0 -> compare qualities.(j) qualities.(i)
+      | c -> c)
+    order;
+  let sorted_buckets = Array.map (fun i -> buckets.(i)) order in
+  let sorted_qualities = Array.map (fun i -> qualities.(i)) order in
+  let aggregate = Prune.aggregate_buckets sorted_buckets in
+  let settled = Prob.Kahan.create () in
+  let pruned_pairs = ref 0 in
+  let max_map_size = ref 1 in
+  let current = ref (Hashtbl.create 64) in
+  Hashtbl.add !current 0 1.0;
+  for i = 0 to n - 1 do
+    let next = Hashtbl.create (2 * Hashtbl.length !current) in
+    let bump key mass =
+      match Hashtbl.find_opt next key with
+      | Some prob -> Hashtbl.replace next key (prob +. mass)
+      | None -> Hashtbl.add next key mass
+    in
+    let b = sorted_buckets.(i) and q = sorted_qualities.(i) in
+    Hashtbl.iter
+      (fun key prob ->
+        let verdict =
+          if pruning then Prune.prune ~key ~remaining_swing:aggregate.(i)
+          else Prune.Keep
+        in
+        match verdict with
+        | Prune.Settled fraction ->
+            incr pruned_pairs;
+            Prob.Kahan.add settled (fraction *. prob)
+        | Prune.Keep ->
+            bump (key + b) (prob *. q);
+            bump (key - b) (prob *. (1. -. q)))
+      !current;
+    current := next;
+    if Hashtbl.length next > !max_map_size then max_map_size := Hashtbl.length next
+  done;
+  let acc = Prob.Kahan.create () in
+  Prob.Kahan.add acc (Prob.Kahan.total settled);
+  Hashtbl.iter
+    (fun key prob ->
+      if key > 0 then Prob.Kahan.add acc prob
+      else if key = 0 then Prob.Kahan.add acc (0.5 *. prob))
+    !current;
+  let value = Float.min 1. (Float.max 0. (Prob.Kahan.total acc)) in
+  {
+    value;
+    upper;
+    delta;
+    max_map_size = !max_map_size;
+    pruned_pairs = !pruned_pairs;
+    error_bound = Bounds.additive_bound ~upper ~num_buckets ~n;
+  }
+
+let trivial value =
+  {
+    value;
+    upper = 0.;
+    delta = 0.;
+    max_map_size = 0;
+    pruned_pairs = 0;
+    error_bound = 0.;
+  }
+
+let estimate_stats ?(num_buckets = default_num_buckets) ?(pruning = true)
+    ?(high_quality_shortcut = true) ?(alpha = 0.5) qualities =
+  if Array.length qualities = 0 then invalid_arg "Bucket.estimate: empty jury";
+  if num_buckets <= 0 then invalid_arg "Bucket.estimate: num_buckets <= 0";
+  Array.iter validate_quality qualities;
+  if Prior.is_degenerate alpha then trivial 1.0
+  else begin
+    let folded = Prior.fold ~alpha qualities in
+    let canonical = Reinterpret.canonical_qualities folded in
+    if Array.exists (fun q -> q = 1.) canonical then trivial 1.0
+    else begin
+      let top = Array.fold_left Float.max 0.5 canonical in
+      if high_quality_shortcut && top > 0.99 then
+        (* §4.4: JQ already exceeds this single quality (Lemma 1), which is
+           within 1% of 1; avoid bucketing a near-unbounded logit range. *)
+        { (trivial top) with error_bound = 1. -. top }
+      else run ~num_buckets ~pruning canonical
+    end
+  end
+
+let estimate ?num_buckets ?pruning ?high_quality_shortcut ?alpha qualities =
+  (estimate_stats ?num_buckets ?pruning ?high_quality_shortcut ?alpha qualities)
+    .value

@@ -1,0 +1,63 @@
+open Voting
+
+let max_jury = 20
+
+let likelihoods ~qualities voting =
+  if Array.length qualities <> Array.length voting then
+    invalid_arg "Exact.likelihoods: lengths differ";
+  let p0 = ref 1. and p1 = ref 1. in
+  Array.iteri
+    (fun i v ->
+      let q = qualities.(i) in
+      match (v : Vote.t) with
+      | Vote.No ->
+          p0 := !p0 *. q;
+          p1 := !p1 *. (1. -. q)
+      | Vote.Yes ->
+          p0 := !p0 *. (1. -. q);
+          p1 := !p1 *. q)
+    voting;
+  (!p0, !p1)
+
+let check ~alpha ~qualities =
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Exact.jq: alpha outside [0, 1]";
+  if Array.length qualities > max_jury then
+    invalid_arg "Exact.jq: jury too large for exact enumeration"
+
+let jq strategy ~alpha ~qualities =
+  check ~alpha ~qualities;
+  let n = Array.length qualities in
+  let acc = Prob.Kahan.create () in
+  Seq.iter
+    (fun v ->
+      let p0, p1 = likelihoods ~qualities v in
+      let h = Strategy.prob_decide_no (Strategy.decide strategy ~alpha ~qualities v) in
+      Prob.Kahan.add acc ((alpha *. p0 *. h) +. ((1. -. alpha) *. p1 *. (1. -. h))))
+    (Vote.enumerate n);
+  Prob.Kahan.total acc
+
+let jq_optimal ~alpha ~qualities =
+  check ~alpha ~qualities;
+  let n = Array.length qualities in
+  let acc = Prob.Kahan.create () in
+  Seq.iter
+    (fun v ->
+      let p0, p1 = likelihoods ~qualities v in
+      Prob.Kahan.add acc (Float.max (alpha *. p0) ((1. -. alpha) *. p1)))
+    (Vote.enumerate n);
+  Prob.Kahan.total acc
+
+let jq_table strategy ~alpha ~qualities =
+  check ~alpha ~qualities;
+  let n = Array.length qualities in
+  List.of_seq
+    (Seq.map
+       (fun v ->
+         let p0, p1 = likelihoods ~qualities v in
+         let h = Strategy.prob_decide_no (Strategy.decide strategy ~alpha ~qualities v) in
+         let contribution =
+           (alpha *. p0 *. h) +. ((1. -. alpha) *. p1 *. (1. -. h))
+         in
+         (v, alpha *. p0, (1. -. alpha) *. p1, contribution))
+       (Vote.enumerate n))

@@ -1,0 +1,32 @@
+(** Exact Jury Quality by full enumeration (Definition 3).
+
+    JQ(J, S, α) = Σ_V [ α·Pr(V|t=0)·E[1(S(V)=0)] + (1−α)·Pr(V|t=1)·E[1(S(V)=1)] ].
+
+    Exponential in the jury size — this is the ground truth the
+    approximation algorithm (and the NP-hardness discussion of §4.1) is
+    measured against, usable for juries up to ~20 workers. *)
+
+val max_jury : int
+(** Largest jury size accepted (20). *)
+
+val likelihoods : qualities:float array -> Voting.Vote.voting -> float * float
+(** [(Pr(V | t = 0), Pr(V | t = 1))] under vote independence (§3.2):
+    Pr(V|t=0) = Π q^(1−v)(1−q)^v and symmetrically for t = 1. *)
+
+val jq : Voting.Strategy.t -> alpha:float -> qualities:float array -> float
+(** Exact JQ of a strategy.  @raise Invalid_argument when the jury exceeds
+    {!max_jury} or alpha lies outside [0, 1]. *)
+
+val jq_optimal : alpha:float -> qualities:float array -> float
+(** Exact JQ of the optimal strategy without going through the strategy
+    interface: Σ_V max(P0(V), P1(V)).  Equal to [jq Bayesian.strategy] —
+    a property test pins the equality — but twice as fast, and the form
+    used in correctness arguments. *)
+
+val jq_table :
+  Voting.Strategy.t ->
+  alpha:float ->
+  qualities:float array ->
+  (Voting.Vote.voting * float * float * float) list
+(** Per-voting breakdown [(V, P0(V), P1(V), contribution)] — the rows of
+    the paper's Figure 2 worked example. *)

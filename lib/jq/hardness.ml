@@ -1,0 +1,67 @@
+let validate instance =
+  if instance = [] then invalid_arg "Hardness: empty instance";
+  List.iter
+    (fun a -> if a <= 0 then invalid_arg "Hardness: integers must be positive")
+    instance
+
+let jury_of_instance ?(delta = 1e-3) instance =
+  validate instance;
+  if delta <= 0. then invalid_arg "Hardness: delta must be positive";
+  Array.of_list
+    (List.map (fun a -> 1. /. (1. +. exp (-.(float_of_int a *. delta)))) instance)
+
+(* The exact (key, prob) map of section 4.2 with integer keys a_i instead of
+   bucketized logits: worker i votes 0 with probability q_i (key += a_i) or
+   1 with probability 1 - q_i (key -= a_i). *)
+let signed_sum_map instance =
+  let qualities = jury_of_instance instance in
+  let current = Hashtbl.create 64 in
+  Hashtbl.add current 0 1.0;
+  let state = ref current in
+  List.iteri
+    (fun i a ->
+      let q = qualities.(i) in
+      let next = Hashtbl.create (2 * Hashtbl.length !state) in
+      let bump key mass =
+        match Hashtbl.find_opt next key with
+        | Some prob -> Hashtbl.replace next key (prob +. mass)
+        | None -> Hashtbl.add next key mass
+      in
+      Hashtbl.iter
+        (fun key prob ->
+          bump (key + a) (prob *. q);
+          bump (key - a) (prob *. (1. -. q)))
+        !state;
+      state := next)
+    instance;
+  !state
+
+let signed_sums instance =
+  validate instance;
+  let map = signed_sum_map instance in
+  List.sort compare (Hashtbl.fold (fun k p acc -> (k, p) :: acc) map [])
+
+let tie_mass instance =
+  validate instance;
+  match Hashtbl.find_opt (signed_sum_map instance) 0 with
+  | Some mass -> mass
+  | None -> 0.
+
+let partitionable_via_jq instance = tie_mass instance > 0.
+
+let partitionable_direct instance =
+  validate instance;
+  let total = List.fold_left ( + ) 0 instance in
+  if total mod 2 = 1 then false
+  else begin
+    let target = total / 2 in
+    let reachable = Array.make (target + 1) false in
+    reachable.(0) <- true;
+    List.iter
+      (fun a ->
+        for s = target downto a do
+          if reachable.(s - a) then reachable.(s) <- true
+        done)
+      instance;
+    reachable.(target)
+  end

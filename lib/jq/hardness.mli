@@ -1,0 +1,38 @@
+(** The NP-hardness reduction behind Theorem 2, executable.
+
+    §4.1 proves that computing JQ(J, BV, 0.5) is NP-hard by reducing the
+    Partition problem to it: given positive integers a_1..a_n, build a jury
+    whose i-th worker has logit φ(q_i) proportional to a_i, i.e.
+    q_i = σ(a_i·δ).  Then R(V) = Σ (1 − 2 v_i)·φ(q_i) = δ·Σ ± a_i, so some
+    voting V has R(V) = 0 — the case Definition 3 must split in half —
+    exactly when the multiset admits an equal-sum partition.  Detecting
+    whether that "tie mass" is zero is therefore as hard as Partition.
+
+    This module constructs the reduction and exposes both sides: the
+    tie-mass detector driven by the same signed-sum dynamic programming the
+    bucket algorithm uses, and an independent subset-sum decision procedure,
+    so tests can confirm they always agree. *)
+
+val jury_of_instance : ?delta:float -> int list -> float array
+(** [jury_of_instance [a1; ...; an]] is the quality vector
+    [q_i = 1 / (1 + exp(−a_i·δ))] (δ defaults to 1e-3; any positive value
+    yields the same signed-sum structure).
+    @raise Invalid_argument on an empty list or non-positive integers. *)
+
+val tie_mass : int list -> float
+(** The probability mass Pr(V | t = 0) carried by votings with R(V) = 0
+    for the constructed jury — strictly positive iff the instance
+    partitions.  Computed by the exact signed-sum map (no bucketing error:
+    the keys are the integers themselves). *)
+
+val partitionable_via_jq : int list -> bool
+(** [tie_mass instance > 0]. *)
+
+val partitionable_direct : int list -> bool
+(** Classic pseudo-polynomial subset-sum decision: is there a subset whose
+    sum is half the total?  (False when the total is odd.) *)
+
+val signed_sums : int list -> (int * float) list
+(** All reachable signed sums Σ ± a_i with the probability mass of the
+    corresponding votings under t = 0, sorted by key — the exact analogue
+    of Algorithm 1's (key, prob) map. *)

@@ -1,0 +1,82 @@
+type t = {
+  delta : float;              (* Fixed bucket width: phi(0.99) / num_buckets. *)
+  num_buckets : int;
+  mutable map : (int, float) Hashtbl.t;
+  mutable n : int;            (* Workers folded in, excluding the prior. *)
+  mutable certain : bool;     (* A quality-1 worker arrived: JQ = 1 forever. *)
+  alpha : float;
+}
+
+let fold_quality t q =
+  (* Reinterpretation first (sub-0.5 workers flip), then bucketize against
+     the fixed width; qualities at the 0.99 cap land on the top bucket. *)
+  let q = Float.max q (1. -. q) in
+  if q >= 0.99 then (t.num_buckets, Float.min q 0.99)
+  else
+    let phi = Prob.Log_space.logit q in
+    (int_of_float (Float.ceil ((phi /. t.delta) -. 0.5)), q)
+
+let push t quality =
+  if quality = 0.5 then ()
+    (* A coin shifts no key and splits mass 50/50 onto the same key: the
+       map is unchanged up to a factor that cancels, so skip it. *)
+  else begin
+    let bucket, q = fold_quality t quality in
+    let next = Hashtbl.create (2 * Hashtbl.length t.map) in
+    let bump key mass =
+      match Hashtbl.find_opt next key with
+      | Some prob -> Hashtbl.replace next key (prob +. mass)
+      | None -> Hashtbl.add next key mass
+    in
+    Hashtbl.iter
+      (fun key prob ->
+        bump (key + bucket) (prob *. q);
+        bump (key - bucket) (prob *. (1. -. q)))
+      t.map;
+    t.map <- next
+  end
+
+let create ?(num_buckets = Bucket.default_num_buckets) ?(alpha = 0.5) () =
+  if num_buckets <= 0 then invalid_arg "Incremental.create: num_buckets <= 0";
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Incremental.create: alpha outside [0, 1]";
+  let map = Hashtbl.create 64 in
+  Hashtbl.add map 0 1.0;
+  let t =
+    {
+      delta = Prob.Log_space.logit 0.99 /. float_of_int num_buckets;
+      num_buckets;
+      map;
+      n = 0;
+      certain = Prior.is_degenerate alpha;
+      alpha;
+    }
+  in
+  if (not t.certain) && alpha <> 0.5 then push t alpha;
+  t
+
+let add_worker t quality =
+  if quality < 0. || quality > 1. || Float.is_nan quality then
+    invalid_arg "Incremental.add_worker: quality outside [0, 1]";
+  if quality = 0. || quality = 1. then t.certain <- true
+  else if not t.certain then push t quality;
+  t.n <- t.n + 1
+
+let value t =
+  if t.certain then 1.
+  else if t.n = 0 then Float.max t.alpha (1. -. t.alpha)
+  else begin
+    let acc = Prob.Kahan.create () in
+    Hashtbl.iter
+      (fun key prob ->
+        if key > 0 then Prob.Kahan.add acc prob
+        else if key = 0 then Prob.Kahan.add acc (0.5 *. prob))
+      t.map;
+    Float.min 1. (Float.max 0. (Prob.Kahan.total acc))
+  end
+
+let size t = t.n
+
+let error_bound t =
+  if t.n = 0 then 0.
+  else exp (float_of_int t.n *. t.delta /. 4.) -. 1.

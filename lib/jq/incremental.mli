@@ -1,0 +1,37 @@
+(** Anytime (incremental) JQ estimation.
+
+    Algorithm 1 processes a *fixed* jury; when workers arrive one at a time
+    — online collection, greedy jury growth — recomputing from scratch after
+    each arrival costs O(n) passes over the key map.  This module keeps the
+    (key, prob) map alive between arrivals: {!add_worker} folds one worker
+    in (one map pass), {!value} reads the current estimate.
+
+    One deliberate difference from {!Bucket}: the bucket width is fixed up
+    front from the global logit cap φ(0.99) rather than the jury's own
+    maximum logit (unknowable in advance), so a width-d·n guarantee is kept
+    by construction for any arrival order.  Estimates therefore differ from
+    {!Bucket.estimate}'s by at most the sum of both error bounds (a property
+    test pins this), and the ĴQ ≤ JQ direction still holds. *)
+
+type t
+(** Mutable accumulator over an implicit growing jury. *)
+
+val create : ?num_buckets:int -> ?alpha:float -> unit -> t
+(** Empty jury.  [num_buckets] defaults to {!Bucket.default_num_buckets};
+    a non-half prior is folded in as the usual pseudo-worker (Theorem 3).
+    @raise Invalid_argument for num_buckets <= 0 or alpha outside [0, 1]. *)
+
+val add_worker : t -> float -> unit
+(** Fold one worker of the given quality into the jury (sub-0.5 qualities
+    are reinterpreted as usual).
+    @raise Invalid_argument for a quality outside [0, 1]. *)
+
+val value : t -> float
+(** The current ĴQ: max(α, 1−α) while the jury is empty, 1 after a certain
+    worker (q ∈ {0, 1}) arrived, the map estimate otherwise. *)
+
+val size : t -> int
+(** Workers folded in so far (excluding the prior pseudo-worker). *)
+
+val error_bound : t -> float
+(** e^(n·δ/4) − 1 for the current size and the fixed bucket width. *)

@@ -1,0 +1,46 @@
+open Voting
+
+type estimate = {
+  value : float;
+  trials : int;
+  confidence_99 : float * float;
+}
+
+let hoeffding_halfwidth trials =
+  sqrt (log (2. /. 0.01) /. (2. *. float_of_int trials))
+
+let jq rng ~trials ~strategy ~alpha ~qualities =
+  if trials <= 0 then invalid_arg "Mc.jq: trials <= 0";
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Mc.jq: alpha outside [0, 1]";
+  Array.iter
+    (fun q ->
+      if q < 0. || q > 1. || Float.is_nan q then
+        invalid_arg "Mc.jq: quality outside [0, 1]")
+    qualities;
+  let n = Array.length qualities in
+  let correct = ref 0 in
+  let voting = Array.make n Vote.No in
+  for _ = 1 to trials do
+    let truth = if Prob.Rng.bernoulli rng alpha then Vote.No else Vote.Yes in
+    for i = 0 to n - 1 do
+      voting.(i) <-
+        (if Prob.Rng.bernoulli rng qualities.(i) then truth else Vote.flip truth)
+    done;
+    let answer = Strategy.run strategy rng ~alpha ~qualities voting in
+    if Vote.equal answer truth then incr correct
+  done;
+  let value = float_of_int !correct /. float_of_int trials in
+  let h = hoeffding_halfwidth trials in
+  {
+    value;
+    trials;
+    confidence_99 = (Float.max 0. (value -. h), Float.min 1. (value +. h));
+  }
+
+let jq_bv rng ~trials ~alpha ~qualities =
+  jq rng ~trials ~strategy:Bayesian.strategy ~alpha ~qualities
+
+let trials_for_halfwidth h =
+  if h <= 0. then invalid_arg "Mc.trials_for_halfwidth: h <= 0";
+  int_of_float (Float.ceil (log (2. /. 0.01) /. (2. *. h *. h)))

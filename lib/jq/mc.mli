@@ -1,0 +1,35 @@
+(** Monte-Carlo estimation of Jury Quality.
+
+    A sampling-based alternative to enumeration and bucketing: draw
+    (truth, voting) pairs from the generative model of §2.1 and count how
+    often the strategy answers correctly.  Unbiased for any strategy —
+    including randomized ones — with a Hoeffding confidence interval, at the
+    price of O(trials·n) work and sampling noise.  Used as an independent
+    cross-check of {!Exact} and {!Bucket} in tests and ablations. *)
+
+type estimate = {
+  value : float;           (** Fraction of correct aggregations. *)
+  trials : int;
+  confidence_99 : float * float;
+      (** Two-sided 99% Hoeffding interval: value ± sqrt(ln(2/0.01)/(2·trials)),
+          clipped to [0, 1]. *)
+}
+
+val jq :
+  Prob.Rng.t ->
+  trials:int ->
+  strategy:Voting.Strategy.t ->
+  alpha:float ->
+  qualities:float array ->
+  estimate
+(** Estimate JQ(J, S, α) by simulation.
+    @raise Invalid_argument for trials <= 0, alpha outside [0, 1], or
+    qualities outside [0, 1]. *)
+
+val jq_bv :
+  Prob.Rng.t -> trials:int -> alpha:float -> qualities:float array -> estimate
+(** {!jq} specialised to Bayesian Voting. *)
+
+val trials_for_halfwidth : float -> int
+(** Trials needed for a 99% Hoeffding half-width of at most the given value:
+    ⌈ln(2/0.01) / (2·h²)⌉.  @raise Invalid_argument for h <= 0. *)

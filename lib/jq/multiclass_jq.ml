@@ -1,0 +1,162 @@
+open Voting
+
+let prob_voting ~truth ~jury voting =
+  let p = ref 1. in
+  Array.iteri
+    (fun i v -> p := !p *. Workers.Confusion.prob jury.(i) ~truth ~vote:v)
+    voting;
+  !p
+
+let h_exact strategy ~truth ~prior ~jury =
+  let n = Array.length jury in
+  let l = Array.length prior in
+  let acc = Prob.Kahan.create () in
+  Seq.iter
+    (fun v ->
+      let mass = prob_voting ~truth ~jury v in
+      if mass > 0. then begin
+        let outcome = Multiclass.decide strategy ~prior ~jury v in
+        Prob.Kahan.add acc (mass *. Multiclass.prob_decide outcome truth)
+      end)
+    (Multiclass.enumerate_votings ~labels:l ~n);
+  Prob.Kahan.total acc
+
+let jq_exact strategy ~prior ~jury =
+  let acc = Prob.Kahan.create () in
+  Array.iteri
+    (fun truth alpha ->
+      if alpha > 0. then
+        Prob.Kahan.add acc (alpha *. h_exact strategy ~truth ~prior ~jury))
+    prior;
+  Prob.Kahan.total acc
+
+(* ---- Iterative tuple-key estimation (BV only) ---------------------- *)
+
+(* Keys saturate so that a label ruled out with certainty (log-ratio +inf)
+   stays ruled out under subsequent additions. *)
+let saturation = max_int / 4
+
+let saturating_add a b =
+  let s = a + b in
+  if s > saturation then saturation
+  else if s < -saturation then -saturation
+  else s
+
+let log_ratio num den =
+  if num = 0. then neg_infinity
+  else if den = 0. then infinity
+  else log (num /. den)
+
+(* Per-worker, per-vote expansion data: the probability of that vote under
+   the assumed truth, and the increment vector d.(j) =
+   ln C(truth, v) − ln C(j, v); plus the prior's constant vector. *)
+type expansion = { mass : float; increment : float array }
+
+let increments ~truth ~prior ~jury =
+  let l = Array.length prior in
+  let prior_vec =
+    Array.init l (fun j -> if j = truth then 0. else log_ratio prior.(truth) prior.(j))
+  in
+  let worker_vecs =
+    Array.map
+      (fun c ->
+        Array.init l (fun v ->
+            {
+              mass = Workers.Confusion.prob c ~truth ~vote:v;
+              increment =
+                Array.init l (fun j ->
+                    if j = truth then 0.
+                    else
+                      log_ratio
+                        (Workers.Confusion.prob c ~truth ~vote:v)
+                        (Workers.Confusion.prob c ~truth:j ~vote:v));
+            }))
+      jury
+  in
+  (prior_vec, worker_vecs)
+
+let max_abs_finite acc x =
+  if Float.is_finite x then Float.max acc (Float.abs x) else acc
+
+let bucketize_value ~delta x =
+  if x = infinity then saturation
+  else if x = neg_infinity then -saturation
+  else if delta = 0. then 0
+  else int_of_float (Float.round (x /. delta))
+
+(* BV (argmax with smallest-label ties) picks [truth] iff the key is
+   strictly positive against every smaller label and nonnegative against
+   every larger one. *)
+let accepts ~truth key =
+  let ok = ref true in
+  Array.iteri
+    (fun j k ->
+      if j < truth then begin if k <= 0 then ok := false end
+      else if j > truth then if k < 0 then ok := false)
+    key;
+  !ok
+
+let h_estimate ?(num_buckets = Bucket.default_num_buckets) ~truth ~prior jury =
+  let l = Array.length prior in
+  if truth < 0 || truth >= l then invalid_arg "Multiclass_jq.h_estimate: truth";
+  if num_buckets <= 0 then invalid_arg "Multiclass_jq.h_estimate: num_buckets";
+  if prior.(truth) = 0. then 0.
+  else begin
+    let prior_vec, worker_vecs = increments ~truth ~prior ~jury in
+    let upper =
+      let m = Array.fold_left max_abs_finite 0. prior_vec in
+      Array.fold_left
+        (fun acc per_vote ->
+          Array.fold_left
+            (fun acc e -> Array.fold_left max_abs_finite acc e.increment)
+            acc per_vote)
+        m worker_vecs
+    in
+    let delta = if upper = 0. then 0. else upper /. float_of_int num_buckets in
+    let initial_key = Array.map (fun x -> bucketize_value ~delta x) prior_vec in
+    let current = Hashtbl.create 64 in
+    (* Keys track the bucketized log-ratios; masses track Pr(V^k | truth),
+       so the prior's alpha_truth factor is not part of the mass (H sums
+       plain conditional probabilities). *)
+    Hashtbl.add current initial_key 1.0;
+    let state = ref current in
+    Array.iter
+      (fun per_vote ->
+        let next = Hashtbl.create (2 * Hashtbl.length !state) in
+        let bump key mass =
+          match Hashtbl.find_opt next key with
+          | Some prob -> Hashtbl.replace next key (prob +. mass)
+          | None -> Hashtbl.add next key mass
+        in
+        Hashtbl.iter
+          (fun key prob ->
+            Array.iter
+              (fun e ->
+                if e.mass > 0. then begin
+                  let key' =
+                    Array.mapi
+                      (fun j k ->
+                        saturating_add k (bucketize_value ~delta e.increment.(j)))
+                      key
+                  in
+                  bump key' (prob *. e.mass)
+                end)
+              per_vote)
+          !state;
+        state := next)
+      worker_vecs;
+    let acc = Prob.Kahan.create () in
+    Hashtbl.iter
+      (fun key prob -> if accepts ~truth key then Prob.Kahan.add acc prob)
+      !state;
+    Float.min 1. (Float.max 0. (Prob.Kahan.total acc))
+  end
+
+let estimate_bv ?num_buckets ~prior jury =
+  let acc = Prob.Kahan.create () in
+  Array.iteri
+    (fun truth alpha ->
+      if alpha > 0. then
+        Prob.Kahan.add acc (alpha *. h_estimate ?num_buckets ~truth ~prior jury))
+    prior;
+  Prob.Kahan.total acc

@@ -1,0 +1,47 @@
+(** Jury Quality for multi-choice tasks with confusion-matrix workers (§7).
+
+    JQ generalizes to Σ_t′ α_t′ · H(t′) with
+    H(t′) = Σ_V Pr(V | t = t′) · E[1(S(V) = t′)]  (Equation 11).
+
+    Two computations are provided: exact enumeration over the ℓ^n votings,
+    and the paper's iterative tuple-key scheme for BV — the key of a
+    partial voting is the vector of bucketized log-ratios
+    ln (Pr(V|t′)·α_t′) / (Pr(V|j)·α_j) over labels j, which BV accepts for
+    t′ exactly when every component is ≥ 0 (with the tie convention of
+    {!Voting.Multiclass.bayesian}: strict for j < t′). *)
+
+val jq_exact :
+  Voting.Multiclass.t ->
+  prior:float array ->
+  jury:Workers.Confusion.t array ->
+  float
+(** Exact multi-class JQ of a strategy by enumeration.
+    @raise Invalid_argument when ℓ^n exceeds the {!Voting.Multiclass.enumerate_votings}
+    limit or the model is inconsistent. *)
+
+val h_exact :
+  Voting.Multiclass.t ->
+  truth:int ->
+  prior:float array ->
+  jury:Workers.Confusion.t array ->
+  float
+(** H(truth) by enumeration. *)
+
+val estimate_bv :
+  ?num_buckets:int ->
+  prior:float array ->
+  Workers.Confusion.t array ->
+  float
+(** [estimate_bv ~prior jury] — iterative tuple-key estimate of JQ under
+    multi-class BV (numBuckets defaults to {!Bucket.default_num_buckets}).
+    With ℓ = 2 and symmetric binary matrices this agrees with
+    {!Bucket.estimate} (property-tested). *)
+
+val h_estimate :
+  ?num_buckets:int ->
+  truth:int ->
+  prior:float array ->
+  Workers.Confusion.t array ->
+  float
+(** [h_estimate ~truth ~prior jury] — iterative tuple-key estimate of
+    H(truth) under BV. *)

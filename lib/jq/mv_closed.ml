@@ -1,0 +1,39 @@
+let check qualities =
+  Array.iter
+    (fun q ->
+      if q < 0. || q > 1. || Float.is_nan q then
+        invalid_arg "Mv_closed: quality outside [0, 1]")
+    qualities
+
+(* The count of truthful votes is PB(qualities) whichever the truth is; only
+   the winning threshold depends on the truth because of tie-breaking. *)
+let jq ~alpha ~qualities =
+  check qualities;
+  if alpha < 0. || alpha > 1. then invalid_arg "Mv_closed.jq: alpha";
+  let n = Array.length qualities in
+  (* MV on the empty voting returns 1 (0 zeros < 1/2): correct iff t = 1. *)
+  if n = 0 then 1. -. alpha
+  else begin
+    let strict = Prob.Poisson_binomial.tail_at_least qualities ((n / 2) + 1) in
+    if n mod 2 = 1 then strict
+    else
+      let with_tie = Prob.Poisson_binomial.tail_at_least qualities (n / 2) in
+      (alpha *. strict) +. ((1. -. alpha) *. with_tie)
+  end
+
+let jq_tie_coin qualities =
+  check qualities;
+  Prob.Poisson_binomial.majority_correct qualities
+
+let jq_half ~alpha ~qualities =
+  check qualities;
+  if alpha < 0. || alpha > 1. then invalid_arg "Mv_closed.jq_half: alpha";
+  let n = Array.length qualities in
+  if n = 0 then alpha
+  else begin
+    let strict = Prob.Poisson_binomial.tail_at_least qualities ((n / 2) + 1) in
+    if n mod 2 = 1 then strict
+    else
+      let with_tie = Prob.Poisson_binomial.tail_at_least qualities (n / 2) in
+      (alpha *. with_tie) +. ((1. -. alpha) *. strict)
+  end

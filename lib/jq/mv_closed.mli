@@ -1,0 +1,22 @@
+(** Closed-form JQ under Majority Voting.
+
+    Under MV the jury is correct exactly when enough workers vote the truth,
+    and the number of truthful votes is Poisson–binomial in the qualities.
+    This is the polynomial-time JQ computation available to MVJS ([7],
+    discussed in §4.1) — no enumeration, O(n²) via the DP in
+    {!Prob.Poisson_binomial}. *)
+
+val jq : alpha:float -> qualities:float array -> float
+(** JQ(J, MV, α) for the paper's MV (Example 1: ties on an even jury go to
+    answer 1):
+    α · Pr(correct ≥ ⌊n/2⌋+1 | t=0) + (1−α) · Pr(correct ≥ ⌈n/2⌉ | t=1).
+    For odd juries the two thresholds coincide and the result is
+    α-independent. *)
+
+val jq_tie_coin : float array -> float
+(** JQ of MV with coin-flip tie-breaking: Pr(correct > n/2) + ½·Pr(tie).
+    Independent of the prior (the correct-vote count has the same law under
+    both truths). *)
+
+val jq_half : alpha:float -> qualities:float array -> float
+(** JQ of Half Voting (ties go to answer 0) — the mirror image of {!jq}. *)

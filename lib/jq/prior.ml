@@ -1,0 +1,6 @@
+let fold ~alpha qs =
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Prior.fold: alpha outside [0, 1]";
+  if alpha = 0.5 then Array.copy qs else Array.append qs [| alpha |]
+
+let is_degenerate alpha = alpha = 0. || alpha = 1.

@@ -1,0 +1,15 @@
+(** Incorporating the task provider's prior (Theorem 3, §4.5).
+
+    JQ(J, BV, α) = JQ(J ∪ {pseudo-worker of quality α}, BV, 0.5): the prior
+    behaves exactly like one more juror whose "vote" is the belief itself.
+    All α-aware JQ computation funnels through {!fold}. *)
+
+val fold : alpha:float -> float array -> float array
+(** [fold ~alpha qs] is the quality vector of the α = 0.5 equivalent jury:
+    [qs] itself when α = 0.5 (the pseudo-worker would be a coin and coins
+    never change BV's decision), otherwise [qs] with α appended.
+    @raise Invalid_argument for α outside [0, 1]. *)
+
+val is_degenerate : float -> bool
+(** α ∈ {0, 1}: the prior already decides the task, so JQ(J, BV, α) = 1 for
+    every jury. *)

@@ -1,0 +1,14 @@
+let aggregate_buckets b =
+  let n = Array.length b in
+  let aggregate = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    aggregate.(i) <- b.(i) + (if i = n - 1 then 0 else aggregate.(i + 1))
+  done;
+  aggregate
+
+type verdict = Keep | Settled of float
+
+let prune ~key ~remaining_swing =
+  if key > 0 && key - remaining_swing > 0 then Settled 1.
+  else if key < 0 && key + remaining_swing < 0 then Settled 0.
+  else Keep

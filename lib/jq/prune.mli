@@ -1,0 +1,23 @@
+(** Algorithm 2: the pruning companion to EstimateJQ.
+
+    During the iterative key expansion, a partial key whose sign can no
+    longer change — because the remaining workers' buckets cannot overcome
+    it — is settled immediately: a permanently positive key contributes its
+    whole probability mass (completions of a prefix have total conditional
+    mass 1), a permanently negative key contributes nothing. *)
+
+val aggregate_buckets : int array -> int array
+(** [aggregate_buckets b] is the suffix-sum array:
+    [aggregate.(i) = b.(i) + b.(i+1) + ... + b.(n-1)] — the maximum swing
+    the workers from position [i] on can still apply to a key. *)
+
+type verdict =
+  | Keep                   (** Sign still undecided; keep expanding. *)
+  | Settled of float       (** Contribution is decided: this fraction of the
+                               pair's probability mass joins the estimate. *)
+
+val prune : key:int -> remaining_swing:int -> verdict
+(** Decision rule of Algorithm 2's [Prune]:
+    [key > 0] and [key − remaining_swing > 0] → [Settled 1.];
+    [key < 0] and [key + remaining_swing < 0] → [Settled 0.];
+    otherwise [Keep]. *)

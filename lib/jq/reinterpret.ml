@@ -1,0 +1,22 @@
+open Voting
+
+let canonicalize qs =
+  Array.iter
+    (fun q ->
+      if q < 0. || q > 1. || Float.is_nan q then
+        invalid_arg "Reinterpret.canonicalize: quality outside [0, 1]")
+    qs;
+  let flipped = Array.map (fun q -> q < 0.5) qs in
+  let canonical = Array.map (fun q -> Float.max q (1. -. q)) qs in
+  (canonical, flipped)
+
+let canonical_qualities qs = fst (canonicalize qs)
+
+let apply_flips flipped voting =
+  if Array.length flipped <> Array.length voting then
+    invalid_arg "Reinterpret.apply_flips: lengths differ";
+  Array.mapi (fun i v -> if flipped.(i) then Vote.flip v else v) voting
+
+let flipping_majority flipped =
+  Strategy.make ~name:"MV-flip" (fun ~alpha ~qualities voting ->
+      Strategy.decide Classic.majority ~alpha ~qualities (apply_flips flipped voting))

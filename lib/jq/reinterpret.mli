@@ -1,0 +1,25 @@
+(** Handling workers with quality below 0.5 (§3.3).
+
+    A worker of quality q < 0.5 is informative in the negative: BV can
+    treat her vote v as the opposite vote 1 − v from a worker of quality
+    1 − q > 0.5.  Because JQ sums over all votings and the flip is a
+    bijection of the voting space, the reinterpretation leaves
+    JQ(J, BV, α) unchanged — so the bucket algorithm, which needs
+    φ(q) ≥ 0, first canonicalizes through this module. *)
+
+val canonicalize : float array -> float array * bool array
+(** [canonicalize qs] is [(qs', flipped)] with [qs'.(i) = max qs.(i) (1 - qs.(i))]
+    and [flipped.(i)] marking the workers whose votes must be inverted when
+    the canonical jury is used on real votes.
+    @raise Invalid_argument on qualities outside [0, 1]. *)
+
+val canonical_qualities : float array -> float array
+(** First component of {!canonicalize}. *)
+
+val apply_flips : bool array -> Voting.Vote.voting -> Voting.Vote.voting
+(** Invert the marked votes (fresh array). *)
+
+val flipping_majority : bool array -> Voting.Strategy.t
+(** MV run on flip-corrected votes — the §3.3 recipe "for MV, we can regard
+    vote 0 as 1 and vote 1 as 0 if the vote is given by a worker whose
+    quality is less than 0.5". *)

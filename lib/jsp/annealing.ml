@@ -1,0 +1,139 @@
+type params = {
+  t_initial : float;
+  epsilon : float;
+  cooling : float;
+  moves_per_temp : int option;
+  keep_best : bool;
+}
+
+let default_params =
+  {
+    t_initial = 1.0;
+    epsilon = 1e-8;
+    cooling = 2.0;
+    moves_per_temp = None;
+    keep_best = true;
+  }
+
+let validate_params p =
+  if p.epsilon <= 0. then invalid_arg "Annealing: epsilon <= 0";
+  if p.cooling <= 1. then invalid_arg "Annealing: cooling <= 1";
+  if p.t_initial < p.epsilon then invalid_arg "Annealing: t_initial < epsilon"
+
+(* Mutable search state over the candidate pool: selection flags, the spent
+   budget, and the cached objective value of the current jury. *)
+type state = {
+  workers : Workers.Worker.t array;
+  selected : bool array;
+  mutable spent : float;
+  mutable score : float;
+  mutable evaluations : int;
+}
+
+let current_jury st =
+  let members = ref [] in
+  for i = Array.length st.workers - 1 downto 0 do
+    if st.selected.(i) then members := st.workers.(i) :: !members
+  done;
+  Workers.Pool.of_list !members
+
+let jury_without_with st ~out ~into =
+  let members = ref [] in
+  for i = Array.length st.workers - 1 downto 0 do
+    let keep = if i = out then false else if i = into then true else st.selected.(i) in
+    if keep then members := st.workers.(i) :: !members
+  done;
+  Workers.Pool.of_list !members
+
+let selected_indexes st =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if s then acc := i :: !acc) st.selected;
+  !acc
+
+let unselected_indexes st =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if not s then acc := i :: !acc) st.selected;
+  !acc
+
+let evaluate (objective : Objective.t) st ~alpha jury =
+  st.evaluations <- st.evaluations + 1;
+  objective.score ~alpha jury
+
+(* Algorithm 4.  [r] was drawn by the caller; we pair it with a random
+   selected (resp. unselected) partner and accept by the Boltzmann rule. *)
+let swap objective st ~alpha ~budget ~temperature rng r =
+  let pick_from = if st.selected.(r) then unselected_indexes st else selected_indexes st in
+  match pick_from with
+  | [] -> ()
+  | candidates ->
+      let k = List.nth candidates (Prob.Rng.int rng (List.length candidates)) in
+      let out, into = if st.selected.(r) then (r, k) else (k, r) in
+      let cost_out = Workers.Worker.cost st.workers.(out) in
+      let cost_into = Workers.Worker.cost st.workers.(into) in
+      if st.spent -. cost_out +. cost_into <= budget +. 1e-9 then begin
+        let candidate = jury_without_with st ~out ~into in
+        let candidate_score = evaluate objective st ~alpha candidate in
+        let delta = candidate_score -. st.score in
+        let accept =
+          delta >= 0.
+          || Prob.Rng.unit_float rng < exp (delta /. temperature)
+        in
+        if accept then begin
+          st.selected.(out) <- false;
+          st.selected.(into) <- true;
+          st.spent <- st.spent -. cost_out +. cost_into;
+          st.score <- candidate_score
+        end
+      end
+
+let solve ?(params = default_params) (objective : Objective.t) ~rng ~alpha ~budget
+    pool =
+  Budget.validate budget;
+  validate_params params;
+  let workers = Workers.Pool.to_array pool in
+  let n = Array.length workers in
+  let st =
+    {
+      workers;
+      selected = Array.make n false;
+      spent = 0.;
+      score = 0.;
+      evaluations = 0;
+    }
+  in
+  st.score <- evaluate objective st ~alpha (current_jury st);
+  let best_jury = ref (current_jury st) in
+  let best_score = ref st.score in
+  let remember () =
+    if st.score > !best_score then begin
+      best_score := st.score;
+      best_jury := current_jury st
+    end
+  in
+  let moves = match params.moves_per_temp with Some m -> m | None -> n in
+  let temperature = ref params.t_initial in
+  while !temperature >= params.epsilon && n > 0 do
+    for _ = 1 to moves do
+      let r = Prob.Rng.int rng n in
+      if (not st.selected.(r)) && st.spent +. Workers.Worker.cost workers.(r) <= budget +. 1e-9
+      then begin
+        (* Lemma 1: a free addition can only help; accept unconditionally. *)
+        st.selected.(r) <- true;
+        st.spent <- st.spent +. Workers.Worker.cost workers.(r);
+        st.score <- evaluate objective st ~alpha (current_jury st)
+      end
+      else swap objective st ~alpha ~budget ~temperature:!temperature rng r;
+      remember ()
+    done;
+    temperature := !temperature /. params.cooling
+  done;
+  if params.keep_best then
+    { Solver.jury = !best_jury; score = !best_score; evaluations = st.evaluations }
+  else
+    { Solver.jury = current_jury st; score = st.score; evaluations = st.evaluations }
+
+let solve_optjs ?params ?num_buckets ~rng ~alpha ~budget pool =
+  solve ?params (Objective.bv_bucket ?num_buckets ()) ~rng ~alpha ~budget pool
+
+let solve_mvjs ?params ~rng ~alpha ~budget pool =
+  solve ?params Objective.mv_closed ~rng ~alpha ~budget pool

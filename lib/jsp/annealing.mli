@@ -1,0 +1,58 @@
+(** Simulated-annealing JSP solver (Algorithms 3 and 4, §5.1).
+
+    Locations are juries; the objective value is the (estimated) JQ.  A
+    temperature T starts at 1.0 and halves until it drops below ε
+    (paper default 1e-8).  At each temperature, N local searches run: a
+    random worker r is either added outright when the budget allows
+    (Lemma 1 — more workers never hurt BV), or proposed in a swap against a
+    random selected/unselected partner (Algorithm 4); a swap that lowers JQ
+    by Δ is still accepted with probability exp(−Δ/T) (Boltzmann), which
+    lets the search escape local optima. *)
+
+type params = {
+  t_initial : float;      (** Starting temperature (paper: 1.0). *)
+  epsilon : float;        (** Stop once T < ε (paper: 1e-8). *)
+  cooling : float;        (** Divisor applied to T per phase (paper: 2). *)
+  moves_per_temp : int option;
+      (** Local searches per temperature; [None] means the pool size N,
+          as in Algorithm 3's inner loop. *)
+  keep_best : bool;
+      (** Return the best jury seen rather than the final one (default
+          [true]; the final-state behaviour of the literal pseudo-code is
+          available with [false]). *)
+}
+
+val default_params : params
+
+val solve :
+  ?params:params ->
+  Objective.t ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:Budget.t ->
+  Workers.Pool.t ->
+  Solver.result
+(** Run the annealer.  The result is always feasible.  Deterministic given
+    the [rng] state.  @raise Invalid_argument on invalid budget or params
+    (ε ≤ 0, cooling ≤ 1, t_initial ≤ ε). *)
+
+val solve_optjs :
+  ?params:params ->
+  ?num_buckets:int ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:Budget.t ->
+  Workers.Pool.t ->
+  Solver.result
+(** OPTJS: annealing over the bucket-approximated BV objective. *)
+
+val solve_mvjs :
+  ?params:params ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:Budget.t ->
+  Workers.Pool.t ->
+  Solver.result
+(** The MVJS baseline of the experiments: identical search, but the
+    objective is JQ under Majority Voting (closed form), i.e. [7]'s
+    argmax_J JQ(J, MV, α). *)

@@ -1,0 +1,22 @@
+type t = float
+
+let tolerance = 1e-9
+
+let validate b =
+  if b < 0. || Float.is_nan b then invalid_arg "Budget.validate: negative budget"
+
+let jury_cost = Workers.Pool.total_cost
+let feasible ~budget jury = jury_cost jury <= budget +. tolerance
+let remaining ~budget jury = budget -. jury_cost jury
+
+let affordable_workers ~budget ~spent pool =
+  Workers.Pool.filter (fun w -> spent +. Workers.Worker.cost w <= budget +. tolerance) pool
+
+let cheapest_cost pool =
+  if Workers.Pool.is_empty pool then None
+  else
+    Some
+      (Array.fold_left
+         (fun acc w -> Float.min acc (Workers.Worker.cost w))
+         infinity
+         (Workers.Pool.to_array pool))

@@ -1,0 +1,24 @@
+(** Budget feasibility (§2.2): a jury is feasible when its total cost does
+    not exceed the task provider's budget B. *)
+
+type t = float
+(** A budget in cost units; must be nonnegative. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on negative or NaN budgets. *)
+
+val jury_cost : Workers.Pool.t -> float
+(** Σ c_i over the jury (alias of {!Workers.Pool.total_cost}). *)
+
+val feasible : budget:t -> Workers.Pool.t -> bool
+(** Whether the jury fits the budget (with a 1e-9 tolerance so that juries
+    priced exactly at B are not rejected by rounding). *)
+
+val remaining : budget:t -> Workers.Pool.t -> float
+(** Budget left after paying the jury (may be negative when infeasible). *)
+
+val affordable_workers : budget:t -> spent:float -> Workers.Pool.t -> Workers.Pool.t
+(** The candidates whose individual cost still fits after [spent]. *)
+
+val cheapest_cost : Workers.Pool.t -> float option
+(** Cost of the cheapest candidate; [None] on an empty pool. *)

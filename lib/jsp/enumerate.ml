@@ -1,0 +1,29 @@
+let max_pool = 20
+
+let solve (objective : Objective.t) ~alpha ~budget pool =
+  Budget.validate budget;
+  if Workers.Pool.size pool > max_pool then
+    invalid_arg "Enumerate.solve: pool too large for exhaustive search";
+  let evaluations = ref 0 in
+  let consider acc jury =
+    if not (Budget.feasible ~budget jury) then acc
+    else begin
+      incr evaluations;
+      let score = objective.score ~alpha jury in
+      match acc with
+      | None -> Some (jury, score)
+      | Some (best_jury, best_score) ->
+          if
+            score > best_score
+            || (score = best_score
+                && Budget.jury_cost jury < Budget.jury_cost best_jury)
+          then Some (jury, score)
+          else acc
+    end
+  in
+  match Seq.fold_left consider None (Workers.Pool.subsets pool) with
+  | None -> Solver.empty_result objective ~alpha
+  | Some (jury, score) -> { Solver.jury; score; evaluations = !evaluations }
+
+let solve_bv ?num_buckets ~alpha ~budget pool =
+  solve (Objective.bv_bucket ?num_buckets ()) ~alpha ~budget pool

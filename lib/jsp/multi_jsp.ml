@@ -1,0 +1,163 @@
+type result = {
+  jury : Workers.Confusion.t array;
+  score : float;
+  evaluations : int;
+}
+
+let jury_cost jury =
+  Prob.Kahan.sum_array (Array.map Workers.Confusion.cost jury)
+
+(* The empty multi-class jury: BV answers the prior's argmax. *)
+let empty_score prior = Array.fold_left Float.max 0. prior
+
+let make_objective ?num_buckets ~prior counter =
+  fun jury ->
+    incr counter;
+    if Array.length jury = 0 then empty_score prior
+    else Jq.Multiclass_jq.estimate_bv ?num_buckets ~prior jury
+
+let subset_of_flags candidates flags =
+  let members = ref [] in
+  for i = Array.length candidates - 1 downto 0 do
+    if flags.(i) then members := candidates.(i) :: !members
+  done;
+  Array.of_list !members
+
+let greedy_scan objective ~budget order =
+  let chosen = ref [] and spent = ref 0. in
+  Array.iter
+    (fun c ->
+      let cost = Workers.Confusion.cost c in
+      if !spent +. cost <= budget +. 1e-9 then begin
+        chosen := c :: !chosen;
+        spent := !spent +. cost
+      end)
+    order;
+  let jury = Array.of_list (List.rev !chosen) in
+  (jury, objective jury)
+
+let sorted_by key candidates =
+  let order = Array.copy candidates in
+  Array.sort (fun a b -> compare (key b) (key a)) order;
+  order
+
+let greedy ?num_buckets ~prior ~budget candidates =
+  Budget.validate budget;
+  let evaluations = ref 0 in
+  let objective = make_objective ?num_buckets ~prior evaluations in
+  (* Three seeds, mirroring the binary Greedy module: informativeness per
+     cost, raw informativeness, and maximal jury size (Lemma 1). *)
+  let density c =
+    Workers.Spammer.score c /. Float.max 1e-9 (Workers.Confusion.cost c)
+  in
+  let orders =
+    [
+      sorted_by density candidates;
+      sorted_by Workers.Spammer.score candidates;
+      sorted_by (fun c -> -.Workers.Confusion.cost c) candidates;
+    ]
+  in
+  let best_jury = ref [||] and best_score = ref neg_infinity in
+  List.iter
+    (fun order ->
+      let jury, score = greedy_scan objective ~budget order in
+      if score > !best_score then begin
+        best_jury := jury;
+        best_score := score
+      end)
+    orders;
+  { jury = !best_jury; score = !best_score; evaluations = !evaluations }
+
+let anneal ?(params = Annealing.default_params) ?num_buckets ~rng ~prior ~budget
+    candidates =
+  Budget.validate budget;
+  let n = Array.length candidates in
+  let evaluations = ref 0 in
+  let objective = make_objective ?num_buckets ~prior evaluations in
+  let flags = Array.make n false in
+  let spent = ref 0. in
+  let current_score = ref (objective [||]) in
+  let best_flags = ref (Array.copy flags) in
+  let best_score = ref !current_score in
+  let remember () =
+    if !current_score > !best_score then begin
+      best_score := !current_score;
+      best_flags := Array.copy flags
+    end
+  in
+  let cost i = Workers.Confusion.cost candidates.(i) in
+  let indexes_where p =
+    let acc = ref [] in
+    Array.iteri (fun i f -> if p f then acc := i :: !acc) flags;
+    !acc
+  in
+  let swap temperature r =
+    let partners = indexes_where (fun f -> f <> flags.(r)) in
+    match partners with
+    | [] -> ()
+    | _ ->
+        let k = List.nth partners (Prob.Rng.int rng (List.length partners)) in
+        let out, into = if flags.(r) then (r, k) else (k, r) in
+        if !spent -. cost out +. cost into <= budget +. 1e-9 then begin
+          flags.(out) <- false;
+          flags.(into) <- true;
+          let candidate_score = objective (subset_of_flags candidates flags) in
+          let delta = candidate_score -. !current_score in
+          if delta >= 0. || Prob.Rng.unit_float rng < exp (delta /. temperature)
+          then begin
+            spent := !spent -. cost out +. cost into;
+            current_score := candidate_score
+          end
+          else begin
+            (* Revert the tentative move. *)
+            flags.(out) <- true;
+            flags.(into) <- false
+          end
+        end
+  in
+  let moves = match params.Annealing.moves_per_temp with Some m -> m | None -> n in
+  let temperature = ref params.Annealing.t_initial in
+  while !temperature >= params.Annealing.epsilon && n > 0 do
+    for _ = 1 to moves do
+      let r = Prob.Rng.int rng n in
+      if (not flags.(r)) && !spent +. cost r <= budget +. 1e-9 then begin
+        flags.(r) <- true;
+        spent := !spent +. cost r;
+        current_score := objective (subset_of_flags candidates flags)
+      end
+      else swap !temperature r;
+      remember ()
+    done;
+    temperature := !temperature /. params.Annealing.cooling
+  done;
+  let jury =
+    if params.Annealing.keep_best then subset_of_flags candidates !best_flags
+    else subset_of_flags candidates flags
+  in
+  let score = if params.Annealing.keep_best then !best_score else !current_score in
+  { jury; score; evaluations = !evaluations }
+
+let select ?params ?num_buckets ~rng ~prior ~budget candidates =
+  let a = anneal ?params ?num_buckets ~rng ~prior ~budget candidates in
+  let g = greedy ?num_buckets ~prior ~budget candidates in
+  if g.score > a.score then g else a
+
+let exhaustive ?num_buckets ~prior ~budget candidates =
+  Budget.validate budget;
+  let n = Array.length candidates in
+  if n > 15 then invalid_arg "Multi_jsp.exhaustive: too many candidates";
+  let evaluations = ref 0 in
+  let objective = make_objective ?num_buckets ~prior evaluations in
+  let best = ref [||] and best_score = ref neg_infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let flags = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+    let jury = subset_of_flags candidates flags in
+    if jury_cost jury <= budget +. 1e-9 then begin
+      let score = objective jury in
+      if score > !best_score then begin
+        best := jury;
+        best_score := score
+      end
+    end
+  done;
+  { jury = !best; score = !best_score; evaluations = !evaluations }

@@ -1,0 +1,58 @@
+(** Jury selection for multi-choice tasks with confusion-matrix workers —
+    the §7 "Jury Selection Problem Extension".
+
+    The paper observes that "the simulated annealing heuristic regards
+    computing JQ as a black box, so it can be simply extended": here the
+    black box is {!Jq.Multiclass_jq.estimate_bv} and a location is a subset
+    of matrix workers.  Lemma 1 still holds (more workers never hurt BV), so
+    affordable additions are accepted unconditionally; the quality
+    monotonicity of Lemma 2 has no direct matrix analogue, so greedy seeding
+    uses the spammer score of {!Workers.Spammer} as the §7-suggested
+    heuristic. *)
+
+type result = {
+  jury : Workers.Confusion.t array;
+  score : float;            (** Estimated multi-class JQ(J, BV, ~alpha). *)
+  evaluations : int;
+}
+
+val jury_cost : Workers.Confusion.t array -> float
+
+val greedy :
+  ?num_buckets:int ->
+  prior:float array ->
+  budget:Budget.t ->
+  Workers.Confusion.t array ->
+  result
+(** Best of three greedy scans — by spammer-score density (score / cost),
+    by raw score, and cheapest-first — each adding every worker who still
+    fits the budget. *)
+
+val anneal :
+  ?params:Annealing.params ->
+  ?num_buckets:int ->
+  rng:Prob.Rng.t ->
+  prior:float array ->
+  budget:Budget.t ->
+  Workers.Confusion.t array ->
+  result
+(** Algorithms 3–4 over matrix workers with the tuple-key JQ estimate as
+    the objective.  Keeps the best jury seen. *)
+
+val select :
+  ?params:Annealing.params ->
+  ?num_buckets:int ->
+  rng:Prob.Rng.t ->
+  prior:float array ->
+  budget:Budget.t ->
+  Workers.Confusion.t array ->
+  result
+(** The production path: best of {!anneal} and {!greedy}. *)
+
+val exhaustive :
+  ?num_buckets:int ->
+  prior:float array ->
+  budget:Budget.t ->
+  Workers.Confusion.t array ->
+  result
+(** Exact argmax over all subsets (candidate sets of ≤ 15 workers). *)

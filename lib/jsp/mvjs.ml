@@ -1,0 +1,13 @@
+let select ?params ~rng ~alpha ~budget pool =
+  let objective = Objective.mv_closed in
+  let annealed = Annealing.solve ?params objective ~rng ~alpha ~budget pool in
+  let greedy = Greedy.best_of_all objective ~alpha ~budget pool in
+  Solver.best annealed greedy
+
+let select_exact ~alpha ~budget pool =
+  Enumerate.solve Objective.mv_closed ~alpha ~budget pool
+
+let jq_of_jury ~alpha jury =
+  Jq.Mv_closed.jq ~alpha ~qualities:(Workers.Pool.qualities jury)
+
+let strategy = Voting.Classic.majority

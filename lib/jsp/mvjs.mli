@@ -1,0 +1,30 @@
+(** MVJS — the Majority-Voting Jury Selection baseline (Cao et al. [7]).
+
+    The system the paper compares against: it searches for
+    argmax_J JQ(J, MV, 0.5) and aggregates the selected jury's votes with
+    Majority Voting.  The original implementation is closed source; per
+    DESIGN.md we reproduce its *objective* exactly (closed-form MV JQ, the
+    polynomial computation cited in §4.1) and drive the same annealing
+    search OPTJS uses, seeded additionally with the greedy juries so the
+    baseline is not handicapped by search noise. *)
+
+val select :
+  ?params:Annealing.params ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:Budget.t ->
+  Workers.Pool.t ->
+  Solver.result
+(** The MVJS jury: best of (annealing, greedy seeds) under the MV
+    objective.  The [score] field is JQ(J, MV, α). *)
+
+val select_exact :
+  alpha:float -> budget:Budget.t -> Workers.Pool.t -> Solver.result
+(** Exhaustive argmax of MV JQ — usable for pools within
+    {!Enumerate.max_pool}. *)
+
+val jq_of_jury : alpha:float -> Workers.Pool.t -> float
+(** JQ(J, MV, α) of a jury in closed form. *)
+
+val strategy : Voting.Strategy.t
+(** The aggregation MVJS uses at answer time: {!Voting.Classic.majority}. *)

@@ -1,0 +1,37 @@
+type t = { name : string; score : alpha:float -> Workers.Pool.t -> float }
+
+let empty_bv_score alpha = Float.max alpha (1. -. alpha)
+
+let bv_bucket ?num_buckets () =
+  {
+    name = "BV/bucket";
+    score =
+      (fun ~alpha jury ->
+        if Workers.Pool.is_empty jury then empty_bv_score alpha
+        else Jq.Bucket.estimate ?num_buckets ~alpha (Workers.Pool.qualities jury));
+  }
+
+let bv_exact =
+  {
+    name = "BV/exact";
+    score =
+      (fun ~alpha jury ->
+        if Workers.Pool.is_empty jury then empty_bv_score alpha
+        else Jq.Exact.jq_optimal ~alpha ~qualities:(Workers.Pool.qualities jury));
+  }
+
+let mv_closed =
+  {
+    name = "MV/closed";
+    score =
+      (fun ~alpha jury ->
+        Jq.Mv_closed.jq ~alpha ~qualities:(Workers.Pool.qualities jury));
+  }
+
+let strategy_exact strategy =
+  {
+    name = Voting.Strategy.name strategy ^ "/exact";
+    score =
+      (fun ~alpha jury ->
+        Jq.Exact.jq strategy ~alpha ~qualities:(Workers.Pool.qualities jury));
+  }

@@ -1,0 +1,28 @@
+(** The quantity a jury-selection solver maximizes: an estimate of
+    JQ(J, S, α) as a function of the jury.
+
+    Solvers are generic in the objective so the same search code serves
+    OPTJS (Bayesian-voting JQ, bucket-approximated), MVJS (majority-voting
+    JQ, closed form) and exact ground-truth runs. *)
+
+type t = {
+  name : string;
+  score : alpha:float -> Workers.Pool.t -> float;
+      (** JQ estimate for a jury; must accept the empty jury. *)
+}
+
+val bv_bucket : ?num_buckets:int -> unit -> t
+(** OPTJS objective: Algorithm-1 estimate of JQ(J, BV, α)
+    (numBuckets defaults to {!Jq.Bucket.default_num_buckets}).  The empty
+    jury scores max(α, 1−α): BV answers the prior's favourite. *)
+
+val bv_exact : t
+(** Ground-truth objective: exact JQ(J, BV, α) by enumeration.  Only for
+    juries within {!Jq.Exact.max_jury}. *)
+
+val mv_closed : t
+(** MVJS objective: exact JQ(J, MV, α) in closed form ([7]'s polynomial
+    computation). *)
+
+val strategy_exact : Voting.Strategy.t -> t
+(** Exact JQ of an arbitrary strategy (enumeration; small juries). *)

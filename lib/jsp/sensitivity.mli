@@ -1,0 +1,44 @@
+(** Sensitivity of jury selection to quality-estimation error.
+
+    JSP optimizes against *estimated* qualities (§2.1 assumes they are
+    known; §6.2 derives them from ~20 graded answers, so they carry noise
+    of order ±0.1).  Two different questions follow:
+
+    - {e evaluation error}: how far is the selected jury's believed JQ from
+      its JQ under the true qualities?
+    - {e selection regret}: how much JQ is lost by optimizing against the
+      noisy estimates instead of the truth — i.e. JQ(true-optimal jury)
+      − JQ(estimate-optimal jury), both scored under the truth?
+
+    This module perturbs a pool's qualities with truncated Gaussian noise
+    and measures both, using exhaustive solves so the numbers reflect the
+    problem rather than any heuristic. *)
+
+type outcome = {
+  noise_sigma : float;
+  evaluation_error : float;
+      (** Mean |believed JQ − true JQ| of the estimate-selected jury. *)
+  selection_regret : float;
+      (** Mean JQ(true-optimal) − JQ(estimate-selected), under the truth;
+          nonnegative. *)
+  samples : int;
+}
+
+val perturb :
+  Prob.Rng.t -> sigma:float -> Workers.Pool.t -> Workers.Pool.t
+(** Each worker's quality receives independent N(0, sigma²) noise, clamped
+    into [0.5, 0.99] (the §3.3 regime); ids, names and costs unchanged. *)
+
+val measure :
+  Prob.Rng.t ->
+  ?samples:int ->
+  alpha:float ->
+  budget:Budget.t ->
+  sigma:float ->
+  Workers.Pool.t ->
+  outcome
+(** [measure rng ~alpha ~budget ~sigma pool] treats [pool] as the truth and
+    draws [samples] (default 20) noisy estimates of it; for each, JSP is
+    solved exhaustively against the estimate and judged against the truth.
+    Pools must be within {!Enumerate.max_pool}.
+    @raise Invalid_argument on sigma < 0 or samples <= 0. *)

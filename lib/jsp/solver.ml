@@ -1,0 +1,7 @@
+type result = { jury : Workers.Pool.t; score : float; evaluations : int }
+
+let empty_result (objective : Objective.t) ~alpha =
+  let jury = Workers.Pool.of_list [] in
+  { jury; score = objective.score ~alpha jury; evaluations = 1 }
+
+let best a b = if b.score > a.score then b else a

@@ -1,0 +1,13 @@
+(** Common result type and contract for jury-selection solvers. *)
+
+type result = {
+  jury : Workers.Pool.t;       (** The selected jury (feasible by contract). *)
+  score : float;               (** The objective's JQ estimate for it. *)
+  evaluations : int;           (** Objective evaluations spent. *)
+}
+
+val empty_result : Objective.t -> alpha:float -> result
+(** The no-jury fallback (used when even the cheapest worker exceeds B). *)
+
+val best : result -> result -> result
+(** The result with the higher score (ties keep the first). *)

@@ -1,0 +1,46 @@
+type row = {
+  budget : float;
+  jury : Workers.Pool.t;
+  quality : float;
+  required : float;
+}
+
+type t = row list
+
+let build ~solve ~budgets pool =
+  List.map
+    (fun budget ->
+      let result = solve ~budget pool in
+      {
+        budget;
+        jury = result.Solver.jury;
+        quality = result.Solver.score;
+        required = Budget.jury_cost result.Solver.jury;
+      })
+    budgets
+
+let build_exact ?num_buckets ~alpha ~budgets pool =
+  build ~budgets pool ~solve:(fun ~budget pool ->
+      Enumerate.solve_bv ?num_buckets ~alpha ~budget pool)
+
+let jury_names jury =
+  String.concat ", " (List.map Workers.Worker.name (Workers.Pool.to_list jury))
+
+let pp ppf rows =
+  Format.fprintf ppf "%-8s  %-24s  %-8s  %s@." "Budget" "Optimal Jury Set"
+    "Quality" "Required";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8g  %-24s  %-8s  %g@." r.budget
+        ("{" ^ jury_names r.jury ^ "}")
+        (Printf.sprintf "%.2f%%" (100. *. r.quality))
+        r.required)
+    rows
+
+let to_csv rows =
+  let line r =
+    Printf.sprintf "%g,%s,%.6f,%g" r.budget
+      (String.concat ";" (List.map Workers.Worker.name (Workers.Pool.to_list r.jury)))
+      r.quality r.required
+  in
+  String.concat "\n" ("budget,jury,quality,required" :: List.map line rows)

@@ -1,0 +1,34 @@
+(** Budget–quality tables (Figure 1).
+
+    Given a candidate pool and a list of budgets, solve JSP at each budget
+    and report the chosen jury, its estimated JQ and the money it actually
+    requires — the artifact the task provider uses to pick a budget–quality
+    trade-off. *)
+
+type row = {
+  budget : float;
+  jury : Workers.Pool.t;
+  quality : float;        (** Estimated JQ of the chosen jury. *)
+  required : float;       (** What the jury actually costs (≤ budget). *)
+}
+
+type t = row list
+
+val build :
+  solve:(budget:Budget.t -> Workers.Pool.t -> Solver.result) ->
+  budgets:float list ->
+  Workers.Pool.t ->
+  t
+(** One row per budget, in the given order. *)
+
+val build_exact :
+  ?num_buckets:int -> alpha:float -> budgets:float list -> Workers.Pool.t -> t
+(** Rows from exhaustive OPTJS search (small pools) — regenerates the
+    Figure 1 table. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned rendering with worker names, e.g.
+    ["15 | {B, C, G} | 84.5%% | 14"]. *)
+
+val to_csv : t -> string
+(** "budget,jury,quality,required" lines (jury as ;-separated names). *)

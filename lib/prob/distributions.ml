@@ -1,0 +1,78 @@
+let gaussian_pdf ~mu ~sigma x =
+  let z = (x -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt (2. *. Float.pi))
+
+(* Abramowitz & Stegun 7.1.26, |error| < 1.5e-7. *)
+let erf x =
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly =
+    ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+      -. 0.284496736)
+     *. t
+    +. 0.254829592)
+    *. t
+  in
+  sign *. (1. -. (poly *. exp (-.x *. x)))
+
+let gaussian_cdf ~mu ~sigma x =
+  0.5 *. (1. +. erf ((x -. mu) /. (sigma *. sqrt 2.)))
+
+let sample_gaussian g ~mu ~sigma = Rng.gaussian g ~mu ~sigma
+
+let sample_gaussian_clamped g ~mu ~sigma ~lo ~hi =
+  Float.min hi (Float.max lo (Rng.gaussian g ~mu ~sigma))
+
+let sample_gaussian_truncated g ~mu ~sigma ~lo ~hi =
+  if lo >= hi then invalid_arg "Distributions.sample_gaussian_truncated";
+  let rec draw attempts =
+    if attempts > 10_000 then
+      (* Interval mass is negligible; fall back to clamping to stay total. *)
+      sample_gaussian_clamped g ~mu ~sigma ~lo ~hi
+    else
+      let x = Rng.gaussian g ~mu ~sigma in
+      if x >= lo && x <= hi then x else draw (attempts + 1)
+  in
+  draw 0
+
+(* Marsaglia–Tsang (2000) for shape >= 1; boosting trick below 1. *)
+let rec sample_gamma g ~shape =
+  if shape < 1. then
+    let u = Rng.unit_float g in
+    sample_gamma g ~shape:(shape +. 1.) *. (u ** (1. /. shape))
+  else
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec draw () =
+      let x = Rng.gaussian g ~mu:0. ~sigma:1. in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then draw ()
+      else
+        let u = Rng.unit_float g in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+        else draw ()
+    in
+    draw ()
+
+let sample_beta g ~a ~b =
+  let x = sample_gamma g ~shape:a in
+  let y = sample_gamma g ~shape:b in
+  x /. (x +. y)
+
+let sample_uniform g ~lo ~hi = lo +. Rng.float g (hi -. lo)
+let sample_bernoulli g p = if Rng.bernoulli g p then 1 else 0
+
+let sample_categorical g weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Distributions.sample_categorical: empty";
+  let total = Kahan.sum_array weights in
+  if total <= 0. then invalid_arg "Distributions.sample_categorical: zero mass";
+  let target = Rng.unit_float g *. total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

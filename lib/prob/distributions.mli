@@ -1,0 +1,43 @@
+(** Samplers and density/distribution functions for the handful of
+    distributions the paper's experiments need: Gaussians for worker quality
+    and cost (§6.1.1), Bernoulli for votes, Beta for alternative quality
+    profiles, and truncation/clamping helpers used when a Gaussian draw must
+    land in a legal range such as quality in [0.5, 0.99]. *)
+
+val gaussian_pdf : mu:float -> sigma:float -> float -> float
+(** Density of N(mu, sigma^2) at a point. *)
+
+val gaussian_cdf : mu:float -> sigma:float -> float -> float
+(** Distribution function of N(mu, sigma^2), via [erf]. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 rational approximation,
+    absolute error < 1.5e-7 — ample for experiment reporting). *)
+
+val sample_gaussian : Rng.t -> mu:float -> sigma:float -> float
+(** Unconstrained Gaussian draw. *)
+
+val sample_gaussian_clamped :
+  Rng.t -> mu:float -> sigma:float -> lo:float -> hi:float -> float
+(** Gaussian draw clamped into [lo, hi].  This mirrors the paper's setup
+    where qualities drawn from N(0.7, 0.05) are kept within a legal
+    probability range (§3.3 assumes q >= 0.5). *)
+
+val sample_gaussian_truncated :
+  Rng.t -> mu:float -> sigma:float -> lo:float -> hi:float -> float
+(** Gaussian draw resampled until it lands in [lo, hi] (true truncated
+    Gaussian; rejection sampling).  Requires the interval to have positive
+    mass. *)
+
+val sample_beta : Rng.t -> a:float -> b:float -> float
+(** Beta(a, b) draw via Jöhnk / gamma ratio (Marsaglia–Tsang gammas). *)
+
+val sample_uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform draw on [lo, hi). *)
+
+val sample_bernoulli : Rng.t -> float -> int
+(** [sample_bernoulli g p] is 1 with probability [p], else 0. *)
+
+val sample_categorical : Rng.t -> float array -> int
+(** Draw an index with probability proportional to the (nonnegative)
+    weights.  @raise Invalid_argument if weights are empty or sum to 0. *)

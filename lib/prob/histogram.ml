@@ -1,0 +1,64 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int buckets;
+    counts = Array.make buckets 0;
+    total = 0;
+  }
+
+let add t x =
+  let n = Array.length t.counts in
+  let i = int_of_float (Float.floor ((x -. t.lo) /. t.width)) in
+  let i = if i < 0 then 0 else if i >= n then n - 1 else i in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let counts t = Array.copy t.counts
+let total t = t.total
+
+let bucket_bounds t i =
+  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+let pp ppf t =
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bucket_bounds t i in
+      Format.fprintf ppf "[%.6g, %.6g): %d@." lo hi c)
+    t.counts
+
+module Ranges = struct
+  type nonrec t = { edges : float array; counts : int array }
+
+  let create edges =
+    let arr = Array.of_list edges in
+    let increasing = ref true in
+    Array.iteri (fun i e -> if i > 0 && e <= arr.(i - 1) then increasing := false) arr;
+    if not !increasing then invalid_arg "Histogram.Ranges.create: edges not increasing";
+    { edges = arr; counts = Array.make (Array.length arr + 1) 0 }
+
+  let add t x =
+    let n = Array.length t.edges in
+    let rec find i = if i = n then n else if x <= t.edges.(i) then i else find (i + 1) in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1
+
+  let counts t = Array.copy t.counts
+
+  let labels t =
+    let n = Array.length t.edges in
+    List.init (n + 1) (fun i ->
+        if i = 0 then Printf.sprintf "<= %g" t.edges.(0)
+        else if i = n then Printf.sprintf "> %g" t.edges.(n - 1)
+        else Printf.sprintf "(%g, %g]" t.edges.(i - 1) t.edges.(i))
+end

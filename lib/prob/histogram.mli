@@ -1,0 +1,43 @@
+(** Fixed-width bucket histograms (Figure 9(c) error histogram) and
+    arbitrary-edge range counters (Table 3 error-range counts). *)
+
+type t
+(** A histogram with fixed-width buckets over a closed range. *)
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** [create ~lo ~hi ~buckets] divides [lo, hi] into [buckets] equal-width
+    buckets.  Values below [lo] count into the first bucket, values at or
+    above [hi] into the last (so total mass is conserved).
+    @raise Invalid_argument if [buckets <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val counts : t -> int array
+(** Per-bucket counts, length [buckets]. *)
+
+val total : t -> int
+(** Number of observations recorded. *)
+
+val bucket_bounds : t -> int -> float * float
+(** [(lo_i, hi_i)] of bucket [i]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as "[lo, hi): count" lines. *)
+
+(** Counting into caller-specified half-open ranges, e.g. the paper's
+    Table 3 ranges [0, 0.01], (0.01, 0.1], (0.1, 1], (1, 3], (3, ∞). *)
+module Ranges : sig
+  type t
+
+  val create : float list -> t
+  (** [create edges] builds ranges (-∞, e1], (e1, e2], ..., (ek, ∞) from the
+      strictly increasing [edges]. *)
+
+  val add : t -> float -> unit
+  val counts : t -> int array
+  (** Length [List.length edges + 1]. *)
+
+  val labels : t -> string list
+  (** Range labels aligned with {!counts}. *)
+end

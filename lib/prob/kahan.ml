@@ -1,0 +1,24 @@
+type t = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.; compensation = 0. }
+
+(* Neumaier's variant: also correct when the addend dominates the sum. *)
+let add t x =
+  let s = t.sum +. x in
+  let c =
+    if Float.abs t.sum >= Float.abs x then t.sum -. s +. x else x -. s +. t.sum
+  in
+  t.compensation <- t.compensation +. c;
+  t.sum <- s
+
+let total t = t.sum +. t.compensation
+
+let sum_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  total t
+
+let sum_list l =
+  let t = create () in
+  List.iter (add t) l;
+  total t

@@ -1,0 +1,23 @@
+(** Compensated (Kahan–Neumaier) summation.
+
+    JQ accumulates up to 2^n tiny probabilities; naive [( +. )] folds lose
+    several digits there.  The experiment harness also averages thousands of
+    replicate results.  Both paths sum through this module. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator holding 0. *)
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val total : t -> float
+(** Current compensated sum. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_list : float list -> float
+(** One-shot compensated sum of a list. *)

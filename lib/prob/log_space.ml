@@ -1,0 +1,29 @@
+let logit q =
+  if q <= 0. || q >= 1. then invalid_arg "Log_space.logit: q must lie in (0, 1)";
+  log (q /. (1. -. q))
+
+let of_prob p = if p = 0. then neg_infinity else log p
+let to_prob l = exp l
+
+let add a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. log1p (exp (lo -. hi))
+
+let sum = function
+  | [] -> neg_infinity
+  | l ->
+      let hi = List.fold_left Float.max neg_infinity l in
+      if hi = neg_infinity then neg_infinity
+      else hi +. log (List.fold_left (fun acc x -> acc +. exp (x -. hi)) 0. l)
+
+let sum_array a =
+  if Array.length a = 0 then neg_infinity
+  else
+    let hi = Array.fold_left Float.max neg_infinity a in
+    if hi = neg_infinity then neg_infinity
+    else hi +. log (Array.fold_left (fun acc x -> acc +. exp (x -. hi)) 0. a)
+
+let mul a b = a +. b

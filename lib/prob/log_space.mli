@@ -1,0 +1,29 @@
+(** Log-domain probability arithmetic.
+
+    The bucket algorithm of the paper works on the quantity
+    [phi q = ln (q / (1 - q))] (the logit, written φ(q) in §4.2) and on
+    log-likelihoods [u(V) = ln Pr(V | t = 0)].  This module centralizes that
+    arithmetic so products of many small probabilities never underflow. *)
+
+val logit : float -> float
+(** [logit q] is [ln (q /. (1. -. q))], the paper's φ(q).  Requires
+    [0 < q < 1].  Nonnegative whenever [q >= 0.5]. *)
+
+val of_prob : float -> float
+(** [of_prob p] is [ln p]; [neg_infinity] when [p = 0.]. *)
+
+val to_prob : float -> float
+(** [to_prob l] is [exp l]. *)
+
+val add : float -> float -> float
+(** [add a b] is [ln (e^a + e^b)] computed stably (log-sum-exp). *)
+
+val sum : float list -> float
+(** Stable log-sum-exp of a list of log-values; [neg_infinity] on []. *)
+
+val sum_array : float array -> float
+(** Stable log-sum-exp over an array. *)
+
+val mul : float -> float -> float
+(** Product of probabilities in the log domain, i.e. [( +. )]; provided for
+    readability at call sites. *)

@@ -1,0 +1,57 @@
+let check ps =
+  Array.iter
+    (fun p ->
+      if p < 0. || p > 1. || Float.is_nan p then
+        invalid_arg "Poisson_binomial: probability outside [0, 1]")
+    ps
+
+(* dp.(k) = Pr(k successes among the trials seen so far). *)
+let pmf ps =
+  check ps;
+  let n = Array.length ps in
+  let dp = Array.make (n + 1) 0. in
+  dp.(0) <- 1.;
+  Array.iteri
+    (fun i p ->
+      for k = i + 1 downto 1 do
+        dp.(k) <- (dp.(k) *. (1. -. p)) +. (dp.(k - 1) *. p)
+      done;
+      dp.(0) <- dp.(0) *. (1. -. p))
+    ps;
+  dp
+
+let tail_at_least ps k =
+  let dp = pmf ps in
+  let n = Array.length ps in
+  if k <= 0 then 1.
+  else if k > n then 0.
+  else begin
+    let acc = Kahan.create () in
+    for j = k to n do
+      Kahan.add acc dp.(j)
+    done;
+    Kahan.total acc
+  end
+
+let cdf ps k =
+  let n = Array.length ps in
+  if k >= n then 1. else if k < 0 then 0. else 1. -. tail_at_least ps (k + 1)
+
+let expectation ps = Kahan.sum_array ps
+
+let variance ps =
+  Kahan.sum_array (Array.map (fun p -> p *. (1. -. p)) ps)
+
+let majority_correct qs =
+  let n = Array.length qs in
+  if n = 0 then 0.5
+  else if n mod 2 = 1 then tail_at_least qs ((n / 2) + 1)
+  else begin
+    let dp = pmf qs in
+    let acc = Kahan.create () in
+    for k = (n / 2) + 1 to n do
+      Kahan.add acc dp.(k)
+    done;
+    Kahan.add acc (0.5 *. dp.(n / 2));
+    Kahan.total acc
+  end

@@ -1,0 +1,32 @@
+(** Poisson–binomial distribution: the number of successes among independent
+    Bernoulli trials with heterogeneous probabilities.
+
+    Under Majority Voting with jury qualities [q_1 .. q_n], the jury answers
+    correctly exactly when at least ceil((n+1)/2) workers vote correctly, so
+    [JQ(J, MV, 0.5)] is a Poisson–binomial tail probability.  This module is
+    the exact dynamic-programming engine behind that closed form (the
+    polynomial algorithm attributed to Cao et al. [7] in §4.1). *)
+
+val pmf : float array -> float array
+(** [pmf ps] has length [n + 1]; entry [k] is the probability that exactly
+    [k] of the [n] trials succeed.  O(n^2) time, O(n) space.
+    @raise Invalid_argument if some probability lies outside [0, 1]. *)
+
+val tail_at_least : float array -> int -> float
+(** [tail_at_least ps k] is [Pr(successes >= k)]. *)
+
+val cdf : float array -> int -> float
+(** [cdf ps k] is [Pr(successes <= k)]. *)
+
+val expectation : float array -> float
+(** Mean number of successes: [sum ps]. *)
+
+val variance : float array -> float
+(** Variance: [sum p(1-p)]. *)
+
+val majority_correct : float array -> float
+(** [majority_correct qs] is the probability that a strict majority of the
+    trials succeed, counting exact ties as a coin flip — the MV convention
+    of the paper (a tie on an even jury is broken at random, contributing
+    half its mass).  With an odd jury this is just
+    [tail_at_least qs ((n / 2) + 1)]. *)

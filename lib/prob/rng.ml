@@ -1,0 +1,101 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands an integer seed into well-mixed 64-bit words, the
+   recommended way to initialize xoshiro state. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  (* Reseed a fresh generator from the parent's stream; splitmix64 mixing
+     decorrelates the child from the parent's continuation. *)
+  let state = ref (bits64 g) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits (OCaml ints are 63-bit, so a
+     63-bit value could come out negative) avoids modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let unit_float g =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int r *. 0x1p-53
+
+let float g bound = unit_float g *. bound
+let bool g = Int64.logand (bits64 g) 1L = 1L
+let bernoulli g p = unit_float g < p
+
+let gaussian g ~mu ~sigma =
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = unit_float g in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let sample_without_replacement g k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let pool = Array.copy arr in
+  (* Partial Fisher–Yates: the first k slots end up as the sample. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k

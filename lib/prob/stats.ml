@@ -1,0 +1,65 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Kahan.sum_array xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let acc = Kahan.create () in
+    Array.iter (fun x -> Kahan.add acc ((x -. m) ** 2.)) xs;
+    Kahan.total acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then
+    { count = 0; mean = nan; variance = nan; stddev = nan; min = nan; max = nan }
+  else
+    {
+      count = n;
+      mean = mean xs;
+      variance = variance xs;
+      stddev = stddev xs;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+    }
+
+let quantile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty data";
+  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let position = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor position) in
+  let hi = int_of_float (Float.ceil position) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = position -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let confidence_interval_95 xs =
+  let n = Array.length xs in
+  if n = 0 then (nan, nan)
+  else
+    let m = mean xs in
+    let half = 1.96 *. stddev xs /. sqrt (float_of_int n) in
+    (m -. half, m +. half)
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" s.count s.mean
+    s.stddev s.min s.max

@@ -1,0 +1,37 @@
+(** Descriptive statistics over replicate experiment results. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** Unbiased (n−1) sample variance; 0 for n < 2. *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean (compensated); [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 when fewer than two points. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val summarize : float array -> summary
+(** All of the above in one pass structure; [count = 0] gives NaN moments. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] with [0 <= p <= 1]: linear-interpolation quantile of the
+    sorted data.  @raise Invalid_argument on empty input or p outside
+    [0, 1]. *)
+
+val median : float array -> float
+(** [quantile xs 0.5]. *)
+
+val confidence_interval_95 : float array -> float * float
+(** Normal-approximation 95% confidence interval for the mean:
+    mean ± 1.96 · stddev / sqrt n. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable one-line rendering. *)

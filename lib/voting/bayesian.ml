@@ -1,0 +1,35 @@
+let log_joint ~alpha ~qualities voting =
+  if Array.length qualities <> Array.length voting then
+    invalid_arg "Bayesian.log_joint: qualities and voting lengths differ";
+  let l0 = ref (Prob.Log_space.of_prob alpha) in
+  let l1 = ref (Prob.Log_space.of_prob (1. -. alpha)) in
+  Array.iteri
+    (fun i v ->
+      let q = qualities.(i) in
+      let lq = Prob.Log_space.of_prob q in
+      let lnq = Prob.Log_space.of_prob (1. -. q) in
+      match (v : Vote.t) with
+      | Vote.No ->
+          l0 := !l0 +. lq;
+          l1 := !l1 +. lnq
+      | Vote.Yes ->
+          l0 := !l0 +. lnq;
+          l1 := !l1 +. lq)
+    voting;
+  (!l0, !l1)
+
+let decide_exact ~alpha ~qualities voting =
+  let l0, l1 = log_joint ~alpha ~qualities voting in
+  (* Theorem 1: 1 only on strict inequality P0 < P1; ties return 0. *)
+  if l0 < l1 then Vote.Yes else Vote.No
+
+let posterior_no ~alpha ~qualities voting =
+  let l0, l1 = log_joint ~alpha ~qualities voting in
+  if l0 = neg_infinity && l1 = neg_infinity then 0.5
+  else
+    let z = Prob.Log_space.add l0 l1 in
+    exp (l0 -. z)
+
+let strategy =
+  Strategy.make ~name:"BV" (fun ~alpha ~qualities voting ->
+      Strategy.Decide (decide_exact ~alpha ~qualities voting))

@@ -1,0 +1,22 @@
+(** Bayesian Voting — the optimal strategy (Theorem 1 / Corollary 1).
+
+    BV returns 1 exactly when
+    α · Π q_i^(1−v_i) (1−q_i)^v_i  <  (1−α) · Π q_i^v_i (1−q_i)^(1−v_i),
+    and 0 otherwise (ties go to 0, matching Theorem 1's "P0 − P1 ≥ 0 ⇒ 0").
+    All products are evaluated in the log domain so juries of hundreds of
+    workers do not underflow. *)
+
+val strategy : Strategy.t
+(** The BV strategy. *)
+
+val log_joint : alpha:float -> qualities:float array -> Vote.voting -> float * float
+(** [(ln P0(V), ln P1(V))] where P_t(V) = Pr(t) · Pr(V | t).  Underflow-free;
+    [neg_infinity] encodes zero mass (e.g. α = 0). *)
+
+val posterior_no : alpha:float -> qualities:float array -> Vote.voting -> float
+(** Pr(t = 0 | V), the normalized posterior Bayesian Voting thresholds on.
+    Returns 0.5 when both joints are zero (degenerate inputs). *)
+
+val decide_exact : alpha:float -> qualities:float array -> Vote.voting -> Vote.t
+(** The BV decision itself (a plain function, used by hot loops that do not
+    want the strategy wrapper). *)

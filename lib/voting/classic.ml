@@ -1,0 +1,72 @@
+let majority =
+  Strategy.make ~name:"MV" (fun ~alpha:_ ~qualities:_ voting ->
+      let n = Array.length voting in
+      let zeros = Vote.count_no voting in
+      (* zeros >= (n+1)/2 in the reals, i.e. 2*zeros >= n+1. *)
+      if 2 * zeros >= n + 1 then Strategy.Decide Vote.No
+      else Strategy.Decide Vote.Yes)
+
+let majority_tie_coin =
+  Strategy.make ~name:"MV-coin" (fun ~alpha:_ ~qualities:_ voting ->
+      let n = Array.length voting in
+      let zeros = Vote.count_no voting in
+      if 2 * zeros > n then Strategy.Decide Vote.No
+      else if 2 * zeros < n then Strategy.Decide Vote.Yes
+      else Strategy.Randomize 0.5)
+
+let half =
+  Strategy.make ~name:"HALF" (fun ~alpha:_ ~qualities:_ voting ->
+      let n = Array.length voting in
+      let zeros = Vote.count_no voting in
+      if 2 * zeros >= n then Strategy.Decide Vote.No else Strategy.Decide Vote.Yes)
+
+let signed_weight_sum weights voting =
+  if Array.length weights <> Array.length voting then
+    invalid_arg "Classic.weighted_majority: weights and voting lengths differ";
+  let acc = Prob.Kahan.create () in
+  Array.iteri
+    (fun i v ->
+      match (v : Vote.t) with
+      | Vote.No -> Prob.Kahan.add acc weights.(i)
+      | Vote.Yes -> Prob.Kahan.add acc (-.weights.(i)))
+    voting;
+  Prob.Kahan.total acc
+
+let weighted_majority ~weights =
+  Strategy.make ~name:"WMV" (fun ~alpha:_ ~qualities:_ voting ->
+      if signed_weight_sum weights voting >= 0. then Strategy.Decide Vote.No
+      else Strategy.Decide Vote.Yes)
+
+(* Clamp away from {0, 1} so certain workers get a huge-but-finite weight
+   instead of crashing the logit. *)
+let safe_logit q = Prob.Log_space.logit (Float.max 1e-12 (Float.min (1. -. 1e-12) q))
+
+let logit_weighted_majority =
+  Strategy.make ~name:"WMV-logit" (fun ~alpha:_ ~qualities voting ->
+      let weights = Array.map safe_logit qualities in
+      if signed_weight_sum weights voting >= 0. then Strategy.Decide Vote.No
+      else Strategy.Decide Vote.Yes)
+
+let recursive_majority =
+  let majority_of_chunk chunk =
+    let n = List.length chunk in
+    let zeros = List.fold_left (fun a v -> if v = Vote.No then a + 1 else a) 0 chunk in
+    if 2 * zeros >= n + 1 then Vote.No else Vote.Yes
+  in
+  let rec chunks3 = function
+    | a :: b :: c :: rest -> [ a; b; c ] :: chunks3 rest
+    | [] -> []
+    | tail -> [ tail ]
+  in
+  let rec reduce votes =
+    match votes with
+    | [] -> Vote.Yes (* matches MV on the empty voting *)
+    | [ v ] -> v
+    | _ -> reduce (List.map majority_of_chunk (chunks3 votes))
+  in
+  Strategy.make ~name:"TRIADIC" (fun ~alpha:_ ~qualities:_ voting ->
+      Strategy.Decide (reduce (Array.to_list voting)))
+
+let constant v =
+  let name = Printf.sprintf "CONST-%d" (Vote.to_int v) in
+  Strategy.make ~name (fun ~alpha:_ ~qualities:_ _ -> Strategy.Decide v)

@@ -1,0 +1,40 @@
+(** Deterministic voting strategies from Table 2 that are not Bayesian. *)
+
+val majority : Strategy.t
+(** Majority Voting (MV) exactly as in Example 1: result is 0 when
+    Σ(1 − v_i) ≥ (n+1)/2, i.e. when a strict majority voted 0; everything
+    else — including an exact tie on an even jury — returns 1.  Ignores the
+    prior and the qualities. *)
+
+val majority_tie_coin : Strategy.t
+(** MV variant that resolves an exact tie with a fair coin (randomized on
+    ties only).  Used by benches to show the tie convention does not change
+    JQ at α = 0.5. *)
+
+val half : Strategy.t
+(** Half Voting [28]: 0 wins already at half the votes, i.e. result is 0
+    when Σ(1 − v_i) ≥ n/2.  Differs from {!majority} only on even-jury
+    ties, which it awards to 0. *)
+
+val weighted_majority : weights:float array -> Strategy.t
+(** Weighted MV [23] with caller-supplied nonnegative weights (aligned with
+    the jury): result is 0 when Σ w_i (1 − 2 v_i) ≥ 0.
+    @raise Invalid_argument at decision time if lengths differ. *)
+
+val logit_weighted_majority : Strategy.t
+(** Weighted MV whose weights are the logits φ(q_i) = ln(q_i / (1 − q_i))
+    of the jury qualities.  At α = 0.5 this coincides with Bayesian Voting
+    (a property test pins this down). *)
+
+val recursive_majority : Strategy.t
+(** Recursive (triadic-style) majority, in the spirit of Triadic Consensus
+    [2]: votes are grouped into consecutive triples, each triple is reduced
+    to its majority, and the procedure recurses on the reduced voting until
+    one vote remains (a short tail of fewer than three votes is reduced by
+    plain MV with its tie convention).  Deterministic; known to be weaker
+    than flat majority for independent votes — the optimality property
+    tests exercise exactly that. *)
+
+val constant : Vote.t -> Strategy.t
+(** The degenerate strategy that always answers the given vote — a lower
+    bound used in optimality tests. *)

@@ -1,0 +1,106 @@
+type outcome = Decide of int | Randomize of float array
+
+type t = {
+  name : string;
+  decide_fn :
+    prior:float array -> jury:Workers.Confusion.t array -> int array -> outcome;
+}
+
+let make ~name decide_fn = { name; decide_fn }
+let name t = t.name
+
+let validate ~prior ~jury voting =
+  let l = Array.length prior in
+  if l < 2 then invalid_arg "Multiclass: prior needs at least 2 labels";
+  if Float.abs (Prob.Kahan.sum_array prior -. 1.) > 1e-9 then
+    invalid_arg "Multiclass: prior does not sum to 1";
+  if Array.length jury <> Array.length voting then
+    invalid_arg "Multiclass: jury and voting lengths differ";
+  Array.iter
+    (fun c ->
+      if Workers.Confusion.labels c <> l then
+        invalid_arg "Multiclass: juror label count differs from prior")
+    jury;
+  Array.iter
+    (fun v -> if v < 0 || v >= l then invalid_arg "Multiclass: vote out of range")
+    voting
+
+let decide t ~prior ~jury voting =
+  validate ~prior ~jury voting;
+  match t.decide_fn ~prior ~jury voting with
+  | Decide l ->
+      if l < 0 || l >= Array.length prior then
+        invalid_arg (t.name ^ ": decided label out of range")
+      else Decide l
+  | Randomize p ->
+      if Array.length p <> Array.length prior then
+        invalid_arg (t.name ^ ": outcome distribution has wrong arity")
+      else if Float.abs (Prob.Kahan.sum_array p -. 1.) > 1e-9 then
+        invalid_arg (t.name ^ ": outcome distribution does not sum to 1")
+      else Randomize p
+
+let prob_decide outcome label =
+  match outcome with
+  | Decide l -> if l = label then 1. else 0.
+  | Randomize p -> p.(label)
+
+let run t rng ~prior ~jury voting =
+  match decide t ~prior ~jury voting with
+  | Decide l -> l
+  | Randomize p -> Prob.Distributions.sample_categorical rng p
+
+let argmax_smallest arr =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > arr.(!best) then best := i) arr;
+  !best
+
+let plurality =
+  make ~name:"PLURALITY" (fun ~prior ~jury:_ voting ->
+      let counts = Array.make (Array.length prior) 0 in
+      Array.iter (fun v -> counts.(v) <- counts.(v) + 1) voting;
+      Decide (argmax_smallest (Array.map float_of_int counts)))
+
+let log_joint ~prior ~jury voting =
+  Array.init (Array.length prior) (fun j ->
+      let acc = ref (Prob.Log_space.of_prob prior.(j)) in
+      Array.iteri
+        (fun i v ->
+          acc :=
+            !acc
+            +. Prob.Log_space.of_prob (Workers.Confusion.prob jury.(i) ~truth:j ~vote:v))
+        voting;
+      !acc)
+
+let posterior ~prior ~jury voting =
+  let lj = log_joint ~prior ~jury voting in
+  let z = Prob.Log_space.sum_array lj in
+  if z = neg_infinity then
+    Array.make (Array.length prior) (1. /. float_of_int (Array.length prior))
+  else Array.map (fun l -> exp (l -. z)) lj
+
+let bayesian =
+  make ~name:"BV" (fun ~prior ~jury voting ->
+      Decide (argmax_smallest (log_joint ~prior ~jury voting)))
+
+let random_ballot =
+  make ~name:"RBV" (fun ~prior ~jury:_ _ ->
+      Randomize (Array.make (Array.length prior) (1. /. float_of_int (Array.length prior))))
+
+let enumerate_votings ~labels ~n =
+  if labels < 2 || n < 0 then invalid_arg "Multiclass.enumerate_votings";
+  let count =
+    let rec pow acc i = if i = 0 then acc else pow (acc * labels) (i - 1) in
+    pow 1 n
+  in
+  if count > 1 lsl 22 then
+    invalid_arg "Multiclass.enumerate_votings: space too large";
+  let of_index idx =
+    let v = Array.make n 0 in
+    let rest = ref idx in
+    for i = n - 1 downto 0 do
+      v.(i) <- !rest mod labels;
+      rest := !rest / labels
+    done;
+    v
+  in
+  Seq.map of_index (Seq.init count Fun.id)

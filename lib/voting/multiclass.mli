@@ -1,0 +1,55 @@
+(** Voting strategies for multi-choice tasks with confusion-matrix workers
+    (§7).  Votes are labels in 0..ℓ−1; the prior is a distribution ~α over
+    labels; each juror is a {!Workers.Confusion.t}. *)
+
+type outcome =
+  | Decide of int               (** Deterministic label. *)
+  | Randomize of float array    (** Distribution over labels. *)
+
+type t
+(** A named multi-class strategy. *)
+
+val make :
+  name:string ->
+  (prior:float array -> jury:Workers.Confusion.t array -> int array -> outcome) ->
+  t
+
+val name : t -> string
+
+val decide :
+  t -> prior:float array -> jury:Workers.Confusion.t array -> int array -> outcome
+(** Apply the strategy.  Validates: jury and voting lengths match, every
+    juror has ℓ = length of [prior] labels, votes in range, prior sums to 1
+    (±1e-9).  @raise Invalid_argument on violations. *)
+
+val prob_decide : outcome -> int -> float
+(** E[1(S(V) = label)] of an outcome. *)
+
+val run :
+  t -> Prob.Rng.t -> prior:float array -> jury:Workers.Confusion.t array ->
+  int array -> int
+(** Execute, sampling when randomized. *)
+
+val plurality : t
+(** Multi-class MV: the label with the most votes; ties broken toward the
+    smallest label (deterministic, so runs are reproducible). *)
+
+val bayesian : t
+(** Multi-class BV (Equation 10): argmax over labels t′ of
+    α_t′ · Π_i C_i(t′, v_i), computed in the log domain; ties toward the
+    smallest label. *)
+
+val random_ballot : t
+(** Uniformly random label regardless of the votes (ℓ-ary coin). *)
+
+val log_joint :
+  prior:float array -> jury:Workers.Confusion.t array -> int array -> float array
+(** [ln (α_j · Π_i C_i(j, v_i))] for each label j. *)
+
+val posterior :
+  prior:float array -> jury:Workers.Confusion.t array -> int array -> float array
+(** Normalized posterior over labels (uniform if all mass vanished). *)
+
+val enumerate_votings : labels:int -> n:int -> int array Seq.t
+(** All ℓ^n votings of [n] workers, lazily.  @raise Invalid_argument when
+    ℓ^n would exceed 2^22. *)

@@ -1,0 +1,54 @@
+let share_of_no voting =
+  let n = Array.length voting in
+  if n = 0 then 0.5 else float_of_int (Vote.count_no voting) /. float_of_int n
+
+let randomized_majority =
+  Strategy.make ~name:"RMV" (fun ~alpha:_ ~qualities:_ voting ->
+      Strategy.Randomize (share_of_no voting))
+
+let random_ballot =
+  Strategy.make ~name:"RBV-ballot" (fun ~alpha:_ ~qualities:_ voting ->
+      Strategy.Randomize (share_of_no voting))
+
+let coin_flip =
+  Strategy.make ~name:"RBV" (fun ~alpha:_ ~qualities:_ _ -> Strategy.Randomize 0.5)
+
+let randomized_weighted_majority ~weights =
+  Strategy.make ~name:"RWMV" (fun ~alpha:_ ~qualities:_ voting ->
+      if Array.length weights <> Array.length voting then
+        invalid_arg "Randomized.randomized_weighted_majority: lengths differ";
+      let total = Prob.Kahan.sum_array weights in
+      if total <= 0. then Strategy.Randomize 0.5
+      else begin
+        let no_weight = Prob.Kahan.create () in
+        Array.iteri
+          (fun i v -> if v = Vote.No then Prob.Kahan.add no_weight weights.(i))
+          voting;
+        Strategy.Randomize (Prob.Kahan.total no_weight /. total)
+      end)
+
+let randomized_logit_weighted =
+  Strategy.make ~name:"RWMV-logit" (fun ~alpha ~qualities voting ->
+      (* A worker below 0.5 is informative in the negative: use the absolute
+         log-odds as her weight and count her ballot for the opposite
+         answer (the section-3.3 reinterpretation), keeping weights
+         nonnegative as Definition 2 requires of the outcome. *)
+      let safe_logit q =
+        Prob.Log_space.logit (Float.max 1e-12 (Float.min (1. -. 1e-12) q))
+      in
+      let weights = Array.map (fun q -> Float.abs (safe_logit q)) qualities in
+      let corrected =
+        Array.mapi
+          (fun i v -> if qualities.(i) < 0.5 then Vote.flip v else v)
+          voting
+      in
+      let s = randomized_weighted_majority ~weights in
+      Strategy.decide s ~alpha ~qualities corrected)
+
+let mixture p a b =
+  if p < 0. || p > 1. then invalid_arg "Randomized.mixture: p outside [0, 1]";
+  let name = Printf.sprintf "MIX(%.2f,%s,%s)" p (Strategy.name a) (Strategy.name b) in
+  Strategy.make ~name (fun ~alpha ~qualities voting ->
+      let pa = Strategy.prob_decide_no (Strategy.decide a ~alpha ~qualities voting) in
+      let pb = Strategy.prob_decide_no (Strategy.decide b ~alpha ~qualities voting) in
+      Strategy.Randomize ((p *. pa) +. ((1. -. p) *. pb)))

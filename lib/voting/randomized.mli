@@ -1,0 +1,28 @@
+(** Randomized voting strategies from Table 2. *)
+
+val randomized_majority : Strategy.t
+(** RMV [20] (Example 1): returns 0 with probability
+    p = (1/n) Σ (1 − v_i) — proportional to the share of 0-votes. *)
+
+val random_ballot : Strategy.t
+(** RBV [33]: picks one ballot uniformly at random and returns it; the
+    probability of answering 0 is therefore the share of 0-votes — for the
+    *unweighted* ballot model used in the paper's experiments (§6.1.4,
+    footnote 4) the paper instead fixes 50/50; see {!coin_flip}. *)
+
+val coin_flip : Strategy.t
+(** The paper's experimental RBV ("randomly returns 0 or 1 with 50%"),
+    i.e. a pure coin ignoring the votes.  Its JQ is pinned at 50%. *)
+
+val randomized_weighted_majority : weights:float array -> Strategy.t
+(** Randomized weighted MV [23]: returns 0 with probability
+    Σ w_i (1 − v_i) / Σ w_i (nonnegative weights; zero total weight falls
+    back to a fair coin). *)
+
+val randomized_logit_weighted : Strategy.t
+(** {!randomized_weighted_majority} with logit-of-quality weights. *)
+
+val mixture : float -> Strategy.t -> Strategy.t -> Strategy.t
+(** [mixture p a b] runs [a] with probability p and [b] otherwise — closed
+    under Definition 2, used by optimality property tests to generate
+    arbitrary randomized strategies. *)

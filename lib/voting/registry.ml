@@ -1,0 +1,25 @@
+let all =
+  [
+    Classic.majority;
+    Classic.majority_tie_coin;
+    Classic.half;
+    Classic.recursive_majority;
+    Bayesian.strategy;
+    Classic.logit_weighted_majority;
+    Randomized.randomized_majority;
+    Randomized.coin_flip;
+    Randomized.random_ballot;
+    Randomized.randomized_logit_weighted;
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii (Strategy.name s) = target) all
+
+let find_exn name =
+  match find name with Some s -> s | None -> raise Not_found
+
+let names () = List.map Strategy.name all
+
+let comparison_set =
+  [ Classic.majority; Bayesian.strategy; Randomized.coin_flip; Randomized.randomized_majority ]

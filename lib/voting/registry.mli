@@ -1,0 +1,19 @@
+(** Name → strategy lookup, so CLIs and benches can select strategies by
+    the names the paper uses (MV, BV, RMV, RBV, ...). *)
+
+val all : Strategy.t list
+(** Every built-in binary strategy that needs no per-jury parameters:
+    MV, MV-coin, HALF, TRIADIC, BV, WMV-logit, RMV, RBV, RBV-ballot,
+    RWMV-logit. *)
+
+val find : string -> Strategy.t option
+(** Case-insensitive lookup by {!Strategy.name}. *)
+
+val find_exn : string -> Strategy.t
+(** @raise Not_found when the name is unknown. *)
+
+val names : unit -> string list
+(** Registered names, in registration order. *)
+
+val comparison_set : Strategy.t list
+(** The four strategies of Figure 8: MV, BV, RBV, RMV. *)

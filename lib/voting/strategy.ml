@@ -1,0 +1,39 @@
+type outcome = Decide of Vote.t | Randomize of float
+
+type t = {
+  name : string;
+  decide_fn : alpha:float -> qualities:float array -> Vote.voting -> outcome;
+}
+
+let make ~name decide_fn = { name; decide_fn }
+let name t = t.name
+
+let decide t ~alpha ~qualities voting =
+  if Array.length qualities <> Array.length voting then
+    invalid_arg "Strategy.decide: qualities and voting lengths differ";
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Strategy.decide: alpha outside [0, 1]";
+  match t.decide_fn ~alpha ~qualities voting with
+  | Decide _ as o -> o
+  | Randomize p ->
+      if p < -.1e-12 || p > 1. +. 1e-12 || Float.is_nan p then
+        invalid_arg (t.name ^ ": randomized outcome probability outside [0, 1]")
+      else Randomize (Float.min 1. (Float.max 0. p))
+
+let prob_decide_no = function
+  | Decide Vote.No -> 1.
+  | Decide Vote.Yes -> 0.
+  | Randomize p -> p
+
+let run t rng ~alpha ~qualities voting =
+  match decide t ~alpha ~qualities voting with
+  | Decide v -> v
+  | Randomize p -> if Prob.Rng.bernoulli rng p then Vote.No else Vote.Yes
+
+let is_deterministic_on t ~alpha ~qualities ~n =
+  Seq.for_all
+    (fun v ->
+      match decide t ~alpha ~qualities v with
+      | Decide _ -> true
+      | Randomize p -> p = 0. || p = 1.)
+    (Vote.enumerate n)

@@ -1,0 +1,40 @@
+(** Voting strategies (§3.1).
+
+    A strategy S(V, J, α) estimates the task's true answer from a voting.
+    Definition 1 (deterministic) and Definition 2 (randomized) are unified
+    here by making a strategy return an {!outcome}: either a definite
+    decision, or the probability with which 0 would be returned.  The
+    expectation E[1(S(V)=0)] that Definition 3's JQ needs is exactly
+    {!prob_decide_no} of that outcome, so the same JQ code covers both
+    strategy classes. *)
+
+type outcome =
+  | Decide of Vote.t       (** Deterministic result. *)
+  | Randomize of float     (** Return [No] with this probability, [Yes] otherwise. *)
+
+type t
+(** A named strategy. *)
+
+val make :
+  name:string ->
+  (alpha:float -> qualities:float array -> Vote.voting -> outcome) ->
+  t
+(** [make ~name decide]: [decide] receives the prior α = Pr(t = 0), the
+    jury's quality vector (aligned with the voting), and the voting. *)
+
+val name : t -> string
+
+val decide : t -> alpha:float -> qualities:float array -> Vote.voting -> outcome
+(** Apply the strategy.  @raise Invalid_argument if the qualities and voting
+    lengths differ, or alpha lies outside [0, 1]. *)
+
+val prob_decide_no : outcome -> float
+(** E[1(S(V) = 0)]: 1 or 0 for [Decide], [p] for [Randomize p]. *)
+
+val run : t -> Prob.Rng.t -> alpha:float -> qualities:float array -> Vote.voting -> Vote.t
+(** Execute the strategy, sampling if the outcome is randomized. *)
+
+val is_deterministic_on :
+  t -> alpha:float -> qualities:float array -> n:int -> bool
+(** Whether the strategy returns [Decide] on every voting of size [n] under
+    the given prior and qualities (checked by enumeration; n ≤ 25). *)

@@ -1,0 +1,35 @@
+type t = No | Yes
+
+let to_int = function No -> 0 | Yes -> 1
+
+let of_int = function
+  | 0 -> No
+  | 1 -> Yes
+  | n -> invalid_arg (Printf.sprintf "Vote.of_int: %d is not a binary vote" n)
+
+let flip = function No -> Yes | Yes -> No
+let equal a b = a = b
+let pp ppf v = Format.pp_print_int ppf (to_int v)
+
+type voting = t array
+
+let voting_of_ints l = Array.of_list (List.map of_int l)
+let flip_all v = Array.map flip v
+
+let count_no v =
+  Array.fold_left (fun acc x -> match x with No -> acc + 1 | Yes -> acc) 0 v
+
+let count_yes v = Array.length v - count_no v
+
+let enumerate n =
+  if n < 0 || n > 25 then invalid_arg "Vote.enumerate: n outside [0, 25]";
+  let of_mask mask =
+    Array.init n (fun i ->
+        if mask land (1 lsl (n - 1 - i)) <> 0 then Yes else No)
+  in
+  Seq.map of_mask (Seq.init (1 lsl n) Fun.id)
+
+let pp_voting ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_array ~pp_sep:(fun _ () -> ()) pp)
+    v

@@ -1,0 +1,39 @@
+(** Votes and votings for decision-making tasks (§2.1).
+
+    A vote is an answer to a binary task; the paper writes 0 for "no" and 1
+    for "yes".  A voting V = (v_1, ..., v_n) collects one vote per jury
+    member, in jury order. *)
+
+type t = No | Yes
+(** [No] is the paper's 0, [Yes] its 1. *)
+
+val to_int : t -> int
+(** [No -> 0], [Yes -> 1]. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}. @raise Invalid_argument on other ints. *)
+
+val flip : t -> t
+(** The opposite vote (the paper's v̄ = 1 − v). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type voting = t array
+(** One vote per jury member, jury order. *)
+
+val voting_of_ints : int list -> voting
+val flip_all : voting -> voting
+(** The paper's V̄ (flip every component). *)
+
+val count_no : voting -> int
+(** Σ (1 − v_i): how many voted 0. *)
+
+val count_yes : voting -> int
+
+val enumerate : int -> voting Seq.t
+(** All 2^n votings over [n] workers, lazily, in lexicographic order with
+    the first worker as the most significant position.
+    @raise Invalid_argument for n > 25 (enumeration would not fit). *)
+
+val pp_voting : Format.formatter -> voting -> unit

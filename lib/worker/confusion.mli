@@ -1,0 +1,46 @@
+(** Confusion-matrix worker model for multi-choice tasks (§7).
+
+    A worker over ℓ labels is described by an ℓ×ℓ row-stochastic matrix C
+    where [C.(j).(k)] is the probability of voting label [k] when the true
+    answer is label [j].  The binary single-quality model embeds as the 2×2
+    matrix [[q, 1−q], [1−q, q]]. *)
+
+type t
+(** A validated confusion matrix together with the worker's cost. *)
+
+val make : ?name:string -> id:int -> matrix:float array array -> cost:float -> unit -> t
+(** Validates: square, ℓ ≥ 2, rows nonnegative summing to 1 (±1e-9), cost ≥ 0.
+    Rows are renormalized to remove the residual rounding.  The matrix is
+    copied.  @raise Invalid_argument on violations. *)
+
+val of_binary : Worker.t -> t
+(** Embed a binary quality-q worker as a symmetric 2×2 matrix. *)
+
+val id : t -> int
+val name : t -> string
+val cost : t -> float
+val labels : t -> int
+(** Number of labels ℓ. *)
+
+val prob : t -> truth:int -> vote:int -> float
+(** [prob c ~truth ~vote] is Pr(worker votes [vote] | true label [truth]).
+    @raise Invalid_argument on out-of-range labels. *)
+
+val row : t -> int -> float array
+(** Copy of the distribution over votes when the truth is the given label. *)
+
+val accuracy_given_uniform_prior : t -> float
+(** Mean diagonal: the probability of a correct vote when all truths are
+    equally likely — a scalar summary used when ranking matrix workers. *)
+
+val diagonal_dominant : t -> bool
+(** Whether each row's diagonal entry is its (weak) maximum — the
+    matrix analogue of q ≥ 0.5. *)
+
+val symmetric_binary : quality:float -> id:int -> cost:float -> t
+(** Convenience builder for a 2×2 quality-q matrix. *)
+
+val uniform_spammer : labels:int -> id:int -> cost:float -> t
+(** The worker who votes uniformly at random regardless of the truth. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+type vote = { task : int; worker : int; label : int }
+
+type result = {
+  confusions : float array array array;
+  class_priors : float array;
+  posteriors : float array array;
+  labels : int array;
+  log_likelihood : float;
+  iterations : int;
+}
+
+let validate ~n_tasks ~n_workers ~n_labels votes =
+  List.iter
+    (fun v ->
+      if v.task < 0 || v.task >= n_tasks then invalid_arg "Dawid_skene: task id";
+      if v.worker < 0 || v.worker >= n_workers then invalid_arg "Dawid_skene: worker id";
+      if v.label < 0 || v.label >= n_labels then invalid_arg "Dawid_skene: label")
+    votes
+
+(* Group votes by task once; EM iterates over this index. *)
+let votes_by_task ~n_tasks votes =
+  let by_task = Array.make n_tasks [] in
+  List.iter (fun v -> by_task.(v.task) <- (v.worker, v.label) :: by_task.(v.task)) votes;
+  by_task
+
+let soft_majority_init ~n_tasks ~n_labels by_task =
+  Array.init n_tasks (fun t ->
+      let counts = Array.make n_labels 0. in
+      List.iter (fun (_, l) -> counts.(l) <- counts.(l) +. 1.) by_task.(t);
+      let total = Prob.Kahan.sum_array counts in
+      if total = 0. then Array.make n_labels (1. /. float_of_int n_labels)
+      else Array.map (fun c -> c /. total) counts)
+
+let m_step ~n_workers ~n_labels ~smoothing votes posteriors =
+  let confusions =
+    Array.init n_workers (fun _ -> Array.make_matrix n_labels n_labels smoothing)
+  in
+  List.iter
+    (fun v ->
+      let post = posteriors.(v.task) in
+      let m = confusions.(v.worker) in
+      for j = 0 to n_labels - 1 do
+        m.(j).(v.label) <- m.(j).(v.label) +. post.(j)
+      done)
+    votes;
+  let confusions =
+    Array.map
+      (fun m ->
+        Array.map
+          (fun row ->
+            let s = Prob.Kahan.sum_array row in
+            if s = 0. then Array.make n_labels (1. /. float_of_int n_labels)
+            else Array.map (fun c -> c /. s) row)
+          m)
+      confusions
+  in
+  let priors = Array.make n_labels 0. in
+  Array.iter
+    (fun post ->
+      for j = 0 to n_labels - 1 do
+        priors.(j) <- priors.(j) +. post.(j)
+      done)
+    posteriors;
+  let total = Prob.Kahan.sum_array priors in
+  let priors =
+    if total = 0. then Array.make n_labels (1. /. float_of_int n_labels)
+    else Array.map (fun p -> p /. total) priors
+  in
+  (confusions, priors)
+
+(* E-step in the log domain; also returns the observed-data log-likelihood
+   sum_t ln sum_j prior_j * prod_votes Pr(vote | truth = j). *)
+let e_step ~n_labels confusions priors by_task =
+  let loglik = Prob.Kahan.create () in
+  let posteriors =
+    Array.map
+      (fun task_votes ->
+        let log_joint =
+          Array.init n_labels (fun j ->
+              List.fold_left
+                (fun acc (w, l) -> acc +. Prob.Log_space.of_prob confusions.(w).(j).(l))
+                (Prob.Log_space.of_prob priors.(j))
+                task_votes)
+        in
+        let log_z = Prob.Log_space.sum_array log_joint in
+        Prob.Kahan.add loglik log_z;
+        if log_z = neg_infinity then Array.make n_labels (1. /. float_of_int n_labels)
+        else Array.map (fun lj -> exp (lj -. log_z)) log_joint)
+      by_task
+  in
+  (posteriors, Prob.Kahan.total loglik)
+
+let argmax arr =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > arr.(!best) then best := i) arr;
+  !best
+
+let run ?(max_iterations = 100) ?(tolerance = 1e-7) ?(smoothing = 0.01) ~n_tasks
+    ~n_workers ~n_labels votes =
+  if n_labels < 2 then invalid_arg "Dawid_skene.run: need at least 2 labels";
+  validate ~n_tasks ~n_workers ~n_labels votes;
+  let by_task = votes_by_task ~n_tasks votes in
+  let posteriors = ref (soft_majority_init ~n_tasks ~n_labels by_task) in
+  let confusions = ref [||] in
+  let priors = ref [||] in
+  let loglik = ref neg_infinity in
+  let iterations = ref 0 in
+  (try
+     for i = 1 to max_iterations do
+       let c, p = m_step ~n_workers ~n_labels ~smoothing votes !posteriors in
+       let post, ll = e_step ~n_labels c p by_task in
+       confusions := c;
+       priors := p;
+       posteriors := post;
+       iterations := i;
+       let gain = ll -. !loglik in
+       loglik := ll;
+       if gain < tolerance && i > 1 then raise Exit
+     done
+   with Exit -> ());
+  {
+    confusions = !confusions;
+    class_priors = !priors;
+    posteriors = !posteriors;
+    labels = Array.map argmax !posteriors;
+    log_likelihood = !loglik;
+    iterations = !iterations;
+  }
+
+let binary_qualities r =
+  Array.map
+    (fun m ->
+      if Array.length m <> 2 then
+        invalid_arg "Dawid_skene.binary_qualities: not a 2-label fit";
+      (r.class_priors.(0) *. m.(0).(0)) +. (r.class_priors.(1) *. m.(1).(1)))
+    r.confusions

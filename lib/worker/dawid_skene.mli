@@ -1,0 +1,44 @@
+(** Dawid–Skene EM estimation of worker confusion matrices and task labels
+    (paper references [1] — Dawid & Skene 1979 — and [18] — Ipeirotis et
+    al. 2010).
+
+    When no gold questions are available, worker qualities must be inferred
+    jointly with the unknown true answers.  EM alternates between:
+    - E-step: posterior over each task's true label given current worker
+      matrices and class priors;
+    - M-step: re-estimate each worker's confusion matrix and the class
+      priors from the soft labels.
+
+    Initialization is (soft) majority voting.  Smoothing keeps matrices
+    strictly positive so the log-likelihood is finite. *)
+
+type vote = { task : int; worker : int; label : int }
+
+type result = {
+  confusions : float array array array;
+      (** [confusions.(w)] is worker [w]'s estimated ℓ×ℓ matrix. *)
+  class_priors : float array;       (** Estimated Pr(truth = j). *)
+  posteriors : float array array;   (** [posteriors.(t).(j)] = Pr(truth_t = j | votes). *)
+  labels : int array;               (** argmax of each posterior. *)
+  log_likelihood : float;           (** Final observed-data log-likelihood. *)
+  iterations : int;                 (** EM iterations executed. *)
+}
+
+val run :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?smoothing:float ->
+  n_tasks:int ->
+  n_workers:int ->
+  n_labels:int ->
+  vote list ->
+  result
+(** [run ~n_tasks ~n_workers ~n_labels votes] fits the model.  Defaults:
+    [max_iterations = 100], [tolerance = 1e-7] (stop when the log-likelihood
+    gain drops below it), [smoothing = 0.01] added per confusion cell.
+    Tasks or workers with no votes get uniform posteriors / matrices.
+    @raise Invalid_argument on out-of-range ids or labels. *)
+
+val binary_qualities : result -> float array
+(** For a 2-label fit: each worker's scalar quality, the prior-weighted
+    diagonal of the confusion matrix — comparable to {!Worker.quality}. *)

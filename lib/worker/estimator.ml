@@ -1,0 +1,36 @@
+let empirical ?(prior_strength = 0.) h =
+  let graded = float_of_int (History.graded_count h) in
+  let correct = float_of_int (History.correct_count h) in
+  if graded +. prior_strength = 0. then 0.5
+  else (correct +. (prior_strength /. 2.)) /. (graded +. prior_strength)
+
+let beta_posterior_mean ~a ~b h =
+  let graded = float_of_int (History.graded_count h) in
+  let correct = float_of_int (History.correct_count h) in
+  (correct +. a) /. (graded +. a +. b)
+
+let estimate_pool ?(prior_strength = 0.) ~costs histories =
+  Pool.of_list
+    (List.map
+       (fun h ->
+         let id = History.worker_id h in
+         Worker.make ~id ~quality:(empirical ~prior_strength h) ~cost:(costs id) ())
+       histories)
+
+let confusion_empirical ~labels ~prior_strength h =
+  if labels < 2 then invalid_arg "Estimator.confusion_empirical";
+  let smoothing = prior_strength /. float_of_int labels in
+  let counts = Array.make_matrix labels labels smoothing in
+  List.iter
+    (fun (e : History.entry) ->
+      match e.truth with
+      | Some truth when truth >= 0 && truth < labels && e.vote >= 0 && e.vote < labels ->
+          counts.(truth).(e.vote) <- counts.(truth).(e.vote) +. 1.
+      | Some _ | None -> ())
+    (History.entries h);
+  Array.map
+    (fun row ->
+      let s = Prob.Kahan.sum_array row in
+      if s = 0. then Array.make labels (1. /. float_of_int labels)
+      else Array.map (fun c -> c /. s) row)
+    counts

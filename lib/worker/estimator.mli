@@ -1,0 +1,34 @@
+(** Quality estimation from answer histories.
+
+    Two estimators the crowdsourcing literature the paper builds on uses:
+
+    - the empirical (gold-question) estimator of CDAS [25] / the paper's own
+      §6.2.1: quality = fraction of graded answers that were correct, with
+      optional Laplace smoothing so a worker with few answers is not pinned
+      to 0 or 1;
+    - a smoothed Beta posterior-mean estimator, the Bayesian version of the
+      same idea. *)
+
+val empirical : ?prior_strength:float -> History.t -> float
+(** [empirical h] is [(correct + s/2) / (graded + s)] where [s] is
+    [prior_strength] (default 0: the raw paper definition).  Returns 0.5
+    when nothing was graded. *)
+
+val beta_posterior_mean : a:float -> b:float -> History.t -> float
+(** Posterior mean of quality under a Beta(a, b) prior:
+    [(correct + a) / (graded + a + b)]. *)
+
+val estimate_pool :
+  ?prior_strength:float ->
+  costs:(int -> float) ->
+  History.t list ->
+  Pool.t
+(** Build a candidate pool from histories: one worker per history, with the
+    empirical quality and the cost given by [costs worker_id].  Pool order
+    follows the list order; worker ids are the history ids. *)
+
+val confusion_empirical :
+  labels:int -> prior_strength:float -> History.t -> float array array
+(** Empirical confusion matrix over [labels] labels with additive smoothing
+    [prior_strength / labels] per cell (rows renormalized).  Rows with no
+    graded answers fall back to uniform. *)

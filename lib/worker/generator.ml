@@ -1,0 +1,65 @@
+type params = {
+  quality_mu : float;
+  quality_sigma : float;
+  cost_mu : float;
+  cost_sigma : float;
+  quality_lo : float;
+  quality_hi : float;
+  cost_lo : float;
+}
+
+let default =
+  {
+    quality_mu = 0.7;
+    quality_sigma = sqrt 0.05;
+    cost_mu = 0.05;
+    cost_sigma = sqrt 0.2;
+    quality_lo = 0.5;
+    quality_hi = 0.99;
+    cost_lo = 0.01;
+  }
+
+let draw_quality rng params =
+  Prob.Distributions.sample_gaussian_clamped rng ~mu:params.quality_mu
+    ~sigma:params.quality_sigma ~lo:params.quality_lo ~hi:params.quality_hi
+
+(* Truncated (resampled) rather than clamped: clamping would pile an atom
+   of identical minimum-cost workers at the floor, which distorts the
+   budget sweeps; resampling keeps the cheap tail spread out. *)
+let draw_cost rng params =
+  Prob.Distributions.sample_gaussian_truncated rng ~mu:params.cost_mu
+    ~sigma:params.cost_sigma ~lo:params.cost_lo ~hi:infinity
+
+let gaussian_pool rng params n =
+  Pool.of_list
+    (List.init n (fun id ->
+         Worker.make ~id ~quality:(draw_quality rng params)
+           ~cost:(draw_cost rng params) ()))
+
+let uniform_cost_pool rng params ~cost n =
+  Pool.of_list
+    (List.init n (fun id ->
+         Worker.make ~id ~quality:(draw_quality rng params) ~cost ()))
+
+let free_pool rng params n = uniform_cost_pool rng params ~cost:0. n
+
+let beta_quality_pool rng ~a ~b params n =
+  let range = params.quality_hi -. params.quality_lo in
+  Pool.of_list
+    (List.init n (fun id ->
+         let q = params.quality_lo +. (range *. Prob.Distributions.sample_beta rng ~a ~b) in
+         Worker.make ~id ~quality:q ~cost:(draw_cost rng params) ()))
+
+let figure1_pool () =
+  let specs =
+    [
+      ("A", 0.77, 9.); ("B", 0.7, 5.); ("C", 0.8, 6.); ("D", 0.65, 7.);
+      ("E", 0.6, 5.); ("F", 0.6, 2.); ("G", 0.75, 3.);
+    ]
+  in
+  Pool.of_list
+    (List.mapi
+       (fun id (name, quality, cost) -> Worker.make ~name ~id ~quality ~cost ())
+       specs)
+
+let example2_qualities = [| 0.9; 0.6; 0.6 |]

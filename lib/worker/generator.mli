@@ -1,0 +1,52 @@
+(** Synthetic worker-pool generators reproducing the paper's experimental
+    setup (§6.1.1): qualities and costs drawn from Gaussians
+    [q ~ N(mu, sigma²)], [c ~ N(cost_mu, cost_sigma²)].
+
+    Qualities are clamped into [quality_lo, quality_hi] (default
+    [0.5, 0.99]): §3.3 assumes q ≥ 0.5 without loss of generality, and
+    §4.4's error-bound argument treats q > 0.99 separately.  Costs are
+    drawn from the Gaussian *truncated* below at [cost_lo] (default 0.01,
+    by resampling) since the paper's cost model N(0.05, 0.2²) would
+    otherwise produce negative rewards; truncation rather than clamping
+    keeps the cheap tail spread out instead of piling an atom of
+    identical minimum-cost workers at the floor. *)
+
+type params = {
+  quality_mu : float;      (** µ of the quality Gaussian (paper default 0.7). *)
+  quality_sigma : float;   (** σ of the quality Gaussian (√0.05 by default). *)
+  cost_mu : float;         (** µ̂ of the cost Gaussian (paper default 0.05). *)
+  cost_sigma : float;      (** σ̂ of the cost Gaussian (√0.2 by default:
+                               the paper gives the *variance* σ̂² = 0.2). *)
+  quality_lo : float;
+  quality_hi : float;
+  cost_lo : float;
+}
+
+val default : params
+(** The §6.1.1 defaults: quality_mu = 0.7, quality_sigma = sqrt 0.05,
+    cost_mu = 0.05, cost_sigma = sqrt 0.2, quality range [0.5, 0.99],
+    cost floor 0.01. *)
+
+val gaussian_pool : Prob.Rng.t -> params -> int -> Pool.t
+(** [gaussian_pool rng params n] draws [n] workers with ids 0..n−1. *)
+
+val uniform_cost_pool :
+  Prob.Rng.t -> params -> cost:float -> int -> Pool.t
+(** Pool with Gaussian qualities but one shared cost — the Lemma-2 top-k
+    special case. *)
+
+val free_pool : Prob.Rng.t -> params -> int -> Pool.t
+(** Pool of volunteers (cost 0) — the Lemma-1 select-everyone case. *)
+
+val beta_quality_pool :
+  Prob.Rng.t -> a:float -> b:float -> params -> int -> Pool.t
+(** Qualities drawn from Beta(a, b) rescaled into the legal range — an
+    alternative ability profile used by robustness benches. *)
+
+val figure1_pool : unit -> Pool.t
+(** The seven workers A–G of Figure 1 with their printed qualities and
+    costs: A(0.77,$9) B(0.7,$5) C(0.8,$6) D(0.65,$7) E(0.6,$5) F(0.6,$2)
+    G(0.75,$3). *)
+
+val example2_qualities : float array
+(** The (0.9, 0.6, 0.6) jury of Figure 2 / Examples 2–3. *)

@@ -1,0 +1,45 @@
+type entry = { task_id : int; vote : int; truth : int option }
+
+type t = { worker_id : int; mutable rev_entries : entry list; mutable count : int }
+
+let create ~worker_id = { worker_id; rev_entries = []; count = 0 }
+let worker_id t = t.worker_id
+
+let record t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1
+
+let record_vote t ~task_id ~vote = record t { task_id; vote; truth = None }
+
+let record_gold t ~task_id ~vote ~truth =
+  record t { task_id; vote; truth = Some truth }
+
+let entries t = List.rev t.rev_entries
+let length t = t.count
+
+let answered_tasks t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      if Hashtbl.mem seen e.task_id then None
+      else begin
+        Hashtbl.add seen e.task_id ();
+        Some e.task_id
+      end)
+    (entries t)
+
+let correct_count t =
+  List.fold_left
+    (fun acc e ->
+      match e.truth with Some tr when tr = e.vote -> acc + 1 | _ -> acc)
+    0 t.rev_entries
+
+let graded_count t =
+  List.fold_left
+    (fun acc e -> match e.truth with Some _ -> acc + 1 | None -> acc)
+    0 t.rev_entries
+
+let empirical_quality t =
+  let graded = graded_count t in
+  if graded = 0 then None
+  else Some (float_of_int (correct_count t) /. float_of_int graded)

@@ -1,0 +1,42 @@
+(** Per-worker answer histories.
+
+    The paper assumes qualities are "known in advance", derived from
+    answering history (§2.1, refs [7, 25, 37]).  This module is the record
+    of that history: which tasks a worker answered, what they voted, and —
+    when available — the ground truth.  {!Estimator} and {!Dawid_skene}
+    consume it. *)
+
+type entry = {
+  task_id : int;
+  vote : int;                (** The label the worker chose. *)
+  truth : int option;        (** Ground truth if known (gold questions). *)
+}
+
+type t
+(** Append-only log for one worker. *)
+
+val create : worker_id:int -> t
+val worker_id : t -> int
+
+val record : t -> entry -> unit
+val record_vote : t -> task_id:int -> vote:int -> unit
+val record_gold : t -> task_id:int -> vote:int -> truth:int -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+
+val answered_tasks : t -> int list
+(** Distinct task ids, oldest first. *)
+
+val correct_count : t -> int
+(** Entries with known truth where [vote = truth]. *)
+
+val graded_count : t -> int
+(** Entries with known truth. *)
+
+val empirical_quality : t -> float option
+(** [correct / graded], or [None] when nothing was graded.  This is exactly
+    the paper's §6.2.1 definition: "the proportion of correctly answered
+    questions by the worker in all her answered questions". *)

@@ -1,0 +1,60 @@
+type t = Worker.t array
+
+let of_list l = Array.of_list l
+let of_array a = Array.copy a
+let to_list t = Array.to_list t
+let to_array t = Array.copy t
+let size t = Array.length t
+let is_empty t = Array.length t = 0
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Pool.get: index out of bounds";
+  t.(i)
+
+let qualities t = Array.map Worker.quality t
+let costs t = Array.map Worker.cost t
+let total_cost t = Prob.Kahan.sum_array (costs t)
+let mean_quality t = Prob.Stats.mean (qualities t)
+let add t w = Array.append t [| w |]
+let remove_id t id = Array.of_seq (Seq.filter (fun w -> Worker.id w <> id) (Array.to_seq t))
+let mem_id t id = Array.exists (fun w -> Worker.id w = id) t
+let find_id t id = Array.find_opt (fun w -> Worker.id w = id) t
+let filter p t = Array.of_seq (Seq.filter p (Array.to_seq t))
+
+let sub t idxs =
+  Array.of_list (List.map (fun i -> get t i) idxs)
+
+let sorted_by_quality_desc t =
+  let c = Array.copy t in
+  Array.sort Worker.compare_by_quality_desc c;
+  c
+
+let sorted_by_cost t =
+  let c = Array.copy t in
+  Array.sort Worker.compare_by_cost c;
+  c
+
+let take k t = if k >= Array.length t then Array.copy t else Array.sub t 0 (max 0 k)
+
+let subsets t =
+  let n = Array.length t in
+  if n > 25 then invalid_arg "Pool.subsets: pool too large to enumerate";
+  let count = 1 lsl n in
+  let subset_of mask =
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then members := t.(i) :: !members
+    done;
+    Array.of_list !members
+  in
+  Seq.map subset_of (Seq.init count Fun.id)
+
+let union = Array.append
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Worker.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Worker.pp)
+    t

@@ -1,0 +1,59 @@
+(** Worker pools: the candidate set W of §2.1 and juries J ⊆ W.
+
+    A pool is an immutable array of workers.  Juries are just (small) pools;
+    all jury-level quantities (cost, quality vector) live here. *)
+
+type t
+(** Immutable ordered collection of workers. *)
+
+val of_list : Worker.t list -> t
+val of_array : Worker.t array -> t
+(** The array is copied. *)
+
+val to_list : t -> Worker.t list
+val to_array : t -> Worker.t array
+(** A fresh copy; mutating it does not affect the pool. *)
+
+val size : t -> int
+val is_empty : t -> bool
+val get : t -> int -> Worker.t
+(** Positional access. @raise Invalid_argument when out of bounds. *)
+
+val qualities : t -> float array
+(** Quality of each worker, in pool order. *)
+
+val costs : t -> float array
+val total_cost : t -> float
+(** Jury cost: sum of member costs (§1). *)
+
+val mean_quality : t -> float
+(** Average member quality; [nan] on the empty pool. *)
+
+val add : t -> Worker.t -> t
+(** Append one worker. *)
+
+val remove_id : t -> int -> t
+(** Drop every worker whose id matches. *)
+
+val mem_id : t -> int -> bool
+val find_id : t -> int -> Worker.t option
+
+val filter : (Worker.t -> bool) -> t -> t
+val sub : t -> int list -> t
+(** [sub pool idxs] selects positions [idxs] (in the given order).
+    @raise Invalid_argument on out-of-range positions. *)
+
+val sorted_by_quality_desc : t -> t
+val sorted_by_cost : t -> t
+
+val take : int -> t -> t
+(** First [k] workers (or all if fewer). *)
+
+val subsets : t -> t Seq.t
+(** All 2^n sub-pools, for exact JSP enumeration on small pools.  Lazy. *)
+
+val union : t -> t -> t
+(** Concatenation (no dedup — ids are the caller's responsibility). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

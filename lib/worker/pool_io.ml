@@ -1,0 +1,56 @@
+let parse_line ~line_number line =
+  match String.split_on_char ',' line with
+  | [ name; quality; cost ] -> (
+      let name = String.trim name in
+      match
+        (float_of_string_opt (String.trim quality), float_of_string_opt (String.trim cost))
+      with
+      | Some q, Some c -> (name, q, c)
+      | _ ->
+          failwith
+            (Printf.sprintf "Pool_io: line %d: quality/cost not numbers: %S"
+               line_number line))
+  | _ ->
+      failwith
+        (Printf.sprintf "Pool_io: line %d: expected 'name,quality,cost': %S"
+           line_number line)
+
+let is_header line =
+  String.lowercase_ascii (String.trim line) = "name,quality,cost"
+
+let of_csv_string doc =
+  let lines = String.split_on_char '\n' doc in
+  let rows = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' || (idx = 0 && is_header line) then ()
+      else rows := parse_line ~line_number:(idx + 1) line :: !rows)
+    lines;
+  let rows = List.rev !rows in
+  try
+    Pool.of_list
+      (List.mapi
+         (fun id (name, quality, cost) -> Worker.make ~name ~id ~quality ~cost ())
+         rows)
+  with Invalid_argument msg -> failwith ("Pool_io: " ^ msg)
+
+let to_csv_string pool =
+  let line w =
+    Printf.sprintf "%s,%.12g,%.12g" (Worker.name w) (Worker.quality w)
+      (Worker.cost w)
+  in
+  String.concat "\n" ("name,quality,cost" :: List.map line (Pool.to_list pool))
+  ^ "\n"
+
+let load path =
+  let ic = open_in path in
+  let size = in_channel_length ic in
+  let content = really_input_string ic size in
+  close_in ic;
+  of_csv_string content
+
+let save path pool =
+  let oc = open_out path in
+  output_string oc (to_csv_string pool);
+  close_out oc

@@ -1,0 +1,27 @@
+(** Loading and saving worker pools as CSV.
+
+    Format: a header line [name,quality,cost] (optional) followed by one
+    worker per line, e.g.
+
+    {v
+    name,quality,cost
+    A,0.77,9
+    B,0.7,5
+    v}
+
+    Ids are assigned by position.  Lines that are empty or start with [#]
+    are skipped. *)
+
+val of_csv_string : string -> Pool.t
+(** Parse a CSV document.  @raise Failure with a line-numbered message on
+    malformed rows or invalid qualities/costs. *)
+
+val to_csv_string : Pool.t -> string
+(** Serialize with a header line.  [of_csv_string (to_csv_string p)] equals
+    [p] up to ids being renumbered by position. *)
+
+val load : string -> Pool.t
+(** Read a pool from a file path.  @raise Sys_error / Failure. *)
+
+val save : string -> Pool.t -> unit
+(** Write a pool to a file path. *)

@@ -1,0 +1,29 @@
+let total_variation row_a row_b =
+  let acc = ref 0. in
+  Array.iteri (fun k a -> acc := !acc +. Float.abs (a -. row_b.(k))) row_a;
+  !acc /. 2.
+
+let score c =
+  let l = Confusion.labels c in
+  let acc = ref 0. and pairs = ref 0 in
+  for j = 0 to l - 1 do
+    for j' = j + 1 to l - 1 do
+      acc := !acc +. total_variation (Confusion.row c j) (Confusion.row c j');
+      incr pairs
+    done
+  done;
+  !acc /. float_of_int !pairs
+
+let is_spammer ?(threshold = 0.05) c = score c < threshold
+
+let rank jury =
+  let ranked = Array.copy jury in
+  Array.sort
+    (fun a b ->
+      match compare (score b) (score a) with
+      | 0 -> compare (Confusion.id a) (Confusion.id b)
+      | cmp -> cmp)
+    ranked;
+  ranked
+
+let binary_score_matches_quality ~quality = Float.abs ((2. *. quality) -. 1.)

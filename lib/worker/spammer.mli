@@ -1,0 +1,25 @@
+(** Spammer scoring for confusion-matrix workers.
+
+    §7 notes that ranking matrix workers (Raykar & Yu [34], Ipeirotis et
+    al. [18]) "may provide good heuristics" for multi-class jury selection.
+    A spammer votes independently of the truth, i.e. her confusion matrix
+    has identical rows; an informative worker's rows differ.  The score here
+    is the mean total-variation distance between pairs of rows:
+
+      score(C) = avg over j < j' of  ½ Σ_k |C(j,k) − C(j',k)|  ∈ [0, 1]
+
+    0 exactly for spammers, 1 for workers whose answer distributions under
+    different truths are disjoint (e.g. a perfect worker). *)
+
+val score : Confusion.t -> float
+(** The informativeness score described above. *)
+
+val is_spammer : ?threshold:float -> Confusion.t -> bool
+(** [score c < threshold] (default 0.05). *)
+
+val rank : Confusion.t array -> Confusion.t array
+(** Workers sorted by decreasing score (stable on ties by id). *)
+
+val binary_score_matches_quality : quality:float -> float
+(** For a symmetric binary worker of the given quality the score reduces to
+    |2q − 1| — exposed so tests can pin the correspondence. *)

@@ -1,0 +1,36 @@
+type t = { id : int; name : string; quality : float; cost : float }
+
+let make ?name ~id ~quality ~cost () =
+  if quality < 0. || quality > 1. || Float.is_nan quality then
+    invalid_arg "Worker.make: quality must lie in [0, 1]";
+  if cost < 0. || Float.is_nan cost then
+    invalid_arg "Worker.make: cost must be nonnegative";
+  let name = match name with Some n -> n | None -> Printf.sprintf "w%d" id in
+  { id; name; quality; cost }
+
+let id w = w.id
+let name w = w.name
+let quality w = w.quality
+let cost w = w.cost
+
+let with_quality w quality =
+  make ~name:w.name ~id:w.id ~quality ~cost:w.cost ()
+
+let reliable w = w.quality >= 0.5
+
+let compare_by_quality_desc a b =
+  match compare b.quality a.quality with
+  | 0 -> ( match compare a.cost b.cost with 0 -> compare a.id b.id | c -> c)
+  | c -> c
+
+let compare_by_cost a b =
+  match compare a.cost b.cost with
+  | 0 -> (
+      match compare b.quality a.quality with 0 -> compare a.id b.id | c -> c)
+  | c -> c
+
+let equal a b =
+  a.id = b.id && String.equal a.name b.name && a.quality = b.quality
+  && a.cost = b.cost
+
+let pp ppf w = Format.fprintf ppf "%s(q=%g, c=%g)" w.name w.quality w.cost

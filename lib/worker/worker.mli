@@ -1,0 +1,38 @@
+(** The paper's binary worker model (§2.1).
+
+    A worker has a quality [q ∈ [0, 1]] — the probability of voting the true
+    answer — and a nonnegative cost, the reward required per vote.  Workers
+    carry a stable id (their index in the candidate pool) and an optional
+    human-readable name (Figure 1 labels its workers A–G). *)
+
+type t = private { id : int; name : string; quality : float; cost : float }
+
+val make : ?name:string -> id:int -> quality:float -> cost:float -> unit -> t
+(** Smart constructor validating [0 <= quality <= 1] and [cost >= 0].
+    Default name is ["w<id>"].
+    @raise Invalid_argument on violations. *)
+
+val id : t -> int
+val name : t -> string
+val quality : t -> float
+val cost : t -> float
+
+val with_quality : t -> float -> t
+(** Same worker with a replacement quality (used by monotonicity tests and
+    the q < 0.5 reinterpretation).  Validated as in {!make}. *)
+
+val reliable : t -> bool
+(** [quality >= 0.5] — the standing assumption of §3.3. *)
+
+val compare_by_quality_desc : t -> t -> int
+(** Sort key: decreasing quality, ties by increasing cost then id (total
+    order, so sorts are deterministic). *)
+
+val compare_by_cost : t -> t -> int
+(** Sort key: increasing cost, ties by decreasing quality then id. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. ["A(q=0.77, c=9)"]. *)

@@ -1,0 +1,750 @@
+(* Tests for the crowdsourcing-platform substrate: tasks, vote simulation,
+   the HIT platform, the synthetic AMT dataset, and evaluation. *)
+
+open Voting
+
+let check_close eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Task ---------------------------------------------------------------- *)
+
+let test_task_make () =
+  let t = Crowd.Task.make ~prior:0.3 ~truth:Vote.Yes ~id:7 () in
+  check_int "id" 7 (Crowd.Task.id t);
+  check_close 1e-12 "prior" 0.3 (Crowd.Task.prior t);
+  check_bool "truth" true (Vote.equal (Crowd.Task.truth_exn t) Vote.Yes)
+
+let test_task_validation () =
+  Alcotest.check_raises "prior" (Invalid_argument "Task.make: prior outside [0, 1]")
+    (fun () -> ignore (Crowd.Task.make ~prior:1.5 ~id:0 ()));
+  let t = Crowd.Task.make ~id:0 () in
+  Alcotest.check_raises "no truth"
+    (Invalid_argument "Task.truth_exn: task has no modelled ground truth") (fun () ->
+      ignore (Crowd.Task.truth_exn t))
+
+let test_task_multi () =
+  let t = Crowd.Task.Multi.make ~id:0 ~prior:[| 0.2; 0.3; 0.5 |] ~truth:2 () in
+  check_int "labels" 3 (Crowd.Task.Multi.labels t);
+  check_int "truth" 2 (Crowd.Task.Multi.truth_exn t);
+  Alcotest.check_raises "prior sum"
+    (Invalid_argument "Task.Multi.make: prior does not sum to 1") (fun () ->
+      ignore (Crowd.Task.Multi.make ~id:0 ~prior:[| 0.2; 0.3 |] ()));
+  Alcotest.check_raises "truth range"
+    (Invalid_argument "Task.Multi.make: truth out of range") (fun () ->
+      ignore (Crowd.Task.Multi.make ~id:0 ~prior:[| 0.5; 0.5 |] ~truth:2 ()))
+
+(* ---- Simulate -------------------------------------------------------------- *)
+
+let test_simulate_vote_frequency () =
+  let rng = Prob.Rng.create 11 in
+  let n = 50_000 in
+  let correct = ref 0 in
+  for _ = 1 to n do
+    let v = Crowd.Simulate.vote rng ~truth:Vote.Yes ~quality:0.8 in
+    if Vote.equal v Vote.Yes then incr correct
+  done;
+  check_close 0.01 "matches quality" 0.8 (float_of_int !correct /. float_of_int n)
+
+let test_simulate_truth_frequency () =
+  let rng = Prob.Rng.create 12 in
+  let n = 50_000 in
+  let zeros = ref 0 in
+  for _ = 1 to n do
+    if Vote.equal (Crowd.Simulate.sample_truth rng ~alpha:0.3) Vote.No then incr zeros
+  done;
+  check_close 0.01 "alpha" 0.3 (float_of_int !zeros /. float_of_int n)
+
+let test_simulate_voting_shape =
+  qtest "voting has one vote per worker" QCheck2.Gen.(int_range 1 20) (fun n ->
+      let rng = Prob.Rng.create n in
+      let v = Crowd.Simulate.voting rng ~truth:Vote.No (Array.make n 0.7) in
+      Array.length v = n)
+
+let test_simulate_multi_vote () =
+  let rng = Prob.Rng.create 13 in
+  let c = Workers.Confusion.uniform_spammer ~labels:4 ~id:0 ~cost:0. in
+  for _ = 1 to 100 do
+    let v = Crowd.Simulate.multi_vote rng ~truth:2 c in
+    check_bool "in range" true (v >= 0 && v < 4)
+  done
+
+(* The central consistency check: the Monte-Carlo JQ of BV converges to the
+   analytic Definition-3 JQ. *)
+let test_empirical_jq_matches_exact () =
+  let rng = Prob.Rng.create 14 in
+  let qualities = [| 0.9; 0.6; 0.6 |] in
+  let mc =
+    Crowd.Simulate.empirical_jq rng ~trials:100_000 ~strategy:Bayesian.strategy
+      ~alpha:0.5 ~qualities
+  in
+  check_close 0.01 "BV converges to 0.9" 0.9 mc;
+  let mc_mv =
+    Crowd.Simulate.empirical_jq rng ~trials:100_000 ~strategy:Classic.majority
+      ~alpha:0.5 ~qualities
+  in
+  check_close 0.01 "MV converges to 0.792" 0.792 mc_mv
+
+(* ---- Platform ---------------------------------------------------------------- *)
+
+let mk_tasks n =
+  Array.init n (fun id ->
+      Crowd.Task.make ~id ~truth:(if id mod 2 = 0 then Vote.No else Vote.Yes) ())
+
+let test_platform_batch () =
+  let hits = Crowd.Platform.batch ~per_hit:20 (mk_tasks 50) in
+  check_int "3 hits" 3 (Array.length hits);
+  check_int "full hit" 20 (Array.length hits.(0).Crowd.Platform.task_ids);
+  check_int "ragged tail" 10 (Array.length hits.(2).Crowd.Platform.task_ids);
+  Alcotest.check_raises "per_hit" (Invalid_argument "Platform.batch: per_hit <= 0")
+    (fun () -> ignore (Crowd.Platform.batch ~per_hit:0 (mk_tasks 5)))
+
+let test_platform_uniform_completions () =
+  let rng = Prob.Rng.create 21 in
+  let hits = Crowd.Platform.batch ~per_hit:10 (mk_tasks 30) in
+  let completions =
+    Crowd.Platform.uniform_completions rng ~hits ~n_workers:15 ~per_hit:5
+  in
+  check_int "5 per hit x 3 hits" 15 (List.length completions);
+  (* Workers within a HIT are distinct. *)
+  List.iter
+    (fun hit_id ->
+      let members =
+        List.filter_map
+          (fun (c : Crowd.Platform.completion) ->
+            if c.hit_id = hit_id then Some c.worker_id else None)
+          completions
+      in
+      check_int "distinct members" (List.length members)
+        (List.length (List.sort_uniq compare members)))
+    [ 0; 1; 2 ]
+
+let test_platform_run () =
+  let rng = Prob.Rng.create 22 in
+  let tasks = mk_tasks 30 in
+  let hits = Crowd.Platform.batch ~per_hit:10 tasks in
+  let qualities = Array.make 15 0.8 in
+  let completions =
+    Crowd.Platform.uniform_completions rng ~hits ~n_workers:15 ~per_hit:5
+  in
+  let collected = Crowd.Platform.run rng ~tasks ~qualities ~completions ~hits in
+  Array.iter
+    (fun votes -> check_int "5 votes per task" 5 (Array.length votes))
+    collected.Crowd.Platform.votes;
+  let total_history =
+    Array.fold_left
+      (fun acc h -> acc + Workers.History.length h)
+      0 collected.Crowd.Platform.histories
+  in
+  check_int "histories cover all votes" (30 * 5) total_history
+
+let test_platform_too_few_workers () =
+  let rng = Prob.Rng.create 0 in
+  let hits = Crowd.Platform.batch ~per_hit:10 (mk_tasks 10) in
+  Alcotest.check_raises "per_hit > n_workers"
+    (Invalid_argument "Platform.uniform_completions: per_hit > n_workers")
+    (fun () ->
+      ignore (Crowd.Platform.uniform_completions rng ~hits ~n_workers:3 ~per_hit:5))
+
+let test_platform_dangling () =
+  let rng = Prob.Rng.create 0 in
+  let tasks = mk_tasks 10 in
+  let hits = Crowd.Platform.batch ~per_hit:10 tasks in
+  Alcotest.check_raises "dangling worker"
+    (Invalid_argument "Platform.run: dangling worker id") (fun () ->
+      ignore
+        (Crowd.Platform.run rng ~tasks ~qualities:[| 0.8 |]
+           ~completions:[ { Crowd.Platform.hit_id = 0; worker_id = 3 } ]
+           ~hits))
+
+(* ---- Amt_dataset ----------------------------------------------------------------- *)
+
+let dataset = lazy (Crowd.Amt_dataset.generate (Prob.Rng.create 1234))
+
+let test_amt_shape () =
+  let d = Lazy.force dataset in
+  check_int "600 tasks" 600 (Array.length d.Crowd.Amt_dataset.tasks);
+  check_int "128 workers" 128 (Array.length d.Crowd.Amt_dataset.true_qualities);
+  Array.iter
+    (fun votes -> check_int "20 votes per task" 20 (Array.length votes))
+    d.Crowd.Amt_dataset.votes
+
+let test_amt_statistics () =
+  let s = Crowd.Amt_dataset.statistics (Lazy.force dataset) in
+  check_int "power workers answered all" 2 s.Crowd.Amt_dataset.answered_all;
+  check_int "single-HIT workers" 67 s.Crowd.Amt_dataset.answered_min;
+  check_close 1e-9 "mean answers 93.75" 93.75 s.Crowd.Amt_dataset.mean_answers_per_worker;
+  check_close 0.03 "mean quality ~0.71" 0.715 s.Crowd.Amt_dataset.mean_estimated_quality;
+  check_bool "plenty of >0.8 workers" true (s.Crowd.Amt_dataset.above_080 >= 25)
+
+let test_amt_votes_are_distinct_workers () =
+  let d = Lazy.force dataset in
+  Array.iter
+    (fun votes ->
+      let ids = Array.to_list (Array.map fst votes) in
+      check_int "distinct voters per task" (List.length ids)
+        (List.length (List.sort_uniq compare ids)))
+    d.Crowd.Amt_dataset.votes
+
+let test_amt_balanced_truth () =
+  let d = Lazy.force dataset in
+  let zeros =
+    Array.fold_left
+      (fun acc t -> if Vote.equal (Crowd.Task.truth_exn t) Vote.No then acc + 1 else acc)
+      0 d.Crowd.Amt_dataset.tasks
+  in
+  check_int "balanced" 300 zeros
+
+let test_amt_candidate_pool () =
+  let d = Lazy.force dataset in
+  let costs = Array.make 128 0.05 in
+  let pool = Crowd.Amt_dataset.candidate_pool d ~costs ~task_id:0 in
+  check_int "20 candidates" 20 (Workers.Pool.size pool);
+  Array.iter
+    (fun q -> check_bool "clamped" true (q >= 0.01 && q <= 0.99))
+    (Workers.Pool.qualities pool);
+  Alcotest.check_raises "bad task" (Invalid_argument "Amt_dataset.candidate_pool: task id")
+    (fun () -> ignore (Crowd.Amt_dataset.candidate_pool d ~costs ~task_id:600))
+
+let test_amt_task_votes_prefix () =
+  let d = Lazy.force dataset in
+  let all = Crowd.Amt_dataset.task_votes d ~task_id:5 ~max_votes:20 in
+  let prefix = Crowd.Amt_dataset.task_votes d ~task_id:5 ~max_votes:7 in
+  check_int "prefix length" 7 (Array.length prefix);
+  Array.iteri (fun i v -> check_bool "is prefix" true (v = all.(i))) prefix
+
+let test_amt_estimation_noise_bounded () =
+  (* Estimated quality should track the latent quality for heavy workers
+     (many graded answers). *)
+  let d = Lazy.force dataset in
+  Array.iteri
+    (fun worker h ->
+      if Workers.History.length h >= 200 then
+        check_close 0.08 "heavy workers well estimated"
+          d.Crowd.Amt_dataset.true_qualities.(worker)
+          d.Crowd.Amt_dataset.estimated_qualities.(worker))
+    d.Crowd.Amt_dataset.histories
+
+let test_amt_param_validation () =
+  Alcotest.check_raises "seats"
+    (Invalid_argument "Amt_dataset: votes_per_task > n_workers") (fun () ->
+      ignore
+        (Crowd.Amt_dataset.generate
+           ~params:
+             {
+               Crowd.Amt_dataset.default_params with
+               n_workers = 10;
+               n_power_workers = 1;
+               n_single_workers = 2;
+             }
+           (Prob.Rng.create 0)))
+
+let test_amt_custom_params () =
+  let params =
+    {
+      Crowd.Amt_dataset.n_tasks = 60;
+      tasks_per_hit = 10;
+      votes_per_task = 8;
+      n_workers = 24;
+      n_power_workers = 1;
+      n_single_workers = 6;
+    }
+  in
+  let d = Crowd.Amt_dataset.generate ~params (Prob.Rng.create 9) in
+  check_int "tasks" 60 (Array.length d.Crowd.Amt_dataset.tasks);
+  Array.iter
+    (fun votes -> check_int "votes per task" 8 (Array.length votes))
+    d.Crowd.Amt_dataset.votes;
+  let s = Crowd.Amt_dataset.statistics d in
+  check_int "one power worker" 1 s.Crowd.Amt_dataset.answered_all
+
+(* ---- Multi_dataset ------------------------------------------------------------------ *)
+
+let multi_dataset = lazy (Crowd.Multi_dataset.generate (Prob.Rng.create 606))
+
+let test_multi_dataset_shape () =
+  let d = Lazy.force multi_dataset in
+  check_int "tasks" 200 (Array.length d.Crowd.Multi_dataset.truths);
+  check_int "workers" 40 (Array.length d.Crowd.Multi_dataset.true_matrices);
+  Array.iter
+    (fun votes ->
+      check_int "7 votes per task" 7 (Array.length votes);
+      let ids = Array.to_list (Array.map fst votes) in
+      check_int "distinct voters" 7 (List.length (List.sort_uniq compare ids)))
+    d.Crowd.Multi_dataset.votes;
+  Array.iter
+    (fun truth -> check_bool "truth in range" true (truth >= 0 && truth < 3))
+    d.Crowd.Multi_dataset.truths
+
+let test_multi_dataset_bv_beats_plurality () =
+  let d = Lazy.force multi_dataset in
+  let bv = Crowd.Multi_dataset.grade d Voting.Multiclass.bayesian in
+  let plurality = Crowd.Multi_dataset.grade d Voting.Multiclass.plurality in
+  check_bool "BV at least plurality - noise" true (bv >= plurality -. 0.01);
+  check_bool "BV accurate" true (bv > 0.75)
+
+let test_multi_dataset_spammer_recall () =
+  let d = Lazy.force multi_dataset in
+  check_bool "most spammers flagged from estimates" true
+    (Crowd.Multi_dataset.spammer_recall d >= 0.8)
+
+let test_multi_dataset_estimation_quality () =
+  (* Estimated matrices of busy workers should be close to the truth in
+     spammer-score terms. *)
+  let d = Lazy.force multi_dataset in
+  let errs =
+    Array.mapi
+      (fun i est ->
+        Float.abs
+          (Workers.Spammer.score est
+          -. Workers.Spammer.score d.Crowd.Multi_dataset.true_matrices.(i)))
+      d.Crowd.Multi_dataset.estimated_matrices
+  in
+  check_bool "mean score error small" true (Prob.Stats.mean errs < 0.12)
+
+let test_multi_dataset_validation () =
+  Alcotest.check_raises "votes per task"
+    (Invalid_argument "Multi_dataset: votes_per_task > n_workers") (fun () ->
+      ignore
+        (Crowd.Multi_dataset.generate
+           ~params:
+             { Crowd.Multi_dataset.default_params with n_workers = 3; votes_per_task = 5 }
+           (Prob.Rng.create 0)))
+
+(* ---- Votes_io ---------------------------------------------------------------------- *)
+
+let sample_records =
+  [
+    { Crowd.Votes_io.task = 0; worker = 0; vote = 1; truth = Some 1 };
+    { Crowd.Votes_io.task = 0; worker = 1; vote = 0; truth = Some 1 };
+    { Crowd.Votes_io.task = 1; worker = 0; vote = 0; truth = None };
+  ]
+
+let test_votes_io_roundtrip () =
+  let parsed = Crowd.Votes_io.of_csv_string (Crowd.Votes_io.to_csv_string sample_records) in
+  check_bool "roundtrip" true (parsed = sample_records)
+
+let test_votes_io_parsing () =
+  let records =
+    Crowd.Votes_io.of_csv_string
+      "task,worker,vote,truth\n# comment\n0, 3, 1, 1\n\n1,2,0,\n2,0,1\n"
+  in
+  check_int "three records" 3 (List.length records);
+  (match records with
+  | [ a; b; c ] ->
+      check_int "task" 0 a.Crowd.Votes_io.task;
+      check_int "worker" 3 a.Crowd.Votes_io.worker;
+      check_bool "truth present" true (a.Crowd.Votes_io.truth = Some 1);
+      check_bool "empty truth" true (b.Crowd.Votes_io.truth = None);
+      check_bool "3-column form" true (c.Crowd.Votes_io.truth = None)
+  | _ -> Alcotest.fail "wrong shape");
+  try
+    ignore (Crowd.Votes_io.of_csv_string "0,-1,0\n");
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+let test_votes_io_dimensions () =
+  let t, w, l = Crowd.Votes_io.dimensions sample_records in
+  check_int "tasks" 2 t;
+  check_int "workers" 2 w;
+  check_int "labels" 2 l;
+  check_bool "empty" true (Crowd.Votes_io.dimensions [] = (0, 0, 0))
+
+let test_votes_io_histories () =
+  let hs = Crowd.Votes_io.histories sample_records in
+  check_int "two workers" 2 (Array.length hs);
+  check_int "worker 0 graded once" 1 (Workers.History.graded_count hs.(0));
+  check_int "worker 0 answered twice" 2 (Workers.History.length hs.(0))
+
+let test_votes_io_amt_export () =
+  let dataset = Lazy.force dataset in
+  let records = Crowd.Votes_io.of_amt_dataset dataset in
+  check_int "600 x 20 votes" (600 * 20) (List.length records);
+  let t, w, _ = Crowd.Votes_io.dimensions records in
+  check_int "tasks" 600 t;
+  check_int "workers" 128 w;
+  (* Gold estimation over the export matches the dataset's own estimates. *)
+  let hs = Crowd.Votes_io.histories records in
+  Array.iteri
+    (fun i h ->
+      match Workers.History.empirical_quality h with
+      | Some q -> check_close 1e-9 "matches dataset estimate"
+          dataset.Crowd.Amt_dataset.estimated_qualities.(i) q
+      | None -> Alcotest.fail "worker with no graded answers")
+    hs
+
+(* ---- Calibration ------------------------------------------------------------------- *)
+
+let test_calibration_counters () =
+  let t = Crowd.Calibration.create ~bins:5 () in
+  Crowd.Calibration.observe t ~confidence:0.55 ~correct:true;
+  Crowd.Calibration.observe t ~confidence:0.55 ~correct:false;
+  Crowd.Calibration.observe t ~confidence:0.95 ~correct:true;
+  let r = Crowd.Calibration.report t in
+  check_int "samples" 3 r.Crowd.Calibration.samples;
+  check_int "two bins occupied" 2 (List.length r.Crowd.Calibration.bins);
+  (match r.Crowd.Calibration.bins with
+  | low :: _ ->
+      check_int "low bin count" 2 low.Crowd.Calibration.count;
+      check_close 1e-9 "low bin accuracy" 0.5 low.Crowd.Calibration.empirical_accuracy
+  | [] -> Alcotest.fail "no bins");
+  Alcotest.check_raises "confidence range"
+    (Invalid_argument "Calibration.observe: confidence outside [0.5, 1]") (fun () ->
+      Crowd.Calibration.observe t ~confidence:0.3 ~correct:true)
+
+let test_calibration_brier () =
+  let t = Crowd.Calibration.create () in
+  Crowd.Calibration.observe t ~confidence:1.0 ~correct:true;
+  Crowd.Calibration.observe t ~confidence:0.5 ~correct:false;
+  let r = Crowd.Calibration.report t in
+  (* Brier = ((1-1)^2 + (0.5-0)^2) / 2 = 0.125 *)
+  check_close 1e-9 "brier" 0.125 r.Crowd.Calibration.brier
+
+let test_calibration_model_holds () =
+  (* When the worker model is exact, BV's confidence must be calibrated:
+     ECE near zero on a large simulation. *)
+  let rng = Prob.Rng.create 2718 in
+  let qualities = [| 0.85; 0.7; 0.65; 0.6; 0.55 |] in
+  let r = Crowd.Calibration.of_simulation rng ~qualities ~alpha:0.5 ~tasks:60_000 in
+  check_bool "ECE small when model holds" true
+    (r.Crowd.Calibration.expected_calibration_error < 0.01);
+  List.iter
+    (fun b ->
+      if b.Crowd.Calibration.count > 2_000 then
+        check_close 0.03 "bin-level calibration" b.Crowd.Calibration.mean_confidence
+          b.Crowd.Calibration.empirical_accuracy)
+    r.Crowd.Calibration.bins
+
+let test_calibration_empty () =
+  let r = Crowd.Calibration.report (Crowd.Calibration.create ()) in
+  check_bool "nan scores" true (Float.is_nan r.Crowd.Calibration.brier);
+  check_int "no bins" 0 (List.length r.Crowd.Calibration.bins)
+
+(* ---- Difficulty ------------------------------------------------------------------- *)
+
+let test_difficulty_formula () =
+  check_close 1e-12 "d = 0 keeps quality" 0.8
+    (Crowd.Difficulty.effective_quality ~quality:0.8 ~difficulty:0.);
+  check_close 1e-12 "d = 1 coins everyone" 0.5
+    (Crowd.Difficulty.effective_quality ~quality:0.95 ~difficulty:1.);
+  check_close 1e-12 "midpoint" 0.65
+    (Crowd.Difficulty.effective_quality ~quality:0.8 ~difficulty:0.5);
+  Alcotest.check_raises "difficulty range" (Invalid_argument "Difficulty: difficulty")
+    (fun () -> ignore (Crowd.Difficulty.effective_quality ~quality:0.8 ~difficulty:1.5))
+
+let test_difficulty_sampling =
+  qtest "difficulties lie in [0, spread]"
+    QCheck2.Gen.(pair (float_range 0. 1.) (int_range 0 2000))
+    (fun (spread, seed) ->
+      let rng = Prob.Rng.create seed in
+      Array.for_all
+        (fun d -> d >= 0. && d <= spread)
+        (Crowd.Difficulty.sample_difficulties rng ~spread ~n:50))
+
+let test_difficulty_zero_spread_matches_jq () =
+  (* With spread 0 the model holds, so realized accuracy must match the
+     predicted JQ. *)
+  let rng = Prob.Rng.create 321 in
+  let jury =
+    Workers.Pool.of_list
+      (List.init 5 (fun id ->
+           Workers.Worker.make ~id ~quality:(0.6 +. (0.06 *. float_of_int id)) ~cost:0. ()))
+  in
+  let o = Crowd.Difficulty.campaign rng ~jury ~alpha:0.5 ~spread:0. ~tasks:30_000 in
+  check_close 0.01 "model holds" o.Crowd.Difficulty.predicted_jq
+    o.Crowd.Difficulty.realized_accuracy
+
+let test_difficulty_hurts () =
+  let rng = Prob.Rng.create 322 in
+  let jury =
+    Workers.Pool.of_list
+      (List.init 5 (fun id -> Workers.Worker.make ~id ~quality:0.75 ~cost:0. ()))
+  in
+  let easy = Crowd.Difficulty.campaign rng ~jury ~alpha:0.5 ~spread:0. ~tasks:20_000 in
+  let hard = Crowd.Difficulty.campaign rng ~jury ~alpha:0.5 ~spread:0.9 ~tasks:20_000 in
+  check_bool "hard tasks hurt realized accuracy" true
+    (hard.Crowd.Difficulty.realized_accuracy
+    < easy.Crowd.Difficulty.realized_accuracy -. 0.02)
+
+(* ---- Campaign ----------------------------------------------------------------------- *)
+
+let test_campaign_validation () =
+  let system =
+    {
+      Crowd.Campaign.name = "id";
+      select = (fun _ ~alpha:_ ~budget:_ pool -> pool);
+      aggregate =
+        (fun _ ~alpha ~qualities voting ->
+          Voting.Bayesian.decide_exact ~alpha ~qualities voting);
+    }
+  in
+  Alcotest.check_raises "no tasks" (Invalid_argument "Campaign.run: no tasks")
+    (fun () ->
+      ignore
+        (Crowd.Campaign.run (Prob.Rng.create 0) system ~alpha:0.5 ~budget:1.
+           ~candidates:(fun _ -> Workers.Pool.of_list [])
+           ~tasks:[||]))
+
+let test_campaign_uniform_accuracy () =
+  let system =
+    {
+      Crowd.Campaign.name = "take-all";
+      select = (fun _ ~alpha:_ ~budget:_ pool -> pool);
+      aggregate =
+        (fun _ ~alpha ~qualities voting ->
+          Voting.Bayesian.decide_exact ~alpha ~qualities voting);
+    }
+  in
+  let pool =
+    Workers.Pool.of_list
+      (List.init 5 (fun id -> Workers.Worker.make ~id ~quality:0.8 ~cost:0.1 ()))
+  in
+  let r =
+    Crowd.Campaign.run_uniform (Prob.Rng.create 1) system ~alpha:0.5 ~budget:1.
+      ~pool ~n_tasks:10_000
+  in
+  let predicted = Jq.Exact.jq_optimal ~alpha:0.5 ~qualities:(Workers.Pool.qualities pool) in
+  check_close 0.015 "take-all campaign = full-jury JQ" predicted r.Crowd.Campaign.accuracy;
+  check_close 1e-9 "jury size" 5. r.Crowd.Campaign.mean_jury_size;
+  check_close 1e-9 "jury cost" 0.5 r.Crowd.Campaign.mean_jury_cost
+
+(* ---- Evaluate ---------------------------------------------------------------------- *)
+
+let test_evaluate_accuracy_reasonable () =
+  let d = Lazy.force dataset in
+  let grade =
+    Crowd.Evaluate.strategy_on_dataset ~strategy:Bayesian.strategy ~z:20 d
+  in
+  check_int "all tasks" 600 grade.Crowd.Evaluate.tasks;
+  check_bool "BV with 20 votes is accurate" true (grade.Crowd.Evaluate.accuracy > 0.9);
+  check_bool "JQ predicts accuracy" true
+    (Float.abs (grade.Crowd.Evaluate.accuracy -. grade.Crowd.Evaluate.average_jq) < 0.05)
+
+let test_evaluate_monotone_in_z () =
+  let d = Lazy.force dataset in
+  let acc z =
+    (Crowd.Evaluate.strategy_on_dataset ~strategy:Bayesian.strategy ~z d)
+      .Crowd.Evaluate.accuracy
+  in
+  check_bool "more votes help" true (acc 15 >= acc 3 -. 0.02)
+
+let test_evaluate_bv_beats_mv () =
+  let d = Lazy.force dataset in
+  let bv = Crowd.Evaluate.strategy_on_dataset ~strategy:Bayesian.strategy ~z:9 d in
+  let mv = Crowd.Evaluate.strategy_on_dataset ~strategy:Classic.majority ~z:9 d in
+  check_bool "BV >= MV on realized data" true
+    (bv.Crowd.Evaluate.accuracy >= mv.Crowd.Evaluate.accuracy -. 0.01)
+
+let test_evaluate_juries () =
+  let d = Lazy.force dataset in
+  (* Jury per task: its first three voters, with estimated qualities. *)
+  let juries =
+    Array.init 600 (fun task_id ->
+        let votes = Crowd.Amt_dataset.task_votes d ~task_id ~max_votes:3 in
+        Workers.Pool.of_list
+          (List.map
+             (fun (wid, _) ->
+               Workers.Worker.make ~id:wid
+                 ~quality:
+                   (Crowd.Amt_dataset.clamp_quality
+                      d.Crowd.Amt_dataset.estimated_qualities.(wid))
+                 ~cost:0. ())
+             (Array.to_list votes)))
+  in
+  let acc = Crowd.Evaluate.accuracy_of_juries ~strategy:Bayesian.strategy ~juries d in
+  check_bool "in range" true (acc > 0.6 && acc <= 1.)
+
+let test_evaluate_validation () =
+  let d = Lazy.force dataset in
+  Alcotest.check_raises "z" (Invalid_argument "Evaluate.strategy_on_dataset: z <= 0")
+    (fun () ->
+      ignore (Crowd.Evaluate.strategy_on_dataset ~strategy:Bayesian.strategy ~z:0 d));
+  Alcotest.check_raises "jury arity"
+    (Invalid_argument "Evaluate.accuracy_of_juries: one jury per task required")
+    (fun () ->
+      ignore
+        (Crowd.Evaluate.accuracy_of_juries ~strategy:Bayesian.strategy ~juries:[||] d))
+
+(* ---- Online ------------------------------------------------------------------ *)
+
+let online_pool () =
+  Workers.Pool.of_list
+    (List.init 12 (fun id ->
+         Workers.Worker.make ~id
+           ~quality:(0.55 +. (0.03 *. float_of_int id))
+           ~cost:(0.02 +. (0.01 *. float_of_int id))
+           ()))
+
+let test_online_stops_confident () =
+  let rng = Prob.Rng.create 91 in
+  let o =
+    Crowd.Online.run rng ~confidence:0.9 ~budget:10. ~alpha:0.5 ~truth:Vote.No
+      (online_pool ())
+  in
+  check_bool "confident or exhausted" true
+    (Float.max o.Crowd.Online.posterior_no (1. -. o.Crowd.Online.posterior_no) >= 0.9
+    || o.Crowd.Online.votes_used = 12);
+  check_bool "cost accounted" true (o.Crowd.Online.cost > 0.);
+  check_int "asked matches votes" o.Crowd.Online.votes_used
+    (List.length o.Crowd.Online.asked)
+
+let test_online_budget_respected () =
+  let rng = Prob.Rng.create 92 in
+  for _ = 1 to 50 do
+    let o =
+      Crowd.Online.run rng ~policy:Crowd.Online.By_cost ~confidence:0.999
+        ~budget:0.08 ~alpha:0.5 ~truth:Vote.Yes (online_pool ())
+    in
+    check_bool "never over budget" true (o.Crowd.Online.cost <= 0.08 +. 1e-9)
+  done
+
+let test_online_no_duplicate_asks () =
+  let rng = Prob.Rng.create 93 in
+  let o =
+    Crowd.Online.run rng ~policy:Crowd.Online.Random_order ~confidence:0.9999
+      ~budget:10. ~alpha:0.5 ~truth:Vote.No (online_pool ())
+  in
+  check_int "asks are distinct" (List.length o.Crowd.Online.asked)
+    (List.length (List.sort_uniq compare o.Crowd.Online.asked))
+
+let test_online_accuracy_meets_confidence () =
+  (* With an ample budget, stopping at 95% posterior confidence should
+     realize ~95%+ accuracy. *)
+  let rng = Prob.Rng.create 94 in
+  let s =
+    Crowd.Online.simulate_many rng ~policy:Crowd.Online.By_information_gain
+      ~confidence:0.95 ~budget:10. ~alpha:0.5 ~tasks:500 (online_pool ())
+  in
+  check_bool "accuracy >= 90%" true (s.Crowd.Online.accuracy >= 0.90);
+  check_bool "uses a fraction of the pool" true (s.Crowd.Online.mean_votes < 12.)
+
+let test_online_gain_policy_cheaper () =
+  (* Information gain should spend no more than random order for the same
+     confidence target (statistically). *)
+  let pool = online_pool () in
+  let run policy seed =
+    Crowd.Online.simulate_many (Prob.Rng.create seed) ~policy ~confidence:0.9
+      ~budget:10. ~alpha:0.5 ~tasks:400 pool
+  in
+  let gain = run Crowd.Online.By_information_gain 95 in
+  let random = run Crowd.Online.Random_order 95 in
+  check_bool "gain spends less" true
+    (gain.Crowd.Online.mean_cost <= random.Crowd.Online.mean_cost +. 0.01)
+
+let test_online_entropy_gain_properties () =
+  let g = Crowd.Online.expected_entropy_gain ~posterior_no:0.5 ~quality:0.9 in
+  check_bool "informative worker gains" true (g > 0.);
+  check_close 1e-12 "coin worker gains nothing"
+    0. (Crowd.Online.expected_entropy_gain ~posterior_no:0.5 ~quality:0.5);
+  let g_sure = Crowd.Online.expected_entropy_gain ~posterior_no:0.999 ~quality:0.9 in
+  check_bool "already-confident posterior gains little" true (g_sure < g)
+
+let test_online_validation () =
+  let rng = Prob.Rng.create 0 in
+  Alcotest.check_raises "confidence" (Invalid_argument "Online.run: confidence outside (0.5, 1]")
+    (fun () ->
+      ignore
+        (Crowd.Online.run rng ~confidence:0.4 ~budget:1. ~alpha:0.5 ~truth:Vote.No
+           (online_pool ())));
+  Alcotest.check_raises "tasks" (Invalid_argument "Online.simulate_many: tasks <= 0")
+    (fun () ->
+      ignore
+        (Crowd.Online.simulate_many rng ~confidence:0.9 ~budget:1. ~alpha:0.5
+           ~tasks:0 (online_pool ())))
+
+let () =
+  Alcotest.run "crowd"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "make" `Quick test_task_make;
+          Alcotest.test_case "validation" `Quick test_task_validation;
+          Alcotest.test_case "multi" `Quick test_task_multi;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "vote frequency" `Slow test_simulate_vote_frequency;
+          Alcotest.test_case "truth frequency" `Slow test_simulate_truth_frequency;
+          test_simulate_voting_shape;
+          Alcotest.test_case "multi vote" `Quick test_simulate_multi_vote;
+          Alcotest.test_case "MC JQ matches analytic" `Slow test_empirical_jq_matches_exact;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "batch" `Quick test_platform_batch;
+          Alcotest.test_case "uniform completions" `Quick test_platform_uniform_completions;
+          Alcotest.test_case "run" `Quick test_platform_run;
+          Alcotest.test_case "too few workers" `Quick test_platform_too_few_workers;
+          Alcotest.test_case "dangling ids" `Quick test_platform_dangling;
+        ] );
+      ( "amt_dataset",
+        [
+          Alcotest.test_case "shape" `Quick test_amt_shape;
+          Alcotest.test_case "statistics" `Quick test_amt_statistics;
+          Alcotest.test_case "distinct voters" `Quick test_amt_votes_are_distinct_workers;
+          Alcotest.test_case "balanced truth" `Quick test_amt_balanced_truth;
+          Alcotest.test_case "candidate pool" `Quick test_amt_candidate_pool;
+          Alcotest.test_case "task votes prefix" `Quick test_amt_task_votes_prefix;
+          Alcotest.test_case "estimation noise" `Quick test_amt_estimation_noise_bounded;
+          Alcotest.test_case "param validation" `Quick test_amt_param_validation;
+          Alcotest.test_case "custom params" `Quick test_amt_custom_params;
+        ] );
+      ( "multi_dataset",
+        [
+          Alcotest.test_case "shape" `Quick test_multi_dataset_shape;
+          Alcotest.test_case "BV beats plurality" `Quick test_multi_dataset_bv_beats_plurality;
+          Alcotest.test_case "spammer recall" `Quick test_multi_dataset_spammer_recall;
+          Alcotest.test_case "estimation quality" `Quick test_multi_dataset_estimation_quality;
+          Alcotest.test_case "validation" `Quick test_multi_dataset_validation;
+        ] );
+      ( "votes_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_votes_io_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_votes_io_parsing;
+          Alcotest.test_case "dimensions" `Quick test_votes_io_dimensions;
+          Alcotest.test_case "histories" `Quick test_votes_io_histories;
+          Alcotest.test_case "AMT export" `Quick test_votes_io_amt_export;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "counters" `Quick test_calibration_counters;
+          Alcotest.test_case "brier" `Quick test_calibration_brier;
+          Alcotest.test_case "model holds" `Slow test_calibration_model_holds;
+          Alcotest.test_case "empty" `Quick test_calibration_empty;
+        ] );
+      ( "difficulty",
+        [
+          Alcotest.test_case "formula" `Quick test_difficulty_formula;
+          test_difficulty_sampling;
+          Alcotest.test_case "zero spread matches JQ" `Slow
+            test_difficulty_zero_spread_matches_jq;
+          Alcotest.test_case "difficulty hurts" `Slow test_difficulty_hurts;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "validation" `Quick test_campaign_validation;
+          Alcotest.test_case "take-all accuracy" `Slow test_campaign_uniform_accuracy;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "stops when confident" `Quick test_online_stops_confident;
+          Alcotest.test_case "budget respected" `Quick test_online_budget_respected;
+          Alcotest.test_case "no duplicate asks" `Quick test_online_no_duplicate_asks;
+          Alcotest.test_case "accuracy meets confidence" `Slow
+            test_online_accuracy_meets_confidence;
+          Alcotest.test_case "gain policy cheaper" `Slow test_online_gain_policy_cheaper;
+          Alcotest.test_case "entropy gain" `Quick test_online_entropy_gain_properties;
+          Alcotest.test_case "validation" `Quick test_online_validation;
+        ] );
+      ( "evaluate",
+        [
+          Alcotest.test_case "accuracy reasonable" `Quick test_evaluate_accuracy_reasonable;
+          Alcotest.test_case "monotone in z" `Quick test_evaluate_monotone_in_z;
+          Alcotest.test_case "BV beats MV" `Quick test_evaluate_bv_beats_mv;
+          Alcotest.test_case "jury grading" `Quick test_evaluate_juries;
+          Alcotest.test_case "validation" `Quick test_evaluate_validation;
+        ] );
+    ]

@@ -1,0 +1,467 @@
+(* Tests for the voting-strategy substrate: votes, the strategy interface,
+   the deterministic and randomized strategy zoo, and multi-class voting. *)
+
+open Voting
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let quality_gen = QCheck2.Gen.float_range 0.01 0.99
+
+(* A random jury (qualities) plus an aligned voting. *)
+let jury_voting_gen =
+  QCheck2.Gen.(
+    int_range 1 8 >>= fun n ->
+    pair
+      (array_size (return n) quality_gen)
+      (array_size (return n) (map (fun b -> if b then Vote.Yes else Vote.No) bool)))
+
+(* ---- Vote ------------------------------------------------------------ *)
+
+let test_vote_conversions () =
+  check_int "No" 0 (Vote.to_int Vote.No);
+  check_int "Yes" 1 (Vote.to_int Vote.Yes);
+  check_bool "roundtrip" true (Vote.equal (Vote.of_int 1) Vote.Yes);
+  check_bool "flip" true (Vote.equal (Vote.flip Vote.No) Vote.Yes);
+  Alcotest.check_raises "bad int" (Invalid_argument "Vote.of_int: 2 is not a binary vote")
+    (fun () -> ignore (Vote.of_int 2))
+
+let test_vote_counts () =
+  let v = Vote.voting_of_ints [ 0; 1; 0; 0; 1 ] in
+  check_int "count_no" 3 (Vote.count_no v);
+  check_int "count_yes" 2 (Vote.count_yes v);
+  let flipped = Vote.flip_all v in
+  check_int "flipped no" 2 (Vote.count_no flipped)
+
+let test_vote_enumerate () =
+  let all = List.of_seq (Vote.enumerate 3) in
+  check_int "count" 8 (List.length all);
+  check_int "distinct" 8 (List.length (List.sort_uniq compare all));
+  (* First is all-No, last is all-Yes (most-significant-first order). *)
+  check_int "first all-no" 3 (Vote.count_no (List.hd all));
+  check_int "last all-yes" 0 (Vote.count_no (List.nth all 7));
+  Alcotest.check_raises "too large" (Invalid_argument "Vote.enumerate: n outside [0, 25]")
+    (fun () -> ignore (Vote.enumerate 26 : Vote.voting Seq.t))
+
+(* ---- Strategy interface ----------------------------------------------- *)
+
+let test_strategy_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Strategy.decide: qualities and voting lengths differ")
+    (fun () ->
+      ignore
+        (Strategy.decide Classic.majority ~alpha:0.5 ~qualities:[| 0.7 |]
+           (Vote.voting_of_ints [ 0; 1 ])));
+  Alcotest.check_raises "alpha" (Invalid_argument "Strategy.decide: alpha outside [0, 1]")
+    (fun () ->
+      ignore
+        (Strategy.decide Classic.majority ~alpha:1.5 ~qualities:[| 0.7 |]
+           (Vote.voting_of_ints [ 0 ])))
+
+let test_prob_decide_no () =
+  check_float "Decide No" 1. (Strategy.prob_decide_no (Strategy.Decide Vote.No));
+  check_float "Decide Yes" 0. (Strategy.prob_decide_no (Strategy.Decide Vote.Yes));
+  check_float "Randomize" 0.3 (Strategy.prob_decide_no (Strategy.Randomize 0.3))
+
+let test_is_deterministic () =
+  check_bool "MV deterministic" true
+    (Strategy.is_deterministic_on Classic.majority ~alpha:0.5
+       ~qualities:[| 0.7; 0.7; 0.7 |] ~n:3);
+  check_bool "RMV not" false
+    (Strategy.is_deterministic_on Randomized.randomized_majority ~alpha:0.5
+       ~qualities:[| 0.7; 0.7; 0.7 |] ~n:3)
+
+let test_run_deterministic () =
+  let rng = Prob.Rng.create 0 in
+  let v =
+    Strategy.run Classic.majority rng ~alpha:0.5 ~qualities:[| 0.7; 0.7; 0.7 |]
+      (Vote.voting_of_ints [ 0; 0; 1 ])
+  in
+  check_bool "majority zeros" true (Vote.equal v Vote.No)
+
+(* ---- Classic strategies ------------------------------------------------ *)
+
+let mv_decide ints =
+  Strategy.decide Classic.majority ~alpha:0.5
+    ~qualities:(Array.make (List.length ints) 0.7)
+    (Vote.voting_of_ints ints)
+
+let test_mv_cases () =
+  check_bool "strict majority 0" true (mv_decide [ 0; 0; 1 ] = Strategy.Decide Vote.No);
+  check_bool "strict majority 1" true (mv_decide [ 1; 1; 0 ] = Strategy.Decide Vote.Yes);
+  (* Example 1's formula: ties on an even jury go to 1. *)
+  check_bool "tie goes to 1" true (mv_decide [ 0; 1 ] = Strategy.Decide Vote.Yes);
+  check_bool "single 0" true (mv_decide [ 0 ] = Strategy.Decide Vote.No)
+
+let test_half_cases () =
+  let half ints =
+    Strategy.decide Classic.half ~alpha:0.5
+      ~qualities:(Array.make (List.length ints) 0.7)
+      (Vote.voting_of_ints ints)
+  in
+  check_bool "tie goes to 0" true (half [ 0; 1 ] = Strategy.Decide Vote.No);
+  check_bool "majority 1 wins" true (half [ 1; 1; 0 ] = Strategy.Decide Vote.Yes)
+
+let test_mv_tie_coin () =
+  let outcome =
+    Strategy.decide Classic.majority_tie_coin ~alpha:0.5 ~qualities:[| 0.7; 0.7 |]
+      (Vote.voting_of_ints [ 0; 1 ])
+  in
+  check_float "tie randomized" 0.5 (Strategy.prob_decide_no outcome)
+
+let test_weighted_majority () =
+  let s = Classic.weighted_majority ~weights:[| 5.; 1.; 1. |] in
+  let outcome =
+    Strategy.decide s ~alpha:0.5 ~qualities:[| 0.9; 0.6; 0.6 |]
+      (Vote.voting_of_ints [ 0; 1; 1 ])
+  in
+  (* Weight 5 beats 1+1: heavy worker's 0 wins. *)
+  check_bool "heavy worker wins" true (outcome = Strategy.Decide Vote.No)
+
+let test_logit_wmv_equals_bv =
+  (* Mathematically sign(sum of signed logits) = sign(ln P0 - ln P1), but
+     the two sides accumulate differently in floating point, so within an
+     epsilon of the decision boundary (exact ties included) they may break
+     the tie differently; the property holds away from it. *)
+  qtest "logit-weighted MV = BV at alpha 0.5 (off the tie boundary)"
+    QCheck2.Gen.(
+      jury_voting_gen >>= fun (qs, v) ->
+      return (Array.map (fun q -> Float.max 0.51 q) qs, v))
+    (fun (qs, v) ->
+      let margin =
+        let l0, l1 = Bayesian.log_joint ~alpha:0.5 ~qualities:qs v in
+        Float.abs (l0 -. l1)
+      in
+      margin < 1e-9
+      ||
+      let a =
+        Strategy.decide Classic.logit_weighted_majority ~alpha:0.5 ~qualities:qs v
+      in
+      let b = Strategy.decide Bayesian.strategy ~alpha:0.5 ~qualities:qs v in
+      a = b)
+
+let test_recursive_majority_cases () =
+  let decide ints =
+    Strategy.decide Classic.recursive_majority ~alpha:0.5
+      ~qualities:(Array.make (List.length ints) 0.7)
+      (Vote.voting_of_ints ints)
+  in
+  (* Nine votes: triads (0,0,1) (1,1,0) (0,0,0) -> (0,1,0) -> 0. *)
+  check_bool "two-level reduction" true
+    (decide [ 0; 0; 1; 1; 1; 0; 0; 0; 0 ] = Strategy.Decide Vote.No);
+  check_bool "single vote" true (decide [ 1 ] = Strategy.Decide Vote.Yes);
+  (* Grouping matters: MV of (0,0,1,1,1,1,0,0,0) is 0 (5 zeros), but the
+     triads reduce (0,0,1)(1,1,1)(0,0,0) -> (0,1,0) -> 0 as well; a case
+     where they differ: (1,1,0)(0,0,1)(1,...)? use (1,1,0,0,0,1,1,1,0):
+     triads -> (1,0,1) -> 1 while flat MV counts 4 zeros vs 5 ones -> 1.
+     Exercise a genuine disagreement: (0,1,1)(1,0,0)(0,0,1) has 5 zeros
+     (MV -> 0) but triads reduce to (1,0,0) -> 0 too; disagreements are
+     rare at n = 9, so just pin determinism and agreement with MV on
+     unanimous votes. *)
+  check_bool "unanimous" true (decide [ 0; 0; 0; 0; 0; 0 ] = Strategy.Decide Vote.No)
+
+let test_recursive_majority_weaker_than_mv () =
+  (* For i.i.d. workers, recursive majority is known to waste information
+     relative to flat majority: at q = 0.7, n = 9,
+     JQ(flat) = Pr(Binom(9, .7) >= 5) > JQ(triadic) = g(g(0.7)) where
+     g(p) = p^3 + 3 p^2 (1-p). *)
+  let qualities = Array.make 9 0.7 in
+  let flat = Jq.Exact.jq Classic.majority ~alpha:0.5 ~qualities in
+  let triadic = Jq.Exact.jq Classic.recursive_majority ~alpha:0.5 ~qualities in
+  let g p = (p ** 3.) +. (3. *. p *. p *. (1. -. p)) in
+  check_close 1e-9 "closed form" (g (g 0.7)) triadic;
+  check_bool "flat majority wins" true (flat > triadic)
+
+let test_constant () =
+  check_bool "always yes" true
+    (Strategy.decide (Classic.constant Vote.Yes) ~alpha:0.5 ~qualities:[| 0.7 |]
+       (Vote.voting_of_ints [ 0 ])
+    = Strategy.Decide Vote.Yes)
+
+(* ---- Bayesian ---------------------------------------------------------- *)
+
+let test_bv_example3 () =
+  (* Paper Example 3: alpha = 0.5, V = {0,1,1}, qualities (0.9, 0.6, 0.6):
+     0.5*0.9*0.4*0.4 > 0.5*0.1*0.6*0.6, so BV answers 0. *)
+  let v =
+    Bayesian.decide_exact ~alpha:0.5 ~qualities:[| 0.9; 0.6; 0.6 |]
+      (Vote.voting_of_ints [ 0; 1; 1 ])
+  in
+  check_bool "follows strong worker" true (Vote.equal v Vote.No);
+  (* And MV disagrees (two Yes votes). *)
+  check_bool "MV says yes" true
+    (Strategy.decide Classic.majority ~alpha:0.5 ~qualities:[| 0.9; 0.6; 0.6 |]
+       (Vote.voting_of_ints [ 0; 1; 1 ])
+    = Strategy.Decide Vote.Yes)
+
+let test_bv_tie_goes_to_zero () =
+  (* All coins: P0 = P1, Theorem 1 returns 0. *)
+  let v =
+    Bayesian.decide_exact ~alpha:0.5 ~qualities:[| 0.5; 0.5 |]
+      (Vote.voting_of_ints [ 0; 1 ])
+  in
+  check_bool "tie -> 0" true (Vote.equal v Vote.No)
+
+let test_bv_prior_dominance () =
+  (* Strong prior on 1 overrides a weak 0-vote. *)
+  let v =
+    Bayesian.decide_exact ~alpha:0.05 ~qualities:[| 0.6 |] (Vote.voting_of_ints [ 0 ])
+  in
+  check_bool "prior wins" true (Vote.equal v Vote.Yes)
+
+let test_bv_log_joint_matches_products =
+  qtest "log_joint equals direct products" jury_voting_gen (fun (qs, v) ->
+      let l0, l1 = Bayesian.log_joint ~alpha:0.4 ~qualities:qs v in
+      let p0 = ref 0.4 and p1 = ref 0.6 in
+      Array.iteri
+        (fun i vote ->
+          match (vote : Vote.t) with
+          | Vote.No ->
+              p0 := !p0 *. qs.(i);
+              p1 := !p1 *. (1. -. qs.(i))
+          | Vote.Yes ->
+              p0 := !p0 *. (1. -. qs.(i));
+              p1 := !p1 *. qs.(i))
+        v;
+      Float.abs (exp l0 -. !p0) < 1e-9 && Float.abs (exp l1 -. !p1) < 1e-9)
+
+let test_bv_posterior =
+  qtest "posterior in [0,1] and consistent with decision" jury_voting_gen
+    (fun (qs, v) ->
+      let p = Bayesian.posterior_no ~alpha:0.5 ~qualities:qs v in
+      let d = Bayesian.decide_exact ~alpha:0.5 ~qualities:qs v in
+      p >= 0. && p <= 1.
+      && (if p > 0.5 then Vote.equal d Vote.No else true)
+      && if p < 0.5 then Vote.equal d Vote.Yes else true)
+
+let test_bv_certain_worker () =
+  (* A quality-1 worker's vote decides regardless of everyone else. *)
+  let v =
+    Bayesian.decide_exact ~alpha:0.5 ~qualities:[| 1.0; 0.6; 0.6 |]
+      (Vote.voting_of_ints [ 0; 1; 1 ])
+  in
+  check_bool "certain worker wins" true (Vote.equal v Vote.No)
+
+(* ---- Randomized strategies --------------------------------------------- *)
+
+let test_rmv_share () =
+  let outcome =
+    Strategy.decide Randomized.randomized_majority ~alpha:0.5
+      ~qualities:[| 0.7; 0.7; 0.7; 0.7 |]
+      (Vote.voting_of_ints [ 0; 0; 0; 1 ])
+  in
+  check_float "share of zeros" 0.75 (Strategy.prob_decide_no outcome)
+
+let test_coin_flip () =
+  let outcome =
+    Strategy.decide Randomized.coin_flip ~alpha:0.5 ~qualities:[| 0.7 |]
+      (Vote.voting_of_ints [ 0 ])
+  in
+  check_float "coin" 0.5 (Strategy.prob_decide_no outcome)
+
+let test_rwmv () =
+  let s = Randomized.randomized_weighted_majority ~weights:[| 3.; 1. |] in
+  let outcome =
+    Strategy.decide s ~alpha:0.5 ~qualities:[| 0.8; 0.6 |] (Vote.voting_of_ints [ 0; 1 ])
+  in
+  check_float "weighted share" 0.75 (Strategy.prob_decide_no outcome);
+  let zero = Randomized.randomized_weighted_majority ~weights:[| 0.; 0. |] in
+  check_float "zero weights -> coin" 0.5
+    (Strategy.prob_decide_no
+       (Strategy.decide zero ~alpha:0.5 ~qualities:[| 0.8; 0.6 |]
+          (Vote.voting_of_ints [ 0; 1 ])))
+
+let test_mixture () =
+  let s = Randomized.mixture 0.5 (Classic.constant Vote.No) (Classic.constant Vote.Yes) in
+  check_float "half/half" 0.5
+    (Strategy.prob_decide_no
+       (Strategy.decide s ~alpha:0.5 ~qualities:[| 0.7 |] (Vote.voting_of_ints [ 0 ])));
+  Alcotest.check_raises "bad p" (Invalid_argument "Randomized.mixture: p outside [0, 1]")
+    (fun () -> ignore (Randomized.mixture 1.5 Classic.majority Classic.half))
+
+let test_run_samples_both () =
+  let rng = Prob.Rng.create 9 in
+  let saw_no = ref false and saw_yes = ref false in
+  for _ = 1 to 200 do
+    match
+      Strategy.run Randomized.coin_flip rng ~alpha:0.5 ~qualities:[| 0.7 |]
+        (Vote.voting_of_ints [ 0 ])
+    with
+    | Vote.No -> saw_no := true
+    | Vote.Yes -> saw_yes := true
+  done;
+  check_bool "both outcomes occur" true (!saw_no && !saw_yes)
+
+(* ---- Registry ----------------------------------------------------------- *)
+
+let test_registry () =
+  check_bool "finds BV" true (Registry.find "bv" <> None);
+  check_bool "finds MV case-insensitive" true (Registry.find "Mv" <> None);
+  check_bool "unknown" true (Registry.find "nope" = None);
+  check_int "comparison set" 4 (List.length Registry.comparison_set);
+  check_int "names = all" (List.length Registry.all) (List.length (Registry.names ()))
+
+(* ---- Multiclass ----------------------------------------------------------- *)
+
+let sym3 q id =
+  Workers.Confusion.make ~id
+    ~matrix:
+      [|
+        [| q; (1. -. q) /. 2.; (1. -. q) /. 2. |];
+        [| (1. -. q) /. 2.; q; (1. -. q) /. 2. |];
+        [| (1. -. q) /. 2.; (1. -. q) /. 2.; q |];
+      |]
+    ~cost:1. ()
+
+let uniform3 = [| 1. /. 3.; 1. /. 3.; 1. /. 3. |]
+
+let test_plurality () =
+  let jury = [| sym3 0.8 0; sym3 0.8 1; sym3 0.8 2 |] in
+  check_bool "majority label" true
+    (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury [| 2; 2; 0 |]
+    = Multiclass.Decide 2);
+  (* Tie between 0 and 2: smallest label wins. *)
+  check_bool "tie to smallest" true
+    (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury [| 2; 0; 1 |]
+    = Multiclass.Decide 0)
+
+let test_multiclass_bv_follows_strong () =
+  let jury = [| sym3 0.95 0; sym3 0.55 1; sym3 0.55 2 |] in
+  (* Strong worker says 1, two weak say 2. *)
+  check_bool "BV follows strong" true
+    (Multiclass.decide Multiclass.bayesian ~prior:uniform3 ~jury [| 1; 2; 2 |]
+    = Multiclass.Decide 1);
+  check_bool "plurality follows crowd" true
+    (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury [| 1; 2; 2 |]
+    = Multiclass.Decide 2)
+
+let test_multiclass_posterior () =
+  let jury = [| sym3 0.8 0; sym3 0.7 1 |] in
+  let post = Multiclass.posterior ~prior:uniform3 ~jury [| 1; 1 |] in
+  check_close 1e-9 "sums to one" 1. (Prob.Kahan.sum_array post);
+  check_bool "votes label most likely" true (post.(1) > post.(0) && post.(1) > post.(2))
+
+let test_multiclass_binary_consistency =
+  qtest ~count:100 "2-label BV = binary BV"
+    QCheck2.Gen.(
+      int_range 1 6 >>= fun n ->
+      pair
+        (array_size (return n) (float_range 0.05 0.95))
+        (array_size (return n) (int_range 0 1)))
+    (fun (qs, votes) ->
+      let jury =
+        Array.mapi (fun id q -> Workers.Confusion.symmetric_binary ~quality:q ~id ~cost:0.) qs
+      in
+      let mc =
+        match Multiclass.decide Multiclass.bayesian ~prior:[| 0.5; 0.5 |] ~jury votes with
+        | Multiclass.Decide l -> l
+        | Multiclass.Randomize _ -> -1
+      in
+      let bin =
+        Vote.to_int
+          (Bayesian.decide_exact ~alpha:0.5 ~qualities:qs
+             (Array.map Vote.of_int votes))
+      in
+      mc = bin)
+
+let test_multiclass_validation () =
+  let jury = [| sym3 0.8 0 |] in
+  Alcotest.check_raises "prior sum" (Invalid_argument "Multiclass: prior does not sum to 1")
+    (fun () ->
+      ignore (Multiclass.decide Multiclass.plurality ~prior:[| 0.5; 0.2; 0.2 |] ~jury [| 0 |]));
+  Alcotest.check_raises "vote range" (Invalid_argument "Multiclass: vote out of range")
+    (fun () ->
+      ignore (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury [| 3 |]));
+  Alcotest.check_raises "length" (Invalid_argument "Multiclass: jury and voting lengths differ")
+    (fun () ->
+      ignore (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury [| 0; 1 |]));
+  let binary_juror = Workers.Confusion.symmetric_binary ~quality:0.7 ~id:0 ~cost:0. in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Multiclass: juror label count differs from prior") (fun () ->
+      ignore
+        (Multiclass.decide Multiclass.plurality ~prior:uniform3 ~jury:[| binary_juror |]
+           [| 0 |]))
+
+let test_multiclass_enumerate () =
+  let all = List.of_seq (Multiclass.enumerate_votings ~labels:3 ~n:3) in
+  check_int "3^3" 27 (List.length all);
+  check_int "distinct" 27 (List.length (List.sort_uniq compare all))
+
+let test_multiclass_random_ballot () =
+  let jury = [| sym3 0.8 0 |] in
+  match Multiclass.decide Multiclass.random_ballot ~prior:uniform3 ~jury [| 1 |] with
+  | Multiclass.Randomize p ->
+      check_close 1e-12 "uniform" (1. /. 3.) p.(0);
+      check_close 1e-9 "sums" 1. (Prob.Kahan.sum_array p)
+  | Multiclass.Decide _ -> Alcotest.fail "expected randomized"
+
+let test_multiclass_run () =
+  let rng = Prob.Rng.create 5 in
+  let jury = [| sym3 0.9 0 |] in
+  let l = Multiclass.run Multiclass.bayesian rng ~prior:uniform3 ~jury [| 2 |] in
+  check_int "follows vote" 2 l
+
+let () =
+  Alcotest.run "voting"
+    [
+      ( "vote",
+        [
+          Alcotest.test_case "conversions" `Quick test_vote_conversions;
+          Alcotest.test_case "counts" `Quick test_vote_counts;
+          Alcotest.test_case "enumerate" `Quick test_vote_enumerate;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "validation" `Quick test_strategy_validation;
+          Alcotest.test_case "prob_decide_no" `Quick test_prob_decide_no;
+          Alcotest.test_case "is_deterministic" `Quick test_is_deterministic;
+          Alcotest.test_case "run deterministic" `Quick test_run_deterministic;
+        ] );
+      ( "classic",
+        [
+          Alcotest.test_case "MV cases" `Quick test_mv_cases;
+          Alcotest.test_case "half cases" `Quick test_half_cases;
+          Alcotest.test_case "MV tie coin" `Quick test_mv_tie_coin;
+          Alcotest.test_case "weighted majority" `Quick test_weighted_majority;
+          test_logit_wmv_equals_bv;
+          Alcotest.test_case "recursive majority cases" `Quick
+            test_recursive_majority_cases;
+          Alcotest.test_case "recursive majority weaker" `Quick
+            test_recursive_majority_weaker_than_mv;
+          Alcotest.test_case "constant" `Quick test_constant;
+        ] );
+      ( "bayesian",
+        [
+          Alcotest.test_case "example 3" `Quick test_bv_example3;
+          Alcotest.test_case "tie goes to zero" `Quick test_bv_tie_goes_to_zero;
+          Alcotest.test_case "prior dominance" `Quick test_bv_prior_dominance;
+          test_bv_log_joint_matches_products;
+          test_bv_posterior;
+          Alcotest.test_case "certain worker" `Quick test_bv_certain_worker;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "RMV share" `Quick test_rmv_share;
+          Alcotest.test_case "coin flip" `Quick test_coin_flip;
+          Alcotest.test_case "RWMV" `Quick test_rwmv;
+          Alcotest.test_case "mixture" `Quick test_mixture;
+          Alcotest.test_case "run samples both" `Quick test_run_samples_both;
+        ] );
+      ("registry", [ Alcotest.test_case "lookup" `Quick test_registry ]);
+      ( "multiclass",
+        [
+          Alcotest.test_case "plurality" `Quick test_plurality;
+          Alcotest.test_case "BV follows strong" `Quick test_multiclass_bv_follows_strong;
+          Alcotest.test_case "posterior" `Quick test_multiclass_posterior;
+          test_multiclass_binary_consistency;
+          Alcotest.test_case "validation" `Quick test_multiclass_validation;
+          Alcotest.test_case "enumerate" `Quick test_multiclass_enumerate;
+          Alcotest.test_case "random ballot" `Quick test_multiclass_random_ballot;
+          Alcotest.test_case "run" `Quick test_multiclass_run;
+        ] );
+    ]

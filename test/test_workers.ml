@@ -1,0 +1,551 @@
+(* Tests for the worker-model substrate: workers, pools, generators,
+   confusion matrices, histories, estimators, Dawid-Skene EM. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let w ?name ~id ~q ~c () = Workers.Worker.make ?name ~id ~quality:q ~cost:c ()
+
+(* ---- Worker ---------------------------------------------------------- *)
+
+let test_worker_make () =
+  let a = w ~name:"A" ~id:0 ~q:0.77 ~c:9. () in
+  check_int "id" 0 (Workers.Worker.id a);
+  Alcotest.(check string) "name" "A" (Workers.Worker.name a);
+  check_float "quality" 0.77 (Workers.Worker.quality a);
+  check_float "cost" 9. (Workers.Worker.cost a);
+  Alcotest.(check string) "default name" "w3"
+    (Workers.Worker.name (w ~id:3 ~q:0.5 ~c:0. ()))
+
+let test_worker_validation () =
+  Alcotest.check_raises "quality > 1"
+    (Invalid_argument "Worker.make: quality must lie in [0, 1]") (fun () ->
+      ignore (w ~id:0 ~q:1.2 ~c:1. ()));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Worker.make: cost must be nonnegative") (fun () ->
+      ignore (w ~id:0 ~q:0.5 ~c:(-1.) ()))
+
+let test_worker_with_quality () =
+  let a = w ~name:"A" ~id:0 ~q:0.6 ~c:2. () in
+  let b = Workers.Worker.with_quality a 0.9 in
+  check_float "new quality" 0.9 (Workers.Worker.quality b);
+  Alcotest.(check string) "name kept" "A" (Workers.Worker.name b);
+  check_float "cost kept" 2. (Workers.Worker.cost b)
+
+let test_worker_reliable () =
+  check_bool "0.5 reliable" true (Workers.Worker.reliable (w ~id:0 ~q:0.5 ~c:0. ()));
+  check_bool "0.49 not" false (Workers.Worker.reliable (w ~id:0 ~q:0.49 ~c:0. ()))
+
+let test_worker_orders () =
+  let a = w ~id:0 ~q:0.9 ~c:5. () in
+  let b = w ~id:1 ~q:0.7 ~c:1. () in
+  let c = w ~id:2 ~q:0.7 ~c:2. () in
+  check_bool "quality desc" true (Workers.Worker.compare_by_quality_desc a b < 0);
+  check_bool "tie by cost" true (Workers.Worker.compare_by_quality_desc b c < 0);
+  check_bool "cost asc" true (Workers.Worker.compare_by_cost b a < 0)
+
+(* ---- Pool ------------------------------------------------------------ *)
+
+let pool3 () =
+  Workers.Pool.of_list
+    [ w ~id:0 ~q:0.9 ~c:3. (); w ~id:1 ~q:0.6 ~c:1. (); w ~id:2 ~q:0.8 ~c:2. () ]
+
+let test_pool_basics () =
+  let p = pool3 () in
+  check_int "size" 3 (Workers.Pool.size p);
+  check_bool "nonempty" false (Workers.Pool.is_empty p);
+  check_float "total cost" 6. (Workers.Pool.total_cost p);
+  Alcotest.(check (array (float 1e-9))) "qualities" [| 0.9; 0.6; 0.8 |]
+    (Workers.Pool.qualities p);
+  check_close 1e-12 "mean quality" (2.3 /. 3.) (Workers.Pool.mean_quality p)
+
+let test_pool_get_bounds () =
+  Alcotest.check_raises "oob" (Invalid_argument "Pool.get: index out of bounds")
+    (fun () -> ignore (Workers.Pool.get (pool3 ()) 3))
+
+let test_pool_membership () =
+  let p = pool3 () in
+  check_bool "mem" true (Workers.Pool.mem_id p 1);
+  check_bool "not mem" false (Workers.Pool.mem_id p 9);
+  (match Workers.Pool.find_id p 2 with
+  | Some x -> check_float "found quality" 0.8 (Workers.Worker.quality x)
+  | None -> Alcotest.fail "find_id");
+  let p' = Workers.Pool.remove_id p 1 in
+  check_int "removed" 2 (Workers.Pool.size p');
+  check_bool "gone" false (Workers.Pool.mem_id p' 1)
+
+let test_pool_add_union () =
+  let p = Workers.Pool.add (pool3 ()) (w ~id:3 ~q:0.5 ~c:4. ()) in
+  check_int "added" 4 (Workers.Pool.size p);
+  let u = Workers.Pool.union (pool3 ()) (pool3 ()) in
+  check_int "union" 6 (Workers.Pool.size u)
+
+let test_pool_sorts () =
+  let by_q = Workers.Pool.sorted_by_quality_desc (pool3 ()) in
+  Alcotest.(check (array (float 1e-9))) "quality order" [| 0.9; 0.8; 0.6 |]
+    (Workers.Pool.qualities by_q);
+  let by_c = Workers.Pool.sorted_by_cost (pool3 ()) in
+  Alcotest.(check (array (float 1e-9))) "cost order" [| 1.; 2.; 3. |]
+    (Workers.Pool.costs by_c)
+
+let test_pool_take_sub () =
+  let p = Workers.Pool.take 2 (pool3 ()) in
+  check_int "take" 2 (Workers.Pool.size p);
+  let s = Workers.Pool.sub (pool3 ()) [ 2; 0 ] in
+  Alcotest.(check (array (float 1e-9))) "sub order" [| 0.8; 0.9 |]
+    (Workers.Pool.qualities s);
+  check_int "take beyond" 3 (Workers.Pool.size (Workers.Pool.take 10 (pool3 ())))
+
+let test_pool_subsets () =
+  let subsets = List.of_seq (Workers.Pool.subsets (pool3 ())) in
+  check_int "count" 8 (List.length subsets);
+  check_bool "has empty" true
+    (List.exists (fun s -> Workers.Pool.size s = 0) subsets);
+  check_bool "has full" true
+    (List.exists (fun s -> Workers.Pool.size s = 3) subsets);
+  (* All subsets distinct. *)
+  let keys =
+    List.map
+      (fun s ->
+        String.concat ","
+          (List.map (fun x -> string_of_int (Workers.Worker.id x)) (Workers.Pool.to_list s)))
+      subsets
+  in
+  check_int "distinct" 8 (List.length (List.sort_uniq compare keys))
+
+let test_pool_filter_equal () =
+  let p = Workers.Pool.filter (fun x -> Workers.Worker.quality x > 0.7) (pool3 ()) in
+  check_int "filtered" 2 (Workers.Pool.size p);
+  check_bool "equal self" true (Workers.Pool.equal (pool3 ()) (pool3 ()));
+  check_bool "not equal" false (Workers.Pool.equal p (pool3 ()))
+
+(* ---- Generator ------------------------------------------------------- *)
+
+let test_generator_ranges =
+  qtest ~count:50 "gaussian pool respects clamps" QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = Prob.Rng.create seed in
+      let p = Workers.Generator.gaussian_pool g Workers.Generator.default 30 in
+      Workers.Pool.size p = 30
+      && Array.for_all
+           (fun q -> q >= 0.5 && q <= 0.99)
+           (Workers.Pool.qualities p)
+      && Array.for_all (fun c -> c >= 0.01) (Workers.Pool.costs p))
+
+let test_generator_ids () =
+  let g = Prob.Rng.create 1 in
+  let p = Workers.Generator.gaussian_pool g Workers.Generator.default 5 in
+  List.iteri
+    (fun i x -> check_int "sequential ids" i (Workers.Worker.id x))
+    (Workers.Pool.to_list p)
+
+let test_generator_uniform_cost () =
+  let g = Prob.Rng.create 2 in
+  let p = Workers.Generator.uniform_cost_pool g Workers.Generator.default ~cost:0.3 7 in
+  Array.iter (fun c -> check_float "uniform" 0.3 c) (Workers.Pool.costs p);
+  let free = Workers.Generator.free_pool g Workers.Generator.default 4 in
+  check_float "free" 0. (Workers.Pool.total_cost free)
+
+let test_generator_beta () =
+  let g = Prob.Rng.create 3 in
+  let p = Workers.Generator.beta_quality_pool g ~a:2. ~b:2. Workers.Generator.default 50 in
+  Array.iter
+    (fun q -> check_bool "in range" true (q >= 0.5 && q <= 0.99))
+    (Workers.Pool.qualities p)
+
+let test_figure1_pool () =
+  let p = Workers.Generator.figure1_pool () in
+  check_int "seven workers" 7 (Workers.Pool.size p);
+  let a = Workers.Pool.get p 0 in
+  Alcotest.(check string) "A" "A" (Workers.Worker.name a);
+  check_float "A quality" 0.77 (Workers.Worker.quality a);
+  check_float "A cost" 9. (Workers.Worker.cost a);
+  check_float "total" 37. (Workers.Pool.total_cost p)
+
+(* ---- Confusion ------------------------------------------------------- *)
+
+let test_confusion_binary_embed () =
+  let c = Workers.Confusion.of_binary (w ~id:1 ~q:0.8 ~c:2. ()) in
+  check_int "labels" 2 (Workers.Confusion.labels c);
+  check_float "diag" 0.8 (Workers.Confusion.prob c ~truth:0 ~vote:0);
+  check_close 1e-12 "off" 0.2 (Workers.Confusion.prob c ~truth:0 ~vote:1);
+  check_float "accuracy" 0.8 (Workers.Confusion.accuracy_given_uniform_prior c);
+  check_bool "dominant" true (Workers.Confusion.diagonal_dominant c)
+
+let test_confusion_validation () =
+  Alcotest.check_raises "non-square" (Invalid_argument "Confusion.make: matrix not square")
+    (fun () ->
+      ignore
+        (Workers.Confusion.make ~id:0 ~matrix:[| [| 1.; 0. |]; [| 1. |] |] ~cost:0. ()));
+  Alcotest.check_raises "bad row sum"
+    (Invalid_argument "Confusion.make: row does not sum to 1") (fun () ->
+      ignore
+        (Workers.Confusion.make ~id:0
+           ~matrix:[| [| 0.5; 0.4 |]; [| 0.5; 0.5 |] |]
+           ~cost:0. ()));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Confusion.make: negative entry") (fun () ->
+      ignore
+        (Workers.Confusion.make ~id:0
+           ~matrix:[| [| 1.1; -0.1 |]; [| 0.5; 0.5 |] |]
+           ~cost:0. ()));
+  Alcotest.check_raises "one label" (Invalid_argument "Confusion.make: need at least 2 labels")
+    (fun () -> ignore (Workers.Confusion.make ~id:0 ~matrix:[| [| 1. |] |] ~cost:0. ()))
+
+let test_confusion_spammer () =
+  let s = Workers.Confusion.uniform_spammer ~labels:4 ~id:0 ~cost:1. in
+  check_float "uniform rows" 0.25 (Workers.Confusion.prob s ~truth:2 ~vote:3);
+  check_float "accuracy" 0.25 (Workers.Confusion.accuracy_given_uniform_prior s);
+  check_bool "weakly dominant" true (Workers.Confusion.diagonal_dominant s)
+
+let test_confusion_row_copy () =
+  let c = Workers.Confusion.symmetric_binary ~quality:0.7 ~id:0 ~cost:0. in
+  let row = Workers.Confusion.row c 0 in
+  row.(0) <- 0.;
+  check_float "immutable" 0.7 (Workers.Confusion.prob c ~truth:0 ~vote:0)
+
+let test_confusion_label_bounds () =
+  let c = Workers.Confusion.symmetric_binary ~quality:0.7 ~id:0 ~cost:0. in
+  Alcotest.check_raises "vote range" (Invalid_argument "Confusion.prob: label out of range")
+    (fun () -> ignore (Workers.Confusion.prob c ~truth:0 ~vote:2))
+
+(* ---- History / Estimator --------------------------------------------- *)
+
+let test_history_counts () =
+  let h = Workers.History.create ~worker_id:5 in
+  Workers.History.record_gold h ~task_id:0 ~vote:1 ~truth:1;
+  Workers.History.record_gold h ~task_id:1 ~vote:0 ~truth:1;
+  Workers.History.record_vote h ~task_id:2 ~vote:1;
+  check_int "worker id" 5 (Workers.History.worker_id h);
+  check_int "length" 3 (Workers.History.length h);
+  check_int "graded" 2 (Workers.History.graded_count h);
+  check_int "correct" 1 (Workers.History.correct_count h);
+  (match Workers.History.empirical_quality h with
+  | Some q -> check_float "empirical" 0.5 q
+  | None -> Alcotest.fail "expected quality");
+  check_int "answered tasks" 3 (List.length (Workers.History.answered_tasks h))
+
+let test_history_dedup () =
+  let h = Workers.History.create ~worker_id:0 in
+  Workers.History.record_vote h ~task_id:7 ~vote:0;
+  Workers.History.record_vote h ~task_id:7 ~vote:1;
+  check_int "dedup tasks" 1 (List.length (Workers.History.answered_tasks h));
+  check_int "entries kept" 2 (Workers.History.length h)
+
+let test_history_empty_quality () =
+  let h = Workers.History.create ~worker_id:0 in
+  check_bool "no grades" true (Workers.History.empirical_quality h = None)
+
+let test_estimator_empirical () =
+  let h = Workers.History.create ~worker_id:0 in
+  for i = 0 to 7 do
+    Workers.History.record_gold h ~task_id:i ~vote:1 ~truth:(if i < 6 then 1 else 0)
+  done;
+  check_float "raw" 0.75 (Workers.Estimator.empirical h);
+  check_close 1e-12 "smoothed" (7. /. 10.)
+    (Workers.Estimator.empirical ~prior_strength:2. h);
+  check_close 1e-12 "beta posterior" (8. /. 12.)
+    (Workers.Estimator.beta_posterior_mean ~a:2. ~b:2. h)
+
+let test_estimator_default_half () =
+  let h = Workers.History.create ~worker_id:0 in
+  check_float "ungraded -> 0.5" 0.5 (Workers.Estimator.empirical h)
+
+let test_estimate_pool () =
+  let mk id correct total =
+    let h = Workers.History.create ~worker_id:id in
+    for i = 0 to total - 1 do
+      Workers.History.record_gold h ~task_id:i ~vote:1
+        ~truth:(if i < correct then 1 else 0)
+    done;
+    h
+  in
+  let pool =
+    Workers.Estimator.estimate_pool
+      ~costs:(fun id -> float_of_int id +. 1.)
+      [ mk 0 9 10; mk 1 5 10 ]
+  in
+  check_int "size" 2 (Workers.Pool.size pool);
+  check_float "q0" 0.9 (Workers.Worker.quality (Workers.Pool.get pool 0));
+  check_float "c1" 2. (Workers.Worker.cost (Workers.Pool.get pool 1))
+
+let test_confusion_empirical () =
+  let h = Workers.History.create ~worker_id:0 in
+  (* Perfect on label 0; always answers 2 when truth is 1. *)
+  for i = 0 to 9 do
+    Workers.History.record_gold h ~task_id:i ~vote:0 ~truth:0
+  done;
+  for i = 10 to 19 do
+    Workers.History.record_gold h ~task_id:i ~vote:2 ~truth:1
+  done;
+  let m = Workers.Estimator.confusion_empirical ~labels:3 ~prior_strength:0. h in
+  check_float "row0 diag" 1. m.(0).(0);
+  check_float "row1 to 2" 1. m.(1).(2);
+  (* Row 2 never graded: uniform fallback. *)
+  check_close 1e-12 "row2 uniform" (1. /. 3.) m.(2).(0)
+
+(* ---- Dawid-Skene ------------------------------------------------------ *)
+
+(* Synthetic corpus: known truths, workers voting by latent quality. *)
+let synth_votes rng ~n_tasks ~qualities =
+  let truths = Array.init n_tasks (fun i -> i mod 2) in
+  let votes = ref [] in
+  Array.iteri
+    (fun task truth ->
+      Array.iteri
+        (fun worker q ->
+          let label = if Prob.Rng.bernoulli rng q then truth else 1 - truth in
+          votes := { Workers.Dawid_skene.task; worker; label } :: !votes)
+        qualities)
+    truths;
+  (truths, !votes)
+
+let test_ds_recovers_labels () =
+  let rng = Prob.Rng.create 101 in
+  let qualities = [| 0.9; 0.85; 0.8; 0.9; 0.75 |] in
+  let n_tasks = 60 in
+  let truths, votes = synth_votes rng ~n_tasks ~qualities in
+  let r =
+    Workers.Dawid_skene.run ~n_tasks ~n_workers:5 ~n_labels:2 votes
+  in
+  let agree = ref 0 in
+  Array.iteri (fun t lab -> if lab = truths.(t) then incr agree) r.labels;
+  (* EM may globally flip labels; accept either polarity. *)
+  let agreement = float_of_int !agree /. float_of_int n_tasks in
+  let agreement = Float.max agreement (1. -. agreement) in
+  check_bool "label recovery > 95%" true (agreement > 0.95)
+
+let test_ds_recovers_qualities () =
+  let rng = Prob.Rng.create 202 in
+  let qualities = [| 0.95; 0.9; 0.85; 0.8; 0.75; 0.7; 0.9 |] in
+  let n_tasks = 200 in
+  let _, votes = synth_votes rng ~n_tasks ~qualities in
+  let r = Workers.Dawid_skene.run ~n_tasks ~n_workers:7 ~n_labels:2 votes in
+  let est = Workers.Dawid_skene.binary_qualities r in
+  (* Accept the globally flipped solution too. *)
+  let err polarity =
+    Prob.Stats.mean
+      (Array.mapi
+         (fun i q ->
+           let e = if polarity then est.(i) else 1. -. est.(i) in
+           Float.abs (e -. q))
+         qualities)
+  in
+  check_bool "quality recovery" true (Float.min (err true) (err false) < 0.05)
+
+let test_ds_posteriors_normalized () =
+  let rng = Prob.Rng.create 303 in
+  let _, votes = synth_votes rng ~n_tasks:20 ~qualities:[| 0.8; 0.8; 0.8 |] in
+  let r = Workers.Dawid_skene.run ~n_tasks:20 ~n_workers:3 ~n_labels:2 votes in
+  Array.iter
+    (fun post ->
+      check_close 1e-9 "posterior sums to 1" 1. (Prob.Kahan.sum_array post))
+    r.posteriors;
+  check_close 1e-9 "priors sum to 1" 1. (Prob.Kahan.sum_array r.class_priors)
+
+let test_ds_unvoted_task_uniform () =
+  let votes = [ { Workers.Dawid_skene.task = 0; worker = 0; label = 1 } ] in
+  let r = Workers.Dawid_skene.run ~n_tasks:2 ~n_workers:1 ~n_labels:2 votes in
+  (* Task 1 got no votes: posterior must follow the class prior only. *)
+  check_close 1e-6 "no-vote posterior = prior" r.class_priors.(0) r.posteriors.(1).(0)
+
+let test_ds_validation () =
+  Alcotest.check_raises "bad task" (Invalid_argument "Dawid_skene: task id") (fun () ->
+      ignore
+        (Workers.Dawid_skene.run ~n_tasks:1 ~n_workers:1 ~n_labels:2
+           [ { Workers.Dawid_skene.task = 5; worker = 0; label = 0 } ]));
+  Alcotest.check_raises "bad labels"
+    (Invalid_argument "Dawid_skene.run: need at least 2 labels") (fun () ->
+      ignore (Workers.Dawid_skene.run ~n_tasks:1 ~n_workers:1 ~n_labels:1 []))
+
+let test_ds_iteration_cap () =
+  let rng = Prob.Rng.create 404 in
+  let _, votes = synth_votes rng ~n_tasks:10 ~qualities:[| 0.7; 0.7 |] in
+  let r =
+    Workers.Dawid_skene.run ~max_iterations:3 ~n_tasks:10 ~n_workers:2 ~n_labels:2 votes
+  in
+  check_bool "respects cap" true (r.iterations <= 3)
+
+let test_ds_multiclass () =
+  (* Three labels, strong workers: labels should be recovered. *)
+  let rng = Prob.Rng.create 505 in
+  let n_tasks = 60 in
+  let truths = Array.init n_tasks (fun i -> i mod 3) in
+  let votes = ref [] in
+  Array.iteri
+    (fun task truth ->
+      for worker = 0 to 4 do
+        let label =
+          if Prob.Rng.bernoulli rng 0.85 then truth
+          else (truth + 1 + Prob.Rng.int rng 2) mod 3
+        in
+        votes := { Workers.Dawid_skene.task; worker; label } :: !votes
+      done)
+    truths;
+  let r = Workers.Dawid_skene.run ~n_tasks ~n_workers:5 ~n_labels:3 !votes in
+  let agree = ref 0 in
+  Array.iteri (fun t lab -> if lab = truths.(t) then incr agree) r.labels;
+  check_bool "multiclass recovery > 90%" true
+    (float_of_int !agree /. float_of_int n_tasks > 0.9)
+
+(* ---- Spammer scoring --------------------------------------------------- *)
+
+let test_spammer_score_bounds =
+  qtest ~count:100 "score lies in [0, 1]" QCheck2.Gen.(float_range 0. 1.) (fun q ->
+      let c = Workers.Confusion.symmetric_binary ~quality:q ~id:0 ~cost:0. in
+      let s = Workers.Spammer.score c in
+      s >= -1e-12 && s <= 1. +. 1e-12)
+
+let test_spammer_binary_correspondence =
+  qtest ~count:100 "binary score = |2q - 1|" QCheck2.Gen.(float_range 0. 1.) (fun q ->
+      let c = Workers.Confusion.symmetric_binary ~quality:q ~id:0 ~cost:0. in
+      Float.abs
+        (Workers.Spammer.score c -. Workers.Spammer.binary_score_matches_quality ~quality:q)
+      < 1e-9)
+
+let test_spammer_detects_spammer () =
+  let s = Workers.Confusion.uniform_spammer ~labels:3 ~id:0 ~cost:0. in
+  check_float "spammer scores 0" 0. (Workers.Spammer.score s);
+  check_bool "flagged" true (Workers.Spammer.is_spammer s);
+  let good = Workers.Confusion.symmetric_binary ~quality:0.9 ~id:1 ~cost:0. in
+  check_bool "good not flagged" false (Workers.Spammer.is_spammer good)
+
+let test_spammer_rank () =
+  let workers =
+    [|
+      Workers.Confusion.symmetric_binary ~quality:0.6 ~id:0 ~cost:0.;
+      Workers.Confusion.symmetric_binary ~quality:0.9 ~id:1 ~cost:0.;
+      Workers.Confusion.uniform_spammer ~labels:2 ~id:2 ~cost:0.;
+    |]
+  in
+  let ranked = Workers.Spammer.rank workers in
+  check_int "best first" 1 (Workers.Confusion.id ranked.(0));
+  check_int "spammer last" 2 (Workers.Confusion.id ranked.(2))
+
+(* ---- Pool_io ------------------------------------------------------------- *)
+
+let test_pool_io_roundtrip () =
+  let pool = Workers.Generator.figure1_pool () in
+  let parsed = Workers.Pool_io.of_csv_string (Workers.Pool_io.to_csv_string pool) in
+  check_bool "roundtrip" true (Workers.Pool.equal pool parsed)
+
+let test_pool_io_parsing () =
+  let pool =
+    Workers.Pool_io.of_csv_string
+      "name,quality,cost\n# comment line\nA, 0.77, 9\n\nB,0.7,5\n"
+  in
+  check_int "two workers" 2 (Workers.Pool.size pool);
+  Alcotest.(check string) "name" "A" (Workers.Worker.name (Workers.Pool.get pool 0));
+  check_float "quality" 0.77 (Workers.Worker.quality (Workers.Pool.get pool 0));
+  check_float "cost" 5. (Workers.Worker.cost (Workers.Pool.get pool 1))
+
+let test_pool_io_headerless () =
+  let pool = Workers.Pool_io.of_csv_string "A,0.6,1\nB,0.7,2\n" in
+  check_int "no header needed" 2 (Workers.Pool.size pool)
+
+let test_pool_io_errors () =
+  (try
+     ignore (Workers.Pool_io.of_csv_string "A,not_a_number,1\n");
+     Alcotest.fail "expected parse failure"
+   with Failure msg ->
+     check_bool "line number in message" true
+       (String.length msg > 0
+       &&
+       let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains msg "line 1"));
+  try
+    ignore (Workers.Pool_io.of_csv_string "A,0.5\n");
+    Alcotest.fail "expected arity failure"
+  with Failure _ -> ()
+
+let test_pool_io_file () =
+  let path = Filename.temp_file "optjs_pool" ".csv" in
+  let pool = Workers.Generator.figure1_pool () in
+  Workers.Pool_io.save path pool;
+  let loaded = Workers.Pool_io.load path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (Workers.Pool.equal pool loaded)
+
+let () =
+  Alcotest.run "workers"
+    [
+      ( "worker",
+        [
+          Alcotest.test_case "make" `Quick test_worker_make;
+          Alcotest.test_case "validation" `Quick test_worker_validation;
+          Alcotest.test_case "with_quality" `Quick test_worker_with_quality;
+          Alcotest.test_case "reliable" `Quick test_worker_reliable;
+          Alcotest.test_case "orders" `Quick test_worker_orders;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "basics" `Quick test_pool_basics;
+          Alcotest.test_case "get bounds" `Quick test_pool_get_bounds;
+          Alcotest.test_case "membership" `Quick test_pool_membership;
+          Alcotest.test_case "add/union" `Quick test_pool_add_union;
+          Alcotest.test_case "sorts" `Quick test_pool_sorts;
+          Alcotest.test_case "take/sub" `Quick test_pool_take_sub;
+          Alcotest.test_case "subsets" `Quick test_pool_subsets;
+          Alcotest.test_case "filter/equal" `Quick test_pool_filter_equal;
+        ] );
+      ( "generator",
+        [
+          test_generator_ranges;
+          Alcotest.test_case "ids" `Quick test_generator_ids;
+          Alcotest.test_case "uniform cost / free" `Quick test_generator_uniform_cost;
+          Alcotest.test_case "beta" `Quick test_generator_beta;
+          Alcotest.test_case "figure 1" `Quick test_figure1_pool;
+        ] );
+      ( "confusion",
+        [
+          Alcotest.test_case "binary embed" `Quick test_confusion_binary_embed;
+          Alcotest.test_case "validation" `Quick test_confusion_validation;
+          Alcotest.test_case "spammer" `Quick test_confusion_spammer;
+          Alcotest.test_case "row copy" `Quick test_confusion_row_copy;
+          Alcotest.test_case "label bounds" `Quick test_confusion_label_bounds;
+        ] );
+      ( "history/estimator",
+        [
+          Alcotest.test_case "counts" `Quick test_history_counts;
+          Alcotest.test_case "dedup" `Quick test_history_dedup;
+          Alcotest.test_case "empty quality" `Quick test_history_empty_quality;
+          Alcotest.test_case "empirical" `Quick test_estimator_empirical;
+          Alcotest.test_case "ungraded default" `Quick test_estimator_default_half;
+          Alcotest.test_case "estimate pool" `Quick test_estimate_pool;
+          Alcotest.test_case "confusion empirical" `Quick test_confusion_empirical;
+        ] );
+      ( "spammer",
+        [
+          test_spammer_score_bounds;
+          test_spammer_binary_correspondence;
+          Alcotest.test_case "detects spammer" `Quick test_spammer_detects_spammer;
+          Alcotest.test_case "rank" `Quick test_spammer_rank;
+        ] );
+      ( "pool_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pool_io_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_pool_io_parsing;
+          Alcotest.test_case "headerless" `Quick test_pool_io_headerless;
+          Alcotest.test_case "errors" `Quick test_pool_io_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_pool_io_file;
+        ] );
+      ( "dawid_skene",
+        [
+          Alcotest.test_case "recovers labels" `Quick test_ds_recovers_labels;
+          Alcotest.test_case "recovers qualities" `Slow test_ds_recovers_qualities;
+          Alcotest.test_case "posteriors normalized" `Quick test_ds_posteriors_normalized;
+          Alcotest.test_case "unvoted task uniform" `Quick test_ds_unvoted_task_uniform;
+          Alcotest.test_case "validation" `Quick test_ds_validation;
+          Alcotest.test_case "iteration cap" `Quick test_ds_iteration_cap;
+          Alcotest.test_case "multiclass" `Quick test_ds_multiclass;
+        ] );
+    ]
