@@ -1,0 +1,28 @@
+.PHONY: all build test test-slow bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The alcotest `Slow cases (qcheck sweeps, SA-vs-exact) need the -e flag.
+test-slow: build
+	dune exec test/test_prob.exe -- -e
+	dune exec test/test_jq.exe -- -e
+	dune exec test/test_jsp.exe -- -e
+	dune exec test/test_expt.exe -- -e
+
+bench:
+	dune exec bench/main.exe
+
+# Fast CI smoke for the annealing hot path: one fig7b cell at N = 500,
+# seed solver vs cached-incremental, emitting BENCH_jsp.json.
+bench-smoke:
+	dune exec bench/main.exe -- fig7b --reps 1 --smoke
+
+clean:
+	dune clean
+	rm -f BENCH_jsp.json

@@ -18,7 +18,12 @@
      --only ID        only the artifact ID (phase 1), e.g. --only fig6a
      --skip-rows      skip phase 1
      --skip-timing    skip phase 2
-     --csv-dir DIR    also write each phase-1 table as CSV *)
+     --csv-dir DIR    also write each phase-1 table as CSV
+     --smoke          one timed seed-vs-incremental comparison, written as
+                      BENCH_jsp.json (CI smoke; combine with a positional
+                      artifact id, e.g. `fig7b --reps 1 --smoke`)
+
+   A bare positional argument is shorthand for --only ID. *)
 
 open Bechamel
 open Toolkit
@@ -33,6 +38,7 @@ type options = {
   mutable skip_ablations : bool;
   mutable charts : bool;
   mutable csv_dir : string option;
+  mutable smoke : bool;
 }
 
 let parse_options () =
@@ -45,6 +51,7 @@ let parse_options () =
       skip_ablations = false;
       charts = false;
       csv_dir = None;
+      smoke = false;
     }
   in
   let rec go = function
@@ -82,6 +89,12 @@ let parse_options () =
     | "--csv-dir" :: dir :: rest ->
         o.csv_dir <- Some dir;
         go rest
+    | "--smoke" :: rest ->
+        o.smoke <- true;
+        go rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        o.only <- Some arg;
+        go rest
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -112,6 +125,56 @@ let print_rows o =
       List.iter emit (Expt.Experiments.all ~config:o.config ());
       if not o.skip_ablations then
         List.iter emit (Expt.Ablations.all ~config:o.config ())
+
+(* ---- Smoke: seed solver vs cached incremental --------------------------- *)
+
+(* One timed comparison on the fig7b workload (annealed JSP at N = 500,
+   B = 0.5) between the seed solver and the cached + incremental engine,
+   dumped as BENCH_jsp.json so CI can assert on the speedup without parsing
+   report tables. *)
+let run_smoke o =
+  (match o.only with
+  | Some id when id <> "fig7b" ->
+      failwith (Printf.sprintf "--smoke supports fig7b, not %S" id)
+  | _ -> ());
+  let config = o.config in
+  let n = 500 in
+  let budget = 0.5 in
+  let pool =
+    Workers.Generator.gaussian_pool
+      (Prob.Rng.create config.Expt.Config.seed)
+      config.Expt.Config.generator n
+  in
+  let _, seed_s =
+    Expt.Series.timed (fun () ->
+        Jsp.Annealing.solve ~params:config.Expt.Config.annealing
+          (Jsp.Objective.bv_bucket ~num_buckets:config.Expt.Config.num_buckets ())
+          ~rng:(Prob.Rng.create 7) ~alpha:config.Expt.Config.alpha ~budget pool)
+  in
+  let inc, inc_s =
+    Expt.Series.timed (fun () ->
+        Jsp.Annealing.solve_optjs ~params:config.Expt.Config.annealing
+          ~num_buckets:config.Expt.Config.num_buckets
+          ~rng:(Prob.Rng.create 7) ~alpha:config.Expt.Config.alpha ~budget pool)
+  in
+  let hits, misses =
+    match inc.Jsp.Solver.cache with
+    | Some s -> (s.Jsp.Objective_cache.hits, s.Jsp.Objective_cache.misses)
+    | None -> (0, 0)
+  in
+  let speedup = if inc_s > 0. then seed_s /. inc_s else Float.infinity in
+  let json =
+    Printf.sprintf
+      "{\"bench\": \"fig7b\", \"n\": %d, \"budget\": %.2f, \
+       \"seed_solver_s\": %.6f, \"cached_incremental_s\": %.6f, \
+       \"speedup\": %.2f, \"cache_hits\": %d, \"cache_misses\": %d, \
+       \"evaluations\": %d}\n"
+      n budget seed_s inc_s speedup hits misses inc.Jsp.Solver.evaluations
+  in
+  let oc = open_out "BENCH_jsp.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json
 
 (* ---- Phase 2: Bechamel timing ------------------------------------------ *)
 
@@ -221,5 +284,8 @@ let run_timing config =
 
 let () =
   let o = parse_options () in
-  if not o.skip_rows then print_rows o;
-  if not o.skip_timing then run_timing o.config
+  if o.smoke then run_smoke o
+  else begin
+    if not o.skip_rows then print_rows o;
+    if not o.skip_timing then run_timing o.config
+  end

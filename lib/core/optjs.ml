@@ -24,8 +24,8 @@ let select_jury ?(config = default_config) ~rng ~alpha ~budget pool =
   | Some result -> result
   | None ->
       let annealed =
-        Jsp.Annealing.solve ~params:config.annealing objective ~rng ~alpha ~budget
-          pool
+        Jsp.Annealing.solve_optjs ~params:config.annealing
+          ~num_buckets:config.num_buckets ~rng ~alpha ~budget pool
       in
       let greedy = Jsp.Greedy.best_of_all objective ~alpha ~budget pool in
       Jsp.Solver.best annealed greedy

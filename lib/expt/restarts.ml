@@ -1,0 +1,51 @@
+(* Multi-seed annealing restarts.
+
+   Annealing is a randomized search: independent restarts from distinct RNG
+   seeds explore different trajectories, and the best-of fold dominates any
+   single run.  Each restart owns its own seed-derived RNG and its own
+   incremental accumulator/cache, so the restarts are embarrassingly
+   parallel and [Parallel.map] keeps results in seed order — the outcome is
+   bit-identical whatever the domain count. *)
+
+type outcome = {
+  best : Jsp.Solver.result;
+  seed : int;                       (* The seed that produced [best]. *)
+  runs : Jsp.Solver.result list;    (* Per-seed results, in seed order. *)
+}
+
+let cache_totals runs =
+  List.fold_left
+    (fun acc (r : Jsp.Solver.result) ->
+      match r.cache with
+      | None -> acc
+      | Some s -> Some (Jsp.Objective_cache.merge_stats (Option.value acc ~default:Jsp.Objective_cache.empty_stats) s))
+    None runs
+
+let run ?domains ?params ?cache ~seeds ~alpha ~budget objective pool =
+  if seeds = [] then invalid_arg "Restarts.run: no seeds";
+  let solve seed =
+    let rng = Prob.Rng.create seed in
+    Jsp.Annealing.solve_incremental ?params ?cache objective ~rng ~alpha
+      ~budget pool
+  in
+  let runs = Parallel.map ?domains solve seeds in
+  let best, seed =
+    List.fold_left2
+      (fun (b, bs) r s -> if r.Jsp.Solver.score > b.Jsp.Solver.score then (r, s) else (b, bs))
+      (List.hd runs, List.hd seeds)
+      (List.tl runs) (List.tl seeds)
+  in
+  { best; seed; runs }
+
+let run_optjs ?domains ?params ?num_buckets ?cache ~seeds ~alpha ~budget pool =
+  run ?domains ?params ?cache ~seeds ~alpha ~budget
+    (Jsp.Objective.bv_bucket_incremental ?num_buckets ())
+    pool
+
+let run_mvjs ?domains ?params ?cache ~seeds ~alpha ~budget pool =
+  run ?domains ?params ?cache ~seeds ~alpha ~budget
+    Jsp.Objective.mv_closed_incremental pool
+
+let seeds_from ~seed ~restarts =
+  if restarts <= 0 then invalid_arg "Restarts.seeds_from: restarts <= 0";
+  List.init restarts (fun i -> seed + i)

@@ -1,0 +1,57 @@
+(** Best-of-N annealing restarts across domains.
+
+    Annealing is randomized: restarting from several seeds and keeping the
+    best jury dominates any single run.  Restarts are independent (each
+    owns its RNG, incremental accumulator and score cache), so they fan out
+    over {!Parallel.map}; results come back in seed order and the outcome
+    is bit-identical whatever the domain count. *)
+
+type outcome = {
+  best : Jsp.Solver.result;        (** Highest-scoring restart. *)
+  seed : int;                      (** The seed that produced it. *)
+  runs : Jsp.Solver.result list;   (** All per-seed results, in seed order. *)
+}
+
+val run :
+  ?domains:int ->
+  ?params:Jsp.Annealing.params ->
+  ?cache:bool ->
+  seeds:int list ->
+  alpha:float ->
+  budget:Jsp.Budget.t ->
+  Jsp.Objective.Incremental.t ->
+  Workers.Pool.t ->
+  outcome
+(** One {!Jsp.Annealing.solve_incremental} per seed, best kept (score ties
+    go to the earlier seed).  [domains] defaults to 1 (sequential).
+    @raise Invalid_argument when [seeds] is empty. *)
+
+val run_optjs :
+  ?domains:int ->
+  ?params:Jsp.Annealing.params ->
+  ?num_buckets:int ->
+  ?cache:bool ->
+  seeds:int list ->
+  alpha:float ->
+  budget:Jsp.Budget.t ->
+  Workers.Pool.t ->
+  outcome
+(** {!run} over {!Jsp.Objective.bv_bucket_incremental}. *)
+
+val run_mvjs :
+  ?domains:int ->
+  ?params:Jsp.Annealing.params ->
+  ?cache:bool ->
+  seeds:int list ->
+  alpha:float ->
+  budget:Jsp.Budget.t ->
+  Workers.Pool.t ->
+  outcome
+(** {!run} over {!Jsp.Objective.mv_closed_incremental}. *)
+
+val cache_totals : Jsp.Solver.result list -> Jsp.Objective_cache.stats option
+(** Pointwise sum of the runs' cache counters ([None] when no run cached). *)
+
+val seeds_from : seed:int -> restarts:int -> int list
+(** [seed, seed+1, …, seed+restarts−1].
+    @raise Invalid_argument for [restarts <= 0]. *)

@@ -9,7 +9,11 @@ let buckets_for_error ~upper ~n ~epsilon =
   if epsilon <= 0. then invalid_arg "Bounds.buckets_for_error: epsilon <= 0";
   if n <= 0 || upper <= 0. then 1
   else
-    int_of_float (Float.ceil (upper *. float_of_int n /. (4. *. log1p epsilon)))
+    (* ceil can still land on 0 when upper·n / (4·log1p ε) underflows to a
+       denormal (or rounds below 1 ulp); a bucket count of 0 would poison
+       every downstream delta, so clamp to the minimum meaningful value. *)
+    max 1
+      (int_of_float (Float.ceil (upper *. float_of_int n /. (4. *. log1p epsilon))))
 
 let recommended_d = 200
 let paper_guarantee = exp (5. /. 800.) -. 1.

@@ -11,7 +11,8 @@ val additive_bound : upper:float -> num_buckets:int -> n:int -> float
 
 val buckets_for_error : upper:float -> n:int -> epsilon:float -> int
 (** Minimal numBuckets guaranteeing [additive_bound <= epsilon]:
-    ⌈upper·n / (4·ln(1+epsilon))⌉.  @raise Invalid_argument for
+    ⌈upper·n / (4·ln(1+epsilon))⌉, clamped to at least 1 (denormal inputs
+    can round the quotient below 1).  @raise Invalid_argument for
     [epsilon <= 0]. *)
 
 val recommended_d : int

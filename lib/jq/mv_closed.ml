@@ -7,19 +7,23 @@ let check qualities =
 
 (* The count of truthful votes is PB(qualities) whichever the truth is; only
    the winning threshold depends on the truth because of tie-breaking. *)
-let jq ~alpha ~qualities =
-  check qualities;
-  if alpha < 0. || alpha > 1. then invalid_arg "Mv_closed.jq: alpha";
-  let n = Array.length qualities in
+let jq_from_tail ~alpha ~n ~tail =
+  if alpha < 0. || alpha > 1. then invalid_arg "Mv_closed.jq_from_tail: alpha";
+  if n < 0 then invalid_arg "Mv_closed.jq_from_tail: n < 0";
   (* MV on the empty voting returns 1 (0 zeros < 1/2): correct iff t = 1. *)
   if n = 0 then 1. -. alpha
   else begin
-    let strict = Prob.Poisson_binomial.tail_at_least qualities ((n / 2) + 1) in
+    let strict = tail ((n / 2) + 1) in
     if n mod 2 = 1 then strict
     else
-      let with_tie = Prob.Poisson_binomial.tail_at_least qualities (n / 2) in
+      let with_tie = tail (n / 2) in
       (alpha *. strict) +. ((1. -. alpha) *. with_tie)
   end
+
+let jq ~alpha ~qualities =
+  check qualities;
+  jq_from_tail ~alpha ~n:(Array.length qualities)
+    ~tail:(Prob.Poisson_binomial.tail_at_least qualities)
 
 let jq_tie_coin qualities =
   check qualities;

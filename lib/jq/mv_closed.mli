@@ -13,6 +13,13 @@ val jq : alpha:float -> qualities:float array -> float
     For odd juries the two thresholds coincide and the result is
     α-independent. *)
 
+val jq_from_tail : alpha:float -> n:int -> tail:(int -> float) -> float
+(** The same formula with the Poisson–binomial tail abstracted out:
+    [tail k] must be [Pr(truthful votes >= k)] for a jury of size [n].
+    This lets incremental pmf maintainers (e.g.
+    {!Prob.Poisson_binomial.Incremental}) reuse the tie-breaking logic
+    without materialising a quality array per evaluation. *)
+
 val jq_tie_coin : float array -> float
 (** JQ of MV with coin-flip tie-breaking: Pr(correct > n/2) + ½·Pr(tie).
     Independent of the prior (the correct-vote count has the same law under

@@ -20,16 +20,65 @@ let validate_params p =
   if p.cooling <= 1. then invalid_arg "Annealing: cooling <= 1";
   if p.t_initial < p.epsilon then invalid_arg "Annealing: t_initial < epsilon"
 
-(* Mutable search state over the candidate pool: selection flags, the spent
-   budget, and the cached objective value of the current jury. *)
+(* Mutable search state over the candidate pool.  [idx] is a permutation of
+   worker indices with the selected ones occupying the prefix [0, n_sel);
+   [pos] is its inverse.  A uniformly random selected (or unselected)
+   partner is then one array read — the hot loop allocates nothing. *)
 type state = {
   workers : Workers.Worker.t array;
   selected : bool array;
+  idx : int array;
+  pos : int array;
+  mutable n_sel : int;
   mutable spent : float;
   mutable score : float;
   mutable evaluations : int;
 }
 
+let make_state workers =
+  let n = Array.length workers in
+  {
+    workers;
+    selected = Array.make n false;
+    idx = Array.init n Fun.id;
+    pos = Array.init n Fun.id;
+    n_sel = 0;
+    spent = 0.;
+    score = 0.;
+    evaluations = 0;
+  }
+
+(* Move worker [i] to slot [target] of [idx] by swapping with its occupant. *)
+let relocate st i target =
+  let p = st.pos.(i) in
+  let j = st.idx.(target) in
+  st.idx.(target) <- i;
+  st.idx.(p) <- j;
+  st.pos.(i) <- target;
+  st.pos.(j) <- p
+
+let mark_selected st i =
+  relocate st i st.n_sel;
+  st.n_sel <- st.n_sel + 1;
+  st.selected.(i) <- true
+
+let mark_unselected st i =
+  relocate st i (st.n_sel - 1);
+  st.n_sel <- st.n_sel - 1;
+  st.selected.(i) <- false
+
+let random_selected st rng =
+  if st.n_sel = 0 then None else Some st.idx.(Prob.Rng.int rng st.n_sel)
+
+let random_unselected st rng =
+  let m = Array.length st.workers - st.n_sel in
+  if m = 0 then None else Some st.idx.(st.n_sel + Prob.Rng.int rng m)
+
+let cost st i = Workers.Worker.cost st.workers.(i)
+let quality st i = Workers.Worker.quality st.workers.(i)
+
+(* Materialized juries are only built off the hot path: at the initial
+   evaluation, on cache misses, and when a new best is remembered. *)
 let current_jury st =
   let members = ref [] in
   for i = Array.length st.workers - 1 downto 0 do
@@ -45,63 +94,16 @@ let jury_without_with st ~out ~into =
   done;
   Workers.Pool.of_list !members
 
-let selected_indexes st =
-  let acc = ref [] in
-  Array.iteri (fun i s -> if s then acc := i :: !acc) st.selected;
-  !acc
-
-let unselected_indexes st =
-  let acc = ref [] in
-  Array.iteri (fun i s -> if not s then acc := i :: !acc) st.selected;
-  !acc
-
-let evaluate (objective : Objective.t) st ~alpha jury =
-  st.evaluations <- st.evaluations + 1;
-  objective.score ~alpha jury
-
-(* Algorithm 4.  [r] was drawn by the caller; we pair it with a random
-   selected (resp. unselected) partner and accept by the Boltzmann rule. *)
-let swap objective st ~alpha ~budget ~temperature rng r =
-  let pick_from = if st.selected.(r) then unselected_indexes st else selected_indexes st in
-  match pick_from with
-  | [] -> ()
-  | candidates ->
-      let k = List.nth candidates (Prob.Rng.int rng (List.length candidates)) in
-      let out, into = if st.selected.(r) then (r, k) else (k, r) in
-      let cost_out = Workers.Worker.cost st.workers.(out) in
-      let cost_into = Workers.Worker.cost st.workers.(into) in
-      if st.spent -. cost_out +. cost_into <= budget +. 1e-9 then begin
-        let candidate = jury_without_with st ~out ~into in
-        let candidate_score = evaluate objective st ~alpha candidate in
-        let delta = candidate_score -. st.score in
-        let accept =
-          delta >= 0.
-          || Prob.Rng.unit_float rng < exp (delta /. temperature)
-        in
-        if accept then begin
-          st.selected.(out) <- false;
-          st.selected.(into) <- true;
-          st.spent <- st.spent -. cost_out +. cost_into;
-          st.score <- candidate_score
-        end
-      end
-
-let solve ?(params = default_params) (objective : Objective.t) ~rng ~alpha ~budget
-    pool =
-  Budget.validate budget;
-  validate_params params;
-  let workers = Workers.Pool.to_array pool in
-  let n = Array.length workers in
-  let st =
-    {
-      workers;
-      selected = Array.make n false;
-      spent = 0.;
-      score = 0.;
-      evaluations = 0;
-    }
-  in
-  st.score <- evaluate objective st ~alpha (current_jury st);
+(* The annealing schedule of Algorithm 3, shared by both engines.
+   [score_current] scores the selection just after a state change;
+   [probe_swap] returns the candidate score of flipping (out, into) plus
+   whether the scorer already mutated itself to that state (incremental
+   cache misses do); [commit_swap]/[undo_probe] reconcile the scorer with
+   the accept/reject decision. *)
+let run params st ~rng ~budget ~score_current ~probe_swap ~commit_add
+    ~commit_swap ~undo_probe =
+  let n = Array.length st.workers in
+  st.score <- score_current ();
   let best_jury = ref (current_jury st) in
   let best_score = ref st.score in
   let remember () =
@@ -115,25 +117,157 @@ let solve ?(params = default_params) (objective : Objective.t) ~rng ~alpha ~budg
   while !temperature >= params.epsilon && n > 0 do
     for _ = 1 to moves do
       let r = Prob.Rng.int rng n in
-      if (not st.selected.(r)) && st.spent +. Workers.Worker.cost workers.(r) <= budget +. 1e-9
-      then begin
+      if (not st.selected.(r)) && st.spent +. cost st r <= budget +. 1e-9 then begin
         (* Lemma 1: a free addition can only help; accept unconditionally. *)
-        st.selected.(r) <- true;
-        st.spent <- st.spent +. Workers.Worker.cost workers.(r);
-        st.score <- evaluate objective st ~alpha (current_jury st)
+        commit_add r;
+        mark_selected st r;
+        st.spent <- st.spent +. cost st r;
+        st.score <- score_current ()
       end
-      else swap objective st ~alpha ~budget ~temperature:!temperature rng r;
+      else begin
+        (* Algorithm 4: pair r with a random opposite-side partner and
+           accept by the Boltzmann rule. *)
+        let partner =
+          if st.selected.(r) then random_unselected st rng
+          else random_selected st rng
+        in
+        match partner with
+        | None -> ()
+        | Some k ->
+            let out, into = if st.selected.(r) then (r, k) else (k, r) in
+            if st.spent -. cost st out +. cost st into <= budget +. 1e-9 then begin
+              let candidate_score, mutated = probe_swap ~out ~into in
+              let delta = candidate_score -. st.score in
+              let accept =
+                delta >= 0.
+                || Prob.Rng.unit_float rng < exp (delta /. !temperature)
+              in
+              if accept then begin
+                commit_swap ~out ~into ~mutated;
+                mark_unselected st out;
+                mark_selected st into;
+                st.spent <- st.spent -. cost st out +. cost st into;
+                st.score <- candidate_score
+              end
+              else if mutated then undo_probe ~out ~into
+            end
+      end;
       remember ()
     done;
     temperature := !temperature /. params.cooling
   done;
-  if params.keep_best then
-    { Solver.jury = !best_jury; score = !best_score; evaluations = st.evaluations }
-  else
-    { Solver.jury = current_jury st; score = st.score; evaluations = st.evaluations }
+  if params.keep_best then (!best_jury, !best_score)
+  else (current_jury st, st.score)
 
-let solve_optjs ?params ?num_buckets ~rng ~alpha ~budget pool =
-  solve ?params (Objective.bv_bucket ?num_buckets ()) ~rng ~alpha ~budget pool
+let solve ?(params = default_params) ?(cache = false) (objective : Objective.t)
+    ~rng ~alpha ~budget pool =
+  Budget.validate budget;
+  validate_params params;
+  let workers = Workers.Pool.to_array pool in
+  let st = make_state workers in
+  let memo =
+    if cache then Some (Objective_cache.create ~n:(Array.length workers) ())
+    else None
+  in
+  let eval jury =
+    st.evaluations <- st.evaluations + 1;
+    objective.score ~alpha jury
+  in
+  let memoized key_of jury_of =
+    match memo with
+    | None -> eval (jury_of ())
+    | Some c -> Objective_cache.find_or_eval c (key_of c) (fun () -> eval (jury_of ()))
+  in
+  let score_current () =
+    memoized (fun c -> Objective_cache.key c st.selected) (fun () -> current_jury st)
+  in
+  let probe_swap ~out ~into =
+    ( memoized
+        (fun c -> Objective_cache.key_swapped c st.selected ~out ~into)
+        (fun () -> jury_without_with st ~out ~into),
+      false )
+  in
+  let jury, score =
+    run params st ~rng ~budget ~score_current ~probe_swap
+      ~commit_add:(fun _ -> ())
+      ~commit_swap:(fun ~out:_ ~into:_ ~mutated:_ -> ())
+      ~undo_probe:(fun ~out:_ ~into:_ -> ())
+  in
+  {
+    Solver.jury;
+    score;
+    evaluations = st.evaluations;
+    cache = Option.map Objective_cache.stats memo;
+  }
 
-let solve_mvjs ?params ~rng ~alpha ~budget pool =
-  solve ?params Objective.mv_closed ~rng ~alpha ~budget pool
+let solve_incremental ?(params = default_params) ?(cache = true)
+    (inc : Objective.Incremental.t) ~rng ~alpha ~budget pool =
+  Budget.validate budget;
+  validate_params params;
+  let workers = Workers.Pool.to_array pool in
+  let st = make_state workers in
+  let memo =
+    if cache then Some (Objective_cache.create ~n:(Array.length workers) ())
+    else None
+  in
+  let acc = inc.Objective.Incremental.init ~alpha in
+  let eval () =
+    st.evaluations <- st.evaluations + 1;
+    acc.Objective.Incremental.value ()
+  in
+  (* The accumulator always mirrors the *selection*, except transiently
+     inside a swap probe: a cache miss mutates it to the candidate state
+     (that is how the candidate is scored at all), and the accept/reject
+     outcome either keeps the mutation or rolls it back. *)
+  let mutate_to ~out ~into =
+    acc.Objective.Incremental.remove (quality st out);
+    acc.Objective.Incremental.add (quality st into)
+  in
+  let score_current () =
+    match memo with
+    | None -> eval ()
+    | Some c -> Objective_cache.find_or_eval c (Objective_cache.key c st.selected) eval
+  in
+  let probe_swap ~out ~into =
+    match memo with
+    | None ->
+        mutate_to ~out ~into;
+        (eval (), true)
+    | Some c ->
+        let key = Objective_cache.key_swapped c st.selected ~out ~into in
+        let mutated = ref false in
+        let v =
+          Objective_cache.find_or_eval c key (fun () ->
+              mutated := true;
+              mutate_to ~out ~into;
+              eval ())
+        in
+        (v, !mutated)
+  in
+  let jury, _incr_score =
+    run params st ~rng ~budget ~score_current ~probe_swap
+      ~commit_add:(fun r -> acc.Objective.Incremental.add (quality st r))
+      ~commit_swap:(fun ~out ~into ~mutated ->
+        if not mutated then mutate_to ~out ~into)
+      ~undo_probe:(fun ~out ~into -> mutate_to ~out:into ~into:out)
+  in
+  (* Report the jury on the standard scale: one from-scratch evaluation of
+     the final jury keeps scores comparable with the other solvers (the
+     incremental estimate differs within the combined error bounds). *)
+  st.evaluations <- st.evaluations + 1;
+  let score = inc.Objective.Incremental.rescore.score ~alpha jury in
+  {
+    Solver.jury;
+    score;
+    evaluations = st.evaluations;
+    cache = Option.map Objective_cache.stats memo;
+  }
+
+let solve_optjs ?params ?num_buckets ?cache ~rng ~alpha ~budget pool =
+  solve_incremental ?params ?cache
+    (Objective.bv_bucket_incremental ?num_buckets ())
+    ~rng ~alpha ~budget pool
+
+let solve_mvjs ?params ?cache ~rng ~alpha ~budget pool =
+  solve_incremental ?params ?cache Objective.mv_closed_incremental ~rng ~alpha
+    ~budget pool

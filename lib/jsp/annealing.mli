@@ -7,7 +7,18 @@
     (Lemma 1 — more workers never hurt BV), or proposed in a swap against a
     random selected/unselected partner (Algorithm 4); a swap that lowers JQ
     by Δ is still accepted with probability exp(−Δ/T) (Boltzmann), which
-    lets the search escape local optima. *)
+    lets the search escape local optima.
+
+    Two scoring engines share the schedule.  {!solve} evaluates an
+    {!Objective.t} from scratch per move (the reference engine);
+    {!solve_incremental} maintains one {!Objective.Incremental} accumulator
+    per search and applies O(state) add/remove deltas per move — the
+    production hot path.  Either can memoize scores on the selection bitset
+    with an {!Objective_cache} ([cache]); caching never changes the search
+    trajectory (the objective is pure and the Boltzmann draw is skipped
+    exactly when it was skipped uncached), so cached runs return
+    bit-identical juries and scores.  Partner picks use O(1) reads of a
+    permutation array — the hot loop allocates nothing. *)
 
 type params = {
   t_initial : float;      (** Starting temperature (paper: 1.0). *)
@@ -26,33 +37,54 @@ val default_params : params
 
 val solve :
   ?params:params ->
+  ?cache:bool ->
   Objective.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
   Solver.result
-(** Run the annealer.  The result is always feasible.  Deterministic given
-    the [rng] state.  @raise Invalid_argument on invalid budget or params
+(** Run the annealer with from-scratch scoring.  The result is always
+    feasible.  Deterministic given the [rng] state; [cache] (default
+    [false]) memoizes repeat evaluations without changing the outcome and
+    surfaces counters in [result.cache].
+    @raise Invalid_argument on invalid budget or params
     (ε ≤ 0, cooling ≤ 1, t_initial ≤ ε). *)
 
-val solve_optjs :
+val solve_incremental :
   ?params:params ->
-  ?num_buckets:int ->
+  ?cache:bool ->
+  Objective.Incremental.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
   Solver.result
-(** OPTJS: annealing over the bucket-approximated BV objective. *)
+(** Run the annealer with incremental scoring ([cache] defaults to
+    [true]).  The returned score is a final from-scratch evaluation of the
+    winning jury by the objective's [rescore], so it is directly comparable
+    with the other solvers' scores. *)
+
+val solve_optjs :
+  ?params:params ->
+  ?num_buckets:int ->
+  ?cache:bool ->
+  rng:Prob.Rng.t ->
+  alpha:float ->
+  budget:Budget.t ->
+  Workers.Pool.t ->
+  Solver.result
+(** OPTJS: {!solve_incremental} over the bucket-approximated BV objective
+    ({!Objective.bv_bucket_incremental}). *)
 
 val solve_mvjs :
   ?params:params ->
+  ?cache:bool ->
   rng:Prob.Rng.t ->
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
   Solver.result
 (** The MVJS baseline of the experiments: identical search, but the
-    objective is JQ under Majority Voting (closed form), i.e. [7]'s
-    argmax_J JQ(J, MV, α). *)
+    objective is JQ under Majority Voting (closed form, maintained as an
+    incremental Poisson–binomial pmf), i.e. [7]'s argmax_J JQ(J, MV, α). *)

@@ -59,4 +59,5 @@ let solve ?(width = default_width) (objective : Objective.t) ~alpha ~budget pool
     Solver.jury = Workers.Pool.of_list (List.rev !best.members);
     score = !best.score;
     evaluations = !evaluations;
+    cache = None;
   }

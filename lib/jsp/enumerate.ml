@@ -23,7 +23,8 @@ let solve (objective : Objective.t) ~alpha ~budget pool =
   in
   match Seq.fold_left consider None (Workers.Pool.subsets pool) with
   | None -> Solver.empty_result objective ~alpha
-  | Some (jury, score) -> { Solver.jury; score; evaluations = !evaluations }
+  | Some (jury, score) ->
+      { Solver.jury; score; evaluations = !evaluations; cache = None }
 
 let solve_bv ?num_buckets ~alpha ~budget pool =
   solve (Objective.bv_bucket ?num_buckets ()) ~alpha ~budget pool

@@ -11,7 +11,7 @@ let scan (objective : Objective.t) ~alpha ~budget ordered =
       end)
     ordered;
   let jury = Workers.Pool.of_list (List.rev !chosen) in
-  { Solver.jury; score = objective.score ~alpha jury; evaluations = 1 }
+  { Solver.jury; score = objective.score ~alpha jury; evaluations = 1; cache = None }
 
 let by_quality objective ~alpha ~budget pool =
   scan objective ~alpha ~budget

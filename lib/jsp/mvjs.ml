@@ -1,6 +1,6 @@
 let select ?params ~rng ~alpha ~budget pool =
   let objective = Objective.mv_closed in
-  let annealed = Annealing.solve ?params objective ~rng ~alpha ~budget pool in
+  let annealed = Annealing.solve_mvjs ?params ~rng ~alpha ~budget pool in
   let greedy = Greedy.best_of_all objective ~alpha ~budget pool in
   Solver.best annealed greedy
 

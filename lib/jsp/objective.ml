@@ -35,3 +35,56 @@ let strategy_exact strategy =
       (fun ~alpha jury ->
         Jq.Exact.jq strategy ~alpha ~qualities:(Workers.Pool.qualities jury));
   }
+
+module Incremental = struct
+  type state = {
+    add : float -> unit;
+    remove : float -> unit;
+    value : unit -> float;
+  }
+
+  type objective = t
+
+  type t = {
+    name : string;
+    init : alpha:float -> state;
+    rescore : objective;
+  }
+end
+
+let bv_bucket_incremental ?(num_buckets = Jq.Bucket.default_num_buckets) () =
+  (* The fixed-width construction divides the global logit cap phi(0.99),
+     roughly twice the jury max logit Bucket.run divides by on typical
+     pools.  Double the bucket count for the accumulator so the effective
+     width matches: this only sharpens the swap guidance — the returned
+     score is re-computed by [rescore] at the requested resolution. *)
+  {
+    Incremental.name = "BV/bucket-incr";
+    init =
+      (fun ~alpha ->
+        let acc = Jq.Incremental.create ~num_buckets:(2 * num_buckets) ~alpha () in
+        {
+          Incremental.add = Jq.Incremental.add_worker acc;
+          remove = Jq.Incremental.remove_worker acc;
+          value = (fun () -> Jq.Incremental.value acc);
+        });
+    rescore = bv_bucket ~num_buckets ();
+  }
+
+let mv_closed_incremental =
+  {
+    Incremental.name = "MV/closed-incr";
+    init =
+      (fun ~alpha ->
+        let pb = Prob.Poisson_binomial.Incremental.create () in
+        {
+          Incremental.add = Prob.Poisson_binomial.Incremental.add pb;
+          remove = Prob.Poisson_binomial.Incremental.remove pb;
+          value =
+            (fun () ->
+              Jq.Mv_closed.jq_from_tail ~alpha
+                ~n:(Prob.Poisson_binomial.Incremental.size pb)
+                ~tail:(Prob.Poisson_binomial.Incremental.tail_at_least pb));
+        });
+    rescore = mv_closed;
+  }

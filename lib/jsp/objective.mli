@@ -26,3 +26,37 @@ val mv_closed : t
 
 val strategy_exact : Voting.Strategy.t -> t
 (** Exact JQ of an arbitrary strategy (enumeration; small juries). *)
+
+(** Objectives that score by {i mutating} a per-search accumulator instead
+    of re-running the full JQ computation on each candidate jury.  The
+    annealer's moves change one or two members at a time, so an O(state)
+    add/remove pair replaces the O(d·n³)-class from-scratch evaluation on
+    the hot path. *)
+module Incremental : sig
+  type state = {
+    add : float -> unit;     (** Fold one worker quality into the jury. *)
+    remove : float -> unit;  (** Take one worker quality back out. *)
+    value : unit -> float;   (** JQ estimate of the current multiset. *)
+  }
+
+  type objective = t
+
+  type t = {
+    name : string;
+    init : alpha:float -> state;  (** Fresh empty-jury accumulator. *)
+    rescore : objective;
+        (** The matching from-scratch objective; solvers re-score their
+            final jury with it so reported scores stay on the standard
+            scale (e.g. {!Jq.Bucket.estimate}'s per-jury bucket width
+            rather than {!Jq.Incremental}'s fixed global width). *)
+  }
+end
+
+val bv_bucket_incremental : ?num_buckets:int -> unit -> Incremental.t
+(** OPTJS objective over {!Jq.Incremental}: O(|map|) per add/remove.
+    Values agree with {!bv_bucket}'s within the two constructions' combined
+    §4.4 error bounds (the incremental map uses a fixed bucket width). *)
+
+val mv_closed_incremental : Incremental.t
+(** MVJS objective over {!Prob.Poisson_binomial.Incremental}: O(k) per
+    add/remove, exact up to float drift (guarded by periodic rebuilds). *)

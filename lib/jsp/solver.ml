@@ -1,7 +1,12 @@
-type result = { jury : Workers.Pool.t; score : float; evaluations : int }
+type result = {
+  jury : Workers.Pool.t;
+  score : float;
+  evaluations : int;
+  cache : Objective_cache.stats option;
+}
 
 let empty_result (objective : Objective.t) ~alpha =
   let jury = Workers.Pool.of_list [] in
-  { jury; score = objective.score ~alpha jury; evaluations = 1 }
+  { jury; score = objective.score ~alpha jury; evaluations = 1; cache = None }
 
 let best a b = if b.score > a.score then b else a

@@ -4,6 +4,9 @@ type result = {
   jury : Workers.Pool.t;       (** The selected jury (feasible by contract). *)
   score : float;               (** The objective's JQ estimate for it. *)
   evaluations : int;           (** Objective evaluations spent. *)
+  cache : Objective_cache.stats option;
+      (** Memoization counters, when the solver ran with an
+          {!Objective_cache} ([None] for uncached solvers). *)
 }
 
 val empty_result : Objective.t -> alpha:float -> result

@@ -22,9 +22,9 @@ let solve (objective : Objective.t) ~alpha ~budget pool =
   | General -> None
   | All_affordable ->
       let score = objective.score ~alpha pool in
-      Some { Solver.jury = pool; score; evaluations = 1 }
+      Some { Solver.jury = pool; score; evaluations = 1; cache = None }
   | Uniform_cost c ->
       let k = min (int_of_float (Float.floor ((budget +. 1e-9) /. c))) (Workers.Pool.size pool) in
       let jury = top_k_by_quality k pool in
       let score = objective.score ~alpha jury in
-      Some { Solver.jury; score; evaluations = 1 }
+      Some { Solver.jury; score; evaluations = 1; cache = None }

@@ -55,3 +55,123 @@ let majority_correct qs =
     Kahan.add acc (0.5 *. dp.(n / 2));
     Kahan.total acc
   end
+
+(* ---- Incremental pmf maintenance -------------------------------------- *)
+
+module Incremental = struct
+  type t = {
+    mutable dp : float array;   (* dp.(k) = Pr(k successes), length >= n+1 *)
+    mutable n : int;
+    mutable ps : float list;    (* trial multiset, for rebuilds *)
+    mutable removals : int;
+    mutable rebuilds : int;
+  }
+
+  let rebuild_period = 512
+
+  let create () =
+    let dp = Array.make 8 0. in
+    dp.(0) <- 1.;
+    { dp; n = 0; ps = []; removals = 0; rebuilds = 0 }
+
+  let size t = t.n
+
+  let validate name p =
+    if p < 0. || p > 1. || Float.is_nan p then
+      invalid_arg (Printf.sprintf "Poisson_binomial.Incremental.%s: probability outside [0, 1]" name)
+
+  let grow t =
+    if t.n + 1 >= Array.length t.dp then begin
+      let dp = Array.make (2 * Array.length t.dp) 0. in
+      Array.blit t.dp 0 dp 0 (t.n + 1);
+      t.dp <- dp
+    end
+
+  (* One O(n) convolution step, identical to the batch [pmf] recurrence. *)
+  let convolve t p =
+    grow t;
+    let dp = t.dp in
+    dp.(t.n + 1) <- 0.;
+    for k = t.n + 1 downto 1 do
+      dp.(k) <- (dp.(k) *. (1. -. p)) +. (dp.(k - 1) *. p)
+    done;
+    dp.(0) <- dp.(0) *. (1. -. p);
+    t.n <- t.n + 1
+
+  let add t p =
+    validate "add" p;
+    t.ps <- p :: t.ps;
+    convolve t p
+
+  let rebuild t =
+    let dp = Array.make (Array.length t.dp) 0. in
+    dp.(0) <- 1.;
+    t.dp <- dp;
+    let ps = t.ps in
+    t.n <- 0;
+    t.ps <- [];
+    List.iter (fun p -> t.ps <- p :: t.ps; convolve t p) ps;
+    t.removals <- 0;
+    t.rebuilds <- t.rebuilds + 1
+
+  let rec drop p = function
+    | [] -> None
+    | x :: rest ->
+        if x = p then Some rest
+        else Option.map (fun r -> x :: r) (drop p rest)
+
+  (* Inverse convolution: new[k] = p·prev[k−1] + (1−p)·prev[k], solved for
+     prev in ascending k.  O(n); falls back to a rebuild when drift shows
+     (negative mass or total off 1) or periodically. *)
+  let deconvolve t p =
+    let dp = t.dp in
+    let n = t.n in
+    let ok = ref true in
+    if p = 1. then
+      (* Every trial succeeded: prev[k] = new[k+1]. *)
+      for k = 0 to n - 1 do
+        dp.(k) <- dp.(k + 1)
+      done
+    else begin
+      let total = ref 0. in
+      let prev = ref 0. in
+      for k = 0 to n - 1 do
+        let v = (dp.(k) -. (p *. !prev)) /. (1. -. p) in
+        let v = if v > 0. then v else if v < -1e-9 then (ok := false; 0.) else 0. in
+        dp.(k) <- v;
+        prev := v;
+        total := !total +. v
+      done;
+      if Float.abs (!total -. 1.) > 1e-6 then ok := false
+    end;
+    dp.(n) <- 0.;
+    t.n <- n - 1;
+    if not !ok then rebuild t
+
+  let remove t p =
+    validate "remove" p;
+    (match drop p t.ps with
+    | None -> invalid_arg "Poisson_binomial.Incremental.remove: trial not present"
+    | Some rest -> t.ps <- rest);
+    t.removals <- t.removals + 1;
+    if t.removals >= rebuild_period then begin
+      t.n <- t.n - 1;
+      rebuild t
+    end
+    else deconvolve t p
+
+  let pmf t = Array.sub t.dp 0 (t.n + 1)
+
+  let tail_at_least t k =
+    if k <= 0 then 1.
+    else if k > t.n then 0.
+    else begin
+      let acc = Kahan.create () in
+      for j = k to t.n do
+        Kahan.add acc t.dp.(j)
+      done;
+      Kahan.total acc
+    end
+
+  let rebuilds t = t.rebuilds
+end

@@ -30,3 +30,36 @@ val majority_correct : float array -> float
     of the paper (a tie on an even jury is broken at random, contributing
     half its mass).  With an odd jury this is just
     [tail_at_least qs ((n / 2) + 1)]. *)
+
+(** Incremental pmf over a mutable trial multiset: [add] and [remove] are
+    each one O(n) convolution pass instead of the O(n^2) batch rebuild —
+    the hot-path primitive behind the MVJS annealer's per-swap scoring.
+    Removal is the exact algebraic inverse of addition; float drift is
+    caught by a mass check per deconvolution plus a periodic full rebuild
+    from the tracked multiset. *)
+module Incremental : sig
+  type t
+
+  val create : unit -> t
+  (** Zero trials: pmf = [|1.|]. *)
+
+  val add : t -> float -> unit
+  (** Fold one trial of success probability [p] in, O(n).
+      @raise Invalid_argument for [p] outside [0, 1]. *)
+
+  val remove : t -> float -> unit
+  (** Take one trial of success probability [p] back out, O(n).
+      @raise Invalid_argument for [p] outside [0, 1] or not present. *)
+
+  val size : t -> int
+  (** Current number of trials. *)
+
+  val pmf : t -> float array
+  (** A fresh copy of the current pmf, length [size t + 1]. *)
+
+  val tail_at_least : t -> int -> float
+  (** [Pr(successes >= k)] under the current multiset, without copying. *)
+
+  val rebuilds : t -> int
+  (** Full rebuilds performed so far (drift guard / periodic fallback). *)
+end

@@ -76,6 +76,84 @@ let test_parallel_validation () =
   Alcotest.check_raises "domains" (Invalid_argument "Parallel.map: domains <= 0")
     (fun () -> ignore (Expt.Parallel.map ~domains:0 Fun.id [ 1 ]))
 
+(* ---- Restarts --------------------------------------------------------------- *)
+
+let restart_pool =
+  Workers.Generator.gaussian_pool (Prob.Rng.create 41) Workers.Generator.default 14
+
+let light_annealing = { Jsp.Annealing.default_params with epsilon = 1e-4 }
+
+let test_restarts_parallel_identical () =
+  (* Restarts own their RNGs, so fanning out over domains must not change
+     anything — same seeds, same juries, bit for bit. *)
+  let run domains =
+    Expt.Restarts.run_optjs ~domains ~params:light_annealing
+      ~seeds:(Expt.Restarts.seeds_from ~seed:100 ~restarts:6)
+      ~alpha:0.5 ~budget:0.4 restart_pool
+  in
+  let seq = run 1 and par = run 3 in
+  check_bool "same best jury" true
+    (Workers.Pool.equal seq.Expt.Restarts.best.Jsp.Solver.jury
+       par.Expt.Restarts.best.Jsp.Solver.jury);
+  check_close 0. "same best score" seq.Expt.Restarts.best.Jsp.Solver.score
+    par.Expt.Restarts.best.Jsp.Solver.score;
+  check_int "same winning seed" seq.Expt.Restarts.seed par.Expt.Restarts.seed;
+  List.iter2
+    (fun (a : Jsp.Solver.result) (b : Jsp.Solver.result) ->
+      check_close 0. "per-run score" a.Jsp.Solver.score b.Jsp.Solver.score)
+    seq.Expt.Restarts.runs par.Expt.Restarts.runs
+
+let test_restarts_best_dominates () =
+  let o =
+    Expt.Restarts.run_mvjs ~params:light_annealing
+      ~seeds:[ 3; 17; 29 ] ~alpha:0.5 ~budget:0.4 restart_pool
+  in
+  check_int "one run per seed" 3 (List.length o.Expt.Restarts.runs);
+  List.iter
+    (fun (r : Jsp.Solver.result) ->
+      check_bool "best >= run" true
+        (o.Expt.Restarts.best.Jsp.Solver.score >= r.Jsp.Solver.score))
+    o.Expt.Restarts.runs;
+  check_bool "winner is one of the runs" true
+    (List.exists
+       (fun (r : Jsp.Solver.result) ->
+         r.Jsp.Solver.score = o.Expt.Restarts.best.Jsp.Solver.score)
+       o.Expt.Restarts.runs)
+
+let test_restarts_cache_totals () =
+  let o =
+    Expt.Restarts.run_optjs ~params:light_annealing ~cache:true
+      ~seeds:[ 1; 2 ] ~alpha:0.5 ~budget:0.4 restart_pool
+  in
+  (match Expt.Restarts.cache_totals o.Expt.Restarts.runs with
+  | Some s ->
+      check_bool "misses accumulated" true (s.Jsp.Objective_cache.misses > 0);
+      let per_run =
+        List.filter_map (fun (r : Jsp.Solver.result) -> r.Jsp.Solver.cache)
+          o.Expt.Restarts.runs
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_run in
+      check_int "hits are summed" (sum (fun s -> s.Jsp.Objective_cache.hits))
+        s.Jsp.Objective_cache.hits
+  | None -> Alcotest.fail "cache totals expected");
+  let uncached =
+    Expt.Restarts.run_optjs ~params:light_annealing ~cache:false
+      ~seeds:[ 1 ] ~alpha:0.5 ~budget:0.4 restart_pool
+  in
+  check_bool "no totals without caching" true
+    (Expt.Restarts.cache_totals uncached.Expt.Restarts.runs = None)
+
+let test_restarts_validation () =
+  Alcotest.check_raises "empty seeds" (Invalid_argument "Restarts.run: no seeds")
+    (fun () ->
+      ignore
+        (Expt.Restarts.run_optjs ~seeds:[] ~alpha:0.5 ~budget:0.4 restart_pool));
+  Alcotest.check_raises "restarts <= 0"
+    (Invalid_argument "Restarts.seeds_from: restarts <= 0") (fun () ->
+      ignore (Expt.Restarts.seeds_from ~seed:0 ~restarts:0));
+  Alcotest.(check (list int)) "seed range" [ 5; 6; 7 ]
+    (Expt.Restarts.seeds_from ~seed:5 ~restarts:3)
+
 (* ---- Report ------------------------------------------------------------- *)
 
 let sample_table =
@@ -297,6 +375,14 @@ let () =
             test_parallel_replication_deterministic;
           Alcotest.test_case "exceptions" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
+        ] );
+      ( "restarts",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_restarts_parallel_identical;
+          Alcotest.test_case "best dominates runs" `Quick test_restarts_best_dominates;
+          Alcotest.test_case "cache totals" `Quick test_restarts_cache_totals;
+          Alcotest.test_case "validation" `Quick test_restarts_validation;
         ] );
       ( "report",
         [

@@ -546,6 +546,166 @@ let test_incremental_edges () =
   Alcotest.check_raises "quality" (Invalid_argument "Incremental.add_worker: quality outside [0, 1]")
     (fun () -> Jq.Incremental.add_worker coins 1.5)
 
+(* ---- Incremental removal --------------------------------------------------- *)
+
+(* A random interleaving of adds and removes, ending with the [kept] subset:
+   add everything, then (in a data-dependent order) remove the rest. *)
+let interleave t qs ~keep =
+  Array.iteri
+    (fun i q ->
+      Jq.Incremental.add_worker t q;
+      (* Remove an earlier non-kept worker every other step, so removals
+         happen mid-stream rather than only at the end. *)
+      if i mod 2 = 1 then
+        for j = i - 1 downto max 0 (i - 2) do
+          if not keep.(j) && qs.(j) >= 0. then begin
+            Jq.Incremental.remove_worker t qs.(j);
+            qs.(j) <- -1.
+          end
+        done)
+    qs;
+  Array.iteri
+    (fun j q -> if (not keep.(j)) && q >= 0. then Jq.Incremental.remove_worker t q)
+    (Array.copy qs)
+
+let test_incremental_interleaved_vs_exact =
+  qtest ~count:200 "value after add/remove interleaving brackets the exact JQ"
+    QCheck2.Gen.(triple (jury_gen ~max:8 quality_gen) (array_size (return 8) bool) alpha_gen)
+    (fun (qs, keep_all, alpha) ->
+      let n = Array.length qs in
+      let keep = Array.sub keep_all 0 n in
+      (* Keep at least one worker so the surviving jury is non-empty. *)
+      keep.(0) <- true;
+      let t = Jq.Incremental.create ~num_buckets:400 ~alpha () in
+      let scratch = Array.copy qs in
+      interleave t scratch ~keep;
+      let survivors =
+        Array.of_list
+          (List.filteri (fun j _ -> keep.(j)) (Array.to_list qs))
+      in
+      let exact = Jq.Exact.jq_optimal ~alpha ~qualities:survivors in
+      let est = Jq.Incremental.value t in
+      Jq.Incremental.size t = Array.length survivors
+      && est <= exact +. 1e-9
+      && exact -. est <= Jq.Incremental.error_bound t +. 1e-9)
+
+let test_incremental_interleaved_vs_bucket =
+  qtest ~count:200 "value after add/remove interleaving near Bucket.estimate"
+    QCheck2.Gen.(triple (jury_gen ~max:8 quality_gen) (array_size (return 8) bool) alpha_gen)
+    (fun (qs, keep_all, alpha) ->
+      let n = Array.length qs in
+      let keep = Array.sub keep_all 0 n in
+      keep.(0) <- true;
+      let t = Jq.Incremental.create ~alpha () in
+      let scratch = Array.copy qs in
+      interleave t scratch ~keep;
+      let survivors =
+        Array.of_list
+          (List.filteri (fun j _ -> keep.(j)) (Array.to_list qs))
+      in
+      let stats = Jq.Bucket.estimate_stats ~alpha survivors in
+      let est = Jq.Incremental.value t in
+      (* Both are lower estimates of the same JQ, so they agree within the
+         sum of their §4.4 error bounds. *)
+      Float.abs (est -. stats.Jq.Bucket.value)
+      <= Jq.Incremental.error_bound t +. stats.Jq.Bucket.error_bound +. 1e-9)
+
+let test_incremental_add_remove_reverts =
+  qtest ~count:200 "adding then removing a worker restores the value"
+    QCheck2.Gen.(pair (jury_gen ~max:6 quality_gen) quality_gen)
+    (fun (qs, extra) ->
+      let t = Jq.Incremental.create () in
+      Array.iter (Jq.Incremental.add_worker t) qs;
+      let before = Jq.Incremental.value t in
+      Jq.Incremental.add_worker t extra;
+      Jq.Incremental.remove_worker t extra;
+      Float.abs (Jq.Incremental.value t -. before) < 1e-9
+      && Jq.Incremental.size t = Array.length qs)
+
+let test_incremental_remove_validation () =
+  let t = Jq.Incremental.create () in
+  Jq.Incremental.add_worker t 0.8;
+  let absent = Invalid_argument "Incremental.remove_worker: worker not in jury" in
+  Alcotest.check_raises "never added" absent (fun () ->
+      Jq.Incremental.remove_worker t 0.7);
+  Alcotest.check_raises "no coin present" absent (fun () ->
+      Jq.Incremental.remove_worker t 0.5);
+  Alcotest.check_raises "no certain present" absent (fun () ->
+      Jq.Incremental.remove_worker t 1.0);
+  (* q and 1 − q are the same member after reinterpretation. *)
+  Jq.Incremental.remove_worker t 0.2;
+  check_int "empty again" 0 (Jq.Incremental.size t);
+  Alcotest.check_raises "range" (Invalid_argument "Incremental.remove_worker: quality outside [0, 1]")
+    (fun () -> Jq.Incremental.remove_worker t 1.5)
+
+let test_incremental_certain_removal () =
+  let t = Jq.Incremental.create () in
+  Jq.Incremental.add_worker t 0.8;
+  Jq.Incremental.add_worker t 1.0;
+  check_close 1e-12 "certain regime" 1. (Jq.Incremental.value t);
+  Jq.Incremental.add_worker t 0.7;
+  Jq.Incremental.remove_worker t 1.0;
+  (* Leaving the certain regime must rebuild to {0.8, 0.7}. *)
+  let fresh = Jq.Incremental.create () in
+  Jq.Incremental.add_worker fresh 0.8;
+  Jq.Incremental.add_worker fresh 0.7;
+  check_close 1e-12 "rebuilt after certain removal" (Jq.Incremental.value fresh)
+    (Jq.Incremental.value t);
+  check_int "size" 2 (Jq.Incremental.size t)
+
+let test_incremental_periodic_rebuild () =
+  let t = Jq.Incremental.create () in
+  Jq.Incremental.add_worker t 0.8;
+  Jq.Incremental.add_worker t 0.65;
+  for _ = 1 to 600 do
+    Jq.Incremental.add_worker t 0.72;
+    Jq.Incremental.remove_worker t 0.72
+  done;
+  let v = Jq.Incremental.value t in
+  check_bool "periodic rebuild triggered" true (Jq.Incremental.rebuilds t >= 1);
+  let fresh = Jq.Incremental.create () in
+  Jq.Incremental.add_worker fresh 0.8;
+  Jq.Incremental.add_worker fresh 0.65;
+  check_close 1e-9 "value survives the add/remove storm" (Jq.Incremental.value fresh) v
+
+let test_incremental_error_bound_semantics () =
+  (* error_bound must be Bounds.additive_bound over exactly the convolved
+     logits: prior pseudo-worker counted, coins and certain-regime members
+     not. *)
+  let upper = Prob.Log_space.logit 0.99 in
+  let num_buckets = Jq.Bucket.default_num_buckets in
+  let expect t n =
+    check_float "bound = additive_bound over convolved logits"
+      (Jq.Bounds.additive_bound ~upper ~num_buckets ~n)
+      (Jq.Incremental.error_bound t);
+    check_int "convolved" n (Jq.Incremental.convolved t)
+  in
+  let t = Jq.Incremental.create ~alpha:0.7 () in
+  expect t 1;                              (* the prior pseudo-worker *)
+  Jq.Incremental.add_worker t 0.5;
+  expect t 1;                              (* coins are never convolved *)
+  check_int "coins" 1 (Jq.Incremental.coins t);
+  Jq.Incremental.add_worker t 0.8;
+  expect t 2;
+  Jq.Incremental.add_worker t 1.0;         (* certain: bound collapses to 0 *)
+  check_float "certain bound" 0. (Jq.Incremental.error_bound t);
+  Jq.Incremental.remove_worker t 1.0;
+  expect t 2;
+  Jq.Incremental.remove_worker t 0.8;
+  expect t 1;
+  let unprior = Jq.Incremental.create ~alpha:0.5 () in
+  expect unprior 0;
+  check_float "empty unprior bound" 0. (Jq.Incremental.error_bound unprior)
+
+let test_buckets_for_error_clamp () =
+  check_bool "denormal input still yields a usable bucket count" true
+    (Jq.Bounds.buckets_for_error ~upper:1e-300 ~n:1 ~epsilon:0.5 >= 1);
+  check_int "tiny product clamps to 1" 1
+    (Jq.Bounds.buckets_for_error ~upper:4.94e-324 ~n:1 ~epsilon:0.9);
+  let b = Jq.Bounds.buckets_for_error ~upper:5. ~n:10 ~epsilon:0.01 in
+  check_bool "bound met at the returned count" true
+    (Jq.Bounds.additive_bound ~upper:5. ~num_buckets:b ~n:10 <= 0.01)
+
 (* ---- Monte-Carlo JQ ------------------------------------------------------- *)
 
 let test_monte_carlo_converges () =
@@ -679,6 +839,15 @@ let () =
           test_incremental_order_invariant;
           test_incremental_monotone_in_size;
           Alcotest.test_case "edges" `Quick test_incremental_edges;
+          test_incremental_interleaved_vs_exact;
+          test_incremental_interleaved_vs_bucket;
+          test_incremental_add_remove_reverts;
+          Alcotest.test_case "remove validation" `Quick test_incremental_remove_validation;
+          Alcotest.test_case "certain removal" `Quick test_incremental_certain_removal;
+          Alcotest.test_case "periodic rebuild" `Quick test_incremental_periodic_rebuild;
+          Alcotest.test_case "error-bound semantics" `Quick
+            test_incremental_error_bound_semantics;
+          Alcotest.test_case "buckets_for_error clamp" `Quick test_buckets_for_error_clamp;
         ] );
       ( "monte_carlo",
         [

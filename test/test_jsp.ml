@@ -257,6 +257,161 @@ let test_annealing_moves_override () =
   in
   check_bool "still feasible" true (Jsp.Budget.feasible ~budget:10. r.Jsp.Solver.jury)
 
+(* ---- Annealing: memoized + incremental engines ----------------------------- *)
+
+let test_annealing_cached_bit_identical =
+  (* Memoization must not perturb the search: the objective is pure, and the
+     Boltzmann draw is skipped exactly when it was skipped uncached. *)
+  qtest ~count:40 "cached annealing = uncached annealing, bit for bit"
+    (QCheck2.Gen.triple pool_gen budget_gen (QCheck2.Gen.int_range 0 1000))
+    (fun (pool, budget, seed) ->
+      let solve cache =
+        Jsp.Annealing.solve ~params:light_params ~cache
+          (Jsp.Objective.bv_bucket ()) ~rng:(Prob.Rng.create seed) ~alpha:0.5
+          ~budget pool
+      in
+      let plain = solve false and cached = solve true in
+      Workers.Pool.equal plain.Jsp.Solver.jury cached.Jsp.Solver.jury
+      && plain.Jsp.Solver.score = cached.Jsp.Solver.score
+      && cached.Jsp.Solver.cache <> None
+      && plain.Jsp.Solver.cache = None
+      && cached.Jsp.Solver.evaluations <= plain.Jsp.Solver.evaluations)
+
+let test_annealing_incremental_cached_reproducible =
+  (* Unlike the pure objective above, the incremental estimate is not a
+     bit-pure function of the selection: deconvolution drift means even an
+     uncached run scores a revisited jury ulps apart from the first visit,
+     and a flipped `delta >= 0.` consumes an extra Boltzmann draw — so
+     cached-vs-uncached bit-identity is unattainable here by construction.
+     What must hold: each cache mode is exactly reproducible under a fixed
+     seed, returns a feasible jury, and the cached run never evaluates
+     more than the uncached one. *)
+  qtest ~count:40 "cached incremental annealing is reproducible + feasible"
+    (QCheck2.Gen.triple pool_gen budget_gen (QCheck2.Gen.int_range 0 1000))
+    (fun (pool, budget, seed) ->
+      let solve cache =
+        Jsp.Annealing.solve_incremental ~params:light_params ~cache
+          (Jsp.Objective.bv_bucket_incremental ())
+          ~rng:(Prob.Rng.create seed) ~alpha:0.5 ~budget pool
+      in
+      let plain = solve false and cached = solve true in
+      let again = solve true in
+      Workers.Pool.equal cached.Jsp.Solver.jury again.Jsp.Solver.jury
+      && cached.Jsp.Solver.score = again.Jsp.Solver.score
+      && Jsp.Budget.feasible ~budget plain.Jsp.Solver.jury
+      && Jsp.Budget.feasible ~budget cached.Jsp.Solver.jury
+      && cached.Jsp.Solver.cache <> None
+      && plain.Jsp.Solver.cache = None
+      && cached.Jsp.Solver.evaluations <= plain.Jsp.Solver.evaluations)
+
+let test_annealing_incremental_feasible =
+  qtest ~count:60 "incremental annealed juries are feasible (both objectives)"
+    (QCheck2.Gen.triple pool_gen budget_gen (QCheck2.Gen.int_range 0 1000))
+    (fun (pool, budget, seed) ->
+      let optjs =
+        Jsp.Annealing.solve_optjs ~params:light_params
+          ~rng:(Prob.Rng.create seed) ~alpha:0.5 ~budget pool
+      in
+      let mvjs =
+        Jsp.Annealing.solve_mvjs ~params:light_params
+          ~rng:(Prob.Rng.create seed) ~alpha:0.5 ~budget pool
+      in
+      Jsp.Budget.feasible ~budget optjs.Jsp.Solver.jury
+      && Jsp.Budget.feasible ~budget mvjs.Jsp.Solver.jury)
+
+let test_annealing_incremental_deterministic () =
+  let pool = Workers.Generator.gaussian_pool (Prob.Rng.create 11) Workers.Generator.default 12 in
+  let solve () =
+    Jsp.Annealing.solve_optjs ~params:light_params ~rng:(Prob.Rng.create 7)
+      ~alpha:0.5 ~budget:0.3 pool
+  in
+  let a = solve () and b = solve () in
+  check_bool "same jury" true (Workers.Pool.equal a.Jsp.Solver.jury b.Jsp.Solver.jury);
+  check_float "same score" a.Jsp.Solver.score b.Jsp.Solver.score
+
+let test_annealing_incremental_near_optimal () =
+  (* The incremental fixed-width estimate steers the search to juries whose
+     (from-scratch rescored) JQ stays close to the exhaustive optimum.
+     Best-of-3 seeds: a single annealing run can be absorbed — free adds
+     greedily fill the budget with cheap mediocre workers until no swap to
+     any remaining worker is feasible — which is exactly why the restart
+     harness exists; a trapped trajectory says nothing about the estimate
+     quality under test here. *)
+  let rng = Prob.Rng.create 2024 in
+  let worst_gap = ref 0. in
+  for _ = 1 to 25 do
+    let pool = Workers.Generator.gaussian_pool rng Workers.Generator.default 10 in
+    let budget = 0.3 in
+    let star = Jsp.Enumerate.solve (Jsp.Objective.bv_bucket ()) ~alpha:0.5 ~budget pool in
+    let base_seed = Prob.Rng.int rng 1_000_000 in
+    let best = ref neg_infinity in
+    for restart = 0 to 2 do
+      let hat =
+        Jsp.Annealing.solve_optjs ~params:light_params
+          ~rng:(Prob.Rng.create (base_seed + restart))
+          ~alpha:0.5 ~budget pool
+      in
+      best := Float.max !best hat.Jsp.Solver.score
+    done;
+    worst_gap := Float.max !worst_gap (star.Jsp.Solver.score -. !best)
+  done;
+  check_bool "within 2% of optimal" true (!worst_gap < 0.02)
+
+let test_annealing_mvjs_incremental_score_scale () =
+  (* The reported score must be the closed-form MV JQ of the returned jury
+     (the incremental engine re-scores through Objective.mv_closed). *)
+  let pool = Workers.Generator.gaussian_pool (Prob.Rng.create 5) Workers.Generator.default 12 in
+  let r =
+    Jsp.Annealing.solve_mvjs ~params:light_params ~rng:(Prob.Rng.create 9)
+      ~alpha:0.4 ~budget:0.3 pool
+  in
+  check_close 1e-9 "score = Mv_closed.jq of jury"
+    (Jq.Mv_closed.jq ~alpha:0.4 ~qualities:(Workers.Pool.qualities r.Jsp.Solver.jury))
+    r.Jsp.Solver.score
+
+let test_annealing_cache_stats_populated () =
+  let pool = Workers.Generator.gaussian_pool (Prob.Rng.create 2) Workers.Generator.default 20 in
+  let r =
+    Jsp.Annealing.solve_optjs ~rng:(Prob.Rng.create 1) ~alpha:0.5 ~budget:0.3 pool
+  in
+  match r.Jsp.Solver.cache with
+  | None -> Alcotest.fail "cache stats missing"
+  | Some s ->
+      check_bool "misses counted" true (s.Jsp.Objective_cache.misses > 0);
+      (* The paper schedule cools through ~27 temperatures over a 20-worker
+         pool: late phases revisit juries, so hits must show up. *)
+      check_bool "hits counted" true (s.Jsp.Objective_cache.hits > 0);
+      check_int "saved = hits" s.Jsp.Objective_cache.hits s.Jsp.Objective_cache.evals_saved;
+      (* Misses are the only evaluations besides the final rescore. *)
+      check_int "misses + rescore = evaluations" r.Jsp.Solver.evaluations
+        (s.Jsp.Objective_cache.misses + 1)
+
+let test_objective_cache_unit () =
+  let c = Jsp.Objective_cache.create ~capacity:2 ~n:4 () in
+  let sel = [| true; false; true; false |] in
+  let k = Jsp.Objective_cache.key c sel in
+  let calls = ref 0 in
+  let f () = incr calls; 0.75 in
+  check_float "miss evaluates" 0.75 (Jsp.Objective_cache.find_or_eval c k f);
+  check_float "hit reuses" 0.75 (Jsp.Objective_cache.find_or_eval c k f);
+  check_int "evaluated once" 1 !calls;
+  (* key_swapped = key of the mutated selection. *)
+  let k' = Jsp.Objective_cache.key_swapped c sel ~out:0 ~into:1 in
+  let sel' = [| false; true; true; false |] in
+  check_bool "swapped key matches" true (k' = Jsp.Objective_cache.key c sel');
+  check_bool "distinct from original" true (k' <> k);
+  (* Epoch eviction at capacity. *)
+  ignore (Jsp.Objective_cache.find_or_eval c k' (fun () -> 0.5));
+  ignore
+    (Jsp.Objective_cache.find_or_eval c
+       (Jsp.Objective_cache.key c [| false; false; false; true |])
+       (fun () -> 0.25));
+  let s = Jsp.Objective_cache.stats c in
+  check_bool "eviction happened" true (s.Jsp.Objective_cache.evictions >= 1);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Objective_cache: selection length mismatch") (fun () ->
+      ignore (Jsp.Objective_cache.key c [| true |]))
+
 (* ---- Greedy -------------------------------------------------------------------- *)
 
 let test_greedy_feasible =
@@ -585,6 +740,18 @@ let () =
           Alcotest.test_case "empty pool" `Quick test_annealing_empty_pool;
           Alcotest.test_case "params validation" `Quick test_annealing_params_validation;
           Alcotest.test_case "moves override" `Quick test_annealing_moves_override;
+          test_annealing_cached_bit_identical;
+          test_annealing_incremental_cached_reproducible;
+          test_annealing_incremental_feasible;
+          Alcotest.test_case "incremental deterministic" `Quick
+            test_annealing_incremental_deterministic;
+          Alcotest.test_case "incremental near optimal" `Slow
+            test_annealing_incremental_near_optimal;
+          Alcotest.test_case "mvjs incremental score scale" `Quick
+            test_annealing_mvjs_incremental_score_scale;
+          Alcotest.test_case "cache stats populated" `Quick
+            test_annealing_cache_stats_populated;
+          Alcotest.test_case "objective cache unit" `Quick test_objective_cache_unit;
         ] );
       ( "greedy",
         [

@@ -357,6 +357,84 @@ let test_pb_invalid () =
     (Invalid_argument "Poisson_binomial: probability outside [0, 1]") (fun () ->
       ignore (Prob.Poisson_binomial.pmf [| 1.2 |]))
 
+(* ---- Poisson_binomial.Incremental ------------------------------------ *)
+
+let close_pmf a b = Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a b
+
+let test_pb_incremental_matches_batch =
+  (* A random add/remove interleaving must land on the batch pmf of the
+     surviving multiset. *)
+  qtest ~count:200 "incremental pmf = batch pmf after add/remove interleaving"
+    QCheck2.Gen.(pair (list_size (int_range 1 10) prob_gen) (list_size (int_range 1 10) bool))
+    (fun (ps, drops) ->
+      let t = Prob.Poisson_binomial.Incremental.create () in
+      let survivors = ref [] in
+      List.iteri
+        (fun i p ->
+          Prob.Poisson_binomial.Incremental.add t p;
+          let drop = match List.nth_opt drops i with Some d -> d | None -> false in
+          if drop then Prob.Poisson_binomial.Incremental.remove t p
+          else survivors := p :: !survivors)
+        ps;
+      let batch = Prob.Poisson_binomial.pmf (Array.of_list (List.rev !survivors)) in
+      Prob.Poisson_binomial.Incremental.size t = List.length !survivors
+      && close_pmf (Prob.Poisson_binomial.Incremental.pmf t) batch)
+
+let test_pb_incremental_tail =
+  qtest ~count:100 "incremental tail = batch tail"
+    QCheck2.Gen.(list_size (int_range 1 10) prob_gen)
+    (fun ps ->
+      let t = Prob.Poisson_binomial.Incremental.create () in
+      List.iter (Prob.Poisson_binomial.Incremental.add t) ps;
+      let arr = Array.of_list ps in
+      let n = Array.length arr in
+      let ok = ref true in
+      for k = 0 to n + 1 do
+        if
+          Float.abs
+            (Prob.Poisson_binomial.Incremental.tail_at_least t k
+            -. Prob.Poisson_binomial.tail_at_least arr k)
+          > 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let test_pb_incremental_edges () =
+  let t = Prob.Poisson_binomial.Incremental.create () in
+  check_float "empty pmf" 1. (Prob.Poisson_binomial.Incremental.pmf t).(0);
+  (* Degenerate trials: p = 1 shifts the pmf, p = 0 leaves it; both must
+     deconvolve back out. *)
+  Prob.Poisson_binomial.Incremental.add t 1.0;
+  Prob.Poisson_binomial.Incremental.add t 0.0;
+  Prob.Poisson_binomial.Incremental.add t 0.7;
+  check_close 1e-12 "certain trial shifts" 0.7
+    (Prob.Poisson_binomial.Incremental.tail_at_least t 2);
+  Prob.Poisson_binomial.Incremental.remove t 1.0;
+  Prob.Poisson_binomial.Incremental.remove t 0.0;
+  check_close 1e-12 "back to single trial" 0.7
+    (Prob.Poisson_binomial.Incremental.tail_at_least t 1);
+  Alcotest.check_raises "absent trial"
+    (Invalid_argument "Poisson_binomial.Incremental.remove: trial not present")
+    (fun () -> Prob.Poisson_binomial.Incremental.remove t 0.123);
+  Alcotest.check_raises "range"
+    (Invalid_argument "Poisson_binomial.Incremental.add: probability outside [0, 1]")
+    (fun () -> Prob.Poisson_binomial.Incremental.add t 1.5)
+
+let test_pb_incremental_periodic_rebuild () =
+  let t = Prob.Poisson_binomial.Incremental.create () in
+  Prob.Poisson_binomial.Incremental.add t 0.8;
+  Prob.Poisson_binomial.Incremental.add t 0.6;
+  for _ = 1 to 600 do
+    Prob.Poisson_binomial.Incremental.add t 0.7;
+    Prob.Poisson_binomial.Incremental.remove t 0.7
+  done;
+  check_bool "periodic rebuild triggered" true
+    (Prob.Poisson_binomial.Incremental.rebuilds t >= 1);
+  check_bool "pmf survives the storm" true
+    (close_pmf
+       (Prob.Poisson_binomial.Incremental.pmf t)
+       (Prob.Poisson_binomial.pmf [| 0.8; 0.6 |]))
+
 (* ---- Stats ----------------------------------------------------------- *)
 
 let test_stats_known () =
@@ -481,6 +559,11 @@ let () =
           Alcotest.test_case "moments" `Quick test_pb_moments;
           Alcotest.test_case "majority" `Quick test_pb_majority;
           Alcotest.test_case "invalid" `Quick test_pb_invalid;
+          test_pb_incremental_matches_batch;
+          test_pb_incremental_tail;
+          Alcotest.test_case "incremental edges" `Quick test_pb_incremental_edges;
+          Alcotest.test_case "incremental periodic rebuild" `Quick
+            test_pb_incremental_periodic_rebuild;
         ] );
       ( "stats",
         [
