@@ -1,4 +1,4 @@
-.PHONY: all build test test-slow bench bench-smoke clean
+.PHONY: all build test test-slow bench bench-smoke bench-serve serve-smoke clean
 
 all: build
 
@@ -23,6 +23,25 @@ bench:
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 
+# Serving throughput at 1, 2 and the recommended number of executor
+# domains, written to BENCH_serve.json.
+bench-serve: build
+	dune exec bench/serve_bench.exe
+
+# End-to-end daemon smoke: boot `optjs_cli serve`, run the closed-loop
+# load generator against it for a few seconds, and assert zero protocol
+# errors (loadgen exits nonzero otherwise).  The built binary is run
+# directly so backgrounding and kill behave predictably.
+SERVE_SMOKE_PORT ?= 17871
+serve-smoke: build
+	@./_build/default/bin/optjs_cli.exe serve --port $(SERVE_SMOKE_PORT) \
+	  --log-interval 0 >/dev/null 2>&1 & pid=$$!; \
+	sleep 1; \
+	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
+	  --connections 4 --duration 3; status=$$?; \
+	kill $$pid 2>/dev/null; \
+	exit $$status
+
 clean:
 	dune clean
-	rm -f BENCH_jsp.json
+	rm -f BENCH_jsp.json BENCH_serve.json

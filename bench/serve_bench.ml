@@ -1,0 +1,170 @@
+(* Serving throughput benchmark: an in-process Serve.Service driven by
+   closed-loop client threads, at 1, 2 and the recommended number of
+   executor domains.  Each row reports sustained request throughput and
+   client-side latency quantiles; the summary compares the widest row
+   against the single-domain row (on a multi-core host the scheduler
+   should scale; on a 1-core host the rows collapse and speedup ~ 1).
+
+   The mix is the serving hot path: same-pool jq queries (exercising the
+   batcher and the per-version memo) and selects over a rotating set of
+   seeds (exercising warm Objective_cache replays).
+
+   Flags:
+     --fast        short rows (~0.5 s) for CI
+     --seconds S   row duration (default 3.0)
+
+   Results are dumped as BENCH_serve.json. *)
+
+module Wire = Serve.Wire
+
+type row = {
+  domains : int;
+  requests : int;
+  overloads : int;
+  errors : int;
+  wall_s : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let pool_size = 40
+let budget = 12.
+let seeds = 16
+let clients_per_domain = 2
+
+let bench_row ~duration ~workers ~domains =
+  let service =
+    Serve.Service.create ~domains ~queue_capacity:1024 ()
+  in
+  (match
+     Serve.Service.submit service
+       (Wire.Pool_put { name = "bench"; workers })
+   with
+  | Wire.Pool_info _ -> ()
+  | r -> failwith ("pool-put: " ^ Wire.encode_response r));
+  (* Warm-up: one solve per seed so the timed region measures the steady
+     state (warm memo replays), not first-touch compilation of caches. *)
+  for seed = 0 to seeds - 1 do
+    ignore
+      (Serve.Service.submit service
+         (Wire.Select { pool = "bench"; budget; alpha = 0.5; seed }))
+  done;
+  let n_clients = clients_per_domain * domains in
+  let counts = Array.make n_clients (0, 0, 0) in
+  let lats = Array.make n_clients [] in
+  let t_start = Unix.gettimeofday () in
+  let t_end = t_start +. duration in
+  let client i =
+    let rng = Prob.Rng.create (100 + i) in
+    let sent = ref 0 and overload = ref 0 and errors = ref 0 in
+    let acc = ref [] in
+    while Unix.gettimeofday () < t_end do
+      let request =
+        (* 3:1 jq-to-select, interleaved deterministically per thread. *)
+        if !sent mod 4 < 3 then
+          Wire.Jq
+            {
+              source = Wire.Named "bench";
+              alpha = 0.5;
+              num_buckets = Jq.Bucket.default_num_buckets;
+            }
+        else
+          Wire.Select
+            { pool = "bench"; budget; alpha = 0.5; seed = Prob.Rng.int rng seeds }
+      in
+      let t0 = Unix.gettimeofday () in
+      let reply = Serve.Service.submit service request in
+      let t1 = Unix.gettimeofday () in
+      incr sent;
+      acc := (t1 -. t0) :: !acc;
+      (match reply with
+      | Wire.Jq_result _ | Wire.Select_result _ -> ()
+      | Wire.Error { code = Wire.Overload; _ } -> incr overload
+      | Wire.Error _ -> incr errors
+      | _ -> incr errors)
+    done;
+    counts.(i) <- (!sent, !overload, !errors);
+    lats.(i) <- !acc
+  in
+  let threads = List.init n_clients (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  Serve.Service.shutdown service;
+  let requests = Array.fold_left (fun a (s, _, _) -> a + s) 0 counts in
+  let overloads = Array.fold_left (fun a (_, o, _) -> a + o) 0 counts in
+  let errors = Array.fold_left (fun a (_, _, e) -> a + e) 0 counts in
+  let all = Array.of_list (List.concat (Array.to_list lats)) in
+  let q p = if Array.length all = 0 then 0. else 1000. *. Prob.Stats.quantile all p in
+  {
+    domains;
+    requests;
+    overloads;
+    errors;
+    wall_s;
+    p50_ms = q 0.5;
+    p95_ms = q 0.95;
+    p99_ms = q 0.99;
+  }
+
+let row_json r =
+  Printf.sprintf
+    "{\"domains\": %d, \"requests\": %d, \"throughput_rps\": %.1f, \
+     \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \
+     \"overloads\": %d, \"errors\": %d}"
+    r.domains r.requests
+    (float_of_int r.requests /. r.wall_s)
+    r.p50_ms r.p95_ms r.p99_ms r.overloads r.errors
+
+let () =
+  let duration = ref 3.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        duration := 0.5;
+        parse rest
+    | "--seconds" :: s :: rest ->
+        duration := float_of_string s;
+        parse rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let pool =
+    Workers.Generator.gaussian_pool (Prob.Rng.create 7)
+      Workers.Generator.default pool_size
+  in
+  let workers =
+    List.map
+      (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
+      (Workers.Pool.to_list pool)
+  in
+  let widths =
+    List.sort_uniq compare [ 1; 2; Serve.Service.recommended_domains () ]
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let r = bench_row ~duration:!duration ~workers ~domains in
+        Printf.eprintf "domains=%d: %s\n%!" domains (row_json r);
+        r)
+      widths
+  in
+  let throughput r = float_of_int r.requests /. r.wall_s in
+  let base = List.hd rows in
+  let widest = List.nth rows (List.length rows - 1) in
+  let speedup =
+    if throughput base > 0. then throughput widest /. throughput base else 0.
+  in
+  let json =
+    Printf.sprintf
+      "{\"bench\": \"serve\", \"pool_size\": %d, \"budget\": %.2f, \
+       \"seconds_per_row\": %.2f, \"rows\": [%s], \
+       \"speedup_vs_1_domain\": %.2f}\n"
+      pool_size budget !duration
+      (String.concat ", " (List.map row_json rows))
+      speedup
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json

@@ -41,9 +41,16 @@ let jq_cmd =
     let stats = Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha qs in
     Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n" stats.value
       (100. *. stats.error_bound);
-    if exact && Array.length qs <= Jq.Exact.max_jury then begin
-      let exact_jq = Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs) in
-      Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
+    if exact then begin
+      if Array.length qs <= Jq.Exact.max_jury then begin
+        let exact_jq =
+          Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs)
+        in
+        Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
+      end
+      else
+        Printf.eprintf "skipping exact (n > %d): enumeration is exponential\n"
+          Jq.Exact.max_jury
     end;
     Printf.printf "JQ under MV:       %.6f\n" (Jq.Mv_closed.jq ~alpha ~qualities:qs)
   in
@@ -335,6 +342,294 @@ let estimate_cmd =
        ~doc:"Estimate worker qualities from a votes CSV (gold or Dawid-Skene EM).")
     Term.(const run $ votes_arg $ method_arg)
 
+(* ---- serve --------------------------------------------------------- *)
+
+let port_arg ~default =
+  Arg.(value & opt int default & info [ "port" ] ~doc:"TCP port (0 = ephemeral).")
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Executor domains (default: recommended for this host).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~doc:"Work-queue bound (admission control).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~doc:"Per-request deadline in seconds (none by default).")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some float) (Some 10.)
+      & info [ "log-interval" ] ~doc:"Seconds between stderr metric lines (0 = off).")
+  in
+  let run port domains queue_cap deadline log_interval file =
+    let service =
+      Serve.Service.create ?domains ~queue_capacity:queue_cap ?deadline ()
+    in
+    (match file with
+    | Some path ->
+        let pool = Workers.Pool_io.load path in
+        ignore
+          (Serve.Registry.upsert (Serve.Service.registry service) ~name:"default"
+             pool);
+        Printf.printf "loaded pool 'default' (%d workers) from %s\n"
+          (Workers.Pool.size pool) path
+    | None -> ());
+    let server = Serve.Server.create ~port service in
+    Printf.printf "optjs serve: listening on 127.0.0.1:%d (%d domains, queue %d)\n%!"
+      (Serve.Server.port server)
+      (Serve.Service.domains service)
+      queue_cap;
+    let log_interval =
+      match log_interval with Some i when i > 0. -> Some i | _ -> None
+    in
+    Serve.Server.run ?log_interval server
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the jury-selection TCP daemon.")
+    Term.(
+      const run $ port_arg ~default:7071 $ domains_arg $ queue_arg $ deadline_arg
+      $ log_arg $ file_arg)
+
+(* ---- loadgen ------------------------------------------------------- *)
+
+(* Closed-loop load generator: each connection thread sends one request,
+   waits for the reply, and repeats until the deadline.  Overload and
+   deadline replies are valid protocol outcomes and counted separately;
+   only undecodable or mismatched replies count as protocol errors (and
+   make the command exit nonzero, which is what `make serve-smoke`
+   asserts). *)
+
+type lg_counters = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable overloaded : int;
+  mutable deadlined : int;
+  mutable server_errors : int;
+  mutable protocol_errors : int;
+  mutable latencies : float list;  (* seconds, newest first *)
+}
+
+let lg_fresh () =
+  {
+    sent = 0;
+    ok = 0;
+    overloaded = 0;
+    deadlined = 0;
+    server_errors = 0;
+    protocol_errors = 0;
+    latencies = [];
+  }
+
+let lg_connect host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let lg_roundtrip ic oc request =
+  output_string oc (Serve.Wire.encode_request request);
+  output_char oc '\n';
+  flush oc;
+  Serve.Wire.decode_response (input_line ic)
+
+let lg_mix_parse s =
+  List.map
+    (fun tok ->
+      match String.split_on_char ':' (String.trim tok) with
+      | [ kind; weight ] -> (
+          match (kind, int_of_string_opt weight) with
+          | ("jq" | "jqpool" | "select" | "table"), Some w when w > 0 ->
+              (kind, w)
+          | _ -> failwith (Printf.sprintf "bad mix entry %S" tok))
+      | _ -> failwith (Printf.sprintf "bad mix entry %S" tok))
+    (String.split_on_char ',' s)
+
+let loadgen_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let connections_arg =
+    Arg.(value & opt int 4 & info [ "connections" ] ~doc:"Concurrent connections.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5. & info [ "duration" ] ~doc:"Run time in seconds.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "jqpool:6,select:3,jq:2,table:1"
+      & info [ "mix" ]
+          ~doc:"Weighted request mix over jq, jqpool, select, table.")
+  in
+  let pool_size_arg =
+    Arg.(value & opt int 40 & info [ "pool-size" ] ~doc:"Synthetic pool size.")
+  in
+  let lg_budget_arg =
+    Arg.(value & opt float 12. & info [ "b"; "budget" ] ~doc:"Budget for select/table requests.")
+  in
+  let run host port connections duration mix pool_size budget seed =
+    if connections <= 0 then failwith "connections must be positive";
+    if duration <= 0. then failwith "duration must be positive";
+    let mix = lg_mix_parse mix in
+    let kinds =
+      Array.concat
+        (List.map (fun (kind, w) -> Array.make w kind) mix)
+    in
+    let pool_name = "loadgen" in
+    (* One-time setup on its own connection: register the target pool. *)
+    let pool =
+      Workers.Generator.gaussian_pool (Prob.Rng.create seed)
+        Workers.Generator.default pool_size
+    in
+    let workers =
+      List.map
+        (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
+        (Workers.Pool.to_list pool)
+    in
+    (let fd, ic, oc = lg_connect host port in
+     (match
+        lg_roundtrip ic oc (Serve.Wire.Pool_put { name = pool_name; workers })
+      with
+     | Ok (Serve.Wire.Pool_info _) -> ()
+     | Ok r ->
+         failwith
+           ("pool-put: unexpected reply " ^ Serve.Wire.encode_response r)
+     | Error e -> failwith ("pool-put: " ^ e));
+     Unix.close fd);
+    let request_of rng = function
+      | "jq" ->
+          let qs =
+            List.init 5 (fun _ -> 0.5 +. Prob.Rng.float rng 0.45)
+          in
+          Serve.Wire.Jq
+            {
+              source = Serve.Wire.Inline qs;
+              alpha = 0.5;
+              num_buckets = Jq.Bucket.default_num_buckets;
+            }
+      | "jqpool" ->
+          Serve.Wire.Jq
+            {
+              source = Serve.Wire.Named pool_name;
+              alpha = 0.5;
+              num_buckets = Jq.Bucket.default_num_buckets;
+            }
+      | "select" ->
+          Serve.Wire.Select
+            {
+              pool = pool_name;
+              budget;
+              alpha = 0.5;
+              seed = Prob.Rng.int rng 16;
+            }
+      | "table" ->
+          Serve.Wire.Table
+            {
+              pool = pool_name;
+              budgets = [ budget /. 2.; budget ];
+              alpha = 0.5;
+              seed = Prob.Rng.int rng 16;
+            }
+      | _ -> assert false
+    in
+    let expected_kind request response =
+      match (request, response) with
+      | Serve.Wire.Jq _, Serve.Wire.Jq_result _
+      | Serve.Wire.Select _, Serve.Wire.Select_result _
+      | Serve.Wire.Table _, Serve.Wire.Table_result _ ->
+          true
+      | _ -> false
+    in
+    let t_start = Unix.gettimeofday () in
+    let t_end = t_start +. duration in
+    let results = Array.init connections (fun _ -> lg_fresh ()) in
+    let worker i =
+      let counters = results.(i) in
+      let rng = Prob.Rng.create (seed + (1000 * (i + 1))) in
+      try
+        let fd, ic, oc = lg_connect host port in
+         while Unix.gettimeofday () < t_end do
+           let request = request_of rng kinds.(Prob.Rng.int rng (Array.length kinds)) in
+           let t0 = Unix.gettimeofday () in
+           let reply = lg_roundtrip ic oc request in
+           let t1 = Unix.gettimeofday () in
+           counters.sent <- counters.sent + 1;
+           counters.latencies <- (t1 -. t0) :: counters.latencies;
+           match reply with
+           | Ok response when expected_kind request response ->
+               counters.ok <- counters.ok + 1
+           | Ok (Serve.Wire.Error { code = Serve.Wire.Overload; _ }) ->
+               counters.overloaded <- counters.overloaded + 1
+           | Ok (Serve.Wire.Error { code = Serve.Wire.Deadline; _ }) ->
+               counters.deadlined <- counters.deadlined + 1
+           | Ok (Serve.Wire.Error _) ->
+               counters.server_errors <- counters.server_errors + 1
+           | Ok _ | Error _ ->
+               counters.protocol_errors <- counters.protocol_errors + 1
+         done;
+         Unix.close fd
+      with exn ->
+        Printf.eprintf "loadgen connection %d: %s\n" i (Printexc.to_string exn);
+        counters.protocol_errors <- counters.protocol_errors + 1
+    in
+    let threads =
+      List.init connections (fun i -> Thread.create worker i)
+    in
+    List.iter Thread.join threads;
+    let per_thread = Array.to_list results in
+    let wall = Unix.gettimeofday () -. t_start in
+    let total = lg_fresh () in
+    List.iter
+      (fun c ->
+        total.sent <- total.sent + c.sent;
+        total.ok <- total.ok + c.ok;
+        total.overloaded <- total.overloaded + c.overloaded;
+        total.deadlined <- total.deadlined + c.deadlined;
+        total.server_errors <- total.server_errors + c.server_errors;
+        total.protocol_errors <- total.protocol_errors + c.protocol_errors;
+        total.latencies <- c.latencies @ total.latencies)
+      per_thread;
+    Printf.printf "requests: %d in %.2fs (%.0f req/s)\n" total.sent wall
+      (float_of_int total.sent /. wall);
+    Printf.printf "ok: %d  overload: %d  deadline: %d  server-err: %d\n"
+      total.ok total.overloaded total.deadlined total.server_errors;
+    Printf.printf "protocol_errors: %d\n" total.protocol_errors;
+    (match total.latencies with
+    | [] -> ()
+    | lats ->
+        let arr = Array.of_list lats in
+        let q p = 1000. *. Prob.Stats.quantile arr p in
+        Printf.printf "latency_ms: p50 %.2f  p95 %.2f  p99 %.2f\n" (q 0.5)
+          (q 0.95) (q 0.99));
+    (* Server-side view: shows the warm-cache hit rate under this load. *)
+    (let fd, ic, oc = lg_connect host port in
+     (match lg_roundtrip ic oc Serve.Wire.Stats with
+     | Ok (Serve.Wire.Stats_result stats) ->
+         print_endline "server stats:";
+         List.iter
+           (fun (key, v) -> Printf.printf "  %s: %g\n" key v)
+           stats
+     | _ -> print_endline "server stats: unavailable");
+     Unix.close fd);
+    if total.protocol_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop load generator for the serve daemon.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7071 $ connections_arg
+      $ duration_arg $ mix_arg $ pool_size_arg $ lg_budget_arg $ seed_arg)
+
 (* ---- amt ---------------------------------------------------------- *)
 
 let amt_cmd =
@@ -364,5 +659,5 @@ let () =
              ~doc:"Optimal Jury Selection System (EDBT 2015 reproduction).")
           [
             jq_cmd; select_cmd; table_cmd; frontier_cmd; online_cmd;
-            estimate_cmd; expt_cmd; amt_cmd;
+            estimate_cmd; expt_cmd; amt_cmd; serve_cmd; loadgen_cmd;
           ]))

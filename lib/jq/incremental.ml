@@ -270,6 +270,17 @@ let remove_worker t quality =
     end
   end
 
+let reset t =
+  t.n <- 0;
+  t.coins <- 0;
+  t.certain_workers <- 0;
+  t.highs <- [];
+  t.entries <- [];
+  t.stale <- false;
+  t.removals <- 0;
+  reset_map t;
+  match t.prior with Some e -> push t e | None -> ()
+
 let value t =
   if certain t then 1.
   else if convolved t = 0 then floor_value t

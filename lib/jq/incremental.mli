@@ -43,6 +43,13 @@ val remove_worker : t -> float -> unit
     @raise Invalid_argument for a quality outside [0, 1], or when no member
     of that (reinterpreted) quality is currently in the jury. *)
 
+val reset : t -> unit
+(** Back to the empty jury (the prior pseudo-worker is re-folded) while
+    keeping the allocated key-map arrays, so a long-lived evaluator — a
+    serving executor scoring one pool after another — reuses its grown
+    capacity instead of reallocating per query.  Does not count as a
+    {!rebuilds} event. *)
+
 val value : t -> float
 (** The current ĴQ: 1 while a certain worker (q ∈ {0, 1}) is present,
     otherwise the key-map estimate floored at the Lemma-1 lower bounds —

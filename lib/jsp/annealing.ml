@@ -159,16 +159,23 @@ let run params st ~rng ~budget ~score_current ~probe_swap ~commit_add
   if params.keep_best then (!best_jury, !best_score)
   else (current_jury st, st.score)
 
-let solve ?(params = default_params) ?(cache = false) (objective : Objective.t)
-    ~rng ~alpha ~budget pool =
+(* A caller-owned memo table ([?memo]) survives across solves — a serving
+   executor shares one per (pool, alpha, objective) so repeated queries hit
+   a warm table.  It must have been created with [~n:(Pool.size pool)] and
+   only ever be shared across solves whose objective values per selection
+   agree (same pool order, alpha and objective). *)
+let memo_table ~cache ~memo ~n =
+  match memo with
+  | Some _ as m -> m
+  | None -> if cache then Some (Objective_cache.create ~n ()) else None
+
+let solve ?(params = default_params) ?(cache = false) ?memo
+    (objective : Objective.t) ~rng ~alpha ~budget pool =
   Budget.validate budget;
   validate_params params;
   let workers = Workers.Pool.to_array pool in
   let st = make_state workers in
-  let memo =
-    if cache then Some (Objective_cache.create ~n:(Array.length workers) ())
-    else None
-  in
+  let memo = memo_table ~cache ~memo ~n:(Array.length workers) in
   let eval jury =
     st.evaluations <- st.evaluations + 1;
     objective.score ~alpha jury
@@ -200,16 +207,13 @@ let solve ?(params = default_params) ?(cache = false) (objective : Objective.t)
     cache = Option.map Objective_cache.stats memo;
   }
 
-let solve_incremental ?(params = default_params) ?(cache = true)
+let solve_incremental ?(params = default_params) ?(cache = true) ?memo
     (inc : Objective.Incremental.t) ~rng ~alpha ~budget pool =
   Budget.validate budget;
   validate_params params;
   let workers = Workers.Pool.to_array pool in
   let st = make_state workers in
-  let memo =
-    if cache then Some (Objective_cache.create ~n:(Array.length workers) ())
-    else None
-  in
+  let memo = memo_table ~cache ~memo ~n:(Array.length workers) in
   let acc = inc.Objective.Incremental.init ~alpha in
   let eval () =
     st.evaluations <- st.evaluations + 1;
@@ -263,11 +267,11 @@ let solve_incremental ?(params = default_params) ?(cache = true)
     cache = Option.map Objective_cache.stats memo;
   }
 
-let solve_optjs ?params ?num_buckets ?cache ~rng ~alpha ~budget pool =
-  solve_incremental ?params ?cache
+let solve_optjs ?params ?num_buckets ?cache ?memo ~rng ~alpha ~budget pool =
+  solve_incremental ?params ?cache ?memo
     (Objective.bv_bucket_incremental ?num_buckets ())
     ~rng ~alpha ~budget pool
 
-let solve_mvjs ?params ?cache ~rng ~alpha ~budget pool =
-  solve_incremental ?params ?cache Objective.mv_closed_incremental ~rng ~alpha
-    ~budget pool
+let solve_mvjs ?params ?cache ?memo ~rng ~alpha ~budget pool =
+  solve_incremental ?params ?cache ?memo Objective.mv_closed_incremental ~rng
+    ~alpha ~budget pool

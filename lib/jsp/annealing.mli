@@ -38,6 +38,7 @@ val default_params : params
 val solve :
   ?params:params ->
   ?cache:bool ->
+  ?memo:Objective_cache.t ->
   Objective.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
@@ -48,12 +49,23 @@ val solve :
     feasible.  Deterministic given the [rng] state; [cache] (default
     [false]) memoizes repeat evaluations without changing the outcome and
     surfaces counters in [result.cache].
+
+    [memo] supplies a caller-owned {!Objective_cache} instead (overriding
+    [cache]); it survives the solve, so a long-lived caller — a serving
+    executor answering repeated queries against one pool — starts each
+    solve with a warm table.  The cache key is the selection bitset alone:
+    share a table only across solves over the same pool (same order), the
+    same alpha and the same objective (budgets may differ — feasibility is
+    not cached).  [result.cache] then reports the table's cumulative
+    counters.
     @raise Invalid_argument on invalid budget or params
-    (ε ≤ 0, cooling ≤ 1, t_initial ≤ ε). *)
+    (ε ≤ 0, cooling ≤ 1, t_initial ≤ ε), or when a supplied [memo] was
+    created for a different pool size. *)
 
 val solve_incremental :
   ?params:params ->
   ?cache:bool ->
+  ?memo:Objective_cache.t ->
   Objective.Incremental.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
@@ -63,12 +75,23 @@ val solve_incremental :
 (** Run the annealer with incremental scoring ([cache] defaults to
     [true]).  The returned score is a final from-scratch evaluation of the
     winning jury by the objective's [rescore], so it is directly comparable
-    with the other solvers' scores. *)
+    with the other solvers' scores.
+
+    One caveat sharpens [solve]'s [?memo] contract here: incremental
+    objective values are path-dependent at ulp level (add/remove float
+    drift), so an entry computed during one solve can differ in the last
+    bits from what another solve would have computed for the same bitset —
+    enough to flip a Boltzmann accept.  Reusing a [memo] across solves
+    with the {e same} (budget, seed, alpha) replays the warm run
+    byte-identically; sharing across different budgets or seeds keeps
+    scores within the approximation bounds but may return a different
+    (equally feasible) jury than a cold run would. *)
 
 val solve_optjs :
   ?params:params ->
   ?num_buckets:int ->
   ?cache:bool ->
+  ?memo:Objective_cache.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
   budget:Budget.t ->
@@ -80,6 +103,7 @@ val solve_optjs :
 val solve_mvjs :
   ?params:params ->
   ?cache:bool ->
+  ?memo:Objective_cache.t ->
   rng:Prob.Rng.t ->
   alpha:float ->
   budget:Budget.t ->

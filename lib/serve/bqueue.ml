@@ -1,0 +1,72 @@
+type 'a t = {
+  buf : 'a option array;   (* Ring buffer; [None] marks a free slot. *)
+  mutable head : int;      (* Index of the oldest item. *)
+  mutable len : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bqueue.create: capacity <= 0";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = Array.length t.buf
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || t.len = capacity t then false
+      else begin
+        t.buf.((t.head + t.len) mod capacity t) <- Some x;
+        t.len <- t.len + 1;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let take_front t =
+  match t.buf.(t.head) with
+  | None -> assert false
+  | Some x ->
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod capacity t;
+      t.len <- t.len - 1;
+      x
+
+let pop_batch t ~max ~compatible =
+  with_lock t (fun () ->
+      while t.len = 0 && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if t.len = 0 then None
+      else begin
+        let first = take_front t in
+        let batch = ref [ first ] in
+        let count = ref 1 in
+        let continue = ref true in
+        while !continue && t.len > 0 && !count < max do
+          match t.buf.(t.head) with
+          | Some next when compatible first next ->
+              batch := take_front t :: !batch;
+              incr count
+          | _ -> continue := false
+        done;
+        Some (List.rev !batch)
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> t.len)

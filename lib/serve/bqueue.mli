@@ -1,0 +1,31 @@
+(** Bounded multi-producer multi-consumer work queue.
+
+    The admission-control point of the service: producers never block —
+    {!try_push} either enqueues or reports the queue full, so overload
+    turns into an explicit wire reply instead of unbounded growth.
+    Consumers block on a condition variable; {!pop_batch} additionally
+    drains a run of compatible items from the front in one critical
+    section, which is how same-pool [jq] queries coalesce into one
+    cache-warm evaluation.  Safe across OCaml 5 domains and systhreads
+    (one mutex, one condition). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument for capacity <= 0. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when the queue is full or closed. *)
+
+val pop_batch : 'a t -> max:int -> compatible:('a -> 'a -> bool) -> 'a list option
+(** Block until an item is available; return it plus up to [max - 1]
+    immediately following items [compatible] with it (FIFO order is
+    preserved — draining stops at the first incompatible item).  [None]
+    once the queue is closed {i and} drained. *)
+
+val close : 'a t -> unit
+(** Stop accepting pushes and wake every blocked consumer.  Items already
+    queued are still handed out. *)
+
+val length : 'a t -> int
+(** Items currently queued (a racy snapshot, for metrics). *)

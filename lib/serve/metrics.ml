@@ -1,0 +1,151 @@
+let ring_size = 8192
+
+type t = {
+  started_at : float;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloads : int;
+  mutable deadlines : int;
+  mutable batches : int;
+  mutable batched_saved : int;
+  mutable jq_memo_hits : int;
+  per_verb : (string, int ref) Hashtbl.t;
+  histogram : Prob.Histogram.t;      (* seconds, [0, 1] in 10 ms buckets *)
+  ring : float array;                (* recent latencies, seconds *)
+  mutable ring_len : int;
+  mutable ring_next : int;
+  mutable cache_sources : (unit -> Jsp.Objective_cache.stats) list;
+}
+
+let create () =
+  {
+    started_at = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    requests = 0;
+    ok = 0;
+    errors = 0;
+    overloads = 0;
+    deadlines = 0;
+    batches = 0;
+    batched_saved = 0;
+    jq_memo_hits = 0;
+    per_verb = Hashtbl.create 8;
+    histogram = Prob.Histogram.create ~lo:0. ~hi:1. ~buckets:100;
+    ring = Array.make ring_size 0.;
+    ring_len = 0;
+    ring_next = 0;
+    cache_sources = [];
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ~verb ~latency ~ok =
+  with_lock t (fun () ->
+      t.requests <- t.requests + 1;
+      if ok then t.ok <- t.ok + 1 else t.errors <- t.errors + 1;
+      (match Hashtbl.find_opt t.per_verb verb with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.per_verb verb (ref 1));
+      Prob.Histogram.add t.histogram latency;
+      t.ring.(t.ring_next) <- latency;
+      t.ring_next <- (t.ring_next + 1) mod ring_size;
+      if t.ring_len < ring_size then t.ring_len <- t.ring_len + 1)
+
+let overload t =
+  with_lock t (fun () ->
+      t.overloads <- t.overloads + 1;
+      t.requests <- t.requests + 1;
+      t.errors <- t.errors + 1)
+
+let deadline t = with_lock t (fun () -> t.deadlines <- t.deadlines + 1)
+
+let batch t ~size =
+  with_lock t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched_saved <- t.batched_saved + (size - 1))
+
+let jq_memo_hit t = with_lock t (fun () -> t.jq_memo_hits <- t.jq_memo_hits + 1)
+
+let add_cache t ~merge =
+  with_lock t (fun () -> t.cache_sources <- merge :: t.cache_sources)
+
+let snapshot t =
+  let base, latencies, sources =
+    with_lock t (fun () ->
+        let f = float_of_int in
+        let base =
+          [
+            ("uptime_s", Unix.gettimeofday () -. t.started_at);
+            ("requests", f t.requests);
+            ("ok", f t.ok);
+            ("errors", f t.errors);
+            ("overloads", f t.overloads);
+            ("deadlines", f t.deadlines);
+            ("batches", f t.batches);
+            ("batched_saved", f t.batched_saved);
+            ("jq_memo_hits", f t.jq_memo_hits);
+          ]
+          @ Hashtbl.fold
+              (fun verb r acc -> ("req_" ^ verb, f !r) :: acc)
+              t.per_verb []
+        in
+        (base, Array.sub t.ring 0 t.ring_len, t.cache_sources))
+  in
+  (* Quantiles and cache sources are computed outside the lock: sorting the
+     ring copy is O(n log n), and the sources read executor-owned counters
+     on their own terms. *)
+  let quantiles =
+    if Array.length latencies = 0 then []
+    else
+      let q p = 1000. *. Prob.Stats.quantile latencies p in
+      [ ("p50_ms", q 0.5); ("p95_ms", q 0.95); ("p99_ms", q 0.99) ]
+  in
+  let cache =
+    List.fold_left
+      (fun acc merge -> Jsp.Objective_cache.merge_stats acc (merge ()))
+      Jsp.Objective_cache.empty_stats sources
+  in
+  let cache_rows =
+    let f = float_of_int in
+    let lookups = cache.Jsp.Objective_cache.hits + cache.misses in
+    [
+      ("cache_hits", f cache.Jsp.Objective_cache.hits);
+      ("cache_misses", f cache.misses);
+      ( "cache_hit_rate",
+        if lookups = 0 then 0.
+        else f cache.Jsp.Objective_cache.hits /. f lookups );
+      ("cache_entries", f cache.entries);
+      ("cache_evictions", f cache.evictions);
+    ]
+  in
+  List.sort compare (base @ quantiles @ cache_rows)
+
+let pp_line ppf t =
+  let snap = snapshot t in
+  let get key = List.assoc_opt key snap in
+  let int_of key = match get key with Some v -> int_of_float v | None -> 0 in
+  Format.fprintf ppf "serve: up %.0fs reqs %d ok %d err %d over %d"
+    (Option.value ~default:0. (get "uptime_s"))
+    (int_of "requests") (int_of "ok") (int_of "errors") (int_of "overloads");
+  (match (get "p50_ms", get "p95_ms", get "p99_ms") with
+  | Some p50, Some p95, Some p99 ->
+      Format.fprintf ppf " lat_ms p50 %.2f p95 %.2f p99 %.2f" p50 p95 p99
+  | _ -> ());
+  (match get "cache_hit_rate" with
+  | Some rate when int_of "cache_hits" + int_of "cache_misses" > 0 ->
+      Format.fprintf ppf " cache %.0f%%" (100. *. rate)
+  | _ -> ());
+  let counts = Prob.Histogram.counts t.histogram in
+  let nonempty = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let lo, hi = Prob.Histogram.bucket_bounds t.histogram i in
+        nonempty := Printf.sprintf "[%.0f,%.0f)ms:%d" (1000. *. lo) (1000. *. hi) c :: !nonempty)
+    counts;
+  if !nonempty <> [] then
+    Format.fprintf ppf " hist %s" (String.concat " " (List.rev !nonempty))

@@ -1,0 +1,52 @@
+(** Service metrics: request/error/overload counters, latency histograms
+    and quantiles, cache hit-rates.
+
+    One instance is shared by every connection thread and executor domain;
+    all mutation happens under an internal lock (the touched state is a
+    handful of ints and one ring-buffer write, so contention is dwarfed by
+    the work being measured).  Latency keeps two views, both built on
+    {!Prob}: a fixed-bucket {!Prob.Histogram} over [0, 1] s for the
+    periodic log line, and a ring of the most recent samples from which
+    {!snapshot} computes p50/p95/p99 with {!Prob.Stats.quantile}. *)
+
+type t
+
+val create : unit -> t
+(** Fresh counters; uptime is measured from this call. *)
+
+val record : t -> verb:string -> latency:float -> ok:bool -> unit
+(** Count one completed request (latency in seconds, [ok] false for error
+    replies of any kind). *)
+
+val overload : t -> unit
+(** Count one admission-control rejection (also counts as an error reply;
+    do not additionally call {!record} for it). *)
+
+val deadline : t -> unit
+(** Count one request expired in queue (the reply itself still goes
+    through {!record} with [ok:false]). *)
+
+val batch : t -> size:int -> unit
+(** Count one executor batch of [size] coalesced jq queries ([size >= 2];
+    saved evaluations = size − 1). *)
+
+val jq_memo_hit : t -> unit
+(** Count one pool-jq query answered from the executor memo. *)
+
+val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
+(** Register a pull-source of solver-cache counters (one per executor);
+    {!snapshot} sums every registered source.  The thunk is called from
+    the snapshotting thread — it must be safe to run concurrently with
+    the executor (racy int reads are acceptable for monitoring). *)
+
+val snapshot : t -> (string * float) list
+(** Current values, sorted by key: [uptime_s], [requests], [ok], [errors],
+    [overloads], [deadlines], [batches], [batched_saved], [jq_memo_hits],
+    [req_<verb>] per seen verb, [p50_ms]/[p95_ms]/[p99_ms] over recent
+    latencies (absent until a first sample), and [cache_hits],
+    [cache_misses], [cache_hit_rate], [cache_entries], [cache_evictions]
+    summed over registered sources. *)
+
+val pp_line : Format.formatter -> t -> unit
+(** One-line human summary plus the latency histogram buckets that are
+    nonempty — the periodic server log line. *)

@@ -1,0 +1,35 @@
+type entry = { pool : Workers.Pool.t; version : int }
+
+type t = {
+  mutable generation : int;
+  table : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create () = { generation = 0; table = Hashtbl.create 16; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let upsert t ~name pool =
+  with_lock t (fun () ->
+      t.generation <- t.generation + 1;
+      Hashtbl.replace t.table name { pool; version = t.generation };
+      t.generation)
+
+let find t name =
+  with_lock t (fun () ->
+      Option.map
+        (fun { pool; version } -> (pool, version))
+        (Hashtbl.find_opt t.table name))
+
+let list t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun name { pool; version } acc ->
+          (name, version, Workers.Pool.size pool) :: acc)
+        t.table []
+      |> List.sort compare)
+
+let size t = with_lock t (fun () -> Hashtbl.length t.table)

@@ -1,0 +1,30 @@
+(** Versioned registry of named worker pools.
+
+    The shared mutable state of the service.  Pools themselves are
+    immutable ({!Workers.Pool.t}), so an update is copy-on-write: {!upsert}
+    replaces the binding under the registry lock and bumps a global version
+    counter, while readers take the lock only long enough to grab the
+    current (pool, version) pair — a returned snapshot can never change
+    under its reader, whatever later upserts do.
+
+    Versions are what make executor-side caching safe: a warm cache is
+    keyed by (name, version, ...), so replacing a pool silently retires
+    every cache built against its old contents. *)
+
+type t
+
+val create : unit -> t
+
+val upsert : t -> name:string -> Workers.Pool.t -> int
+(** Insert or replace the named pool; returns the new version.  Versions
+    come from one registry-wide counter, so they are unique across pools
+    and strictly increasing over time. *)
+
+val find : t -> string -> (Workers.Pool.t * int) option
+(** Snapshot of the named pool and its version. *)
+
+val list : t -> (string * int * int) list
+(** (name, version, size) rows, sorted by name. *)
+
+val size : t -> int
+(** Number of registered pools. *)

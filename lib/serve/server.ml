@@ -1,0 +1,87 @@
+type t = {
+  service : Service.t;
+  listener : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable state : [ `Created | `Running | `Stopped ];
+}
+
+let create ?(backlog = 64) ~port service =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen listener backlog
+   with exn ->
+     Unix.close listener;
+     raise exn);
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  { service; listener; port; lock = Mutex.create (); state = `Created }
+
+let port t = t.port
+
+let handle_line service line =
+  match Wire.decode_request line with
+  | Ok request -> Service.submit service request
+  | Error message -> Wire.Error { code = Wire.Bad_request; message }
+
+(* One reader thread per connection: closes its own descriptor on EOF or
+   any socket error, and never lets an exception escape the thread. *)
+let connection_loop service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    let line = input_line ic in
+    output_string oc (Wire.encode_response (handle_line service line));
+    output_char oc '\n';
+    flush oc;
+    loop ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | fd, _ ->
+        ignore (Thread.create (fun () -> connection_loop t.service fd) ());
+        loop ()
+    | exception Unix.Unix_error _ -> ()  (* listener closed: stop accepting *)
+    | exception Sys_error _ -> ()
+  in
+  loop ()
+
+let start t =
+  Mutex.lock t.lock;
+  let launch = t.state = `Created in
+  if launch then t.state <- `Running;
+  Mutex.unlock t.lock;
+  if launch then ignore (Thread.create (fun () -> accept_loop t) ())
+
+let run ?log_interval t =
+  start t;
+  match log_interval with
+  | Some interval when interval > 0. ->
+      let rec log_forever () =
+        Thread.delay interval;
+        Format.eprintf "%a@." Metrics.pp_line (Service.metrics t.service);
+        log_forever ()
+      in
+      log_forever ()
+  | _ ->
+      let rec sleep_forever () =
+        Thread.delay 3600.;
+        sleep_forever ()
+      in
+      sleep_forever ()
+
+let stop t =
+  Mutex.lock t.lock;
+  let close = t.state <> `Stopped in
+  t.state <- `Stopped;
+  Mutex.unlock t.lock;
+  if close then try Unix.close t.listener with Unix.Unix_error _ -> ()

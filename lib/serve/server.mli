@@ -1,0 +1,32 @@
+(** TCP front end for a {!Service}: newline-delimited {!Wire} messages.
+
+    One systhread accepts connections; each connection gets a reader
+    thread that decodes a line, calls {!Service.submit}, and writes the
+    encoded reply — so a connection is a serial request/response stream
+    (pipeline depth 1), while concurrency comes from many connections.
+    Unparseable lines are answered [err bad-request ...]; only EOF or a
+    socket error closes a connection. *)
+
+type t
+
+val create : ?backlog:int -> port:int -> Service.t -> t
+(** Bind and listen on 127.0.0.1:[port] ([port] 0 picks an ephemeral port
+    — read it back with {!port}).  [backlog] defaults to 64.
+    @raise Unix.Unix_error when the address is taken. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val start : t -> unit
+(** Launch the accept loop in a background thread and return. *)
+
+val run : ?log_interval:float -> t -> unit
+(** {!start}, plus a periodic {!Metrics.pp_line} log line to stderr every
+    [log_interval] seconds (omit to disable), then block forever — the
+    daemon main loop. *)
+
+val stop : t -> unit
+(** Close the listening socket and stop accepting.  Established
+    connections finish their in-flight request and close on their next
+    read.  The underlying service is left running (callers that own it
+    should {!Service.shutdown} it separately).  Idempotent. *)

@@ -1,0 +1,425 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* A one-shot mailbox: the submitting thread blocks in [await] until the
+   executor [fill]s it.  Executors always fill every job they pop, and
+   shutdown drains the queue, so a submitted job cannot be dropped. *)
+module Cell = struct
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    mutable value : Wire.response option;
+  }
+
+  let create () =
+    { lock = Mutex.create (); cond = Condition.create (); value = None }
+
+  let fill t v =
+    Mutex.lock t.lock;
+    t.value <- Some v;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock
+
+  let await t =
+    Mutex.lock t.lock;
+    while t.value = None do
+      Condition.wait t.cond t.lock
+    done;
+    let v = Option.get t.value in
+    Mutex.unlock t.lock;
+    v
+end
+
+type job = {
+  request : Wire.request;   (* Only Jq / Select / Table are enqueued. *)
+  submitted : float;
+  deadline : float;         (* Absolute; [infinity] when none was set. *)
+  cell : Cell.t;
+}
+
+(* Warm per-executor state.  The executor domain is the only writer; the
+   stats thread reads the memo lists under [lock] (list structure is
+   immutable once published) and the Objective_cache counters racily —
+   fine for monitoring, and documented in docs/serving.md. *)
+type exec = {
+  lock : Mutex.t;
+  mutable select_memos :
+    ((string * int * float * float * int) * Jsp.Objective_cache.t) list;
+      (* (pool, version, alpha, budget, seed) -> warm solver memo.  Budget
+         and seed are part of the key on purpose: incremental objective
+         values are path-dependent at ulp level, so a memo warmed by a
+         *different* request could flip a Boltzmann accept and change the
+         returned jury.  Keyed by the full request, a warm replay sees
+         exactly the values the cold run computed — responses stay
+         byte-identical whatever the cache temperature. *)
+  mutable retired : Jsp.Objective_cache.stats;
+      (* Counters of memos dropped by the LRU cap, so hit-rates never
+         regress in the stats output. *)
+  mutable jq_memo : ((string * int * float * int) * (float * float * int)) list;
+      (* (pool, version, alpha, buckets) -> (value, bound, n). *)
+  mutable incs : ((float * int) * Jq.Incremental.t) list;
+      (* (alpha, buckets) -> reusable fixed-width evaluator. *)
+}
+
+let select_memo_cap = 32
+let jq_memo_cap = 128
+let inc_cap = 8
+
+type t = {
+  registry : Registry.t;
+  metrics : Metrics.t;
+  queue : job Bqueue.t;
+  queue_capacity : int;
+  n_domains : int;
+  deadline : float option;
+  batch_max : int;
+  num_buckets : int;
+  shutdown_lock : Mutex.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let registry t = t.registry
+let metrics t = t.metrics
+let domains t = t.n_domains
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ---- executor-side evaluation -------------------------------------- *)
+
+let exec_cache_stats exec =
+  with_lock exec.lock (fun () ->
+      List.fold_left
+        (fun acc (_, memo) ->
+          Jsp.Objective_cache.merge_stats acc (Jsp.Objective_cache.stats memo))
+        exec.retired exec.select_memos)
+
+let truncate_assoc ~cap ~drop list =
+  if List.length list <= cap then list
+  else begin
+    let kept = List.filteri (fun i _ -> i < cap) list in
+    List.iteri (fun i entry -> if i >= cap then drop entry) list;
+    kept
+  end
+
+let select_memo exec ~pool_name ~version ~alpha ~budget ~seed ~n =
+  with_lock exec.lock (fun () ->
+      let key = (pool_name, version, alpha, budget, seed) in
+      match List.assoc_opt key exec.select_memos with
+      | Some memo -> memo
+      | None ->
+          let memo = Jsp.Objective_cache.create ~n () in
+          exec.select_memos <-
+            truncate_assoc ~cap:select_memo_cap
+              ~drop:(fun (_, old) ->
+                exec.retired <-
+                  Jsp.Objective_cache.merge_stats exec.retired
+                    (Jsp.Objective_cache.stats old))
+              ((key, memo) :: exec.select_memos);
+          memo)
+
+let incremental_for exec ~alpha ~num_buckets =
+  with_lock exec.lock (fun () ->
+      let key = (alpha, num_buckets) in
+      match List.assoc_opt key exec.incs with
+      | Some inc -> inc
+      | None ->
+          let inc = Jq.Incremental.create ~num_buckets ~alpha () in
+          exec.incs <-
+            truncate_assoc ~cap:inc_cap ~drop:(fun _ -> ())
+              ((key, inc) :: exec.incs);
+          inc)
+
+let unknown_pool name =
+  Wire.Error
+    { code = Wire.Unknown_pool; message = Printf.sprintf "no pool %S" name }
+
+(* Pool-jq: memoized per pool version; a miss reuses the executor's
+   fixed-width incremental evaluator (reset + one add pass per member). *)
+let eval_jq_pool t exec ~name ~alpha ~num_buckets =
+  match Registry.find t.registry name with
+  | None -> unknown_pool name
+  | Some (pool, version) ->
+      let key = (name, version, alpha, num_buckets) in
+      let value, bound, n =
+        match
+          with_lock exec.lock (fun () -> List.assoc_opt key exec.jq_memo)
+        with
+        | Some hit ->
+            Metrics.jq_memo_hit t.metrics;
+            hit
+        | None ->
+            let inc = incremental_for exec ~alpha ~num_buckets in
+            Jq.Incremental.reset inc;
+            Array.iter (Jq.Incremental.add_worker inc)
+              (Workers.Pool.qualities pool);
+            let entry =
+              ( Jq.Incremental.value inc,
+                Jq.Incremental.error_bound inc,
+                Workers.Pool.size pool )
+            in
+            with_lock exec.lock (fun () ->
+                exec.jq_memo <-
+                  truncate_assoc ~cap:jq_memo_cap ~drop:(fun _ -> ())
+                    ((key, entry) :: exec.jq_memo));
+            entry
+      in
+      Wire.Jq_result { value; error_bound = bound; n }
+
+let eval_jq_inline ~qualities ~alpha ~num_buckets =
+  let stats =
+    Jq.Bucket.estimate_stats ~num_buckets ~alpha (Array.of_list qualities)
+  in
+  Wire.Jq_result
+    {
+      value = stats.Jq.Bucket.value;
+      error_bound = stats.Jq.Bucket.error_bound;
+      n = List.length qualities;
+    }
+
+let solve_select t exec ~pool ~version ~pool_name ~budget ~alpha ~seed =
+  let memo =
+    select_memo exec ~pool_name ~version ~alpha ~budget ~seed
+      ~n:(Workers.Pool.size pool)
+  in
+  let rng = Prob.Rng.create seed in
+  Jsp.Annealing.solve_optjs ~num_buckets:t.num_buckets ~memo ~rng ~alpha
+    ~budget pool
+
+let jury_ids jury = List.map Workers.Worker.id (Workers.Pool.to_list jury)
+
+let eval_select t exec ~name ~budget ~alpha ~seed =
+  match Registry.find t.registry name with
+  | None -> unknown_pool name
+  | Some (pool, version) ->
+      let result =
+        solve_select t exec ~pool ~version ~pool_name:name ~budget ~alpha ~seed
+      in
+      Wire.Select_result
+        {
+          ids = jury_ids result.Jsp.Solver.jury;
+          score = result.Jsp.Solver.score;
+          cost = Workers.Pool.total_cost result.Jsp.Solver.jury;
+        }
+
+(* Each row is solved exactly as the equivalent [select] (fresh RNG from
+   the same seed, same memo key), so a table is byte-wise consistent with
+   row-by-row selects. *)
+let eval_table t exec ~name ~budgets ~alpha ~seed =
+  match Registry.find t.registry name with
+  | None -> unknown_pool name
+  | Some (pool, version) ->
+      let rows =
+        List.map
+          (fun budget ->
+            let result =
+              solve_select t exec ~pool ~version ~pool_name:name ~budget ~alpha
+                ~seed
+            in
+            {
+              Wire.budget;
+              ids = jury_ids result.Jsp.Solver.jury;
+              quality = result.Jsp.Solver.score;
+              required = Workers.Pool.total_cost result.Jsp.Solver.jury;
+            })
+          budgets
+      in
+      Wire.Table_result rows
+
+let eval t exec request =
+  match request with
+  | Wire.Jq { source = Wire.Named name; alpha; num_buckets } ->
+      eval_jq_pool t exec ~name ~alpha ~num_buckets
+  | Wire.Jq { source = Wire.Inline qualities; alpha; num_buckets } ->
+      eval_jq_inline ~qualities ~alpha ~num_buckets
+  | Wire.Select { pool; budget; alpha; seed } ->
+      eval_select t exec ~name:pool ~budget ~alpha ~seed
+  | Wire.Table { pool; budgets; alpha; seed } ->
+      eval_table t exec ~name:pool ~budgets ~alpha ~seed
+  | Wire.Ping | Wire.Stats | Wire.Pool_put _ | Wire.Pool_list ->
+      (* Control-plane verbs are answered inline by [submit]. *)
+      assert false
+
+let safe_eval t exec request =
+  try eval t exec request
+  with exn ->
+    Wire.Error { code = Wire.Internal; message = Printexc.to_string exn }
+
+let verb_of = function
+  | Wire.Ping -> "ping"
+  | Wire.Jq _ -> "jq"
+  | Wire.Select _ -> "select"
+  | Wire.Table _ -> "table"
+  | Wire.Pool_put _ -> "pool-put"
+  | Wire.Pool_list -> "pool-list"
+  | Wire.Stats -> "stats"
+
+let response_ok = function Wire.Error _ -> false | _ -> true
+
+let reply t job response =
+  Cell.fill job.cell response;
+  Metrics.record t.metrics ~verb:(verb_of job.request)
+    ~latency:(Unix.gettimeofday () -. job.submitted)
+    ~ok:(response_ok response)
+
+(* Two queued jobs coalesce when they are jq queries answered by the very
+   same evaluation: same named pool, alpha and bucket count. *)
+let batchable a b =
+  match (a.request, b.request) with
+  | ( Wire.Jq { source = Wire.Named p1; alpha = a1; num_buckets = b1 },
+      Wire.Jq { source = Wire.Named p2; alpha = a2; num_buckets = b2 } ) ->
+      String.equal p1 p2 && a1 = a2 && b1 = b2
+  | _ -> false
+
+let process_batch t exec jobs =
+  let now = Unix.gettimeofday () in
+  let live, expired =
+    List.partition (fun (job : job) -> now <= job.deadline) jobs
+  in
+  List.iter
+    (fun job ->
+      Metrics.deadline t.metrics;
+      reply t job
+        (Wire.Error { code = Wire.Deadline; message = "expired in queue" }))
+    expired;
+  match live with
+  | [] -> ()
+  | first :: rest ->
+      let response = safe_eval t exec first.request in
+      reply t first response;
+      (* Followers are compatible by construction: same evaluation. *)
+      if rest <> [] then begin
+        Metrics.batch t.metrics ~size:(List.length live);
+        List.iter (fun job -> reply t job response) rest
+      end
+
+let executor_loop t exec =
+  let rec loop () =
+    match Bqueue.pop_batch t.queue ~max:t.batch_max ~compatible:batchable with
+    | None -> ()
+    | Some jobs ->
+        process_batch t exec jobs;
+        loop ()
+  in
+  loop ()
+
+(* ---- lifecycle and submission -------------------------------------- *)
+
+let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
+    ?deadline ?(batch_max = 32) ?(num_buckets = Jq.Bucket.default_num_buckets)
+    () =
+  if n_domains <= 0 then invalid_arg "Service.create: domains <= 0";
+  if queue_capacity <= 0 then invalid_arg "Service.create: queue_capacity <= 0";
+  if batch_max <= 0 then invalid_arg "Service.create: batch_max <= 0";
+  if num_buckets <= 0 then invalid_arg "Service.create: num_buckets <= 0";
+  (match deadline with
+  | Some d when d <= 0. || Float.is_nan d ->
+      invalid_arg "Service.create: deadline <= 0"
+  | _ -> ());
+  let t =
+    {
+      registry = Registry.create ();
+      metrics = Metrics.create ();
+      queue = Bqueue.create ~capacity:queue_capacity;
+      queue_capacity;
+      n_domains;
+      deadline;
+      batch_max;
+      num_buckets;
+      shutdown_lock = Mutex.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init n_domains (fun _ ->
+        let exec =
+          {
+            lock = Mutex.create ();
+            select_memos = [];
+            retired = Jsp.Objective_cache.empty_stats;
+            jq_memo = [];
+            incs = [];
+          }
+        in
+        Metrics.add_cache t.metrics ~merge:(fun () -> exec_cache_stats exec);
+        Domain.spawn (fun () -> executor_loop t exec));
+  t
+
+let stats t =
+  let f = float_of_int in
+  List.sort compare
+    (Metrics.snapshot t.metrics
+    @ [
+        ("domains", f t.n_domains);
+        ("queue_len", f (Bqueue.length t.queue));
+        ("queue_capacity", f t.queue_capacity);
+      ])
+
+let inline_reply t ~start request response =
+  Metrics.record t.metrics ~verb:(verb_of request)
+    ~latency:(Unix.gettimeofday () -. start)
+    ~ok:(response_ok response);
+  response
+
+let submit t request =
+  let start = Unix.gettimeofday () in
+  match request with
+  | Wire.Ping -> inline_reply t ~start request Wire.Pong
+  | Wire.Stats -> inline_reply t ~start request (Wire.Stats_result (stats t))
+  | Wire.Pool_list ->
+      inline_reply t ~start request (Wire.Pool_entries (Registry.list t.registry))
+  | Wire.Pool_put { name; workers } ->
+      let pool =
+        Workers.Pool.of_list
+          (List.mapi
+             (fun id (quality, cost) ->
+               Workers.Worker.make ~id ~quality ~cost ())
+             workers)
+      in
+      let version = Registry.upsert t.registry ~name pool in
+      inline_reply t ~start request
+        (Wire.Pool_info { name; version; size = Workers.Pool.size pool })
+  | Wire.Jq _ | Wire.Select _ | Wire.Table _ ->
+      let job =
+        {
+          request;
+          submitted = start;
+          deadline =
+            (match t.deadline with Some d -> start +. d | None -> infinity);
+          cell = Cell.create ();
+        }
+      in
+      if t.closed then
+        inline_reply t ~start request
+          (Wire.Error { code = Wire.Shutdown; message = "service draining" })
+      else if Bqueue.try_push t.queue job then Cell.await job.cell
+      else if t.closed then
+        (* Lost the race against shutdown: the queue refused because it
+           closed, not because it is full. *)
+        inline_reply t ~start request
+          (Wire.Error { code = Wire.Shutdown; message = "service draining" })
+      else begin
+        Metrics.overload t.metrics;
+        Wire.Error
+          {
+            code = Wire.Overload;
+            message =
+              Printf.sprintf "queue full (%d waiting)" t.queue_capacity;
+          }
+      end
+
+let shutdown t =
+  let workers =
+    with_lock t.shutdown_lock (fun () ->
+        if t.closed then []
+        else begin
+          t.closed <- true;
+          Bqueue.close t.queue;
+          let w = t.workers in
+          t.workers <- [];
+          w
+        end)
+  in
+  List.iter Domain.join workers

@@ -1,0 +1,69 @@
+(** The embeddable jury-selection service: registry + scheduler + metrics.
+
+    A service owns a bounded work queue fed by {!submit} and drained by a
+    fixed set of executor {!Domain}s.  Control-plane requests (ping, stats,
+    pool upsert/list) are answered inline by the submitting thread —
+    they stay responsive however backed up the compute queue is.  Compute
+    requests (jq, select, table) are enqueued; a full queue is an
+    immediate [err overload] reply (admission control — the queue never
+    grows past its bound), and a request that waits past its deadline is
+    answered [err deadline] by the executor that finally pops it.
+
+    Each executor domain owns warm state keyed by pool version:
+
+    - one {!Jsp.Objective_cache} per (pool, version, alpha, budget, seed) —
+      passed to {!Jsp.Annealing.solve_optjs} via its [?memo] hook, so a
+      repeated [select]/[table] query starts its solve with every score of
+      the previous identical run already cached (budget and seed are in
+      the key deliberately: incremental objective values are
+      path-dependent at ulp level, and a memo warmed by a different
+      request could flip an accept decision and change the reply);
+    - one reusable {!Jq.Incremental} evaluator per (alpha, buckets) — pool
+      [jq] queries are answered by {!Jq.Incremental.reset} + re-adding the
+      pool, reusing the grown key-map arrays, and memoized per pool
+      version;
+    - batching: consecutive queued [jq] queries naming the same (pool,
+      alpha, buckets) are popped together and answered with a single
+      evaluation.
+
+    Caching is invisible in results: solver scores are deterministic
+    functions of (pool, version, alpha, budget, seed) regardless of cache
+    warmth, so any executor — warm or cold — returns byte-identical
+    responses. *)
+
+type t
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] capped at 8. *)
+
+val create :
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?deadline:float ->
+  ?batch_max:int ->
+  ?num_buckets:int ->
+  unit ->
+  t
+(** Start the executor domains.  Defaults: [domains] =
+    {!recommended_domains}[ ()], [queue_capacity] = 256, no deadline,
+    [batch_max] = 32, [num_buckets] = {!Jq.Bucket.default_num_buckets}
+    (the Algorithm-1 resolution used for select/table scoring).
+    @raise Invalid_argument on non-positive sizes or deadline. *)
+
+val submit : t -> Wire.request -> Wire.response
+(** Serve one request, blocking until its reply is ready.  Never raises:
+    every failure mode is an [Error] response.  Thread-safe; call it from
+    as many threads as you like. *)
+
+val registry : t -> Registry.t
+val metrics : t -> Metrics.t
+val domains : t -> int
+
+val stats : t -> (string * float) list
+(** {!Metrics.snapshot} plus service gauges ([domains], [queue_len],
+    [queue_capacity]), sorted by key — the payload of the [stats] verb. *)
+
+val shutdown : t -> unit
+(** Close the queue, finish already-admitted work, and join the executor
+    domains.  Later compute submissions get [err shutdown]; control-plane
+    requests keep working.  Idempotent. *)

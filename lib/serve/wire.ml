@@ -1,0 +1,429 @@
+(* Hand-rolled line codec.  Requests and responses are single ASCII lines:
+   a verb (or ok/err marker) followed by space-separated key=value fields.
+   Composite values use one-character sub-separators that cannot occur in
+   the atoms they join: ',' between list elements, ':' inside worker and
+   pool rows, '@' inside table rows, '.' between ids (ids are integers, so
+   '.' is free).  Empty lists render as "-".
+
+   Everything decodes with explicit (_, string) result — a service must
+   answer a malformed line with [err bad-request ...], never die on it. *)
+
+type source = Inline of float list | Named of string
+
+type request =
+  | Ping
+  | Jq of { source : source; alpha : float; num_buckets : int }
+  | Select of { pool : string; budget : float; alpha : float; seed : int }
+  | Table of { pool : string; budgets : float list; alpha : float; seed : int }
+  | Pool_put of { name : string; workers : (float * float) list }
+  | Pool_list
+  | Stats
+
+type error_code =
+  | Bad_request
+  | Unknown_pool
+  | Overload
+  | Deadline
+  | Shutdown
+  | Internal
+
+type table_row = {
+  budget : float;
+  ids : int list;
+  quality : float;
+  required : float;
+}
+
+type response =
+  | Pong
+  | Jq_result of { value : float; error_bound : float; n : int }
+  | Select_result of { ids : int list; score : float; cost : float }
+  | Table_result of table_row list
+  | Pool_info of { name : string; version : int; size : int }
+  | Pool_entries of (string * int * int) list
+  | Stats_result of (string * float) list
+  | Error of { code : error_code; message : string }
+
+(* ---- atoms --------------------------------------------------------- *)
+
+let valid_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let valid_pool_name s =
+  String.length s > 0 && String.length s <= 64 && String.for_all valid_name_char s
+
+(* Shortest decimal rendering that parses back to the same float. *)
+let float_to_string f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let ( let* ) = Result.bind
+
+(* The [response] constructor [Error] shadows [result]'s from here on;
+   [fail] keeps the parsing helpers on the stdlib one. *)
+let fail msg = Stdlib.Error msg
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f -> Ok f
+  | _ -> fail (Printf.sprintf "%s: not a finite number: %S" what s)
+
+let parse_prob what s =
+  let* f = parse_float what s in
+  if f < 0. || f > 1. then
+    fail (Printf.sprintf "%s: %s outside [0, 1]" what (float_to_string f))
+  else Ok f
+
+let parse_nonneg what s =
+  let* f = parse_float what s in
+  if f < 0. then fail (Printf.sprintf "%s: must be nonnegative" what) else Ok f
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> fail (Printf.sprintf "%s: not an integer: %S" what s)
+
+let parse_positive_int what s =
+  let* i = parse_int what s in
+  if i <= 0 then fail (Printf.sprintf "%s: must be positive" what) else Ok i
+
+let parse_nonneg_int what s =
+  let* i = parse_int what s in
+  if i < 0 then fail (Printf.sprintf "%s: must be nonnegative" what) else Ok i
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let parse_list what ~sep parse s =
+  if s = "-" then Ok []
+  else if s = "" then fail (Printf.sprintf "%s: empty" what)
+  else map_result parse (String.split_on_char sep s)
+
+let parse_nonempty_list what ~sep parse s =
+  let* xs = parse_list what ~sep parse s in
+  if xs = [] then fail (Printf.sprintf "%s: empty list" what) else Ok xs
+
+let list_to_string ~sep to_string = function
+  | [] -> "-"
+  | xs -> String.concat sep (List.map to_string xs)
+
+(* Percent-escaping for free-text error messages: anything outside the
+   printable ASCII range, plus '%' and the protocol separators. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c > ' ' && c < '\x7f' && c <> '%' then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then fail "message: truncated %-escape"
+      else
+        match int_of_string_opt (Printf.sprintf "0x%c%c" s.[i + 1] s.[i + 2]) with
+        | Some code ->
+            Buffer.add_char buf (Char.chr code);
+            go (i + 3)
+        | None -> fail "message: bad %-escape"
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+(* ---- key=value field maps ------------------------------------------ *)
+
+(* Fields are parsed into a mutable assoc list; [take] consumes, and
+   [finish] rejects anything left over, so unknown keys are errors. *)
+type fields = (string * string) list ref
+
+let parse_fields tokens : (fields, string) result =
+  let rec go acc = function
+    | [] -> Ok (ref (List.rev acc))
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> fail (Printf.sprintf "expected key=value, got %S" tok)
+        | Some i ->
+            let key = String.sub tok 0 i in
+            let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+            if key = "" then fail (Printf.sprintf "empty key in %S" tok)
+            else if List.mem_assoc key acc then
+              fail (Printf.sprintf "duplicate key %S" key)
+            else go ((key, value) :: acc) rest)
+  in
+  go [] tokens
+
+let take (fields : fields) key =
+  match List.assoc_opt key !fields with
+  | None -> None
+  | Some v ->
+      fields := List.remove_assoc key !fields;
+      Some v
+
+let required fields key parse =
+  match take fields key with
+  | None -> fail (Printf.sprintf "missing %s=" key)
+  | Some v -> parse key v
+
+let optional fields key ~default parse =
+  match take fields key with None -> Ok default | Some v -> parse key v
+
+let finish fields value =
+  match !fields with
+  | [] -> Ok value
+  | (k, _) :: _ -> fail (Printf.sprintf "unknown key %S" k)
+
+let parse_pool_name what s =
+  if valid_pool_name s then Ok s
+  else fail (Printf.sprintf "%s: invalid pool name %S" what s)
+
+let parse_worker what s =
+  match String.split_on_char ':' s with
+  | [ q; c ] ->
+      let* q = parse_prob (what ^ " quality") q in
+      let* c = parse_nonneg (what ^ " cost") c in
+      Ok (q, c)
+  | _ -> fail (Printf.sprintf "%s: expected quality:cost, got %S" what s)
+
+(* ---- requests ------------------------------------------------------ *)
+
+let default_seed = 42
+
+let encode_request = function
+  | Ping -> "ping"
+  | Jq { source; alpha; num_buckets } ->
+      let src =
+        match source with
+        | Inline qs -> "q=" ^ list_to_string ~sep:"," float_to_string qs
+        | Named pool -> "pool=" ^ pool
+      in
+      Printf.sprintf "jq %s alpha=%s buckets=%d" src (float_to_string alpha)
+        num_buckets
+  | Select { pool; budget; alpha; seed } ->
+      Printf.sprintf "select pool=%s budget=%s alpha=%s seed=%d" pool
+        (float_to_string budget) (float_to_string alpha) seed
+  | Table { pool; budgets; alpha; seed } ->
+      Printf.sprintf "table pool=%s budgets=%s alpha=%s seed=%d" pool
+        (list_to_string ~sep:"," float_to_string budgets)
+        (float_to_string alpha) seed
+  | Pool_put { name; workers } ->
+      Printf.sprintf "pool-put name=%s workers=%s" name
+        (list_to_string ~sep:","
+           (fun (q, c) -> float_to_string q ^ ":" ^ float_to_string c)
+           workers)
+  | Pool_list -> "pool-list"
+  | Stats -> "stats"
+
+let split_line line =
+  (* Tolerate a trailing CR (telnet) and repeated spaces. *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  List.filter (fun tok -> tok <> "") (String.split_on_char ' ' line)
+
+let no_fields fields request = finish fields request
+
+let decode_jq fields =
+  let q = take fields "q" and pool = take fields "pool" in
+  let* source =
+    match (q, pool) with
+    | Some _, Some _ -> fail "jq: q= and pool= are exclusive"
+    | None, None -> fail "jq: need q= or pool="
+    | Some qs, None ->
+        let* qs = parse_nonempty_list "q" ~sep:',' (parse_prob "q") qs in
+        Ok (Inline qs)
+    | None, Some name ->
+        let* name = parse_pool_name "pool" name in
+        Ok (Named name)
+  in
+  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* num_buckets =
+    optional fields "buckets" ~default:Jq.Bucket.default_num_buckets
+      parse_positive_int
+  in
+  finish fields (Jq { source; alpha; num_buckets })
+
+let decode_select fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* budget = required fields "budget" parse_nonneg in
+  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* seed = optional fields "seed" ~default:default_seed parse_int in
+  finish fields (Select { pool; budget; alpha; seed })
+
+let decode_table fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* budgets =
+    required fields "budgets" (fun what s ->
+        parse_nonempty_list what ~sep:',' (parse_nonneg what) s)
+  in
+  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* seed = optional fields "seed" ~default:default_seed parse_int in
+  finish fields (Table { pool; budgets; alpha; seed })
+
+let decode_pool_put fields =
+  let* name = required fields "name" parse_pool_name in
+  let* workers =
+    required fields "workers" (fun what s ->
+        parse_nonempty_list what ~sep:',' (parse_worker what) s)
+  in
+  finish fields (Pool_put { name; workers })
+
+let decode_request line =
+  match split_line line with
+  | [] -> fail "empty request"
+  | verb :: rest -> (
+      let* fields = parse_fields rest in
+      match verb with
+      | "ping" -> no_fields fields Ping
+      | "jq" -> decode_jq fields
+      | "select" -> decode_select fields
+      | "table" -> decode_table fields
+      | "pool-put" -> decode_pool_put fields
+      | "pool-list" -> no_fields fields Pool_list
+      | "stats" -> no_fields fields Stats
+      | _ -> fail (Printf.sprintf "unknown verb %S" verb))
+
+(* ---- responses ----------------------------------------------------- *)
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_pool -> "unknown-pool"
+  | Overload -> "overload"
+  | Deadline -> "deadline"
+  | Shutdown -> "shutdown"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad-request" -> Ok Bad_request
+  | "unknown-pool" -> Ok Unknown_pool
+  | "overload" -> Ok Overload
+  | "deadline" -> Ok Deadline
+  | "shutdown" -> Ok Shutdown
+  | "internal" -> Ok Internal
+  | s -> fail (Printf.sprintf "unknown error code %S" s)
+
+let ids_to_string ids = list_to_string ~sep:"." string_of_int ids
+
+let parse_ids what s = parse_list what ~sep:'.' (parse_nonneg_int what) s
+
+let row_to_string { budget; ids; quality; required } =
+  Printf.sprintf "%s@%s@%s@%s" (float_to_string budget) (ids_to_string ids)
+    (float_to_string quality) (float_to_string required)
+
+let parse_row what s =
+  match String.split_on_char '@' s with
+  | [ budget; ids; quality; required ] ->
+      let* budget = parse_nonneg (what ^ " budget") budget in
+      let* ids = parse_ids (what ^ " ids") ids in
+      let* quality = parse_prob (what ^ " quality") quality in
+      let* required = parse_nonneg (what ^ " required") required in
+      Ok { budget; ids; quality; required }
+  | _ -> fail (Printf.sprintf "%s: expected budget@ids@quality@required" what)
+
+let entry_to_string (name, version, size) =
+  Printf.sprintf "%s:%d:%d" name version size
+
+let parse_entry what s =
+  match String.split_on_char ':' s with
+  | [ name; version; size ] ->
+      let* name = parse_pool_name what name in
+      let* version = parse_nonneg_int (what ^ " version") version in
+      let* size = parse_nonneg_int (what ^ " size") size in
+      Ok (name, version, size)
+  | _ -> fail (Printf.sprintf "%s: expected name:version:size" what)
+
+let stat_to_string (key, value) = key ^ "=" ^ float_to_string value
+
+let encode_response = function
+  | Pong -> "ok pong"
+  | Jq_result { value; error_bound; n } ->
+      Printf.sprintf "ok jq value=%s bound=%s n=%d" (float_to_string value)
+        (float_to_string error_bound) n
+  | Select_result { ids; score; cost } ->
+      Printf.sprintf "ok select ids=%s score=%s cost=%s" (ids_to_string ids)
+        (float_to_string score) (float_to_string cost)
+  | Table_result rows ->
+      Printf.sprintf "ok table rows=%s" (list_to_string ~sep:";" row_to_string rows)
+  | Pool_info { name; version; size } ->
+      Printf.sprintf "ok pool name=%s version=%d size=%d" name version size
+  | Pool_entries entries ->
+      Printf.sprintf "ok pools list=%s"
+        (list_to_string ~sep:"," entry_to_string entries)
+  | Stats_result stats ->
+      if stats = [] then "ok stats"
+      else "ok stats " ^ String.concat " " (List.map stat_to_string stats)
+  | Error { code; message } ->
+      Printf.sprintf "err %s message=%s" (error_code_to_string code)
+        (escape message)
+
+let decode_ok_response kind fields =
+  match kind with
+  | "pong" -> no_fields fields Pong
+  | "jq" ->
+      let* value = required fields "value" parse_prob in
+      let* error_bound = required fields "bound" parse_nonneg in
+      let* n = required fields "n" parse_nonneg_int in
+      finish fields (Jq_result { value; error_bound; n })
+  | "select" ->
+      let* ids = required fields "ids" parse_ids in
+      let* score = required fields "score" parse_prob in
+      let* cost = required fields "cost" parse_nonneg in
+      finish fields (Select_result { ids; score; cost })
+  | "table" ->
+      let* rows =
+        required fields "rows" (fun what s ->
+            parse_list what ~sep:';' (parse_row what) s)
+      in
+      finish fields (Table_result rows)
+  | "pool" ->
+      let* name = required fields "name" parse_pool_name in
+      let* version = required fields "version" parse_nonneg_int in
+      let* size = required fields "size" parse_nonneg_int in
+      finish fields (Pool_info { name; version; size })
+  | "pools" ->
+      let* entries =
+        required fields "list" (fun what s ->
+            parse_list what ~sep:',' (parse_entry what) s)
+      in
+      finish fields (Pool_entries entries)
+  | "stats" ->
+      let* stats =
+        map_result
+          (fun (key, v) ->
+            if not (valid_pool_name key) then
+              fail (Printf.sprintf "stats: invalid key %S" key)
+            else
+              let* v = parse_float key v in
+              Ok (key, v))
+          !fields
+      in
+      fields := [];
+      finish fields (Stats_result stats)
+  | _ -> fail (Printf.sprintf "unknown ok kind %S" kind)
+
+let decode_response line =
+  match split_line line with
+  | "ok" :: kind :: rest ->
+      let* fields = parse_fields rest in
+      decode_ok_response kind fields
+  | "err" :: code :: rest ->
+      let* code = error_code_of_string code in
+      let* fields = parse_fields rest in
+      let* message = required fields "message" (fun _ s -> unescape s) in
+      finish fields (Error { code; message })
+  | _ -> fail "expected 'ok <kind> ...' or 'err <code> ...'"

@@ -1,0 +1,87 @@
+(** Line-delimited wire protocol for the jury-selection service.
+
+    One request per line, one response per line, ASCII throughout — a
+    protocol you can drive with [nc].  A request is a verb followed by
+    space-separated [key=value] fields; a response line starts with [ok]
+    or [err].  The full grammar lives in [docs/serving.md]; examples:
+
+    {v
+    jq q=0.9,0.6,0.6 alpha=0.5 buckets=50
+    jq pool=default alpha=0.5 buckets=50
+    select pool=default budget=10 alpha=0.5 seed=42
+    table pool=default budgets=5,10,15 alpha=0.5 seed=42
+    pool-put name=default workers=0.9:3,0.6:1,0.8:2
+    pool-list
+    stats
+    ping
+    v}
+
+    The codec is strict: {!decode_request} accepts exactly the values the
+    service can serve (qualities and alpha in [0, 1], finite nonnegative
+    costs and budgets, positive bucket counts, pool names over
+    [A-Za-z0-9_.-]) and returns [Error] — never raises — on anything else,
+    so a malformed line costs one reply, not a connection.  Floats are
+    rendered shortest-round-trip, making [encode] and [decode] exact
+    inverses on valid messages (a property test pins this). *)
+
+(** Where a [jq] query gets its quality vector. *)
+type source =
+  | Inline of float list  (** Qualities carried in the request. *)
+  | Named of string       (** A registered pool's qualities. *)
+
+type request =
+  | Ping
+  | Jq of { source : source; alpha : float; num_buckets : int }
+  | Select of { pool : string; budget : float; alpha : float; seed : int }
+  | Table of { pool : string; budgets : float list; alpha : float; seed : int }
+  | Pool_put of { name : string; workers : (float * float) list }
+      (** (quality, cost) rows; ids and names are assigned by position. *)
+  | Pool_list
+  | Stats
+
+type error_code =
+  | Bad_request   (** Unparseable or invalid request line. *)
+  | Unknown_pool  (** Named pool not in the registry. *)
+  | Overload      (** Admission control refused: the work queue is full. *)
+  | Deadline      (** The request expired before an executor reached it. *)
+  | Shutdown      (** The service is draining. *)
+  | Internal      (** Executor failure (bug or resource trouble). *)
+
+type table_row = {
+  budget : float;
+  ids : int list;     (** Selected worker ids, in pool order. *)
+  quality : float;
+  required : float;
+}
+
+type response =
+  | Pong
+  | Jq_result of { value : float; error_bound : float; n : int }
+  | Select_result of { ids : int list; score : float; cost : float }
+  | Table_result of table_row list
+  | Pool_info of { name : string; version : int; size : int }
+  | Pool_entries of (string * int * int) list
+      (** (name, version, size), sorted by name. *)
+  | Stats_result of (string * float) list
+      (** Metric (key, value) pairs, sorted by key. *)
+  | Error of { code : error_code; message : string }
+
+val valid_pool_name : string -> bool
+(** Nonempty, at most 64 chars, all in [A-Za-z0-9_.-]. *)
+
+val error_code_to_string : error_code -> string
+(** The wire token, e.g. [Bad_request] ↦ ["bad-request"]. *)
+
+val encode_request : request -> string
+(** One line, without the trailing newline. *)
+
+val decode_request : string -> (request, string) result
+(** Strict parse of one request line.  [alpha], [buckets] and [seed] may be
+    omitted (defaults 0.5, {!Jq.Bucket.default_num_buckets}, 42); all other
+    fields of a verb are mandatory, unknown or duplicate keys are errors.
+    Never raises. *)
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+(** Inverse of {!encode_response} (used by clients: load generator,
+    integration tests).  Never raises. *)

@@ -1,19 +1,23 @@
 let parse_line ~line_number line =
+  let bad what =
+    failwith (Printf.sprintf "Pool_io: line %d: %s: %S" line_number what line)
+  in
   match String.split_on_char ',' line with
   | [ name; quality; cost ] -> (
       let name = String.trim name in
       match
         (float_of_string_opt (String.trim quality), float_of_string_opt (String.trim cost))
       with
-      | Some q, Some c -> (name, q, c)
-      | _ ->
-          failwith
-            (Printf.sprintf "Pool_io: line %d: quality/cost not numbers: %S"
-               line_number line))
-  | _ ->
-      failwith
-        (Printf.sprintf "Pool_io: line %d: expected 'name,quality,cost': %S"
-           line_number line)
+      | Some q, Some c ->
+          (* Range-check here so a bad row reports its line number instead
+             of surfacing later as a bare Worker.make failure. *)
+          if Float.is_nan q || q < 0. || q > 1. then
+            bad "quality must lie in [0, 1]";
+          if (not (Float.is_finite c)) || c < 0. then
+            bad "cost must be finite and nonnegative";
+          (name, q, c)
+      | _ -> bad "quality/cost not numbers")
+  | _ -> bad "expected 'name,quality,cost'"
 
 let is_header line =
   String.lowercase_ascii (String.trim line) = "name,quality,cost"
@@ -45,12 +49,12 @@ let to_csv_string pool =
 
 let load path =
   let ic = open_in path in
-  let size = in_channel_length ic in
-  let content = really_input_string ic size in
-  close_in ic;
-  of_csv_string content
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_csv_string (really_input_string ic (in_channel_length ic)))
 
 let save path pool =
   let oc = open_out path in
-  output_string oc (to_csv_string pool);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_csv_string pool))

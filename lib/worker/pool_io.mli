@@ -14,14 +14,16 @@
 
 val of_csv_string : string -> Pool.t
 (** Parse a CSV document.  @raise Failure with a line-numbered message on
-    malformed rows or invalid qualities/costs. *)
+    malformed rows, NaN or out-of-range qualities ([0, 1]) and costs
+    (finite, nonnegative). *)
 
 val to_csv_string : Pool.t -> string
 (** Serialize with a header line.  [of_csv_string (to_csv_string p)] equals
     [p] up to ids being renumbered by position. *)
 
 val load : string -> Pool.t
-(** Read a pool from a file path.  @raise Sys_error / Failure. *)
+(** Read a pool from a file path.  The channel is closed even when parsing
+    fails.  @raise Sys_error / Failure. *)
 
 val save : string -> Pool.t -> unit
-(** Write a pool to a file path. *)
+(** Write a pool to a file path (channel closed on error too). *)

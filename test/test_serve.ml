@@ -1,0 +1,523 @@
+(* Tests for lib/serve: wire codec round-trips, registry versioning, the
+   bounded queue, and the service end to end over a real TCP socket. *)
+
+let qtest ?(count = 200) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ?print ~name gen prop)
+
+module Wire = Serve.Wire
+
+(* ---- generators ---------------------------------------------------- *)
+
+let prob_gen = QCheck2.Gen.float_range 0. 1.
+let cost_gen = QCheck2.Gen.float_range 0. 100.
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+let buckets_gen = QCheck2.Gen.int_range 1 200
+let name_gen = QCheck2.Gen.oneofl [ "default"; "pool-1"; "A_b.c"; "x9" ]
+
+let list1 g = QCheck2.Gen.(int_range 1 6 >>= fun n -> list_size (return n) g)
+let list0 g = QCheck2.Gen.(int_range 0 4 >>= fun n -> list_size (return n) g)
+
+let request_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Wire.Ping;
+        return Wire.Pool_list;
+        return Wire.Stats;
+        ( list1 prob_gen >>= fun qs ->
+          prob_gen >>= fun alpha ->
+          buckets_gen >>= fun num_buckets ->
+          return (Wire.Jq { source = Wire.Inline qs; alpha; num_buckets }) );
+        ( name_gen >>= fun name ->
+          prob_gen >>= fun alpha ->
+          buckets_gen >>= fun num_buckets ->
+          return (Wire.Jq { source = Wire.Named name; alpha; num_buckets }) );
+        ( name_gen >>= fun pool ->
+          cost_gen >>= fun budget ->
+          prob_gen >>= fun alpha ->
+          seed_gen >>= fun seed ->
+          return (Wire.Select { pool; budget; alpha; seed }) );
+        ( name_gen >>= fun pool ->
+          list1 cost_gen >>= fun budgets ->
+          prob_gen >>= fun alpha ->
+          seed_gen >>= fun seed ->
+          return (Wire.Table { pool; budgets; alpha; seed }) );
+        ( name_gen >>= fun name ->
+          list1 (pair prob_gen cost_gen) >>= fun workers ->
+          return (Wire.Pool_put { name; workers }) );
+      ])
+
+let error_code_gen =
+  QCheck2.Gen.oneofl
+    [
+      Wire.Bad_request; Wire.Unknown_pool; Wire.Overload; Wire.Deadline;
+      Wire.Shutdown; Wire.Internal;
+    ]
+
+let stats_gen =
+  QCheck2.Gen.(
+    let keys = [ "cache_hit_rate"; "p50_ms"; "req_jq"; "requests"; "uptime_s" ] in
+    int_range 0 (List.length keys) >>= fun k ->
+    list_size
+      (return (List.length keys))
+      (float_range 0. 1e6)
+    >>= fun vs ->
+    return (List.filteri (fun i _ -> i < k) (List.combine keys vs)))
+
+let row_gen =
+  QCheck2.Gen.(
+    cost_gen >>= fun budget ->
+    list0 (int_range 0 500) >>= fun ids ->
+    prob_gen >>= fun quality ->
+    cost_gen >>= fun required ->
+    return { Wire.budget; ids; quality; required })
+
+let response_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Wire.Pong;
+        ( prob_gen >>= fun value ->
+          cost_gen >>= fun error_bound ->
+          int_range 0 1000 >>= fun n ->
+          return (Wire.Jq_result { value; error_bound; n }) );
+        ( list0 (int_range 0 500) >>= fun ids ->
+          prob_gen >>= fun score ->
+          cost_gen >>= fun cost ->
+          return (Wire.Select_result { ids; score; cost }) );
+        (list0 row_gen >>= fun rows -> return (Wire.Table_result rows));
+        ( name_gen >>= fun name ->
+          int_range 1 1000 >>= fun version ->
+          int_range 0 1000 >>= fun size ->
+          return (Wire.Pool_info { name; version; size }) );
+        ( list0 (triple name_gen (int_range 1 1000) (int_range 0 1000))
+        >>= fun entries -> return (Wire.Pool_entries entries) );
+        (stats_gen >>= fun stats -> return (Wire.Stats_result stats));
+        ( error_code_gen >>= fun code ->
+          string >>= fun message ->
+          return (Wire.Error { code; message }) );
+      ])
+
+(* ---- wire codec ----------------------------------------------------- *)
+
+let codec_props =
+  [
+    qtest "request round-trips" ~print:Wire.encode_request request_gen
+      (fun request ->
+        Wire.decode_request (Wire.encode_request request) = Ok request);
+    qtest "response round-trips" ~print:Wire.encode_response response_gen
+      (fun response ->
+        Wire.decode_response (Wire.encode_response response) = Ok response);
+    qtest ~count:500 "decode_request never raises" QCheck2.Gen.string (fun s ->
+        match Wire.decode_request s with Ok _ | Error _ -> true);
+    qtest ~count:500 "decode_response never raises" QCheck2.Gen.string (fun s ->
+        match Wire.decode_response s with Ok _ | Error _ -> true);
+  ]
+
+let check_decode name line expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match (Wire.decode_request line, expected) with
+      | Ok got, Some want ->
+          Alcotest.(check string) name (Wire.encode_request want)
+            (Wire.encode_request got)
+      | Error _, None -> ()
+      | Ok got, None ->
+          Alcotest.failf "%s: expected a parse error, got %s" name
+            (Wire.encode_request got)
+      | Error e, Some _ -> Alcotest.failf "%s: unexpected error %s" name e)
+
+let codec_units =
+  [
+    check_decode "defaults fill in" "jq q=0.25,0.75"
+      (Some
+         (Wire.Jq
+            {
+              source = Wire.Inline [ 0.25; 0.75 ];
+              alpha = 0.5;
+              num_buckets = Jq.Bucket.default_num_buckets;
+            }));
+    check_decode "trailing CR tolerated" "ping\r" (Some Wire.Ping);
+    check_decode "repeated spaces tolerated" "select  pool=p   budget=4"
+      (Some (Wire.Select { pool = "p"; budget = 4.; alpha = 0.5; seed = 42 }));
+    check_decode "duplicate key rejected" "jq q=0.5 q=0.6" None;
+    check_decode "unknown key rejected" "jq q=0.5 frob=1" None;
+    check_decode "quality out of range" "jq q=1.5" None;
+    check_decode "nan budget rejected" "select pool=p budget=nan" None;
+    check_decode "negative budget rejected" "select pool=p budget=-1" None;
+    check_decode "bad pool name" "select pool=a*b budget=1" None;
+    check_decode "empty line" "" None;
+    check_decode "unknown verb" "bogus" None;
+    check_decode "missing mandatory field" "select pool=p" None;
+    check_decode "empty budgets rejected" "table pool=p budgets=-" None;
+    Alcotest.test_case "valid_pool_name" `Quick (fun () ->
+        Alcotest.(check bool) "ok" true (Wire.valid_pool_name "A_b.c-9");
+        Alcotest.(check bool) "empty" false (Wire.valid_pool_name "");
+        Alcotest.(check bool) "space" false (Wire.valid_pool_name "a b");
+        Alcotest.(check bool) "long" false
+          (Wire.valid_pool_name (String.make 65 'a')));
+  ]
+
+(* ---- registry -------------------------------------------------------- *)
+
+let pool_of_qualities qs =
+  Workers.Pool.of_list
+    (List.mapi
+       (fun id q -> Workers.Worker.make ~id ~quality:q ~cost:1. ())
+       qs)
+
+let registry_tests =
+  [
+    Alcotest.test_case "versions strictly increase" `Quick (fun () ->
+        let r = Serve.Registry.create () in
+        let v1 = Serve.Registry.upsert r ~name:"a" (pool_of_qualities [ 0.6 ]) in
+        let v2 = Serve.Registry.upsert r ~name:"b" (pool_of_qualities [ 0.7 ]) in
+        let v3 =
+          Serve.Registry.upsert r ~name:"a" (pool_of_qualities [ 0.6; 0.8 ])
+        in
+        Alcotest.(check bool) "v1 < v2" true (v1 < v2);
+        Alcotest.(check bool) "v2 < v3" true (v2 < v3);
+        (match Serve.Registry.find r "a" with
+        | Some (pool, v) ->
+            Alcotest.(check int) "latest version" v3 v;
+            Alcotest.(check int) "latest size" 2 (Workers.Pool.size pool)
+        | None -> Alcotest.fail "pool a missing");
+        Alcotest.(check (option (pair reject int)))
+          "unknown pool" None
+          (Serve.Registry.find r "nope");
+        Alcotest.(check (list (triple string int int)))
+          "list sorted"
+          [ ("a", v3, 2); ("b", v2, 1) ]
+          (Serve.Registry.list r);
+        Alcotest.(check int) "size" 2 (Serve.Registry.size r));
+  ]
+
+(* ---- bounded queue ---------------------------------------------------- *)
+
+let bqueue_tests =
+  [
+    Alcotest.test_case "admission control and FIFO batching" `Quick (fun () ->
+        let q = Serve.Bqueue.create ~capacity:3 in
+        Alcotest.(check bool) "push 1" true (Serve.Bqueue.try_push q (`Jq 1));
+        Alcotest.(check bool) "push 2" true (Serve.Bqueue.try_push q (`Jq 2));
+        Alcotest.(check bool) "push 3" true (Serve.Bqueue.try_push q (`Sel 3));
+        Alcotest.(check bool) "full" false (Serve.Bqueue.try_push q (`Jq 4));
+        Alcotest.(check int) "length" 3 (Serve.Bqueue.length q);
+        let jq_alike a b =
+          match (a, b) with `Jq _, `Jq _ -> true | _ -> false
+        in
+        (* The two jq items coalesce; draining stops at the `Sel. *)
+        (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
+        | Some batch ->
+            Alcotest.(check int) "batch size" 2 (List.length batch)
+        | None -> Alcotest.fail "unexpected close");
+        Serve.Bqueue.close q;
+        Alcotest.(check bool) "closed" false (Serve.Bqueue.try_push q (`Jq 5));
+        (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
+        | Some [ `Sel 3 ] -> ()
+        | Some _ -> Alcotest.fail "wrong drain"
+        | None -> Alcotest.fail "queued item lost on close");
+        (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
+        | None -> ()
+        | Some _ -> Alcotest.fail "expected None after close + drain"));
+  ]
+
+(* ---- service over TCP ------------------------------------------------- *)
+
+let with_server ?deadline ~domains ~queue_capacity f =
+  let service = Serve.Service.create ?deadline ~domains ~queue_capacity () in
+  let server = Serve.Server.create ~port:0 service in
+  Serve.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Service.shutdown service)
+    (fun () -> f service (Serve.Server.port server))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let roundtrip ic oc request =
+  output_string oc (Wire.encode_request request);
+  output_char oc '\n';
+  flush oc;
+  match Wire.decode_response (input_line ic) with
+  | Ok response -> response
+  | Error e -> Alcotest.failf "undecodable reply: %s" e
+
+let test_pool n =
+  Workers.Generator.gaussian_pool (Prob.Rng.create 7) Workers.Generator.default
+    n
+
+let wire_workers pool =
+  List.map
+    (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
+    (Workers.Pool.to_list pool)
+
+let check_response name expected actual =
+  Alcotest.(check string)
+    name
+    (Wire.encode_response expected)
+    (Wire.encode_response actual)
+
+(* Concurrent mixed queries over TCP must equal direct library calls:
+   responses are deterministic functions of (pool, request) regardless of
+   which executor answers or how warm its caches are. *)
+let integration_test () =
+  let pool = test_pool 12 in
+  let qualities = Workers.Pool.qualities pool in
+  let buckets = Jq.Bucket.default_num_buckets in
+  let expected_jq_pool =
+    let inc = Jq.Incremental.create ~num_buckets:buckets ~alpha:0.5 () in
+    Array.iter (Jq.Incremental.add_worker inc) qualities;
+    Wire.Jq_result
+      {
+        value = Jq.Incremental.value inc;
+        error_bound = Jq.Incremental.error_bound inc;
+        n = Workers.Pool.size pool;
+      }
+  in
+  let inline_qs = Array.to_list (Array.sub qualities 0 5) in
+  let expected_jq_inline =
+    let stats =
+      Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha:0.5
+        (Array.of_list inline_qs)
+    in
+    Wire.Jq_result
+      {
+        value = stats.Jq.Bucket.value;
+        error_bound = stats.Jq.Bucket.error_bound;
+        n = 5;
+      }
+  in
+  let expected_select ~budget ~seed =
+    let result =
+      Jsp.Annealing.solve_optjs ~num_buckets:buckets
+        ~rng:(Prob.Rng.create seed) ~alpha:0.5 ~budget pool
+    in
+    Wire.Select_result
+      {
+        ids = List.map Workers.Worker.id (Workers.Pool.to_list result.jury);
+        score = result.score;
+        cost = Workers.Pool.total_cost result.jury;
+      }
+  in
+  let expected_table ~budgets ~seed =
+    Wire.Table_result
+      (List.map
+         (fun budget ->
+           match expected_select ~budget ~seed with
+           | Wire.Select_result { ids; score; cost } ->
+               { Wire.budget; ids; quality = score; required = cost }
+           | _ -> assert false)
+         budgets)
+  in
+  with_server ~domains:2 ~queue_capacity:64 (fun service port ->
+      (let fd, ic, oc = connect port in
+       (match
+          roundtrip ic oc
+            (Wire.Pool_put { name = "itest"; workers = wire_workers pool })
+        with
+       | Wire.Pool_info { name = "itest"; size = 12; _ } -> ()
+       | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+       Unix.close fd);
+      let failures = Array.make 4 None in
+      let client i =
+        try
+          let fd, ic, oc = connect port in
+          let seed = 3 + i in
+          for _round = 1 to 3 do
+            check_response "ping" Wire.Pong (roundtrip ic oc Wire.Ping);
+            check_response "jq pool" expected_jq_pool
+              (roundtrip ic oc
+                 (Wire.Jq
+                    {
+                      source = Wire.Named "itest";
+                      alpha = 0.5;
+                      num_buckets = buckets;
+                    }));
+            check_response "jq inline" expected_jq_inline
+              (roundtrip ic oc
+                 (Wire.Jq
+                    {
+                      source = Wire.Inline inline_qs;
+                      alpha = 0.5;
+                      num_buckets = buckets;
+                    }));
+            check_response "select" (expected_select ~budget:12. ~seed)
+              (roundtrip ic oc
+                 (Wire.Select
+                    { pool = "itest"; budget = 12.; alpha = 0.5; seed }));
+            check_response "table" (expected_table ~budgets:[ 6.; 12. ] ~seed:5)
+              (roundtrip ic oc
+                 (Wire.Table
+                    {
+                      pool = "itest";
+                      budgets = [ 6.; 12. ];
+                      alpha = 0.5;
+                      seed = 5;
+                    }))
+          done;
+          Unix.close fd
+        with exn -> failures.(i) <- Some (Printexc.to_string exn)
+      in
+      let threads = List.init 4 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i failure ->
+          match failure with
+          | Some msg -> Alcotest.failf "client %d: %s" i msg
+          | None -> ())
+        failures;
+      (* Repeated same-pool select load must surface a warm hit-rate. *)
+      let stats = Serve.Service.stats service in
+      let stat key =
+        match List.assoc_opt key stats with
+        | Some v -> v
+        | None -> Alcotest.failf "stats: missing %s" key
+      in
+      Alcotest.(check bool) "cache hits observed" true (stat "cache_hits" > 0.);
+      Alcotest.(check bool)
+        "cache hit-rate positive" true
+        (stat "cache_hit_rate" > 0.);
+      Alcotest.(check bool) "unknown pool is an error" true
+        (let fd, ic, oc = connect port in
+         let reply =
+           roundtrip ic oc
+             (Wire.Select { pool = "nope"; budget = 5.; alpha = 0.5; seed = 1 })
+         in
+         Unix.close fd;
+         match reply with
+         | Wire.Error { code = Wire.Unknown_pool; _ } -> true
+         | _ -> false);
+      (* A malformed line costs one [err bad-request] reply, not the
+         connection. *)
+      let fd, ic, oc = connect port in
+      output_string oc "select pool=itest budget=squid\n";
+      flush oc;
+      (match Wire.decode_response (input_line ic) with
+      | Ok (Wire.Error { code = Wire.Bad_request; _ }) -> ()
+      | Ok r -> Alcotest.failf "bad line: %s" (Wire.encode_response r)
+      | Error e -> Alcotest.failf "bad line: undecodable reply %s" e);
+      check_response "connection survives" Wire.Pong (roundtrip ic oc Wire.Ping);
+      Unix.close fd)
+
+(* Saturate a 1-domain, 1-slot service with slow selects: some submissions
+   must be refused with [err overload] while ping stays responsive. *)
+let overload_test () =
+  let pool = test_pool 120 in
+  with_server ~domains:1 ~queue_capacity:1 (fun service _port ->
+      (match
+         Serve.Service.submit service
+           (Wire.Pool_put { name = "big"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      let overloads = Atomic.make 0 in
+      let unexpected = Atomic.make 0 in
+      let client i =
+        for seed = 1 to 4 do
+          match
+            Serve.Service.submit service
+              (Wire.Select
+                 { pool = "big"; budget = 40.; alpha = 0.5; seed = (10 * i) + seed })
+          with
+          | Wire.Select_result _ -> ()
+          | Wire.Error { code = Wire.Overload; _ } -> Atomic.incr overloads
+          | r ->
+              Atomic.incr unexpected;
+              Printf.eprintf "unexpected reply: %s\n" (Wire.encode_response r)
+        done
+      in
+      let threads = List.init 8 (fun i -> Thread.create client i) in
+      (* Control plane stays responsive while the queue is saturated. *)
+      for _ = 1 to 5 do
+        (match Serve.Service.submit service Wire.Ping with
+        | Wire.Pong -> ()
+        | r -> Alcotest.failf "ping under load: %s" (Wire.encode_response r));
+        Thread.delay 0.01
+      done;
+      List.iter Thread.join threads;
+      Alcotest.(check int) "no unexpected replies" 0 (Atomic.get unexpected);
+      Alcotest.(check bool)
+        "at least one overload" true
+        (Atomic.get overloads > 0);
+      let stats = Serve.Service.stats service in
+      Alcotest.(check bool)
+        "overloads counted" true
+        (List.assoc "overloads" stats > 0.))
+
+let shutdown_test () =
+  let service = Serve.Service.create ~domains:1 ~queue_capacity:4 () in
+  ignore
+    (Serve.Service.submit service
+       (Wire.Pool_put { name = "p"; workers = [ (0.8, 1.) ] }));
+  Serve.Service.shutdown service;
+  Serve.Service.shutdown service;
+  (* idempotent *)
+  (match
+     Serve.Service.submit service
+       (Wire.Select { pool = "p"; budget = 2.; alpha = 0.5; seed = 1 })
+   with
+  | Wire.Error { code = Wire.Shutdown; _ } -> ()
+  | r -> Alcotest.failf "post-shutdown select: %s" (Wire.encode_response r));
+  match Serve.Service.submit service Wire.Ping with
+  | Wire.Pong -> ()
+  | r -> Alcotest.failf "post-shutdown ping: %s" (Wire.encode_response r)
+
+let service_tests =
+  [
+    Alcotest.test_case "tcp mixed queries match direct calls" `Quick
+      integration_test;
+    Alcotest.test_case "overload degrades gracefully" `Quick overload_test;
+    Alcotest.test_case "shutdown drains and refuses" `Quick shutdown_test;
+  ]
+
+(* ---- pool_io validation ----------------------------------------------- *)
+
+let pool_io_tests =
+  let rejects name csv =
+    Alcotest.test_case name `Quick (fun () ->
+        match Workers.Pool_io.of_csv_string csv with
+        | exception Failure msg ->
+            (* e.g. "Pool_io: line 2: quality must lie in [0, 1]: ..." *)
+            let contains_line =
+              let needle = "line " in
+              let n = String.length needle and m = String.length msg in
+              let rec at i =
+                i + n <= m && (String.sub msg i n = needle || at (i + 1))
+              in
+              at 0
+            in
+            Alcotest.(check bool) "message is line-numbered" true contains_line
+        | _ -> Alcotest.fail "expected Failure")
+  in
+  [
+    rejects "NaN quality" "name,quality,cost\nA,nan,1";
+    rejects "quality above 1" "name,quality,cost\nA,1.5,1";
+    rejects "negative cost" "name,quality,cost\nA,0.5,-1";
+    rejects "infinite cost" "name,quality,cost\nA,0.5,inf";
+    Alcotest.test_case "file round-trip" `Quick (fun () ->
+        let pool = test_pool 6 in
+        let path = Filename.temp_file "optjs_pool" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Workers.Pool_io.save path pool;
+            let loaded = Workers.Pool_io.load path in
+            Alcotest.(check int)
+              "size" (Workers.Pool.size pool)
+              (Workers.Pool.size loaded)));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("wire codec properties", codec_props);
+      ("wire codec cases", codec_units);
+      ("registry", registry_tests);
+      ("bqueue", bqueue_tests);
+      ("service", service_tests);
+      ("pool_io", pool_io_tests);
+    ]
