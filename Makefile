@@ -1,4 +1,5 @@
-.PHONY: all build test test-slow bench bench-smoke bench-serve serve-smoke clean
+.PHONY: all build test test-slow bench bench-smoke bench-multiclass \
+  bench-serve serve-smoke clean
 
 all: build
 
@@ -19,9 +20,18 @@ bench:
 	dune exec bench/main.exe
 
 # Fast CI smoke for the annealing hot path: one fig7b cell at N = 500,
-# seed solver vs cached-incremental, emitting BENCH_jsp.json.
+# seed solver vs cached-incremental, emitting BENCH_jsp.json; then the
+# engine rows at l = 2, 3, 5 (BENCH_multiclass.json), whose l = 2 select
+# must stay within 5% of the direct binary solver.
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
+	dune exec bench/main.exe -- --multiclass
+
+# Engine jq throughput and select latency at l = 2, 3 and 5, written to
+# BENCH_multiclass.json.  Exits nonzero when the l = 2 row regresses more
+# than 5% against solve_optjs on the same fig7b workload.
+bench-multiclass:
+	dune exec bench/main.exe -- --multiclass
 
 # Serving throughput at 1, 2 and the recommended number of executor
 # domains, written to BENCH_serve.json.
@@ -29,19 +39,22 @@ bench-serve: build
 	dune exec bench/serve_bench.exe
 
 # End-to-end daemon smoke: boot `optjs_cli serve`, run the closed-loop
-# load generator against it for a few seconds, and assert zero protocol
-# errors (loadgen exits nonzero otherwise).  The built binary is run
-# directly so backgrounding and kill behave predictably.
+# load generator against it — once with the default scalar pool, once
+# with a 3-label confusion-matrix pool — and assert zero protocol errors
+# (loadgen exits nonzero otherwise).  The built binary is run directly so
+# backgrounding and kill behave predictably.
 SERVE_SMOKE_PORT ?= 17871
 serve-smoke: build
 	@./_build/default/bin/optjs_cli.exe serve --port $(SERVE_SMOKE_PORT) \
 	  --log-interval 0 >/dev/null 2>&1 & pid=$$!; \
 	sleep 1; \
 	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
-	  --connections 4 --duration 3; status=$$?; \
+	  --connections 4 --duration 3 && \
+	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
+	  --labels 3 --connections 4 --duration 3; status=$$?; \
 	kill $$pid 2>/dev/null; \
 	exit $$status
 
 clean:
 	dune clean
-	rm -f BENCH_jsp.json BENCH_serve.json
+	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json

@@ -22,6 +22,9 @@
      --smoke          one timed seed-vs-incremental comparison, written as
                       BENCH_jsp.json (CI smoke; combine with a positional
                       artifact id, e.g. `fig7b --reps 1 --smoke`)
+     --multiclass     engine jq throughput and select latency at l = 2, 3, 5,
+                      written as BENCH_multiclass.json; asserts the l = 2 row
+                      stays within 5% of the binary solver (exits nonzero)
 
    A bare positional argument is shorthand for --only ID. *)
 
@@ -39,6 +42,7 @@ type options = {
   mutable charts : bool;
   mutable csv_dir : string option;
   mutable smoke : bool;
+  mutable multiclass : bool;
 }
 
 let parse_options () =
@@ -52,6 +56,7 @@ let parse_options () =
       charts = false;
       csv_dir = None;
       smoke = false;
+      multiclass = false;
     }
   in
   let rec go = function
@@ -91,6 +96,9 @@ let parse_options () =
         go rest
     | "--smoke" :: rest ->
         o.smoke <- true;
+        go rest
+    | "--multiclass" :: rest ->
+        o.multiclass <- true;
         go rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
         o.only <- Some arg;
@@ -175,6 +183,123 @@ let run_smoke o =
   output_string oc json;
   close_out oc;
   print_string json
+
+(* ---- Multiclass: engine throughput at l = 2, 3, 5 ----------------------- *)
+
+(* JQ throughput and select latency through the task-model engine, dumped
+   as BENCH_multiclass.json.  The l = 2 row is the fig7b workload (N = 500,
+   B = 0.5) run via [solve_engine]; because the engine's Binary branch
+   delegates to [solve_optjs] verbatim, it must stay within 5% of an
+   in-process [solve_optjs] baseline — a larger gap means dispatch overhead
+   crept into the binary hot path, and the run exits nonzero. *)
+let run_multiclass o =
+  let config = o.config in
+  let seed = config.Expt.Config.seed in
+  let params = config.Expt.Config.annealing in
+  let num_buckets = config.Expt.Config.num_buckets in
+  let best_of k f =
+    let best = ref infinity in
+    for _ = 1 to k do
+      let _, s = Expt.Series.timed f in
+      if s < !best then best := s
+    done;
+    !best
+  in
+  let jq_per_s ~reps epool task =
+    let objective = Engine.Objective.bv_bucket ~num_buckets () in
+    let _, s =
+      Expt.Series.timed (fun () ->
+          for _ = 1 to reps do
+            ignore (Engine.Objective.score objective ~task epool)
+          done)
+    in
+    if s > 0. then float_of_int reps /. s else Float.infinity
+  in
+  let matrix_pool ~labels n =
+    let rng = Prob.Rng.create (seed + labels) in
+    let scalar =
+      Workers.Generator.gaussian_pool rng config.Expt.Config.generator n
+    in
+    Engine.Pool.of_confusions
+      (Array.of_list
+         (List.mapi
+            (fun id w ->
+              let d = Workers.Worker.quality w in
+              let off = (1. -. d) /. float_of_int (labels - 1) in
+              let matrix =
+                Array.init labels (fun j ->
+                    Array.init labels (fun v -> if j = v then d else off))
+              in
+              Workers.Confusion.make ~id ~matrix
+                ~cost:(Workers.Worker.cost w)
+                ())
+            (Workers.Pool.to_list scalar)))
+  in
+  (* l = 2: the fig7b cell, engine vs direct binary solver. *)
+  let n2 = 500 and budget2 = 0.5 in
+  let pool2 =
+    Workers.Generator.gaussian_pool (Prob.Rng.create seed)
+      config.Expt.Config.generator n2
+  in
+  let epool2 = Engine.Pool.of_workers pool2 in
+  let task2 = Engine.Task.binary ~alpha:config.Expt.Config.alpha in
+  let baseline_s =
+    best_of 3 (fun () ->
+        Jsp.Annealing.solve_optjs ~params ~num_buckets
+          ~rng:(Prob.Rng.create 7)
+          ~alpha:config.Expt.Config.alpha ~budget:budget2 pool2)
+  in
+  let select2_s =
+    best_of 3 (fun () ->
+        Jsp.Annealing.solve_engine ~params ~num_buckets
+          ~rng:(Prob.Rng.create 7)
+          ~task:task2 ~budget:budget2 epool2)
+  in
+  let ratio = select2_s /. baseline_s in
+  let jq2 = jq_per_s ~reps:20 epool2 task2 in
+  (* Matrix pools: smaller n — every move rescoring is l-tuple work. *)
+  let matrix_row ~labels ~n ~reps =
+    let epool = matrix_pool ~labels n in
+    let task =
+      Engine.Task.make
+        ~prior:(Array.make labels (1. /. float_of_int labels))
+    in
+    let budget = 0.5 *. Engine.Pool.total_cost epool in
+    let jq = jq_per_s ~reps epool task in
+    let select_s =
+      best_of 3 (fun () ->
+          Jsp.Annealing.solve_engine ~params ~num_buckets
+            ~rng:(Prob.Rng.create 7)
+            ~task ~budget epool)
+    in
+    Printf.sprintf
+      "{\"labels\": %d, \"n\": %d, \"jq_per_s\": %.1f, \"select_s\": %.6f}"
+      labels n jq select_s
+  in
+  (* Full-pool tuple-key evals grow steeply in l and n (~0.2 s at l=3
+     n=12, ~2 s at l=5 n=8); these sizes keep the smoke under a minute. *)
+  let row3 = matrix_row ~labels:3 ~n:12 ~reps:5 in
+  let row5 = matrix_row ~labels:5 ~n:6 ~reps:5 in
+  let json =
+    Printf.sprintf
+      "{\"bench\": \"multiclass\", \"rows\": [\n\
+      \  {\"labels\": 2, \"n\": %d, \"jq_per_s\": %.1f, \"select_s\": %.6f, \
+       \"baseline_optjs_s\": %.6f, \"ratio\": %.3f},\n\
+      \  %s,\n\
+      \  %s\n\
+       ]}\n"
+      n2 jq2 select2_s baseline_s ratio row3 row5
+  in
+  let oc = open_out "BENCH_multiclass.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if ratio > 1.05 then begin
+    Printf.eprintf
+      "FAIL: engine l=2 select is %.1f%% slower than solve_optjs (limit 5%%)\n"
+      ((ratio -. 1.) *. 100.);
+    exit 1
+  end
 
 (* ---- Phase 2: Bechamel timing ------------------------------------------ *)
 
@@ -284,7 +409,8 @@ let run_timing config =
 
 let () =
   let o = parse_options () in
-  if o.smoke then run_smoke o
+  if o.multiclass then run_multiclass o
+  else if o.smoke then run_smoke o
   else begin
     if not o.skip_rows then print_rows o;
     if not o.skip_timing then run_timing o.config

@@ -48,7 +48,7 @@ let bench_row ~duration ~workers ~domains =
   for seed = 0 to seeds - 1 do
     ignore
       (Serve.Service.submit service
-         (Wire.Select { pool = "bench"; budget; alpha = 0.5; seed }))
+         (Wire.Select { pool = "bench"; budget; prior = [ 0.5; 0.5 ]; seed }))
   done;
   let n_clients = clients_per_domain * domains in
   let counts = Array.make n_clients (0, 0, 0) in
@@ -66,12 +66,12 @@ let bench_row ~duration ~workers ~domains =
           Wire.Jq
             {
               source = Wire.Named "bench";
-              alpha = 0.5;
+              prior = [ 0.5; 0.5 ];
               num_buckets = Jq.Bucket.default_num_buckets;
             }
         else
           Wire.Select
-            { pool = "bench"; budget; alpha = 0.5; seed = Prob.Rng.int rng seeds }
+            { pool = "bench"; budget; prior = [ 0.5; 0.5 ]; seed = Prob.Rng.int rng seeds }
       in
       let t0 = Unix.gettimeofday () in
       let reply = Serve.Service.submit service request in
@@ -135,7 +135,7 @@ let () =
   in
   let workers =
     List.map
-      (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
+      (fun w -> Wire.Scalar (Workers.Worker.quality w, Workers.Worker.cost w))
       (Workers.Pool.to_list pool)
   in
   let widths =

@@ -9,10 +9,6 @@
 
 open Cmdliner
 
-let qualities_arg =
-  let doc = "Comma-separated worker qualities, e.g. 0.9,0.6,0.6." in
-  Arg.(required & opt (some string) None & info [ "q"; "qualities" ] ~doc)
-
 let parse_floats s =
   List.map
     (fun tok ->
@@ -25,6 +21,37 @@ let alpha_arg =
   let doc = "Prior alpha = Pr(t = 0)." in
   Arg.(value & opt float 0.5 & info [ "a"; "alpha" ] ~doc)
 
+let prior_arg =
+  let doc =
+    "Comma-separated prior vector p0,p1,... over the task's labels \
+     (overrides --alpha; entries in [0,1] summing to 1)."
+  in
+  Arg.(value & opt (some string) None & info [ "prior" ] ~doc)
+
+let task_of ~alpha ~prior =
+  match prior with
+  | Some s -> Engine.Task.make ~prior:(Array.of_list (parse_floats s))
+  | None -> Engine.Task.binary ~alpha
+
+let binary_alpha task =
+  if Engine.Task.labels task <> 2 then
+    failwith "inline qualities are binary: the prior must have 2 labels";
+  Engine.Task.alpha task
+
+let epool_of_doc = function
+  | Workers.Pool_io.Scalar_rows pool -> Engine.Pool.of_workers pool
+  | Workers.Pool_io.Matrix_rows confusions ->
+      Engine.Pool.of_confusions confusions
+
+let check_labels task epool =
+  if
+    (not (Engine.Pool.is_empty epool))
+    && Engine.Task.labels task <> Engine.Pool.labels epool
+  then
+    failwith
+      (Printf.sprintf "prior has %d labels but the pool has %d"
+         (Engine.Task.labels task) (Engine.Pool.labels epool))
+
 let buckets_arg =
   let doc = "numBuckets for the approximation (Algorithm 1)." in
   Arg.(value & opt int Jq.Bucket.default_num_buckets & info [ "buckets" ] ~doc)
@@ -35,31 +62,94 @@ let seed_arg =
 
 (* ---- jq ----------------------------------------------------------- *)
 
+let file_arg =
+  let doc =
+    "Load the worker pool from a CSV file (scalar rows name,quality,cost \
+     or confusion-matrix rows name,cost,m00,m01,...)."
+  in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc)
+
+let jq_inline ~qualities ~alpha ~buckets ~exact =
+  let qs = Array.of_list (parse_floats qualities) in
+  let stats = Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha qs in
+  Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n" stats.value
+    (100. *. stats.error_bound);
+  if exact then begin
+    if Array.length qs <= Jq.Exact.max_jury then begin
+      let exact_jq =
+        Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs)
+      in
+      Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
+    end
+    else
+      Printf.eprintf "skipping exact (n > %d): enumeration is exponential\n"
+        Jq.Exact.max_jury
+  end;
+  Printf.printf "JQ under MV:       %.6f\n" (Jq.Mv_closed.jq ~alpha ~qualities:qs)
+
+let jq_pool ~path ~task ~buckets ~exact =
+  let epool = epool_of_doc (Workers.Pool_io.load_doc path) in
+  check_labels task epool;
+  let estimate =
+    Engine.Objective.score (Engine.Objective.bv_bucket ~num_buckets:buckets ())
+  in
+  Printf.printf "estimated JQ (BV): %.6f\n" (estimate ~task epool);
+  if exact then begin
+    let n = Engine.Pool.size epool in
+    let feasible =
+      match Engine.Pool.repr epool with
+      | Engine.Pool.Binary _ -> n <= Jq.Exact.max_jury
+      | Engine.Pool.Matrix _ ->
+          Voting.Multiclass.enumeration_fits
+            ~labels:(Engine.Pool.labels epool) ~n
+    in
+    if feasible then
+      Printf.printf "exact JQ (BV):     %.6f\n"
+        (Engine.Objective.score Engine.Objective.bv_exact ~task epool)
+    else
+      match Engine.Pool.repr epool with
+      | Engine.Pool.Binary _ ->
+          Printf.eprintf
+            "skipping exact (n > %d): enumeration is exponential\n"
+            Jq.Exact.max_jury
+      | Engine.Pool.Matrix _ ->
+          Printf.eprintf
+            "skipping exact (l^n > %d): enumeration is exponential\n"
+            Voting.Multiclass.enumeration_cap
+  end;
+  match Engine.Pool.to_workers epool with
+  | Some pool when Engine.Task.is_binary task ->
+      Printf.printf "JQ under MV:       %.6f\n"
+        (Jq.Mv_closed.jq ~alpha:(Engine.Task.alpha task)
+           ~qualities:(Workers.Pool.qualities pool))
+  | _ -> ()
+
 let jq_cmd =
-  let run qualities alpha buckets exact =
-    let qs = Array.of_list (parse_floats qualities) in
-    let stats = Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha qs in
-    Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n" stats.value
-      (100. *. stats.error_bound);
-    if exact then begin
-      if Array.length qs <= Jq.Exact.max_jury then begin
-        let exact_jq =
-          Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs)
-        in
-        Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
-      end
-      else
-        Printf.eprintf "skipping exact (n > %d): enumeration is exponential\n"
-          Jq.Exact.max_jury
-    end;
-    Printf.printf "JQ under MV:       %.6f\n" (Jq.Mv_closed.jq ~alpha ~qualities:qs)
+  let run file qualities alpha prior buckets exact =
+    let task = task_of ~alpha ~prior in
+    match (file, qualities) with
+    | Some path, _ -> jq_pool ~path ~task ~buckets ~exact
+    | None, Some qualities ->
+        jq_inline ~qualities ~alpha:(binary_alpha task) ~buckets ~exact
+    | None, None -> failwith "provide --qualities or --file"
+  in
+  let qualities_opt =
+    let doc = "Comma-separated worker qualities, e.g. 0.9,0.6,0.6." in
+    Arg.(value & opt (some string) None & info [ "q"; "qualities" ] ~doc)
   in
   let exact =
-    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact JQ (n <= 20).")
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Also compute the exact JQ by enumeration (binary: n <= 20; \
+             multi-class: l^n within the enumeration cap).")
   in
   Cmd.v
-    (Cmd.info "jq" ~doc:"Compute the Jury Quality of a quality vector.")
-    Term.(const run $ qualities_arg $ alpha_arg $ buckets_arg $ exact)
+    (Cmd.info "jq" ~doc:"Compute the Jury Quality of a pool or quality vector.")
+    Term.(
+      const run $ file_arg $ qualities_opt $ alpha_arg $ prior_arg $ buckets_arg
+      $ exact)
 
 (* ---- select ------------------------------------------------------- *)
 
@@ -76,10 +166,6 @@ let pool_of qualities costs =
        (fun id (q, c) -> Workers.Worker.make ~id ~quality:q ~cost:c ())
        (List.combine qs cs))
 
-let file_arg =
-  let doc = "Load the worker pool from a CSV file (name,quality,cost)." in
-  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc)
-
 let select_cmd =
   let qualities_opt =
     Arg.(value & opt (some string) None & info [ "q"; "qualities" ] ~doc:"Worker qualities.")
@@ -87,26 +173,38 @@ let select_cmd =
   let costs_opt =
     Arg.(value & opt (some string) None & info [ "c"; "costs" ] ~doc:"Worker costs.")
   in
-  let run file qualities costs alpha budget seed =
-    let pool =
+  let run file qualities costs alpha prior budget seed =
+    let epool =
       match (file, qualities, costs) with
-      | Some path, _, _ -> Workers.Pool_io.load path
-      | None, Some q, Some c -> pool_of q c
+      | Some path, _, _ -> epool_of_doc (Workers.Pool_io.load_doc path)
+      | None, Some q, Some c -> Engine.Pool.of_workers (pool_of q c)
       | None, _, _ -> failwith "provide --file or both --qualities and --costs"
     in
+    let task = task_of ~alpha ~prior in
+    check_labels task epool;
     let rng = Prob.Rng.create seed in
-    let result = Optjs.select_jury ~rng ~alpha ~budget pool in
-    Format.printf "jury: %a@." Workers.Pool.pp result.Jsp.Solver.jury;
+    let result =
+      match Engine.Pool.repr epool with
+      | Engine.Pool.Binary pool ->
+          (* The binary stack's full portfolio: special cases, annealing
+             and greedy sweeps — exactly what `select` always ran. *)
+          Jsp.Solver.map_jury Engine.Pool.of_workers
+            (Optjs.select_jury ~rng ~alpha:(Engine.Task.alpha task) ~budget
+               pool)
+      | Engine.Pool.Matrix _ ->
+          Jsp.Annealing.solve_engine ~rng ~task ~budget epool
+    in
+    Format.printf "jury: %a@." Engine.Pool.pp result.Jsp.Solver.jury;
     Printf.printf "estimated JQ: %.6f\ncost: %g (budget %g)\n"
       result.Jsp.Solver.score
-      (Workers.Pool.total_cost result.Jsp.Solver.jury)
+      (Engine.Pool.total_cost result.Jsp.Solver.jury)
       budget
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Solve JSP for an inline or CSV-loaded worker list.")
     Term.(
-      const run $ file_arg $ qualities_opt $ costs_opt $ alpha_arg $ budget_arg
-      $ seed_arg)
+      const run $ file_arg $ qualities_opt $ costs_opt $ alpha_arg $ prior_arg
+      $ budget_arg $ seed_arg)
 
 (* ---- table -------------------------------------------------------- *)
 
@@ -124,32 +222,51 @@ let table_cmd =
   let costs_opt =
     Arg.(value & opt (some string) None & info [ "c"; "costs" ] ~doc:"Worker costs.")
   in
-  let run figure1 file qualities costs alpha budgets seed =
-    let pool =
-      if figure1 then Workers.Generator.figure1_pool ()
+  let run figure1 file qualities costs alpha prior budgets seed =
+    let epool =
+      if figure1 then Engine.Pool.of_workers (Workers.Generator.figure1_pool ())
       else
         match (file, qualities, costs) with
-        | Some path, _, _ -> Workers.Pool_io.load path
-        | None, Some q, Some c -> pool_of q c
+        | Some path, _, _ -> epool_of_doc (Workers.Pool_io.load_doc path)
+        | None, Some q, Some c -> Engine.Pool.of_workers (pool_of q c)
         | None, _, _ ->
             failwith "provide --figure1, --file, or both --qualities and --costs"
     in
+    let task = task_of ~alpha ~prior in
+    check_labels task epool;
     let budgets = parse_floats budgets in
-    let table =
-      if Workers.Pool.size pool <= Jsp.Enumerate.max_pool then
-        Jsp.Table.build ~budgets pool ~solve:(fun ~budget pool ->
-            Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha ~budget pool)
-      else
-        let rng = Prob.Rng.create seed in
-        Optjs.budget_quality_table ~rng ~alpha ~budgets pool
-    in
-    Format.printf "%a" Jsp.Table.pp table
+    match Engine.Pool.repr epool with
+    | Engine.Pool.Binary pool ->
+        let alpha = Engine.Task.alpha task in
+        let table =
+          if Workers.Pool.size pool <= Jsp.Enumerate.max_pool then
+            Jsp.Table.build ~budgets pool ~solve:(fun ~budget pool ->
+                Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha ~budget pool)
+          else
+            let rng = Prob.Rng.create seed in
+            Optjs.budget_quality_table ~rng ~alpha ~budgets pool
+        in
+        Format.printf "%a" Jsp.Table.pp table
+    | Engine.Pool.Matrix _ ->
+        List.iter
+          (fun budget ->
+            let result =
+              Jsp.Annealing.solve_engine
+                ~rng:(Prob.Rng.create seed) ~task ~budget epool
+            in
+            let jury = result.Jsp.Solver.jury in
+            Printf.printf "%g | {%s} | %.1f%% | %g\n" budget
+              (String.concat ", "
+                 (List.map string_of_int (Engine.Pool.ids jury)))
+              (100. *. result.Jsp.Solver.score)
+              (Engine.Pool.total_cost jury))
+          budgets
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Print a budget-quality table (Figure 1).")
     Term.(
       const run $ figure1 $ file_arg $ qualities_opt $ costs_opt $ alpha_arg
-      $ budgets_arg $ seed_arg)
+      $ prior_arg $ budgets_arg $ seed_arg)
 
 (* ---- expt --------------------------------------------------------- *)
 
@@ -378,12 +495,12 @@ let serve_cmd =
     in
     (match file with
     | Some path ->
-        let pool = Workers.Pool_io.load path in
+        let pool = epool_of_doc (Workers.Pool_io.load_doc path) in
         ignore
           (Serve.Registry.upsert (Serve.Service.registry service) ~name:"default"
              pool);
-        Printf.printf "loaded pool 'default' (%d workers) from %s\n"
-          (Workers.Pool.size pool) path
+        Printf.printf "loaded pool 'default' (%d workers, %d labels) from %s\n"
+          (Engine.Pool.size pool) (Engine.Pool.labels pool) path
     | None -> ());
     let server = Serve.Server.create ~port service in
     Printf.printf "optjs serve: listening on 127.0.0.1:%d (%d domains, queue %d)\n%!"
@@ -472,29 +589,72 @@ let loadgen_cmd =
           ~doc:"Weighted request mix over jq, jqpool, select, table.")
   in
   let pool_size_arg =
-    Arg.(value & opt int 40 & info [ "pool-size" ] ~doc:"Synthetic pool size.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool-size" ]
+          ~doc:
+            "Synthetic pool size (default 40, or 12 for matrix pools — \
+             tuple-key scoring grows steeply in the jury size).")
+  in
+  let labels_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "labels" ]
+          ~doc:
+            "Task labels: 2 registers a scalar pool, more a \
+             confusion-matrix pool (and prior-vector requests).")
   in
   let lg_budget_arg =
-    Arg.(value & opt float 12. & info [ "b"; "budget" ] ~doc:"Budget for select/table requests.")
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "b"; "budget" ]
+          ~doc:
+            "Budget for select/table requests (default 12, or 6 for \
+             matrix pools).")
   in
-  let run host port connections duration mix pool_size budget seed =
+  let run host port connections duration mix pool_size labels budget seed =
     if connections <= 0 then failwith "connections must be positive";
     if duration <= 0. then failwith "duration must be positive";
+    if labels < 2 then failwith "labels must be at least 2";
+    let pool_size =
+      match pool_size with Some n -> n | None -> if labels = 2 then 40 else 12
+    in
+    let budget =
+      match budget with Some b -> b | None -> if labels = 2 then 12. else 6.
+    in
     let mix = lg_mix_parse mix in
     let kinds =
       Array.concat
         (List.map (fun (kind, w) -> Array.make w kind) mix)
     in
     let pool_name = "loadgen" in
+    let pool_prior = List.init labels (fun _ -> 1. /. float_of_int labels) in
     (* One-time setup on its own connection: register the target pool. *)
     let pool =
       Workers.Generator.gaussian_pool (Prob.Rng.create seed)
         Workers.Generator.default pool_size
     in
     let workers =
-      List.map
-        (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
-        (Workers.Pool.to_list pool)
+      if labels = 2 then
+        List.map
+          (fun w ->
+            Serve.Wire.Scalar (Workers.Worker.quality w, Workers.Worker.cost w))
+          (Workers.Pool.to_list pool)
+      else
+        (* Reuse the scalar generator's qualities as diagonals: each worker
+           votes the truth with its quality and spreads the rest evenly. *)
+        List.map
+          (fun w ->
+            let d = Workers.Worker.quality w in
+            let off = (1. -. d) /. float_of_int (labels - 1) in
+            let matrix =
+              Array.init labels (fun j ->
+                  Array.init labels (fun v -> if j = v then d else off))
+            in
+            Serve.Wire.Matrix_row (matrix, Workers.Worker.cost w))
+          (Workers.Pool.to_list pool)
     in
     (let fd, ic, oc = lg_connect host port in
      (match
@@ -508,20 +668,21 @@ let loadgen_cmd =
      Unix.close fd);
     let request_of rng = function
       | "jq" ->
+          (* Inline qualities are the binary model whatever the pool. *)
           let qs =
             List.init 5 (fun _ -> 0.5 +. Prob.Rng.float rng 0.45)
           in
           Serve.Wire.Jq
             {
               source = Serve.Wire.Inline qs;
-              alpha = 0.5;
+              prior = Serve.Wire.default_prior;
               num_buckets = Jq.Bucket.default_num_buckets;
             }
       | "jqpool" ->
           Serve.Wire.Jq
             {
               source = Serve.Wire.Named pool_name;
-              alpha = 0.5;
+              prior = pool_prior;
               num_buckets = Jq.Bucket.default_num_buckets;
             }
       | "select" ->
@@ -529,7 +690,7 @@ let loadgen_cmd =
             {
               pool = pool_name;
               budget;
-              alpha = 0.5;
+              prior = pool_prior;
               seed = Prob.Rng.int rng 16;
             }
       | "table" ->
@@ -537,7 +698,7 @@ let loadgen_cmd =
             {
               pool = pool_name;
               budgets = [ budget /. 2.; budget ];
-              alpha = 0.5;
+              prior = pool_prior;
               seed = Prob.Rng.int rng 16;
             }
       | _ -> assert false
@@ -628,7 +789,8 @@ let loadgen_cmd =
        ~doc:"Closed-loop load generator for the serve daemon.")
     Term.(
       const run $ host_arg $ port_arg ~default:7071 $ connections_arg
-      $ duration_arg $ mix_arg $ pool_size_arg $ lg_budget_arg $ seed_arg)
+      $ duration_arg $ mix_arg $ pool_size_arg $ labels_arg $ lg_budget_arg
+      $ seed_arg)
 
 (* ---- amt ---------------------------------------------------------- *)
 

@@ -112,5 +112,5 @@ let () =
     "  task 0: JSP over its %d answerers at budget 0.25 -> %d-worker jury, \
      estimated JQ %.4f@."
     (Array.length candidates)
-    (Array.length selected.Jsp.Multi_jsp.jury)
-    selected.Jsp.Multi_jsp.score
+    (Array.length selected.Jsp.Solver.jury)
+    selected.Jsp.Solver.score

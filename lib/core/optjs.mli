@@ -39,7 +39,7 @@ val select_jury :
   alpha:float ->
   budget:float ->
   Workers.Pool.t ->
-  Jsp.Solver.result
+  Workers.Pool.t Jsp.Solver.result
 (** Solve JSP for BV: the Lemma-1/2 fast paths when they apply, otherwise
     the best of simulated annealing (Algorithms 3–4) and the greedy seeds.
     The returned jury is always feasible. *)
@@ -49,7 +49,7 @@ val select_jury_exact :
   alpha:float ->
   budget:float ->
   Workers.Pool.t ->
-  Jsp.Solver.result
+  Workers.Pool.t Jsp.Solver.result
 (** Exhaustive JSP (pools of ≤ {!Jsp.Enumerate.max_pool}). *)
 
 val budget_quality_table :

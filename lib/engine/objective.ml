@@ -1,0 +1,46 @@
+type t = { name : string; score : task:Task.t -> Pool.t -> float }
+
+let name t = t.name
+let score t = t.score
+
+let check_labels ~what ~task pool =
+  if Pool.labels pool <> Task.labels task then
+    invalid_arg
+      (Printf.sprintf "%s: pool has %d labels but task has %d" what
+         (Pool.labels pool) (Task.labels task))
+
+let bv_bucket ?num_buckets () =
+  {
+    name = "BV/bucket";
+    score =
+      (fun ~task pool ->
+        if Pool.is_empty pool then Task.empty_score task
+        else begin
+          check_labels ~what:"Engine.Objective.bv_bucket" ~task pool;
+          match Pool.repr pool with
+          | Pool.Binary p ->
+              Jq.Bucket.estimate ?num_buckets ~alpha:(Task.alpha task)
+                (Workers.Pool.qualities p)
+          | Pool.Matrix jury ->
+              Jq.Multiclass_jq.estimate_bv ?num_buckets ~prior:(Task.prior task)
+                jury
+        end);
+  }
+
+let bv_exact =
+  {
+    name = "BV/exact";
+    score =
+      (fun ~task pool ->
+        if Pool.is_empty pool then Task.empty_score task
+        else begin
+          check_labels ~what:"Engine.Objective.bv_exact" ~task pool;
+          match Pool.repr pool with
+          | Pool.Binary p ->
+              Jq.Exact.jq_optimal ~alpha:(Task.alpha task)
+                ~qualities:(Workers.Pool.qualities p)
+          | Pool.Matrix jury ->
+              Jq.Multiclass_jq.jq_exact Voting.Multiclass.bayesian
+                ~prior:(Task.prior task) ~jury
+        end);
+  }

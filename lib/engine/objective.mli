@@ -1,0 +1,26 @@
+(** Model-polymorphic JQ objectives.
+
+    One objective scores any {!Pool} under any {!Task}, dispatching on the
+    pool's representation: [Binary] pools go through the dense binary stack
+    ({!Jq.Bucket.estimate} / {!Jq.Exact.jq_optimal}, bitwise identical to
+    {!Jsp.Objective}'s scores), [Matrix] pools through §7's tuple-key
+    machinery ({!Jq.Multiclass_jq}).  Empty juries score
+    {!Task.empty_score} in either representation. *)
+
+type t
+
+val name : t -> string
+val score : t -> task:Task.t -> Pool.t -> float
+
+val bv_bucket : ?num_buckets:int -> unit -> t
+(** JQ under Bayesian Voting by the bucket approximation — Algorithm 1 for
+    binary pools, the ℓ-tuple-key generalization for matrix pools.
+    [num_buckets] defaults to {!Jq.Bucket.default_num_buckets}.
+    @raise Invalid_argument when a non-empty pool's label count differs
+    from the task's. *)
+
+val bv_exact : t
+(** Exact JQ under BV by enumeration — 2^n votings for binary pools
+    (juries of ≤ {!Jq.Exact.max_jury}), ℓ^n for matrix pools (bounded by
+    {!Voting.Multiclass.enumeration_cap}).
+    @raise Invalid_argument beyond those limits or on a label mismatch. *)

@@ -1,0 +1,42 @@
+type t = { labels : int; prior : float array }
+
+let make ~prior =
+  let l = Array.length prior in
+  if l < 2 then invalid_arg "Task.make: need at least 2 labels";
+  Array.iter
+    (fun p ->
+      if p < 0. || p > 1. || Float.is_nan p then
+        invalid_arg "Task.make: prior entry outside [0, 1]")
+    prior;
+  if Float.abs (Prob.Kahan.sum_array prior -. 1.) > 1e-9 then
+    invalid_arg "Task.make: prior does not sum to 1";
+  { labels = l; prior = Array.copy prior }
+
+let binary ~alpha =
+  if alpha < 0. || alpha > 1. || Float.is_nan alpha then
+    invalid_arg "Task.binary: alpha outside [0, 1]";
+  { labels = 2; prior = [| alpha; 1. -. alpha |] }
+
+let labels t = t.labels
+let prior t = Array.copy t.prior
+let is_binary t = t.labels = 2
+
+let alpha t =
+  if t.labels <> 2 then invalid_arg "Task.alpha: not a binary task";
+  t.prior.(0)
+
+let empty_score t = Array.fold_left Float.max 0. t.prior
+
+let equal a b =
+  a.labels = b.labels && Array.for_all2 Float.equal a.prior b.prior
+
+let fingerprint t =
+  (* Bit-exact: two tasks fingerprint equally iff they score equally. *)
+  String.concat ","
+    (Array.to_list
+       (Array.map (fun p -> Printf.sprintf "%Lx" (Int64.bits_of_float p)) t.prior))
+
+let pp ppf t =
+  Format.fprintf ppf "task(l=%d, prior=[%s])" t.labels
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%g") t.prior)))

@@ -1,0 +1,44 @@
+(** Task model: ℓ labels and a prior distribution over them.
+
+    The paper's binary task (§2, prior α = Pr(t = 0)) is the ℓ = 2
+    specialization; §7's multi-choice task carries an ℓ-vector prior.  A
+    task says nothing about workers — pair it with an {!Pool} whose worker
+    model matches (scalar qualities for ℓ = 2, confusion matrices for any
+    ℓ). *)
+
+type t
+(** An immutable task model: a label count ℓ ≥ 2 and a prior vector. *)
+
+val make : prior:float array -> t
+(** Validates: ≥ 2 entries, each in [0, 1], summing to 1 (±1e-9).  The
+    array is copied.  @raise Invalid_argument on violations. *)
+
+val binary : alpha:float -> t
+(** The classic binary task: prior [α; 1 − α].
+    @raise Invalid_argument when α lies outside [0, 1]. *)
+
+val labels : t -> int
+(** Number of labels ℓ. *)
+
+val prior : t -> float array
+(** Copy of the prior vector. *)
+
+val is_binary : t -> bool
+(** ℓ = 2. *)
+
+val alpha : t -> float
+(** Pr(t = 0) of a binary task — the first prior entry.
+    @raise Invalid_argument when ℓ ≠ 2. *)
+
+val empty_score : t -> float
+(** JQ of the empty jury: max prior entry (guess the mode).  For a task
+    built by {!binary} this equals the binary stack's
+    [Float.max alpha (1. -. alpha)] bitwise. *)
+
+val equal : t -> t -> bool
+
+val fingerprint : t -> string
+(** Bit-exact textual digest of the prior, for cache keys: two tasks
+    fingerprint equally iff every objective scores them equally. *)
+
+val pp : Format.formatter -> t -> unit

@@ -364,9 +364,9 @@ let multiclass_solvers ?(config = Config.default) () =
                 Jsp.Multi_jsp.greedy ~num_buckets:config.num_buckets ~prior
                   ~budget candidates
               in
-              ( exact.Jsp.Multi_jsp.score,
-                annealed.Jsp.Multi_jsp.score,
-                greedy.Jsp.Multi_jsp.score ))
+              ( exact.Jsp.Solver.score,
+                annealed.Jsp.Solver.score,
+                greedy.Jsp.Solver.score ))
         in
         [
           Printf.sprintf "%.2f" budget;

@@ -7,19 +7,28 @@
    parallel and [Parallel.map] keeps results in seed order — the outcome is
    bit-identical whatever the domain count. *)
 
-type outcome = {
-  best : Jsp.Solver.result;
-  seed : int;                       (* The seed that produced [best]. *)
-  runs : Jsp.Solver.result list;    (* Per-seed results, in seed order. *)
+type 'jury outcome = {
+  best : 'jury Jsp.Solver.result;
+  seed : int;                            (* The seed that produced [best]. *)
+  runs : 'jury Jsp.Solver.result list;   (* Per-seed results, in seed order. *)
 }
 
 let cache_totals runs =
   List.fold_left
-    (fun acc (r : Jsp.Solver.result) ->
+    (fun acc (r : _ Jsp.Solver.result) ->
       match r.cache with
       | None -> acc
       | Some s -> Some (Jsp.Objective_cache.merge_stats (Option.value acc ~default:Jsp.Objective_cache.empty_stats) s))
     None runs
+
+let best_of ~seeds runs =
+  let best, seed =
+    List.fold_left2
+      (fun (b, bs) r s -> if r.Jsp.Solver.score > b.Jsp.Solver.score then (r, s) else (b, bs))
+      (List.hd runs, List.hd seeds)
+      (List.tl runs) (List.tl seeds)
+  in
+  { best; seed; runs }
 
 let run ?domains ?params ?cache ~seeds ~alpha ~budget objective pool =
   if seeds = [] then invalid_arg "Restarts.run: no seeds";
@@ -28,14 +37,7 @@ let run ?domains ?params ?cache ~seeds ~alpha ~budget objective pool =
     Jsp.Annealing.solve_incremental ?params ?cache objective ~rng ~alpha
       ~budget pool
   in
-  let runs = Parallel.map ?domains solve seeds in
-  let best, seed =
-    List.fold_left2
-      (fun (b, bs) r s -> if r.Jsp.Solver.score > b.Jsp.Solver.score then (r, s) else (b, bs))
-      (List.hd runs, List.hd seeds)
-      (List.tl runs) (List.tl seeds)
-  in
-  { best; seed; runs }
+  best_of ~seeds (Parallel.map ?domains solve seeds)
 
 let run_optjs ?domains ?params ?num_buckets ?cache ~seeds ~alpha ~budget pool =
   run ?domains ?params ?cache ~seeds ~alpha ~budget
@@ -45,6 +47,25 @@ let run_optjs ?domains ?params ?num_buckets ?cache ~seeds ~alpha ~budget pool =
 let run_mvjs ?domains ?params ?cache ~seeds ~alpha ~budget pool =
   run ?domains ?params ?cache ~seeds ~alpha ~budget
     Jsp.Objective.mv_closed_incremental pool
+
+let run_engine ?domains ?params ?num_buckets ?cache ~seeds ~task ~budget epool =
+  if seeds = [] then invalid_arg "Restarts.run_engine: no seeds";
+  let solve seed =
+    let rng = Prob.Rng.create seed in
+    Jsp.Annealing.solve_engine ?params ?num_buckets ?cache ~rng ~task ~budget
+      epool
+  in
+  best_of ~seeds (Parallel.map ?domains solve seeds)
+
+let run_multi ?domains ?params ?num_buckets ?cache ~seeds ~prior ~budget
+    candidates =
+  if seeds = [] then invalid_arg "Restarts.run_multi: no seeds";
+  let solve seed =
+    let rng = Prob.Rng.create seed in
+    Jsp.Multi_jsp.anneal ?params ?num_buckets ?cache ~rng ~prior ~budget
+      candidates
+  in
+  best_of ~seeds (Parallel.map ?domains solve seeds)
 
 let seeds_from ~seed ~restarts =
   if restarts <= 0 then invalid_arg "Restarts.seeds_from: restarts <= 0";

@@ -4,12 +4,15 @@
     best jury dominates any single run.  Restarts are independent (each
     owns its RNG, incremental accumulator and score cache), so they fan out
     over {!Parallel.map}; results come back in seed order and the outcome
-    is bit-identical whatever the domain count. *)
+    is bit-identical whatever the domain count.  The outcome is polymorphic
+    in the jury representation, so binary, engine-level and multi-class
+    solvers share it. *)
 
-type outcome = {
-  best : Jsp.Solver.result;        (** Highest-scoring restart. *)
-  seed : int;                      (** The seed that produced it. *)
-  runs : Jsp.Solver.result list;   (** All per-seed results, in seed order. *)
+type 'jury outcome = {
+  best : 'jury Jsp.Solver.result;        (** Highest-scoring restart. *)
+  seed : int;                            (** The seed that produced it. *)
+  runs : 'jury Jsp.Solver.result list;
+      (** All per-seed results, in seed order. *)
 }
 
 val run :
@@ -21,7 +24,7 @@ val run :
   budget:Jsp.Budget.t ->
   Jsp.Objective.Incremental.t ->
   Workers.Pool.t ->
-  outcome
+  Workers.Pool.t outcome
 (** One {!Jsp.Annealing.solve_incremental} per seed, best kept (score ties
     go to the earlier seed).  [domains] defaults to 1 (sequential).
     @raise Invalid_argument when [seeds] is empty. *)
@@ -35,7 +38,7 @@ val run_optjs :
   alpha:float ->
   budget:Jsp.Budget.t ->
   Workers.Pool.t ->
-  outcome
+  Workers.Pool.t outcome
 (** {!run} over {!Jsp.Objective.bv_bucket_incremental}. *)
 
 val run_mvjs :
@@ -46,10 +49,36 @@ val run_mvjs :
   alpha:float ->
   budget:Jsp.Budget.t ->
   Workers.Pool.t ->
-  outcome
+  Workers.Pool.t outcome
 (** {!run} over {!Jsp.Objective.mv_closed_incremental}. *)
 
-val cache_totals : Jsp.Solver.result list -> Jsp.Objective_cache.stats option
+val run_engine :
+  ?domains:int ->
+  ?params:Jsp.Annealing.params ->
+  ?num_buckets:int ->
+  ?cache:bool ->
+  seeds:int list ->
+  task:Engine.Task.t ->
+  budget:Jsp.Budget.t ->
+  Engine.Pool.t ->
+  Engine.Pool.t outcome
+(** One {!Jsp.Annealing.solve_engine} per seed — restarts for any worker
+    model.  @raise Invalid_argument when [seeds] is empty. *)
+
+val run_multi :
+  ?domains:int ->
+  ?params:Jsp.Annealing.params ->
+  ?num_buckets:int ->
+  ?cache:bool ->
+  seeds:int list ->
+  prior:float array ->
+  budget:Jsp.Budget.t ->
+  Workers.Confusion.t array ->
+  Workers.Confusion.t array outcome
+(** One {!Jsp.Multi_jsp.anneal} per seed over confusion-matrix candidates.
+    @raise Invalid_argument when [seeds] is empty. *)
+
+val cache_totals : 'jury Jsp.Solver.result list -> Jsp.Objective_cache.stats option
 (** Pointwise sum of the runs' cache counters ([None] when no run cached). *)
 
 val seeds_from : seed:int -> restarts:int -> int list

@@ -20,12 +20,15 @@ let validate_params p =
   if p.cooling <= 1. then invalid_arg "Annealing: cooling <= 1";
   if p.t_initial < p.epsilon then invalid_arg "Annealing: t_initial < epsilon"
 
-(* Mutable search state over the candidate pool.  [idx] is a permutation of
-   worker indices with the selected ones occupying the prefix [0, n_sel);
-   [pos] is its inverse.  A uniformly random selected (or unselected)
-   partner is then one array read — the hot loop allocates nothing. *)
-type state = {
-  workers : Workers.Worker.t array;
+(* Mutable search state over the candidate pool, polymorphic in the jury
+   representation: the schedule only needs member costs and a way to
+   materialize the selected subset.  [idx] is a permutation of worker
+   indices with the selected ones occupying the prefix [0, n_sel); [pos] is
+   its inverse.  A uniformly random selected (or unselected) partner is
+   then one array read — the hot loop allocates nothing. *)
+type 'jury state = {
+  costs : float array;
+  materialize : bool array -> 'jury;
   selected : bool array;
   idx : int array;
   pos : int array;
@@ -35,10 +38,11 @@ type state = {
   mutable evaluations : int;
 }
 
-let make_state workers =
-  let n = Array.length workers in
+let make_state ~costs ~materialize =
+  let n = Array.length costs in
   {
-    workers;
+    costs;
+    materialize;
     selected = Array.make n false;
     idx = Array.init n Fun.id;
     pos = Array.init n Fun.id;
@@ -71,30 +75,22 @@ let random_selected st rng =
   if st.n_sel = 0 then None else Some st.idx.(Prob.Rng.int rng st.n_sel)
 
 let random_unselected st rng =
-  let m = Array.length st.workers - st.n_sel in
+  let m = Array.length st.costs - st.n_sel in
   if m = 0 then None else Some st.idx.(st.n_sel + Prob.Rng.int rng m)
 
-let cost st i = Workers.Worker.cost st.workers.(i)
-let quality st i = Workers.Worker.quality st.workers.(i)
+let cost st i = st.costs.(i)
 
 (* Materialized juries are only built off the hot path: at the initial
    evaluation, on cache misses, and when a new best is remembered. *)
-let current_jury st =
-  let members = ref [] in
-  for i = Array.length st.workers - 1 downto 0 do
-    if st.selected.(i) then members := st.workers.(i) :: !members
-  done;
-  Workers.Pool.of_list !members
+let current_jury st = st.materialize st.selected
 
 let jury_without_with st ~out ~into =
-  let members = ref [] in
-  for i = Array.length st.workers - 1 downto 0 do
-    let keep = if i = out then false else if i = into then true else st.selected.(i) in
-    if keep then members := st.workers.(i) :: !members
-  done;
-  Workers.Pool.of_list !members
+  let flags = Array.copy st.selected in
+  flags.(out) <- false;
+  flags.(into) <- true;
+  st.materialize flags
 
-(* The annealing schedule of Algorithm 3, shared by both engines.
+(* The annealing schedule of Algorithm 3, shared by every engine.
    [score_current] scores the selection just after a state change;
    [probe_swap] returns the candidate score of flipping (out, into) plus
    whether the scorer already mutated itself to that state (incremental
@@ -102,7 +98,7 @@ let jury_without_with st ~out ~into =
    the accept/reject decision. *)
 let run params st ~rng ~budget ~score_current ~probe_swap ~commit_add
     ~commit_swap ~undo_probe =
-  let n = Array.length st.workers in
+  let n = Array.length st.costs in
   st.score <- score_current ();
   let best_jury = ref (current_jury st) in
   let best_score = ref st.score in
@@ -160,22 +156,49 @@ let run params st ~rng ~budget ~score_current ~probe_swap ~commit_add
   else (current_jury st, st.score)
 
 (* A caller-owned memo table ([?memo]) survives across solves — a serving
-   executor shares one per (pool, alpha, objective) so repeated queries hit
-   a warm table.  It must have been created with [~n:(Pool.size pool)] and
-   only ever be shared across solves whose objective values per selection
-   agree (same pool order, alpha and objective). *)
+   executor shares one so repeated queries hit a warm table.  It must have
+   been created with [~n:(Pool.size pool)].  Every solve salts its keys
+   with a digest of (objective, task, budget, RNG state), so solves that
+   could disagree on a selection's score occupy disjoint key spaces and
+   sharing is safe by construction. *)
 let memo_table ~cache ~memo ~n =
   match memo with
   | Some _ as m -> m
   | None -> if cache then Some (Objective_cache.create ~n ()) else None
+
+(* The salt must be derived before the schedule draws from [rng]:
+   [Rng.fingerprint] identifies the whole future stream, so together with
+   the objective, the task scope and the budget it pins every input the
+   solve's (selection -> score) map and trajectory depend on. *)
+let solve_salt ~objective ~scope ~budget ~rng =
+  Digest.string
+    (Printf.sprintf "%s|%s|%Lx|%s" objective scope
+       (Int64.bits_of_float budget)
+       (Prob.Rng.fingerprint rng))
+
+let alpha_scope ~alpha = Printf.sprintf "a%Lx" (Int64.bits_of_float alpha)
+
+let binary_materialize workers flags =
+  let members = ref [] in
+  for i = Array.length workers - 1 downto 0 do
+    if flags.(i) then members := workers.(i) :: !members
+  done;
+  Workers.Pool.of_list !members
 
 let solve ?(params = default_params) ?(cache = false) ?memo
     (objective : Objective.t) ~rng ~alpha ~budget pool =
   Budget.validate budget;
   validate_params params;
   let workers = Workers.Pool.to_array pool in
-  let st = make_state workers in
+  let st =
+    make_state
+      ~costs:(Array.map Workers.Worker.cost workers)
+      ~materialize:(binary_materialize workers)
+  in
   let memo = memo_table ~cache ~memo ~n:(Array.length workers) in
+  let salt =
+    solve_salt ~objective:objective.name ~scope:(alpha_scope ~alpha) ~budget ~rng
+  in
   let eval jury =
     st.evaluations <- st.evaluations + 1;
     objective.score ~alpha jury
@@ -186,11 +209,13 @@ let solve ?(params = default_params) ?(cache = false) ?memo
     | Some c -> Objective_cache.find_or_eval c (key_of c) (fun () -> eval (jury_of ()))
   in
   let score_current () =
-    memoized (fun c -> Objective_cache.key c st.selected) (fun () -> current_jury st)
+    memoized
+      (fun c -> Objective_cache.key ~salt c st.selected)
+      (fun () -> current_jury st)
   in
   let probe_swap ~out ~into =
     ( memoized
-        (fun c -> Objective_cache.key_swapped c st.selected ~out ~into)
+        (fun c -> Objective_cache.key_swapped ~salt c st.selected ~out ~into)
         (fun () -> jury_without_with st ~out ~into),
       false )
   in
@@ -212,8 +237,17 @@ let solve_incremental ?(params = default_params) ?(cache = true) ?memo
   Budget.validate budget;
   validate_params params;
   let workers = Workers.Pool.to_array pool in
-  let st = make_state workers in
+  let st =
+    make_state
+      ~costs:(Array.map Workers.Worker.cost workers)
+      ~materialize:(binary_materialize workers)
+  in
+  let quality i = Workers.Worker.quality workers.(i) in
   let memo = memo_table ~cache ~memo ~n:(Array.length workers) in
+  let salt =
+    solve_salt ~objective:inc.Objective.Incremental.name
+      ~scope:(alpha_scope ~alpha) ~budget ~rng
+  in
   let acc = inc.Objective.Incremental.init ~alpha in
   let eval () =
     st.evaluations <- st.evaluations + 1;
@@ -224,13 +258,14 @@ let solve_incremental ?(params = default_params) ?(cache = true) ?memo
      (that is how the candidate is scored at all), and the accept/reject
      outcome either keeps the mutation or rolls it back. *)
   let mutate_to ~out ~into =
-    acc.Objective.Incremental.remove (quality st out);
-    acc.Objective.Incremental.add (quality st into)
+    acc.Objective.Incremental.remove (quality out);
+    acc.Objective.Incremental.add (quality into)
   in
   let score_current () =
     match memo with
     | None -> eval ()
-    | Some c -> Objective_cache.find_or_eval c (Objective_cache.key c st.selected) eval
+    | Some c ->
+        Objective_cache.find_or_eval c (Objective_cache.key ~salt c st.selected) eval
   in
   let probe_swap ~out ~into =
     match memo with
@@ -238,7 +273,7 @@ let solve_incremental ?(params = default_params) ?(cache = true) ?memo
         mutate_to ~out ~into;
         (eval (), true)
     | Some c ->
-        let key = Objective_cache.key_swapped c st.selected ~out ~into in
+        let key = Objective_cache.key_swapped ~salt c st.selected ~out ~into in
         let mutated = ref false in
         let v =
           Objective_cache.find_or_eval c key (fun () ->
@@ -250,7 +285,7 @@ let solve_incremental ?(params = default_params) ?(cache = true) ?memo
   in
   let jury, _incr_score =
     run params st ~rng ~budget ~score_current ~probe_swap
-      ~commit_add:(fun r -> acc.Objective.Incremental.add (quality st r))
+      ~commit_add:(fun r -> acc.Objective.Incremental.add (quality r))
       ~commit_swap:(fun ~out ~into ~mutated ->
         if not mutated then mutate_to ~out ~into)
       ~undo_probe:(fun ~out ~into -> mutate_to ~out:into ~into:out)
@@ -275,3 +310,70 @@ let solve_optjs ?params ?num_buckets ?cache ?memo ~rng ~alpha ~budget pool =
 let solve_mvjs ?params ?cache ?memo ~rng ~alpha ~budget pool =
   solve_incremental ?params ?cache ?memo Objective.mv_closed_incremental ~rng
     ~alpha ~budget pool
+
+(* Matrix pools run the from-scratch schedule against the engine objective
+   with memoization; binary pools fall through to the incremental OPTJS
+   engine — [Engine.Pool.of_confusions] has already lowered ℓ=2 symmetric
+   matrix pools to that representation, so §7 pools pay the tuple-key
+   scorer only when they genuinely need it. *)
+let solve_matrix ~params ~cache ~memo ~num_buckets ~rng ~task ~budget epool =
+  Budget.validate budget;
+  validate_params params;
+  let objective = Engine.Objective.bv_bucket ?num_buckets () in
+  let st =
+    make_state ~costs:(Engine.Pool.costs epool)
+      ~materialize:(Engine.Pool.sub epool)
+  in
+  let memo = memo_table ~cache ~memo ~n:(Engine.Pool.size epool) in
+  let salt =
+    solve_salt
+      ~objective:(Engine.Objective.name objective)
+      ~scope:(Engine.Task.fingerprint task)
+      ~budget ~rng
+  in
+  let eval jury =
+    st.evaluations <- st.evaluations + 1;
+    Engine.Objective.score objective ~task jury
+  in
+  let memoized key_of jury_of =
+    match memo with
+    | None -> eval (jury_of ())
+    | Some c -> Objective_cache.find_or_eval c (key_of c) (fun () -> eval (jury_of ()))
+  in
+  let score_current () =
+    memoized
+      (fun c -> Objective_cache.key ~salt c st.selected)
+      (fun () -> current_jury st)
+  in
+  let probe_swap ~out ~into =
+    ( memoized
+        (fun c -> Objective_cache.key_swapped ~salt c st.selected ~out ~into)
+        (fun () -> jury_without_with st ~out ~into),
+      false )
+  in
+  let jury, score =
+    run params st ~rng ~budget ~score_current ~probe_swap
+      ~commit_add:(fun _ -> ())
+      ~commit_swap:(fun ~out:_ ~into:_ ~mutated:_ -> ())
+      ~undo_probe:(fun ~out:_ ~into:_ -> ())
+  in
+  {
+    Solver.jury;
+    score;
+    evaluations = st.evaluations;
+    cache = Option.map Objective_cache.stats memo;
+  }
+
+let solve_engine ?(params = default_params) ?num_buckets ?(cache = true) ?memo
+    ~rng ~task ~budget epool =
+  match Engine.Pool.repr epool with
+  | Engine.Pool.Binary pool ->
+      if Engine.Task.labels task <> 2 then
+        invalid_arg "Annealing.solve_engine: binary pool under a non-binary task";
+      Solver.map_jury Engine.Pool.of_workers
+        (solve_optjs ~params ?num_buckets ~cache ?memo ~rng
+           ~alpha:(Engine.Task.alpha task) ~budget pool)
+  | Engine.Pool.Matrix _ ->
+      if Engine.Pool.labels epool <> Engine.Task.labels task then
+        invalid_arg "Annealing.solve_engine: pool and task label counts differ";
+      solve_matrix ~params ~cache ~memo ~num_buckets ~rng ~task ~budget epool

@@ -9,16 +9,28 @@
     by Δ is still accepted with probability exp(−Δ/T) (Boltzmann), which
     lets the search escape local optima.
 
-    Two scoring engines share the schedule.  {!solve} evaluates an
+    Scoring engines share the schedule.  {!solve} evaluates an
     {!Objective.t} from scratch per move (the reference engine);
     {!solve_incremental} maintains one {!Objective.Incremental} accumulator
     per search and applies O(state) add/remove deltas per move — the
-    production hot path.  Either can memoize scores on the selection bitset
-    with an {!Objective_cache} ([cache]); caching never changes the search
-    trajectory (the objective is pure and the Boltzmann draw is skipped
-    exactly when it was skipped uncached), so cached runs return
-    bit-identical juries and scores.  Partner picks use O(1) reads of a
-    permutation array — the hot loop allocates nothing. *)
+    production hot path for binary pools.  {!solve_engine} runs against an
+    {!Engine.Pool.t} of either representation, dispatching binary pools to
+    the incremental engine and ℓ-label matrix pools to memoized
+    from-scratch scoring of the §7 tuple-key objective.  Any of them can
+    memoize scores with an {!Objective_cache} ([cache]); caching never
+    changes the search trajectory of the pure-objective engines (the
+    Boltzmann draw is skipped exactly when it was skipped uncached), so
+    cached runs return bit-identical juries and scores.  Partner picks use
+    O(1) reads of a permutation array — the hot loop allocates nothing.
+
+    Every solve prefixes its cache keys with a salt — a digest of
+    (objective name, alpha/prior, budget, RNG state), derived before the
+    first draw — so entries written by solves that could disagree on a
+    selection's score live in disjoint key spaces.  A caller-owned [?memo]
+    is therefore safe to share across arbitrary solves over one pool: a
+    repeat of an earlier (objective, alpha, budget, seed) replays its warm
+    run byte-identically, and any other solve simply cannot observe the
+    foreign entries (they only compete for capacity). *)
 
 type params = {
   t_initial : float;      (** Starting temperature (paper: 1.0). *)
@@ -44,7 +56,7 @@ val solve :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** Run the annealer with from-scratch scoring.  The result is always
     feasible.  Deterministic given the [rng] state; [cache] (default
     [false]) memoizes repeat evaluations without changing the outcome and
@@ -53,11 +65,9 @@ val solve :
     [memo] supplies a caller-owned {!Objective_cache} instead (overriding
     [cache]); it survives the solve, so a long-lived caller — a serving
     executor answering repeated queries against one pool — starts each
-    solve with a warm table.  The cache key is the selection bitset alone:
-    share a table only across solves over the same pool (same order), the
-    same alpha and the same objective (budgets may differ — feasibility is
-    not cached).  [result.cache] then reports the table's cumulative
-    counters.
+    solve with a warm table.  It must have been created with [~n] equal to
+    the pool size; key salting (see above) takes care of everything else.
+    [result.cache] then reports the table's cumulative counters.
     @raise Invalid_argument on invalid budget or params
     (ε ≤ 0, cooling ≤ 1, t_initial ≤ ε), or when a supplied [memo] was
     created for a different pool size. *)
@@ -71,21 +81,18 @@ val solve_incremental :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** Run the annealer with incremental scoring ([cache] defaults to
     [true]).  The returned score is a final from-scratch evaluation of the
     winning jury by the objective's [rescore], so it is directly comparable
     with the other solvers' scores.
 
-    One caveat sharpens [solve]'s [?memo] contract here: incremental
-    objective values are path-dependent at ulp level (add/remove float
-    drift), so an entry computed during one solve can differ in the last
-    bits from what another solve would have computed for the same bitset —
-    enough to flip a Boltzmann accept.  Reusing a [memo] across solves
-    with the {e same} (budget, seed, alpha) replays the warm run
-    byte-identically; sharing across different budgets or seeds keeps
-    scores within the approximation bounds but may return a different
-    (equally feasible) jury than a cold run would. *)
+    Incremental objective values are path-dependent at ulp level
+    (add/remove float drift), so an entry computed during one solve can
+    differ in the last bits from what another solve would have computed for
+    the same bitset — which is exactly why the salt folds the budget and
+    the RNG state in: a warm [?memo] replays the same request
+    byte-identically and is invisible to every other request. *)
 
 val solve_optjs :
   ?params:params ->
@@ -96,7 +103,7 @@ val solve_optjs :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** OPTJS: {!solve_incremental} over the bucket-approximated BV objective
     ({!Objective.bv_bucket_incremental}). *)
 
@@ -108,7 +115,27 @@ val solve_mvjs :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** The MVJS baseline of the experiments: identical search, but the
     objective is JQ under Majority Voting (closed form, maintained as an
     incremental Poisson–binomial pmf), i.e. [7]'s argmax_J JQ(J, MV, α). *)
+
+val solve_engine :
+  ?params:params ->
+  ?num_buckets:int ->
+  ?cache:bool ->
+  ?memo:Objective_cache.t ->
+  rng:Prob.Rng.t ->
+  task:Engine.Task.t ->
+  budget:Budget.t ->
+  Engine.Pool.t ->
+  Engine.Pool.t Solver.result
+(** OPTJS against the task-model engine, for any worker model.  [Binary]
+    pools (including ℓ=2 symmetric matrix pools, which
+    {!Engine.Pool.of_confusions} lowers) run {!solve_optjs} verbatim —
+    same trajectory, same juries, same scores; [Matrix] pools run the same
+    schedule with memoized from-scratch evaluations of
+    {!Engine.Objective.bv_bucket} ([cache] defaults to [true]).  The
+    result's jury preserves the input representation.
+    @raise Invalid_argument when the pool and task label counts differ (or
+    on the parameter violations of {!solve}). *)

@@ -17,7 +17,7 @@ val solve :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** The best feasible jury found.  Always feasible; at least as good as the
     empty jury.  @raise Invalid_argument for width <= 0 or a negative
     budget. *)

@@ -9,7 +9,7 @@ val max_pool : int
 (** Largest pool accepted (20). *)
 
 val solve :
-  Objective.t -> alpha:float -> budget:Budget.t -> Workers.Pool.t -> Solver.result
+  Objective.t -> alpha:float -> budget:Budget.t -> Workers.Pool.t -> Workers.Pool.t Solver.result
 (** The feasible jury with the maximum objective score; among equal scores,
     the cheaper jury wins (then the earlier-enumerated, so results are
     deterministic).  The empty jury is always feasible, so the result is
@@ -20,5 +20,5 @@ val solve_bv :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** [solve] with the bucket-BV objective (OPTJS's exact-search variant). *)

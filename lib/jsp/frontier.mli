@@ -20,7 +20,7 @@ val exact :
     (usually the empty jury).  Deterministic. *)
 
 val sampled :
-  solve:(budget:Budget.t -> Workers.Pool.t -> Solver.result) ->
+  solve:(budget:Budget.t -> Workers.Pool.t -> Workers.Pool.t Solver.result) ->
   budgets:float list ->
   Workers.Pool.t ->
   point list

@@ -1,27 +1,39 @@
-type result = {
-  jury : Workers.Confusion.t array;
-  score : float;
-  evaluations : int;
-}
+(* Multi-class jury selection as a thin wrapper over the engine: candidates
+   become an [Engine.Pool.t] (ℓ=2 symmetric pools lower to the binary fast
+   path), annealing is [Annealing.solve_engine], and every entry point
+   returns the shared ['jury Solver.result] contract. *)
 
 let jury_cost jury =
   Prob.Kahan.sum_array (Array.map Workers.Confusion.cost jury)
 
-(* The empty multi-class jury: BV answers the prior's argmax. *)
-let empty_score prior = Array.fold_left Float.max 0. prior
+let task_of ~prior = Engine.Task.make ~prior
 
-let make_objective ?num_buckets ~prior counter =
+(* Map an engine jury back onto the caller's candidate structs.  [Matrix]
+   juries are subsets of the original array already; lowered [Binary]
+   juries carry the original ids, which resolve against the candidates
+   (first binding wins on duplicate ids). *)
+let members_of ~candidates epool =
+  match Engine.Pool.repr epool with
+  | Engine.Pool.Matrix a -> a
+  | Engine.Pool.Binary p ->
+      let by_id = Hashtbl.create (Array.length candidates) in
+      Array.iter
+        (fun c ->
+          let id = Workers.Confusion.id c in
+          if not (Hashtbl.mem by_id id) then Hashtbl.add by_id id c)
+        candidates;
+      Array.map
+        (fun w ->
+          match Hashtbl.find_opt by_id (Workers.Worker.id w) with
+          | Some c -> c
+          | None -> assert false)
+        (Workers.Pool.to_array p)
+
+let make_objective ?num_buckets ~task counter =
+  let objective = Engine.Objective.bv_bucket ?num_buckets () in
   fun jury ->
     incr counter;
-    if Array.length jury = 0 then empty_score prior
-    else Jq.Multiclass_jq.estimate_bv ?num_buckets ~prior jury
-
-let subset_of_flags candidates flags =
-  let members = ref [] in
-  for i = Array.length candidates - 1 downto 0 do
-    if flags.(i) then members := candidates.(i) :: !members
-  done;
-  Array.of_list !members
+    Engine.Objective.score objective ~task (Engine.Pool.of_confusions jury)
 
 let greedy_scan objective ~budget order =
   let chosen = ref [] and spent = ref 0. in
@@ -43,8 +55,9 @@ let sorted_by key candidates =
 
 let greedy ?num_buckets ~prior ~budget candidates =
   Budget.validate budget;
+  let task = task_of ~prior in
   let evaluations = ref 0 in
-  let objective = make_objective ?num_buckets ~prior evaluations in
+  let objective = make_objective ?num_buckets ~task evaluations in
   (* Three seeds, mirroring the binary Greedy module: informativeness per
      cost, raw informativeness, and maximal jury size (Lemma 1). *)
   let density c =
@@ -66,88 +79,67 @@ let greedy ?num_buckets ~prior ~budget candidates =
         best_score := score
       end)
     orders;
-  { jury = !best_jury; score = !best_score; evaluations = !evaluations }
+  {
+    Solver.jury = !best_jury;
+    score = !best_score;
+    evaluations = !evaluations;
+    cache = None;
+  }
 
-let anneal ?(params = Annealing.default_params) ?num_buckets ~rng ~prior ~budget
-    candidates =
-  Budget.validate budget;
-  let n = Array.length candidates in
-  let evaluations = ref 0 in
-  let objective = make_objective ?num_buckets ~prior evaluations in
-  let flags = Array.make n false in
-  let spent = ref 0. in
-  let current_score = ref (objective [||]) in
-  let best_flags = ref (Array.copy flags) in
-  let best_score = ref !current_score in
-  let remember () =
-    if !current_score > !best_score then begin
-      best_score := !current_score;
-      best_flags := Array.copy flags
-    end
+let anneal ?params ?num_buckets ?cache ?memo ~rng ~prior ~budget candidates =
+  let task = task_of ~prior in
+  let epool = Engine.Pool.of_confusions candidates in
+  Solver.map_jury
+    (members_of ~candidates)
+    (Annealing.solve_engine ?params ?num_buckets ?cache ?memo ~rng ~task
+       ~budget epool)
+
+let select ?params ?num_buckets ?(restarts = 1) ~rng ~prior ~budget candidates =
+  if restarts < 1 then invalid_arg "Multi_jsp.select: restarts < 1";
+  let best =
+    ref (anneal ?params ?num_buckets ~rng ~prior ~budget candidates)
   in
-  let cost i = Workers.Confusion.cost candidates.(i) in
-  let indexes_where p =
-    let acc = ref [] in
-    Array.iteri (fun i f -> if p f then acc := i :: !acc) flags;
-    !acc
-  in
-  let swap temperature r =
-    let partners = indexes_where (fun f -> f <> flags.(r)) in
-    match partners with
-    | [] -> ()
-    | _ ->
-        let k = List.nth partners (Prob.Rng.int rng (List.length partners)) in
-        let out, into = if flags.(r) then (r, k) else (k, r) in
-        if !spent -. cost out +. cost into <= budget +. 1e-9 then begin
-          flags.(out) <- false;
-          flags.(into) <- true;
-          let candidate_score = objective (subset_of_flags candidates flags) in
-          let delta = candidate_score -. !current_score in
-          if delta >= 0. || Prob.Rng.unit_float rng < exp (delta /. temperature)
-          then begin
-            spent := !spent -. cost out +. cost into;
-            current_score := candidate_score
-          end
-          else begin
-            (* Revert the tentative move. *)
-            flags.(out) <- true;
-            flags.(into) <- false
-          end
-        end
-  in
-  let moves = match params.Annealing.moves_per_temp with Some m -> m | None -> n in
-  let temperature = ref params.Annealing.t_initial in
-  while !temperature >= params.Annealing.epsilon && n > 0 do
-    for _ = 1 to moves do
-      let r = Prob.Rng.int rng n in
-      if (not flags.(r)) && !spent +. cost r <= budget +. 1e-9 then begin
-        flags.(r) <- true;
-        spent := !spent +. cost r;
-        current_score := objective (subset_of_flags candidates flags)
-      end
-      else swap !temperature r;
-      remember ()
-    done;
-    temperature := !temperature /. params.Annealing.cooling
+  for _ = 2 to restarts do
+    (* Independent streams per restart; counters accumulate. *)
+    let r =
+      anneal ?params ?num_buckets ~rng:(Prob.Rng.split rng) ~prior ~budget
+        candidates
+    in
+    let merged_cache =
+      match ((!best).Solver.cache, r.Solver.cache) with
+      | Some a, Some b -> Some (Objective_cache.merge_stats a b)
+      | one, None | None, one -> one
+    in
+    let keep = if r.Solver.score > (!best).Solver.score then r else !best in
+    best :=
+      {
+        keep with
+        Solver.evaluations = (!best).Solver.evaluations + r.Solver.evaluations;
+        cache = merged_cache;
+      }
   done;
-  let jury =
-    if params.Annealing.keep_best then subset_of_flags candidates !best_flags
-    else subset_of_flags candidates flags
-  in
-  let score = if params.Annealing.keep_best then !best_score else !current_score in
-  { jury; score; evaluations = !evaluations }
-
-let select ?params ?num_buckets ~rng ~prior ~budget candidates =
-  let a = anneal ?params ?num_buckets ~rng ~prior ~budget candidates in
   let g = greedy ?num_buckets ~prior ~budget candidates in
-  if g.score > a.score then g else a
+  let winner = if g.Solver.score > (!best).Solver.score then g else !best in
+  {
+    winner with
+    Solver.evaluations = g.Solver.evaluations + (!best).Solver.evaluations;
+    cache = (!best).Solver.cache;
+  }
+
+let subset_of_flags candidates flags =
+  let members = ref [] in
+  for i = Array.length candidates - 1 downto 0 do
+    if flags.(i) then members := candidates.(i) :: !members
+  done;
+  Array.of_list !members
 
 let exhaustive ?num_buckets ~prior ~budget candidates =
   Budget.validate budget;
   let n = Array.length candidates in
   if n > 15 then invalid_arg "Multi_jsp.exhaustive: too many candidates";
+  let task = task_of ~prior in
   let evaluations = ref 0 in
-  let objective = make_objective ?num_buckets ~prior evaluations in
+  let objective = make_objective ?num_buckets ~task evaluations in
   let best = ref [||] and best_score = ref neg_infinity in
   for mask = 0 to (1 lsl n) - 1 do
     let flags = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
@@ -160,4 +152,9 @@ let exhaustive ?num_buckets ~prior ~budget candidates =
       end
     end
   done;
-  { jury = !best; score = !best_score; evaluations = !evaluations }
+  {
+    Solver.jury = !best;
+    score = !best_score;
+    evaluations = !evaluations;
+    cache = None;
+  }

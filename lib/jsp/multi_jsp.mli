@@ -3,18 +3,21 @@
 
     The paper observes that "the simulated annealing heuristic regards
     computing JQ as a black box, so it can be simply extended": here the
-    black box is {!Jq.Multiclass_jq.estimate_bv} and a location is a subset
-    of matrix workers.  Lemma 1 still holds (more workers never hurt BV), so
-    affordable additions are accepted unconditionally; the quality
-    monotonicity of Lemma 2 has no direct matrix analogue, so greedy seeding
-    uses the spammer score of {!Workers.Spammer} as the §7-suggested
-    heuristic. *)
+    black box is the engine's BV objective over an {!Engine.Pool.t} and a
+    location is a subset of matrix workers.  {!anneal} is
+    {!Annealing.solve_engine} — the same schedule, memoization and result
+    contract as the binary solvers, with ℓ=2 symmetric pools lowered onto
+    the dense binary fast path — so multi-class selection gets cached
+    annealing and restarts instead of greedy-only.  Lemma 1 still holds
+    (more workers never hurt BV), so affordable additions are accepted
+    unconditionally; the quality monotonicity of Lemma 2 has no direct
+    matrix analogue, so greedy seeding uses the spammer score of
+    {!Workers.Spammer} as the §7-suggested heuristic.
 
-type result = {
-  jury : Workers.Confusion.t array;
-  score : float;            (** Estimated multi-class JQ(J, BV, ~alpha). *)
-  evaluations : int;
-}
+    Every entry point returns a [Workers.Confusion.t array Solver.result]:
+    the jury members are the caller's own candidate values (selection never
+    rebuilds matrices), scores are estimated multi-class JQ(J, BV, ~alpha),
+    and [result.cache] carries memo counters when annealing was cached. *)
 
 val jury_cost : Workers.Confusion.t array -> float
 
@@ -23,7 +26,7 @@ val greedy :
   prior:float array ->
   budget:Budget.t ->
   Workers.Confusion.t array ->
-  result
+  Workers.Confusion.t array Solver.result
 (** Best of three greedy scans — by spammer-score density (score / cost),
     by raw score, and cheapest-first — each adding every worker who still
     fits the budget. *)
@@ -31,28 +34,35 @@ val greedy :
 val anneal :
   ?params:Annealing.params ->
   ?num_buckets:int ->
+  ?cache:bool ->
+  ?memo:Objective_cache.t ->
   rng:Prob.Rng.t ->
   prior:float array ->
   budget:Budget.t ->
   Workers.Confusion.t array ->
-  result
-(** Algorithms 3–4 over matrix workers with the tuple-key JQ estimate as
-    the objective.  Keeps the best jury seen. *)
+  Workers.Confusion.t array Solver.result
+(** {!Annealing.solve_engine} over the candidates ([cache] defaults to
+    [true]; [memo] as in {!Annealing.solve} — key salting makes sharing
+    safe).  Keeps the best jury seen. *)
 
 val select :
   ?params:Annealing.params ->
   ?num_buckets:int ->
+  ?restarts:int ->
   rng:Prob.Rng.t ->
   prior:float array ->
   budget:Budget.t ->
   Workers.Confusion.t array ->
-  result
-(** The production path: best of {!anneal} and {!greedy}. *)
+  Workers.Confusion.t array Solver.result
+(** The production path: best of [restarts] annealing runs (default 1;
+    further runs draw independent streams via {!Prob.Rng.split}) and
+    {!greedy}.  Evaluations accumulate across all runs.
+    @raise Invalid_argument when [restarts < 1]. *)
 
 val exhaustive :
   ?num_buckets:int ->
   prior:float array ->
   budget:Budget.t ->
   Workers.Confusion.t array ->
-  result
+  Workers.Confusion.t array Solver.result
 (** Exact argmax over all subsets (candidate sets of ≤ 15 workers). *)

@@ -14,12 +14,12 @@ val select :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result
+  Workers.Pool.t Solver.result
 (** The MVJS jury: best of (annealing, greedy seeds) under the MV
     objective.  The [score] field is JQ(J, MV, α). *)
 
 val select_exact :
-  alpha:float -> budget:Budget.t -> Workers.Pool.t -> Solver.result
+  alpha:float -> budget:Budget.t -> Workers.Pool.t -> Workers.Pool.t Solver.result
 (** Exhaustive argmax of MV JQ — usable for pools within
     {!Enumerate.max_pool}. *)
 

@@ -44,32 +44,41 @@ type key = string
 
 let bytes_for n = (n + 7) / 8
 
-let pack t selected =
+(* A salt is an opaque caller-chosen prefix: keys with different salts can
+   never collide (the bitset always starts at the same offset for a given
+   cache [n], and salts are fixed-length digests at the call sites), so one
+   table safely serves solves whose scores would disagree — different
+   objectives, priors, budgets or RNG trajectories land in disjoint key
+   spaces. *)
+let pack ?(salt = "") t selected =
   if Array.length selected <> t.n then
     invalid_arg "Objective_cache: selection length mismatch";
-  let b = Bytes.make (bytes_for t.n) '\000' in
+  let off = String.length salt in
+  let b = Bytes.make (off + bytes_for t.n) '\000' in
+  Bytes.blit_string salt 0 b 0 off;
   for i = 0 to t.n - 1 do
     if selected.(i) then begin
-      let byte = i lsr 3 and bit = i land 7 in
+      let byte = off + (i lsr 3) and bit = i land 7 in
       Bytes.unsafe_set b byte
         (Char.unsafe_chr (Char.code (Bytes.unsafe_get b byte) lor (1 lsl bit)))
     end
   done;
   b
 
-let key t selected = Bytes.unsafe_to_string (pack t selected)
+let key ?salt t selected = Bytes.unsafe_to_string (pack ?salt t selected)
 
-let flip b i =
-  let byte = i lsr 3 and bit = i land 7 in
+let flip ~off b i =
+  let byte = off + (i lsr 3) and bit = i land 7 in
   Bytes.unsafe_set b byte
     (Char.unsafe_chr (Char.code (Bytes.unsafe_get b byte) lxor (1 lsl bit)))
 
 (* The key of [selected] with positions [out] and [into] toggled — the
    annealer probes swap candidates without mutating its selection first. *)
-let key_swapped t selected ~out ~into =
-  let b = pack t selected in
-  flip b out;
-  flip b into;
+let key_swapped ?(salt = "") t selected ~out ~into =
+  let b = pack ~salt t selected in
+  let off = String.length salt in
+  flip ~off b out;
+  flip ~off b into;
   Bytes.unsafe_to_string b
 
 let find_or_eval t k f =

@@ -33,11 +33,16 @@ val create : ?capacity:int -> n:int -> unit -> t
 (** A fresh cache over an [n]-candidate pool.
     @raise Invalid_argument for [capacity <= 0] or [n < 0]. *)
 
-val key : t -> bool array -> key
-(** Pack a selection into its key.
+val key : ?salt:string -> t -> bool array -> key
+(** Pack a selection into its key.  [salt] (default ["" ]) is an opaque
+    prefix under the caller's control: keys built with different salts
+    occupy disjoint key spaces, so one table can serve solves whose scores
+    would disagree — {!Annealing} salts with a digest of (objective, task,
+    budget, RNG state), which is what makes caller-owned memo sharing safe
+    by construction.  Callers must use fixed-length salts per table.
     @raise Invalid_argument when the array length differs from [n]. *)
 
-val key_swapped : t -> bool array -> out:int -> into:int -> key
+val key_swapped : ?salt:string -> t -> bool array -> out:int -> into:int -> key
 (** [key] of the selection with positions [out] and [into] toggled —
     probing a swap candidate without mutating the selection. *)
 

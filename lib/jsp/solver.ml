@@ -1,5 +1,5 @@
-type result = {
-  jury : Workers.Pool.t;
+type 'jury result = {
+  jury : 'jury;
   score : float;
   evaluations : int;
   cache : Objective_cache.stats option;
@@ -10,3 +10,6 @@ let empty_result (objective : Objective.t) ~alpha =
   { jury; score = objective.score ~alpha jury; evaluations = 1; cache = None }
 
 let best a b = if b.score > a.score then b else a
+
+let map_jury f r =
+  { jury = f r.jury; score = r.score; evaluations = r.evaluations; cache = r.cache }

@@ -1,7 +1,12 @@
-(** Common result type and contract for jury-selection solvers. *)
+(** Common result type and contract for jury-selection solvers.
 
-type result = {
-  jury : Workers.Pool.t;       (** The selected jury (feasible by contract). *)
+    The jury type is a parameter so every solver — binary
+    ({!Workers.Pool.t}), multi-class ({!Workers.Confusion.t array}, see
+    {!Multi_jsp}) or engine-level — shares one contract, and experiment and
+    report code handles them uniformly. *)
+
+type 'jury result = {
+  jury : 'jury;                (** The selected jury (feasible by contract). *)
   score : float;               (** The objective's JQ estimate for it. *)
   evaluations : int;           (** Objective evaluations spent. *)
   cache : Objective_cache.stats option;
@@ -9,8 +14,11 @@ type result = {
           {!Objective_cache} ([None] for uncached solvers). *)
 }
 
-val empty_result : Objective.t -> alpha:float -> result
+val empty_result : Objective.t -> alpha:float -> Workers.Pool.t result
 (** The no-jury fallback (used when even the cheapest worker exceeds B). *)
 
-val best : result -> result -> result
+val best : 'jury result -> 'jury result -> 'jury result
 (** The result with the higher score (ties keep the first). *)
+
+val map_jury : ('a -> 'b) -> 'a result -> 'b result
+(** Re-represent the jury, keeping score and counters. *)

@@ -17,7 +17,7 @@ val solve :
   alpha:float ->
   budget:Budget.t ->
   Workers.Pool.t ->
-  Solver.result option
+  Workers.Pool.t Solver.result option
 (** The fast-path solution when one applies, [None] otherwise.  The
     objective is only used to score the chosen jury. *)
 

@@ -15,7 +15,7 @@ type row = {
 type t = row list
 
 val build :
-  solve:(budget:Budget.t -> Workers.Pool.t -> Solver.result) ->
+  solve:(budget:Budget.t -> Workers.Pool.t -> Workers.Pool.t Solver.result) ->
   budgets:float list ->
   Workers.Pool.t ->
   t

@@ -35,6 +35,11 @@ let bits64 g =
   g.s3 <- rotl g.s3 45;
   result
 
+let fingerprint g =
+  (* Reads the state words without advancing the stream: two generators have
+     equal fingerprints iff their future outputs coincide. *)
+  Printf.sprintf "%Lx.%Lx.%Lx.%Lx" g.s0 g.s1 g.s2 g.s3
+
 let split g =
   (* Reseed a fresh generator from the parent's stream; splitmix64 mixing
      decorrelates the child from the parent's continuation. *)

@@ -17,6 +17,11 @@ val create : int -> t
 val copy : t -> t
 (** [copy g] is an independent generator whose future output equals [g]'s. *)
 
+val fingerprint : t -> string
+(** [fingerprint g] is a compact textual digest of [g]'s current state.  It
+    does not advance the stream, and two generators fingerprint equally iff
+    their future outputs coincide.  Used to key caches by RNG trajectory. *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of [g]'s subsequent output.  Used to hand a

@@ -1,4 +1,4 @@
-type entry = { pool : Workers.Pool.t; version : int }
+type entry = { pool : Engine.Pool.t; version : int }
 
 type t = {
   mutable generation : int;
@@ -28,7 +28,7 @@ let list t =
   with_lock t (fun () ->
       Hashtbl.fold
         (fun name { pool; version } acc ->
-          (name, version, Workers.Pool.size pool) :: acc)
+          (name, version, Engine.Pool.size pool) :: acc)
         t.table []
       |> List.sort compare)
 

@@ -1,7 +1,7 @@
 (** Versioned registry of named worker pools.
 
     The shared mutable state of the service.  Pools themselves are
-    immutable ({!Workers.Pool.t}), so an update is copy-on-write: {!upsert}
+    immutable ({!Engine.Pool.t}), so an update is copy-on-write: {!upsert}
     replaces the binding under the registry lock and bumps a global version
     counter, while readers take the lock only long enough to grab the
     current (pool, version) pair — a returned snapshot can never change
@@ -15,12 +15,12 @@ type t
 
 val create : unit -> t
 
-val upsert : t -> name:string -> Workers.Pool.t -> int
+val upsert : t -> name:string -> Engine.Pool.t -> int
 (** Insert or replace the named pool; returns the new version.  Versions
     come from one registry-wide counter, so they are unique across pools
     and strictly increasing over time. *)
 
-val find : t -> string -> (Workers.Pool.t * int) option
+val find : t -> string -> (Engine.Pool.t * int) option
 (** Snapshot of the named pool and its version. *)
 
 val list : t -> (string * int * int) list

@@ -43,21 +43,24 @@ type job = {
 type exec = {
   lock : Mutex.t;
   mutable select_memos :
-    ((string * int * float * float * int) * Jsp.Objective_cache.t) list;
-      (* (pool, version, alpha, budget, seed) -> warm solver memo.  Budget
+    ((string * int * float list * float * int) * Jsp.Objective_cache.t) list;
+      (* (pool, version, prior, budget, seed) -> warm solver memo.  Budget
          and seed are part of the key on purpose: incremental objective
          values are path-dependent at ulp level, so a memo warmed by a
          *different* request could flip a Boltzmann accept and change the
          returned jury.  Keyed by the full request, a warm replay sees
          exactly the values the cold run computed — responses stay
-         byte-identical whatever the cache temperature. *)
+         byte-identical whatever the cache temperature.  (The annealer
+         additionally salts keys, but the full-request key also keeps each
+         request's working set from evicting another's.) *)
   mutable retired : Jsp.Objective_cache.stats;
       (* Counters of memos dropped by the LRU cap, so hit-rates never
          regress in the stats output. *)
-  mutable jq_memo : ((string * int * float * int) * (float * float * int)) list;
-      (* (pool, version, alpha, buckets) -> (value, bound, n). *)
+  mutable jq_memo :
+    ((string * int * float list * int) * (float * float * int)) list;
+      (* (pool, version, prior, buckets) -> (value, bound, n). *)
   mutable incs : ((float * int) * Jq.Incremental.t) list;
-      (* (alpha, buckets) -> reusable fixed-width evaluator. *)
+      (* (alpha, buckets) -> reusable fixed-width evaluator (binary pools). *)
 }
 
 let select_memo_cap = 32
@@ -103,9 +106,9 @@ let truncate_assoc ~cap ~drop list =
     kept
   end
 
-let select_memo exec ~pool_name ~version ~alpha ~budget ~seed ~n =
+let select_memo exec ~pool_name ~version ~prior ~budget ~seed ~n =
   with_lock exec.lock (fun () ->
-      let key = (pool_name, version, alpha, budget, seed) in
+      let key = (pool_name, version, prior, budget, seed) in
       match List.assoc_opt key exec.select_memos with
       | Some memo -> memo
       | None ->
@@ -135,108 +138,147 @@ let unknown_pool name =
   Wire.Error
     { code = Wire.Unknown_pool; message = Printf.sprintf "no pool %S" name }
 
-(* Pool-jq: memoized per pool version; a miss reuses the executor's
-   fixed-width incremental evaluator (reset + one add pass per member). *)
-let eval_jq_pool t exec ~name ~alpha ~num_buckets =
-  match Registry.find t.registry name with
-  | None -> unknown_pool name
-  | Some (pool, version) ->
-      let key = (name, version, alpha, num_buckets) in
-      let value, bound, n =
-        match
-          with_lock exec.lock (fun () -> List.assoc_opt key exec.jq_memo)
-        with
-        | Some hit ->
-            Metrics.jq_memo_hit t.metrics;
-            hit
-        | None ->
-            let inc = incremental_for exec ~alpha ~num_buckets in
-            Jq.Incremental.reset inc;
-            Array.iter (Jq.Incremental.add_worker inc)
-              (Workers.Pool.qualities pool);
-            let entry =
-              ( Jq.Incremental.value inc,
-                Jq.Incremental.error_bound inc,
-                Workers.Pool.size pool )
-            in
-            with_lock exec.lock (fun () ->
-                exec.jq_memo <-
-                  truncate_assoc ~cap:jq_memo_cap ~drop:(fun _ -> ())
-                    ((key, entry) :: exec.jq_memo));
-            entry
-      in
-      Wire.Jq_result { value; error_bound = bound; n }
-
-let eval_jq_inline ~qualities ~alpha ~num_buckets =
-  let stats =
-    Jq.Bucket.estimate_stats ~num_buckets ~alpha (Array.of_list qualities)
-  in
-  Wire.Jq_result
+let prior_mismatch ~prior ~labels =
+  Wire.Error
     {
-      value = stats.Jq.Bucket.value;
-      error_bound = stats.Jq.Bucket.error_bound;
-      n = List.length qualities;
+      code = Wire.Bad_request;
+      message =
+        Printf.sprintf "prior has %d labels but pool has %d"
+          (List.length prior) labels;
     }
 
-let solve_select t exec ~pool ~version ~pool_name ~budget ~alpha ~seed =
-  let memo =
-    select_memo exec ~pool_name ~version ~alpha ~budget ~seed
-      ~n:(Workers.Pool.size pool)
-  in
-  let rng = Prob.Rng.create seed in
-  Jsp.Annealing.solve_optjs ~num_buckets:t.num_buckets ~memo ~rng ~alpha
-    ~budget pool
+let task_of_prior prior = Engine.Task.make ~prior:(Array.of_list prior)
 
-let jury_ids jury = List.map Workers.Worker.id (Workers.Pool.to_list jury)
-
-let eval_select t exec ~name ~budget ~alpha ~seed =
+(* Pool-jq: memoized per pool version; a binary-pool miss reuses the
+   executor's fixed-width incremental evaluator (reset + one add pass per
+   member), a matrix-pool miss runs the tuple-key bucket estimator. *)
+let eval_jq_pool t exec ~name ~prior ~num_buckets =
   match Registry.find t.registry name with
   | None -> unknown_pool name
   | Some (pool, version) ->
-      let result =
-        solve_select t exec ~pool ~version ~pool_name:name ~budget ~alpha ~seed
+      if List.length prior <> Engine.Pool.labels pool then
+        prior_mismatch ~prior ~labels:(Engine.Pool.labels pool)
+      else
+        let key = (name, version, prior, num_buckets) in
+        let value, bound, n =
+          match
+            with_lock exec.lock (fun () -> List.assoc_opt key exec.jq_memo)
+          with
+          | Some hit ->
+              Metrics.jq_memo_hit t.metrics;
+              hit
+          | None ->
+              let entry =
+                match Engine.Pool.repr pool with
+                | Engine.Pool.Binary scalars ->
+                    let alpha = List.hd prior in
+                    let inc = incremental_for exec ~alpha ~num_buckets in
+                    Jq.Incremental.reset inc;
+                    Array.iter (Jq.Incremental.add_worker inc)
+                      (Workers.Pool.qualities scalars);
+                    ( Jq.Incremental.value inc,
+                      Jq.Incremental.error_bound inc,
+                      Workers.Pool.size scalars )
+                | Engine.Pool.Matrix _ ->
+                    let objective = Engine.Objective.bv_bucket ~num_buckets () in
+                    (* The ℓ-tuple estimator does not certify a bucketing
+                       error bound; report 0 (exactly as much as is known). *)
+                    ( Engine.Objective.score objective ~task:(task_of_prior prior)
+                        pool,
+                      0.,
+                      Engine.Pool.size pool )
+              in
+              with_lock exec.lock (fun () ->
+                  exec.jq_memo <-
+                    truncate_assoc ~cap:jq_memo_cap ~drop:(fun _ -> ())
+                      ((key, entry) :: exec.jq_memo));
+              entry
+        in
+        Wire.Jq_result { value; error_bound = bound; n }
+
+let eval_jq_inline ~qualities ~prior ~num_buckets =
+  match prior with
+  | [ alpha; _ ] ->
+      let stats =
+        Jq.Bucket.estimate_stats ~num_buckets ~alpha (Array.of_list qualities)
       in
-      Wire.Select_result
+      Wire.Jq_result
         {
-          ids = jury_ids result.Jsp.Solver.jury;
-          score = result.Jsp.Solver.score;
-          cost = Workers.Pool.total_cost result.Jsp.Solver.jury;
+          value = stats.Jq.Bucket.value;
+          error_bound = stats.Jq.Bucket.error_bound;
+          n = List.length qualities;
         }
+  | _ ->
+      Wire.Error
+        {
+          code = Wire.Bad_request;
+          message = "inline qualities are binary: prior must have 2 labels";
+        }
+
+let solve_select t exec ~pool ~version ~pool_name ~budget ~prior ~seed =
+  let memo =
+    select_memo exec ~pool_name ~version ~prior ~budget ~seed
+      ~n:(Engine.Pool.size pool)
+  in
+  let rng = Prob.Rng.create seed in
+  Jsp.Annealing.solve_engine ~num_buckets:t.num_buckets ~memo ~rng
+    ~task:(task_of_prior prior) ~budget pool
+
+let eval_select t exec ~name ~budget ~prior ~seed =
+  match Registry.find t.registry name with
+  | None -> unknown_pool name
+  | Some (pool, version) ->
+      if List.length prior <> Engine.Pool.labels pool then
+        prior_mismatch ~prior ~labels:(Engine.Pool.labels pool)
+      else
+        let result =
+          solve_select t exec ~pool ~version ~pool_name:name ~budget ~prior
+            ~seed
+        in
+        Wire.Select_result
+          {
+            ids = Engine.Pool.ids result.Jsp.Solver.jury;
+            score = result.Jsp.Solver.score;
+            cost = Engine.Pool.total_cost result.Jsp.Solver.jury;
+          }
 
 (* Each row is solved exactly as the equivalent [select] (fresh RNG from
    the same seed, same memo key), so a table is byte-wise consistent with
    row-by-row selects. *)
-let eval_table t exec ~name ~budgets ~alpha ~seed =
+let eval_table t exec ~name ~budgets ~prior ~seed =
   match Registry.find t.registry name with
   | None -> unknown_pool name
   | Some (pool, version) ->
-      let rows =
-        List.map
-          (fun budget ->
-            let result =
-              solve_select t exec ~pool ~version ~pool_name:name ~budget ~alpha
-                ~seed
-            in
-            {
-              Wire.budget;
-              ids = jury_ids result.Jsp.Solver.jury;
-              quality = result.Jsp.Solver.score;
-              required = Workers.Pool.total_cost result.Jsp.Solver.jury;
-            })
-          budgets
-      in
-      Wire.Table_result rows
+      if List.length prior <> Engine.Pool.labels pool then
+        prior_mismatch ~prior ~labels:(Engine.Pool.labels pool)
+      else
+        let rows =
+          List.map
+            (fun budget ->
+              let result =
+                solve_select t exec ~pool ~version ~pool_name:name ~budget
+                  ~prior ~seed
+              in
+              {
+                Wire.budget;
+                ids = Engine.Pool.ids result.Jsp.Solver.jury;
+                quality = result.Jsp.Solver.score;
+                required = Engine.Pool.total_cost result.Jsp.Solver.jury;
+              })
+            budgets
+        in
+        Wire.Table_result rows
 
 let eval t exec request =
   match request with
-  | Wire.Jq { source = Wire.Named name; alpha; num_buckets } ->
-      eval_jq_pool t exec ~name ~alpha ~num_buckets
-  | Wire.Jq { source = Wire.Inline qualities; alpha; num_buckets } ->
-      eval_jq_inline ~qualities ~alpha ~num_buckets
-  | Wire.Select { pool; budget; alpha; seed } ->
-      eval_select t exec ~name:pool ~budget ~alpha ~seed
-  | Wire.Table { pool; budgets; alpha; seed } ->
-      eval_table t exec ~name:pool ~budgets ~alpha ~seed
+  | Wire.Jq { source = Wire.Named name; prior; num_buckets } ->
+      eval_jq_pool t exec ~name ~prior ~num_buckets
+  | Wire.Jq { source = Wire.Inline qualities; prior; num_buckets } ->
+      eval_jq_inline ~qualities ~prior ~num_buckets
+  | Wire.Select { pool; budget; prior; seed } ->
+      eval_select t exec ~name:pool ~budget ~prior ~seed
+  | Wire.Table { pool; budgets; prior; seed } ->
+      eval_table t exec ~name:pool ~budgets ~prior ~seed
   | Wire.Ping | Wire.Stats | Wire.Pool_put _ | Wire.Pool_list ->
       (* Control-plane verbs are answered inline by [submit]. *)
       assert false
@@ -264,11 +306,11 @@ let reply t job response =
     ~ok:(response_ok response)
 
 (* Two queued jobs coalesce when they are jq queries answered by the very
-   same evaluation: same named pool, alpha and bucket count. *)
+   same evaluation: same named pool, prior and bucket count. *)
 let batchable a b =
   match (a.request, b.request) with
-  | ( Wire.Jq { source = Wire.Named p1; alpha = a1; num_buckets = b1 },
-      Wire.Jq { source = Wire.Named p2; alpha = a2; num_buckets = b2 } ) ->
+  | ( Wire.Jq { source = Wire.Named p1; prior = a1; num_buckets = b1 },
+      Wire.Jq { source = Wire.Named p2; prior = a2; num_buckets = b2 } ) ->
       String.equal p1 p2 && a1 = a2 && b1 = b2
   | _ -> false
 
@@ -370,17 +412,38 @@ let submit t request =
   | Wire.Stats -> inline_reply t ~start request (Wire.Stats_result (stats t))
   | Wire.Pool_list ->
       inline_reply t ~start request (Wire.Pool_entries (Registry.list t.registry))
-  | Wire.Pool_put { name; workers } ->
-      let pool =
-        Workers.Pool.of_list
-          (List.mapi
-             (fun id (quality, cost) ->
-               Workers.Worker.make ~id ~quality ~cost ())
-             workers)
-      in
-      let version = Registry.upsert t.registry ~name pool in
-      inline_reply t ~start request
-        (Wire.Pool_info { name; version; size = Workers.Pool.size pool })
+  | Wire.Pool_put { name; workers } -> (
+      (* Wire decoding already validated the rows (uniform kind and ℓ,
+         entries in range, stochastic matrix rows), so construction can
+         only fail on a genuinely malformed request. *)
+      match
+        match workers with
+        | Wire.Matrix_row _ :: _ ->
+            Engine.Pool.of_confusions
+              (Array.of_list
+                 (List.mapi
+                    (fun id -> function
+                      | Wire.Matrix_row (matrix, cost) ->
+                          Workers.Confusion.make ~id ~matrix ~cost ()
+                      | Wire.Scalar _ -> assert false)
+                    workers))
+        | _ ->
+            Engine.Pool.of_workers
+              (Workers.Pool.of_list
+                 (List.mapi
+                    (fun id -> function
+                      | Wire.Scalar (quality, cost) ->
+                          Workers.Worker.make ~id ~quality ~cost ()
+                      | Wire.Matrix_row _ -> assert false)
+                    workers))
+      with
+      | pool ->
+          let version = Registry.upsert t.registry ~name pool in
+          inline_reply t ~start request
+            (Wire.Pool_info { name; version; size = Engine.Pool.size pool })
+      | exception Invalid_argument msg ->
+          inline_reply t ~start request
+            (Wire.Error { code = Wire.Bad_request; message = msg }))
   | Wire.Jq _ | Wire.Select _ | Wire.Table _ ->
       let job =
         {

@@ -11,25 +11,26 @@
 
     Each executor domain owns warm state keyed by pool version:
 
-    - one {!Jsp.Objective_cache} per (pool, version, alpha, budget, seed) —
-      passed to {!Jsp.Annealing.solve_optjs} via its [?memo] hook, so a
+    - one {!Jsp.Objective_cache} per (pool, version, prior, budget, seed)
+      — passed to {!Jsp.Annealing.solve_engine} via its [?memo] hook, so a
       repeated [select]/[table] query starts its solve with every score of
       the previous identical run already cached (budget and seed are in
       the key deliberately: incremental objective values are
       path-dependent at ulp level, and a memo warmed by a different
       request could flip an accept decision and change the reply);
-    - one reusable {!Jq.Incremental} evaluator per (alpha, buckets) — pool
-      [jq] queries are answered by {!Jq.Incremental.reset} + re-adding the
-      pool, reusing the grown key-map arrays, and memoized per pool
-      version;
+    - one reusable {!Jq.Incremental} evaluator per (alpha, buckets), used
+      for [jq] over binary pools: {!Jq.Incremental.reset} + re-adding the
+      pool reuses the grown key-map arrays, memoized per pool version.
+      Matrix-pool [jq] runs the ℓ-tuple bucket estimator and shares the
+      same (pool, version, prior, buckets) memo;
     - batching: consecutive queued [jq] queries naming the same (pool,
-      alpha, buckets) are popped together and answered with a single
+      prior, buckets) are popped together and answered with a single
       evaluation.
 
     Caching is invisible in results: solver scores are deterministic
-    functions of (pool, version, alpha, budget, seed) regardless of cache
+    functions of (pool, version, prior, budget, seed) regardless of cache
     warmth, so any executor — warm or cold — returns byte-identical
-    responses. *)
+    responses, whichever worker model the pool holds. *)
 
 type t
 

@@ -10,12 +10,21 @@
 
 type source = Inline of float list | Named of string
 
+type pool_row =
+  | Scalar of float * float
+  | Matrix_row of float array array * float
+
 type request =
   | Ping
-  | Jq of { source : source; alpha : float; num_buckets : int }
-  | Select of { pool : string; budget : float; alpha : float; seed : int }
-  | Table of { pool : string; budgets : float list; alpha : float; seed : int }
-  | Pool_put of { name : string; workers : (float * float) list }
+  | Jq of { source : source; prior : float list; num_buckets : int }
+  | Select of { pool : string; budget : float; prior : float list; seed : int }
+  | Table of {
+      pool : string;
+      budgets : float list;
+      prior : float list;
+      seed : int;
+    }
+  | Pool_put of { name : string; workers : pool_row list }
   | Pool_list
   | Stats
 
@@ -191,40 +200,96 @@ let parse_pool_name what s =
   if valid_pool_name s then Ok s
   else fail (Printf.sprintf "%s: invalid pool name %S" what s)
 
+(* A pool row is either the binary "quality:cost" or a flattened
+   row-stochastic confusion matrix "m00;m01;…;mkk:cost" (ℓ² entries, row
+   major; ℓ ≥ 2 so a matrix row always contains ';').  Row sums are
+   validated here with the same Kahan ±1e-9 rule as [Workers.Confusion.make],
+   so a decoded row can always be turned into a worker. *)
 let parse_worker what s =
   match String.split_on_char ':' s with
+  | [ entries; c ] when String.contains entries ';' ->
+      let* es =
+        map_result (parse_prob (what ^ " entry")) (String.split_on_char ';' entries)
+      in
+      let* c = parse_nonneg (what ^ " cost") c in
+      let k = List.length es in
+      let l = int_of_float (Float.round (sqrt (float_of_int k))) in
+      if l < 2 || l * l <> k then
+        fail (Printf.sprintf "%s: matrix must be square with >= 2 labels" what)
+      else
+        let flat = Array.of_list es in
+        let m = Array.init l (fun j -> Array.sub flat (j * l) l) in
+        let row_ok r = Float.abs (Prob.Kahan.sum_array r -. 1.) <= 1e-9 in
+        if Array.for_all row_ok m then Ok (Matrix_row (m, c))
+        else fail (Printf.sprintf "%s: matrix row does not sum to 1" what)
   | [ q; c ] ->
       let* q = parse_prob (what ^ " quality") q in
       let* c = parse_nonneg (what ^ " cost") c in
-      Ok (q, c)
-  | _ -> fail (Printf.sprintf "%s: expected quality:cost, got %S" what s)
+      Ok (Scalar (q, c))
+  | _ ->
+      fail
+        (Printf.sprintf
+           "%s: expected quality:cost or m00;m01;...:cost, got %S" what s)
+
+let pool_row_labels = function
+  | Scalar _ -> 2
+  | Matrix_row (m, _) -> Array.length m
+
+let worker_to_string = function
+  | Scalar (q, c) -> float_to_string q ^ ":" ^ float_to_string c
+  | Matrix_row (m, c) ->
+      let entries =
+        Array.to_list (Array.concat (Array.to_list m))
+        |> List.map float_to_string
+      in
+      String.concat ";" entries ^ ":" ^ float_to_string c
 
 (* ---- requests ------------------------------------------------------ *)
 
 let default_seed = 42
+let default_prior = [ 0.5; 0.5 ]
+
+let prior_to_string prior = list_to_string ~sep:"," float_to_string prior
+
+(* [prior=p0,p1,…] names the task's label distribution; [alpha=x] is
+   decode-side sugar for the binary [prior=x,1−x] (the two are exclusive).
+   Encoding always emits [prior=] so encode∘decode is the identity. *)
+let decode_prior fields =
+  let prior = take fields "prior" and alpha = take fields "alpha" in
+  match (prior, alpha) with
+  | Some _, Some _ -> fail "prior= and alpha= are exclusive"
+  | None, None -> Ok default_prior
+  | None, Some a ->
+      let* a = parse_prob "alpha" a in
+      Ok [ a; 1. -. a ]
+  | Some p, None ->
+      let* ps = parse_nonempty_list "prior" ~sep:',' (parse_prob "prior") p in
+      if List.length ps < 2 then fail "prior: need at least 2 labels"
+      else if
+        Float.abs (Prob.Kahan.sum_array (Array.of_list ps) -. 1.) > 1e-9
+      then fail "prior: does not sum to 1"
+      else Ok ps
 
 let encode_request = function
   | Ping -> "ping"
-  | Jq { source; alpha; num_buckets } ->
+  | Jq { source; prior; num_buckets } ->
       let src =
         match source with
         | Inline qs -> "q=" ^ list_to_string ~sep:"," float_to_string qs
         | Named pool -> "pool=" ^ pool
       in
-      Printf.sprintf "jq %s alpha=%s buckets=%d" src (float_to_string alpha)
+      Printf.sprintf "jq %s prior=%s buckets=%d" src (prior_to_string prior)
         num_buckets
-  | Select { pool; budget; alpha; seed } ->
-      Printf.sprintf "select pool=%s budget=%s alpha=%s seed=%d" pool
-        (float_to_string budget) (float_to_string alpha) seed
-  | Table { pool; budgets; alpha; seed } ->
-      Printf.sprintf "table pool=%s budgets=%s alpha=%s seed=%d" pool
+  | Select { pool; budget; prior; seed } ->
+      Printf.sprintf "select pool=%s budget=%s prior=%s seed=%d" pool
+        (float_to_string budget) (prior_to_string prior) seed
+  | Table { pool; budgets; prior; seed } ->
+      Printf.sprintf "table pool=%s budgets=%s prior=%s seed=%d" pool
         (list_to_string ~sep:"," float_to_string budgets)
-        (float_to_string alpha) seed
+        (prior_to_string prior) seed
   | Pool_put { name; workers } ->
       Printf.sprintf "pool-put name=%s workers=%s" name
-        (list_to_string ~sep:","
-           (fun (q, c) -> float_to_string q ^ ":" ^ float_to_string c)
-           workers)
+        (list_to_string ~sep:"," worker_to_string workers)
   | Pool_list -> "pool-list"
   | Stats -> "stats"
 
@@ -251,19 +316,19 @@ let decode_jq fields =
         let* name = parse_pool_name "pool" name in
         Ok (Named name)
   in
-  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* prior = decode_prior fields in
   let* num_buckets =
     optional fields "buckets" ~default:Jq.Bucket.default_num_buckets
       parse_positive_int
   in
-  finish fields (Jq { source; alpha; num_buckets })
+  finish fields (Jq { source; prior; num_buckets })
 
 let decode_select fields =
   let* pool = required fields "pool" parse_pool_name in
   let* budget = required fields "budget" parse_nonneg in
-  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* prior = decode_prior fields in
   let* seed = optional fields "seed" ~default:default_seed parse_int in
-  finish fields (Select { pool; budget; alpha; seed })
+  finish fields (Select { pool; budget; prior; seed })
 
 let decode_table fields =
   let* pool = required fields "pool" parse_pool_name in
@@ -271,15 +336,29 @@ let decode_table fields =
     required fields "budgets" (fun what s ->
         parse_nonempty_list what ~sep:',' (parse_nonneg what) s)
   in
-  let* alpha = optional fields "alpha" ~default:0.5 parse_prob in
+  let* prior = decode_prior fields in
   let* seed = optional fields "seed" ~default:default_seed parse_int in
-  finish fields (Table { pool; budgets; alpha; seed })
+  finish fields (Table { pool; budgets; prior; seed })
 
 let decode_pool_put fields =
   let* name = required fields "name" parse_pool_name in
   let* workers =
     required fields "workers" (fun what s ->
         parse_nonempty_list what ~sep:',' (parse_worker what) s)
+  in
+  (* One worker model per pool: all scalar rows, or all matrix rows over
+     one ℓ — the registry stores a single task-model pool per name. *)
+  let* () =
+    match workers with
+    | [] -> Ok ()
+    | first :: rest ->
+        let scalar = function Scalar _ -> true | Matrix_row _ -> false in
+        if List.exists (fun w -> scalar w <> scalar first) rest then
+          fail "workers: cannot mix scalar and matrix rows"
+        else if
+          List.exists (fun w -> pool_row_labels w <> pool_row_labels first) rest
+        then fail "workers: matrix rows disagree on label count"
+        else Ok ()
   in
   finish fields (Pool_put { name; workers })
 

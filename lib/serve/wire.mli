@@ -6,36 +6,59 @@
     or [err].  The full grammar lives in [docs/serving.md]; examples:
 
     {v
-    jq q=0.9,0.6,0.6 alpha=0.5 buckets=50
+    jq q=0.9,0.6,0.6 prior=0.5,0.5 buckets=50
     jq pool=default alpha=0.5 buckets=50
-    select pool=default budget=10 alpha=0.5 seed=42
-    table pool=default budgets=5,10,15 alpha=0.5 seed=42
+    select pool=default budget=10 prior=0.3,0.7 seed=42
+    table pool=default budgets=5,10,15 prior=0.2,0.5,0.3 seed=42
     pool-put name=default workers=0.9:3,0.6:1,0.8:2
+    pool-put name=m3 workers=0.8;0.1;0.1;0.2;0.7;0.1;0.1;0.2;0.7:2,...
     pool-list
     stats
     ping
     v}
 
+    Tasks are named by a prior vector [prior=p0,p1,…] over ℓ ≥ 2 labels
+    (nonnegative, summing to 1 ±1e-9).  [alpha=x] is accepted on decode as
+    sugar for the binary [prior=x,1−x] — the two keys are exclusive, and
+    omitting both means the uniform binary prior.  Pool rows are either
+    the scalar [quality:cost] or a flattened ℓ×ℓ row-stochastic confusion
+    matrix [m00;m01;…;mkk:cost] (row major); one pool holds one worker
+    model, so rows must agree in kind and ℓ.
+
     The codec is strict: {!decode_request} accepts exactly the values the
-    service can serve (qualities and alpha in [0, 1], finite nonnegative
-    costs and budgets, positive bucket counts, pool names over
-    [A-Za-z0-9_.-]) and returns [Error] — never raises — on anything else,
-    so a malformed line costs one reply, not a connection.  Floats are
-    rendered shortest-round-trip, making [encode] and [decode] exact
-    inverses on valid messages (a property test pins this). *)
+    service can serve (qualities, priors and matrix entries in [0, 1],
+    matrix rows summing to 1, finite nonnegative costs and budgets,
+    positive bucket counts, pool names over [A-Za-z0-9_.-]) and returns
+    [Error] — never raises — on anything else, so a malformed line costs
+    one reply, not a connection.  Floats are rendered
+    shortest-round-trip, making [encode] and [decode] exact inverses on
+    valid messages (a property test pins this; [alpha=] sugar is the one
+    decode-only spelling). *)
 
 (** Where a [jq] query gets its quality vector. *)
 type source =
   | Inline of float list  (** Qualities carried in the request. *)
   | Named of string       (** A registered pool's qualities. *)
 
+(** One worker row of a [pool-put]. *)
+type pool_row =
+  | Scalar of float * float
+      (** (quality, cost) — the binary worker model. *)
+  | Matrix_row of float array array * float
+      (** (ℓ×ℓ row-stochastic confusion matrix, cost) — §7 workers. *)
+
 type request =
   | Ping
-  | Jq of { source : source; alpha : float; num_buckets : int }
-  | Select of { pool : string; budget : float; alpha : float; seed : int }
-  | Table of { pool : string; budgets : float list; alpha : float; seed : int }
-  | Pool_put of { name : string; workers : (float * float) list }
-      (** (quality, cost) rows; ids and names are assigned by position. *)
+  | Jq of { source : source; prior : float list; num_buckets : int }
+  | Select of { pool : string; budget : float; prior : float list; seed : int }
+  | Table of {
+      pool : string;
+      budgets : float list;
+      prior : float list;
+      seed : int;
+    }
+  | Pool_put of { name : string; workers : pool_row list }
+      (** Rows of one kind; ids and names are assigned by position. *)
   | Pool_list
   | Stats
 
@@ -75,11 +98,15 @@ val error_code_to_string : error_code -> string
 val encode_request : request -> string
 (** One line, without the trailing newline. *)
 
+val default_prior : float list
+(** [[0.5; 0.5]] — the binary uniform prior assumed when a request names
+    neither [prior=] nor [alpha=]. *)
+
 val decode_request : string -> (request, string) result
-(** Strict parse of one request line.  [alpha], [buckets] and [seed] may be
-    omitted (defaults 0.5, {!Jq.Bucket.default_num_buckets}, 42); all other
-    fields of a verb are mandatory, unknown or duplicate keys are errors.
-    Never raises. *)
+(** Strict parse of one request line.  [prior]/[alpha], [buckets] and
+    [seed] may be omitted (defaults {!default_prior},
+    {!Jq.Bucket.default_num_buckets}, 42); all other fields of a verb are
+    mandatory, unknown or duplicate keys are errors.  Never raises. *)
 
 val encode_response : response -> string
 val decode_response : string -> (response, string) result

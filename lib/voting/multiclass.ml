@@ -86,14 +86,26 @@ let random_ballot =
   make ~name:"RBV" (fun ~prior ~jury:_ _ ->
       Randomize (Array.make (Array.length prior) (1. /. float_of_int (Array.length prior))))
 
+let enumeration_cap = 1 lsl 22
+
+let enumeration_fits ~labels ~n =
+  if labels < 2 || n < 0 then invalid_arg "Multiclass.enumeration_fits";
+  (* Early exit keeps the product from overflowing for large juries. *)
+  let rec go acc i =
+    if acc > enumeration_cap then false
+    else if i = 0 then true
+    else go (acc * labels) (i - 1)
+  in
+  go 1 n
+
 let enumerate_votings ~labels ~n =
   if labels < 2 || n < 0 then invalid_arg "Multiclass.enumerate_votings";
+  if not (enumeration_fits ~labels ~n) then
+    invalid_arg "Multiclass.enumerate_votings: space too large";
   let count =
     let rec pow acc i = if i = 0 then acc else pow (acc * labels) (i - 1) in
     pow 1 n
   in
-  if count > 1 lsl 22 then
-    invalid_arg "Multiclass.enumerate_votings: space too large";
   let of_index idx =
     let v = Array.make n 0 in
     let rest = ref idx in

@@ -50,6 +50,13 @@ val posterior :
   prior:float array -> jury:Workers.Confusion.t array -> int array -> float array
 (** Normalized posterior over labels (uniform if all mass vanished). *)
 
+val enumeration_cap : int
+(** Largest voting-space size {!enumerate_votings} will materialize (2^22). *)
+
+val enumeration_fits : labels:int -> n:int -> bool
+(** Whether ℓ^n ≤ {!enumeration_cap}, computed without overflow — callers can
+    test this instead of catching the {!enumerate_votings} exception. *)
+
 val enumerate_votings : labels:int -> n:int -> int array Seq.t
 (** All ℓ^n votings of [n] workers, lazily.  @raise Invalid_argument when
-    ℓ^n would exceed 2^22. *)
+    ℓ^n would exceed {!enumeration_cap}. *)

@@ -69,6 +69,15 @@ let diagonal_dominant c =
   done;
   !ok
 
+let symmetric_quality c =
+  (* Bitwise comparison on purpose: lowering a matrix worker to a scalar one
+     must be exact, or the two representations would score ulp-differently. *)
+  if labels c <> 2 then None
+  else
+    let m = c.matrix in
+    if m.(0).(0) = m.(1).(1) && m.(0).(1) = m.(1).(0) then Some m.(0).(0)
+    else None
+
 let symmetric_binary ~quality ~id ~cost =
   if quality < 0. || quality > 1. then
     invalid_arg "Confusion.symmetric_binary: quality outside [0, 1]";

@@ -37,6 +37,12 @@ val diagonal_dominant : t -> bool
 (** Whether each row's diagonal entry is its (weak) maximum — the
     matrix analogue of q ≥ 0.5. *)
 
+val symmetric_quality : t -> float option
+(** [Some q] when the matrix is exactly (bitwise) the symmetric 2×2
+    [[q, 1−q], [1−q, q]] — i.e. the worker admits a lossless scalar-quality
+    representation — and [None] otherwise.  The engine uses this to route
+    ℓ=2 symmetric pools onto the dense binary fast paths. *)
+
 val symmetric_binary : quality:float -> id:int -> cost:float -> t
 (** Convenience builder for a 2×2 quality-q matrix. *)
 

@@ -1,3 +1,5 @@
+type doc = Scalar_rows of Pool.t | Matrix_rows of Confusion.t array
+
 let parse_line ~line_number line =
   let bad what =
     failwith (Printf.sprintf "Pool_io: line %d: %s: %S" line_number what line)
@@ -19,8 +21,63 @@ let parse_line ~line_number line =
       | _ -> bad "quality/cost not numbers")
   | _ -> bad "expected 'name,quality,cost'"
 
+(* One confusion-matrix row: name,cost,m00,m01,…  (ℓ² entries, row major).
+   ℓ is inferred from the field count; 3 fields always mean a scalar row,
+   so the two formats cannot collide (ℓ ≥ 2 needs at least 6 fields). *)
+let parse_matrix_line ~line_number line =
+  let bad what =
+    failwith (Printf.sprintf "Pool_io: line %d: %s: %S" line_number what line)
+  in
+  match String.split_on_char ',' line with
+  | name :: cost :: entries when List.length entries >= 4 ->
+      let k = List.length entries in
+      let labels =
+        let rec side l = if l * l >= k then l else side (l + 1) in
+        let l = side 2 in
+        if l * l <> k then
+          bad "matrix rows need name,cost followed by l*l entries (l >= 2)"
+        else l
+      in
+      let cost =
+        match float_of_string_opt (String.trim cost) with
+        | Some c when Float.is_finite c && c >= 0. -> c
+        | _ -> bad "cost must be finite and nonnegative"
+      in
+      let flat =
+        List.map
+          (fun tok ->
+            match float_of_string_opt (String.trim tok) with
+            | Some p when (not (Float.is_nan p)) && p >= 0. && p <= 1. -> p
+            | _ -> bad "matrix entries must lie in [0, 1]")
+          entries
+      in
+      let flat = Array.of_list flat in
+      let matrix =
+        Array.init labels (fun j ->
+            Array.init labels (fun v -> flat.((j * labels) + v)))
+      in
+      Array.iter
+        (fun row ->
+          (* Same Kahan tolerance as Confusion.make, so a row accepted
+             here cannot fail construction later without a line number. *)
+          let sum = ref 0. and comp = ref 0. in
+          Array.iter
+            (fun p ->
+              let y = p -. !comp in
+              let t = !sum +. y in
+              comp := t -. !sum -. y;
+              sum := t)
+            row;
+          if Float.abs (!sum -. 1.) > 1e-9 then
+            bad "matrix row does not sum to 1")
+        matrix;
+      (String.trim name, cost, matrix)
+  | _ -> bad "expected 'name,cost,m00,m01,...'"
+
 let is_header line =
-  String.lowercase_ascii (String.trim line) = "name,quality,cost"
+  match String.lowercase_ascii (String.trim line) with
+  | "name,quality,cost" | "name,cost,matrix" -> true
+  | _ -> false
 
 let of_csv_string doc =
   let lines = String.split_on_char '\n' doc in
@@ -39,6 +96,55 @@ let of_csv_string doc =
          rows)
   with Invalid_argument msg -> failwith ("Pool_io: " ^ msg)
 
+(* A document's first data row fixes its kind: 3 fields = scalar pool,
+   anything else = matrix pool.  Rows of the other kind are then errors. *)
+let doc_of_csv_string text =
+  let lines = String.split_on_char '\n' text in
+  let rows = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' || (idx = 0 && is_header line) then ()
+      else rows := (idx + 1, line) :: !rows)
+    lines;
+  match List.rev !rows with
+  | [] -> Scalar_rows (Pool.of_list [])
+  | ((_, first) :: _) as rows ->
+      let scalar =
+        match String.split_on_char ',' first with [ _; _; _ ] -> true | _ -> false
+      in
+      if scalar then
+        Scalar_rows
+          (try
+             Pool.of_list
+               (List.mapi
+                  (fun id (line_number, line) ->
+                    let name, quality, cost = parse_line ~line_number line in
+                    Worker.make ~name ~id ~quality ~cost ())
+                  rows)
+           with Invalid_argument msg -> failwith ("Pool_io: " ^ msg))
+      else begin
+        let parsed =
+          List.mapi
+            (fun id (line_number, line) ->
+              let name, cost, matrix = parse_matrix_line ~line_number line in
+              try Confusion.make ~name ~id ~matrix ~cost ()
+              with Invalid_argument msg ->
+                failwith (Printf.sprintf "Pool_io: line %d: %s" line_number msg))
+            rows
+        in
+        let labels = Confusion.labels (List.hd parsed) in
+        List.iter2
+          (fun (line_number, line) c ->
+            if Confusion.labels c <> labels then
+              failwith
+                (Printf.sprintf
+                   "Pool_io: line %d: matrix rows disagree on label count: %S"
+                   line_number line))
+          rows parsed;
+        Matrix_rows (Array.of_list parsed)
+      end
+
 let to_csv_string pool =
   let line w =
     Printf.sprintf "%s,%.12g,%.12g" (Worker.name w) (Worker.quality w)
@@ -47,14 +153,39 @@ let to_csv_string pool =
   String.concat "\n" ("name,quality,cost" :: List.map line (Pool.to_list pool))
   ^ "\n"
 
-let load path =
+let doc_to_csv_string = function
+  | Scalar_rows pool -> to_csv_string pool
+  | Matrix_rows confusions ->
+      let line c =
+        let l = Confusion.labels c in
+        let entries = ref [] in
+        for j = l - 1 downto 0 do
+          let row = Confusion.row c j in
+          for v = l - 1 downto 0 do
+            entries := Printf.sprintf "%.12g" row.(v) :: !entries
+          done
+        done;
+        String.concat ","
+          (Confusion.name c :: Printf.sprintf "%.12g" (Confusion.cost c)
+           :: !entries)
+      in
+      String.concat "\n"
+        ("name,cost,matrix" :: List.map line (Array.to_list confusions))
+      ^ "\n"
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_csv_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let save path pool =
+let write_file path text =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_csv_string pool))
+    (fun () -> output_string oc text)
+
+let load path = of_csv_string (read_file path)
+let save path pool = write_file path (to_csv_string pool)
+let load_doc path = doc_of_csv_string (read_file path)
+let save_doc path doc = write_file path (doc_to_csv_string doc)

@@ -1,7 +1,7 @@
 (** Loading and saving worker pools as CSV.
 
-    Format: a header line [name,quality,cost] (optional) followed by one
-    worker per line, e.g.
+    Scalar format: a header line [name,quality,cost] (optional) followed
+    by one worker per line, e.g.
 
     {v
     name,quality,cost
@@ -9,8 +9,25 @@
     B,0.7,5
     v}
 
-    Ids are assigned by position.  Lines that are empty or start with [#]
-    are skipped. *)
+    Matrix format (§7 confusion-matrix workers): header [name,cost,matrix]
+    (optional), then [name,cost] followed by the ℓ² row-major entries of a
+    row-stochastic ℓ×ℓ matrix — ℓ is inferred from the field count, e.g.
+    for ℓ = 3:
+
+    {v
+    name,cost,matrix
+    A,2,0.8,0.1,0.1,0.2,0.7,0.1,0.1,0.2,0.7
+    v}
+
+    A scalar row has exactly 3 fields and a matrix row at least 6, so the
+    first data row fixes a document's kind unambiguously; one document
+    holds one kind.  Ids are assigned by position.  Lines that are empty
+    or start with [#] are skipped. *)
+
+type doc =
+  | Scalar_rows of Pool.t
+  | Matrix_rows of Confusion.t array
+      (** A parsed document: one worker model throughout. *)
 
 val of_csv_string : string -> Pool.t
 (** Parse a CSV document.  @raise Failure with a line-numbered message on
@@ -21,9 +38,26 @@ val to_csv_string : Pool.t -> string
 (** Serialize with a header line.  [of_csv_string (to_csv_string p)] equals
     [p] up to ids being renumbered by position. *)
 
+val doc_of_csv_string : string -> doc
+(** Parse either format; the first data row decides which (3 fields =
+    scalar, otherwise matrix).  An empty document is an empty
+    [Scalar_rows].  @raise Failure with a line-numbered message on
+    malformed rows, mixed label counts, non-square matrix rows or rows not
+    summing to 1 (±1e-9 — the {!Confusion.make} tolerance). *)
+
+val doc_to_csv_string : doc -> string
+(** Serialize with the kind's header line; inverse of
+    {!doc_of_csv_string} up to ids being renumbered by position. *)
+
 val load : string -> Pool.t
 (** Read a pool from a file path.  The channel is closed even when parsing
     fails.  @raise Sys_error / Failure. *)
 
 val save : string -> Pool.t -> unit
 (** Write a pool to a file path (channel closed on error too). *)
+
+val load_doc : string -> doc
+(** {!doc_of_csv_string} over a file.  @raise Sys_error / Failure. *)
+
+val save_doc : string -> doc -> unit
+(** {!doc_to_csv_string} to a file. *)

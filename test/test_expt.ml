@@ -99,7 +99,7 @@ let test_restarts_parallel_identical () =
     par.Expt.Restarts.best.Jsp.Solver.score;
   check_int "same winning seed" seq.Expt.Restarts.seed par.Expt.Restarts.seed;
   List.iter2
-    (fun (a : Jsp.Solver.result) (b : Jsp.Solver.result) ->
+    (fun (a : _ Jsp.Solver.result) (b : _ Jsp.Solver.result) ->
       check_close 0. "per-run score" a.Jsp.Solver.score b.Jsp.Solver.score)
     seq.Expt.Restarts.runs par.Expt.Restarts.runs
 
@@ -110,13 +110,13 @@ let test_restarts_best_dominates () =
   in
   check_int "one run per seed" 3 (List.length o.Expt.Restarts.runs);
   List.iter
-    (fun (r : Jsp.Solver.result) ->
+    (fun (r : _ Jsp.Solver.result) ->
       check_bool "best >= run" true
         (o.Expt.Restarts.best.Jsp.Solver.score >= r.Jsp.Solver.score))
     o.Expt.Restarts.runs;
   check_bool "winner is one of the runs" true
     (List.exists
-       (fun (r : Jsp.Solver.result) ->
+       (fun (r : _ Jsp.Solver.result) ->
          r.Jsp.Solver.score = o.Expt.Restarts.best.Jsp.Solver.score)
        o.Expt.Restarts.runs)
 
@@ -129,7 +129,7 @@ let test_restarts_cache_totals () =
   | Some s ->
       check_bool "misses accumulated" true (s.Jsp.Objective_cache.misses > 0);
       let per_run =
-        List.filter_map (fun (r : Jsp.Solver.result) -> r.Jsp.Solver.cache)
+        List.filter_map (fun (r : _ Jsp.Solver.result) -> r.Jsp.Solver.cache)
           o.Expt.Restarts.runs
       in
       let sum f = List.fold_left (fun acc s -> acc + f s) 0 per_run in

@@ -665,10 +665,10 @@ let test_multi_jsp_feasible_and_near_exact () =
     let exact = Jsp.Multi_jsp.exhaustive ~prior:uniform3 ~budget candidates in
     let selected = Jsp.Multi_jsp.select ~rng ~prior:uniform3 ~budget candidates in
     check_bool "feasible" true
-      (Jsp.Multi_jsp.jury_cost selected.Jsp.Multi_jsp.jury <= budget +. 1e-9);
+      (Jsp.Multi_jsp.jury_cost selected.Jsp.Solver.jury <= budget +. 1e-9);
     worst_gap :=
       Float.max !worst_gap
-        (exact.Jsp.Multi_jsp.score -. selected.Jsp.Multi_jsp.score)
+        (exact.Jsp.Solver.score -. selected.Jsp.Solver.score)
   done;
   check_bool "selection near exhaustive" true (!worst_gap < 0.02)
 
@@ -676,9 +676,9 @@ let test_multi_jsp_greedy_feasible () =
   let rng = Prob.Rng.create 72 in
   let candidates = Array.init 10 (fun id -> mc_worker rng id) in
   let r = Jsp.Multi_jsp.greedy ~prior:uniform3 ~budget:0.25 candidates in
-  check_bool "feasible" true (Jsp.Multi_jsp.jury_cost r.Jsp.Multi_jsp.jury <= 0.25 +. 1e-9);
+  check_bool "feasible" true (Jsp.Multi_jsp.jury_cost r.Jsp.Solver.jury <= 0.25 +. 1e-9);
   check_bool "score in range" true
-    (r.Jsp.Multi_jsp.score >= (1. /. 3.) -. 1e-9 && r.Jsp.Multi_jsp.score <= 1.)
+    (r.Jsp.Solver.score >= (1. /. 3.) -. 1e-9 && r.Jsp.Solver.score <= 1.)
 
 let test_multi_jsp_exhaustive_cap () =
   let rng = Prob.Rng.create 73 in
@@ -690,8 +690,8 @@ let test_multi_jsp_empty_budget () =
   let rng = Prob.Rng.create 74 in
   let candidates = Array.init 5 (fun id -> mc_worker rng id) in
   let r = Jsp.Multi_jsp.select ~rng ~prior:uniform3 ~budget:0. candidates in
-  check_int "empty jury" 0 (Array.length r.Jsp.Multi_jsp.jury);
-  check_close 1e-9 "prior argmax score" (1. /. 3.) r.Jsp.Multi_jsp.score
+  check_int "empty jury" 0 (Array.length r.Jsp.Solver.jury);
+  check_close 1e-9 "prior argmax score" (1. /. 3.) r.Jsp.Solver.score
 
 let test_table_csv () =
   let table =

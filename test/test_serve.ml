@@ -17,6 +17,36 @@ let name_gen = QCheck2.Gen.oneofl [ "default"; "pool-1"; "A_b.c"; "x9" ]
 let list1 g = QCheck2.Gen.(int_range 1 6 >>= fun n -> list_size (return n) g)
 let list0 g = QCheck2.Gen.(int_range 0 4 >>= fun n -> list_size (return n) g)
 
+(* Normalized ℓ-vector priors, ℓ ∈ [2, 4]: positive weights scaled by their
+   sum land within the codec's 1e-9 stochasticity tolerance. *)
+let prior_gen =
+  QCheck2.Gen.(
+    int_range 2 4 >>= fun labels ->
+    list_size (return labels) (float_range 0.1 1.) >>= fun weights ->
+    let sum = List.fold_left ( +. ) 0. weights in
+    return (List.map (fun w -> w /. sum) weights))
+
+(* Diagonal-dominant row-stochastic ℓ×ℓ matrices: diagonal d, the rest
+   spread evenly — rows sum to 1 up to a couple of ulp. *)
+let matrix_of ~labels d =
+  let off = (1. -. d) /. float_of_int (labels - 1) in
+  Array.init labels (fun j ->
+      Array.init labels (fun v -> if j = v then d else off))
+
+let workers_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        ( list1 (pair prob_gen cost_gen) >>= fun rows ->
+          return (List.map (fun (q, c) -> Wire.Scalar (q, c)) rows) );
+        ( int_range 2 3 >>= fun labels ->
+          list1 (pair prob_gen cost_gen) >>= fun rows ->
+          return
+            (List.map
+               (fun (d, c) -> Wire.Matrix_row (matrix_of ~labels d, c))
+               rows) );
+      ])
+
 let request_gen =
   QCheck2.Gen.(
     oneof
@@ -25,25 +55,25 @@ let request_gen =
         return Wire.Pool_list;
         return Wire.Stats;
         ( list1 prob_gen >>= fun qs ->
-          prob_gen >>= fun alpha ->
+          prior_gen >>= fun prior ->
           buckets_gen >>= fun num_buckets ->
-          return (Wire.Jq { source = Wire.Inline qs; alpha; num_buckets }) );
+          return (Wire.Jq { source = Wire.Inline qs; prior; num_buckets }) );
         ( name_gen >>= fun name ->
-          prob_gen >>= fun alpha ->
+          prior_gen >>= fun prior ->
           buckets_gen >>= fun num_buckets ->
-          return (Wire.Jq { source = Wire.Named name; alpha; num_buckets }) );
+          return (Wire.Jq { source = Wire.Named name; prior; num_buckets }) );
         ( name_gen >>= fun pool ->
           cost_gen >>= fun budget ->
-          prob_gen >>= fun alpha ->
+          prior_gen >>= fun prior ->
           seed_gen >>= fun seed ->
-          return (Wire.Select { pool; budget; alpha; seed }) );
+          return (Wire.Select { pool; budget; prior; seed }) );
         ( name_gen >>= fun pool ->
           list1 cost_gen >>= fun budgets ->
-          prob_gen >>= fun alpha ->
+          prior_gen >>= fun prior ->
           seed_gen >>= fun seed ->
-          return (Wire.Table { pool; budgets; alpha; seed }) );
+          return (Wire.Table { pool; budgets; prior; seed }) );
         ( name_gen >>= fun name ->
-          list1 (pair prob_gen cost_gen) >>= fun workers ->
+          workers_gen >>= fun workers ->
           return (Wire.Pool_put { name; workers }) );
       ])
 
@@ -133,12 +163,48 @@ let codec_units =
          (Wire.Jq
             {
               source = Wire.Inline [ 0.25; 0.75 ];
-              alpha = 0.5;
+              prior = Wire.default_prior;
               num_buckets = Jq.Bucket.default_num_buckets;
             }));
     check_decode "trailing CR tolerated" "ping\r" (Some Wire.Ping);
     check_decode "repeated spaces tolerated" "select  pool=p   budget=4"
-      (Some (Wire.Select { pool = "p"; budget = 4.; alpha = 0.5; seed = 42 }));
+      (Some
+         (Wire.Select
+            { pool = "p"; budget = 4.; prior = Wire.default_prior; seed = 42 }));
+    check_decode "alpha is prior sugar" "select pool=p budget=4 alpha=0.3"
+      (Some
+         (Wire.Select
+            { pool = "p"; budget = 4.; prior = [ 0.3; 1. -. 0.3 ]; seed = 42 }));
+    check_decode "3-label prior accepted" "select pool=p budget=4 prior=0.2,0.5,0.3"
+      (Some
+         (Wire.Select
+            { pool = "p"; budget = 4.; prior = [ 0.2; 0.5; 0.3 ]; seed = 42 }));
+    check_decode "prior and alpha exclusive"
+      "select pool=p budget=4 prior=0.5,0.5 alpha=0.5" None;
+    check_decode "prior must sum to 1" "jq q=0.5 prior=0.4,0.4" None;
+    check_decode "single-entry prior rejected" "jq q=0.5 prior=1" None;
+    check_decode "matrix pool rows"
+      "pool-put name=m workers=0.8;0.2;0.2;0.8:3,0.5;0.5;0.5;0.5:1"
+      (Some
+         (Wire.Pool_put
+            {
+              name = "m";
+              workers =
+                [
+                  Wire.Matrix_row ([| [| 0.8; 0.2 |]; [| 0.2; 0.8 |] |], 3.);
+                  Wire.Matrix_row ([| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |], 1.);
+                ];
+            }));
+    check_decode "mixed worker kinds rejected"
+      "pool-put name=m workers=0.8:1,0.8;0.2;0.2;0.8:3" None;
+    check_decode "matrix label counts must agree"
+      "pool-put name=m \
+       workers=0.8;0.2;0.2;0.8:1,0.8;0.1;0.1;0.1;0.8;0.1;0.1;0.1;0.8:1"
+      None;
+    check_decode "non-square matrix rejected"
+      "pool-put name=m workers=0.8;0.2;0.2;0.8;0.5:1" None;
+    check_decode "non-stochastic matrix row rejected"
+      "pool-put name=m workers=0.8;0.8;0.2;0.8:1" None;
     check_decode "duplicate key rejected" "jq q=0.5 q=0.6" None;
     check_decode "unknown key rejected" "jq q=0.5 frob=1" None;
     check_decode "quality out of range" "jq q=1.5" None;
@@ -160,10 +226,11 @@ let codec_units =
 (* ---- registry -------------------------------------------------------- *)
 
 let pool_of_qualities qs =
-  Workers.Pool.of_list
-    (List.mapi
-       (fun id q -> Workers.Worker.make ~id ~quality:q ~cost:1. ())
-       qs)
+  Engine.Pool.of_workers
+    (Workers.Pool.of_list
+       (List.mapi
+          (fun id q -> Workers.Worker.make ~id ~quality:q ~cost:1. ())
+          qs))
 
 let registry_tests =
   [
@@ -179,7 +246,7 @@ let registry_tests =
         (match Serve.Registry.find r "a" with
         | Some (pool, v) ->
             Alcotest.(check int) "latest version" v3 v;
-            Alcotest.(check int) "latest size" 2 (Workers.Pool.size pool)
+            Alcotest.(check int) "latest size" 2 (Engine.Pool.size pool)
         | None -> Alcotest.fail "pool a missing");
         Alcotest.(check (option (pair reject int)))
           "unknown pool" None
@@ -252,7 +319,7 @@ let test_pool n =
 
 let wire_workers pool =
   List.map
-    (fun w -> (Workers.Worker.quality w, Workers.Worker.cost w))
+    (fun w -> Wire.Scalar (Workers.Worker.quality w, Workers.Worker.cost w))
     (Workers.Pool.to_list pool)
 
 let check_response name expected actual =
@@ -334,7 +401,7 @@ let integration_test () =
                  (Wire.Jq
                     {
                       source = Wire.Named "itest";
-                      alpha = 0.5;
+                      prior = Wire.default_prior;
                       num_buckets = buckets;
                     }));
             check_response "jq inline" expected_jq_inline
@@ -342,20 +409,20 @@ let integration_test () =
                  (Wire.Jq
                     {
                       source = Wire.Inline inline_qs;
-                      alpha = 0.5;
+                      prior = Wire.default_prior;
                       num_buckets = buckets;
                     }));
             check_response "select" (expected_select ~budget:12. ~seed)
               (roundtrip ic oc
                  (Wire.Select
-                    { pool = "itest"; budget = 12.; alpha = 0.5; seed }));
+                    { pool = "itest"; budget = 12.; prior = Wire.default_prior; seed }));
             check_response "table" (expected_table ~budgets:[ 6.; 12. ] ~seed:5)
               (roundtrip ic oc
                  (Wire.Table
                     {
                       pool = "itest";
                       budgets = [ 6.; 12. ];
-                      alpha = 0.5;
+                      prior = Wire.default_prior;
                       seed = 5;
                     }))
           done;
@@ -385,7 +452,7 @@ let integration_test () =
         (let fd, ic, oc = connect port in
          let reply =
            roundtrip ic oc
-             (Wire.Select { pool = "nope"; budget = 5.; alpha = 0.5; seed = 1 })
+             (Wire.Select { pool = "nope"; budget = 5.; prior = Wire.default_prior; seed = 1 })
          in
          Unix.close fd;
          match reply with
@@ -401,6 +468,121 @@ let integration_test () =
       | Ok r -> Alcotest.failf "bad line: %s" (Wire.encode_response r)
       | Error e -> Alcotest.failf "bad line: undecodable reply %s" e);
       check_response "connection survives" Wire.Pong (roundtrip ic oc Wire.Ping);
+      Unix.close fd)
+
+(* The multi-class mirror of [integration_test]: a 3-label confusion-matrix
+   pool registered over TCP must answer jq/select/table byte-identically to
+   direct engine calls, whatever the cache warmth (rounds 2-3 replay warm
+   memos).  The expected pool is built from the very floats sent on the
+   wire: Confusion.make normalizes rows, and normalization is not bitwise
+   idempotent, so both sides must normalize exactly once from the same
+   input. *)
+let multiclass_integration_test () =
+  let labels = 3 in
+  let n = 10 in
+  let raw =
+    Array.init n (fun i ->
+        let d = 0.5 +. (0.045 *. float_of_int i) in
+        let off = (1. -. d) /. float_of_int (labels - 1) in
+        let matrix =
+          Array.init labels (fun j ->
+              Array.init labels (fun v -> if j = v then d else off))
+        in
+        (matrix, 1. +. float_of_int (i mod 4)))
+  in
+  let rows =
+    Array.to_list (Array.map (fun (m, c) -> Wire.Matrix_row (m, c)) raw)
+  in
+  let epool =
+    Engine.Pool.of_confusions
+      (Array.mapi
+         (fun id (matrix, cost) -> Workers.Confusion.make ~id ~matrix ~cost ())
+         raw)
+  in
+  let prior = [ 0.2; 0.5; 0.3 ] in
+  let task = Engine.Task.make ~prior:(Array.of_list prior) in
+  let buckets = Jq.Bucket.default_num_buckets in
+  let expected_jq =
+    Wire.Jq_result
+      {
+        value =
+          Engine.Objective.score
+            (Engine.Objective.bv_bucket ~num_buckets:buckets ())
+            ~task epool;
+        error_bound = 0.;
+        n;
+      }
+  in
+  let expected_select ~budget ~seed =
+    let result =
+      Jsp.Annealing.solve_engine ~num_buckets:buckets
+        ~rng:(Prob.Rng.create seed) ~task ~budget epool
+    in
+    Wire.Select_result
+      {
+        ids = Engine.Pool.ids result.Jsp.Solver.jury;
+        score = result.Jsp.Solver.score;
+        cost = Engine.Pool.total_cost result.Jsp.Solver.jury;
+      }
+  in
+  let expected_table ~budgets ~seed =
+    Wire.Table_result
+      (List.map
+         (fun budget ->
+           match expected_select ~budget ~seed with
+           | Wire.Select_result { ids; score; cost } ->
+               { Wire.budget; ids; quality = score; required = cost }
+           | _ -> assert false)
+         budgets)
+  in
+  with_server ~domains:2 ~queue_capacity:64 (fun _service port ->
+      (let fd, ic, oc = connect port in
+       (match
+          roundtrip ic oc (Wire.Pool_put { name = "m3"; workers = rows })
+        with
+       | Wire.Pool_info { name = "m3"; size = 10; _ } -> ()
+       | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+       Unix.close fd);
+      let failures = Array.make 3 None in
+      let client i =
+        try
+          let fd, ic, oc = connect port in
+          let seed = 11 + i in
+          for _round = 1 to 3 do
+            check_response "jq 3-label" expected_jq
+              (roundtrip ic oc
+                 (Wire.Jq
+                    { source = Wire.Named "m3"; prior; num_buckets = buckets }));
+            check_response "select 3-label" (expected_select ~budget:5. ~seed)
+              (roundtrip ic oc
+                 (Wire.Select { pool = "m3"; budget = 5.; prior; seed }));
+            check_response "table 3-label"
+              (expected_table ~budgets:[ 2.; 5. ] ~seed:13)
+              (roundtrip ic oc
+                 (Wire.Table
+                    { pool = "m3"; budgets = [ 2.; 5. ]; prior; seed = 13 }))
+          done;
+          Unix.close fd
+        with exn -> failures.(i) <- Some (Printexc.to_string exn)
+      in
+      let threads = List.init 3 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i failure ->
+          match failure with
+          | Some msg -> Alcotest.failf "client %d: %s" i msg
+          | None -> ())
+        failures;
+      (* A prior that disagrees with the pool's label count is a
+         per-request error, not an executor crash. *)
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Select
+              { pool = "m3"; budget = 5.; prior = Wire.default_prior; seed = 1 })
+       with
+      | Wire.Error { code = Wire.Bad_request; _ } -> ()
+      | r -> Alcotest.failf "label mismatch: %s" (Wire.encode_response r));
       Unix.close fd)
 
 (* Saturate a 1-domain, 1-slot service with slow selects: some submissions
@@ -421,7 +603,7 @@ let overload_test () =
           match
             Serve.Service.submit service
               (Wire.Select
-                 { pool = "big"; budget = 40.; alpha = 0.5; seed = (10 * i) + seed })
+                 { pool = "big"; budget = 40.; prior = Wire.default_prior; seed = (10 * i) + seed })
           with
           | Wire.Select_result _ -> ()
           | Wire.Error { code = Wire.Overload; _ } -> Atomic.incr overloads
@@ -452,13 +634,13 @@ let shutdown_test () =
   let service = Serve.Service.create ~domains:1 ~queue_capacity:4 () in
   ignore
     (Serve.Service.submit service
-       (Wire.Pool_put { name = "p"; workers = [ (0.8, 1.) ] }));
+       (Wire.Pool_put { name = "p"; workers = [ Wire.Scalar (0.8, 1.) ] }));
   Serve.Service.shutdown service;
   Serve.Service.shutdown service;
   (* idempotent *)
   (match
      Serve.Service.submit service
-       (Wire.Select { pool = "p"; budget = 2.; alpha = 0.5; seed = 1 })
+       (Wire.Select { pool = "p"; budget = 2.; prior = Wire.default_prior; seed = 1 })
    with
   | Wire.Error { code = Wire.Shutdown; _ } -> ()
   | r -> Alcotest.failf "post-shutdown select: %s" (Wire.encode_response r));
@@ -470,6 +652,8 @@ let service_tests =
   [
     Alcotest.test_case "tcp mixed queries match direct calls" `Quick
       integration_test;
+    Alcotest.test_case "tcp 3-label pool matches direct engine calls" `Quick
+      multiclass_integration_test;
     Alcotest.test_case "overload degrades gracefully" `Quick overload_test;
     Alcotest.test_case "shutdown drains and refuses" `Quick shutdown_test;
   ]
@@ -509,6 +693,57 @@ let pool_io_tests =
             Alcotest.(check int)
               "size" (Workers.Pool.size pool)
               (Workers.Pool.size loaded)));
+    Alcotest.test_case "matrix doc round-trip" `Quick (fun () ->
+        let confusions =
+          Array.init 4 (fun i ->
+              let d = 0.55 +. (0.05 *. float_of_int i) in
+              let off = (1. -. d) /. 2. in
+              Workers.Confusion.make ~id:i
+                ~matrix:
+                  (Array.init 3 (fun j ->
+                       Array.init 3 (fun v -> if j = v then d else off)))
+                ~cost:(float_of_int (i + 1))
+                ())
+        in
+        let doc = Workers.Pool_io.Matrix_rows confusions in
+        match
+          Workers.Pool_io.doc_of_csv_string
+            (Workers.Pool_io.doc_to_csv_string doc)
+        with
+        | Workers.Pool_io.Matrix_rows loaded ->
+            Alcotest.(check int) "size" 4 (Array.length loaded);
+            Array.iteri
+              (fun i c ->
+                Alcotest.(check int) "labels" 3 (Workers.Confusion.labels c);
+                Alcotest.(check (float 1e-12))
+                  "cost"
+                  (Workers.Confusion.cost confusions.(i))
+                  (Workers.Confusion.cost c);
+                for j = 0 to 2 do
+                  Alcotest.(check (array (float 1e-12)))
+                    "row"
+                    (Workers.Confusion.row confusions.(i) j)
+                    (Workers.Confusion.row c j)
+                done)
+              loaded
+        | Workers.Pool_io.Scalar_rows _ ->
+            Alcotest.fail "expected a matrix document");
+    Alcotest.test_case "scalar doc is Scalar_rows" `Quick (fun () ->
+        match Workers.Pool_io.doc_of_csv_string "name,quality,cost\nA,0.8,2\n" with
+        | Workers.Pool_io.Scalar_rows pool ->
+            Alcotest.(check int) "size" 1 (Workers.Pool.size pool)
+        | Workers.Pool_io.Matrix_rows _ -> Alcotest.fail "expected scalar");
+    Alcotest.test_case "matrix doc rejects bad rows" `Quick (fun () ->
+        let expect_failure name csv =
+          match Workers.Pool_io.doc_of_csv_string csv with
+          | exception Failure _ -> ()
+          | _ -> Alcotest.failf "%s: expected Failure" name
+        in
+        expect_failure "non-square" "A,1,0.8,0.2,0.2,0.8,0.5";
+        expect_failure "row sum" "A,1,0.8,0.8,0.2,0.8";
+        expect_failure "mixed labels"
+          "A,1,0.8,0.2,0.2,0.8\nB,1,0.8,0.1,0.1,0.1,0.8,0.1,0.1,0.1,0.8";
+        expect_failure "mixed kinds" "A,1,0.8,0.2,0.2,0.8\nB,0.9,1");
   ]
 
 let () =
