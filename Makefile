@@ -22,10 +22,14 @@ bench:
 # Fast CI smoke for the annealing hot path: one fig7b cell at N = 500,
 # seed solver vs cached-incremental, emitting BENCH_jsp.json; then the
 # engine rows at l = 2, 3, 5 (BENCH_multiclass.json), whose l = 2 select
-# must stay within 5% of the direct binary solver.
+# must stay within 5% of the direct binary solver; then short gated
+# serving rows at 1/2/4 domains (BENCH_serve.json) — the gate fails on
+# any request error or on multi-domain speedup below the core-aware
+# threshold (1.3 with >= 2 cores, 0.8 parity floor on 1 core).
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 	dune exec bench/main.exe -- --multiclass
+	dune exec bench/serve_bench.exe -- --fast --gate
 
 # Engine jq throughput and select latency at l = 2, 3 and 5, written to
 # BENCH_multiclass.json.  Exits nonzero when the l = 2 row regresses more
@@ -33,8 +37,9 @@ bench-smoke:
 bench-multiclass:
 	dune exec bench/main.exe -- --multiclass
 
-# Serving throughput at 1, 2 and the recommended number of executor
-# domains, written to BENCH_serve.json.
+# Serving throughput at 1, 2 and 4 executor domains over four
+# shard-spread pools, written to BENCH_serve.json with the 2-domain
+# (scaling_2d) and widest-row (speedup_vs_1_domain) ratios.
 bench-serve: build
 	dune exec bench/serve_bench.exe
 

@@ -489,9 +489,20 @@ let serve_cmd =
       & opt (some float) (Some 10.)
       & info [ "log-interval" ] ~doc:"Seconds between stderr metric lines (0 = off).")
   in
-  let run port domains queue_cap deadline log_interval file =
+  let batch_max_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch-max" ]
+          ~doc:"Most same-pool jq queries coalesced into one evaluation.")
+  in
+  let run port domains queue_cap deadline log_interval batch_max file =
+    (* Executor domains size their own minor heaps; the accept/submit
+       threads allocate here, and this domain's collections handshake
+       with every executor just the same. *)
+    Gc.set { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024 };
     let service =
-      Serve.Service.create ?domains ~queue_capacity:queue_cap ?deadline ()
+      Serve.Service.create ?domains ~queue_capacity:queue_cap ?deadline
+        ~batch_max ()
     in
     (match file with
     | Some path ->
@@ -516,7 +527,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the jury-selection TCP daemon.")
     Term.(
       const run $ port_arg ~default:7071 $ domains_arg $ queue_arg $ deadline_arg
-      $ log_arg $ file_arg)
+      $ log_arg $ batch_max_arg $ file_arg)
 
 (* ---- loadgen ------------------------------------------------------- *)
 
@@ -614,10 +625,21 @@ let loadgen_cmd =
             "Budget for select/table requests (default 12, or 6 for \
              matrix pools).")
   in
-  let run host port connections duration mix pool_size labels budget seed =
+  let pools_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pools" ]
+          ~doc:
+            "Distinct pools to register and spread connections over — \
+             each connection sticks to one pool, so the server's \
+             pool-affinity sharding sees several independent streams.")
+  in
+  let run host port connections duration mix pool_size labels budget pools
+      seed =
     if connections <= 0 then failwith "connections must be positive";
     if duration <= 0. then failwith "duration must be positive";
     if labels < 2 then failwith "labels must be at least 2";
+    if pools <= 0 then failwith "pools must be positive";
     let pool_size =
       match pool_size with Some n -> n | None -> if labels = 2 then 40 else 12
     in
@@ -629,9 +651,12 @@ let loadgen_cmd =
       Array.concat
         (List.map (fun (kind, w) -> Array.make w kind) mix)
     in
-    let pool_name = "loadgen" in
+    let pool_names =
+      Array.init pools (fun i ->
+          if pools = 1 then "loadgen" else Printf.sprintf "loadgen-%d" i)
+    in
     let pool_prior = List.init labels (fun _ -> 1. /. float_of_int labels) in
-    (* One-time setup on its own connection: register the target pool. *)
+    (* One-time setup on its own connection: register the target pools. *)
     let pool =
       Workers.Generator.gaussian_pool (Prob.Rng.create seed)
         Workers.Generator.default pool_size
@@ -657,16 +682,19 @@ let loadgen_cmd =
           (Workers.Pool.to_list pool)
     in
     (let fd, ic, oc = lg_connect host port in
-     (match
-        lg_roundtrip ic oc (Serve.Wire.Pool_put { name = pool_name; workers })
-      with
-     | Ok (Serve.Wire.Pool_info _) -> ()
-     | Ok r ->
-         failwith
-           ("pool-put: unexpected reply " ^ Serve.Wire.encode_response r)
-     | Error e -> failwith ("pool-put: " ^ e));
+     Array.iter
+       (fun name ->
+         match
+           lg_roundtrip ic oc (Serve.Wire.Pool_put { name; workers })
+         with
+         | Ok (Serve.Wire.Pool_info _) -> ()
+         | Ok r ->
+             failwith
+               ("pool-put: unexpected reply " ^ Serve.Wire.encode_response r)
+         | Error e -> failwith ("pool-put: " ^ e))
+       pool_names;
      Unix.close fd);
-    let request_of rng = function
+    let request_of ~pool_name rng = function
       | "jq" ->
           (* Inline qualities are the binary model whatever the pool. *)
           let qs =
@@ -711,19 +739,23 @@ let loadgen_cmd =
           true
       | _ -> false
     in
-    let t_start = Unix.gettimeofday () in
+    let t_start = Serve.Clock.now () in
     let t_end = t_start +. duration in
     let results = Array.init connections (fun _ -> lg_fresh ()) in
     let worker i =
       let counters = results.(i) in
+      let pool_name = pool_names.(i mod Array.length pool_names) in
       let rng = Prob.Rng.create (seed + (1000 * (i + 1))) in
       try
         let fd, ic, oc = lg_connect host port in
-         while Unix.gettimeofday () < t_end do
-           let request = request_of rng kinds.(Prob.Rng.int rng (Array.length kinds)) in
-           let t0 = Unix.gettimeofday () in
+         while Serve.Clock.now () < t_end do
+           let request =
+             request_of ~pool_name rng
+               kinds.(Prob.Rng.int rng (Array.length kinds))
+           in
+           let t0 = Serve.Clock.now () in
            let reply = lg_roundtrip ic oc request in
-           let t1 = Unix.gettimeofday () in
+           let t1 = Serve.Clock.now () in
            counters.sent <- counters.sent + 1;
            counters.latencies <- (t1 -. t0) :: counters.latencies;
            match reply with
@@ -748,7 +780,7 @@ let loadgen_cmd =
     in
     List.iter Thread.join threads;
     let per_thread = Array.to_list results in
-    let wall = Unix.gettimeofday () -. t_start in
+    let wall = Serve.Clock.now () -. t_start in
     let total = lg_fresh () in
     List.iter
       (fun c ->
@@ -790,7 +822,7 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg ~default:7071 $ connections_arg
       $ duration_arg $ mix_arg $ pool_size_arg $ labels_arg $ lg_budget_arg
-      $ seed_arg)
+      $ pools_arg $ seed_arg)
 
 (* ---- amt ---------------------------------------------------------- *)
 

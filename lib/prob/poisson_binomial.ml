@@ -120,8 +120,13 @@ module Incremental = struct
         if x = p then Some rest
         else Option.map (fun r -> x :: r) (drop p rest)
 
-  (* Inverse convolution: new[k] = p·prev[k−1] + (1−p)·prev[k], solved for
-     prev in ascending k.  O(n); falls back to a rebuild when drift shows
+  (* Inverse convolution: new[k] = p·prev[k−1] + (1−p)·prev[k].  The
+     recurrence can be solved in ascending k (divide by 1−p) or
+     descending k (divide by p); always picking the direction whose
+     divisor is ≥ 1/2 keeps the per-step error amplification bounded —
+     solving ascending with p near 1 divides by a vanishing 1−p and
+     explodes (high-quality workers make such p common on the serving
+     path).  O(n); falls back to a rebuild when drift still shows
      (negative mass or total off 1) or periodically. *)
   let deconvolve t p =
     let dp = t.dp in
@@ -134,14 +139,38 @@ module Incremental = struct
       done
     else begin
       let total = ref 0. in
-      let prev = ref 0. in
-      for k = 0 to n - 1 do
-        let v = (dp.(k) -. (p *. !prev)) /. (1. -. p) in
-        let v = if v > 0. then v else if v < -1e-9 then (ok := false; 0.) else 0. in
-        dp.(k) <- v;
-        prev := v;
-        total := !total +. v
-      done;
+      let clamp v =
+        if v > 0. then v
+        else begin
+          if v < -1e-9 then ok := false;
+          0.
+        end
+      in
+      if p < 0.5 then begin
+        (* Ascending: prev[k] = (new[k] − p·prev[k−1]) / (1−p). *)
+        let prev = ref 0. in
+        for k = 0 to n - 1 do
+          let v = clamp ((dp.(k) -. (p *. !prev)) /. (1. -. p)) in
+          dp.(k) <- v;
+          prev := v;
+          total := !total +. v
+        done
+      end
+      else begin
+        (* Descending: prev[k−1] = (new[k] − (1−p)·prev[k]) / p.  Each
+           step reads new[k] before anything overwrites it, so prev
+           lands shifted one slot up and is moved down afterwards. *)
+        let prev = ref 0. in
+        for k = n downto 1 do
+          let v = clamp ((dp.(k) -. ((1. -. p) *. !prev)) /. p) in
+          dp.(k) <- v;
+          prev := v;
+          total := !total +. v
+        done;
+        for k = 0 to n - 1 do
+          dp.(k) <- dp.(k + 1)
+        done
+      end;
       if Float.abs (!total -. 1.) > 1e-6 then ok := false
     end;
     dp.(n) <- 0.;

@@ -39,9 +39,15 @@ let summarize xs =
 let quantile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty data";
-  if p < 0. || p > 1. then invalid_arg "Stats.quantile: p outside [0, 1]";
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Stats.quantile: p outside [0, 1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Monomorphic compare: polymorphic [compare] on a float array is both
+     slow (tag dispatch per comparison on the hot stats path) and
+     NaN-unsafe (inconsistent order poisons the sort).  [Float.compare]
+     totals NaN below every number, so any NaN ends up at index 0. *)
+  Array.sort Float.compare sorted;
+  if Float.is_nan sorted.(0) then invalid_arg "Stats.quantile: NaN in data";
   let position = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor position) in
   let hi = int_of_float (Float.ceil position) in

@@ -22,9 +22,10 @@ val summarize : float array -> summary
 (** All of the above in one pass structure; [count = 0] gives NaN moments. *)
 
 val quantile : float array -> float -> float
-(** [quantile xs p] with [0 <= p <= 1]: linear-interpolation quantile of the
-    sorted data.  @raise Invalid_argument on empty input or p outside
-    [0, 1]. *)
+(** [quantile xs p] with [0 <= p <= 1]: linear-interpolation quantile of
+    the data, sorted with the monomorphic [Float.compare].
+    @raise Invalid_argument on empty input, NaN in the data, or [p]
+    outside [0, 1] (including NaN). *)
 
 val median : float array -> float
 (** [quantile xs 0.5]. *)

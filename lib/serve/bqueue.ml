@@ -3,9 +3,12 @@ type 'a t = {
   mutable head : int;      (* Index of the oldest item. *)
   mutable len : int;
   mutable closed : bool;
+  mutable invites : int;   (* Latched steal invitations for the owner. *)
   lock : Mutex.t;
-  nonempty : Condition.t;
+  wake : Condition.t;      (* Owner sleeps here; push/invite/close signal. *)
 }
+
+type push_result = Pushed of int | Full | Closed
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Bqueue.create: capacity <= 0";
@@ -14,8 +17,9 @@ let create ~capacity =
     head = 0;
     len = 0;
     closed = false;
+    invites = 0;
     lock = Mutex.create ();
-    nonempty = Condition.create ();
+    wake = Condition.create ();
   }
 
 let with_lock t f =
@@ -24,14 +28,15 @@ let with_lock t f =
 
 let capacity t = Array.length t.buf
 
-let try_push t x =
+let push t x =
   with_lock t (fun () ->
-      if t.closed || t.len = capacity t then false
+      if t.closed then Closed
+      else if t.len = capacity t then Full
       else begin
         t.buf.((t.head + t.len) mod capacity t) <- Some x;
         t.len <- t.len + 1;
-        Condition.signal t.nonempty;
-        true
+        Condition.signal t.wake;
+        Pushed t.len
       end)
 
 let take_front t =
@@ -43,30 +48,55 @@ let take_front t =
       t.len <- t.len - 1;
       x
 
+(* Caller holds the lock and has checked [t.len > 0]. *)
+let drain_run t ~max ~compatible =
+  let first = take_front t in
+  let batch = ref [ first ] in
+  let count = ref 1 in
+  let continue = ref true in
+  while !continue && t.len > 0 && !count < max do
+    match t.buf.(t.head) with
+    | Some next when compatible first next ->
+        batch := take_front t :: !batch;
+        incr count
+    | _ -> continue := false
+  done;
+  List.rev !batch
+
 let pop_batch t ~max ~compatible =
   with_lock t (fun () ->
-      while t.len = 0 && not t.closed do
-        Condition.wait t.nonempty t.lock
-      done;
-      if t.len = 0 then None
-      else begin
-        let first = take_front t in
-        let batch = ref [ first ] in
-        let count = ref 1 in
-        let continue = ref true in
-        while !continue && t.len > 0 && !count < max do
-          match t.buf.(t.head) with
-          | Some next when compatible first next ->
-              batch := take_front t :: !batch;
-              incr count
-          | _ -> continue := false
-        done;
-        Some (List.rev !batch)
-      end)
+      (* Queued work first, then invitations, then shutdown: the shard is
+         always drained before its owner exits. *)
+      let rec wait () =
+        if t.len > 0 then `Batch (drain_run t ~max ~compatible)
+        else if t.invites > 0 then begin
+          t.invites <- 0;
+          `Invited
+        end
+        else if t.closed then `Closed
+        else begin
+          Condition.wait t.wake t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let steal t ~max ~compatible =
+  with_lock t (fun () ->
+      (* A lone queued item is the owner's next pop; stealing it buys
+         nothing and moves the work to a colder executor.  Only a real
+         backlog (or a closed queue being drained) is worth taking. *)
+      if t.len = 0 || (t.len < 2 && not t.closed) then []
+      else drain_run t ~max ~compatible)
+
+let invite t =
+  with_lock t (fun () ->
+      t.invites <- t.invites + 1;
+      Condition.signal t.wake)
 
 let close t =
   with_lock t (fun () ->
       t.closed <- true;
-      Condition.broadcast t.nonempty)
+      Condition.broadcast t.wake)
 
 let length t = with_lock t (fun () -> t.len)

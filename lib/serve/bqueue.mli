@@ -1,31 +1,59 @@
-(** Bounded multi-producer multi-consumer work queue.
+(** Bounded single-owner work queue — one shard of the serve data plane.
 
-    The admission-control point of the service: producers never block —
-    {!try_push} either enqueues or reports the queue full, so overload
-    turns into an explicit wire reply instead of unbounded growth.
-    Consumers block on a condition variable; {!pop_batch} additionally
-    drains a run of compatible items from the front in one critical
-    section, which is how same-pool [jq] queries coalesce into one
-    cache-warm evaluation.  Safe across OCaml 5 domains and systhreads
-    (one mutex, one condition). *)
+    Each executor domain owns exactly one shard: the owner blocks in
+    {!pop_batch} on the shard's private mutex/condvar, so two executors
+    never contend on the same lock in steady state (the failure mode that
+    made the pre-sharding single global queue scale negatively).  Other
+    actors touch a foreign shard only briefly: producers {!push} into it,
+    idle executors {!steal} a run from its front, and a producer that
+    observes backlog {!invite}s a neighbouring shard's owner to come
+    stealing.
+
+    Batching is preserved per shard: both {!pop_batch} and {!steal} drain
+    a FIFO run of [compatible] items from the front in one critical
+    section, which is how same-pool [jq] queries keep coalescing into one
+    cache-warm evaluation after sharding. *)
 
 type 'a t
+
+type push_result =
+  | Pushed of int  (** Enqueued; payload is the queue length after the push. *)
+  | Full           (** At capacity — the dispatcher may spill elsewhere. *)
+  | Closed         (** Shut down — no further pushes will ever succeed. *)
 
 val create : capacity:int -> 'a t
 (** @raise Invalid_argument for capacity <= 0. *)
 
-val try_push : 'a t -> 'a -> bool
-(** Enqueue without blocking; [false] when the queue is full or closed. *)
+val push : 'a t -> 'a -> push_result
+(** Enqueue without blocking and wake the owner if it sleeps. *)
 
-val pop_batch : 'a t -> max:int -> compatible:('a -> 'a -> bool) -> 'a list option
-(** Block until an item is available; return it plus up to [max - 1]
-    immediately following items [compatible] with it (FIFO order is
-    preserved — draining stops at the first incompatible item).  [None]
-    once the queue is closed {i and} drained. *)
+val pop_batch :
+  'a t ->
+  max:int ->
+  compatible:('a -> 'a -> bool) ->
+  [ `Batch of 'a list | `Invited | `Closed ]
+(** Owner-only.  Block until something happens on this shard:
+    [`Batch items] — the front item plus up to [max - 1] immediately
+    following [compatible] items (FIFO order, stopping at the first
+    incompatible one); [`Invited] — a producer signalled backlog on some
+    other shard, go try {!steal}ing (the invitation counter is consumed);
+    [`Closed] — the shard is closed {i and} drained, the owner may exit. *)
+
+val steal : 'a t -> max:int -> compatible:('a -> 'a -> bool) -> 'a list
+(** Thief-side, never blocks: take a front run exactly like {!pop_batch}
+    would, or [[]] when the shard is empty.  Items already queued remain
+    stealable after {!close} (they still must be answered). *)
+
+val invite : 'a t -> unit
+(** Ask the shard's owner to wake up and steal from its neighbours.  The
+    invitation is latched in a counter, so it is not lost when the owner
+    is busy: it is consumed at the owner's next idle {!pop_batch}. *)
 
 val close : 'a t -> unit
-(** Stop accepting pushes and wake every blocked consumer.  Items already
-    queued are still handed out. *)
+(** Stop accepting pushes and wake the owner.  Items already queued are
+    still handed out (to the owner or to thieves). *)
 
 val length : 'a t -> int
-(** Items currently queued (a racy snapshot, for metrics). *)
+(** Items currently queued (a racy snapshot, for routing and metrics). *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,1 @@
+external now : unit -> float = "optjs_clock_monotonic_s"

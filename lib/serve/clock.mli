@@ -1,0 +1,11 @@
+(** Monotonic time for the serving layer.
+
+    Deadlines, queue-wait expiry and latency measurements must survive a
+    wall-clock step (NTP slew, manual reset, VM resume): they are all
+    differences of instants, so they read CLOCK_MONOTONIC, whose epoch is
+    arbitrary but which never jumps.  Nothing in [lib/serve] should call
+    [Unix.gettimeofday] for interval arithmetic. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary (per-boot) epoch, monotonic non-decreasing
+    across threads and domains. Only differences are meaningful. *)

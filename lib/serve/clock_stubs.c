@@ -1,0 +1,14 @@
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+/* CLOCK_MONOTONIC never steps: an NTP adjustment of the wall clock cannot
+   mis-expire queued jobs or corrupt latency quantiles.  Seconds as a
+   double keeps call sites drop-in for the Unix.gettimeofday they replace
+   (53-bit mantissa ~ nanosecond resolution for centuries of uptime). */
+CAMLprim value optjs_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

@@ -1,8 +1,7 @@
-let ring_size = 8192
+let ring_size = 2048  (* per shard; quantiles merge the shards' rings *)
 
-type t = {
-  started_at : float;
-  lock : Mutex.t;
+type shard = {
+  lock : Mutex.t;  (* one writer domain + the snapshot thread: uncontended *)
   mutable requests : int;
   mutable ok : int;
   mutable errors : int;
@@ -11,17 +10,23 @@ type t = {
   mutable batches : int;
   mutable batched_saved : int;
   mutable jq_memo_hits : int;
+  mutable steals : int;
   per_verb : (string, int ref) Hashtbl.t;
   histogram : Prob.Histogram.t;      (* seconds, [0, 1] in 10 ms buckets *)
   ring : float array;                (* recent latencies, seconds *)
   mutable ring_len : int;
   mutable ring_next : int;
+}
+
+type t = {
+  started_at : float;                (* monotonic; uptime is a difference *)
+  shards : shard array;              (* executors 0 .. n-1, submitter at n *)
+  sources_lock : Mutex.t;
   mutable cache_sources : (unit -> Jsp.Objective_cache.stats) list;
 }
 
-let create () =
+let fresh_shard () =
   {
-    started_at = Unix.gettimeofday ();
     lock = Mutex.create ();
     requests = 0;
     ok = 0;
@@ -31,77 +36,161 @@ let create () =
     batches = 0;
     batched_saved = 0;
     jq_memo_hits = 0;
+    steals = 0;
     per_verb = Hashtbl.create 8;
     histogram = Prob.Histogram.create ~lo:0. ~hi:1. ~buckets:100;
     ring = Array.make ring_size 0.;
     ring_len = 0;
     ring_next = 0;
+  }
+
+let create ?(shards = 1) () =
+  if shards <= 0 then invalid_arg "Metrics.create: shards <= 0";
+  {
+    started_at = Clock.now ();
+    shards = Array.init (shards + 1) (fun _ -> fresh_shard ());
+    sources_lock = Mutex.create ();
     cache_sources = [];
   }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let shards t = Array.length t.shards
+let submitter t = Array.length t.shards - 1
 
-let record t ~verb ~latency ~ok =
-  with_lock t (fun () ->
-      t.requests <- t.requests + 1;
-      if ok then t.ok <- t.ok + 1 else t.errors <- t.errors + 1;
-      (match Hashtbl.find_opt t.per_verb verb with
+let with_shard t i f =
+  let s = t.shards.(i) in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s)
+
+let record t ~shard ~verb ~latency ~ok =
+  with_shard t shard (fun s ->
+      s.requests <- s.requests + 1;
+      if ok then s.ok <- s.ok + 1 else s.errors <- s.errors + 1;
+      (match Hashtbl.find_opt s.per_verb verb with
       | Some r -> incr r
-      | None -> Hashtbl.add t.per_verb verb (ref 1));
-      Prob.Histogram.add t.histogram latency;
-      t.ring.(t.ring_next) <- latency;
-      t.ring_next <- (t.ring_next + 1) mod ring_size;
-      if t.ring_len < ring_size then t.ring_len <- t.ring_len + 1)
+      | None -> Hashtbl.add s.per_verb verb (ref 1));
+      Prob.Histogram.add s.histogram latency;
+      s.ring.(s.ring_next) <- latency;
+      s.ring_next <- (s.ring_next + 1) mod ring_size;
+      if s.ring_len < ring_size then s.ring_len <- s.ring_len + 1)
 
 let overload t =
-  with_lock t (fun () ->
-      t.overloads <- t.overloads + 1;
-      t.requests <- t.requests + 1;
-      t.errors <- t.errors + 1)
+  with_shard t (submitter t) (fun s ->
+      s.overloads <- s.overloads + 1;
+      s.requests <- s.requests + 1;
+      s.errors <- s.errors + 1)
 
-let deadline t = with_lock t (fun () -> t.deadlines <- t.deadlines + 1)
+let deadline t ~shard =
+  with_shard t shard (fun s -> s.deadlines <- s.deadlines + 1)
 
-let batch t ~size =
-  with_lock t (fun () ->
-      t.batches <- t.batches + 1;
-      t.batched_saved <- t.batched_saved + (size - 1))
+let batch t ~shard ~size =
+  with_shard t shard (fun s ->
+      s.batches <- s.batches + 1;
+      s.batched_saved <- s.batched_saved + (size - 1))
 
-let jq_memo_hit t = with_lock t (fun () -> t.jq_memo_hits <- t.jq_memo_hits + 1)
+let jq_memo_hit t ~shard =
+  with_shard t shard (fun s -> s.jq_memo_hits <- s.jq_memo_hits + 1)
+
+let steal t ~shard = with_shard t shard (fun s -> s.steals <- s.steals + 1)
 
 let add_cache t ~merge =
-  with_lock t (fun () -> t.cache_sources <- merge :: t.cache_sources)
+  Mutex.lock t.sources_lock;
+  t.cache_sources <- merge :: t.cache_sources;
+  Mutex.unlock t.sources_lock
+
+(* Merged view of every shard: counters and histogram buckets sum, the
+   per-verb tables sum, and the rings concatenate.  Each shard is locked
+   only for its own copy-out. *)
+type merged = {
+  m_requests : int;
+  m_ok : int;
+  m_errors : int;
+  m_overloads : int;
+  m_deadlines : int;
+  m_batches : int;
+  m_batched_saved : int;
+  m_jq_memo_hits : int;
+  m_steals : int;
+  m_per_verb : (string, int) Hashtbl.t;
+  m_counts : int array;
+  m_latencies : float array;
+}
+
+let merge t =
+  let per_verb = Hashtbl.create 8 in
+  let counts = ref [||] in
+  let rings = ref [] in
+  let requests = ref 0 and ok = ref 0 and errors = ref 0 in
+  let overloads = ref 0 and deadlines = ref 0 in
+  let batches = ref 0 and batched_saved = ref 0 in
+  let jq_memo_hits = ref 0 and steals = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      with_shard t i (fun s ->
+          requests := !requests + s.requests;
+          ok := !ok + s.ok;
+          errors := !errors + s.errors;
+          overloads := !overloads + s.overloads;
+          deadlines := !deadlines + s.deadlines;
+          batches := !batches + s.batches;
+          batched_saved := !batched_saved + s.batched_saved;
+          jq_memo_hits := !jq_memo_hits + s.jq_memo_hits;
+          steals := !steals + s.steals;
+          Hashtbl.iter
+            (fun verb r ->
+              Hashtbl.replace per_verb verb
+                (!r + Option.value ~default:0 (Hashtbl.find_opt per_verb verb)))
+            s.per_verb;
+          let c = Prob.Histogram.counts s.histogram in
+          if Array.length !counts = 0 then counts := c
+          else Array.iteri (fun k v -> !counts.(k) <- !counts.(k) + v) c;
+          if s.ring_len > 0 then rings := Array.sub s.ring 0 s.ring_len :: !rings))
+    t.shards;
+  {
+    m_requests = !requests;
+    m_ok = !ok;
+    m_errors = !errors;
+    m_overloads = !overloads;
+    m_deadlines = !deadlines;
+    m_batches = !batches;
+    m_batched_saved = !batched_saved;
+    m_jq_memo_hits = !jq_memo_hits;
+    m_steals = !steals;
+    m_per_verb = per_verb;
+    m_counts = !counts;
+    m_latencies = Array.concat !rings;
+  }
 
 let snapshot t =
-  let base, latencies, sources =
-    with_lock t (fun () ->
-        let f = float_of_int in
-        let base =
-          [
-            ("uptime_s", Unix.gettimeofday () -. t.started_at);
-            ("requests", f t.requests);
-            ("ok", f t.ok);
-            ("errors", f t.errors);
-            ("overloads", f t.overloads);
-            ("deadlines", f t.deadlines);
-            ("batches", f t.batches);
-            ("batched_saved", f t.batched_saved);
-            ("jq_memo_hits", f t.jq_memo_hits);
-          ]
-          @ Hashtbl.fold
-              (fun verb r acc -> ("req_" ^ verb, f !r) :: acc)
-              t.per_verb []
-        in
-        (base, Array.sub t.ring 0 t.ring_len, t.cache_sources))
+  let m = merge t in
+  let sources =
+    Mutex.lock t.sources_lock;
+    let s = t.cache_sources in
+    Mutex.unlock t.sources_lock;
+    s
   in
-  (* Quantiles and cache sources are computed outside the lock: sorting the
-     ring copy is O(n log n), and the sources read executor-owned counters
-     on their own terms. *)
+  let f = float_of_int in
+  let base =
+    [
+      ("uptime_s", Clock.now () -. t.started_at);
+      ("requests", f m.m_requests);
+      ("ok", f m.m_ok);
+      ("errors", f m.m_errors);
+      ("overloads", f m.m_overloads);
+      ("deadlines", f m.m_deadlines);
+      ("batches", f m.m_batches);
+      ("batched_saved", f m.m_batched_saved);
+      ("jq_memo_hits", f m.m_jq_memo_hits);
+      ("steals", f m.m_steals);
+    ]
+    @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
+  in
+  (* Quantiles and cache sources run outside every shard lock: sorting the
+     merged ring is O(n log n), and the sources read executor-owned
+     counters on their own terms. *)
   let quantiles =
-    if Array.length latencies = 0 then []
+    if Array.length m.m_latencies = 0 then []
     else
-      let q p = 1000. *. Prob.Stats.quantile latencies p in
+      let q p = 1000. *. Prob.Stats.quantile m.m_latencies p in
       [ ("p50_ms", q 0.5); ("p95_ms", q 0.95); ("p99_ms", q 0.99) ]
   in
   let cache =
@@ -110,7 +199,6 @@ let snapshot t =
       Jsp.Objective_cache.empty_stats sources
   in
   let cache_rows =
-    let f = float_of_int in
     let lookups = cache.Jsp.Objective_cache.hits + cache.misses in
     [
       ("cache_hits", f cache.Jsp.Objective_cache.hits);
@@ -139,13 +227,16 @@ let pp_line ppf t =
   | Some rate when int_of "cache_hits" + int_of "cache_misses" > 0 ->
       Format.fprintf ppf " cache %.0f%%" (100. *. rate)
   | _ -> ());
-  let counts = Prob.Histogram.counts t.histogram in
+  let m = merge t in
+  let bounds = t.shards.(0).histogram in
   let nonempty = ref [] in
   Array.iteri
     (fun i c ->
       if c > 0 then
-        let lo, hi = Prob.Histogram.bucket_bounds t.histogram i in
-        nonempty := Printf.sprintf "[%.0f,%.0f)ms:%d" (1000. *. lo) (1000. *. hi) c :: !nonempty)
-    counts;
+        let lo, hi = Prob.Histogram.bucket_bounds bounds i in
+        nonempty :=
+          Printf.sprintf "[%.0f,%.0f)ms:%d" (1000. *. lo) (1000. *. hi) c
+          :: !nonempty)
+    m.m_counts;
   if !nonempty <> [] then
     Format.fprintf ppf " hist %s" (String.concat " " (List.rev !nonempty))

@@ -1,37 +1,58 @@
-(** Service metrics: request/error/overload counters, latency histograms
-    and quantiles, cache hit-rates.
+(** Service metrics, sharded per executor domain.
 
-    One instance is shared by every connection thread and executor domain;
-    all mutation happens under an internal lock (the touched state is a
-    handful of ints and one ring-buffer write, so contention is dwarfed by
-    the work being measured).  Latency keeps two views, both built on
-    {!Prob}: a fixed-bucket {!Prob.Histogram} over [0, 1] s for the
-    periodic log line, and a ring of the most recent samples from which
-    {!snapshot} computes p50/p95/p99 with {!Prob.Stats.quantile}. *)
+    The pre-sharding design funnelled every request completion from every
+    executor through one mutex, which showed up directly in the negative
+    multi-domain scaling of the serve bench.  Now each executor domain
+    owns a private metrics shard (counters, per-verb table, latency
+    histogram and ring) guarded by a mutex that only that executor and
+    the occasional {!snapshot} ever take — the record path never blocks
+    on another domain's traffic.  Submitting threads (control-plane
+    replies, overload rejections) share one extra shard: those events are
+    rare and cheap, so contention there is irrelevant.
+
+    Shards are merged only at {!snapshot}/{!pp_line} time: counters sum,
+    per-verb tables sum, histogram buckets sum, and the latency quantiles
+    are computed over the concatenation of the shards' recent-sample
+    rings.  A property test checks the merge against a single-accumulator
+    oracle run on the same event stream. *)
 
 type t
 
-val create : unit -> t
-(** Fresh counters; uptime is measured from this call. *)
+val create : ?shards:int -> unit -> t
+(** [shards] is the executor-domain count (default 1); one extra internal
+    shard is added for submitter-side events.  Uptime is measured from
+    this call on the monotonic clock.
+    @raise Invalid_argument for [shards <= 0]. *)
 
-val record : t -> verb:string -> latency:float -> ok:bool -> unit
-(** Count one completed request (latency in seconds, [ok] false for error
-    replies of any kind). *)
+val shards : t -> int
+(** Total shard count, including the submitter shard — valid [shard]
+    arguments are [0 .. shards t - 1]. *)
+
+val submitter : t -> int
+(** Index of the shard for events recorded by submitting threads. *)
+
+val record : t -> shard:int -> verb:string -> latency:float -> ok:bool -> unit
+(** Count one completed request on [shard] (latency in seconds, [ok]
+    false for error replies of any kind). *)
 
 val overload : t -> unit
-(** Count one admission-control rejection (also counts as an error reply;
-    do not additionally call {!record} for it). *)
+(** Count one admission-control rejection on the submitter shard (also
+    counts as an error reply; do not additionally call {!record}). *)
 
-val deadline : t -> unit
+val deadline : t -> shard:int -> unit
 (** Count one request expired in queue (the reply itself still goes
     through {!record} with [ok:false]). *)
 
-val batch : t -> size:int -> unit
+val batch : t -> shard:int -> size:int -> unit
 (** Count one executor batch of [size] coalesced jq queries ([size >= 2];
     saved evaluations = size − 1). *)
 
-val jq_memo_hit : t -> unit
+val jq_memo_hit : t -> shard:int -> unit
 (** Count one pool-jq query answered from the executor memo. *)
+
+val steal : t -> shard:int -> unit
+(** Count one batch obtained by work-stealing from another shard's
+    queue. *)
 
 val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 (** Register a pull-source of solver-cache counters (one per executor);
@@ -40,13 +61,13 @@ val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
     the executor (racy int reads are acceptable for monitoring). *)
 
 val snapshot : t -> (string * float) list
-(** Current values, sorted by key: [uptime_s], [requests], [ok], [errors],
+(** Merged values, sorted by key: [uptime_s], [requests], [ok], [errors],
     [overloads], [deadlines], [batches], [batched_saved], [jq_memo_hits],
-    [req_<verb>] per seen verb, [p50_ms]/[p95_ms]/[p99_ms] over recent
-    latencies (absent until a first sample), and [cache_hits],
+    [steals], [req_<verb>] per seen verb, [p50_ms]/[p95_ms]/[p99_ms] over
+    recent latencies (absent until a first sample), and [cache_hits],
     [cache_misses], [cache_hit_rate], [cache_entries], [cache_evictions]
     summed over registered sources. *)
 
 val pp_line : Format.formatter -> t -> unit
-(** One-line human summary plus the latency histogram buckets that are
-    nonempty — the periodic server log line. *)
+(** One-line human summary plus the merged latency-histogram buckets that
+    are nonempty — the periodic server log line. *)

@@ -1,8 +1,9 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
 (* A one-shot mailbox: the submitting thread blocks in [await] until the
-   executor [fill]s it.  Executors always fill every job they pop, and
-   shutdown drains the queue, so a submitted job cannot be dropped. *)
+   executor [fill]s it.  Executors always fill every job they pop or
+   steal, and shutdown drains every shard, so a submitted job cannot be
+   dropped. *)
 module Cell = struct
   type t = {
     lock : Mutex.t;
@@ -31,8 +32,8 @@ end
 
 type job = {
   request : Wire.request;   (* Only Jq / Select / Table are enqueued. *)
-  submitted : float;
-  deadline : float;         (* Absolute; [infinity] when none was set. *)
+  submitted : float;        (* Monotonic (Clock.now). *)
+  deadline : float;         (* Absolute monotonic; [infinity] when unset. *)
   cell : Cell.t;
 }
 
@@ -41,6 +42,7 @@ type job = {
    immutable once published) and the Objective_cache counters racily —
    fine for monitoring, and documented in docs/serving.md. *)
 type exec = {
+  shard : int;              (* This executor's queue and metrics shard. *)
   lock : Mutex.t;
   mutable select_memos :
     ((string * int * float list * float * int) * Jsp.Objective_cache.t) list;
@@ -70,12 +72,13 @@ let inc_cap = 8
 type t = {
   registry : Registry.t;
   metrics : Metrics.t;
-  queue : job Bqueue.t;
+  queue : job Dispatch.t;
   queue_capacity : int;
   n_domains : int;
   deadline : float option;
   batch_max : int;
   num_buckets : int;
+  inline_rr : int Atomic.t;   (* Spreads affinity-free requests. *)
   shutdown_lock : Mutex.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
@@ -165,7 +168,7 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
             with_lock exec.lock (fun () -> List.assoc_opt key exec.jq_memo)
           with
           | Some hit ->
-              Metrics.jq_memo_hit t.metrics;
+              Metrics.jq_memo_hit t.metrics ~shard:exec.shard;
               hit
           | None ->
               let entry =
@@ -299,10 +302,10 @@ let verb_of = function
 
 let response_ok = function Wire.Error _ -> false | _ -> true
 
-let reply t job response =
+let reply t exec job response =
   Cell.fill job.cell response;
-  Metrics.record t.metrics ~verb:(verb_of job.request)
-    ~latency:(Unix.gettimeofday () -. job.submitted)
+  Metrics.record t.metrics ~shard:exec.shard ~verb:(verb_of job.request)
+    ~latency:(Clock.now () -. job.submitted)
     ~ok:(response_ok response)
 
 (* Two queued jobs coalesce when they are jq queries answered by the very
@@ -315,32 +318,45 @@ let batchable a b =
   | _ -> false
 
 let process_batch t exec jobs =
-  let now = Unix.gettimeofday () in
+  let now = Clock.now () in
   let live, expired =
     List.partition (fun (job : job) -> now <= job.deadline) jobs
   in
   List.iter
     (fun job ->
-      Metrics.deadline t.metrics;
-      reply t job
+      Metrics.deadline t.metrics ~shard:exec.shard;
+      reply t exec job
         (Wire.Error { code = Wire.Deadline; message = "expired in queue" }))
     expired;
   match live with
   | [] -> ()
   | first :: rest ->
       let response = safe_eval t exec first.request in
-      reply t first response;
+      reply t exec first response;
       (* Followers are compatible by construction: same evaluation. *)
       if rest <> [] then begin
-        Metrics.batch t.metrics ~size:(List.length live);
-        List.iter (fun job -> reply t job response) rest
+        Metrics.batch t.metrics ~shard:exec.shard ~size:(List.length live);
+        List.iter (fun job -> reply t exec job response) rest
       end
 
+(* Annealing solves allocate heavily, and in a multi-domain runtime
+   every minor collection is a stop-the-world handshake across all
+   domains.  A serving executor trades a little memory (32 MB of minor
+   heap per domain) for an order-of-magnitude fewer handshakes — on an
+   overcommitted host the sync cost, not the collection itself, is what
+   collapses multi-domain throughput. *)
+let executor_minor_heap_words = 4 * 1024 * 1024
+
 let executor_loop t exec =
+  Gc.set { (Gc.get ()) with minor_heap_size = executor_minor_heap_words };
   let rec loop () =
-    match Bqueue.pop_batch t.queue ~max:t.batch_max ~compatible:batchable with
+    match
+      Dispatch.pop_batch t.queue ~shard:exec.shard ~max:t.batch_max
+        ~compatible:batchable
+    with
     | None -> ()
-    | Some jobs ->
+    | Some (jobs, origin) ->
+        if origin = `Stolen then Metrics.steal t.metrics ~shard:exec.shard;
         process_batch t exec jobs;
         loop ()
   in
@@ -362,22 +378,24 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
   let t =
     {
       registry = Registry.create ();
-      metrics = Metrics.create ();
-      queue = Bqueue.create ~capacity:queue_capacity;
+      metrics = Metrics.create ~shards:n_domains ();
+      queue = Dispatch.create ~shards:n_domains ~capacity:queue_capacity;
       queue_capacity;
       n_domains;
       deadline;
       batch_max;
       num_buckets;
+      inline_rr = Atomic.make 0;
       shutdown_lock = Mutex.create ();
       closed = false;
       workers = [];
     }
   in
   t.workers <-
-    List.init n_domains (fun _ ->
+    List.init n_domains (fun shard ->
         let exec =
           {
+            shard;
             lock = Mutex.create ();
             select_memos = [];
             retired = Jsp.Objective_cache.empty_stats;
@@ -395,18 +413,31 @@ let stats t =
     (Metrics.snapshot t.metrics
     @ [
         ("domains", f t.n_domains);
-        ("queue_len", f (Bqueue.length t.queue));
+        ("queue_len", f (Dispatch.length t.queue));
         ("queue_capacity", f t.queue_capacity);
       ])
 
 let inline_reply t ~start request response =
-  Metrics.record t.metrics ~verb:(verb_of request)
-    ~latency:(Unix.gettimeofday () -. start)
+  Metrics.record t.metrics
+    ~shard:(Metrics.submitter t.metrics)
+    ~verb:(verb_of request)
+    ~latency:(Clock.now () -. start)
     ~ok:(response_ok response);
   response
 
+(* Same-pool requests land on the same shard — preserving batching and
+   that shard's warm caches; requests without a pool spread round-robin
+   (any executor computes the identical reply). *)
+let affinity_of t request =
+  match request with
+  | Wire.Jq { source = Wire.Named name; _ }
+  | Wire.Select { pool = name; _ }
+  | Wire.Table { pool = name; _ } ->
+      Hashtbl.hash name
+  | _ -> Atomic.fetch_and_add t.inline_rr 1
+
 let submit t request =
-  let start = Unix.gettimeofday () in
+  let start = Clock.now () in
   match request with
   | Wire.Ping -> inline_reply t ~start request Wire.Pong
   | Wire.Stats -> inline_reply t ~start request (Wire.Stats_result (stats t))
@@ -444,7 +475,7 @@ let submit t request =
       | exception Invalid_argument msg ->
           inline_reply t ~start request
             (Wire.Error { code = Wire.Bad_request; message = msg }))
-  | Wire.Jq _ | Wire.Select _ | Wire.Table _ ->
+  | Wire.Jq _ | Wire.Select _ | Wire.Table _ -> (
       let job =
         {
           request;
@@ -454,24 +485,19 @@ let submit t request =
           cell = Cell.create ();
         }
       in
-      if t.closed then
-        inline_reply t ~start request
-          (Wire.Error { code = Wire.Shutdown; message = "service draining" })
-      else if Bqueue.try_push t.queue job then Cell.await job.cell
-      else if t.closed then
-        (* Lost the race against shutdown: the queue refused because it
-           closed, not because it is full. *)
-        inline_reply t ~start request
-          (Wire.Error { code = Wire.Shutdown; message = "service draining" })
-      else begin
-        Metrics.overload t.metrics;
-        Wire.Error
-          {
-            code = Wire.Overload;
-            message =
-              Printf.sprintf "queue full (%d waiting)" t.queue_capacity;
-          }
-      end
+      match Dispatch.push t.queue ~affinity:(affinity_of t request) job with
+      | `Ok -> Cell.await job.cell
+      | `Closed ->
+          inline_reply t ~start request
+            (Wire.Error { code = Wire.Shutdown; message = "service draining" })
+      | `Overload ->
+          Metrics.overload t.metrics;
+          Wire.Error
+            {
+              code = Wire.Overload;
+              message =
+                Printf.sprintf "queue full (%d waiting)" t.queue_capacity;
+            })
 
 let shutdown t =
   let workers =
@@ -479,7 +505,7 @@ let shutdown t =
         if t.closed then []
         else begin
           t.closed <- true;
-          Bqueue.close t.queue;
+          Dispatch.close t.queue;
           let w = t.workers in
           t.workers <- [];
           w

@@ -1,13 +1,18 @@
 (** The embeddable jury-selection service: registry + scheduler + metrics.
 
-    A service owns a bounded work queue fed by {!submit} and drained by a
-    fixed set of executor {!Domain}s.  Control-plane requests (ping, stats,
-    pool upsert/list) are answered inline by the submitting thread —
-    they stay responsive however backed up the compute queue is.  Compute
-    requests (jq, select, table) are enqueued; a full queue is an
-    immediate [err overload] reply (admission control — the queue never
-    grows past its bound), and a request that waits past its deadline is
-    answered [err deadline] by the executor that finally pops it.
+    A service owns a sharded work plane ({!Dispatch}: one bounded shard
+    queue per executor {!Domain}, affinity-routed by pool name, with
+    spill and bounded work-stealing) fed by {!submit}.  Control-plane
+    requests (ping, stats, pool upsert/list) are answered inline by the
+    submitting thread — they stay responsive however backed up the
+    compute plane is.  Compute requests (jq, select, table) are enqueued
+    on their pool's shard; when every shard with room is full the reply
+    is an immediate [err overload] (admission control — total queue depth
+    never grows past its bound), and a request that waits past its
+    monotonic-clock deadline ({!Clock}) is answered [err deadline] by the
+    executor that finally pops it.  Metrics are likewise sharded per
+    domain and merged only at snapshot time, so completing a request
+    takes no lock contended across domains.
 
     Each executor domain owns warm state keyed by pool version:
 
@@ -25,12 +30,14 @@
       same (pool, version, prior, buckets) memo;
     - batching: consecutive queued [jq] queries naming the same (pool,
       prior, buckets) are popped together and answered with a single
-      evaluation.
+      evaluation — same-pool affinity routing keeps such runs on one
+      shard, so sharding does not break coalescing.
 
     Caching is invisible in results: solver scores are deterministic
     functions of (pool, version, prior, budget, seed) regardless of cache
-    warmth, so any executor — warm or cold — returns byte-identical
-    responses, whichever worker model the pool holds. *)
+    warmth, so any executor — warm or cold, owner or work-stealing thief
+    — returns byte-identical responses, whichever worker model the pool
+    holds. *)
 
 type t
 

@@ -462,6 +462,26 @@ let test_quantile () =
     (Invalid_argument "Stats.quantile: p outside [0, 1]") (fun () ->
       ignore (Prob.Stats.quantile xs 1.5))
 
+let test_quantile_nan () =
+  (* [Float.compare] gives a total order, so NaN cannot scramble the
+     sort silently — it lands at index 0 and is rejected outright. *)
+  Alcotest.check_raises "NaN in data"
+    (Invalid_argument "Stats.quantile: NaN in data") (fun () ->
+      ignore (Prob.Stats.quantile [| 3.; nan; 1.; 2. |] 0.5));
+  Alcotest.check_raises "all-NaN data"
+    (Invalid_argument "Stats.quantile: NaN in data") (fun () ->
+      ignore (Prob.Stats.quantile [| nan |] 0.5));
+  Alcotest.check_raises "NaN p"
+    (Invalid_argument "Stats.quantile: p outside [0, 1]") (fun () ->
+      ignore (Prob.Stats.quantile [| 1.; 2. |] nan));
+  (* Signed zeros and infinities still sort correctly under the
+     monomorphic compare. *)
+  check_float "neg-zero median" 0. (Prob.Stats.median [| 0.; -0.; 0. |]);
+  check_float "infinities q0" neg_infinity
+    (Prob.Stats.quantile [| infinity; 1.; neg_infinity |] 0.);
+  check_float "infinities q1" infinity
+    (Prob.Stats.quantile [| infinity; 1.; neg_infinity |] 1.)
+
 let test_confidence_interval () =
   let xs = Array.make 100 3. in
   let lo, hi = Prob.Stats.confidence_interval_95 xs in
@@ -570,6 +590,7 @@ let () =
           Alcotest.test_case "known values" `Quick test_stats_known;
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "quantile NaN rejection" `Quick test_quantile_nan;
           Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
         ] );
       ( "histogram",

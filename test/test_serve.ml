@@ -258,35 +258,282 @@ let registry_tests =
         Alcotest.(check int) "size" 2 (Serve.Registry.size r));
   ]
 
-(* ---- bounded queue ---------------------------------------------------- *)
+(* ---- shard queue and dispatcher --------------------------------------- *)
+
+let jq_alike a b = match (a, b) with `Jq _, `Jq _ -> true | _ -> false
 
 let bqueue_tests =
   [
     Alcotest.test_case "admission control and FIFO batching" `Quick (fun () ->
         let q = Serve.Bqueue.create ~capacity:3 in
-        Alcotest.(check bool) "push 1" true (Serve.Bqueue.try_push q (`Jq 1));
-        Alcotest.(check bool) "push 2" true (Serve.Bqueue.try_push q (`Jq 2));
-        Alcotest.(check bool) "push 3" true (Serve.Bqueue.try_push q (`Sel 3));
-        Alcotest.(check bool) "full" false (Serve.Bqueue.try_push q (`Jq 4));
-        Alcotest.(check int) "length" 3 (Serve.Bqueue.length q);
-        let jq_alike a b =
-          match (a, b) with `Jq _, `Jq _ -> true | _ -> false
+        let pushed x =
+          match Serve.Bqueue.push q x with
+          | Serve.Bqueue.Pushed _ -> true
+          | Serve.Bqueue.Full | Serve.Bqueue.Closed -> false
         in
+        Alcotest.(check bool) "push 1" true (pushed (`Jq 1));
+        Alcotest.(check bool) "push 2" true (pushed (`Jq 2));
+        Alcotest.(check bool) "push 3" true (pushed (`Sel 3));
+        Alcotest.(check bool) "full" false (pushed (`Jq 4));
+        Alcotest.(check bool)
+          "full is Full" true
+          (Serve.Bqueue.push q (`Jq 4) = Serve.Bqueue.Full);
+        Alcotest.(check int) "length" 3 (Serve.Bqueue.length q);
         (* The two jq items coalesce; draining stops at the `Sel. *)
         (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
-        | Some batch ->
-            Alcotest.(check int) "batch size" 2 (List.length batch)
-        | None -> Alcotest.fail "unexpected close");
+        | `Batch batch -> Alcotest.(check int) "batch size" 2 (List.length batch)
+        | `Invited | `Closed -> Alcotest.fail "expected a batch");
         Serve.Bqueue.close q;
-        Alcotest.(check bool) "closed" false (Serve.Bqueue.try_push q (`Jq 5));
+        Alcotest.(check bool)
+          "closed refuses" true
+          (Serve.Bqueue.push q (`Jq 5) = Serve.Bqueue.Closed);
         (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
-        | Some [ `Sel 3 ] -> ()
-        | Some _ -> Alcotest.fail "wrong drain"
-        | None -> Alcotest.fail "queued item lost on close");
+        | `Batch [ `Sel 3 ] -> ()
+        | `Batch _ -> Alcotest.fail "wrong drain"
+        | `Invited | `Closed -> Alcotest.fail "queued item lost on close");
         (match Serve.Bqueue.pop_batch q ~max:8 ~compatible:jq_alike with
-        | None -> ()
-        | Some _ -> Alcotest.fail "expected None after close + drain"));
+        | `Closed -> ()
+        | `Batch _ | `Invited -> Alcotest.fail "expected `Closed after drain"));
+    Alcotest.test_case "invitations latch and are consumed" `Quick (fun () ->
+        let q = Serve.Bqueue.create ~capacity:2 in
+        Serve.Bqueue.invite q;
+        (* An invite queued while the owner was busy is seen at the next
+           idle pop, then consumed. *)
+        (match Serve.Bqueue.pop_batch q ~max:4 ~compatible:jq_alike with
+        | `Invited -> ()
+        | `Batch _ | `Closed -> Alcotest.fail "expected `Invited");
+        ignore (Serve.Bqueue.push q (`Jq 1));
+        (* Queued work takes priority over a pending invitation... *)
+        Serve.Bqueue.invite q;
+        (match Serve.Bqueue.pop_batch q ~max:4 ~compatible:jq_alike with
+        | `Batch [ `Jq 1 ] -> ()
+        | _ -> Alcotest.fail "expected the queued item first");
+        (* ... and the latched invitation is still there afterwards. *)
+        (match Serve.Bqueue.pop_batch q ~max:4 ~compatible:jq_alike with
+        | `Invited -> ()
+        | `Batch _ | `Closed -> Alcotest.fail "invitation was lost");
+        Serve.Bqueue.close q);
+    Alcotest.test_case "steal takes a bounded front run" `Quick (fun () ->
+        let q = Serve.Bqueue.create ~capacity:8 in
+        List.iter
+          (fun x -> ignore (Serve.Bqueue.push q x))
+          [ `Jq 1; `Jq 2; `Jq 3; `Sel 4; `Jq 5 ];
+        Alcotest.(check int)
+          "bounded" 2
+          (List.length (Serve.Bqueue.steal q ~max:2 ~compatible:jq_alike));
+        (match Serve.Bqueue.steal q ~max:8 ~compatible:jq_alike with
+        | [ `Jq 3 ] -> ()  (* run stops at the incompatible `Sel *)
+        | _ -> Alcotest.fail "steal should stop at the first incompatible");
+        Serve.Bqueue.close q;
+        Alcotest.(check int)
+          "stealable after close" 2
+          (List.length
+             (Serve.Bqueue.steal q ~max:8 ~compatible:(fun _ _ -> true))));
   ]
+
+(* The regression the old global queue pinned and the sharded dispatcher
+   must preserve: same-pool jobs enqueued contiguously still coalesce
+   into one batch, and an odd-pool job at the head only delays — never
+   permanently defeats — the batch behind it. *)
+let dispatch_batching_test () =
+  let d = Serve.Dispatch.create ~shards:2 ~capacity:16 in
+  (* One affinity value: everything lands on the same shard, like
+     same-pool traffic does. *)
+  let aff = 7 in
+  List.iter
+    (fun x -> ignore (Serve.Dispatch.push d ~affinity:aff x))
+    [ `Sel 0; `Jq 1; `Jq 2; `Jq 3; `Sel 4; `Jq 5; `Jq 6 ];
+  let shard = abs (aff mod 2) in
+  let pop () =
+    match Serve.Dispatch.pop_batch d ~shard ~max:8 ~compatible:jq_alike with
+    | Some (batch, _) -> batch
+    | None -> Alcotest.fail "unexpected close"
+  in
+  Alcotest.(check int) "head sel alone" 1 (List.length (pop ()));
+  (match pop () with
+  | [ `Jq 1; `Jq 2; `Jq 3 ] -> ()
+  | batch ->
+      Alcotest.failf "contiguous jq run did not batch (got %d items)"
+        (List.length batch));
+  Alcotest.(check int) "next sel alone" 1 (List.length (pop ()));
+  (match pop () with
+  | [ `Jq 5; `Jq 6 ] -> ()
+  | _ -> Alcotest.fail "trailing jq run did not batch");
+  Serve.Dispatch.close d;
+  Alcotest.(check bool)
+    "drained" true
+    (Serve.Dispatch.pop_batch d ~shard ~max:8 ~compatible:jq_alike = None)
+
+(* Single-threaded close-drains check including the steal path: items
+   stuck on a neighbour's shard are still handed out after close. *)
+let dispatch_close_drains_test () =
+  let d = Serve.Dispatch.create ~shards:3 ~capacity:30 in
+  for i = 0 to 9 do
+    match Serve.Dispatch.push d ~affinity:0 (`Jq i) with
+    | `Ok -> ()
+    | `Overload | `Closed -> Alcotest.fail "push refused below capacity"
+  done;
+  Serve.Dispatch.close d;
+  Alcotest.(check bool)
+    "push after close" true
+    (Serve.Dispatch.push d ~affinity:0 (`Jq 99) = `Closed);
+  let drained = ref 0 in
+  for shard = 0 to 2 do
+    let rec drain () =
+      match
+        Serve.Dispatch.pop_batch d ~shard ~max:4 ~compatible:(fun _ _ -> false)
+      with
+      | Some (batch, _) ->
+          drained := !drained + List.length batch;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  Alcotest.(check int) "close drains everything" 10 !drained
+
+(* Concurrent producers + per-shard owner threads + stealing: every
+   accepted item is delivered exactly once, and close drains the rest.
+   Skewed affinities force the invite/steal path; spill is exercised by
+   the small capacity. *)
+let dispatch_qcheck =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 4 64) (int_range 1 3) >>= fun (s, n, skew) ->
+      return (s, n, skew))
+  in
+  qtest ~count:30 "dispatch: no item lost or duplicated"
+    ~print:(fun (s, n, skew) ->
+      Printf.sprintf "shards=%d items=%d skew=%d" s n skew)
+    gen
+    (fun (shards, n_items, skew) ->
+      let d = Serve.Dispatch.create ~shards ~capacity:8 in
+      let compatible a b = a mod 3 = b mod 3 in
+      let accepted = Array.make 4 [] in
+      let producer p =
+        for i = 0 to n_items - 1 do
+          let item = (p * 10_000) + i in
+          (* Affinity skew 1 funnels everything to one shard. *)
+          let affinity = item mod skew in
+          let rec push_retry tries =
+            match Serve.Dispatch.push d ~affinity item with
+            | `Ok -> accepted.(p) <- item :: accepted.(p)
+            | `Overload when tries < 200 ->
+                Thread.delay 0.0002;
+                push_retry (tries + 1)
+            | `Overload | `Closed -> ()
+          in
+          push_retry 0
+        done
+      in
+      let consumed = Array.make shards [] in
+      let owner shard =
+        let rec loop () =
+          match Serve.Dispatch.pop_batch d ~shard ~max:4 ~compatible with
+          | Some (batch, _) ->
+              consumed.(shard) <- List.rev_append batch consumed.(shard);
+              loop ()
+          | None -> ()
+        in
+        loop ()
+      in
+      let owners = List.init shards (fun s -> Thread.create owner s) in
+      let producers = List.init 4 (fun p -> Thread.create producer p) in
+      List.iter Thread.join producers;
+      Serve.Dispatch.close d;
+      List.iter Thread.join owners;
+      let sent = List.sort compare (List.concat (Array.to_list accepted)) in
+      let got = List.sort compare (List.concat (Array.to_list consumed)) in
+      sent = got)
+
+let dispatch_tests =
+  [
+    Alcotest.test_case "contiguous same-pool jobs still batch" `Quick
+      dispatch_batching_test;
+    Alcotest.test_case "close drains all shards (steal path)" `Quick
+      dispatch_close_drains_test;
+    dispatch_qcheck;
+  ]
+
+(* ---- metrics shard merge ---------------------------------------------- *)
+
+(* Oracle: replay the same event stream into one set of plain
+   accumulators; the sharded snapshot must report identical totals
+   whatever shard each event landed on. *)
+let metrics_event_gen =
+  QCheck2.Gen.(
+    let verb = oneofl [ "jq"; "select"; "table"; "ping" ] in
+    oneof
+      [
+        ( verb >>= fun v ->
+          float_range 0. 0.5 >>= fun lat ->
+          bool >>= fun ok -> return (`Record (v, lat, ok)) );
+        return `Overload;
+        return `Deadline;
+        (int_range 2 6 >>= fun size -> return (`Batch size));
+        return `Jq_memo_hit;
+        return `Steal;
+      ])
+
+let metrics_merge_qcheck =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 4) (list_size (int_range 0 200) metrics_event_gen))
+  in
+  qtest ~count:60 "metrics: sharded snapshot equals single-lock oracle" gen
+    (fun (shards, events) ->
+      let m = Serve.Metrics.create ~shards () in
+      let requests = ref 0 and ok = ref 0 and errors = ref 0 in
+      let overloads = ref 0 and deadlines = ref 0 in
+      let batches = ref 0 and batched_saved = ref 0 in
+      let jq_memo_hits = ref 0 and steals = ref 0 in
+      let per_verb = Hashtbl.create 8 in
+      (* Deterministic-but-spread shard choice for executor-side events. *)
+      let shard_of i = i mod shards in
+      List.iteri
+        (fun i event ->
+          match event with
+          | `Record (verb, latency, okay) ->
+              Serve.Metrics.record m ~shard:(shard_of i) ~verb ~latency
+                ~ok:okay;
+              incr requests;
+              if okay then incr ok else incr errors;
+              Hashtbl.replace per_verb verb
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_verb verb))
+          | `Overload ->
+              Serve.Metrics.overload m;
+              incr overloads;
+              incr requests;
+              incr errors
+          | `Deadline ->
+              Serve.Metrics.deadline m ~shard:(shard_of i);
+              incr deadlines
+          | `Batch size ->
+              Serve.Metrics.batch m ~shard:(shard_of i) ~size;
+              incr batches;
+              batched_saved := !batched_saved + size - 1
+          | `Jq_memo_hit ->
+              Serve.Metrics.jq_memo_hit m ~shard:(shard_of i);
+              incr jq_memo_hits
+          | `Steal ->
+              Serve.Metrics.steal m ~shard:(shard_of i);
+              incr steals)
+        events;
+      let snap = Serve.Metrics.snapshot m in
+      let get key = Option.value ~default:0. (List.assoc_opt key snap) in
+      let eq key want = get key = float_of_int want in
+      eq "requests" !requests && eq "ok" !ok && eq "errors" !errors
+      && eq "overloads" !overloads
+      && eq "deadlines" !deadlines
+      && eq "batches" !batches
+      && eq "batched_saved" !batched_saved
+      && eq "jq_memo_hits" !jq_memo_hits
+      && eq "steals" !steals
+      && Hashtbl.fold
+           (fun verb n acc -> acc && eq ("req_" ^ verb) n)
+           per_verb true)
+
+let metrics_tests = [ metrics_merge_qcheck ]
 
 (* ---- service over TCP ------------------------------------------------- *)
 
@@ -380,7 +627,7 @@ let integration_test () =
            | _ -> assert false)
          budgets)
   in
-  with_server ~domains:2 ~queue_capacity:64 (fun service port ->
+  with_server ~domains:4 ~queue_capacity:64 (fun service port ->
       (let fd, ic, oc = connect port in
        (match
           roundtrip ic oc
@@ -535,7 +782,7 @@ let multiclass_integration_test () =
            | _ -> assert false)
          budgets)
   in
-  with_server ~domains:2 ~queue_capacity:64 (fun _service port ->
+  with_server ~domains:4 ~queue_capacity:64 (fun _service port ->
       (let fd, ic, oc = connect port in
        (match
           roundtrip ic oc (Wire.Pool_put { name = "m3"; workers = rows })
@@ -753,6 +1000,8 @@ let () =
       ("wire codec cases", codec_units);
       ("registry", registry_tests);
       ("bqueue", bqueue_tests);
+      ("dispatch", dispatch_tests);
+      ("metrics", metrics_tests);
       ("service", service_tests);
       ("pool_io", pool_io_tests);
     ]
