@@ -1,5 +1,5 @@
-.PHONY: all build test test-slow bench bench-smoke bench-multiclass \
-  bench-serve serve-smoke clean
+.PHONY: all build test test-slow bench bench-smoke bench-jq \
+  bench-multiclass bench-serve serve-smoke clean
 
 all: build
 
@@ -25,11 +25,22 @@ bench:
 # must stay within 5% of the direct binary solver; then short gated
 # serving rows at 1/2/4 domains (BENCH_serve.json) — the gate fails on
 # any request error or on multi-domain speedup below the core-aware
-# threshold (1.3 with >= 2 cores, 0.8 parity floor on 1 core).
+# threshold (1.3 with >= 2 cores, 0.8 parity floor on 1 core); then the
+# gated flat-vs-hashtbl kernel grid (BENCH_jq.json), which fails unless
+# the dense kernel is >= 2x the hashtable at n=500/d=200 (binary) and
+# >= 1.5x at l = 3 (multiclass).
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 	dune exec bench/main.exe -- --multiclass
 	dune exec bench/serve_bench.exe -- --fast --gate
+	dune exec bench/jq_bench.exe -- --fast --gate
+
+# Flat dense-array kernel vs hashtable baseline over the full binary
+# n x num_buckets grid and l = 2, 3, 5 multiclass rows, written to
+# BENCH_jq.json with ns/eval and minor-words/eval per cell.  --gate as in
+# bench-smoke.
+bench-jq:
+	dune exec bench/jq_bench.exe -- --gate
 
 # Engine jq throughput and select latency at l = 2, 3 and 5, written to
 # BENCH_multiclass.json.  Exits nonzero when the l = 2 row regresses more
@@ -62,4 +73,4 @@ serve-smoke: build
 
 clean:
 	dune clean
-	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json
+	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json BENCH_jq.json

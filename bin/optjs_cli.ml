@@ -240,8 +240,27 @@ let table_cmd =
         let alpha = Engine.Task.alpha task in
         let table =
           if Workers.Pool.size pool <= Jsp.Enumerate.max_pool then
-            Jsp.Table.build ~budgets pool ~solve:(fun ~budget pool ->
-                Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha ~budget pool)
+            (* Exact rows are independent pure solves, so they fan out
+               across domains (each with its own kernel workspace); the
+               order-preserving map keeps the table byte-identical to a
+               sequential build. *)
+            Array.to_list
+              (Expt.Parallel.map_array
+                 ~domains:
+                   (min (List.length budgets)
+                      (Expt.Parallel.recommended_domains ()))
+                 (fun budget ->
+                   let result =
+                     Jsp.Enumerate.solve Jsp.Objective.bv_exact ~alpha ~budget
+                       pool
+                   in
+                   {
+                     Jsp.Table.budget;
+                     jury = result.Jsp.Solver.jury;
+                     quality = result.Jsp.Solver.score;
+                     required = Jsp.Budget.jury_cost result.Jsp.Solver.jury;
+                   })
+                 (Array.of_list budgets))
           else
             let rng = Prob.Rng.create seed in
             Optjs.budget_quality_table ~rng ~alpha ~budgets pool

@@ -9,7 +9,7 @@ let check_labels ~what ~task pool =
       (Printf.sprintf "%s: pool has %d labels but task has %d" what
          (Pool.labels pool) (Task.labels task))
 
-let bv_bucket ?num_buckets () =
+let bv_bucket ?num_buckets ?workspace () =
   {
     name = "BV/bucket";
     score =
@@ -19,11 +19,11 @@ let bv_bucket ?num_buckets () =
           check_labels ~what:"Engine.Objective.bv_bucket" ~task pool;
           match Pool.repr pool with
           | Pool.Binary p ->
-              Jq.Bucket.estimate ?num_buckets ~alpha:(Task.alpha task)
-                (Workers.Pool.qualities p)
+              Jq.Bucket.estimate ?workspace ?num_buckets
+                ~alpha:(Task.alpha task) (Workers.Pool.qualities p)
           | Pool.Matrix jury ->
-              Jq.Multiclass_jq.estimate_bv ?num_buckets ~prior:(Task.prior task)
-                jury
+              Jq.Multiclass_jq.estimate_bv ?workspace ?num_buckets
+                ~prior:(Task.prior task) jury
         end);
   }
 

@@ -12,10 +12,13 @@ type t
 val name : t -> string
 val score : t -> task:Task.t -> Pool.t -> float
 
-val bv_bucket : ?num_buckets:int -> unit -> t
+val bv_bucket : ?num_buckets:int -> ?workspace:Jq.Workspace.t -> unit -> t
 (** JQ under Bayesian Voting by the bucket approximation — Algorithm 1 for
     binary pools, the ℓ-tuple-key generalization for matrix pools.
     [num_buckets] defaults to {!Jq.Bucket.default_num_buckets}.
+    [workspace] pins the kernels' scratch buffers (one owner at a time,
+    never shared across domains — see {!Jq.Workspace}); by default each
+    evaluation reuses the calling domain's workspace.
     @raise Invalid_argument when a non-empty pool's label count differs
     from the task's. *)
 

@@ -1,27 +1,51 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+let default_chunk ~n ~domains =
+  (* Small enough that an uneven point mix still balances, large enough
+     that the atomic claim is noise. *)
+  max 1 (n / (domains * 8))
+
+let map_array ?(domains = 1) ?chunk f xs =
+  if domains <= 0 then invalid_arg "Parallel.map_array: domains <= 0";
+  (match chunk with
+  | Some c when c <= 0 -> invalid_arg "Parallel.map_array: chunk <= 0"
+  | _ -> ());
+  let n = Array.length xs in
+  let domains = min domains n in
+  if domains <= 1 then Array.map f xs
+  else begin
+    let chunk =
+      match chunk with Some c -> c | None -> default_chunk ~n ~domains
+    in
+    let outputs = Array.make n None in
+    (* Dynamic chunked partition: workers claim the next [chunk] indices
+       from a shared counter, so domains that draw cheap points keep
+       working instead of idling at a static block boundary.  Outputs land
+       at their input index, so the result order (and with pre-split
+       per-point state, the numbers themselves) is schedule-independent. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < n then begin
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            outputs.(i) <- Some (f xs.(i))
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function Some y -> y | None -> assert false)
+      outputs
+  end
+
 let map ?(domains = 1) f xs =
   if domains <= 0 then invalid_arg "Parallel.map: domains <= 0";
-  let n = List.length xs in
-  let domains = min domains n in
   if domains <= 1 then List.map f xs
-  else begin
-    let inputs = Array.of_list xs in
-    let outputs = Array.make n None in
-    (* Static block partition: domain d owns indices [d*n/D, (d+1)*n/D). *)
-    let worker d () =
-      let lo = d * n / domains and hi = (d + 1) * n / domains in
-      for i = lo to hi - 1 do
-        outputs.(i) <- Some (f inputs.(i))
-      done
-    in
-    let spawned =
-      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
-    in
-    worker 0 ();
-    List.iter Domain.join spawned;
-    List.init n (fun i ->
-        match outputs.(i) with
-        | Some y -> y
-        | None -> assert false)
-  end
+  else Array.to_list (map_array ~domains f (Array.of_list xs))

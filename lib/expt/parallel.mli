@@ -9,9 +9,18 @@
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8. *)
 
+val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~domains f xs] applies [f] to every element across up to
+    [domains] domains (default 1 = plain [Array.map]; values above the
+    array length are clamped), claiming work in chunks of [chunk] indices
+    (default ~n/8D) from a shared atomic counter, so uneven per-point
+    costs rebalance dynamically.  Results are returned in input order.
+    [f] must not share mutable state across calls — in particular, kernel
+    evaluations inside [f] pick up their own domain's {!Jq.Workspace}
+    automatically, so JQ sweeps scale without shared kernel state.
+    Exceptions raised by [f] are re-raised in the caller.
+    @raise Invalid_argument for domains <= 0 or chunk <= 0. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~domains f xs] applies [f] to every element, using up to [domains]
-    domains (default 1 = plain [List.map]; values above the list length are
-    clamped).  [f] must not share mutable state across calls.  Exceptions
-    raised by [f] are re-raised in the caller.
-    @raise Invalid_argument for domains <= 0. *)
+(** List façade over {!map_array}: same contract, same ordering guarantee
+    (a parallel run produces exactly the numbers of a sequential one). *)

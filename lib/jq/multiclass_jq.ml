@@ -96,7 +96,224 @@ let accepts ~truth key =
     key;
   !ok
 
-let h_estimate ?(num_buckets = Bucket.default_num_buckets) ~truth ~prior jury =
+(* Reference tuple-key hashtable kernel, kept behind [~impl:Hashtbl] (and
+   as the fallback when the flat key space would be too large). *)
+let h_estimate_hashtbl ~num_buckets:_ ~truth ~delta ~prior_vec ~worker_vecs =
+  let initial_key = Array.map (fun x -> bucketize_value ~delta x) prior_vec in
+  let current = Hashtbl.create 64 in
+  (* Keys track the bucketized log-ratios; masses track Pr(V^k | truth),
+     so the prior's alpha_truth factor is not part of the mass (H sums
+     plain conditional probabilities). *)
+  Hashtbl.add current initial_key 1.0;
+  let state = ref current in
+  Array.iter
+    (fun per_vote ->
+      let next = Hashtbl.create (2 * Hashtbl.length !state) in
+      let bump key mass =
+        match Hashtbl.find_opt next key with
+        | Some prob -> Hashtbl.replace next key (prob +. mass)
+        | None -> Hashtbl.add next key mass
+      in
+      Hashtbl.iter
+        (fun key prob ->
+          Array.iter
+            (fun e ->
+              if e.mass > 0. then begin
+                let key' =
+                  Array.mapi
+                    (fun j k ->
+                      saturating_add k (bucketize_value ~delta e.increment.(j)))
+                    key
+                in
+                bump key' (prob *. e.mass)
+              end)
+            per_vote)
+        !state;
+      state := next)
+    worker_vecs;
+  let acc = Prob.Kahan.create () in
+  Hashtbl.iter
+    (fun key prob -> if accepts ~truth key then Prob.Kahan.add acc prob)
+    !state;
+  Float.min 1. (Float.max 0. (Prob.Kahan.total acc))
+
+(* ---- Flat mixed-radix kernel --------------------------------------- *)
+
+(* The ℓ-tuple key (with the truth component dropped — it is identically
+   0) flattens to a single mixed-radix integer.  Dimension m covers label
+   [label_of_dim m]; its digit saturates at S_m = 1 + |finite initial
+   bucket| + Σ_i max finite |increment bucket|, which is sign-equivalent
+   to the hashtable kernel's max_int/4 saturation: a finite-only path
+   never reaches ±S_m, and any path through a +inf increment (mass > 0
+   rules out −inf) stays ≥ 1 under later finite decrements, so both
+   kernels classify every voting identically and differ only in float
+   summation order. *)
+
+let flat_cell_cap = 1 lsl 22
+
+(* Per-worker, per-vote data with bucketized increments over the ℓ−1
+   varying dimensions; +inf increments keep [saturation] as a marker and
+   clamp to S_m at add time. *)
+type flat_expansion = { fmass : float; binc : int array }
+
+let h_estimate_flat ~ws ~truth ~delta ~prior_vec ~worker_vecs =
+  let l = Array.length prior_vec in
+  let nd = l - 1 in
+  if nd = 0 then None (* degenerate single-label task: use the oracle *)
+  else begin
+    let label_of_dim = Array.init nd (fun m -> if m < truth then m else m + 1) in
+    let n = Array.length worker_vecs in
+    (* Bucketized initial key and per-worker expansions over varying dims. *)
+    let binit =
+      Array.init nd (fun m -> bucketize_value ~delta prior_vec.(label_of_dim.(m)))
+    in
+    let expansions =
+      Array.map
+        (fun per_vote ->
+          let elig = Array.of_list
+              (List.filter (fun e -> e.mass > 0.) (Array.to_list per_vote))
+          in
+          Array.map
+            (fun e ->
+              {
+                fmass = e.mass;
+                binc =
+                  Array.init nd (fun m ->
+                      bucketize_value ~delta e.increment.(label_of_dim.(m)));
+              })
+            elig)
+        worker_vecs
+    in
+    (* Per-dimension saturating bound. *)
+    let sats =
+      Array.init nd (fun m ->
+          let s = ref 1 in
+          if binit.(m) <> saturation && binit.(m) <> -saturation then
+            s := !s + abs binit.(m);
+          Array.iter
+            (fun per_vote ->
+              let worst = ref 0 in
+              Array.iter
+                (fun e ->
+                  let b = e.binc.(m) in
+                  if b <> saturation && b <> -saturation && abs b > !worst then
+                    worst := abs b)
+                per_vote;
+              s := !s + !worst)
+            expansions;
+          !s)
+    in
+    let radix = Array.map (fun s -> (2 * s) + 1) sats in
+    let size =
+      Array.fold_left
+        (fun acc r -> if acc < 0 || acc > flat_cell_cap / r then -1 else acc * r)
+        1 radix
+    in
+    if size < 0 || size > flat_cell_cap then None
+    else begin
+      let strides = Array.make nd 1 in
+      for m = nd - 2 downto 0 do
+        strides.(m) <- strides.(m + 1) * radix.(m + 1)
+      done;
+      let clamp m k =
+        if k > sats.(m) then sats.(m)
+        else if k < -sats.(m) then -sats.(m)
+        else k
+      in
+      let a, b = Workspace.dp ws size in
+      let cur = ref a and nxt = ref b in
+      let dlo = Array.init nd (fun m -> clamp m binit.(m)) in
+      let dhi = Array.copy dlo in
+      let idx0 = ref 0 in
+      for m = 0 to nd - 1 do
+        idx0 := !idx0 + ((dlo.(m) + sats.(m)) * strides.(m))
+      done;
+      a.(!idx0) <- 1.0;
+      let digits = Array.make nd 0 in
+      for i = 0 to n - 1 do
+        let per_vote = expansions.(i) in
+        let c = !cur and out = !nxt in
+        (* Next window bounds: clamp is monotone, so per-vote images of the
+           current box stay inside the hull of the shifted bounds. *)
+        let nlo = Array.make nd max_int and nhi = Array.make nd min_int in
+        for m = 0 to nd - 1 do
+          Array.iter
+            (fun e ->
+              let tl = clamp m (dlo.(m) + e.binc.(m))
+              and th = clamp m (dhi.(m) + e.binc.(m)) in
+              if tl < nlo.(m) then nlo.(m) <- tl;
+              if th > nhi.(m) then nhi.(m) <- th)
+            per_vote
+        done;
+        let rec fill m base =
+          if m = nd - 1 then
+            Array.fill out (base + nlo.(m) + sats.(m)) (nhi.(m) - nlo.(m) + 1) 0.
+          else
+            for d = nlo.(m) to nhi.(m) do
+              fill (m + 1) (base + ((d + sats.(m)) * strides.(m)))
+            done
+        in
+        fill 0 0;
+        let nvotes = Array.length per_vote in
+        let rec scan m base =
+          if m = nd then begin
+            let p = c.(base) in
+            if p <> 0. then
+              for v = 0 to nvotes - 1 do
+                let e = per_vote.(v) in
+                let t = ref 0 in
+                for m' = 0 to nd - 1 do
+                  let kk = clamp m' (digits.(m') + e.binc.(m')) in
+                  t := !t + ((kk + sats.(m')) * strides.(m'))
+                done;
+                out.(!t) <- out.(!t) +. (p *. e.fmass)
+              done
+          end
+          else
+            for d = dlo.(m) to dhi.(m) do
+              digits.(m) <- d;
+              scan (m + 1) (base + ((d + sats.(m)) * strides.(m)))
+            done
+        in
+        scan 0 0;
+        cur := out;
+        nxt := c;
+        Array.blit nlo 0 dlo 0 nd;
+        Array.blit nhi 0 dhi 0 nd
+      done;
+      (* BV accepts truth on the contiguous sub-box: digit > 0 against
+         smaller labels, >= 0 against larger ones. *)
+      let alo =
+        Array.init nd (fun m ->
+            let floor = if label_of_dim.(m) < truth then 1 else 0 in
+            max dlo.(m) floor)
+      in
+      let empty = ref false in
+      for m = 0 to nd - 1 do
+        if alo.(m) > dhi.(m) then empty := true
+      done;
+      if !empty then Some 0.
+      else begin
+        let acc = Prob.Kahan.create () in
+        let c = !cur in
+        let rec sum m base =
+          if m = nd then begin
+            let p = c.(base) in
+            if p <> 0. then Prob.Kahan.add acc p
+          end
+          else
+            for d = alo.(m) to dhi.(m) do
+              sum (m + 1) (base + ((d + sats.(m)) * strides.(m)))
+            done
+        in
+        sum 0 0;
+        Some (Float.min 1. (Float.max 0. (Prob.Kahan.total acc)))
+      end
+    end
+  end
+
+let h_estimate ?(impl = Bucket.Flat) ?workspace
+    ?(num_buckets = Bucket.default_num_buckets) ~truth ~prior jury =
   let l = Array.length prior in
   if truth < 0 || truth >= l then invalid_arg "Multiclass_jq.h_estimate: truth";
   if num_buckets <= 0 then invalid_arg "Multiclass_jq.h_estimate: num_buckets";
@@ -113,50 +330,24 @@ let h_estimate ?(num_buckets = Bucket.default_num_buckets) ~truth ~prior jury =
         m worker_vecs
     in
     let delta = if upper = 0. then 0. else upper /. float_of_int num_buckets in
-    let initial_key = Array.map (fun x -> bucketize_value ~delta x) prior_vec in
-    let current = Hashtbl.create 64 in
-    (* Keys track the bucketized log-ratios; masses track Pr(V^k | truth),
-       so the prior's alpha_truth factor is not part of the mass (H sums
-       plain conditional probabilities). *)
-    Hashtbl.add current initial_key 1.0;
-    let state = ref current in
-    Array.iter
-      (fun per_vote ->
-        let next = Hashtbl.create (2 * Hashtbl.length !state) in
-        let bump key mass =
-          match Hashtbl.find_opt next key with
-          | Some prob -> Hashtbl.replace next key (prob +. mass)
-          | None -> Hashtbl.add next key mass
-        in
-        Hashtbl.iter
-          (fun key prob ->
-            Array.iter
-              (fun e ->
-                if e.mass > 0. then begin
-                  let key' =
-                    Array.mapi
-                      (fun j k ->
-                        saturating_add k (bucketize_value ~delta e.increment.(j)))
-                      key
-                  in
-                  bump key' (prob *. e.mass)
-                end)
-              per_vote)
-          !state;
-        state := next)
-      worker_vecs;
-    let acc = Prob.Kahan.create () in
-    Hashtbl.iter
-      (fun key prob -> if accepts ~truth key then Prob.Kahan.add acc prob)
-      !state;
-    Float.min 1. (Float.max 0. (Prob.Kahan.total acc))
+    let flat_result =
+      match impl with
+      | Bucket.Hashtbl -> None
+      | Bucket.Flat ->
+          Workspace.with_default workspace (fun ws ->
+              h_estimate_flat ~ws ~truth ~delta ~prior_vec ~worker_vecs)
+    in
+    match flat_result with
+    | Some v -> v
+    | None -> h_estimate_hashtbl ~num_buckets ~truth ~delta ~prior_vec ~worker_vecs
   end
 
-let estimate_bv ?num_buckets ~prior jury =
+let estimate_bv ?impl ?workspace ?num_buckets ~prior jury =
   let acc = Prob.Kahan.create () in
   Array.iteri
     (fun truth alpha ->
       if alpha > 0. then
-        Prob.Kahan.add acc (alpha *. h_estimate ?num_buckets ~truth ~prior jury))
+        Prob.Kahan.add acc
+          (alpha *. h_estimate ?impl ?workspace ?num_buckets ~truth ~prior jury))
     prior;
   Prob.Kahan.total acc

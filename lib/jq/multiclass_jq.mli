@@ -8,7 +8,16 @@
     partial voting is the vector of bucketized log-ratios
     ln (Pr(V|t′)·α_t′) / (Pr(V|j)·α_j) over labels j, which BV accepts for
     t′ exactly when every component is ≥ 0 (with the tie convention of
-    {!Voting.Multiclass.bayesian}: strict for j < t′). *)
+    {!Voting.Multiclass.bayesian}: strict for j < t′).
+
+    The estimator's default kernel flattens the ℓ-tuple keys into a single
+    mixed-radix integer over per-dimension saturating bounds and runs the
+    DP over dense {!Workspace} buffers (no tuple hashing or allocation per
+    key); the legacy hashtable kernel remains available as
+    [~impl:Hashtbl], and is also the automatic fallback when the flat key
+    space would exceed a few million cells.  The two kernels classify
+    every voting identically and agree up to summation-order ulps
+    (property-tested). *)
 
 val jq_exact :
   Voting.Multiclass.t ->
@@ -28,6 +37,8 @@ val h_exact :
 (** H(truth) by enumeration. *)
 
 val estimate_bv :
+  ?impl:Bucket.impl ->
+  ?workspace:Workspace.t ->
   ?num_buckets:int ->
   prior:float array ->
   Workers.Confusion.t array ->
@@ -35,9 +46,13 @@ val estimate_bv :
 (** [estimate_bv ~prior jury] — iterative tuple-key estimate of JQ under
     multi-class BV (numBuckets defaults to {!Bucket.default_num_buckets}).
     With ℓ = 2 and symmetric binary matrices this agrees with
-    {!Bucket.estimate} (property-tested). *)
+    {!Bucket.estimate} (property-tested).  [workspace] defaults to the
+    calling domain's workspace via {!Workspace.with_default}; see
+    {!Workspace} for the sharing contract. *)
 
 val h_estimate :
+  ?impl:Bucket.impl ->
+  ?workspace:Workspace.t ->
   ?num_buckets:int ->
   truth:int ->
   prior:float array ->

@@ -1,0 +1,71 @@
+type t = {
+  mutable busy : bool;
+  mutable dp_a : float array;
+  mutable dp_b : float array;
+  mutable f0 : float array;
+  mutable f1 : float array;
+  mutable i0 : int array;
+  mutable i1 : int array;
+}
+
+let create () =
+  {
+    busy = false;
+    dp_a = Array.make 256 0.;
+    dp_b = Array.make 256 0.;
+    f0 = Array.make 64 0.;
+    f1 = Array.make 64 0.;
+    i0 = Array.make 64 0;
+    i1 = Array.make 64 0;
+  }
+
+(* Grow-only, doubling: amortized O(1) growth, never shrinks, so a warm
+   workspace serves any request below its high-water mark without
+   allocating. *)
+let grown len size = max size (max (2 * len) 256)
+
+let dp t size =
+  if size < 0 then invalid_arg "Workspace.dp: negative size";
+  if Array.length t.dp_a < size then t.dp_a <- Array.make (grown (Array.length t.dp_a) size) 0.;
+  if Array.length t.dp_b < size then t.dp_b <- Array.make (grown (Array.length t.dp_b) size) 0.;
+  (t.dp_a, t.dp_b)
+
+let floats t ~slot size =
+  match slot with
+  | 0 ->
+      if Array.length t.f0 < size then t.f0 <- Array.make (grown (Array.length t.f0) size) 0.;
+      t.f0
+  | 1 ->
+      if Array.length t.f1 < size then t.f1 <- Array.make (grown (Array.length t.f1) size) 0.;
+      t.f1
+  | _ -> invalid_arg "Workspace.floats: slot"
+
+let ints t ~slot size =
+  match slot with
+  | 0 ->
+      if Array.length t.i0 < size then t.i0 <- Array.make (grown (Array.length t.i0) size) 0;
+      t.i0
+  | 1 ->
+      if Array.length t.i1 < size then t.i1 <- Array.make (grown (Array.length t.i1) size) 0;
+      t.i1
+  | _ -> invalid_arg "Workspace.ints: slot"
+
+(* One workspace per domain, so bare estimate calls reuse buffers without
+   any coordination across domains.  Sys-threads of the same domain can
+   interleave at safepoints, so the domain workspace carries a busy latch:
+   the read-branch-write below has no allocation, call or loop between the
+   check and the set, hence no safepoint a context switch could land on,
+   and a thread that finds the latch taken (it preempted another mid-
+   kernel) falls back to a fresh workspace — slower, never corrupt. *)
+let key = Domain.DLS.new_key create
+
+let with_default explicit f =
+  match explicit with
+  | Some ws -> f ws
+  | None ->
+      let ws = Domain.DLS.get key in
+      if ws.busy then f (create ())
+      else begin
+        ws.busy <- true;
+        Fun.protect ~finally:(fun () -> ws.busy <- false) (fun () -> f ws)
+      end

@@ -1,0 +1,44 @@
+(** Reusable scratch buffers for the dense JQ kernels.
+
+    {!Bucket.run} and {!Multiclass_jq.h_estimate} run their DP over flat
+    offset-indexed float arrays instead of hashtables.  A workspace owns
+    those arrays (plus the small per-worker int/float scratch the binary
+    prologue needs) and grows them monotonically, so repeated evaluations
+    at steady state allocate nothing per call.
+
+    Ownership and thread-safety contract: a workspace is single-owner
+    mutable state — exactly one evaluation may use it at a time, and it
+    must never be shared across domains.  Callers that evaluate from
+    several domains keep one workspace per domain ({!Serve.Service} keeps
+    one in each executor's per-shard state).  When no workspace is passed
+    explicitly, kernels run inside {!with_default}, which reuses the
+    calling domain's own workspace and falls back to a fresh one if that
+    is mid-use by another sys-thread — always safe, at worst as slow as
+    the pre-workspace allocation behaviour.  See docs/perf.md. *)
+
+type t
+
+val create : unit -> t
+(** A fresh workspace with small initial buffers. *)
+
+val with_default : t option -> (t -> 'a) -> 'a
+(** [with_default explicit f]: run [f] with [explicit]'s workspace when
+    given (the caller owns it for the duration), otherwise with the
+    calling domain's latched default (domain-local storage; a fresh
+    workspace when the default is already in use on this domain). *)
+
+(** {2 Kernel-internal accessors}
+
+    The returned arrays are at least the requested length and hold
+    arbitrary stale data — kernels must initialize the range they read.
+    The two {!dp} arrays and every slot are distinct, so a kernel may use
+    them simultaneously. *)
+
+val dp : t -> int -> float array * float array
+(** Ping-pong DP mass buffers, each of length >= the request. *)
+
+val floats : t -> slot:int -> int -> float array
+(** Per-worker float scratch; slots 0 and 1 are distinct arrays. *)
+
+val ints : t -> slot:int -> int -> int array
+(** Per-worker int scratch; slots 0 and 1 are distinct arrays. *)

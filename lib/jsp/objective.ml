@@ -2,13 +2,15 @@ type t = { name : string; score : alpha:float -> Workers.Pool.t -> float }
 
 let empty_bv_score alpha = Float.max alpha (1. -. alpha)
 
-let bv_bucket ?num_buckets () =
+let bv_bucket ?num_buckets ?workspace () =
   {
     name = "BV/bucket";
     score =
       (fun ~alpha jury ->
         if Workers.Pool.is_empty jury then empty_bv_score alpha
-        else Jq.Bucket.estimate ?num_buckets ~alpha (Workers.Pool.qualities jury));
+        else
+          Jq.Bucket.estimate ?workspace ?num_buckets ~alpha
+            (Workers.Pool.qualities jury));
   }
 
 let bv_exact =
@@ -52,7 +54,8 @@ module Incremental = struct
   }
 end
 
-let bv_bucket_incremental ?(num_buckets = Jq.Bucket.default_num_buckets) () =
+let bv_bucket_incremental ?(num_buckets = Jq.Bucket.default_num_buckets)
+    ?workspace () =
   (* The fixed-width construction divides the global logit cap phi(0.99),
      roughly twice the jury max logit Bucket.run divides by on typical
      pools.  Double the bucket count for the accumulator so the effective
@@ -68,7 +71,7 @@ let bv_bucket_incremental ?(num_buckets = Jq.Bucket.default_num_buckets) () =
           remove = Jq.Incremental.remove_worker acc;
           value = (fun () -> Jq.Incremental.value acc);
         });
-    rescore = bv_bucket ~num_buckets ();
+    rescore = bv_bucket ~num_buckets ?workspace ();
   }
 
 let mv_closed_incremental =

@@ -11,10 +11,13 @@ type t = {
       (** JQ estimate for a jury; must accept the empty jury. *)
 }
 
-val bv_bucket : ?num_buckets:int -> unit -> t
+val bv_bucket : ?num_buckets:int -> ?workspace:Jq.Workspace.t -> unit -> t
 (** OPTJS objective: Algorithm-1 estimate of JQ(J, BV, α)
     (numBuckets defaults to {!Jq.Bucket.default_num_buckets}).  The empty
-    jury scores max(α, 1−α): BV answers the prior's favourite. *)
+    jury scores max(α, 1−α): BV answers the prior's favourite.
+    [workspace] pins the dense kernel's scratch buffers (single owner, one
+    domain — see {!Jq.Workspace}); by default evaluations reuse the
+    calling domain's workspace. *)
 
 val bv_exact : t
 (** Ground-truth objective: exact JQ(J, BV, α) by enumeration.  Only for
@@ -52,10 +55,12 @@ module Incremental : sig
   }
 end
 
-val bv_bucket_incremental : ?num_buckets:int -> unit -> Incremental.t
+val bv_bucket_incremental :
+  ?num_buckets:int -> ?workspace:Jq.Workspace.t -> unit -> Incremental.t
 (** OPTJS objective over {!Jq.Incremental}: O(|map|) per add/remove.
     Values agree with {!bv_bucket}'s within the two constructions' combined
-    §4.4 error bounds (the incremental map uses a fixed bucket width). *)
+    §4.4 error bounds (the incremental map uses a fixed bucket width).
+    [workspace] is threaded to the [rescore] objective's dense kernel. *)
 
 val mv_closed_incremental : Incremental.t
 (** MVJS objective over {!Prob.Poisson_binomial.Incremental}: O(k) per

@@ -16,6 +16,11 @@ type shard = {
   ring : float array;                (* recent latencies, seconds *)
   mutable ring_len : int;
   mutable ring_next : int;
+  mutable jq_evals : int;
+  jq_histogram : Prob.Histogram.t;   (* kernel eval ns, [0, 10 ms) buckets *)
+  jq_ring : float array;             (* recent kernel eval times, ns *)
+  mutable jq_ring_len : int;
+  mutable jq_ring_next : int;
 }
 
 type t = {
@@ -42,6 +47,11 @@ let fresh_shard () =
     ring = Array.make ring_size 0.;
     ring_len = 0;
     ring_next = 0;
+    jq_evals = 0;
+    jq_histogram = Prob.Histogram.create ~lo:0. ~hi:1e7 ~buckets:100;
+    jq_ring = Array.make ring_size 0.;
+    jq_ring_len = 0;
+    jq_ring_next = 0;
   }
 
 let create ?(shards = 1) () =
@@ -92,6 +102,14 @@ let jq_memo_hit t ~shard =
 
 let steal t ~shard = with_shard t shard (fun s -> s.steals <- s.steals + 1)
 
+let jq_eval t ~shard ~ns =
+  with_shard t shard (fun s ->
+      s.jq_evals <- s.jq_evals + 1;
+      Prob.Histogram.add s.jq_histogram ns;
+      s.jq_ring.(s.jq_ring_next) <- ns;
+      s.jq_ring_next <- (s.jq_ring_next + 1) mod ring_size;
+      if s.jq_ring_len < ring_size then s.jq_ring_len <- s.jq_ring_len + 1)
+
 let add_cache t ~merge =
   Mutex.lock t.sources_lock;
   t.cache_sources <- merge :: t.cache_sources;
@@ -113,6 +131,9 @@ type merged = {
   m_per_verb : (string, int) Hashtbl.t;
   m_counts : int array;
   m_latencies : float array;
+  m_jq_evals : int;
+  m_jq_counts : int array;
+  m_jq_ns : float array;
 }
 
 let merge t =
@@ -123,6 +144,9 @@ let merge t =
   let overloads = ref 0 and deadlines = ref 0 in
   let batches = ref 0 and batched_saved = ref 0 in
   let jq_memo_hits = ref 0 and steals = ref 0 in
+  let jq_evals = ref 0 in
+  let jq_counts = ref [||] in
+  let jq_rings = ref [] in
   Array.iteri
     (fun i _ ->
       with_shard t i (fun s ->
@@ -143,7 +167,13 @@ let merge t =
           let c = Prob.Histogram.counts s.histogram in
           if Array.length !counts = 0 then counts := c
           else Array.iteri (fun k v -> !counts.(k) <- !counts.(k) + v) c;
-          if s.ring_len > 0 then rings := Array.sub s.ring 0 s.ring_len :: !rings))
+          if s.ring_len > 0 then rings := Array.sub s.ring 0 s.ring_len :: !rings;
+          jq_evals := !jq_evals + s.jq_evals;
+          let jc = Prob.Histogram.counts s.jq_histogram in
+          if Array.length !jq_counts = 0 then jq_counts := jc
+          else Array.iteri (fun k v -> !jq_counts.(k) <- !jq_counts.(k) + v) jc;
+          if s.jq_ring_len > 0 then
+            jq_rings := Array.sub s.jq_ring 0 s.jq_ring_len :: !jq_rings))
     t.shards;
   {
     m_requests = !requests;
@@ -158,6 +188,9 @@ let merge t =
     m_per_verb = per_verb;
     m_counts = !counts;
     m_latencies = Array.concat !rings;
+    m_jq_evals = !jq_evals;
+    m_jq_counts = !jq_counts;
+    m_jq_ns = Array.concat !jq_rings;
   }
 
 let snapshot t =
@@ -181,6 +214,7 @@ let snapshot t =
       ("batched_saved", f m.m_batched_saved);
       ("jq_memo_hits", f m.m_jq_memo_hits);
       ("steals", f m.m_steals);
+      ("jq_evals", f m.m_jq_evals);
     ]
     @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
   in
@@ -192,6 +226,16 @@ let snapshot t =
     else
       let q p = 1000. *. Prob.Stats.quantile m.m_latencies p in
       [ ("p50_ms", q 0.5); ("p95_ms", q 0.95); ("p99_ms", q 0.99) ]
+  in
+  let jq_quantiles =
+    if Array.length m.m_jq_ns = 0 then []
+    else
+      let q p = Prob.Stats.quantile m.m_jq_ns p in
+      [
+        ("jq_eval_ns_p50", q 0.5);
+        ("jq_eval_ns_p95", q 0.95);
+        ("jq_eval_ns_p99", q 0.99);
+      ]
   in
   let cache =
     List.fold_left
@@ -210,7 +254,7 @@ let snapshot t =
       ("cache_evictions", f cache.evictions);
     ]
   in
-  List.sort compare (base @ quantiles @ cache_rows)
+  List.sort compare (base @ quantiles @ jq_quantiles @ cache_rows)
 
 let pp_line ppf t =
   let snap = snapshot t in

@@ -54,6 +54,13 @@ val steal : t -> shard:int -> unit
 (** Count one batch obtained by work-stealing from another shard's
     queue. *)
 
+val jq_eval : t -> shard:int -> ns:float -> unit
+(** Record one from-scratch JQ kernel evaluation on [shard] taking [ns]
+    nanoseconds (memo hits are not kernel evaluations and count through
+    {!jq_memo_hit} instead).  Feeds the per-shard [jq_eval_ns] histogram
+    and the merged [jq_eval_ns_p*] quantiles, so dense-kernel regressions
+    are visible in production metrics. *)
+
 val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 (** Register a pull-source of solver-cache counters (one per executor);
     {!snapshot} sums every registered source.  The thunk is called from
@@ -63,10 +70,12 @@ val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 val snapshot : t -> (string * float) list
 (** Merged values, sorted by key: [uptime_s], [requests], [ok], [errors],
     [overloads], [deadlines], [batches], [batched_saved], [jq_memo_hits],
-    [steals], [req_<verb>] per seen verb, [p50_ms]/[p95_ms]/[p99_ms] over
-    recent latencies (absent until a first sample), and [cache_hits],
-    [cache_misses], [cache_hit_rate], [cache_entries], [cache_evictions]
-    summed over registered sources. *)
+    [steals], [jq_evals], [req_<verb>] per seen verb,
+    [p50_ms]/[p95_ms]/[p99_ms] over recent latencies and
+    [jq_eval_ns_p50]/[jq_eval_ns_p95]/[jq_eval_ns_p99] over recent kernel
+    evaluations (each trio absent until a first sample), and
+    [cache_hits], [cache_misses], [cache_hit_rate], [cache_entries],
+    [cache_evictions] summed over registered sources. *)
 
 val pp_line : Format.formatter -> t -> unit
 (** One-line human summary plus the merged latency-histogram buckets that

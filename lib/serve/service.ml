@@ -63,6 +63,10 @@ type exec = {
       (* (pool, version, prior, buckets) -> (value, bound, n). *)
   mutable incs : ((float * int) * Jq.Incremental.t) list;
       (* (alpha, buckets) -> reusable fixed-width evaluator (binary pools). *)
+  workspace : Jq.Workspace.t;
+      (* Dense-kernel scratch, owned by this executor domain alone: jq
+         evaluations at steady state reuse its buffers instead of
+         allocating.  Never handed to another domain (see Jq.Workspace). *)
 }
 
 let select_memo_cap = 32
@@ -171,6 +175,7 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
               Metrics.jq_memo_hit t.metrics ~shard:exec.shard;
               hit
           | None ->
+              let t0 = Clock.now () in
               let entry =
                 match Engine.Pool.repr pool with
                 | Engine.Pool.Binary scalars ->
@@ -183,7 +188,10 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
                       Jq.Incremental.error_bound inc,
                       Workers.Pool.size scalars )
                 | Engine.Pool.Matrix _ ->
-                    let objective = Engine.Objective.bv_bucket ~num_buckets () in
+                    let objective =
+                      Engine.Objective.bv_bucket ~num_buckets
+                        ~workspace:exec.workspace ()
+                    in
                     (* The ℓ-tuple estimator does not certify a bucketing
                        error bound; report 0 (exactly as much as is known). *)
                     ( Engine.Objective.score objective ~task:(task_of_prior prior)
@@ -191,6 +199,8 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
                       0.,
                       Engine.Pool.size pool )
               in
+              Metrics.jq_eval t.metrics ~shard:exec.shard
+                ~ns:(1e9 *. (Clock.now () -. t0));
               with_lock exec.lock (fun () ->
                   exec.jq_memo <-
                     truncate_assoc ~cap:jq_memo_cap ~drop:(fun _ -> ())
@@ -199,12 +209,16 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
         in
         Wire.Jq_result { value; error_bound = bound; n }
 
-let eval_jq_inline ~qualities ~prior ~num_buckets =
+let eval_jq_inline t exec ~qualities ~prior ~num_buckets =
   match prior with
   | [ alpha; _ ] ->
+      let t0 = Clock.now () in
       let stats =
-        Jq.Bucket.estimate_stats ~num_buckets ~alpha (Array.of_list qualities)
+        Jq.Bucket.estimate_stats ~workspace:exec.workspace ~num_buckets ~alpha
+          (Array.of_list qualities)
       in
+      Metrics.jq_eval t.metrics ~shard:exec.shard
+        ~ns:(1e9 *. (Clock.now () -. t0));
       Wire.Jq_result
         {
           value = stats.Jq.Bucket.value;
@@ -277,7 +291,7 @@ let eval t exec request =
   | Wire.Jq { source = Wire.Named name; prior; num_buckets } ->
       eval_jq_pool t exec ~name ~prior ~num_buckets
   | Wire.Jq { source = Wire.Inline qualities; prior; num_buckets } ->
-      eval_jq_inline ~qualities ~prior ~num_buckets
+      eval_jq_inline t exec ~qualities ~prior ~num_buckets
   | Wire.Select { pool; budget; prior; seed } ->
       eval_select t exec ~name:pool ~budget ~prior ~seed
   | Wire.Table { pool; budgets; prior; seed } ->
@@ -401,6 +415,7 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
             retired = Jsp.Objective_cache.empty_stats;
             jq_memo = [];
             incs = [];
+            workspace = Jq.Workspace.create ();
           }
         in
         Metrics.add_cache t.metrics ~merge:(fun () -> exec_cache_stats exec);

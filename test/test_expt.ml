@@ -74,7 +74,40 @@ let test_parallel_propagates_exception () =
 
 let test_parallel_validation () =
   Alcotest.check_raises "domains" (Invalid_argument "Parallel.map: domains <= 0")
-    (fun () -> ignore (Expt.Parallel.map ~domains:0 Fun.id [ 1 ]))
+    (fun () -> ignore (Expt.Parallel.map ~domains:0 Fun.id [ 1 ]));
+  Alcotest.check_raises "map_array domains"
+    (Invalid_argument "Parallel.map_array: domains <= 0") (fun () ->
+      ignore (Expt.Parallel.map_array ~domains:0 Fun.id [| 1 |]));
+  Alcotest.check_raises "map_array chunk"
+    (Invalid_argument "Parallel.map_array: chunk <= 0") (fun () ->
+      ignore (Expt.Parallel.map_array ~domains:2 ~chunk:0 Fun.id [| 1 |]))
+
+let test_map_array_matches_sequential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"map_array = Array.map at any domain/chunk split"
+       QCheck2.Gen.(
+         triple
+           (array_size (int_range 0 64) (int_range (-1000) 1000))
+           (int_range 1 8) (int_range 1 16))
+       (fun (xs, domains, chunk) ->
+         let f x = (x * 31) lxor 9 in
+         Expt.Parallel.map_array ~domains ~chunk f xs = Array.map f xs
+         && Expt.Parallel.map_array ~domains f xs = Array.map f xs))
+
+let test_map_array_uses_workspaces () =
+  (* A JQ sweep through map_array: each domain picks up its own default
+     workspace, and the numbers must match the sequential sweep exactly. *)
+  let pools =
+    Array.init 12 (fun i ->
+        Workers.Pool.qualities
+          (Workers.Generator.gaussian_pool (Prob.Rng.create i)
+             Workers.Generator.default (8 + i)))
+  in
+  let f qs = Jq.Bucket.estimate qs in
+  Alcotest.(check (array (float 0.)))
+    "parallel sweep bit-identical" (Array.map f pools)
+    (Expt.Parallel.map_array ~domains:4 ~chunk:2 f pools)
 
 (* ---- Restarts --------------------------------------------------------------- *)
 
@@ -375,6 +408,9 @@ let () =
             test_parallel_replication_deterministic;
           Alcotest.test_case "exceptions" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
+          test_map_array_matches_sequential;
+          Alcotest.test_case "per-domain workspaces" `Quick
+            test_map_array_uses_workspaces;
         ] );
       ( "restarts",
         [

@@ -262,6 +262,62 @@ let test_bucket_more_buckets_tighter =
       let exact = Jq.Exact.jq_optimal ~alpha:0.5 ~qualities:qs in
       exact -. fine <= (exact -. coarse) +. 1e-6)
 
+(* ---- Flat dense kernel vs hashtable baseline ------------------------------- *)
+
+let test_flat_matches_hashtbl =
+  qtest ~count:300 "flat and hashtbl kernels agree (value + pruned accounting)"
+    QCheck2.Gen.(triple (jury_gen ~max:20 quality_gen) alpha_gen bool)
+    (fun (qs, alpha, pruning) ->
+      let run impl =
+        Jq.Bucket.estimate_stats ~impl ~pruning ~alpha
+          ~high_quality_shortcut:false qs
+      in
+      let flat = run Jq.Bucket.Flat and ht = run Jq.Bucket.Hashtbl in
+      Float.abs (flat.Jq.Bucket.value -. ht.Jq.Bucket.value) < 1e-9
+      && flat.Jq.Bucket.pruned_pairs = ht.Jq.Bucket.pruned_pairs
+      && (pruning || flat.Jq.Bucket.pruned_pairs = 0)
+      && flat.Jq.Bucket.error_bound = ht.Jq.Bucket.error_bound)
+
+let test_flat_hashtbl_underestimate =
+  qtest ~count:200 "both kernels underestimate exact JQ within the bound"
+    QCheck2.Gen.(pair (jury_gen quality_gen) alpha_gen)
+    (fun (qs, alpha) ->
+      let exact = Jq.Exact.jq_optimal ~alpha ~qualities:qs in
+      List.for_all
+        (fun impl ->
+          let s =
+            Jq.Bucket.estimate_stats ~impl ~num_buckets:400 ~alpha
+              ~high_quality_shortcut:false qs
+          in
+          s.Jq.Bucket.value <= exact +. 1e-9
+          && exact -. s.Jq.Bucket.value <= s.Jq.Bucket.error_bound +. 1e-9)
+        [ Jq.Bucket.Flat; Jq.Bucket.Hashtbl ])
+
+let test_flat_pruning_agreement =
+  qtest ~count:200 "flat kernel: pruning on/off agree within the error bound"
+    QCheck2.Gen.(pair (jury_gen ~max:20 quality_gen) alpha_gen)
+    (fun (qs, alpha) ->
+      let run pruning =
+        Jq.Bucket.estimate_stats ~pruning ~alpha ~high_quality_shortcut:false qs
+      in
+      let on = run true and off = run false in
+      Float.abs (on.Jq.Bucket.value -. off.Jq.Bucket.value)
+      <= on.Jq.Bucket.error_bound +. 1e-9)
+
+let test_workspace_reuse_deterministic =
+  (* Byte-identical replies at any cache warmth: a workspace warmed by
+     differently-sized problems must return bit-equal values. *)
+  qtest ~count:100 "reused workspace is bit-identical to a fresh one"
+    QCheck2.Gen.(pair (jury_gen ~max:16 quality_gen) alpha_gen)
+    (fun (qs, alpha) ->
+      let ws = Jq.Workspace.create () in
+      let v1 = Jq.Bucket.estimate ~workspace:ws ~alpha qs in
+      ignore (Jq.Bucket.estimate ~workspace:ws (Array.make 33 0.77));
+      ignore (Jq.Bucket.estimate ~workspace:ws ~pruning:false [| 0.9; 0.51 |]);
+      let v2 = Jq.Bucket.estimate ~workspace:ws ~alpha qs in
+      let fresh = Jq.Bucket.estimate ~workspace:(Jq.Workspace.create ()) ~alpha qs in
+      v1 = v2 && v1 = fresh)
+
 (* ---- Monotonicity (Lemmas 1 and 2) ---------------------------------------- *)
 
 let test_lemma1_jury_size =
@@ -432,6 +488,33 @@ let test_mc_estimate_tracks_exact =
       let exact = Jq.Multiclass_jq.jq_exact Multiclass.bayesian ~prior:uniform3 ~jury in
       let est = Jq.Multiclass_jq.estimate_bv ~num_buckets:400 ~prior:uniform3 jury in
       Float.abs (exact -. est) < 0.02)
+
+let test_mc_flat_matches_hashtbl =
+  (* Zero prior components drive the per-label log-ratio keys to +inf,
+     exercising the flat kernel's saturating dimension bounds against the
+     hashtable's max_int saturation. *)
+  qtest ~count:100 "multiclass flat and hashtbl kernels agree"
+    QCheck2.Gen.(
+      pair mc_jury_gen
+        (oneofl [ uniform3; [| 0.5; 0.5; 0. |]; [| 0.; 0.3; 0.7 |] ]))
+    (fun (qs, prior) ->
+      let jury = Array.mapi (fun id q -> sym3 q id) qs in
+      let run impl = Jq.Multiclass_jq.estimate_bv ~impl ~prior jury in
+      Float.abs (run Jq.Bucket.Flat -. run Jq.Bucket.Hashtbl) < 1e-9)
+
+let test_mc_flat_binary_matches_hashtbl =
+  qtest ~count:100 "2-label flat and hashtbl kernels agree"
+    (jury_gen ~max:8 (QCheck2.Gen.float_range 0.05 0.95))
+    (fun qs ->
+      let jury =
+        Array.mapi
+          (fun id q -> Workers.Confusion.symmetric_binary ~quality:q ~id ~cost:0.)
+          qs
+      in
+      let run impl =
+        Jq.Multiclass_jq.estimate_bv ~impl ~prior:[| 0.5; 0.5 |] jury
+      in
+      Float.abs (run Jq.Bucket.Flat -. run Jq.Bucket.Hashtbl) < 1e-9)
 
 let test_mc_h_decomposition () =
   let jury = [| sym3 0.8 0; sym3 0.7 1 |] in
@@ -789,6 +872,15 @@ let () =
           Alcotest.test_case "validation" `Quick test_bucket_validation;
           test_bucketize_nearest;
           test_bucket_more_buckets_tighter;
+        ] );
+      ( "kernels",
+        [
+          test_flat_matches_hashtbl;
+          test_flat_hashtbl_underestimate;
+          test_flat_pruning_agreement;
+          test_workspace_reuse_deterministic;
+          test_mc_flat_matches_hashtbl;
+          test_mc_flat_binary_matches_hashtbl;
         ] );
       ( "monotonicity",
         [ test_lemma1_jury_size; test_lemma2_quality ] );

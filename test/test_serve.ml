@@ -473,6 +473,7 @@ let metrics_event_gen =
         (int_range 2 6 >>= fun size -> return (`Batch size));
         return `Jq_memo_hit;
         return `Steal;
+        (float_range 100. 5e6 >>= fun ns -> return (`Jq_eval ns));
       ])
 
 let metrics_merge_qcheck =
@@ -487,6 +488,7 @@ let metrics_merge_qcheck =
       let overloads = ref 0 and deadlines = ref 0 in
       let batches = ref 0 and batched_saved = ref 0 in
       let jq_memo_hits = ref 0 and steals = ref 0 in
+      let jq_ns = ref [] in
       let per_verb = Hashtbl.create 8 in
       (* Deterministic-but-spread shard choice for executor-side events. *)
       let shard_of i = i mod shards in
@@ -517,7 +519,10 @@ let metrics_merge_qcheck =
               incr jq_memo_hits
           | `Steal ->
               Serve.Metrics.steal m ~shard:(shard_of i);
-              incr steals)
+              incr steals
+          | `Jq_eval ns ->
+              Serve.Metrics.jq_eval m ~shard:(shard_of i) ~ns;
+              jq_ns := ns :: !jq_ns)
         events;
       let snap = Serve.Metrics.snapshot m in
       let get key = Option.value ~default:0. (List.assoc_opt key snap) in
@@ -529,6 +534,18 @@ let metrics_merge_qcheck =
       && eq "batched_saved" !batched_saved
       && eq "jq_memo_hits" !jq_memo_hits
       && eq "steals" !steals
+      && eq "jq_evals" (List.length !jq_ns)
+      && (let samples = Array.of_list !jq_ns in
+          if Array.length samples = 0 then
+            List.assoc_opt "jq_eval_ns_p50" snap = None
+          else
+            List.for_all
+              (fun (key, p) -> get key = Prob.Stats.quantile samples p)
+              [
+                ("jq_eval_ns_p50", 0.5);
+                ("jq_eval_ns_p95", 0.95);
+                ("jq_eval_ns_p99", 0.99);
+              ])
       && Hashtbl.fold
            (fun verb n acc -> acc && eq ("req_" ^ verb) n)
            per_verb true)
