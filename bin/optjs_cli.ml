@@ -62,6 +62,21 @@ let seed_arg =
 
 (* ---- jq ----------------------------------------------------------- *)
 
+(* The multiclass flat kernel falls back to the hashtable oracle when the
+   pruned frontier would still exceed its cell cap — correct but an order
+   of magnitude slower.  Surface that silent cliff once per process:
+   snapshot the process-wide counter before the work, warn on a delta. *)
+let warn_flat_fallback_once =
+  let printed = ref false in
+  fun before ->
+    if (not !printed) && Jq.Multiclass_jq.flat_fallbacks () > before then begin
+      printed := true;
+      Printf.eprintf
+        "optjs: note: the flat multiclass JQ kernel overflowed its frontier \
+         cap and fell back to the slower hashtable kernel (results are \
+         unaffected); fewer buckets or labels restore the fast path\n"
+    end
+
 let file_arg =
   let doc =
     "Load the worker pool from a CSV file (scalar rows name,quality,cost \
@@ -90,10 +105,14 @@ let jq_inline ~qualities ~alpha ~buckets ~exact =
 let jq_pool ~path ~task ~buckets ~exact =
   let epool = epool_of_doc (Workers.Pool_io.load_doc path) in
   check_labels task epool;
-  let estimate =
-    Engine.Objective.score (Engine.Objective.bv_bucket ~num_buckets:buckets ())
+  let before = Jq.Multiclass_jq.flat_fallbacks () in
+  let scored =
+    Engine.Objective.bv_bucket_scored ~num_buckets:buckets () ~task epool
   in
-  Printf.printf "estimated JQ (BV): %.6f\n" (estimate ~task epool);
+  warn_flat_fallback_once before;
+  Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n"
+    scored.Engine.Objective.score
+    (100. *. scored.Engine.Objective.bound);
   if exact then begin
     let n = Engine.Pool.size epool in
     let feasible =
@@ -269,10 +288,12 @@ let table_cmd =
     | Engine.Pool.Matrix _ ->
         List.iter
           (fun budget ->
+            let before = Jq.Multiclass_jq.flat_fallbacks () in
             let result =
               Jsp.Annealing.solve_engine
                 ~rng:(Prob.Rng.create seed) ~task ~budget epool
             in
+            warn_flat_fallback_once before;
             let jury = result.Jsp.Solver.jury in
             Printf.printf "%g | {%s} | %.1f%% | %g\n" budget
               (String.concat ", "

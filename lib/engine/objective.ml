@@ -27,6 +27,36 @@ let bv_bucket ?num_buckets ?workspace () =
         end);
   }
 
+type scored = { score : float; bound : float; flat_fallbacks : int }
+
+let bv_bucket_scored ?num_buckets ?workspace () ~task pool =
+  if Pool.is_empty pool then
+    { score = Task.empty_score task; bound = 0.; flat_fallbacks = 0 }
+  else begin
+    check_labels ~what:"Engine.Objective.bv_bucket_scored" ~task pool;
+    match Pool.repr pool with
+    | Pool.Binary p ->
+        let s =
+          Jq.Bucket.estimate_stats ?workspace ?num_buckets
+            ~alpha:(Task.alpha task) (Workers.Pool.qualities p)
+        in
+        {
+          score = s.Jq.Bucket.value;
+          bound = s.Jq.Bucket.error_bound;
+          flat_fallbacks = 0;
+        }
+    | Pool.Matrix jury ->
+        let s =
+          Jq.Multiclass_jq.estimate_bv_stats ?workspace ?num_buckets
+            ~prior:(Task.prior task) jury
+        in
+        {
+          score = s.Jq.Multiclass_jq.value;
+          bound = s.Jq.Multiclass_jq.error_bound;
+          flat_fallbacks = s.Jq.Multiclass_jq.fallbacks;
+        }
+  end
+
 let bv_exact =
   {
     name = "BV/exact";

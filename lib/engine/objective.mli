@@ -22,6 +22,30 @@ val bv_bucket : ?num_buckets:int -> ?workspace:Jq.Workspace.t -> unit -> t
     @raise Invalid_argument when a non-empty pool's label count differs
     from the task's. *)
 
+type scored = {
+  score : float;  (** The JQ estimate — identical to {!score} of {!bv_bucket}. *)
+  bound : float;
+      (** Certified additive error: the §4.4 bound for binary pools,
+          Σ α_t·{!Jq.Bounds.multiclass_bound} + truncation loss for matrix
+          pools. *)
+  flat_fallbacks : int;
+      (** Matrix-pool truth evaluations that overflowed the flat kernel's
+          frontier cap and fell back to the hashtable oracle (0 for binary
+          pools). *)
+}
+
+val bv_bucket_scored :
+  ?num_buckets:int ->
+  ?workspace:Jq.Workspace.t ->
+  unit ->
+  task:Task.t ->
+  Pool.t ->
+  scored
+(** {!bv_bucket}'s score together with its certified error bound and the
+    fallback count, for callers (the serve data plane, CLIs) that surface
+    bound and kernel health alongside the value.  Same dispatch,
+    arguments, and exceptions as {!bv_bucket}. *)
+
 val bv_exact : t
 (** Exact JQ under BV by enumeration — 2^n votings for binary pools
     (juries of ≤ {!Jq.Exact.max_jury}), ℓ^n for matrix pools (bounded by

@@ -15,6 +15,17 @@ let buckets_for_error ~upper ~n ~epsilon =
     max 1
       (int_of_float (Float.ceil (upper *. float_of_int n /. (4. *. log1p epsilon))))
 
+let multiclass_bound ~upper ~num_buckets ~n ~labels =
+  if num_buckets <= 0 then invalid_arg "Bounds.multiclass_bound: num_buckets";
+  if labels < 2 then invalid_arg "Bounds.multiclass_bound: labels";
+  if n < 0 then invalid_arg "Bounds.multiclass_bound: n";
+  let delta = upper /. float_of_int num_buckets in
+  (* n+1 rounded terms per dimension (the prior contributes one), each off
+     by at most δ/2; union over the ℓ−1 dimensions. *)
+  Float.min 1.
+    (float_of_int (labels - 1)
+    *. (exp (float_of_int (n + 1) *. delta /. 2.) -. 1.))
+
 let recommended_d = 200
 let paper_guarantee = exp (5. /. 800.) -. 1.
 let logit_upper_default = 5.

@@ -15,6 +15,21 @@ val buckets_for_error : upper:float -> n:int -> epsilon:float -> int
     can round the quotient below 1).  @raise Invalid_argument for
     [epsilon <= 0]. *)
 
+val multiclass_bound :
+  upper:float -> num_buckets:int -> n:int -> labels:int -> float
+(** Bucketing-error bound for the ℓ-label tuple-key estimator of
+    {!Multiclass_jq}: [(ℓ−1) · (e^((n+1)·δ/2) − 1)] with
+    δ = upper / num_buckets, clamped to 1.  Each of a voting's ℓ−1
+    log-ratio sums is built from n+1 terms rounded to the nearest bucket,
+    so a voting can only be misclassified when some dimension's true sum
+    lies within (n+1)·δ/2 of its acceptance boundary; the §4.4
+    exponential-moment argument bounds that mass per dimension, and the
+    dimensions union.  Truncation error (tracked exactly by the kernel)
+    is additive on top.  Property-tested against [jq_exact] on small
+    instances.
+    @raise Invalid_argument for [num_buckets <= 0], [labels < 2] or
+    [n < 0]. *)
+
 val recommended_d : int
 (** The paper's d ≥ 200 recommendation. *)
 

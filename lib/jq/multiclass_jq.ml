@@ -49,7 +49,9 @@ let log_ratio num den =
 
 (* Per-worker, per-vote expansion data: the probability of that vote under
    the assumed truth, and the increment vector d.(j) =
-   ln C(truth, v) − ln C(j, v); plus the prior's constant vector. *)
+   ln C(truth, v) − ln C(j, v); plus the prior's constant vector.  Only
+   the hashtable oracle builds these; the flat kernel's prologue writes
+   the same numbers straight into workspace scratch. *)
 type expansion = { mass : float; increment : float array }
 
 let increments ~truth ~prior ~jury =
@@ -79,7 +81,12 @@ let max_abs_finite acc x =
   if Float.is_finite x then Float.max acc (Float.abs x) else acc
 
 let bucketize_value ~delta x =
-  if x = infinity then saturation
+  if Float.is_nan x then
+    (* int_of_float nan is 0: a NaN would silently land in the middle
+       bucket and corrupt the classification; probabilities outside
+       [0, +inf) are a model bug upstream, so fail loudly. *)
+    invalid_arg "Multiclass_jq.bucketize_value: NaN log-ratio"
+  else if x = infinity then saturation
   else if x = neg_infinity then -saturation
   else if delta = 0. then 0
   else int_of_float (Float.round (x /. delta))
@@ -96,8 +103,14 @@ let accepts ~truth key =
     key;
   !ok
 
+(* Process-wide count of flat-kernel evaluations that fell back to the
+   hashtable oracle (frontier past [flat_cell_cap]); CLI front-ends poll
+   it to surface the perf cliff once, and serve meters it per shard. *)
+let fallback_count = Atomic.make 0
+let flat_fallbacks () = Atomic.get fallback_count
+
 (* Reference tuple-key hashtable kernel, kept behind [~impl:Hashtbl] (and
-   as the fallback when the flat key space would be too large). *)
+   as the fallback when the flat frontier would be too large). *)
 let h_estimate_hashtbl ~num_buckets:_ ~truth ~delta ~prior_vec ~worker_vecs =
   let initial_key = Array.map (fun x -> bucketize_value ~delta x) prior_vec in
   let current = Hashtbl.create 64 in
@@ -137,217 +150,376 @@ let h_estimate_hashtbl ~num_buckets:_ ~truth ~delta ~prior_vec ~worker_vecs =
     !state;
   Float.min 1. (Float.max 0. (Prob.Kahan.total acc))
 
-(* ---- Flat mixed-radix kernel --------------------------------------- *)
+(* ---- Flat sparse-frontier kernel ------------------------------------ *)
 
-(* The ℓ-tuple key (with the truth component dropped — it is identically
-   0) flattens to a single mixed-radix integer.  Dimension m covers label
-   [label_of_dim m]; its digit saturates at S_m = 1 + |finite initial
-   bucket| + Σ_i max finite |increment bucket|, which is sign-equivalent
-   to the hashtable kernel's max_int/4 saturation: a finite-only path
-   never reaches ±S_m, and any path through a +inf increment (mass > 0
-   rules out −inf) stays ≥ 1 under later finite decrements, so both
-   kernels classify every voting identically and differ only in float
-   summation order. *)
+(* The DP's live cells (distinct bucketized ℓ−1-digit keys) number at
+   most ℓ^i and in practice far fewer, while the dense digit box grows as
+   a product over dimensions — so the flat kernel stores the frontier
+   sparsely: an open-addressing table over workspace int buffers maps a
+   digit tuple to its entry index, and entries keep their digits and mass
+   in flat parallel arrays.  No tuple is ever hashed as an array and no
+   per-cell allocation happens; a warm workspace serves the whole
+   evaluation from its high-water buffers.
+
+   Pruning (Algorithm 2 on tuple keys, {!Prune.tuple_ranges}) clamps each
+   dimension's digits to the per-step reachable range intersected with
+   the acceptance region: digits that can no longer reach the acceptance
+   floor drop their cell outright (settled reject, exact), digits that
+   can no longer fall below it collapse onto the range top (settled
+   accept, exact).  At the final step both bounds meet at the acceptance
+   floor, so the surviving frontier is a single cell holding exactly the
+   accepted mass.
+
+   Truncation drops source cells whose mass falls below [trunc_mass]
+   before expanding them, and accumulates every dropped mass into the
+   returned truncation error — the estimate only ever loses mass, so the
+   paper's JQhat <= JQ direction is preserved and the loss is tracked
+   exactly. *)
 
 let flat_cell_cap = 1 lsl 22
 
-(* Per-worker, per-vote data with bucketized increments over the ℓ−1
-   varying dimensions; +inf increments keep [saturation] as a marker and
-   clamp to S_m at add time. *)
-type flat_expansion = { fmass : float; binc : int array }
+(* Workspace slot map (one evaluation owns the workspace, see
+   {!Workspace}): ints 0 = bucketized increments (n·ℓ·(ℓ−1)), 1/2 =
+   per-step digit ranges ((n+1)·(ℓ−1) each), 3 = initial digits, 4 =
+   acceptance floors, 5 = target-digit scratch (ℓ−1 each), 6 = probe
+   table, 7/8 = ping-pong entry digits; floats 0 = vote masses (n·ℓ),
+   1 = raw log-ratios, 2/3 = ping-pong entry masses. *)
 
-let h_estimate_flat ~ws ~truth ~delta ~prior_vec ~worker_vecs =
-  let l = Array.length prior_vec in
+let rec pow2 acc n = if acc >= n then acc else pow2 (2 * acc) n
+
+let fnv_prime = 0x100000001B3
+
+let h_estimate_flat ~ws ~truth ~delta ~trunc_mass ~prior ~jury ~masses ~logr =
+  let l = Array.length prior in
   let nd = l - 1 in
-  if nd = 0 then None (* degenerate single-label task: use the oracle *)
+  let n = Array.length jury in
+  let binc = Workspace.ints ws ~slot:0 (n * l * nd) in
+  (* [bucketize_value], inlined: a float-argument call per entry would
+     box; the arithmetic must stay bitwise identical to the hashtable
+     path's calls. *)
+  for k = 0 to (n * l * nd) - 1 do
+    let x = logr.(k) in
+    binc.(k) <-
+      (if Float.is_nan x then
+         invalid_arg "Multiclass_jq.bucketize_value: NaN log-ratio"
+       else if x = infinity then saturation
+       else if x = neg_infinity then -saturation
+       else if delta = 0. then 0
+       else int_of_float (Float.round (x /. delta)))
+  done;
+  let binit = Workspace.ints ws ~slot:3 nd in
+  let floors = Workspace.ints ws ~slot:4 nd in
+  for m = 0 to nd - 1 do
+    let j = if m < truth then m else m + 1 in
+    binit.(m) <- bucketize_value ~delta (log_ratio prior.(truth) prior.(j));
+    floors.(m) <- (if j < truth then 1 else 0)
+  done;
+  let lo = Workspace.ints ws ~slot:1 ((n + 1) * nd) in
+  let hi = Workspace.ints ws ~slot:2 ((n + 1) * nd) in
+  if
+    not
+      (Prune.tuple_ranges ~sat:saturation ~nd ~n ~labels:l ~floors ~binit
+         ~masses ~binc ~lo ~hi)
+  then Some (0., 1, 0, 0.)
   else begin
-    let label_of_dim = Array.init nd (fun m -> if m < truth then m else m + 1) in
-    let n = Array.length worker_vecs in
-    (* Bucketized initial key and per-worker expansions over varying dims. *)
-    let binit =
-      Array.init nd (fun m -> bucketize_value ~delta prior_vec.(label_of_dim.(m)))
-    in
-    let expansions =
-      Array.map
-        (fun per_vote ->
-          let elig = Array.of_list
-              (List.filter (fun e -> e.mass > 0.) (Array.to_list per_vote))
-          in
-          Array.map
-            (fun e ->
-              {
-                fmass = e.mass;
-                binc =
-                  Array.init nd (fun m ->
-                      bucketize_value ~delta e.increment.(label_of_dim.(m)));
-              })
-            elig)
-        worker_vecs
-    in
-    (* Per-dimension saturating bound. *)
-    let sats =
-      Array.init nd (fun m ->
-          let s = ref 1 in
-          if binit.(m) <> saturation && binit.(m) <> -saturation then
-            s := !s + abs binit.(m);
-          Array.iter
-            (fun per_vote ->
-              let worst = ref 0 in
-              Array.iter
-                (fun e ->
-                  let b = e.binc.(m) in
-                  if b <> saturation && b <> -saturation && abs b > !worst then
-                    worst := abs b)
-                per_vote;
-              s := !s + !worst)
-            expansions;
-          !s)
-    in
-    let radix = Array.map (fun s -> (2 * s) + 1) sats in
-    let size =
-      Array.fold_left
-        (fun acc r -> if acc < 0 || acc > flat_cell_cap / r then -1 else acc * r)
-        1 radix
-    in
-    if size < 0 || size > flat_cell_cap then None
-    else begin
-      let strides = Array.make nd 1 in
-      for m = nd - 2 downto 0 do
-        strides.(m) <- strides.(m + 1) * radix.(m + 1)
-      done;
-      let clamp m k =
-        if k > sats.(m) then sats.(m)
-        else if k < -sats.(m) then -sats.(m)
-        else k
-      in
-      let a, b = Workspace.dp ws size in
-      let cur = ref a and nxt = ref b in
-      let dlo = Array.init nd (fun m -> clamp m binit.(m)) in
-      let dhi = Array.copy dlo in
-      let idx0 = ref 0 in
-      for m = 0 to nd - 1 do
-        idx0 := !idx0 + ((dlo.(m) + sats.(m)) * strides.(m))
-      done;
-      a.(!idx0) <- 1.0;
-      let digits = Array.make nd 0 in
+    let tdig = Workspace.ints ws ~slot:5 nd in
+    let cur_digs = ref (Workspace.ints ws ~slot:7 (max 1 nd)) in
+    let cur_mass = ref (Workspace.floats ws ~slot:2 1) in
+    for m = 0 to nd - 1 do
+      (!cur_digs).(m) <- lo.(m)
+    done;
+    (!cur_mass).(0) <- 1.;
+    let a_is_cur = ref true in
+    let cnt = ref 1 in
+    let pruned = ref 0 and max_frontier = ref 1 in
+    let trunc = Prob.Kahan.create () in
+    (* Hot-loop state, hoisted: a ref allocated inside the per-cell loops
+       would cost a minor block per expansion and defeat the zero-
+       steady-state-allocation contract. *)
+    let dead = ref false and h = ref 0 in
+    let s = ref 0 and placed = ref false in
+    try
       for i = 0 to n - 1 do
-        let per_vote = expansions.(i) in
-        let c = !cur and out = !nxt in
-        (* Next window bounds: clamp is monotone, so per-vote images of the
-           current box stay inside the hull of the shifted bounds. *)
-        let nlo = Array.make nd max_int and nhi = Array.make nd min_int in
-        for m = 0 to nd - 1 do
-          Array.iter
-            (fun e ->
-              let tl = clamp m (dlo.(m) + e.binc.(m))
-              and th = clamp m (dhi.(m) + e.binc.(m)) in
-              if tl < nlo.(m) then nlo.(m) <- tl;
-              if th > nhi.(m) then nhi.(m) <- th)
-            per_vote
-        done;
-        let rec fill m base =
-          if m = nd - 1 then
-            Array.fill out (base + nlo.(m) + sats.(m)) (nhi.(m) - nlo.(m) + 1) 0.
-          else
-            for d = nlo.(m) to nhi.(m) do
-              fill (m + 1) (base + ((d + sats.(m)) * strides.(m)))
-            done
-        in
-        fill 0 0;
-        let nvotes = Array.length per_vote in
-        let rec scan m base =
-          if m = nd then begin
-            let p = c.(base) in
-            if p <> 0. then
-              for v = 0 to nvotes - 1 do
-                let e = per_vote.(v) in
-                let t = ref 0 in
-                for m' = 0 to nd - 1 do
-                  let kk = clamp m' (digits.(m') + e.binc.(m')) in
-                  t := !t + ((kk + sats.(m')) * strides.(m'))
-                done;
-                out.(!t) <- out.(!t) +. (p *. e.fmass)
+        if !cnt > 0 then begin
+          let lob = (i + 1) * nd in
+          let elig = ref 0 in
+          for v = 0 to l - 1 do
+            if masses.((i * l) + v) > 0. then incr elig
+          done;
+          (* Upper bound on the next frontier: expansions from the current
+             one, the dense box of the pruned ranges (saturated at the
+             cap), and the hard cap itself.  Only a cap-clamped bound can
+             be exceeded — that overflow aborts to the oracle. *)
+          let box = ref 1 in
+          for m = 0 to nd - 1 do
+            let r = hi.(lob + m) - lo.(lob + m) + 1 in
+            if !box > (flat_cell_cap + 1) / r then box := flat_cell_cap + 1
+            else box := !box * r
+          done;
+          let next_cap = min (!cnt * !elig) (min !box flat_cell_cap) in
+          let tsize = pow2 2 (2 * next_cap) in
+          let mask = tsize - 1 in
+          let tbl = Workspace.ints ws ~slot:6 tsize in
+          Array.fill tbl 0 tsize 0;
+          let nxt_digs =
+            Workspace.ints ws
+              ~slot:(if !a_is_cur then 8 else 7)
+              (max 1 (next_cap * nd))
+          in
+          let nxt_mass =
+            Workspace.floats ws ~slot:(if !a_is_cur then 3 else 2) next_cap
+          in
+          let ncnt = ref 0 in
+          let cd = !cur_digs and cm = !cur_mass in
+          for e = 0 to !cnt - 1 do
+            let p = cm.(e) in
+            if p < trunc_mass then Prob.Kahan.add trunc p
+            else begin
+              let dbase = e * nd in
+              for v = 0 to l - 1 do
+                let fm = masses.((i * l) + v) in
+                if fm > 0. then begin
+                  let bbase = ((i * l) + v) * nd in
+                  dead := false;
+                  h := 0;
+                  for m = 0 to nd - 1 do
+                    let d = cd.(dbase + m) + binc.(bbase + m) in
+                    let top = hi.(lob + m) in
+                    let d = if d > top then top else d in
+                    if d < lo.(lob + m) then dead := true;
+                    tdig.(m) <- d;
+                    h := (!h lxor (d land max_int)) * fnv_prime
+                  done;
+                  if !dead then incr pruned
+                  else begin
+                    let mass = p *. fm in
+                    s := !h land mask;
+                    placed := false;
+                    while not !placed do
+                      let s0 = tbl.(!s) in
+                      if s0 = 0 then begin
+                        if !ncnt >= next_cap then raise_notrace Exit;
+                        tbl.(!s) <- !ncnt + 1;
+                        let nb = !ncnt * nd in
+                        for m = 0 to nd - 1 do
+                          nxt_digs.(nb + m) <- tdig.(m)
+                        done;
+                        nxt_mass.(!ncnt) <- mass;
+                        incr ncnt;
+                        placed := true
+                      end
+                      else begin
+                        let eb = (s0 - 1) * nd in
+                        let same = ref true in
+                        for m = 0 to nd - 1 do
+                          if nxt_digs.(eb + m) <> tdig.(m) then same := false
+                        done;
+                        if !same then begin
+                          nxt_mass.(s0 - 1) <- nxt_mass.(s0 - 1) +. mass;
+                          placed := true
+                        end
+                        else s := (!s + 1) land mask
+                      end
+                    done
+                  end
+                end
               done
-          end
-          else
-            for d = dlo.(m) to dhi.(m) do
-              digits.(m) <- d;
-              scan (m + 1) (base + ((d + sats.(m)) * strides.(m)))
-            done
-        in
-        scan 0 0;
-        cur := out;
-        nxt := c;
-        Array.blit nlo 0 dlo 0 nd;
-        Array.blit nhi 0 dhi 0 nd
+            end
+          done;
+          cur_digs := nxt_digs;
+          cur_mass := nxt_mass;
+          a_is_cur := not !a_is_cur;
+          cnt := !ncnt;
+          if !ncnt > !max_frontier then max_frontier := !ncnt
+        end
       done;
-      (* BV accepts truth on the contiguous sub-box: digit > 0 against
-         smaller labels, >= 0 against larger ones. *)
-      let alo =
-        Array.init nd (fun m ->
-            let floor = if label_of_dim.(m) < truth then 1 else 0 in
-            max dlo.(m) floor)
+      (* Both pruning bounds meet at the acceptance floor after the last
+         worker, so at most one cell survives and it holds exactly the
+         accepted mass. *)
+      let value =
+        if !cnt = 0 then 0.
+        else Float.min 1. (Float.max 0. (!cur_mass).(0))
       in
-      let empty = ref false in
-      for m = 0 to nd - 1 do
-        if alo.(m) > dhi.(m) then empty := true
-      done;
-      if !empty then Some 0.
-      else begin
-        let acc = Prob.Kahan.create () in
-        let c = !cur in
-        let rec sum m base =
-          if m = nd then begin
-            let p = c.(base) in
-            if p <> 0. then Prob.Kahan.add acc p
-          end
-          else
-            for d = alo.(m) to dhi.(m) do
-              sum (m + 1) (base + ((d + sats.(m)) * strides.(m)))
-            done
-        in
-        sum 0 0;
-        Some (Float.min 1. (Float.max 0. (Prob.Kahan.total acc)))
-      end
-    end
+      Some (value, !max_frontier, !pruned, Prob.Kahan.total trunc)
+    with Exit -> None
   end
+
+(* Prologue for the flat kernel, entirely on workspace scratch: vote
+   masses and raw log-ratios land in float slots 0/1 and the logit range
+   [upper] falls out of the same pass — no expansion records, no
+   list/array round-trips. *)
+let flat_prologue ~truth ~prior ~jury ~masses ~logr =
+  let l = Array.length prior in
+  let nd = l - 1 in
+  let n = Array.length jury in
+  let upper = ref 0. in
+  for j = 0 to l - 1 do
+    if j <> truth then
+      upper := max_abs_finite !upper (log_ratio prior.(truth) prior.(j))
+  done;
+  (* Hot loops read matrix rows directly ([Confusion.unsafe_row]) and
+     inline [log_ratio]/[max_abs_finite]: per-entry [prob] calls and
+     float-argument helpers would box a float per entry, and this
+     prologue runs for every truth of every evaluation. *)
+  for i = 0 to n - 1 do
+    let c = jury.(i) in
+    let row_t = Workers.Confusion.unsafe_row c truth in
+    for m = 0 to nd - 1 do
+      let j = if m < truth then m else m + 1 in
+      let row_j = Workers.Confusion.unsafe_row c j in
+      for v = 0 to l - 1 do
+        let num = row_t.(v) in
+        if m = 0 then masses.((i * l) + v) <- num;
+        let den = row_j.(v) in
+        let x =
+          if num = 0. then neg_infinity
+          else if den = 0. then infinity
+          else log (num /. den)
+        in
+        logr.((((i * l) + v) * nd) + m) <- x;
+        if Float.is_finite x then begin
+          let a = Float.abs x in
+          if a > !upper then upper := a
+        end
+      done
+    done
+  done;
+  !upper
+
+(* One H(truth) evaluation: (value, max_frontier, pruned_cells,
+   trunc_error, fallbacks, upper).  The hashtable oracle computes the
+   same delta from the same logit range, so the two impls classify every
+   voting identically and the bucketing bound applies to both. *)
+let h_core ~impl ~ws ~num_buckets ~trunc_mass ~truth ~prior jury =
+  let l = Array.length prior in
+  if l = 1 then (1., 1, 0, 0., 0, 0.)
+    (* degenerate single-label task: BV always answers the only label *)
+  else begin
+    let n = Array.length jury in
+    let oracle ~delta ~fell_back ~upper =
+      let prior_vec, worker_vecs = increments ~truth ~prior ~jury in
+      ( h_estimate_hashtbl ~num_buckets ~truth ~delta ~prior_vec ~worker_vecs,
+        0,
+        0,
+        0.,
+        fell_back,
+        upper )
+    in
+    match impl with
+    | Bucket.Hashtbl ->
+        let prior_vec, worker_vecs = increments ~truth ~prior ~jury in
+        let upper =
+          let m = Array.fold_left max_abs_finite 0. prior_vec in
+          Array.fold_left
+            (fun acc per_vote ->
+              Array.fold_left
+                (fun acc e -> Array.fold_left max_abs_finite acc e.increment)
+                acc per_vote)
+            m worker_vecs
+        in
+        let delta = if upper = 0. then 0. else upper /. float_of_int num_buckets in
+        ( h_estimate_hashtbl ~num_buckets ~truth ~delta ~prior_vec ~worker_vecs,
+          0,
+          0,
+          0.,
+          0,
+          upper )
+    | Bucket.Flat -> (
+        let nd = l - 1 in
+        let masses = Workspace.floats ws ~slot:0 (n * l) in
+        let logr = Workspace.floats ws ~slot:1 (n * l * nd) in
+        let upper = flat_prologue ~truth ~prior ~jury ~masses ~logr in
+        let delta = if upper = 0. then 0. else upper /. float_of_int num_buckets in
+        match
+          h_estimate_flat ~ws ~truth ~delta ~trunc_mass ~prior ~jury ~masses
+            ~logr
+        with
+        | Some (value, frontier, pruned, trunc) ->
+            (value, frontier, pruned, trunc, 0, upper)
+        | None ->
+            (* Frontier past flat_cell_cap: hand the evaluation to the
+               oracle, and meter the cliff (serve reads the per-call
+               count, CLIs poll the process-wide one). *)
+            Atomic.incr fallback_count;
+            oracle ~delta ~fell_back:1 ~upper)
+  end
+
+(* ---- Public estimators ---------------------------------------------- *)
+
+type stats = {
+  value : float;
+  upper : float;
+  delta : float;
+  max_frontier : int;
+  pruned_cells : int;
+  trunc_error : float;
+  error_bound : float;
+  fallbacks : int;
+}
+
+let default_trunc_mass = 1e-12
+
+let validate_common ~num_buckets ~trunc_mass ~what =
+  if num_buckets <= 0 then invalid_arg (what ^ ": num_buckets");
+  if trunc_mass < 0. || Float.is_nan trunc_mass then
+    invalid_arg (what ^ ": trunc_mass")
 
 let h_estimate ?(impl = Bucket.Flat) ?workspace
-    ?(num_buckets = Bucket.default_num_buckets) ~truth ~prior jury =
+    ?(num_buckets = Bucket.default_num_buckets)
+    ?(trunc_mass = default_trunc_mass) ~truth ~prior jury =
   let l = Array.length prior in
   if truth < 0 || truth >= l then invalid_arg "Multiclass_jq.h_estimate: truth";
-  if num_buckets <= 0 then invalid_arg "Multiclass_jq.h_estimate: num_buckets";
+  validate_common ~num_buckets ~trunc_mass ~what:"Multiclass_jq.h_estimate";
   if prior.(truth) = 0. then 0.
-  else begin
-    let prior_vec, worker_vecs = increments ~truth ~prior ~jury in
-    let upper =
-      let m = Array.fold_left max_abs_finite 0. prior_vec in
-      Array.fold_left
-        (fun acc per_vote ->
-          Array.fold_left
-            (fun acc e -> Array.fold_left max_abs_finite acc e.increment)
-            acc per_vote)
-        m worker_vecs
-    in
-    let delta = if upper = 0. then 0. else upper /. float_of_int num_buckets in
-    let flat_result =
-      match impl with
-      | Bucket.Hashtbl -> None
-      | Bucket.Flat ->
-          Workspace.with_default workspace (fun ws ->
-              h_estimate_flat ~ws ~truth ~delta ~prior_vec ~worker_vecs)
-    in
-    match flat_result with
-    | Some v -> v
-    | None -> h_estimate_hashtbl ~num_buckets ~truth ~delta ~prior_vec ~worker_vecs
-  end
+  else
+    Workspace.with_default workspace (fun ws ->
+        let value, _, _, _, _, _ =
+          h_core ~impl ~ws ~num_buckets ~trunc_mass ~truth ~prior jury
+        in
+        value)
 
-let estimate_bv ?impl ?workspace ?num_buckets ~prior jury =
+let estimate_bv_stats ?(impl = Bucket.Flat) ?workspace
+    ?(num_buckets = Bucket.default_num_buckets)
+    ?(trunc_mass = default_trunc_mass) ~prior jury =
+  validate_common ~num_buckets ~trunc_mass ~what:"Multiclass_jq.estimate_bv";
+  let l = Array.length prior in
+  let n = Array.length jury in
   let acc = Prob.Kahan.create () in
-  Array.iteri
-    (fun truth alpha ->
-      if alpha > 0. then
-        Prob.Kahan.add acc
-          (alpha *. h_estimate ?impl ?workspace ?num_buckets ~truth ~prior jury))
-    prior;
-  Prob.Kahan.total acc
+  let bound = Prob.Kahan.create () in
+  let trunc_total = Prob.Kahan.create () in
+  let upper_max = ref 0. in
+  let max_frontier = ref 0 and pruned_cells = ref 0 and fallbacks = ref 0 in
+  Workspace.with_default workspace (fun ws ->
+      Array.iteri
+        (fun truth alpha ->
+          if alpha > 0. then begin
+            let value, frontier, pruned, trunc, fell_back, upper =
+              h_core ~impl ~ws ~num_buckets ~trunc_mass ~truth ~prior jury
+            in
+            Prob.Kahan.add acc (alpha *. value);
+            if l >= 2 then
+              Prob.Kahan.add bound
+                (alpha *. Bounds.multiclass_bound ~upper ~num_buckets ~n ~labels:l);
+            Prob.Kahan.add trunc_total (alpha *. trunc);
+            if upper > !upper_max then upper_max := upper;
+            if frontier > !max_frontier then max_frontier := frontier;
+            pruned_cells := !pruned_cells + pruned;
+            fallbacks := !fallbacks + fell_back
+          end)
+        prior);
+  let trunc_error = Prob.Kahan.total trunc_total in
+  let upper = !upper_max in
+  {
+    value = Prob.Kahan.total acc;
+    upper;
+    delta = (if upper = 0. then 0. else upper /. float_of_int num_buckets);
+    max_frontier = !max_frontier;
+    pruned_cells = !pruned_cells;
+    trunc_error;
+    error_bound = Prob.Kahan.total bound +. trunc_error;
+    fallbacks = !fallbacks;
+  }
+
+let estimate_bv ?impl ?workspace ?num_buckets ?trunc_mass ~prior jury =
+  (estimate_bv_stats ?impl ?workspace ?num_buckets ?trunc_mass ~prior jury)
+    .value

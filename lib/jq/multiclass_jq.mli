@@ -10,14 +10,20 @@
     t′ exactly when every component is ≥ 0 (with the tie convention of
     {!Voting.Multiclass.bayesian}: strict for j < t′).
 
-    The estimator's default kernel flattens the ℓ-tuple keys into a single
-    mixed-radix integer over per-dimension saturating bounds and runs the
-    DP over dense {!Workspace} buffers (no tuple hashing or allocation per
-    key); the legacy hashtable kernel remains available as
-    [~impl:Hashtbl], and is also the automatic fallback when the flat key
-    space would exceed a few million cells.  The two kernels classify
-    every voting identically and agree up to summation-order ulps
-    (property-tested). *)
+    The estimator's default kernel runs the DP as a sparse frontier over
+    {!Workspace} buffers: digit tuples live in flat int arrays behind an
+    open-addressing probe table (no per-key allocation or polymorphic
+    hashing), {!Prune.tuple_ranges} clamps every dimension to the digits
+    that can still change the answer (Algorithm 2 on tuple keys), and
+    cells whose mass falls below [trunc_mass] are dropped with the lost
+    mass accumulated into a tracked additive error — so the estimate only
+    ever loses mass and the paper's ĴQ ≤ JQ direction survives pruning
+    and truncation.  The legacy hashtable kernel remains available as
+    [~impl:Hashtbl] and is the automatic fallback when the pruned
+    frontier would still exceed a few million cells (counted by
+    {!flat_fallbacks}).  The two kernels derive bitwise-identical bucket
+    widths, classify every voting identically, and agree up to
+    truncation plus summation-order ulps (property-tested). *)
 
 val jq_exact :
   Voting.Multiclass.t ->
@@ -40,23 +46,72 @@ val estimate_bv :
   ?impl:Bucket.impl ->
   ?workspace:Workspace.t ->
   ?num_buckets:int ->
+  ?trunc_mass:float ->
   prior:float array ->
   Workers.Confusion.t array ->
   float
 (** [estimate_bv ~prior jury] — iterative tuple-key estimate of JQ under
-    multi-class BV (numBuckets defaults to {!Bucket.default_num_buckets}).
-    With ℓ = 2 and symmetric binary matrices this agrees with
-    {!Bucket.estimate} (property-tested).  [workspace] defaults to the
-    calling domain's workspace via {!Workspace.with_default}; see
+    multi-class BV (numBuckets defaults to {!Bucket.default_num_buckets},
+    [trunc_mass] to {!default_trunc_mass}; [trunc_mass = 0.] disables
+    truncation).  With ℓ = 2 and symmetric binary matrices this agrees
+    with {!Bucket.estimate} (property-tested).  [workspace] defaults to
+    the calling domain's workspace via {!Workspace.with_default}; see
     {!Workspace} for the sharing contract. *)
+
+type stats = {
+  value : float;  (** The JQ estimate (identical to {!estimate_bv}). *)
+  upper : float;
+      (** Largest finite |log-ratio| over every truth's expansion — the
+          logit range the bucket width is derived from. *)
+  delta : float;  (** Bucket width [upper / num_buckets]. *)
+  max_frontier : int;
+      (** Largest live-cell count any DP step reached (flat kernel). *)
+  pruned_cells : int;
+      (** Cells dropped as settled-rejected by tuple pruning. *)
+  trunc_error : float;
+      (** Total prior-weighted probability mass dropped by truncation —
+          an exact, not estimated, lower-bound gap. *)
+  error_bound : float;
+      (** Additive guarantee: Σ_t α_t · {!Bounds.multiclass_bound} plus
+          [trunc_error]; [|value − jq_exact| <= error_bound]
+          (property-tested on small instances). *)
+  fallbacks : int;
+      (** Truth evaluations that overflowed the flat frontier cap and
+          fell back to the hashtable oracle this call. *)
+}
+
+val estimate_bv_stats :
+  ?impl:Bucket.impl ->
+  ?workspace:Workspace.t ->
+  ?num_buckets:int ->
+  ?trunc_mass:float ->
+  prior:float array ->
+  Workers.Confusion.t array ->
+  stats
+(** {!estimate_bv} with kernel instrumentation and the certified
+    additive error bound.  One workspace acquisition serves all ℓ truth
+    evaluations. *)
 
 val h_estimate :
   ?impl:Bucket.impl ->
   ?workspace:Workspace.t ->
   ?num_buckets:int ->
+  ?trunc_mass:float ->
   truth:int ->
   prior:float array ->
   Workers.Confusion.t array ->
   float
 (** [h_estimate ~truth ~prior jury] — iterative tuple-key estimate of
     H(truth) under BV. *)
+
+val default_trunc_mass : float
+(** 1e-12 — the default per-cell mass floor.  Far below any bucketing
+    bound a practical [num_buckets] yields, so truncation never dominates
+    the certified error, yet it keeps degenerate near-zero cells from
+    bloating the frontier. *)
+
+val flat_fallbacks : unit -> int
+(** Process-wide count of flat-kernel evaluations that exceeded the
+    frontier cap and silently fell back to the hashtable oracle.
+    Monotonic; front-ends snapshot it around calls to detect (and report
+    once) the performance cliff. *)

@@ -12,3 +12,89 @@ let prune ~key ~remaining_swing =
   if key > 0 && key - remaining_swing > 0 then Settled 1.
   else if key < 0 && key + remaining_swing < 0 then Settled 0.
   else Keep
+
+(* ---- Tuple-key generalization (ℓ-label BV) -------------------------- *)
+
+(* The ℓ-label DP carries an (ℓ−1)-digit key; BV accepts the assumed
+   truth iff digit m >= floors.(m) in every dimension.  Dimension m's
+   remaining swing splits into an upper swing up(i) = Σ_{i'>=i} max_v
+   binc and a lower swing dn(i) = Σ_{i'>=i} min_v binc (both over votes
+   with positive mass only).  A digit below rej(i) = floors.(m) − up(i)
+   can never climb back to the acceptance floor, so its cell is settled
+   rejected — Algorithm 2's [Settled 0.] — and dropped outright.  A digit
+   at or above cap(i) = floors.(m) − dn(i) can never fall below the
+   floor: the dimension is settled accepted ([Settled 1.] componentwise),
+   so all such digits are interchangeable and collapse onto cap(i).
+   Collapsing is stable: cap(i) + binc_v >= cap(i+1) for every eligible
+   vote, so a collapsed digit re-collapses at the next step.  At i = n
+   both bounds meet at floors.(m): the surviving frontier holds exactly
+   the accepted mass.
+
+   Intersecting [rej, cap] with the forward-propagated reachable hull of
+   the initial digit yields the per-step digit ranges the DP actually
+   visits. *)
+
+let sat_add ~sat a b =
+  let s = a + b in
+  if s > sat then sat else if s < -sat then -sat else s
+
+let tuple_ranges ~sat ~nd ~n ~labels ~floors ~binit ~masses ~binc ~lo ~hi =
+  (* Extremal bucketized increments of worker i in dimension m over its
+     positive-mass votes; every worker has at least one (rows sum to 1).
+     Results land in the shared cells below rather than a returned tuple —
+     this runs 2·n·nd times per evaluation and must not allocate. *)
+  let mn = ref 0 and mx = ref 0 in
+  let minmax i m =
+    mn := max_int;
+    mx := min_int;
+    for v = 0 to labels - 1 do
+      if masses.((i * labels) + v) > 0. then begin
+        let b = binc.((((i * labels) + v) * nd) + m) in
+        if b < !mn then mn := b;
+        if b > !mx then mx := b
+      end
+    done
+  in
+  (* Backward pass: lo rows hold up(i), hi rows hold dn(i); the forward
+     pass below consumes row i+1 just before overwriting it with the
+     clamped digit range of state i+1, so the two arrays double as their
+     own scratch. *)
+  for m = 0 to nd - 1 do
+    lo.((n * nd) + m) <- 0;
+    hi.((n * nd) + m) <- 0
+  done;
+  for i = n - 1 downto 0 do
+    for m = 0 to nd - 1 do
+      minmax i m;
+      lo.((i * nd) + m) <- sat_add ~sat lo.(((i + 1) * nd) + m) !mx;
+      hi.((i * nd) + m) <- sat_add ~sat hi.(((i + 1) * nd) + m) !mn
+    done
+  done;
+  let live = ref true in
+  for m = 0 to nd - 1 do
+    let rej = floors.(m) - lo.(m) and cap = floors.(m) - hi.(m) in
+    if binit.(m) < rej then live := false
+    else begin
+      let d = if binit.(m) > cap then cap else binit.(m) in
+      lo.(m) <- d;
+      hi.(m) <- d
+    end
+  done;
+  if !live then
+    for i = 0 to n - 1 do
+      if !live then
+        for m = 0 to nd - 1 do
+          minmax i m;
+          let rej = floors.(m) - lo.(((i + 1) * nd) + m)
+          and cap = floors.(m) - hi.(((i + 1) * nd) + m) in
+          let hl = sat_add ~sat lo.((i * nd) + m) !mn
+          and hh = sat_add ~sat hi.((i * nd) + m) !mx in
+          if hh < rej then live := false
+          else begin
+            lo.(((i + 1) * nd) + m) <-
+              (if hl < rej then rej else if hl > cap then cap else hl);
+            hi.(((i + 1) * nd) + m) <- (if hh > cap then cap else hh)
+          end
+        done
+    done;
+  !live

@@ -21,3 +21,38 @@ val prune : key:int -> remaining_swing:int -> verdict
     [key > 0] and [key − remaining_swing > 0] → [Settled 1.];
     [key < 0] and [key + remaining_swing < 0] → [Settled 0.];
     otherwise [Keep]. *)
+
+val tuple_ranges :
+  sat:int ->
+  nd:int ->
+  n:int ->
+  labels:int ->
+  floors:int array ->
+  binit:int array ->
+  masses:float array ->
+  binc:int array ->
+  lo:int array ->
+  hi:int array ->
+  bool
+(** Algorithm 2 generalized to the ℓ-label tuple keys of
+    {!Multiclass_jq}: per-dimension reachable digit ranges, clamped by
+    settled-accept/settled-reject bounds.
+
+    Inputs describe the DP over [nd = ℓ−1] varying dimensions and [n]
+    workers: [floors.(m)] is the acceptance floor of dimension [m] (1
+    against smaller labels, 0 against larger), [binit.(m)] the bucketized
+    initial digit, [masses.((i·labels)+v)] the vote masses Pr(v | truth)
+    and [binc.(((i·labels)+v)·nd+m)] the bucketized increments (votes
+    with mass 0 are ignored).  Swing sums saturate at ±[sat], the
+    kernels' ±∞ marker.
+
+    On return, [lo]/[hi] (both of length at least [(n+1)·nd], used as
+    their own scratch) hold for every DP state [i ∈ 0..n] the inclusive
+    digit range [lo.(i·nd+m) .. hi.(i·nd+m)] the kernel must visit: a
+    digit that would leave the range downward is settled rejected (its
+    cell is dropped — it can never reach the floor again), and digits
+    above the range collapse onto [hi] (settled accepted in that
+    dimension).  At [i = n] the range is the single digit [floors.(m)],
+    so the final frontier holds exactly the accepted mass.  Returns
+    [false] when every completion is already settled rejected (the
+    estimate is 0 and the DP can be skipped). *)

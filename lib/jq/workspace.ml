@@ -1,11 +1,17 @@
+(* Slot counts cover the heaviest client: the multiclass sparse-frontier
+   kernel uses int slots 0-8 and float slots 0-3 simultaneously (see
+   Multiclass_jq); the binary kernel uses int slots 0-1 and float slots
+   0-1.  Slots are preallocated tiny and grow on demand, so unused slots
+   cost a few words each. *)
+let int_slots = 10
+let float_slots = 4
+
 type t = {
   mutable busy : bool;
   mutable dp_a : float array;
   mutable dp_b : float array;
-  mutable f0 : float array;
-  mutable f1 : float array;
-  mutable i0 : int array;
-  mutable i1 : int array;
+  float_scratch : float array array; (* slot -> buffer, grown in place *)
+  int_scratch : int array array;
 }
 
 let create () =
@@ -13,10 +19,8 @@ let create () =
     busy = false;
     dp_a = Array.make 256 0.;
     dp_b = Array.make 256 0.;
-    f0 = Array.make 64 0.;
-    f1 = Array.make 64 0.;
-    i0 = Array.make 64 0;
-    i1 = Array.make 64 0;
+    float_scratch = Array.init float_slots (fun _ -> Array.make 64 0.);
+    int_scratch = Array.init int_slots (fun _ -> Array.make 64 0);
   }
 
 (* Grow-only, doubling: amortized O(1) growth, never shrinks, so a warm
@@ -31,24 +35,24 @@ let dp t size =
   (t.dp_a, t.dp_b)
 
 let floats t ~slot size =
-  match slot with
-  | 0 ->
-      if Array.length t.f0 < size then t.f0 <- Array.make (grown (Array.length t.f0) size) 0.;
-      t.f0
-  | 1 ->
-      if Array.length t.f1 < size then t.f1 <- Array.make (grown (Array.length t.f1) size) 0.;
-      t.f1
-  | _ -> invalid_arg "Workspace.floats: slot"
+  if slot < 0 || slot >= float_slots then invalid_arg "Workspace.floats: slot";
+  let a = t.float_scratch.(slot) in
+  if Array.length a < size then begin
+    let b = Array.make (grown (Array.length a) size) 0. in
+    t.float_scratch.(slot) <- b;
+    b
+  end
+  else a
 
 let ints t ~slot size =
-  match slot with
-  | 0 ->
-      if Array.length t.i0 < size then t.i0 <- Array.make (grown (Array.length t.i0) size) 0;
-      t.i0
-  | 1 ->
-      if Array.length t.i1 < size then t.i1 <- Array.make (grown (Array.length t.i1) size) 0;
-      t.i1
-  | _ -> invalid_arg "Workspace.ints: slot"
+  if slot < 0 || slot >= int_slots then invalid_arg "Workspace.ints: slot";
+  let a = t.int_scratch.(slot) in
+  if Array.length a < size then begin
+    let b = Array.make (grown (Array.length a) size) 0 in
+    t.int_scratch.(slot) <- b;
+    b
+  end
+  else a
 
 (* One workspace per domain, so bare estimate calls reuse buffers without
    any coordination across domains.  Sys-threads of the same domain can

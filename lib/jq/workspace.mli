@@ -32,13 +32,16 @@ val with_default : t option -> (t -> 'a) -> 'a
     The returned arrays are at least the requested length and hold
     arbitrary stale data — kernels must initialize the range they read.
     The two {!dp} arrays and every slot are distinct, so a kernel may use
-    them simultaneously. *)
+    them simultaneously.  Requesting a slot at a larger size replaces its
+    buffer with a fresh (uncopied) one, so a kernel that ping-pongs two
+    slots must only re-request the slot it is about to overwrite. *)
 
 val dp : t -> int -> float array * float array
-(** Ping-pong DP mass buffers, each of length >= the request. *)
+(** Ping-pong DP mass buffers, each of length >= the request.  A single
+    request grows {e both} arrays, discarding their contents. *)
 
 val floats : t -> slot:int -> int -> float array
-(** Per-worker float scratch; slots 0 and 1 are distinct arrays. *)
+(** Kernel float scratch; slots [0 .. 3] are distinct arrays. *)
 
 val ints : t -> slot:int -> int -> int array
-(** Per-worker int scratch; slots 0 and 1 are distinct arrays. *)
+(** Kernel int scratch; slots [0 .. 9] are distinct arrays. *)

@@ -316,10 +316,11 @@ let solve_mvjs ?params ?cache ?memo ~rng ~alpha ~budget pool =
    engine — [Engine.Pool.of_confusions] has already lowered ℓ=2 symmetric
    matrix pools to that representation, so §7 pools pay the tuple-key
    scorer only when they genuinely need it. *)
-let solve_matrix ~params ~cache ~memo ~num_buckets ~rng ~task ~budget epool =
+let solve_matrix ~params ~cache ~memo ~num_buckets ~workspace ~rng ~task
+    ~budget epool =
   Budget.validate budget;
   validate_params params;
-  let objective = Engine.Objective.bv_bucket ?num_buckets () in
+  let objective = Engine.Objective.bv_bucket ?num_buckets ?workspace () in
   let st =
     make_state ~costs:(Engine.Pool.costs epool)
       ~materialize:(Engine.Pool.sub epool)
@@ -364,8 +365,8 @@ let solve_matrix ~params ~cache ~memo ~num_buckets ~rng ~task ~budget epool =
     cache = Option.map Objective_cache.stats memo;
   }
 
-let solve_engine ?(params = default_params) ?num_buckets ?(cache = true) ?memo
-    ~rng ~task ~budget epool =
+let solve_engine ?(params = default_params) ?num_buckets ?workspace
+    ?(cache = true) ?memo ~rng ~task ~budget epool =
   match Engine.Pool.repr epool with
   | Engine.Pool.Binary pool ->
       if Engine.Task.labels task <> 2 then
@@ -376,4 +377,5 @@ let solve_engine ?(params = default_params) ?num_buckets ?(cache = true) ?memo
   | Engine.Pool.Matrix _ ->
       if Engine.Pool.labels epool <> Engine.Task.labels task then
         invalid_arg "Annealing.solve_engine: pool and task label counts differ";
-      solve_matrix ~params ~cache ~memo ~num_buckets ~rng ~task ~budget epool
+      solve_matrix ~params ~cache ~memo ~num_buckets ~workspace ~rng ~task
+        ~budget epool

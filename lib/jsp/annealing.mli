@@ -123,6 +123,7 @@ val solve_mvjs :
 val solve_engine :
   ?params:params ->
   ?num_buckets:int ->
+  ?workspace:Jq.Workspace.t ->
   ?cache:bool ->
   ?memo:Objective_cache.t ->
   rng:Prob.Rng.t ->
@@ -135,7 +136,10 @@ val solve_engine :
     {!Engine.Pool.of_confusions} lowers) run {!solve_optjs} verbatim —
     same trajectory, same juries, same scores; [Matrix] pools run the same
     schedule with memoized from-scratch evaluations of
-    {!Engine.Objective.bv_bucket} ([cache] defaults to [true]).  The
+    {!Engine.Objective.bv_bucket} ([cache] defaults to [true];
+    [workspace] pins those evaluations' kernel scratch — single-owner, see
+    {!Jq.Workspace} — and is ignored on the binary path, whose
+    incremental evaluator owns its own state).  The
     result's jury preserves the input representation.
     @raise Invalid_argument when the pool and task label counts differ (or
     on the parameter violations of {!solve}). *)

@@ -17,6 +17,7 @@ type shard = {
   mutable ring_len : int;
   mutable ring_next : int;
   mutable jq_evals : int;
+  mutable jq_flat_fallbacks : int;   (* flat-kernel evals that fell back *)
   jq_histogram : Prob.Histogram.t;   (* kernel eval ns, [0, 10 ms) buckets *)
   jq_ring : float array;             (* recent kernel eval times, ns *)
   mutable jq_ring_len : int;
@@ -48,6 +49,7 @@ let fresh_shard () =
     ring_len = 0;
     ring_next = 0;
     jq_evals = 0;
+    jq_flat_fallbacks = 0;
     jq_histogram = Prob.Histogram.create ~lo:0. ~hi:1e7 ~buckets:100;
     jq_ring = Array.make ring_size 0.;
     jq_ring_len = 0;
@@ -110,6 +112,11 @@ let jq_eval t ~shard ~ns =
       s.jq_ring_next <- (s.jq_ring_next + 1) mod ring_size;
       if s.jq_ring_len < ring_size then s.jq_ring_len <- s.jq_ring_len + 1)
 
+let jq_flat_fallback t ~shard ~count =
+  if count > 0 then
+    with_shard t shard (fun s ->
+        s.jq_flat_fallbacks <- s.jq_flat_fallbacks + count)
+
 let add_cache t ~merge =
   Mutex.lock t.sources_lock;
   t.cache_sources <- merge :: t.cache_sources;
@@ -132,6 +139,7 @@ type merged = {
   m_counts : int array;
   m_latencies : float array;
   m_jq_evals : int;
+  m_jq_flat_fallbacks : int;
   m_jq_counts : int array;
   m_jq_ns : float array;
 }
@@ -144,7 +152,7 @@ let merge t =
   let overloads = ref 0 and deadlines = ref 0 in
   let batches = ref 0 and batched_saved = ref 0 in
   let jq_memo_hits = ref 0 and steals = ref 0 in
-  let jq_evals = ref 0 in
+  let jq_evals = ref 0 and jq_flat_fallbacks = ref 0 in
   let jq_counts = ref [||] in
   let jq_rings = ref [] in
   Array.iteri
@@ -169,6 +177,7 @@ let merge t =
           else Array.iteri (fun k v -> !counts.(k) <- !counts.(k) + v) c;
           if s.ring_len > 0 then rings := Array.sub s.ring 0 s.ring_len :: !rings;
           jq_evals := !jq_evals + s.jq_evals;
+          jq_flat_fallbacks := !jq_flat_fallbacks + s.jq_flat_fallbacks;
           let jc = Prob.Histogram.counts s.jq_histogram in
           if Array.length !jq_counts = 0 then jq_counts := jc
           else Array.iteri (fun k v -> !jq_counts.(k) <- !jq_counts.(k) + v) jc;
@@ -189,6 +198,7 @@ let merge t =
     m_counts = !counts;
     m_latencies = Array.concat !rings;
     m_jq_evals = !jq_evals;
+    m_jq_flat_fallbacks = !jq_flat_fallbacks;
     m_jq_counts = !jq_counts;
     m_jq_ns = Array.concat !jq_rings;
   }
@@ -215,6 +225,7 @@ let snapshot t =
       ("jq_memo_hits", f m.m_jq_memo_hits);
       ("steals", f m.m_steals);
       ("jq_evals", f m.m_jq_evals);
+      ("jq_flat_fallbacks", f m.m_jq_flat_fallbacks);
     ]
     @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
   in

@@ -61,6 +61,13 @@ val jq_eval : t -> shard:int -> ns:float -> unit
     and the merged [jq_eval_ns_p*] quantiles, so dense-kernel regressions
     are visible in production metrics. *)
 
+val jq_flat_fallback : t -> shard:int -> count:int -> unit
+(** Count [count] flat-kernel evaluations on [shard] that overflowed the
+    frontier cap and silently fell back to the hashtable oracle (a
+    correctness-preserving but order-of-magnitude slower path; a nonzero
+    rate means the pool/bucket configuration defeats the flat kernel).
+    No-op for [count <= 0]. *)
+
 val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 (** Register a pull-source of solver-cache counters (one per executor);
     {!snapshot} sums every registered source.  The thunk is called from
@@ -70,7 +77,8 @@ val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 val snapshot : t -> (string * float) list
 (** Merged values, sorted by key: [uptime_s], [requests], [ok], [errors],
     [overloads], [deadlines], [batches], [batched_saved], [jq_memo_hits],
-    [steals], [jq_evals], [req_<verb>] per seen verb,
+    [steals], [jq_evals], [jq_flat_fallbacks], [req_<verb>] per seen
+    verb,
     [p50_ms]/[p95_ms]/[p99_ms] over recent latencies and
     [jq_eval_ns_p50]/[jq_eval_ns_p95]/[jq_eval_ns_p99] over recent kernel
     evaluations (each trio absent until a first sample), and

@@ -188,15 +188,15 @@ let eval_jq_pool t exec ~name ~prior ~num_buckets =
                       Jq.Incremental.error_bound inc,
                       Workers.Pool.size scalars )
                 | Engine.Pool.Matrix _ ->
-                    let objective =
-                      Engine.Objective.bv_bucket ~num_buckets
+                    let scored =
+                      Engine.Objective.bv_bucket_scored ~num_buckets
                         ~workspace:exec.workspace ()
+                        ~task:(task_of_prior prior) pool
                     in
-                    (* The ℓ-tuple estimator does not certify a bucketing
-                       error bound; report 0 (exactly as much as is known). *)
-                    ( Engine.Objective.score objective ~task:(task_of_prior prior)
-                        pool,
-                      0.,
+                    Metrics.jq_flat_fallback t.metrics ~shard:exec.shard
+                      ~count:scored.Engine.Objective.flat_fallbacks;
+                    ( scored.Engine.Objective.score,
+                      scored.Engine.Objective.bound,
                       Engine.Pool.size pool )
               in
               Metrics.jq_eval t.metrics ~shard:exec.shard

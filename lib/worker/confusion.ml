@@ -51,6 +51,10 @@ let row c j =
   if j < 0 || j >= labels c then invalid_arg "Confusion.row";
   Array.copy c.matrix.(j)
 
+let unsafe_row c j =
+  if j < 0 || j >= labels c then invalid_arg "Confusion.unsafe_row";
+  c.matrix.(j)
+
 let accuracy_given_uniform_prior c =
   let l = labels c in
   let acc = ref 0. in

@@ -29,6 +29,13 @@ val prob : t -> truth:int -> vote:int -> float
 val row : t -> int -> float array
 (** Copy of the distribution over votes when the truth is the given label. *)
 
+val unsafe_row : t -> int -> float array
+(** The same distribution {e without} the defensive copy — the backing
+    array itself, which must not be mutated.  For allocation-free kernel
+    prologues ({!Jq.Multiclass_jq}) that read each row element-wise:
+    unlike per-entry {!prob} calls, float reads from the returned array
+    stay unboxed.  @raise Invalid_argument on an out-of-range label. *)
+
 val accuracy_given_uniform_prior : t -> float
 (** Mean diagonal: the probability of a correct vote when all truths are
     equally likely — a scalar summary used when ranking matrix workers. *)

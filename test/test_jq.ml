@@ -542,6 +542,130 @@ let test_mc_h_validation () =
     (fun () ->
       ignore (Jq.Multiclass_jq.h_estimate ~truth:5 ~prior:uniform3 [| sym3 0.8 0 |]))
 
+(* ---- Pruned/truncated flat kernel ------------------------------------- *)
+
+let mc_prior_gen =
+  QCheck2.Gen.oneofl [ uniform3; [| 0.5; 0.3; 0.2 |]; [| 0.1; 0.1; 0.8 |] ]
+
+let test_mc_truncation_underestimates =
+  (* A deliberately coarse mass floor: the truncated estimate may only
+     lose mass relative to the untruncated oracle, and no more than the
+     tracked truncation error. *)
+  qtest ~count:100 "truncated flat kernel only loses tracked mass"
+    QCheck2.Gen.(pair mc_jury_gen mc_prior_gen)
+    (fun (qs, prior) ->
+      let jury = Array.mapi (fun id q -> sym3 q id) qs in
+      let stats =
+        Jq.Multiclass_jq.estimate_bv_stats ~trunc_mass:1e-3 ~prior jury
+      in
+      let oracle =
+        Jq.Multiclass_jq.estimate_bv ~impl:Jq.Bucket.Hashtbl ~prior jury
+      in
+      stats.Jq.Multiclass_jq.value <= oracle +. 1e-9
+      && oracle -. stats.Jq.Multiclass_jq.value
+         <= stats.Jq.Multiclass_jq.trunc_error +. 1e-9)
+
+let test_mc_error_bound =
+  qtest ~count:60 "estimate within the certified bound of exact"
+    QCheck2.Gen.(triple mc_jury_gen mc_prior_gen (int_range 25 400))
+    (fun (qs, prior, num_buckets) ->
+      let jury = Array.mapi (fun id q -> sym3 q id) qs in
+      let stats =
+        Jq.Multiclass_jq.estimate_bv_stats ~num_buckets ~prior jury
+      in
+      let exact = Jq.Multiclass_jq.jq_exact Multiclass.bayesian ~prior ~jury in
+      Float.abs (exact -. stats.Jq.Multiclass_jq.value)
+      <= stats.Jq.Multiclass_jq.error_bound +. 1e-9)
+
+let test_mc_workspace_reuse_deterministic =
+  qtest ~count:50 "multiclass workspace warmth does not change results"
+    QCheck2.Gen.(pair mc_jury_gen mc_prior_gen)
+    (fun (qs, prior) ->
+      let jury = Array.mapi (fun id q -> sym3 q id) qs in
+      let ws = Jq.Workspace.create () in
+      let a = Jq.Multiclass_jq.estimate_bv ~workspace:ws ~prior jury in
+      let b = Jq.Multiclass_jq.estimate_bv ~workspace:ws ~prior jury in
+      let fresh =
+        Jq.Multiclass_jq.estimate_bv ~workspace:(Jq.Workspace.create ()) ~prior
+          jury
+      in
+      Float.equal a b && Float.equal a fresh)
+
+let test_mc_warm_eval_allocation () =
+  (* The sparse-frontier DP must run entirely on workspace buffers: after
+     two warming evaluations (buffers at their high-water mark), each
+     further evaluation may allocate only the fixed stats/accumulator
+     scaffolding — a budget far below one DP frontier's worth. *)
+  let jury =
+    Array.init 12 (fun id -> sym3 (0.45 +. (0.04 *. float_of_int id)) id)
+  in
+  let prior = [| 0.2; 0.5; 0.3 |] in
+  let ws = Jq.Workspace.create () in
+  let eval () =
+    ignore (Jq.Multiclass_jq.estimate_bv ~workspace:ws ~prior jury)
+  in
+  eval ();
+  eval ();
+  let reps = 50 in
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    eval ()
+  done;
+  let per_eval = (Gc.minor_words () -. before) /. float_of_int reps in
+  if per_eval > 1024. then
+    Alcotest.failf "warm multiclass eval allocates %.0f minor words" per_eval
+
+let test_mc_nan_prior () =
+  Alcotest.check_raises "NaN log-ratio rejected"
+    (Invalid_argument "Multiclass_jq.bucketize_value: NaN log-ratio")
+    (fun () ->
+      ignore
+        (Jq.Multiclass_jq.estimate_bv
+           ~prior:[| 0.5; Float.nan; 0.5 |]
+           [| sym3 0.8 0 |]))
+
+let test_tuple_ranges_degenerate () =
+  (* n = 0: the range collapses to the clamped initial digit and the
+     verdict is decided by it alone. *)
+  let sat = 1000 in
+  let lo = Array.make 2 99 and hi = Array.make 2 99 in
+  let live =
+    Jq.Prune.tuple_ranges ~sat ~nd:2 ~n:0 ~labels:3 ~floors:[| 1; 0 |]
+      ~binit:[| 2; 0 |] ~masses:[||] ~binc:[||] ~lo ~hi
+  in
+  check_bool "live" true live;
+  Alcotest.(check (array int)) "lo = floors" [| 1; 0 |] (Array.sub lo 0 2);
+  Alcotest.(check (array int)) "hi = floors" [| 1; 0 |] (Array.sub hi 0 2);
+  check_bool "settled reject" false
+    (Jq.Prune.tuple_ranges ~sat ~nd:2 ~n:0 ~labels:3 ~floors:[| 1; 0 |]
+       ~binit:[| 0; 5 |] ~masses:[||] ~binc:[||] ~lo ~hi)
+
+let test_tuple_ranges_single_worker () =
+  (* One worker with increments ±1 from digit 0 against floor 0: every
+     state's range must pin to the floor (the +1 branch is settled
+     accepted and collapses, the −1 branch is settled rejected). *)
+  let sat = 1000 in
+  let lo = Array.make 2 99 and hi = Array.make 2 99 in
+  let live =
+    Jq.Prune.tuple_ranges ~sat ~nd:1 ~n:1 ~labels:2 ~floors:[| 0 |]
+      ~binit:[| 0 |] ~masses:[| 0.5; 0.5 |] ~binc:[| 1; -1 |] ~lo ~hi
+  in
+  check_bool "live" true live;
+  check_int "state0 lo" 0 lo.(0);
+  check_int "state0 hi" 0 hi.(0);
+  check_int "state1 lo" 0 lo.(1);
+  check_int "state1 hi" 0 hi.(1)
+
+let test_multiclass_bound () =
+  check_close 1e-12 "explicit"
+    (2. *. (exp (6. *. (2.5 /. 50.) /. 2.) -. 1.))
+    (Jq.Bounds.multiclass_bound ~upper:2.5 ~num_buckets:50 ~n:5 ~labels:3);
+  check_bool "clamped to 1" true
+    (Jq.Bounds.multiclass_bound ~upper:100. ~num_buckets:1 ~n:50 ~labels:5 = 1.);
+  Alcotest.check_raises "labels"
+    (Invalid_argument "Bounds.multiclass_bound: labels") (fun () ->
+      ignore (Jq.Bounds.multiclass_bound ~upper:1. ~num_buckets:10 ~n:3 ~labels:1))
+
 (* ---- Symmetries ------------------------------------------------------------ *)
 
 let test_jq_label_symmetry =
@@ -901,12 +1025,17 @@ let () =
         [
           Alcotest.test_case "aggregate" `Quick test_aggregate_buckets;
           Alcotest.test_case "rule" `Quick test_prune_rule;
+          Alcotest.test_case "tuple ranges (degenerate)" `Quick
+            test_tuple_ranges_degenerate;
+          Alcotest.test_case "tuple ranges (single worker)" `Quick
+            test_tuple_ranges_single_worker;
         ] );
       ( "bounds",
         [
           Alcotest.test_case "formula" `Quick test_bounds_formula;
           test_bounds_inverse;
           Alcotest.test_case "validation" `Quick test_bounds_validation;
+          Alcotest.test_case "multiclass bound" `Quick test_multiclass_bound;
         ] );
       ( "multiclass",
         [
@@ -917,6 +1046,12 @@ let () =
           Alcotest.test_case "H decomposition" `Quick test_mc_h_decomposition;
           Alcotest.test_case "degenerate prior" `Quick test_mc_degenerate_prior;
           Alcotest.test_case "validation" `Quick test_mc_h_validation;
+          test_mc_truncation_underestimates;
+          test_mc_error_bound;
+          test_mc_workspace_reuse_deterministic;
+          Alcotest.test_case "warm eval allocation" `Quick
+            test_mc_warm_eval_allocation;
+          Alcotest.test_case "NaN prior rejected" `Quick test_mc_nan_prior;
         ] );
       ( "symmetries",
         [

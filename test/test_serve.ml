@@ -474,6 +474,7 @@ let metrics_event_gen =
         return `Jq_memo_hit;
         return `Steal;
         (float_range 100. 5e6 >>= fun ns -> return (`Jq_eval ns));
+        (int_range 0 3 >>= fun count -> return (`Flat_fallback count));
       ])
 
 let metrics_merge_qcheck =
@@ -488,6 +489,7 @@ let metrics_merge_qcheck =
       let overloads = ref 0 and deadlines = ref 0 in
       let batches = ref 0 and batched_saved = ref 0 in
       let jq_memo_hits = ref 0 and steals = ref 0 in
+      let jq_flat_fallbacks = ref 0 in
       let jq_ns = ref [] in
       let per_verb = Hashtbl.create 8 in
       (* Deterministic-but-spread shard choice for executor-side events. *)
@@ -522,7 +524,12 @@ let metrics_merge_qcheck =
               incr steals
           | `Jq_eval ns ->
               Serve.Metrics.jq_eval m ~shard:(shard_of i) ~ns;
-              jq_ns := ns :: !jq_ns)
+              jq_ns := ns :: !jq_ns
+          | `Flat_fallback count ->
+              (* count = 0 must be a no-op, matching the recorder's
+                 contract for calls on the all-flat fast path. *)
+              Serve.Metrics.jq_flat_fallback m ~shard:(shard_of i) ~count;
+              jq_flat_fallbacks := !jq_flat_fallbacks + max 0 count)
         events;
       let snap = Serve.Metrics.snapshot m in
       let get key = Option.value ~default:0. (List.assoc_opt key snap) in
@@ -535,6 +542,7 @@ let metrics_merge_qcheck =
       && eq "jq_memo_hits" !jq_memo_hits
       && eq "steals" !steals
       && eq "jq_evals" (List.length !jq_ns)
+      && eq "jq_flat_fallbacks" !jq_flat_fallbacks
       && (let samples = Array.of_list !jq_ns in
           if Array.length samples = 0 then
             List.assoc_opt "jq_eval_ns_p50" snap = None
@@ -767,13 +775,15 @@ let multiclass_integration_test () =
   let task = Engine.Task.make ~prior:(Array.of_list prior) in
   let buckets = Jq.Bucket.default_num_buckets in
   let expected_jq =
+    (* The server answers matrix pools through the scored objective, so the
+       oracle must reproduce both the value and the certified bound. *)
+    let scored =
+      Engine.Objective.bv_bucket_scored ~num_buckets:buckets () ~task epool
+    in
     Wire.Jq_result
       {
-        value =
-          Engine.Objective.score
-            (Engine.Objective.bv_bucket ~num_buckets:buckets ())
-            ~task epool;
-        error_bound = 0.;
+        value = scored.Engine.Objective.score;
+        error_bound = scored.Engine.Objective.bound;
         n;
       }
   in
