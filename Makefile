@@ -1,5 +1,5 @@
 .PHONY: all build test test-slow bench bench-smoke bench-jq \
-  bench-multiclass bench-serve serve-smoke clean
+  bench-multiclass bench-serve bench-session serve-smoke clean
 
 all: build
 
@@ -28,12 +28,16 @@ bench:
 # threshold (1.3 with >= 2 cores, 0.8 parity floor on 1 core); then the
 # gated flat-vs-hashtbl kernel grid (BENCH_jq.json), which fails unless
 # the dense kernel is >= 2x the hashtable at n=500/d=200 (binary) and
-# >= 1.5x at l = 3 (multiclass).
+# >= 1.5x at l = 3 (multiclass); finally the gated session replay
+# (BENCH_session.json), which fails unless adaptive sessions cost at
+# most 0.8x the fixed jury with accuracy within 0.5 points and vote-verb
+# p95 stays under its latency bound.
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 	dune exec bench/main.exe -- --multiclass
 	dune exec bench/serve_bench.exe -- --fast --gate
 	dune exec bench/jq_bench.exe -- --fast --gate
+	dune exec bench/session_bench.exe -- --fast --gate
 
 # Flat dense-array kernel vs hashtable baseline over the full binary
 # n x num_buckets grid and l = 2, 3, 5 multiclass rows, written to
@@ -54,11 +58,19 @@ bench-multiclass:
 bench-serve: build
 	dune exec bench/serve_bench.exe
 
+# Adaptive sessions vs one-shot juries on the synthetic AMT replay
+# (cost/task at matched accuracy), plus session-verb latency quantiles
+# through an in-process service, written to BENCH_session.json.  --gate
+# as in bench-smoke.
+bench-session: build
+	dune exec bench/session_bench.exe -- --gate
+
 # End-to-end daemon smoke: boot `optjs_cli serve`, run the closed-loop
 # load generator against it — once with the default scalar pool, once
-# with a 3-label confusion-matrix pool — and assert zero protocol errors
-# (loadgen exits nonzero otherwise).  The built binary is run directly so
-# backgrounding and kill behave predictably.
+# with a 3-label confusion-matrix pool, once with a session-heavy mix —
+# and assert zero protocol errors (loadgen exits nonzero otherwise).
+# The built binary is run directly so backgrounding and kill behave
+# predictably.
 SERVE_SMOKE_PORT ?= 17871
 serve-smoke: build
 	@./_build/default/bin/optjs_cli.exe serve --port $(SERVE_SMOKE_PORT) \
@@ -67,10 +79,13 @@ serve-smoke: build
 	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
 	  --connections 4 --duration 3 && \
 	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
-	  --labels 3 --connections 4 --duration 3; status=$$?; \
+	  --labels 3 --connections 4 --duration 3 && \
+	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
+	  --mix "jqpool:2,session:3" --connections 4 --duration 3; status=$$?; \
 	kill $$pid 2>/dev/null; \
 	exit $$status
 
 clean:
 	dune clean
-	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json BENCH_jq.json
+	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json \
+	  BENCH_jq.json BENCH_session.json

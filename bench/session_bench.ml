@@ -1,0 +1,293 @@
+(* Sequential-session benchmark: what adaptive solicitation buys over a
+   fixed jury, plus the serving cost of the session verbs.
+
+   Part 1 replays the synthetic AMT dataset (Crowd.Amt_dataset).  For
+   each question the static arm solves JSP once over the question's
+   candidate workers (uniform unit costs) and aggregates that jury's
+   recorded votes with Bayesian Voting; the adaptive arm opens a
+   lib/session task over the same candidates and budget and follows the
+   policy's advice through the same recorded votes until the session
+   stops.  Both arms see identical workers, identical estimated
+   qualities, and identical answers — the only difference is when they
+   stop asking — so cost-per-task at matched accuracy is exactly the
+   sequential-sampling claim.
+
+   Part 2 runs open/advise/vote/close conversations through an
+   in-process Serve.Service and reports client-side vote-verb latency
+   quantiles.
+
+   Flags:
+     --fast     replay fewer questions and shorter serving runs (CI)
+     --tasks N  replay exactly N questions
+     --gate     exit 1 unless adaptive cost/task <= 0.8x static with
+                accuracy within 0.5 points, and vote p95 stays under
+                the latency bound
+
+   Results are dumped as BENCH_session.json. *)
+
+module Wire = Serve.Wire
+
+let alpha = 0.5
+let budget = 9.
+let confidence = 0.995
+let vote_p95_gate_ns = 5e6
+
+type replay = {
+  tasks : int;
+  static_cost : float;
+  static_correct : int;
+  adaptive_cost : float;
+  adaptive_correct : int;
+  adaptive_votes : int;
+  errors : int;
+}
+
+let replay_amt ~n_tasks =
+  let dataset = Crowd.Amt_dataset.generate (Prob.Rng.create 11) in
+  let open Crowd.Amt_dataset in
+  let costs = Array.make dataset.params.n_workers 1. in
+  let n_tasks = min n_tasks (Array.length dataset.tasks) in
+  let rng = Prob.Rng.create 29 in
+  let acc =
+    ref
+      {
+        tasks = 0;
+        static_cost = 0.;
+        static_correct = 0;
+        adaptive_cost = 0.;
+        adaptive_correct = 0;
+        adaptive_votes = 0;
+        errors = 0;
+      }
+  in
+  for task_id = 0 to n_tasks - 1 do
+    let cpool = candidate_pool dataset ~costs ~task_id in
+    let truth = Voting.Vote.to_int (Crowd.Task.truth_exn dataset.tasks.(task_id)) in
+    let vote_of =
+      let table = Hashtbl.create 32 in
+      Array.iter
+        (fun (w, v) -> if not (Hashtbl.mem table w) then Hashtbl.add table w v)
+        dataset.votes.(task_id);
+      fun worker_id -> Hashtbl.find table worker_id
+    in
+    (* Static arm: one JSP solve, then BV over the jury's recorded
+       answers. *)
+    let jury =
+      (Optjs.select_jury ~rng ~alpha ~budget cpool).Jsp.Solver.jury
+    in
+    let jury_workers = Workers.Pool.to_list jury in
+    let voting =
+      Array.of_list
+        (List.map (fun w -> vote_of (Workers.Worker.id w)) jury_workers)
+    in
+    let static_decision =
+      Voting.Vote.to_int
+        (Optjs.aggregate ~alpha ~qualities:(Workers.Pool.qualities jury) voting)
+    in
+    let static_cost =
+      List.fold_left (fun a w -> a +. Workers.Worker.cost w) 0. jury_workers
+    in
+    (* Adaptive arm: same candidates, same budget, votes revealed only
+       when the policy asks for them. *)
+    let epool = Engine.Pool.of_workers cpool in
+    let etask = Engine.Task.binary ~alpha in
+    (match
+       Session.Task.create ~pool:epool ~pool_version:0 ~task:etask ~budget
+         ~confidence ~now:0. ()
+     with
+    | Error e ->
+        Printf.eprintf "task %d: create failed: %s\n" task_id e;
+        acc := { !acc with errors = !acc.errors + 1 }
+    | Ok session ->
+        let failed = ref false in
+        let continue = ref true in
+        while !continue && not !failed do
+          match
+            (Session.Task.progress session, Session.Task.advise session ~now:0.)
+          with
+          | Session.Task.Soliciting, Some i ->
+              let worker_id =
+                Workers.Worker.id (Workers.Pool.get cpool i)
+              in
+              let label = Voting.Vote.to_int (vote_of worker_id) in
+              (match Session.Task.vote session ~worker:i ~label ~now:0. with
+              | Ok () -> ()
+              | Error e ->
+                  Printf.eprintf "task %d: vote failed: %s\n" task_id e;
+                  failed := true)
+          | _ -> continue := false
+        done;
+        if !failed then acc := { !acc with errors = !acc.errors + 1 }
+        else begin
+          let label =
+            match Session.Task.progress session with
+            | Session.Task.Decided { label; _ } | Session.Task.Exhausted { label; _ }
+              ->
+                label
+            | Session.Task.Soliciting -> Session.Task.decision_label session
+          in
+          acc :=
+            {
+              tasks = !acc.tasks + 1;
+              static_cost = !acc.static_cost +. static_cost;
+              static_correct =
+                (!acc.static_correct + if static_decision = truth then 1 else 0);
+              adaptive_cost = !acc.adaptive_cost +. Session.Task.spent session;
+              adaptive_correct =
+                (!acc.adaptive_correct + if label = truth then 1 else 0);
+              adaptive_votes =
+                !acc.adaptive_votes + Session.Task.votes_seen session;
+              errors = !acc.errors;
+            }
+        end)
+  done;
+  !acc
+
+(* ---- serving latency ---------------------------------------------- *)
+
+type verb_lat = { p50 : float; p95 : float; p99 : float; count : int }
+
+let quantiles samples =
+  let arr = Array.of_list samples in
+  let q p = if Array.length arr = 0 then 0. else Prob.Stats.quantile arr p in
+  { p50 = q 0.5; p95 = q 0.95; p99 = q 0.99; count = Array.length arr }
+
+let serve_sessions ~sessions =
+  let service = Serve.Service.create ~domains:1 ~queue_capacity:256 () in
+  let pool =
+    Workers.Generator.gaussian_pool (Prob.Rng.create 7)
+      Workers.Generator.default 40
+  in
+  let workers =
+    List.map
+      (fun w -> Wire.Scalar (Workers.Worker.quality w, Workers.Worker.cost w))
+      (Workers.Pool.to_list pool)
+  in
+  (match Serve.Service.submit service (Wire.Pool_put { name = "bench"; workers })
+   with
+  | Wire.Pool_info _ -> ()
+  | r -> failwith ("pool-put: " ^ Wire.encode_response r));
+  let rng = Prob.Rng.create 13 in
+  let vote_lats = ref [] in
+  let errors = ref 0 in
+  let timed request =
+    let t0 = Serve.Clock.now () in
+    let reply = Serve.Service.submit service request in
+    let t1 = Serve.Clock.now () in
+    (match request with
+    | Wire.Session_vote _ -> vote_lats := (1e9 *. (t1 -. t0)) :: !vote_lats
+    | _ -> ());
+    (match reply with
+    | Wire.Session_result _ -> ()
+    | _ -> incr errors);
+    reply
+  in
+  for s = 0 to sessions - 1 do
+    let task_id = Printf.sprintf "bench-%d" s in
+    let truth = if Prob.Rng.float rng 1. < alpha then 0 else 1 in
+    let still_open = function
+      | Wire.Session_result { state = Wire.Sess_open; _ } -> true
+      | _ -> false
+    in
+    let reply =
+      ref
+        (timed
+           (Wire.Session_open
+              {
+                pool = "bench";
+                task = task_id;
+                prior = [ alpha; 1. -. alpha ];
+                budget;
+                confidence;
+                gain_floor = 0.;
+                policy = Session.Policy.default;
+              }))
+    in
+    let steps = ref 0 in
+    while still_open !reply && !steps <= Workers.Pool.size pool do
+      incr steps;
+      match timed (Wire.Session_advise { pool = "bench"; task = task_id }) with
+      | Wire.Session_result { state = Wire.Sess_open; next = Some i; _ } ->
+          let q = Workers.Worker.quality (Workers.Pool.get pool i) in
+          let label =
+            if Prob.Rng.float rng 1. < q then truth else 1 - truth
+          in
+          reply :=
+            timed
+              (Wire.Session_vote { pool = "bench"; task = task_id; worker = i; label })
+      | r -> reply := r
+    done;
+    ignore (timed (Wire.Session_close { pool = "bench"; task = task_id }))
+  done;
+  Serve.Service.shutdown service;
+  (quantiles !vote_lats, !errors)
+
+let () =
+  let n_tasks = ref 600 in
+  let sessions = ref 400 in
+  let gate = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+        n_tasks := 120;
+        sessions := 100;
+        parse rest
+    | "--tasks" :: n :: rest ->
+        n_tasks := int_of_string n;
+        parse rest
+    | "--gate" :: rest ->
+        gate := true;
+        parse rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = replay_amt ~n_tasks:!n_tasks in
+  let per_task v = v /. float_of_int (max 1 r.tasks) in
+  let acc_of c = float_of_int c /. float_of_int (max 1 r.tasks) in
+  let static_cost = per_task r.static_cost in
+  let adaptive_cost = per_task r.adaptive_cost in
+  let cost_ratio = if static_cost > 0. then adaptive_cost /. static_cost else 1. in
+  let static_acc = acc_of r.static_correct in
+  let adaptive_acc = acc_of r.adaptive_correct in
+  let lat, serve_errors = serve_sessions ~sessions:!sessions in
+  let json =
+    Printf.sprintf
+      "{\"tasks\": %d, \"budget\": %g, \"confidence\": %g,\n\
+      \ \"static_cost_per_task\": %.3f, \"adaptive_cost_per_task\": %.3f, \
+       \"cost_ratio\": %.4f,\n\
+      \ \"static_accuracy\": %.4f, \"adaptive_accuracy\": %.4f, \
+       \"accuracy_delta_pt\": %.2f,\n\
+      \ \"adaptive_votes_per_task\": %.2f, \"replay_errors\": %d,\n\
+      \ \"serve_sessions\": %d, \"serve_errors\": %d, \"vote_p50_ns\": %.0f, \
+       \"vote_p95_ns\": %.0f, \"vote_p99_ns\": %.0f, \"vote_verbs\": %d}"
+      r.tasks budget confidence static_cost adaptive_cost cost_ratio static_acc
+      adaptive_acc
+      (100. *. (adaptive_acc -. static_acc))
+      (per_task (float_of_int r.adaptive_votes))
+      r.errors !sessions serve_errors lat.p50 lat.p95 lat.p99 lat.count
+  in
+  let oc = open_out "BENCH_session.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline json;
+  if !gate then begin
+    let fail = ref [] in
+    if r.errors > 0 || serve_errors > 0 then
+      fail := Printf.sprintf "errors (replay %d, serve %d)" r.errors serve_errors :: !fail;
+    if cost_ratio > 0.8 then
+      fail := Printf.sprintf "cost_ratio %.4f > 0.8" cost_ratio :: !fail;
+    (* Adaptive may out-score the fixed jury; only a drop is a failure. *)
+    if static_acc -. adaptive_acc > 0.005 then
+      fail :=
+        Printf.sprintf "accuracy dropped %.2f pt > 0.5"
+          (100. *. (static_acc -. adaptive_acc))
+        :: !fail;
+    if lat.p95 > vote_p95_gate_ns then
+      fail := Printf.sprintf "vote p95 %.0f ns > %.0f" lat.p95 vote_p95_gate_ns :: !fail;
+    match !fail with
+    | [] -> print_endline "gate: ok"
+    | fs ->
+        List.iter (fun f -> Printf.eprintf "gate: %s\n" f) fs;
+        exit 1
+  end

@@ -5,7 +5,10 @@
      select   solve JSP for a synthetic pool or an inline worker list
      table    budget-quality table for an inline worker list
      expt     regenerate one paper experiment (or all) as ASCII tables
-     amt      generate the synthetic AMT dataset and print its statistics *)
+     amt      generate the synthetic AMT dataset and print its statistics
+     serve    run the jury-selection TCP daemon
+     loadgen  closed-loop load generator for the daemon
+     session  drive sequential-jury sessions against the daemon *)
 
 open Cmdliner
 
@@ -84,25 +87,38 @@ let file_arg =
   in
   Arg.(value & opt (some string) None & info [ "f"; "file" ] ~doc)
 
-let jq_inline ~qualities ~alpha ~buckets ~exact =
+(* Past the enumeration cap the estimator's certified error bound is the
+   honest answer: print the interval [ĴQ, ĴQ + bound] the one-sided
+   underestimation guarantee implies instead of silently skipping. *)
+let print_certified_interval ~value ~bound =
+  Printf.printf
+    "exact JQ (BV):     in [%.6f, %.6f] (certified bound; enumeration \
+     exceeds --exact-cap)\n"
+    value
+    (Float.min 1. (value +. bound))
+
+let jq_inline ~qualities ~alpha ~buckets ~exact ~exact_cap =
   let qs = Array.of_list (parse_floats qualities) in
   let stats = Jq.Bucket.estimate_stats ~num_buckets:buckets ~alpha qs in
   Printf.printf "estimated JQ (BV): %.6f  (error bound %.4f%%)\n" stats.value
     (100. *. stats.error_bound);
   if exact then begin
-    if Array.length qs <= Jq.Exact.max_jury then begin
+    if Jq.Exact.feasible ?cap:exact_cap (Array.length qs) then begin
+      let qualities = Jq.Prior.fold ~alpha qs in
       let exact_jq =
-        Jq.Exact.jq_optimal ~alpha ~qualities:(Jq.Prior.fold ~alpha qs)
+        match exact_cap with
+        | None -> Jq.Exact.jq_optimal ~alpha ~qualities
+        | Some cap -> Jq.Exact.jq_optimal_capped ~cap ~alpha ~qualities
       in
       Printf.printf "exact JQ (BV):     %.6f\n" exact_jq
     end
     else
-      Printf.eprintf "skipping exact (n > %d): enumeration is exponential\n"
-        Jq.Exact.max_jury
+      print_certified_interval ~value:stats.value
+        ~bound:(stats.value *. stats.error_bound)
   end;
   Printf.printf "JQ under MV:       %.6f\n" (Jq.Mv_closed.jq ~alpha ~qualities:qs)
 
-let jq_pool ~path ~task ~buckets ~exact =
+let jq_pool ~path ~task ~buckets ~exact ~exact_cap =
   let epool = epool_of_doc (Workers.Pool_io.load_doc path) in
   check_labels task epool;
   let before = Jq.Multiclass_jq.flat_fallbacks () in
@@ -117,24 +133,19 @@ let jq_pool ~path ~task ~buckets ~exact =
     let n = Engine.Pool.size epool in
     let feasible =
       match Engine.Pool.repr epool with
-      | Engine.Pool.Binary _ -> n <= Jq.Exact.max_jury
+      | Engine.Pool.Binary _ -> Jq.Exact.feasible ?cap:exact_cap n
       | Engine.Pool.Matrix _ ->
-          Voting.Multiclass.enumeration_fits
-            ~labels:(Engine.Pool.labels epool) ~n
+          Voting.Multiclass.enumeration_fits ?cap:exact_cap
+            ~labels:(Engine.Pool.labels epool) ~n ()
     in
     if feasible then
       Printf.printf "exact JQ (BV):     %.6f\n"
-        (Engine.Objective.score Engine.Objective.bv_exact ~task epool)
+        (Engine.Objective.score
+           (Engine.Objective.bv_exact_capped ?cap:exact_cap ())
+           ~task epool)
     else
-      match Engine.Pool.repr epool with
-      | Engine.Pool.Binary _ ->
-          Printf.eprintf
-            "skipping exact (n > %d): enumeration is exponential\n"
-            Jq.Exact.max_jury
-      | Engine.Pool.Matrix _ ->
-          Printf.eprintf
-            "skipping exact (l^n > %d): enumeration is exponential\n"
-            Voting.Multiclass.enumeration_cap
+      print_certified_interval ~value:scored.Engine.Objective.score
+        ~bound:scored.Engine.Objective.bound
   end;
   match Engine.Pool.to_workers epool with
   | Some pool when Engine.Task.is_binary task ->
@@ -144,12 +155,13 @@ let jq_pool ~path ~task ~buckets ~exact =
   | _ -> ()
 
 let jq_cmd =
-  let run file qualities alpha prior buckets exact =
+  let run file qualities alpha prior buckets exact exact_cap =
     let task = task_of ~alpha ~prior in
     match (file, qualities) with
-    | Some path, _ -> jq_pool ~path ~task ~buckets ~exact
+    | Some path, _ -> jq_pool ~path ~task ~buckets ~exact ~exact_cap
     | None, Some qualities ->
         jq_inline ~qualities ~alpha:(binary_alpha task) ~buckets ~exact
+          ~exact_cap
     | None, None -> failwith "provide --qualities or --file"
   in
   let qualities_opt =
@@ -164,11 +176,22 @@ let jq_cmd =
             "Also compute the exact JQ by enumeration (binary: n <= 20; \
              multi-class: l^n within the enumeration cap).")
   in
+  let exact_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "exact-cap" ]
+          ~doc:
+            "Cap on enumerated votings for --exact (default: 2^20 binary, \
+             2^22 multi-class; binary juries top out at 25 workers \
+             regardless).  Past the cap the certified interval from the \
+             bucket estimator's error bound is printed instead.")
+  in
   Cmd.v
     (Cmd.info "jq" ~doc:"Compute the Jury Quality of a pool or quality vector.")
     Term.(
       const run $ file_arg $ qualities_opt $ alpha_arg $ prior_arg $ buckets_arg
-      $ exact)
+      $ exact $ exact_cap)
 
 (* ---- select ------------------------------------------------------- *)
 
@@ -535,14 +558,28 @@ let serve_cmd =
       & info [ "batch-max" ]
           ~doc:"Most same-pool jq queries coalesced into one evaluation.")
   in
-  let run port domains queue_cap deadline log_interval batch_max file =
+  let session_cap_arg =
+    Arg.(
+      value
+      & opt int Session.Store.default_cap
+      & info [ "session-cap" ]
+          ~doc:"Most open sessions per shard (admission control).")
+  in
+  let session_ttl_arg =
+    Arg.(
+      value
+      & opt float Session.Store.default_ttl
+      & info [ "session-ttl" ] ~doc:"Idle-session expiry in seconds.")
+  in
+  let run port domains queue_cap deadline log_interval batch_max session_cap
+      session_ttl file =
     (* Executor domains size their own minor heaps; the accept/submit
        threads allocate here, and this domain's collections handshake
        with every executor just the same. *)
     Gc.set { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024 };
     let service =
       Serve.Service.create ?domains ~queue_capacity:queue_cap ?deadline
-        ~batch_max ()
+        ~batch_max ~session_cap ~session_ttl ()
     in
     (match file with
     | Some path ->
@@ -567,7 +604,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the jury-selection TCP daemon.")
     Term.(
       const run $ port_arg ~default:7071 $ domains_arg $ queue_arg $ deadline_arg
-      $ log_arg $ batch_max_arg $ file_arg)
+      $ log_arg $ batch_max_arg $ session_cap_arg $ session_ttl_arg $ file_arg)
 
 (* ---- loadgen ------------------------------------------------------- *)
 
@@ -616,16 +653,17 @@ let lg_mix_parse s =
       match String.split_on_char ':' (String.trim tok) with
       | [ kind; weight ] -> (
           match (kind, int_of_string_opt weight) with
-          | ("jq" | "jqpool" | "select" | "table"), Some w when w > 0 ->
+          | ("jq" | "jqpool" | "select" | "table" | "session"), Some w
+            when w > 0 ->
               (kind, w)
           | _ -> failwith (Printf.sprintf "bad mix entry %S" tok))
       | _ -> failwith (Printf.sprintf "bad mix entry %S" tok))
     (String.split_on_char ',' s)
 
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+
 let loadgen_cmd =
-  let host_arg =
-    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
-  in
   let connections_arg =
     Arg.(value & opt int 4 & info [ "connections" ] ~doc:"Concurrent connections.")
   in
@@ -637,7 +675,10 @@ let loadgen_cmd =
       value
       & opt string "jqpool:6,select:3,jq:2,table:1"
       & info [ "mix" ]
-          ~doc:"Weighted request mix over jq, jqpool, select, table.")
+          ~doc:
+            "Weighted request mix over jq, jqpool, select, table, session \
+             (a session entry runs a whole open-advise-vote-close \
+             conversation, each verb counted as one request).")
   in
   let pool_size_arg =
     Arg.(
@@ -775,7 +816,11 @@ let loadgen_cmd =
       match (request, response) with
       | Serve.Wire.Jq _, Serve.Wire.Jq_result _
       | Serve.Wire.Select _, Serve.Wire.Select_result _
-      | Serve.Wire.Table _, Serve.Wire.Table_result _ ->
+      | Serve.Wire.Table _, Serve.Wire.Table_result _
+      | ( ( Serve.Wire.Session_open _ | Serve.Wire.Session_vote _
+          | Serve.Wire.Session_advise _ | Serve.Wire.Session_decide _
+          | Serve.Wire.Session_close _ ),
+          Serve.Wire.Session_result _ ) ->
           true
       | _ -> false
     in
@@ -786,31 +831,90 @@ let loadgen_cmd =
       let counters = results.(i) in
       let pool_name = pool_names.(i mod Array.length pool_names) in
       let rng = Prob.Rng.create (seed + (1000 * (i + 1))) in
+      let sessions = ref 0 in
       try
         let fd, ic, oc = lg_connect host port in
-         while Serve.Clock.now () < t_end do
-           let request =
-             request_of ~pool_name rng
-               kinds.(Prob.Rng.int rng (Array.length kinds))
-           in
-           let t0 = Serve.Clock.now () in
-           let reply = lg_roundtrip ic oc request in
-           let t1 = Serve.Clock.now () in
-           counters.sent <- counters.sent + 1;
-           counters.latencies <- (t1 -. t0) :: counters.latencies;
-           match reply with
-           | Ok response when expected_kind request response ->
-               counters.ok <- counters.ok + 1
-           | Ok (Serve.Wire.Error { code = Serve.Wire.Overload; _ }) ->
-               counters.overloaded <- counters.overloaded + 1
-           | Ok (Serve.Wire.Error { code = Serve.Wire.Deadline; _ }) ->
-               counters.deadlined <- counters.deadlined + 1
-           | Ok (Serve.Wire.Error _) ->
-               counters.server_errors <- counters.server_errors + 1
-           | Ok _ | Error _ ->
-               counters.protocol_errors <- counters.protocol_errors + 1
-         done;
-         Unix.close fd
+        let timed request =
+          let t0 = Serve.Clock.now () in
+          let reply = lg_roundtrip ic oc request in
+          let t1 = Serve.Clock.now () in
+          counters.sent <- counters.sent + 1;
+          counters.latencies <- (t1 -. t0) :: counters.latencies;
+          (match reply with
+          | Ok response when expected_kind request response ->
+              counters.ok <- counters.ok + 1
+          | Ok (Serve.Wire.Error { code = Serve.Wire.Overload; _ }) ->
+              counters.overloaded <- counters.overloaded + 1
+          | Ok (Serve.Wire.Error { code = Serve.Wire.Deadline; _ }) ->
+              counters.deadlined <- counters.deadlined + 1
+          | Ok (Serve.Wire.Error _) ->
+              counters.server_errors <- counters.server_errors + 1
+          | Ok _ | Error _ ->
+              counters.protocol_errors <- counters.protocol_errors + 1);
+          reply
+        in
+        (* One whole session conversation: open, follow advice voting a
+           sample from the generator's known quality, close.  Every verb
+           is a counted, latency-tracked request of its own. *)
+        let run_session () =
+          incr sessions;
+          let task_id = Printf.sprintf "lg%d-%d-%d" seed i !sessions in
+          let truth = Prob.Rng.int rng labels in
+          let vote_of w =
+            let q = Workers.Worker.quality (Workers.Pool.get pool w) in
+            if Prob.Rng.float rng 1. < q then truth
+            else (truth + 1 + Prob.Rng.int rng (labels - 1)) mod labels
+          in
+          let still_open = function
+            | Ok (Serve.Wire.Session_result { state = Serve.Wire.Sess_open; _ })
+              ->
+                true
+            | _ -> false
+          in
+          let reply =
+            ref
+              (timed
+                 (Serve.Wire.Session_open
+                    {
+                      pool = pool_name;
+                      task = task_id;
+                      prior = pool_prior;
+                      budget;
+                      confidence = Serve.Wire.default_confidence;
+                      gain_floor = 0.;
+                      policy = Session.Policy.default;
+                    }))
+          in
+          let steps = ref 0 in
+          while !reply |> still_open && !steps <= pool_size do
+            incr steps;
+            match
+              timed
+                (Serve.Wire.Session_advise { pool = pool_name; task = task_id })
+            with
+            | Ok
+                (Serve.Wire.Session_result
+                   { state = Serve.Wire.Sess_open; next = Some w; _ }) ->
+                reply :=
+                  timed
+                    (Serve.Wire.Session_vote
+                       {
+                         pool = pool_name;
+                         task = task_id;
+                         worker = w;
+                         label = vote_of w;
+                       })
+            | r -> reply := r
+          done;
+          ignore
+            (timed (Serve.Wire.Session_close { pool = pool_name; task = task_id }))
+        in
+        while Serve.Clock.now () < t_end do
+          match kinds.(Prob.Rng.int rng (Array.length kinds)) with
+          | "session" -> run_session ()
+          | kind -> ignore (timed (request_of ~pool_name rng kind))
+        done;
+        Unix.close fd
       with exn ->
         Printf.eprintf "loadgen connection %d: %s\n" i (Printexc.to_string exn);
         counters.protocol_errors <- counters.protocol_errors + 1
@@ -864,6 +968,172 @@ let loadgen_cmd =
       $ duration_arg $ mix_arg $ pool_size_arg $ labels_arg $ lg_budget_arg
       $ pools_arg $ seed_arg)
 
+(* ---- session ------------------------------------------------------- *)
+
+(* Thin client over the session verbs.  Replies are printed as raw wire
+   lines — the same bytes `nc` would show — so scripted callers can diff
+   them and the docs' walkthrough matches exactly.  `drive` is the
+   closed-loop variant: register a synthetic pool, open one session, and
+   follow the server's advice (sampling votes from the generator's known
+   qualities) until it reaches a terminal state. *)
+
+let session_cmd =
+  let action_arg =
+    let actions =
+      [
+        ("open", `Open); ("vote", `Vote); ("advise", `Advise);
+        ("decide", `Decide); ("close", `Close); ("drive", `Drive);
+      ]
+    in
+    let doc =
+      "Action: open, vote, advise, decide, close, or drive (register a \
+       synthetic pool, open a session and follow the policy's advice to \
+       a decision)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let pool_name_arg =
+    Arg.(value & opt string "default" & info [ "pool" ] ~doc:"Pool name.")
+  in
+  let task_id_arg =
+    Arg.(
+      value & opt string "t0"
+      & info [ "task" ] ~doc:"Task id (shares the pool-name charset).")
+  in
+  let session_budget_arg =
+    Arg.(value & opt float 10. & info [ "b"; "budget" ] ~doc:"Session budget.")
+  in
+  let confidence_arg =
+    Arg.(
+      value
+      & opt float Serve.Wire.default_confidence
+      & info [ "confidence" ]
+          ~doc:"Posterior stopping threshold, in (1/labels, 1].")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "floor" ] ~doc:"Marginal-gain floor (0 disables).")
+  in
+  let session_policy_arg =
+    let policies =
+      List.map (fun p -> (Session.Policy.to_string p, p)) Session.Policy.all
+    in
+    Arg.(
+      value
+      & opt (enum policies) Session.Policy.default
+      & info [ "policy" ]
+          ~doc:"Solicitation policy: gain, jq, quality, or cheap.")
+  in
+  let worker_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "worker" ] ~doc:"Worker index (vote).")
+  in
+  let label_arg =
+    Arg.(
+      value & opt (some int) None & info [ "label" ] ~doc:"Vote label (vote).")
+  in
+  let drive_pool_size_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "pool-size" ] ~doc:"Synthetic pool size for drive.")
+  in
+  let run host port action pool task_id alpha prior budget confidence floor
+      policy worker label pool_size seed =
+    let task = task_of ~alpha ~prior in
+    let prior = Array.to_list (Engine.Task.prior task) in
+    let fd, ic, oc = lg_connect host port in
+    let round request =
+      match lg_roundtrip ic oc request with
+      | Ok r ->
+          print_endline (Serve.Wire.encode_response r);
+          r
+      | Error e -> failwith ("undecodable reply: " ^ e)
+    in
+    let open_request =
+      Serve.Wire.Session_open
+        {
+          pool; task = task_id; prior; budget; confidence;
+          gain_floor = floor; policy;
+        }
+    in
+    (match action with
+    | `Open -> ignore (round open_request)
+    | `Vote -> (
+        match (worker, label) with
+        | Some worker, Some label ->
+            ignore
+              (round (Serve.Wire.Session_vote { pool; task = task_id; worker; label }))
+        | _ -> failwith "vote needs --worker and --label")
+    | `Advise ->
+        ignore (round (Serve.Wire.Session_advise { pool; task = task_id }))
+    | `Decide ->
+        ignore (round (Serve.Wire.Session_decide { pool; task = task_id }))
+    | `Close ->
+        ignore (round (Serve.Wire.Session_close { pool; task = task_id }))
+    | `Drive ->
+        if Engine.Task.labels task <> 2 then
+          failwith "drive simulates binary pools; use --alpha, not --prior";
+        let rng = Prob.Rng.create seed in
+        let wpool =
+          Workers.Generator.gaussian_pool rng Workers.Generator.default
+            pool_size
+        in
+        let workers =
+          List.map
+            (fun w ->
+              Serve.Wire.Scalar
+                (Workers.Worker.quality w, Workers.Worker.cost w))
+            (Workers.Pool.to_list wpool)
+        in
+        (match lg_roundtrip ic oc (Serve.Wire.Pool_put { name = pool; workers }) with
+        | Ok (Serve.Wire.Pool_info _) -> ()
+        | Ok r ->
+            failwith
+              ("pool-put: unexpected reply " ^ Serve.Wire.encode_response r)
+        | Error e -> failwith ("pool-put: " ^ e));
+        let truth =
+          if Prob.Rng.float rng 1. < Engine.Task.alpha task then 0 else 1
+        in
+        let still_open = function
+          | Serve.Wire.Session_result { state = Serve.Wire.Sess_open; _ } ->
+              true
+          | _ -> false
+        in
+        let r = ref (round open_request) in
+        let steps = ref 0 in
+        while still_open !r && !steps <= pool_size do
+          incr steps;
+          match round (Serve.Wire.Session_advise { pool; task = task_id }) with
+          | Serve.Wire.Session_result
+              { state = Serve.Wire.Sess_open; next = Some i; _ } ->
+              let q = Workers.Worker.quality (Workers.Pool.get wpool i) in
+              let vote =
+                if Prob.Rng.float rng 1. < q then truth else 1 - truth
+              in
+              r :=
+                round
+                  (Serve.Wire.Session_vote
+                     { pool; task = task_id; worker = i; label = vote })
+          | reply -> r := reply
+        done;
+        ignore (round (Serve.Wire.Session_close { pool; task = task_id }));
+        Printf.printf "# truth was %d\n" truth);
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Drive sequential-jury sessions against the serve daemon.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7071 $ action_arg
+      $ pool_name_arg $ task_id_arg $ alpha_arg $ prior_arg
+      $ session_budget_arg $ confidence_arg $ floor_arg $ session_policy_arg
+      $ worker_arg $ label_arg $ drive_pool_size_arg $ seed_arg)
+
 (* ---- amt ---------------------------------------------------------- *)
 
 let amt_cmd =
@@ -894,4 +1164,5 @@ let () =
           [
             jq_cmd; select_cmd; table_cmd; frontier_cmd; online_cmd;
             estimate_cmd; expt_cmd; amt_cmd; serve_cmd; loadgen_cmd;
+            session_cmd;
           ]))

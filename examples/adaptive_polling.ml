@@ -3,10 +3,13 @@
    JSP (the paper's setting) commits to a jury before seeing any votes; the
    online systems it relates to (CDAS, Boim et al. — section 8) instead ask
    one worker at a time and stop as soon as the Bayesian posterior is
-   confident.  This example measures the trade-off on the same worker pool:
-   at the same per-task budget cap, adaptive collection matches the static
-   jury's accuracy while leaving money on the table for easy tasks, and the
-   information-gain policy stretches the budget furthest.
+   confident.  This example runs the comparison through `lib/session` — the
+   same state machine the serve daemon's open/advise/vote verbs drive — so
+   every solicitation policy, stopping rule and certification here is
+   exactly what a TCP client would see.  At the same per-task budget cap,
+   adaptive collection matches the static jury's accuracy while leaving
+   money on the table for easy tasks, and a measurable share of stops are
+   *certified*: the remaining workers provably could not flip the answer.
 
    Run with: dune exec examples/adaptive_polling.exe *)
 
@@ -34,18 +37,64 @@ let () =
     (float_of_int !correct /. float_of_int tasks)
     (Workers.Pool.total_cost jury);
 
-  (* Adaptive: stop at 97%% posterior confidence, never exceed the budget. *)
-  let report name policy =
-    let s =
-      Crowd.Online.simulate_many rng ~policy ~confidence:0.97 ~budget ~alpha
-        ~tasks pool
+  (* Adaptive: one Session.Task per crowdsourcing task, stopping at 97%
+     posterior confidence under the same budget cap.  Workers answer
+     truthfully with their own probability, like the simulator above. *)
+  let epool = Engine.Pool.of_workers pool in
+  let etask = Engine.Task.binary ~alpha in
+  let run_task policy =
+    let truth = Voting.Vote.to_int (Crowd.Simulate.sample_truth rng ~alpha) in
+    let session =
+      match
+        Session.Task.create ~pool:epool ~pool_version:0 ~task:etask ~budget
+          ~confidence:0.97 ~policy ~now:0. ()
+      with
+      | Ok s -> s
+      | Error e -> failwith e
     in
-    Format.printf "  %-18s accuracy %.4f, cost/task %.3f, votes/task %.2f@."
-      name s.Crowd.Online.accuracy s.Crowd.Online.mean_cost
-      s.Crowd.Online.mean_votes
+    let continue = ref true in
+    while !continue do
+      match
+        (Session.Task.progress session, Session.Task.advise session ~now:0.)
+      with
+      | Session.Task.Soliciting, Some i ->
+          let q = Workers.Worker.quality (Workers.Pool.get pool i) in
+          let label =
+            if Prob.Rng.float rng 1. < q then truth else 1 - truth
+          in
+          (match Session.Task.vote session ~worker:i ~label ~now:0. with
+          | Ok () -> ()
+          | Error e -> failwith e)
+      | _ -> continue := false
+    done;
+    let correct = Session.Task.decision_label session = truth in
+    let certified =
+      match Session.Task.progress session with
+      | Session.Task.Decided { certified; _ } -> certified
+      | _ -> false
+    in
+    (correct, Session.Task.spent session, Session.Task.votes_seen session,
+     certified)
   in
-  Format.printf "adaptive collection (confidence 0.97, same budget cap):@.";
-  report "information gain" Crowd.Online.By_information_gain;
-  report "best quality" Crowd.Online.By_quality;
-  report "cheapest first" Crowd.Online.By_cost;
-  report "random order" Crowd.Online.Random_order
+  let report policy =
+    let correct = ref 0 and cost = ref 0. and votes = ref 0 in
+    let certified = ref 0 in
+    for _ = 1 to tasks do
+      let ok, spent, seen, cert = run_task policy in
+      if ok then incr correct;
+      cost := !cost +. spent;
+      votes := !votes + seen;
+      if cert then incr certified
+    done;
+    let per v = v /. float_of_int tasks in
+    Format.printf
+      "  %-18s accuracy %.4f, cost/task %.3f, votes/task %.2f, certified %2.0f%%@."
+      (Session.Policy.to_string policy)
+      (per (float_of_int !correct))
+      (per !cost)
+      (per (float_of_int !votes))
+      (100. *. per (float_of_int !certified))
+  in
+  Format.printf
+    "adaptive sessions (confidence 0.97, same budget cap, lib/session):@.";
+  List.iter report Session.Policy.all

@@ -15,6 +15,11 @@ let entropy p =
   let term x = if x <= 0. then 0. else -.x *. log x in
   term p +. term (1. -. p)
 
+let posterior_entropy p =
+  let acc = ref 0. in
+  Array.iter (fun x -> if x > 0. then acc := !acc -. (x *. log x)) p;
+  !acc
+
 (* One Bayesian update: a quality-q worker voting v multiplies the odds. *)
 let update_posterior ~posterior_no ~quality vote =
   let p = posterior_no in
@@ -34,6 +39,34 @@ let expected_entropy_gain ~posterior_no ~quality =
   let p_after_yes = update_posterior ~posterior_no:p ~quality Vote.Yes in
   let expected = (m_no *. entropy p_after_no) +. (m_yes *. entropy p_after_yes) in
   Float.max 0. (entropy p -. expected)
+
+let expected_entropy_gain_vector ~posterior ~confusion =
+  let l = Array.length posterior in
+  if l < 2 then invalid_arg "Online.expected_entropy_gain_vector: < 2 labels";
+  if Workers.Confusion.labels confusion <> l then
+    invalid_arg "Online.expected_entropy_gain_vector: label count mismatch";
+  match (l, Workers.Confusion.symmetric_quality confusion) with
+  | 2, Some q -> expected_entropy_gain ~posterior_no:posterior.(0) ~quality:q
+  | _ ->
+      let expected = ref 0. in
+      let cond = Array.make l 0. in
+      for v = 0 to l - 1 do
+        let m = ref 0. in
+        for j = 0 to l - 1 do
+          let joint =
+            posterior.(j) *. Workers.Confusion.prob confusion ~truth:j ~vote:v
+          in
+          cond.(j) <- joint;
+          m := !m +. joint
+        done;
+        if !m > 0. then begin
+          for j = 0 to l - 1 do
+            cond.(j) <- cond.(j) /. !m
+          done;
+          expected := !expected +. (!m *. posterior_entropy cond)
+        end
+      done;
+      Float.max 0. (posterior_entropy posterior -. !expected)
 
 let pick rng policy ~posterior_no remaining =
   let affordable = remaining in

@@ -68,3 +68,16 @@ val simulate_many :
 val expected_entropy_gain : posterior_no:float -> quality:float -> float
 (** The information-gain score: H(p) − E[H(p | one vote from a quality-q
     worker)], in nats; nonnegative.  Exposed for tests. *)
+
+val posterior_entropy : float array -> float
+(** Shannon entropy (nats) of an ℓ-label posterior vector. *)
+
+val expected_entropy_gain_vector :
+  posterior:float array -> confusion:Workers.Confusion.t -> float
+(** ℓ-label generalization of {!expected_entropy_gain}: the expected
+    reduction in posterior entropy from one vote by a confusion-matrix
+    worker, marginalizing the vote over the current posterior.  Routes ℓ=2
+    symmetric matrices onto the scalar fast path bit-for-bit, so sequential
+    sessions over binary pools score candidates exactly as {!run} does.
+    @raise Invalid_argument when the posterior length and matrix dimension
+    disagree or fewer than two labels are given. *)

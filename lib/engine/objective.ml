@@ -57,7 +57,7 @@ let bv_bucket_scored ?num_buckets ?workspace () ~task pool =
         }
   end
 
-let bv_exact =
+let bv_exact_capped ?cap () =
   {
     name = "BV/exact";
     score =
@@ -66,11 +66,16 @@ let bv_exact =
         else begin
           check_labels ~what:"Engine.Objective.bv_exact" ~task pool;
           match Pool.repr pool with
-          | Pool.Binary p ->
-              Jq.Exact.jq_optimal ~alpha:(Task.alpha task)
-                ~qualities:(Workers.Pool.qualities p)
+          | Pool.Binary p -> (
+              let alpha = Task.alpha task
+              and qualities = Workers.Pool.qualities p in
+              match cap with
+              | None -> Jq.Exact.jq_optimal ~alpha ~qualities
+              | Some cap -> Jq.Exact.jq_optimal_capped ~cap ~alpha ~qualities)
           | Pool.Matrix jury ->
-              Jq.Multiclass_jq.jq_exact Voting.Multiclass.bayesian
+              Jq.Multiclass_jq.jq_exact ?cap Voting.Multiclass.bayesian
                 ~prior:(Task.prior task) ~jury
         end);
   }
+
+let bv_exact = bv_exact_capped ()

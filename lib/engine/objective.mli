@@ -51,3 +51,9 @@ val bv_exact : t
     (juries of ≤ {!Jq.Exact.max_jury}), ℓ^n for matrix pools (bounded by
     {!Voting.Multiclass.enumeration_cap}).
     @raise Invalid_argument beyond those limits or on a label mismatch. *)
+
+val bv_exact_capped : ?cap:int -> unit -> t
+(** {!bv_exact} with the enumeration ceiling moved to [cap] votings in
+    either representation (defaults as in {!bv_exact}; binary juries
+    still top out at 25 workers, the {!Voting.Vote.enumerate} hard
+    limit). *)

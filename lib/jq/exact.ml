@@ -19,14 +19,21 @@ let likelihoods ~qualities voting =
     voting;
   (!p0, !p1)
 
-let check ~alpha ~qualities =
+(* [Vote.enumerate] itself refuses n > 25, so a raised cap tops out
+   there; the cap's job is bounding the 2^n work a caller signed up
+   for. *)
+let fits ~cap n = n <= 25 && cap >= 1 && 1 lsl n <= cap
+let feasible ?(cap = 1 lsl max_jury) n = fits ~cap n
+
+let check ?(cap = 1 lsl max_jury) ~alpha ~qualities () =
   if alpha < 0. || alpha > 1. || Float.is_nan alpha then
     invalid_arg "Exact.jq: alpha outside [0, 1]";
-  if Array.length qualities > max_jury then
+  if cap < 1 then invalid_arg "Exact.jq: cap must be positive";
+  if not (fits ~cap (Array.length qualities)) then
     invalid_arg "Exact.jq: jury too large for exact enumeration"
 
-let jq strategy ~alpha ~qualities =
-  check ~alpha ~qualities;
+let jq ?cap strategy ~alpha ~qualities =
+  check ?cap ~alpha ~qualities ();
   let n = Array.length qualities in
   let acc = Prob.Kahan.create () in
   Seq.iter
@@ -37,8 +44,8 @@ let jq strategy ~alpha ~qualities =
     (Vote.enumerate n);
   Prob.Kahan.total acc
 
-let jq_optimal ~alpha ~qualities =
-  check ~alpha ~qualities;
+let jq_optimal_capped ~cap ~alpha ~qualities =
+  check ~cap ~alpha ~qualities ();
   let n = Array.length qualities in
   let acc = Prob.Kahan.create () in
   Seq.iter
@@ -48,8 +55,11 @@ let jq_optimal ~alpha ~qualities =
     (Vote.enumerate n);
   Prob.Kahan.total acc
 
-let jq_table strategy ~alpha ~qualities =
-  check ~alpha ~qualities;
+let jq_optimal ~alpha ~qualities =
+  jq_optimal_capped ~cap:(1 lsl max_jury) ~alpha ~qualities
+
+let jq_table ?cap strategy ~alpha ~qualities =
+  check ?cap ~alpha ~qualities ();
   let n = Array.length qualities in
   List.of_seq
     (Seq.map

@@ -7,15 +7,25 @@
     measured against, usable for juries up to ~20 workers. *)
 
 val max_jury : int
-(** Largest jury size accepted (20). *)
+(** Largest jury size accepted by default (20); the default enumeration
+    cap is [2^max_jury] votings.  Passing [?cap] moves the ceiling: a
+    jury of [n] workers is feasible iff [2^n <= cap] and [n <= 25] (the
+    {!Voting.Vote.enumerate} hard limit). *)
+
+val feasible : ?cap:int -> int -> bool
+(** Whether a jury of that size fits the enumeration cap (default
+    [2^max_jury]) — the check the [jq] functions enforce, exposed so
+    callers can branch instead of catching. *)
 
 val likelihoods : qualities:float array -> Voting.Vote.voting -> float * float
 (** [(Pr(V | t = 0), Pr(V | t = 1))] under vote independence (§3.2):
     Pr(V|t=0) = Π q^(1−v)(1−q)^v and symmetrically for t = 1. *)
 
-val jq : Voting.Strategy.t -> alpha:float -> qualities:float array -> float
-(** Exact JQ of a strategy.  @raise Invalid_argument when the jury exceeds
-    {!max_jury} or alpha lies outside [0, 1]. *)
+val jq :
+  ?cap:int -> Voting.Strategy.t -> alpha:float -> qualities:float array -> float
+(** Exact JQ of a strategy.  @raise Invalid_argument when [2^n] exceeds
+    [cap] (default [2^]{!max_jury}), [cap < 1], or alpha lies outside
+    [0, 1]. *)
 
 val jq_optimal : alpha:float -> qualities:float array -> float
 (** Exact JQ of the optimal strategy without going through the strategy
@@ -23,7 +33,14 @@ val jq_optimal : alpha:float -> qualities:float array -> float
     a property test pins the equality — but twice as fast, and the form
     used in correctness arguments. *)
 
+val jq_optimal_capped :
+  cap:int -> alpha:float -> qualities:float array -> float
+(** {!jq_optimal} with the enumeration ceiling at [cap] votings instead
+    of [2^max_jury] (no trailing positional argument means the cap
+    cannot be an erasable optional here). *)
+
 val jq_table :
+  ?cap:int ->
   Voting.Strategy.t ->
   alpha:float ->
   qualities:float array ->

@@ -7,7 +7,7 @@ let prob_voting ~truth ~jury voting =
     voting;
   !p
 
-let h_exact strategy ~truth ~prior ~jury =
+let h_exact ?cap strategy ~truth ~prior ~jury =
   let n = Array.length jury in
   let l = Array.length prior in
   let acc = Prob.Kahan.create () in
@@ -18,15 +18,15 @@ let h_exact strategy ~truth ~prior ~jury =
         let outcome = Multiclass.decide strategy ~prior ~jury v in
         Prob.Kahan.add acc (mass *. Multiclass.prob_decide outcome truth)
       end)
-    (Multiclass.enumerate_votings ~labels:l ~n);
+    (Multiclass.enumerate_votings ?cap ~labels:l ~n ());
   Prob.Kahan.total acc
 
-let jq_exact strategy ~prior ~jury =
+let jq_exact ?cap strategy ~prior ~jury =
   let acc = Prob.Kahan.create () in
   Array.iteri
     (fun truth alpha ->
       if alpha > 0. then
-        Prob.Kahan.add acc (alpha *. h_exact strategy ~truth ~prior ~jury))
+        Prob.Kahan.add acc (alpha *. h_exact ?cap strategy ~truth ~prior ~jury))
     prior;
   Prob.Kahan.total acc
 

@@ -26,21 +26,24 @@
     truncation plus summation-order ulps (property-tested). *)
 
 val jq_exact :
+  ?cap:int ->
   Voting.Multiclass.t ->
   prior:float array ->
   jury:Workers.Confusion.t array ->
   float
 (** Exact multi-class JQ of a strategy by enumeration.
-    @raise Invalid_argument when ℓ^n exceeds the {!Voting.Multiclass.enumerate_votings}
-    limit or the model is inconsistent. *)
+    @raise Invalid_argument when ℓ^n exceeds [cap] (default
+    {!Voting.Multiclass.enumeration_cap}) or the model is
+    inconsistent. *)
 
 val h_exact :
+  ?cap:int ->
   Voting.Multiclass.t ->
   truth:int ->
   prior:float array ->
   jury:Workers.Confusion.t array ->
   float
-(** H(truth) by enumeration. *)
+(** H(truth) by enumeration, subject to the same [cap]. *)
 
 val estimate_bv :
   ?impl:Bucket.impl ->

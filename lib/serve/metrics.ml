@@ -22,6 +22,11 @@ type shard = {
   jq_ring : float array;             (* recent kernel eval times, ns *)
   mutable jq_ring_len : int;
   mutable jq_ring_next : int;
+  mutable session_verbs : int;
+  session_histogram : Prob.Histogram.t;  (* session verb eval ns *)
+  session_ring : float array;            (* recent session verb times, ns *)
+  mutable session_ring_len : int;
+  mutable session_ring_next : int;
 }
 
 type t = {
@@ -29,6 +34,7 @@ type t = {
   shards : shard array;              (* executors 0 .. n-1, submitter at n *)
   sources_lock : Mutex.t;
   mutable cache_sources : (unit -> Jsp.Objective_cache.stats) list;
+  mutable session_sources : (unit -> Session.Store.stats) list;
 }
 
 let fresh_shard () =
@@ -54,6 +60,11 @@ let fresh_shard () =
     jq_ring = Array.make ring_size 0.;
     jq_ring_len = 0;
     jq_ring_next = 0;
+    session_verbs = 0;
+    session_histogram = Prob.Histogram.create ~lo:0. ~hi:1e7 ~buckets:100;
+    session_ring = Array.make ring_size 0.;
+    session_ring_len = 0;
+    session_ring_next = 0;
   }
 
 let create ?(shards = 1) () =
@@ -63,6 +74,7 @@ let create ?(shards = 1) () =
     shards = Array.init (shards + 1) (fun _ -> fresh_shard ());
     sources_lock = Mutex.create ();
     cache_sources = [];
+    session_sources = [];
   }
 
 let shards t = Array.length t.shards
@@ -117,9 +129,23 @@ let jq_flat_fallback t ~shard ~count =
     with_shard t shard (fun s ->
         s.jq_flat_fallbacks <- s.jq_flat_fallbacks + count)
 
+let session_verb t ~shard ~ns =
+  with_shard t shard (fun s ->
+      s.session_verbs <- s.session_verbs + 1;
+      Prob.Histogram.add s.session_histogram ns;
+      s.session_ring.(s.session_ring_next) <- ns;
+      s.session_ring_next <- (s.session_ring_next + 1) mod ring_size;
+      if s.session_ring_len < ring_size then
+        s.session_ring_len <- s.session_ring_len + 1)
+
 let add_cache t ~merge =
   Mutex.lock t.sources_lock;
   t.cache_sources <- merge :: t.cache_sources;
+  Mutex.unlock t.sources_lock
+
+let add_sessions t ~stats =
+  Mutex.lock t.sources_lock;
+  t.session_sources <- stats :: t.session_sources;
   Mutex.unlock t.sources_lock
 
 (* Merged view of every shard: counters and histogram buckets sum, the
@@ -142,6 +168,8 @@ type merged = {
   m_jq_flat_fallbacks : int;
   m_jq_counts : int array;
   m_jq_ns : float array;
+  m_session_verbs : int;
+  m_session_ns : float array;
 }
 
 let merge t =
@@ -155,6 +183,8 @@ let merge t =
   let jq_evals = ref 0 and jq_flat_fallbacks = ref 0 in
   let jq_counts = ref [||] in
   let jq_rings = ref [] in
+  let session_verbs = ref 0 in
+  let session_rings = ref [] in
   Array.iteri
     (fun i _ ->
       with_shard t i (fun s ->
@@ -182,7 +212,11 @@ let merge t =
           if Array.length !jq_counts = 0 then jq_counts := jc
           else Array.iteri (fun k v -> !jq_counts.(k) <- !jq_counts.(k) + v) jc;
           if s.jq_ring_len > 0 then
-            jq_rings := Array.sub s.jq_ring 0 s.jq_ring_len :: !jq_rings))
+            jq_rings := Array.sub s.jq_ring 0 s.jq_ring_len :: !jq_rings;
+          session_verbs := !session_verbs + s.session_verbs;
+          if s.session_ring_len > 0 then
+            session_rings :=
+              Array.sub s.session_ring 0 s.session_ring_len :: !session_rings))
     t.shards;
   {
     m_requests = !requests;
@@ -201,15 +235,17 @@ let merge t =
     m_jq_flat_fallbacks = !jq_flat_fallbacks;
     m_jq_counts = !jq_counts;
     m_jq_ns = Array.concat !jq_rings;
+    m_session_verbs = !session_verbs;
+    m_session_ns = Array.concat !session_rings;
   }
 
 let snapshot t =
   let m = merge t in
-  let sources =
+  let sources, session_sources =
     Mutex.lock t.sources_lock;
-    let s = t.cache_sources in
+    let s = t.cache_sources and ss = t.session_sources in
     Mutex.unlock t.sources_lock;
-    s
+    (s, ss)
   in
   let f = float_of_int in
   let base =
@@ -226,6 +262,7 @@ let snapshot t =
       ("steals", f m.m_steals);
       ("jq_evals", f m.m_jq_evals);
       ("jq_flat_fallbacks", f m.m_jq_flat_fallbacks);
+      ("session_verbs", f m.m_session_verbs);
     ]
     @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
   in
@@ -248,10 +285,35 @@ let snapshot t =
         ("jq_eval_ns_p99", q 0.99);
       ]
   in
+  let session_quantiles =
+    if Array.length m.m_session_ns = 0 then []
+    else
+      let q p = Prob.Stats.quantile m.m_session_ns p in
+      [
+        ("session_verb_ns_p50", q 0.5);
+        ("session_verb_ns_p95", q 0.95);
+        ("session_verb_ns_p99", q 0.99);
+      ]
+  in
   let cache =
     List.fold_left
       (fun acc merge -> Jsp.Objective_cache.merge_stats acc (merge ()))
       Jsp.Objective_cache.empty_stats sources
+  in
+  let sessions =
+    List.fold_left
+      (fun acc stats -> Session.Store.add_stats acc (stats ()))
+      Session.Store.zero_stats session_sources
+  in
+  let session_rows =
+    [
+      ("sessions_open", f sessions.Session.Store.open_now);
+      ("sessions_opened", f sessions.Session.Store.opened);
+      ("sessions_decided", f sessions.Session.Store.decided);
+      ("sessions_expired", f sessions.Session.Store.expired);
+      ("sessions_invalidated", f sessions.Session.Store.invalidated);
+      ("sessions_rejected", f sessions.Session.Store.rejected);
+    ]
   in
   let cache_rows =
     let lookups = cache.Jsp.Objective_cache.hits + cache.misses in
@@ -265,7 +327,9 @@ let snapshot t =
       ("cache_evictions", f cache.evictions);
     ]
   in
-  List.sort compare (base @ quantiles @ jq_quantiles @ cache_rows)
+  List.sort compare
+    (base @ quantiles @ jq_quantiles @ session_quantiles @ cache_rows
+   @ session_rows)
 
 let pp_line ppf t =
   let snap = snapshot t in

@@ -68,6 +68,18 @@ val jq_flat_fallback : t -> shard:int -> count:int -> unit
     rate means the pool/bucket configuration defeats the flat kernel).
     No-op for [count <= 0]. *)
 
+val session_verb : t -> shard:int -> ns:float -> unit
+(** Record one session-verb evaluation (open/vote/advise/decide/close) on
+    [shard] taking [ns] nanoseconds.  Feeds the per-shard session
+    histogram and the merged [session_verb_ns_p*] quantiles, so posterior
+    updates and policy scans are tracked separately from jq kernel
+    time. *)
+
+val add_sessions : t -> stats:(unit -> Session.Store.stats) -> unit
+(** Register a pull-source of session-store counters (one per shard
+    store); {!snapshot} sums every registered source into the
+    [sessions_*] rows.  Same concurrency contract as {!add_cache}. *)
+
 val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 (** Register a pull-source of solver-cache counters (one per executor);
     {!snapshot} sums every registered source.  The thunk is called from
@@ -79,9 +91,13 @@ val snapshot : t -> (string * float) list
     [overloads], [deadlines], [batches], [batched_saved], [jq_memo_hits],
     [steals], [jq_evals], [jq_flat_fallbacks], [req_<verb>] per seen
     verb,
-    [p50_ms]/[p95_ms]/[p99_ms] over recent latencies and
+    [p50_ms]/[p95_ms]/[p99_ms] over recent latencies,
     [jq_eval_ns_p50]/[jq_eval_ns_p95]/[jq_eval_ns_p99] over recent kernel
-    evaluations (each trio absent until a first sample), and
+    evaluations and [session_verb_ns_p50/95/99] over recent session verbs
+    (each trio absent until a first sample), [session_verbs] plus the
+    [sessions_open]/[sessions_opened]/[sessions_decided]/
+    [sessions_expired]/[sessions_invalidated]/[sessions_rejected] rows
+    summed over registered session stores, and
     [cache_hits], [cache_misses], [cache_hit_rate], [cache_entries],
     [cache_evictions] summed over registered sources. *)
 

@@ -31,7 +31,7 @@ module Cell = struct
 end
 
 type job = {
-  request : Wire.request;   (* Only Jq / Select / Table are enqueued. *)
+  request : Wire.request;   (* Data-plane verbs only: jq/select/table/session. *)
   submitted : float;        (* Monotonic (Clock.now). *)
   deadline : float;         (* Absolute monotonic; [infinity] when unset. *)
   cell : Cell.t;
@@ -83,6 +83,13 @@ type t = {
   batch_max : int;
   num_buckets : int;
   inline_rr : int Atomic.t;   (* Spreads affinity-free requests. *)
+  session_stores : (Mutex.t * Session.Store.t) array;
+      (* One store per shard, indexed by the pool-name hash — the same
+         affinity that routes session verbs, so a session's whole
+         lifetime normally runs on its home executor's store.  The mutex
+         (not shard ownership) is what guarantees consistency: a stolen
+         or spilled session job still locks the session's *home* store,
+         so state never splits across shards. *)
   shutdown_lock : Mutex.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
@@ -144,6 +151,12 @@ let incremental_for exec ~alpha ~num_buckets =
 let unknown_pool name =
   Wire.Error
     { code = Wire.Unknown_pool; message = Printf.sprintf "no pool %S" name }
+
+let unknown_session message = Wire.Error { code = Wire.Unknown_session; message }
+let bad_request message = Wire.Error { code = Wire.Bad_request; message }
+
+let session_store t name =
+  t.session_stores.(Hashtbl.hash name mod Array.length t.session_stores)
 
 let prior_mismatch ~prior ~labels =
   Wire.Error
@@ -286,6 +299,163 @@ let eval_table t exec ~name ~budgets ~prior ~seed =
         in
         Wire.Table_result rows
 
+(* ---- session verbs -------------------------------------------------- *)
+
+(* Every session verb answers with the full session snapshot.  The reply
+   is a pure function of (pool contents, vote history, request) — the
+   clock only feeds idle-expiry bookkeeping — so warm and cold replays
+   stay byte-identical, matching the jq/select determinism contract. *)
+let session_reply ~pool_name ~task_name ?(closed = false) session =
+  let state, decision, certified, reason =
+    match Session.Task.progress session with
+    | Session.Task.Soliciting -> (Wire.Sess_open, None, false, None)
+    | Session.Task.Decided { label; certified; reason } ->
+        (Wire.Sess_decided, Some label, certified, Some reason)
+    | Session.Task.Exhausted { label; reason } ->
+        ( Wire.Sess_exhausted,
+          Some label,
+          Session.Task.certified_now session,
+          Some reason )
+  in
+  Wire.Session_result
+    {
+      pool = pool_name;
+      task = task_name;
+      state = (if closed then Wire.Sess_closed else state);
+      posterior = Array.to_list (Session.Task.posterior session);
+      votes = Session.Task.votes_seen session;
+      spent = Session.Task.spent session;
+      next = Session.Task.next session;
+      decision;
+      certified;
+      reason;
+    }
+
+let terminal session =
+  match Session.Task.progress session with
+  | Session.Task.Soliciting -> false
+  | Session.Task.Decided _ | Session.Task.Exhausted _ -> true
+
+let eval_session_open t exec ~pool_name ~task_name ~prior ~budget ~confidence
+    ~gain_floor ~policy =
+  match Registry.find t.registry pool_name with
+  | None -> unknown_pool pool_name
+  | Some (pool, version) ->
+      if List.length prior <> Engine.Pool.labels pool then
+        prior_mismatch ~prior ~labels:(Engine.Pool.labels pool)
+      else (
+        match
+          Session.Task.create ~workspace:exec.workspace ~pool
+            ~pool_version:version ~task:(task_of_prior prior) ~budget
+            ~confidence ~gain_floor ~policy ~now:(Clock.now ()) ()
+        with
+        | Error msg -> bad_request msg
+        | Ok session ->
+            let lock, store = session_store t pool_name in
+            with_lock lock (fun () ->
+                match
+                  Session.Store.open_session store ~pool:pool_name
+                    ~task:task_name ~session ~now:(Clock.now ())
+                with
+                | `Ok ->
+                    if terminal session then Session.Store.note_decided store;
+                    session_reply ~pool_name ~task_name session
+                | `Exists ->
+                    bad_request
+                      (Printf.sprintf "session %s/%s already open" pool_name
+                         task_name)
+                | `Full ->
+                    Wire.Error
+                      {
+                        code = Wire.Overload;
+                        message = "session store full";
+                      }))
+
+(* Look up a live session under its home store's lock and run [f] on it.
+   The registry is consulted first so a pool-put between two votes
+   invalidates the session here, not at some later sweep. *)
+let with_session t ~pool_name ~task_name f =
+  match Registry.find t.registry pool_name with
+  | None -> unknown_pool pool_name
+  | Some (_, version) ->
+      let lock, store = session_store t pool_name in
+      with_lock lock (fun () ->
+          match
+            Session.Store.find store ~pool:pool_name ~task:task_name
+              ~now:(Clock.now ()) ~version
+          with
+          | `Missing ->
+              unknown_session
+                (Printf.sprintf "no session %s/%s" pool_name task_name)
+          | `Expired ->
+              unknown_session
+                (Printf.sprintf "session %s/%s idle-expired" pool_name
+                   task_name)
+          | `Invalidated ->
+              unknown_session
+                (Printf.sprintf
+                   "session %s/%s invalidated by a pool update" pool_name
+                   task_name)
+          | `Found session -> f store session)
+
+let eval_session_vote t exec ~pool_name ~task_name ~worker ~label =
+  with_session t ~pool_name ~task_name (fun store session ->
+      let was_open = not (terminal session) in
+      match
+        Session.Task.vote ~workspace:exec.workspace session ~worker ~label
+          ~now:(Clock.now ())
+      with
+      | Error msg -> bad_request msg
+      | Ok () ->
+          if was_open && terminal session then
+            Session.Store.note_decided store;
+          session_reply ~pool_name ~task_name session)
+
+let eval_session_advise t exec ~pool_name ~task_name =
+  with_session t ~pool_name ~task_name (fun _store session ->
+      ignore
+        (Session.Task.advise ~workspace:exec.workspace session
+           ~now:(Clock.now ()));
+      session_reply ~pool_name ~task_name session)
+
+let eval_session_decide t ~pool_name ~task_name =
+  with_session t ~pool_name ~task_name (fun store session ->
+      let was_open = not (terminal session) in
+      Session.Task.decide session ~now:(Clock.now ());
+      if was_open then Session.Store.note_decided store;
+      session_reply ~pool_name ~task_name session)
+
+let eval_session_close t ~pool_name ~task_name =
+  let lock, store = session_store t pool_name in
+  with_lock lock (fun () ->
+      match Session.Store.remove store ~pool:pool_name ~task:task_name with
+      | None ->
+          unknown_session
+            (Printf.sprintf "no session %s/%s" pool_name task_name)
+      | Some session -> session_reply ~pool_name ~task_name ~closed:true session)
+
+let eval_session t exec request =
+  let t0 = Clock.now () in
+  let response =
+    match request with
+    | Wire.Session_open { pool; task; prior; budget; confidence; gain_floor; policy }
+      ->
+        eval_session_open t exec ~pool_name:pool ~task_name:task ~prior ~budget
+          ~confidence ~gain_floor ~policy
+    | Wire.Session_vote { pool; task; worker; label } ->
+        eval_session_vote t exec ~pool_name:pool ~task_name:task ~worker ~label
+    | Wire.Session_advise { pool; task } ->
+        eval_session_advise t exec ~pool_name:pool ~task_name:task
+    | Wire.Session_decide { pool; task } ->
+        eval_session_decide t ~pool_name:pool ~task_name:task
+    | Wire.Session_close { pool; task } ->
+        eval_session_close t ~pool_name:pool ~task_name:task
+    | _ -> assert false
+  in
+  Metrics.session_verb t.metrics ~shard:exec.shard
+    ~ns:(1e9 *. (Clock.now () -. t0));
+  response
+
 let eval t exec request =
   match request with
   | Wire.Jq { source = Wire.Named name; prior; num_buckets } ->
@@ -296,6 +466,9 @@ let eval t exec request =
       eval_select t exec ~name:pool ~budget ~prior ~seed
   | Wire.Table { pool; budgets; prior; seed } ->
       eval_table t exec ~name:pool ~budgets ~prior ~seed
+  | Wire.Session_open _ | Wire.Session_vote _ | Wire.Session_advise _
+  | Wire.Session_decide _ | Wire.Session_close _ ->
+      eval_session t exec request
   | Wire.Ping | Wire.Stats | Wire.Pool_put _ | Wire.Pool_list ->
       (* Control-plane verbs are answered inline by [submit]. *)
       assert false
@@ -313,6 +486,11 @@ let verb_of = function
   | Wire.Pool_put _ -> "pool-put"
   | Wire.Pool_list -> "pool-list"
   | Wire.Stats -> "stats"
+  | Wire.Session_open _ -> "open"
+  | Wire.Session_vote _ -> "vote"
+  | Wire.Session_advise _ -> "advise"
+  | Wire.Session_decide _ -> "decide"
+  | Wire.Session_close _ -> "close"
 
 let response_ok = function Wire.Error _ -> false | _ -> true
 
@@ -380,7 +558,8 @@ let executor_loop t exec =
 
 let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
     ?deadline ?(batch_max = 32) ?(num_buckets = Jq.Bucket.default_num_buckets)
-    () =
+    ?(session_cap = Session.Store.default_cap)
+    ?(session_ttl = Session.Store.default_ttl) () =
   if n_domains <= 0 then invalid_arg "Service.create: domains <= 0";
   if queue_capacity <= 0 then invalid_arg "Service.create: queue_capacity <= 0";
   if batch_max <= 0 then invalid_arg "Service.create: batch_max <= 0";
@@ -400,11 +579,20 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
       batch_max;
       num_buckets;
       inline_rr = Atomic.make 0;
+      session_stores =
+        Array.init n_domains (fun _ ->
+            ( Mutex.create (),
+              Session.Store.create ~cap:session_cap ~ttl:session_ttl () ));
       shutdown_lock = Mutex.create ();
       closed = false;
       workers = [];
     }
   in
+  Array.iter
+    (fun (lock, store) ->
+      Metrics.add_sessions t.metrics ~stats:(fun () ->
+          with_lock lock (fun () -> Session.Store.stats store)))
+    t.session_stores;
   t.workers <-
     List.init n_domains (fun shard ->
         let exec =
@@ -447,7 +635,12 @@ let affinity_of t request =
   match request with
   | Wire.Jq { source = Wire.Named name; _ }
   | Wire.Select { pool = name; _ }
-  | Wire.Table { pool = name; _ } ->
+  | Wire.Table { pool = name; _ }
+  | Wire.Session_open { pool = name; _ }
+  | Wire.Session_vote { pool = name; _ }
+  | Wire.Session_advise { pool = name; _ }
+  | Wire.Session_decide { pool = name; _ }
+  | Wire.Session_close { pool = name; _ } ->
       Hashtbl.hash name
   | _ -> Atomic.fetch_and_add t.inline_rr 1
 
@@ -490,7 +683,9 @@ let submit t request =
       | exception Invalid_argument msg ->
           inline_reply t ~start request
             (Wire.Error { code = Wire.Bad_request; message = msg }))
-  | Wire.Jq _ | Wire.Select _ | Wire.Table _ -> (
+  | Wire.Jq _ | Wire.Select _ | Wire.Table _ | Wire.Session_open _
+  | Wire.Session_vote _ | Wire.Session_advise _ | Wire.Session_decide _
+  | Wire.Session_close _ -> (
       let job =
         {
           request;

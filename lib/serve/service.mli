@@ -5,7 +5,8 @@
     spill and bounded work-stealing) fed by {!submit}.  Control-plane
     requests (ping, stats, pool upsert/list) are answered inline by the
     submitting thread — they stay responsive however backed up the
-    compute plane is.  Compute requests (jq, select, table) are enqueued
+    compute plane is.  Compute requests (jq, select, table, and the
+    session verbs open/vote/advise/decide/close) are enqueued
     on their pool's shard; when every shard with room is full the reply
     is an immediate [err overload] (admission control — total queue depth
     never grows past its bound), and a request that waits past its
@@ -37,7 +38,17 @@
     functions of (pool, version, prior, budget, seed) regardless of cache
     warmth, so any executor — warm or cold, owner or work-stealing thief
     — returns byte-identical responses, whichever worker model the pool
-    holds. *)
+    holds.
+
+    Sequential sessions ({!Session.Task}) live in per-shard
+    {!Session.Store}s indexed by the same pool-name hash that routes the
+    data plane, so a session's verbs normally all run on its home
+    executor; each store carries its own mutex, so even a stolen or
+    spilled session job mutates the home store consistently.  Session
+    replies are pure functions of (pool contents, vote history, request)
+    — byte-deterministic at any cache warmth — and a [pool-put] bumping
+    the registry version invalidates the pool's open sessions on their
+    next touch. *)
 
 type t
 
@@ -50,13 +61,19 @@ val create :
   ?deadline:float ->
   ?batch_max:int ->
   ?num_buckets:int ->
+  ?session_cap:int ->
+  ?session_ttl:float ->
   unit ->
   t
 (** Start the executor domains.  Defaults: [domains] =
     {!recommended_domains}[ ()], [queue_capacity] = 256, no deadline,
     [batch_max] = 32, [num_buckets] = {!Jq.Bucket.default_num_buckets}
-    (the Algorithm-1 resolution used for select/table scoring).
-    @raise Invalid_argument on non-positive sizes or deadline. *)
+    (the Algorithm-1 resolution used for select/table scoring),
+    [session_cap] = {!Session.Store.default_cap} open sessions per shard
+    store, [session_ttl] = {!Session.Store.default_ttl} seconds of idle
+    life.
+    @raise Invalid_argument on non-positive sizes, deadline, cap or
+    ttl. *)
 
 val submit : t -> Wire.request -> Wire.response
 (** Serve one request, blocking until its reply is ready.  Never raises:

@@ -27,10 +27,24 @@ type request =
   | Pool_put of { name : string; workers : pool_row list }
   | Pool_list
   | Stats
+  | Session_open of {
+      pool : string;
+      task : string;
+      prior : float list;
+      budget : float;
+      confidence : float;
+      gain_floor : float;
+      policy : Session.Policy.t;
+    }
+  | Session_vote of { pool : string; task : string; worker : int; label : int }
+  | Session_advise of { pool : string; task : string }
+  | Session_decide of { pool : string; task : string }
+  | Session_close of { pool : string; task : string }
 
 type error_code =
   | Bad_request
   | Unknown_pool
+  | Unknown_session
   | Overload
   | Deadline
   | Shutdown
@@ -43,6 +57,8 @@ type table_row = {
   required : float;
 }
 
+type session_state = Sess_open | Sess_decided | Sess_exhausted | Sess_closed
+
 type response =
   | Pong
   | Jq_result of { value : float; error_bound : float; n : int }
@@ -51,6 +67,18 @@ type response =
   | Pool_info of { name : string; version : int; size : int }
   | Pool_entries of (string * int * int) list
   | Stats_result of (string * float) list
+  | Session_result of {
+      pool : string;
+      task : string;
+      state : session_state;
+      posterior : float list;
+      votes : int;
+      spent : float;
+      next : int option;
+      decision : int option;
+      certified : bool;
+      reason : Session.Stopping.reason option;
+    }
   | Error of { code : error_code; message : string }
 
 (* ---- atoms --------------------------------------------------------- *)
@@ -248,8 +276,33 @@ let worker_to_string = function
 
 let default_seed = 42
 let default_prior = [ 0.5; 0.5 ]
+let default_confidence = 0.95
 
 let prior_to_string prior = list_to_string ~sep:"," float_to_string prior
+
+let parse_task_name what s =
+  if valid_pool_name s then Ok s
+  else fail (Printf.sprintf "%s: invalid task id %S" what s)
+
+let parse_policy what s =
+  match Session.Policy.of_string s with
+  | Some p -> Ok p
+  | None ->
+      fail
+        (Printf.sprintf "%s: unknown policy %S (gain|jq|quality|cheap)" what s)
+
+let parse_confidence what s =
+  let* f = parse_prob what s in
+  if f <= 0. then fail (Printf.sprintf "%s: must be positive" what) else Ok f
+
+(* Optional nonnegative ints ([next=], [decision=]) render None as "-". *)
+let opt_int_to_string = function None -> "-" | Some i -> string_of_int i
+
+let parse_opt_int what s =
+  if s = "-" then Ok None
+  else
+    let* i = parse_nonneg_int what s in
+    Ok (Some i)
 
 (* [prior=p0,p1,…] names the task's label distribution; [alpha=x] is
    decode-side sugar for the binary [prior=x,1−x] (the two are exclusive).
@@ -292,6 +345,24 @@ let encode_request = function
         (list_to_string ~sep:"," worker_to_string workers)
   | Pool_list -> "pool-list"
   | Stats -> "stats"
+  | Session_open { pool; task; prior; budget; confidence; gain_floor; policy }
+    ->
+      Printf.sprintf
+        "open pool=%s task=%s prior=%s budget=%s confidence=%s floor=%s \
+         policy=%s"
+        pool task (prior_to_string prior) (float_to_string budget)
+        (float_to_string confidence)
+        (float_to_string gain_floor)
+        (Session.Policy.to_string policy)
+  | Session_vote { pool; task; worker; label } ->
+      Printf.sprintf "vote pool=%s task=%s worker=%d label=%d" pool task worker
+        label
+  | Session_advise { pool; task } ->
+      Printf.sprintf "advise pool=%s task=%s" pool task
+  | Session_decide { pool; task } ->
+      Printf.sprintf "decide pool=%s task=%s" pool task
+  | Session_close { pool; task } ->
+      Printf.sprintf "close pool=%s task=%s" pool task
 
 let split_line line =
   (* Tolerate a trailing CR (telnet) and repeated spaces. *)
@@ -362,6 +433,33 @@ let decode_pool_put fields =
   in
   finish fields (Pool_put { name; workers })
 
+let decode_session_open fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* prior = decode_prior fields in
+  let* budget = required fields "budget" parse_nonneg in
+  let* confidence =
+    optional fields "confidence" ~default:default_confidence parse_confidence
+  in
+  let* gain_floor = optional fields "floor" ~default:0. parse_nonneg in
+  let* policy =
+    optional fields "policy" ~default:Session.Policy.default parse_policy
+  in
+  finish fields
+    (Session_open { pool; task; prior; budget; confidence; gain_floor; policy })
+
+let decode_session_vote fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* worker = required fields "worker" parse_nonneg_int in
+  let* label = required fields "label" parse_nonneg_int in
+  finish fields (Session_vote { pool; task; worker; label })
+
+let decode_session_ref fields make =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  finish fields (make ~pool ~task)
+
 let decode_request line =
   match split_line line with
   | [] -> fail "empty request"
@@ -375,6 +473,17 @@ let decode_request line =
       | "pool-put" -> decode_pool_put fields
       | "pool-list" -> no_fields fields Pool_list
       | "stats" -> no_fields fields Stats
+      | "open" -> decode_session_open fields
+      | "vote" -> decode_session_vote fields
+      | "advise" ->
+          decode_session_ref fields (fun ~pool ~task ->
+              Session_advise { pool; task })
+      | "decide" ->
+          decode_session_ref fields (fun ~pool ~task ->
+              Session_decide { pool; task })
+      | "close" ->
+          decode_session_ref fields (fun ~pool ~task ->
+              Session_close { pool; task })
       | _ -> fail (Printf.sprintf "unknown verb %S" verb))
 
 (* ---- responses ----------------------------------------------------- *)
@@ -382,6 +491,7 @@ let decode_request line =
 let error_code_to_string = function
   | Bad_request -> "bad-request"
   | Unknown_pool -> "unknown-pool"
+  | Unknown_session -> "unknown-session"
   | Overload -> "overload"
   | Deadline -> "deadline"
   | Shutdown -> "shutdown"
@@ -390,11 +500,25 @@ let error_code_to_string = function
 let error_code_of_string = function
   | "bad-request" -> Ok Bad_request
   | "unknown-pool" -> Ok Unknown_pool
+  | "unknown-session" -> Ok Unknown_session
   | "overload" -> Ok Overload
   | "deadline" -> Ok Deadline
   | "shutdown" -> Ok Shutdown
   | "internal" -> Ok Internal
   | s -> fail (Printf.sprintf "unknown error code %S" s)
+
+let session_state_to_string = function
+  | Sess_open -> "open"
+  | Sess_decided -> "decided"
+  | Sess_exhausted -> "exhausted"
+  | Sess_closed -> "closed"
+
+let session_state_of_string = function
+  | "open" -> Ok Sess_open
+  | "decided" -> Ok Sess_decided
+  | "exhausted" -> Ok Sess_exhausted
+  | "closed" -> Ok Sess_closed
+  | s -> fail (Printf.sprintf "unknown session state %S" s)
 
 let ids_to_string ids = list_to_string ~sep:"." string_of_int ids
 
@@ -446,6 +570,30 @@ let encode_response = function
   | Stats_result stats ->
       if stats = [] then "ok stats"
       else "ok stats " ^ String.concat " " (List.map stat_to_string stats)
+  | Session_result
+      {
+        pool;
+        task;
+        state;
+        posterior;
+        votes;
+        spent;
+        next;
+        decision;
+        certified;
+        reason;
+      } ->
+      Printf.sprintf
+        "ok session pool=%s task=%s state=%s posterior=%s votes=%d spent=%s \
+         next=%s decision=%s certified=%d reason=%s"
+        pool task
+        (session_state_to_string state)
+        (prior_to_string posterior) votes (float_to_string spent)
+        (opt_int_to_string next) (opt_int_to_string decision)
+        (if certified then 1 else 0)
+        (match reason with
+        | None -> "-"
+        | Some r -> Session.Stopping.reason_to_string r)
   | Error { code; message } ->
       Printf.sprintf "err %s message=%s" (error_code_to_string code)
         (escape message)
@@ -493,6 +641,49 @@ let decode_ok_response kind fields =
       in
       fields := [];
       finish fields (Stats_result stats)
+  | "session" ->
+      let* pool = required fields "pool" parse_pool_name in
+      let* task = required fields "task" parse_task_name in
+      let* state =
+        required fields "state" (fun _ s -> session_state_of_string s)
+      in
+      let* posterior =
+        required fields "posterior" (fun what s ->
+            parse_nonempty_list what ~sep:',' (parse_prob what) s)
+      in
+      let* votes = required fields "votes" parse_nonneg_int in
+      let* spent = required fields "spent" parse_nonneg in
+      let* next = required fields "next" parse_opt_int in
+      let* decision = required fields "decision" parse_opt_int in
+      let* certified =
+        required fields "certified" (fun what s ->
+            match s with
+            | "0" -> Ok false
+            | "1" -> Ok true
+            | _ -> fail (Printf.sprintf "%s: expected 0 or 1" what))
+      in
+      let* reason =
+        required fields "reason" (fun what s ->
+            if s = "-" then Ok None
+            else
+              match Session.Stopping.reason_of_string s with
+              | Some r -> Ok (Some r)
+              | None -> fail (Printf.sprintf "%s: unknown reason %S" what s))
+      in
+      finish fields
+        (Session_result
+           {
+             pool;
+             task;
+             state;
+             posterior;
+             votes;
+             spent;
+             next;
+             decision;
+             certified;
+             reason;
+           })
   | _ -> fail (Printf.sprintf "unknown ok kind %S" kind)
 
 let decode_response line =

@@ -15,6 +15,11 @@
     pool-list
     stats
     ping
+    open pool=default task=t1 alpha=0.5 budget=6 confidence=0.97 policy=gain
+    vote pool=default task=t1 worker=0 label=1
+    advise pool=default task=t1
+    decide pool=default task=t1
+    close pool=default task=t1
     v}
 
     Tasks are named by a prior vector [prior=p0,p1,…] over ℓ ≥ 2 labels
@@ -61,14 +66,44 @@ type request =
       (** Rows of one kind; ids and names are assigned by position. *)
   | Pool_list
   | Stats
+  | Session_open of {
+      pool : string;
+      task : string;
+      prior : float list;
+      budget : float;
+      confidence : float;  (** Posterior threshold, in (1/ℓ, 1]. *)
+      gain_floor : float;  (** 0 disables the marginal-gain floor. *)
+      policy : Session.Policy.t;
+    }
+      (** Open a sequential session keyed by (pool, task id).  Task ids
+          share the pool-name charset.  [confidence], [floor] and [policy]
+          may be omitted ({!default_confidence}, 0, {!Session.Policy.default}). *)
+  | Session_vote of { pool : string; task : string; worker : int; label : int }
+      (** Feed one vote: positional worker index, label in [0, ℓ). *)
+  | Session_advise of { pool : string; task : string }
+      (** Which worker to ask next (no state change). *)
+  | Session_decide of { pool : string; task : string }
+      (** Force a terminal decision now. *)
+  | Session_close of { pool : string; task : string }
+      (** Drop the session, freeing its store slot. *)
 
 type error_code =
-  | Bad_request   (** Unparseable or invalid request line. *)
-  | Unknown_pool  (** Named pool not in the registry. *)
-  | Overload      (** Admission control refused: the work queue is full. *)
-  | Deadline      (** The request expired before an executor reached it. *)
-  | Shutdown      (** The service is draining. *)
-  | Internal      (** Executor failure (bug or resource trouble). *)
+  | Bad_request      (** Unparseable or invalid request line. *)
+  | Unknown_pool     (** Named pool not in the registry. *)
+  | Unknown_session  (** No live session under (pool, task): never opened,
+                         closed, idle-expired, or invalidated by a pool
+                         version bump. *)
+  | Overload         (** Admission control refused: queue or session store full. *)
+  | Deadline         (** The request expired before an executor reached it. *)
+  | Shutdown         (** The service is draining. *)
+  | Internal         (** Executor failure (bug or resource trouble). *)
+
+(** Lifecycle position reported by a session reply. *)
+type session_state =
+  | Sess_open       (** Soliciting: votes accepted, advice available. *)
+  | Sess_decided    (** Terminal with an answer. *)
+  | Sess_exhausted  (** Terminal: budget/pool ran out before confidence. *)
+  | Sess_closed     (** Reply to [close]: the session is gone. *)
 
 type table_row = {
   budget : float;
@@ -87,6 +122,20 @@ type response =
       (** (name, version, size), sorted by name. *)
   | Stats_result of (string * float) list
       (** Metric (key, value) pairs, sorted by key. *)
+  | Session_result of {
+      pool : string;
+      task : string;
+      state : session_state;
+      posterior : float list;   (** Normalized, one entry per label. *)
+      votes : int;
+      spent : float;
+      next : int option;        (** Policy advice while [Sess_open]. *)
+      decision : int option;    (** Argmax label once terminal. *)
+      certified : bool;         (** Decision provably cannot flip. *)
+      reason : Session.Stopping.reason option;  (** Why it stopped. *)
+    }
+      (** Every session verb answers with the full session snapshot, so
+          clients never need a follow-up read. *)
   | Error of { code : error_code; message : string }
 
 val valid_pool_name : string -> bool
@@ -101,6 +150,13 @@ val encode_request : request -> string
 val default_prior : float list
 (** [[0.5; 0.5]] — the binary uniform prior assumed when a request names
     neither [prior=] nor [alpha=]. *)
+
+val default_confidence : float
+(** 0.95 — the posterior threshold assumed when [open] omits
+    [confidence=]. *)
+
+val session_state_to_string : session_state -> string
+(** The wire token, e.g. [Sess_open] ↦ ["open"]. *)
 
 val decode_request : string -> (request, string) result
 (** Strict parse of one request line.  [prior]/[alpha], [buckets] and

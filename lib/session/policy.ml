@@ -1,0 +1,81 @@
+type t = Info_gain | Marginal_jq | Quality_greedy | Cheapest_first
+
+let to_string = function
+  | Info_gain -> "gain"
+  | Marginal_jq -> "jq"
+  | Quality_greedy -> "quality"
+  | Cheapest_first -> "cheap"
+
+let of_string = function
+  | "gain" -> Some Info_gain
+  | "jq" -> Some Marginal_jq
+  | "quality" -> Some Quality_greedy
+  | "cheap" -> Some Cheapest_first
+  | _ -> None
+
+let default = Info_gain
+let all = [ Info_gain; Marginal_jq; Quality_greedy; Cheapest_first ]
+let min_cost = 1e-9
+
+(* Quality summary used by the greedy policy: scalar quality for binary
+   workers, mean diagonal for confusion matrices. *)
+let quality_of pool i =
+  match Engine.Pool.repr pool with
+  | Engine.Pool.Binary p -> Workers.Worker.quality (Workers.Pool.get p i)
+  | Engine.Pool.Matrix arr ->
+      Workers.Confusion.accuracy_given_uniform_prior arr.(i)
+
+let gain_of pool ~posterior i =
+  match Engine.Pool.repr pool with
+  | Engine.Pool.Binary p ->
+      Crowd.Online.expected_entropy_gain ~posterior_no:posterior.(0)
+        ~quality:(Workers.Worker.quality (Workers.Pool.get p i))
+  | Engine.Pool.Matrix arr ->
+      Crowd.Online.expected_entropy_gain_vector ~posterior ~confusion:arr.(i)
+
+(* Marginal JQ of adding candidate [i] to the asked set.  Binary pools
+   probe a warm incremental evaluator (add, read, deconvolve back out);
+   matrix pools re-score the asked subset through the bucket objective. *)
+let marginal_jq ~task ~pool ~asked ?inc ?workspace i =
+  match (Engine.Pool.repr pool, inc) with
+  | Engine.Pool.Binary p, Some inc ->
+      let q = Workers.Worker.quality (Workers.Pool.get p i) in
+      let base = Jq.Incremental.value inc in
+      Jq.Incremental.add_worker inc q;
+      let v = Jq.Incremental.value inc in
+      Jq.Incremental.remove_worker inc q;
+      v -. base
+  | _ ->
+      let score flags =
+        (Engine.Objective.bv_bucket_scored ?workspace () ~task
+           (Engine.Pool.sub pool flags))
+          .score
+      in
+      let base = score asked in
+      let flags = Array.copy asked in
+      flags.(i) <- true;
+      score flags -. base
+
+let score policy ~task ~pool ~posterior ~asked ?inc ?workspace i =
+  let cost = Float.max min_cost (Engine.Pool.cost pool i) in
+  match policy with
+  | Info_gain -> gain_of pool ~posterior i /. cost
+  | Marginal_jq ->
+      Float.max 0. (marginal_jq ~task ~pool ~asked ?inc ?workspace i) /. cost
+  | Quality_greedy -> quality_of pool i
+  | Cheapest_first -> -.Engine.Pool.cost pool i
+
+let pick policy ~task ~pool ~posterior ~asked ~remaining ?inc ?workspace () =
+  let n = Engine.Pool.size pool in
+  let best = ref None in
+  let best_score = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if (not asked.(i)) && Engine.Pool.cost pool i <= remaining +. 1e-9 then begin
+      let s = score policy ~task ~pool ~posterior ~asked ?inc ?workspace i in
+      if s > !best_score then begin
+        best := Some i;
+        best_score := s
+      end
+    end
+  done;
+  match !best with None -> None | Some i -> Some (i, !best_score)

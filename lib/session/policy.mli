@@ -1,0 +1,62 @@
+(** Solicitation policies: which candidate worker to ask next.
+
+    A sequential session holds a posterior over the task's ℓ labels and a
+    frontier of not-yet-asked workers; a policy ranks the affordable
+    frontier and proposes the best candidate.  All four policies are
+    deterministic (ties break toward the lowest positional index), so a
+    session's advice — and therefore every serve reply — is a pure function
+    of (pool, prior, vote history, budget). *)
+
+type t =
+  | Info_gain
+      (** Greatest expected posterior-entropy reduction per unit cost —
+          {!Crowd.Online.expected_entropy_gain} (binary fast path) /
+          {!Crowd.Online.expected_entropy_gain_vector} (ℓ-label). *)
+  | Marginal_jq
+      (** Greatest marginal JQ of the asked-so-far jury per unit cost,
+          probed through a warm {!Jq.Incremental} evaluator for binary
+          pools and the bucket objective for matrix pools. *)
+  | Quality_greedy
+      (** Highest quality first (mean diagonal for matrix workers). *)
+  | Cheapest_first  (** Lowest cost first. *)
+
+val to_string : t -> string
+(** Wire token: ["gain"], ["jq"], ["quality"], ["cheap"]. *)
+
+val of_string : string -> t option
+
+val default : t
+(** [Info_gain]. *)
+
+val all : t list
+
+val score :
+  t ->
+  task:Engine.Task.t ->
+  pool:Engine.Pool.t ->
+  posterior:float array ->
+  asked:bool array ->
+  ?inc:Jq.Incremental.t ->
+  ?workspace:Jq.Workspace.t ->
+  int ->
+  float
+(** The policy's score for one candidate (positional index).  Units depend
+    on the policy: nats/cost for [Info_gain], ΔJQ/cost (floored at 0) for
+    [Marginal_jq], a quality for [Quality_greedy], negated cost for
+    [Cheapest_first].  [inc], when given, must hold exactly the asked
+    workers (binary pools); [workspace] pins kernel scratch for matrix
+    marginal-JQ probes. *)
+
+val pick :
+  t ->
+  task:Engine.Task.t ->
+  pool:Engine.Pool.t ->
+  posterior:float array ->
+  asked:bool array ->
+  remaining:float ->
+  ?inc:Jq.Incremental.t ->
+  ?workspace:Jq.Workspace.t ->
+  unit ->
+  (int * float) option
+(** Best unasked candidate whose cost fits in [remaining] (±1e-9), with its
+    score, or [None] when no affordable candidate is left. *)

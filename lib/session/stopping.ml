@@ -1,0 +1,79 @@
+type reason =
+  | Confident
+  | Certified
+  | Gain_floor
+  | Budget_exhausted
+  | Pool_exhausted
+  | Forced
+
+let reason_to_string = function
+  | Confident -> "confident"
+  | Certified -> "certified"
+  | Gain_floor -> "gain-floor"
+  | Budget_exhausted -> "budget"
+  | Pool_exhausted -> "exhausted"
+  | Forced -> "forced"
+
+let reason_of_string = function
+  | "confident" -> Some Confident
+  | "certified" -> Some Certified
+  | "gain-floor" -> Some Gain_floor
+  | "budget" -> Some Budget_exhausted
+  | "exhausted" -> Some Pool_exhausted
+  | "forced" -> Some Forced
+  | _ -> None
+
+let all_reasons =
+  [ Confident; Certified; Gain_floor; Budget_exhausted; Pool_exhausted; Forced ]
+
+(* One vote from worker [i] shifts the log-posterior gap between any two
+   labels j, k by ln C(j,v) − ln C(k,v); the worker's influence is the
+   supremum of |that| over votes and label pairs.  For a scalar-quality
+   worker this is |logit q| — the same per-worker logit the §4.4 bucket
+   bound discretizes. *)
+let max_log_ratio pool i =
+  match Engine.Pool.repr pool with
+  | Engine.Pool.Binary p ->
+      let q = Workers.Worker.quality (Workers.Pool.get p i) in
+      if q <= 0. || q >= 1. then infinity else Float.abs (log (q /. (1. -. q)))
+  | Engine.Pool.Matrix arr ->
+      let c = arr.(i) in
+      let l = Workers.Confusion.labels c in
+      let worst = ref 0. in
+      for v = 0 to l - 1 do
+        let hi = ref neg_infinity and lo = ref infinity in
+        for j = 0 to l - 1 do
+          let p = Workers.Confusion.prob c ~truth:j ~vote:v in
+          if p > !hi then hi := p;
+          if p < !lo then lo := p
+        done;
+        (* A vote no truth can emit shifts nothing; a vote some truths
+           cannot emit at all is infinitely informative. *)
+        if !hi > 0. then
+          if !lo <= 0. then worst := infinity
+          else worst := Float.max !worst (log (!hi /. !lo))
+      done;
+      !worst
+
+let remaining_influence pool ~asked ~remaining =
+  let n = Engine.Pool.size pool in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if (not asked.(i)) && Engine.Pool.cost pool i <= remaining +. 1e-9 then
+      acc := !acc +. max_log_ratio pool i
+  done;
+  !acc
+
+let no_flip pool ~log_post ~asked ~remaining =
+  let l = Array.length log_post in
+  let top = ref 0 in
+  for j = 1 to l - 1 do
+    if log_post.(j) > log_post.(!top) then top := j
+  done;
+  let margin = ref infinity in
+  for j = 0 to l - 1 do
+    if j <> !top then margin := Float.min !margin (log_post.(!top) -. log_post.(j))
+  done;
+  if Float.is_nan !margin then false
+  else if !margin = infinity then true
+  else !margin > remaining_influence pool ~asked ~remaining

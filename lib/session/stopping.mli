@@ -1,0 +1,49 @@
+(** Stopping rules for sequential sessions.
+
+    A session stops soliciting when the posterior's favourite label is
+    confident enough, when no affordable marginal action remains, when the
+    best action's marginal score falls under a floor — or, strongest of
+    all, when the decision provably cannot flip: the log-posterior margin
+    of the leading label over every rival exceeds the summed worst-case
+    log-likelihood-ratio influence of every still-affordable unasked
+    worker.  The last test is sound (never stops a flippable decision)
+    because each remaining vote can move any pairwise log-posterior gap by
+    at most that worker's {!max_log_ratio}, the per-worker logit magnitude
+    the §4.4 bound machinery discretizes. *)
+
+type reason =
+  | Confident         (** Max posterior reached the confidence threshold. *)
+  | Certified         (** The certified no-flip early stop fired. *)
+  | Gain_floor        (** Best marginal score fell below the floor. *)
+  | Budget_exhausted  (** Unasked workers remain but none is affordable. *)
+  | Pool_exhausted    (** Every worker has voted. *)
+  | Forced            (** The client demanded a decision ([decide]). *)
+
+val reason_to_string : reason -> string
+(** Wire tokens: [confident], [certified], [gain-floor], [budget],
+    [exhausted], [forced]. *)
+
+val reason_of_string : string -> reason option
+val all_reasons : reason list
+
+val max_log_ratio : Engine.Pool.t -> int -> float
+(** Worst-case |Δ log-posterior-ratio| a single vote from the given worker
+    (positional index) can inflict on any label pair: |logit q| for a
+    scalar worker, max over votes v of ln(max_j C(j,v) / min_j C(j,v)) for
+    a matrix worker; [infinity] for certain workers (q ∈ {0, 1} or a zero
+    matrix entry under a vote some truth can emit). *)
+
+val remaining_influence :
+  Engine.Pool.t -> asked:bool array -> remaining:float -> float
+(** Σ {!max_log_ratio} over unasked workers individually affordable within
+    the remaining budget — an upper bound on how far any continuation of
+    the session can move a pairwise log-posterior gap. *)
+
+val no_flip :
+  Engine.Pool.t ->
+  log_post:float array ->
+  asked:bool array ->
+  remaining:float ->
+  bool
+(** Whether the current argmax label is certified to survive every
+    possible continuation of the session. *)

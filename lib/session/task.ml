@@ -1,0 +1,224 @@
+type progress =
+  | Soliciting
+  | Decided of { label : int; certified : bool; reason : Stopping.reason }
+  | Exhausted of { label : int; reason : Stopping.reason }
+
+type t = {
+  pool : Engine.Pool.t;
+  version : int;
+  task : Engine.Task.t;
+  budget : float;
+  confidence : float;
+  gain_floor : float;
+  policy : Policy.t;
+  log_post : float array;
+  asked : bool array;
+  mutable votes : (int * int) list;
+  mutable n_votes : int;
+  mutable spent : float;
+  mutable progress : progress;
+  mutable next : int option;
+  inc : Jq.Incremental.t option;
+  mutable last_touch : float;
+}
+
+let pool t = t.pool
+let version t = t.version
+let task t = t.task
+let budget t = t.budget
+let spent t = t.spent
+let votes_seen t = t.n_votes
+let votes t = List.rev t.votes
+let progress t = t.progress
+let next t = t.next
+let last_touch t = t.last_touch
+let touch t ~now = t.last_touch <- now
+let remaining t = t.budget -. t.spent
+
+let posterior t =
+  let l = Array.length t.log_post in
+  let m = ref neg_infinity in
+  for j = 0 to l - 1 do
+    if t.log_post.(j) > !m then m := t.log_post.(j)
+  done;
+  if !m = neg_infinity then Array.make l (1. /. float_of_int l)
+  else begin
+    let p = Array.make l 0. in
+    let z = ref 0. in
+    for j = 0 to l - 1 do
+      p.(j) <- exp (t.log_post.(j) -. !m);
+      z := !z +. p.(j)
+    done;
+    for j = 0 to l - 1 do
+      p.(j) <- p.(j) /. !z
+    done;
+    p
+  end
+
+let decision_label t =
+  let best = ref 0 in
+  Array.iteri (fun j x -> if x > t.log_post.(!best) then best := j) t.log_post;
+  !best
+
+let certified_now t =
+  Stopping.no_flip t.pool ~log_post:t.log_post ~asked:t.asked
+    ~remaining:(remaining t)
+
+(* Run the stopping cascade and refresh the cached advice.  Called after
+   every state change so [next] is always consistent with the posterior. *)
+let check_stop ?workspace t =
+  match t.progress with
+  | Decided _ | Exhausted _ -> t.next <- None
+  | Soliciting ->
+      let p = posterior t in
+      let pmax = Array.fold_left Float.max neg_infinity p in
+      if pmax >= t.confidence then begin
+        t.progress <-
+          Decided
+            {
+              label = decision_label t;
+              certified = certified_now t;
+              reason = Stopping.Confident;
+            };
+        t.next <- None
+      end
+      else if certified_now t then begin
+        t.progress <-
+          Decided
+            { label = decision_label t; certified = true; reason = Stopping.Certified };
+        t.next <- None
+      end
+      else begin
+        let pick =
+          Policy.pick t.policy ~task:t.task ~pool:t.pool ~posterior:p
+            ~asked:t.asked ~remaining:(remaining t) ?inc:t.inc ?workspace ()
+        in
+        match pick with
+        | None ->
+            let any_unasked = Array.exists not t.asked in
+            let reason =
+              if any_unasked then Stopping.Budget_exhausted
+              else Stopping.Pool_exhausted
+            in
+            t.progress <- Exhausted { label = decision_label t; reason };
+            t.next <- None
+        | Some (i, score) ->
+            if t.gain_floor > 0. && score < t.gain_floor then begin
+              t.progress <-
+                Decided
+                  {
+                    label = decision_label t;
+                    certified = certified_now t;
+                    reason = Stopping.Gain_floor;
+                  };
+              t.next <- None
+            end
+            else t.next <- Some i
+      end
+
+let create ?workspace ~pool ~pool_version ~task ~budget ?(confidence = 0.95)
+    ?(gain_floor = 0.) ?(policy = Policy.default) ~now () =
+  let l = Engine.Task.labels task in
+  if (not (Engine.Pool.is_empty pool)) && Engine.Pool.labels pool <> l then
+    Error "prior label count does not match the pool's worker model"
+  else if Float.is_nan budget || budget < 0. then Error "budget must be >= 0"
+  else if
+    Float.is_nan confidence
+    || confidence <= 1. /. float_of_int l
+    || confidence > 1.
+  then Error "confidence must lie in (1/labels, 1]"
+  else if Float.is_nan gain_floor || gain_floor < 0. then
+    Error "gain floor must be >= 0"
+  else begin
+    let prior = Engine.Task.prior task in
+    let log_post =
+      Array.map (fun p -> if p > 0. then log p else neg_infinity) prior
+    in
+    let inc =
+      match Engine.Pool.repr pool with
+      | Engine.Pool.Binary _ ->
+          Some (Jq.Incremental.create ~alpha:(Engine.Task.alpha task) ())
+      | Engine.Pool.Matrix _ -> None
+    in
+    let t =
+      {
+        pool;
+        version = pool_version;
+        task;
+        budget;
+        confidence;
+        gain_floor;
+        policy;
+        log_post;
+        asked = Array.make (Engine.Pool.size pool) false;
+        votes = [];
+        n_votes = 0;
+        spent = 0.;
+        progress = Soliciting;
+        next = None;
+        inc;
+        last_touch = now;
+      }
+    in
+    check_stop ?workspace t;
+    Ok t
+  end
+
+let log_or_ninf x = if x > 0. then log x else neg_infinity
+
+let vote ?workspace t ~worker ~label ~now =
+  touch t ~now;
+  match t.progress with
+  | Decided _ -> Error "session already decided"
+  | Exhausted _ -> Error "session already exhausted"
+  | Soliciting ->
+      let n = Engine.Pool.size t.pool in
+      let l = Engine.Task.labels t.task in
+      if worker < 0 || worker >= n then Error "worker index out of range"
+      else if label < 0 || label >= l then Error "label out of range"
+      else if t.asked.(worker) then Error "worker already voted"
+      else begin
+        (match Engine.Pool.repr t.pool with
+        | Engine.Pool.Binary p ->
+            let q = Workers.Worker.quality (Workers.Pool.get p worker) in
+            (* Pr(vote = label | truth = j) for the scalar model. *)
+            t.log_post.(0) <-
+              t.log_post.(0)
+              +. (if label = 0 then log_or_ninf q else log_or_ninf (1. -. q));
+            t.log_post.(1) <-
+              t.log_post.(1)
+              +. (if label = 1 then log_or_ninf q else log_or_ninf (1. -. q));
+            Option.iter (fun inc -> Jq.Incremental.add_worker inc q) t.inc
+        | Engine.Pool.Matrix arr ->
+            let c = arr.(worker) in
+            for j = 0 to l - 1 do
+              t.log_post.(j) <-
+                t.log_post.(j)
+                +. log_or_ninf (Workers.Confusion.prob c ~truth:j ~vote:label)
+            done);
+        t.asked.(worker) <- true;
+        t.votes <- (worker, label) :: t.votes;
+        t.n_votes <- t.n_votes + 1;
+        t.spent <- t.spent +. Engine.Pool.cost t.pool worker;
+        check_stop ?workspace t;
+        Ok ()
+      end
+
+let advise ?workspace t ~now =
+  touch t ~now;
+  ignore workspace;
+  t.next
+
+let decide t ~now =
+  touch t ~now;
+  match t.progress with
+  | Decided _ | Exhausted _ -> ()
+  | Soliciting ->
+      t.progress <-
+        Decided
+          {
+            label = decision_label t;
+            certified = certified_now t;
+            reason = Stopping.Forced;
+          };
+      t.next <- None

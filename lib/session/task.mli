@@ -1,0 +1,93 @@
+(** The sequential-jury task state machine.
+
+    A session is one crowdsourcing task being answered adaptively: it holds
+    an ℓ-label posterior over the task's answer, the votes seen so far, the
+    spend, and the frontier of candidate workers not yet asked.  The client
+    loop is [open → (advise → vote)* → decided/exhausted], where every
+    [vote] folds one worker's answer into the posterior (scalar-quality
+    workers by the classic odds update, confusion-matrix workers row-wise,
+    both in log space) and then runs the stopping cascade:
+
+    + max posterior ≥ confidence threshold ([Confident]);
+    + certified no-flip early stop ([Certified], see {!Stopping.no_flip});
+    + no affordable candidate left ([Budget_exhausted] / [Pool_exhausted]);
+    + best candidate's marginal score under the floor ([Gain_floor]).
+
+    Everything is deterministic — policies break ties by position and no
+    clock or RNG feeds the state — so replies built from a session are
+    byte-identical however the underlying caches are warmed.  A session is
+    not thread-safe; callers (the serve data plane) serialize access. *)
+
+type progress =
+  | Soliciting  (** Open: accepting votes, advice available. *)
+  | Decided of { label : int; certified : bool; reason : Stopping.reason }
+      (** Terminal: a confident (or forced) answer.  [certified] means the
+          no-flip test holds — no continuation could change the label. *)
+  | Exhausted of { label : int; reason : Stopping.reason }
+      (** Terminal: ran out of budget or workers before confidence;
+          [label] is the posterior argmax at that point. *)
+
+type t
+
+val create :
+  ?workspace:Jq.Workspace.t ->
+  pool:Engine.Pool.t ->
+  pool_version:int ->
+  task:Engine.Task.t ->
+  budget:float ->
+  ?confidence:float ->
+  ?gain_floor:float ->
+  ?policy:Policy.t ->
+  now:float ->
+  unit ->
+  (t, string) result
+(** Open a session over a snapshot of [pool] (remembering [pool_version]
+    for invalidation).  [confidence] defaults to 0.95 and must lie in
+    (1/ℓ, 1]; [budget] ≥ 0; [gain_floor] ≥ 0 (0 disables the floor);
+    [policy] defaults to {!Policy.default}.  The stopping cascade runs
+    immediately — a sufficiently peaked prior decides with zero votes. *)
+
+val vote :
+  ?workspace:Jq.Workspace.t ->
+  t ->
+  worker:int ->
+  label:int ->
+  now:float ->
+  (unit, string) result
+(** Fold one vote (positional worker index, label in [0, ℓ)) into the
+    posterior, charge the worker's cost, and run the stopping cascade.
+    Errors (state untouched): terminal session, out-of-range worker or
+    label, duplicate vote. *)
+
+val advise : ?workspace:Jq.Workspace.t -> t -> now:float -> int option
+(** The cached policy advice: which worker to ask next, or [None] when the
+    session is terminal or nothing affordable remains. *)
+
+val decide : t -> now:float -> unit
+(** Force a terminal decision ([Forced]) on a soliciting session;
+    idempotent on terminal sessions. *)
+
+val progress : t -> progress
+val posterior : t -> float array
+(** Normalized posterior over the ℓ labels. *)
+
+val decision_label : t -> int
+(** Posterior argmax, ties toward the lowest label. *)
+
+val certified_now : t -> bool
+val next : t -> int option
+(** Same value {!advise} returns, without touching the idle clock. *)
+
+val pool : t -> Engine.Pool.t
+val version : t -> int
+val task : t -> Engine.Task.t
+val budget : t -> float
+val remaining : t -> float
+val spent : t -> float
+val votes_seen : t -> int
+val votes : t -> (int * int) list
+(** (worker, label) pairs in arrival order. *)
+
+val last_touch : t -> float
+val touch : t -> now:float -> unit
+(** Idle-expiry bookkeeping for {!Store}. *)

@@ -88,19 +88,19 @@ let random_ballot =
 
 let enumeration_cap = 1 lsl 22
 
-let enumeration_fits ~labels ~n =
-  if labels < 2 || n < 0 then invalid_arg "Multiclass.enumeration_fits";
+let enumeration_fits ?(cap = enumeration_cap) ~labels ~n () =
+  if labels < 2 || n < 0 || cap < 1 then invalid_arg "Multiclass.enumeration_fits";
   (* Early exit keeps the product from overflowing for large juries. *)
   let rec go acc i =
-    if acc > enumeration_cap then false
+    if acc > cap then false
     else if i = 0 then true
     else go (acc * labels) (i - 1)
   in
   go 1 n
 
-let enumerate_votings ~labels ~n =
+let enumerate_votings ?cap ~labels ~n () =
   if labels < 2 || n < 0 then invalid_arg "Multiclass.enumerate_votings";
-  if not (enumeration_fits ~labels ~n) then
+  if not (enumeration_fits ?cap ~labels ~n ()) then
     invalid_arg "Multiclass.enumerate_votings: space too large";
   let count =
     let rec pow acc i = if i = 0 then acc else pow (acc * labels) (i - 1) in

@@ -51,12 +51,15 @@ val posterior :
 (** Normalized posterior over labels (uniform if all mass vanished). *)
 
 val enumeration_cap : int
-(** Largest voting-space size {!enumerate_votings} will materialize (2^22). *)
+(** Default largest voting-space size {!enumerate_votings} will
+    materialize (2^22). *)
 
-val enumeration_fits : labels:int -> n:int -> bool
-(** Whether ℓ^n ≤ {!enumeration_cap}, computed without overflow — callers can
-    test this instead of catching the {!enumerate_votings} exception. *)
+val enumeration_fits : ?cap:int -> labels:int -> n:int -> unit -> bool
+(** Whether ℓ^n ≤ [cap] (default {!enumeration_cap}), computed without
+    overflow — callers can test this instead of catching the
+    {!enumerate_votings} exception.  @raise Invalid_argument for
+    [cap < 1]. *)
 
-val enumerate_votings : labels:int -> n:int -> int array Seq.t
+val enumerate_votings : ?cap:int -> labels:int -> n:int -> unit -> int array Seq.t
 (** All ℓ^n votings of [n] workers, lazily.  @raise Invalid_argument when
-    ℓ^n would exceed {!enumeration_cap}. *)
+    ℓ^n would exceed [cap] (default {!enumeration_cap}). *)

@@ -75,13 +75,37 @@ let request_gen =
         ( name_gen >>= fun name ->
           workers_gen >>= fun workers ->
           return (Wire.Pool_put { name; workers }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          prior_gen >>= fun prior ->
+          cost_gen >>= fun budget ->
+          float_range 0.6 1. >>= fun confidence ->
+          float_range 0. 1. >>= fun gain_floor ->
+          oneofl Session.Policy.all >>= fun policy ->
+          return
+            (Wire.Session_open
+               { pool; task; prior; budget; confidence; gain_floor; policy })
+        );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          int_range 0 100 >>= fun worker ->
+          int_range 0 3 >>= fun label ->
+          return (Wire.Session_vote { pool; task; worker; label }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          oneofl
+            [
+              Wire.Session_advise { pool; task };
+              Wire.Session_decide { pool; task };
+              Wire.Session_close { pool; task };
+            ] );
       ])
 
 let error_code_gen =
   QCheck2.Gen.oneofl
     [
-      Wire.Bad_request; Wire.Unknown_pool; Wire.Overload; Wire.Deadline;
-      Wire.Shutdown; Wire.Internal;
+      Wire.Bad_request; Wire.Unknown_pool; Wire.Unknown_session; Wire.Overload;
+      Wire.Deadline; Wire.Shutdown; Wire.Internal;
     ]
 
 let stats_gen =
@@ -123,6 +147,25 @@ let response_gen =
         ( list0 (triple name_gen (int_range 1 1000) (int_range 0 1000))
         >>= fun entries -> return (Wire.Pool_entries entries) );
         (stats_gen >>= fun stats -> return (Wire.Stats_result stats));
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          oneofl
+            [ Wire.Sess_open; Wire.Sess_decided; Wire.Sess_exhausted;
+              Wire.Sess_closed ]
+          >>= fun state ->
+          prior_gen >>= fun posterior ->
+          int_range 0 50 >>= fun votes ->
+          cost_gen >>= fun spent ->
+          option (int_range 0 100) >>= fun next ->
+          option (int_range 0 3) >>= fun decision ->
+          bool >>= fun certified ->
+          option (oneofl Session.Stopping.all_reasons) >>= fun reason ->
+          return
+            (Wire.Session_result
+               {
+                 pool; task; state; posterior; votes; spent; next; decision;
+                 certified; reason;
+               }) );
         ( error_code_gen >>= fun code ->
           string >>= fun message ->
           return (Wire.Error { code; message }) );
@@ -475,15 +518,32 @@ let metrics_event_gen =
         return `Steal;
         (float_range 100. 5e6 >>= fun ns -> return (`Jq_eval ns));
         (int_range 0 3 >>= fun count -> return (`Flat_fallback count));
+        (float_range 100. 5e6 >>= fun ns -> return (`Session_verb ns));
       ])
+
+(* Per-shard session-store counter snapshots, registered as pull sources:
+   the merged snapshot must report their componentwise sums. *)
+let session_stats_gen =
+  QCheck2.Gen.(
+    int_range 0 20 >>= fun open_now ->
+    int_range 0 20 >>= fun opened ->
+    int_range 0 20 >>= fun decided ->
+    int_range 0 20 >>= fun expired ->
+    int_range 0 20 >>= fun invalidated ->
+    int_range 0 20 >>= fun rejected ->
+    return
+      { Session.Store.open_now; opened; decided; expired; invalidated;
+        rejected })
 
 let metrics_merge_qcheck =
   let gen =
     QCheck2.Gen.(
-      pair (int_range 1 4) (list_size (int_range 0 200) metrics_event_gen))
+      triple (int_range 1 4)
+        (list_size (int_range 0 200) metrics_event_gen)
+        (list_size (int_range 0 3) session_stats_gen))
   in
   qtest ~count:60 "metrics: sharded snapshot equals single-lock oracle" gen
-    (fun (shards, events) ->
+    (fun (shards, events, session_sources) ->
       let m = Serve.Metrics.create ~shards () in
       let requests = ref 0 and ok = ref 0 and errors = ref 0 in
       let overloads = ref 0 and deadlines = ref 0 in
@@ -491,6 +551,7 @@ let metrics_merge_qcheck =
       let jq_memo_hits = ref 0 and steals = ref 0 in
       let jq_flat_fallbacks = ref 0 in
       let jq_ns = ref [] in
+      let session_ns = ref [] in
       let per_verb = Hashtbl.create 8 in
       (* Deterministic-but-spread shard choice for executor-side events. *)
       let shard_of i = i mod shards in
@@ -529,8 +590,18 @@ let metrics_merge_qcheck =
               (* count = 0 must be a no-op, matching the recorder's
                  contract for calls on the all-flat fast path. *)
               Serve.Metrics.jq_flat_fallback m ~shard:(shard_of i) ~count;
-              jq_flat_fallbacks := !jq_flat_fallbacks + max 0 count)
+              jq_flat_fallbacks := !jq_flat_fallbacks + max 0 count
+          | `Session_verb ns ->
+              Serve.Metrics.session_verb m ~shard:(shard_of i) ~ns;
+              session_ns := ns :: !session_ns)
         events;
+      List.iter
+        (fun stats -> Serve.Metrics.add_sessions m ~stats:(fun () -> stats))
+        session_sources;
+      let session_total =
+        List.fold_left Session.Store.add_stats Session.Store.zero_stats
+          session_sources
+      in
       let snap = Serve.Metrics.snapshot m in
       let get key = Option.value ~default:0. (List.assoc_opt key snap) in
       let eq key want = get key = float_of_int want in
@@ -543,6 +614,7 @@ let metrics_merge_qcheck =
       && eq "steals" !steals
       && eq "jq_evals" (List.length !jq_ns)
       && eq "jq_flat_fallbacks" !jq_flat_fallbacks
+      && eq "session_verbs" (List.length !session_ns)
       && (let samples = Array.of_list !jq_ns in
           if Array.length samples = 0 then
             List.assoc_opt "jq_eval_ns_p50" snap = None
@@ -554,6 +626,23 @@ let metrics_merge_qcheck =
                 ("jq_eval_ns_p95", 0.95);
                 ("jq_eval_ns_p99", 0.99);
               ])
+      && (let samples = Array.of_list !session_ns in
+          if Array.length samples = 0 then
+            List.assoc_opt "session_verb_ns_p50" snap = None
+          else
+            List.for_all
+              (fun (key, p) -> get key = Prob.Stats.quantile samples p)
+              [
+                ("session_verb_ns_p50", 0.5);
+                ("session_verb_ns_p95", 0.95);
+                ("session_verb_ns_p99", 0.99);
+              ])
+      && eq "sessions_open" session_total.Session.Store.open_now
+      && eq "sessions_opened" session_total.Session.Store.opened
+      && eq "sessions_decided" session_total.Session.Store.decided
+      && eq "sessions_expired" session_total.Session.Store.expired
+      && eq "sessions_invalidated" session_total.Session.Store.invalidated
+      && eq "sessions_rejected" session_total.Session.Store.rejected
       && Hashtbl.fold
            (fun verb n acc -> acc && eq ("req_" ^ verb) n)
            per_verb true)
@@ -922,6 +1011,252 @@ let shutdown_test () =
   | Wire.Pong -> ()
   | r -> Alcotest.failf "post-shutdown ping: %s" (Wire.encode_response r)
 
+(* ---- session verbs ---------------------------------------------------- *)
+
+let session_open_request ~pool ~task =
+  Wire.Session_open
+    {
+      pool;
+      task;
+      prior = Wire.default_prior;
+      budget = 100.;
+      confidence = 0.99;
+      gain_floor = 0.;
+      policy = Session.Policy.default;
+    }
+
+(* Drive one conversation — open, then (advise, vote label_of next)* until
+   the session leaves [Sess_open], then close — returning every encoded
+   reply line in order. *)
+let drive_session ic oc ~pool ~task ~label_of =
+  let transcript = ref [] in
+  let record reply =
+    transcript := Wire.encode_response reply :: !transcript;
+    reply
+  in
+  let reply = ref (record (roundtrip ic oc (session_open_request ~pool ~task))) in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < 64 do
+    incr steps;
+    match !reply with
+    | Wire.Session_result { state = Wire.Sess_open; next = Some _; _ } -> (
+        match record (roundtrip ic oc (Wire.Session_advise { pool; task })) with
+        | Wire.Session_result { state = Wire.Sess_open; next = Some i; _ } ->
+            reply :=
+              record
+                (roundtrip ic oc
+                   (Wire.Session_vote { pool; task; worker = i; label = label_of i }))
+        | r -> reply := r; continue := false)
+    | _ -> continue := false
+  done;
+  ignore (record (roundtrip ic oc (Wire.Session_close { pool; task })));
+  List.rev !transcript
+
+(* Replies are pure functions of (pool, vote history, request): re-running
+   the identical conversation — against now-warm executor caches and a
+   recycled store slot — must produce a byte-identical transcript. *)
+let session_determinism_test () =
+  let pool = test_pool 10 in
+  with_server ~domains:2 ~queue_capacity:64 (fun _service port ->
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put { name = "sdet"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      let label_of i = i mod 2 in
+      let cold = drive_session ic oc ~pool:"sdet" ~task:"t0" ~label_of in
+      let warm = drive_session ic oc ~pool:"sdet" ~task:"t0" ~label_of in
+      Alcotest.(check (list string)) "warm replay is byte-identical" cold warm;
+      Alcotest.(check bool) "conversation went somewhere" true
+        (List.length cold > 2);
+      (* A verb on the closed session is an unknown-session error. *)
+      (match roundtrip ic oc (Wire.Session_advise { pool = "sdet"; task = "t0" })
+       with
+      | Wire.Error { code = Wire.Unknown_session; _ } -> ()
+      | r -> Alcotest.failf "closed session: %s" (Wire.encode_response r));
+      Unix.close fd)
+
+(* Interleaved votes on two sessions must never cross-contaminate.  With a
+   uniform prior and scalar workers, feeding session A all-0 votes and
+   session B all-1 votes from the same workers makes the two posteriors
+   exact mirrors — any leakage between the stores breaks the symmetry. *)
+let session_isolation_test () =
+  let pool = test_pool 8 in
+  with_server ~domains:2 ~queue_capacity:64 (fun service port ->
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put { name = "iso"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      (* Deterministic interleave on one connection: strictly alternate
+         verbs between the two tasks. *)
+      let open_task task =
+        match roundtrip ic oc (session_open_request ~pool:"iso" ~task) with
+        | Wire.Session_result r -> Wire.Session_result r
+        | r -> Alcotest.failf "open %s: %s" task (Wire.encode_response r)
+      in
+      let a = ref (open_task "a") and b = ref (open_task "b") in
+      let vote task label reply =
+        match reply with
+        | Wire.Session_result { state = Wire.Sess_open; next = Some i; _ } ->
+            roundtrip ic oc
+              (Wire.Session_vote { pool = "iso"; task; worker = i; label })
+        | r -> r
+      in
+      let still_open = function
+        | Wire.Session_result { state = Wire.Sess_open; next = Some _; _ } ->
+            true
+        | _ -> false
+      in
+      let rounds = ref 0 in
+      while (still_open !a || still_open !b) && !rounds < 32 do
+        incr rounds;
+        a := vote "a" 0 !a;
+        b := vote "b" 1 !b
+      done;
+      (match (!a, !b) with
+      | ( Wire.Session_result
+            { task = "a"; posterior = pa; votes = va; decision = Some 0; _ },
+          Wire.Session_result
+            { task = "b"; posterior = pb; votes = vb; decision = Some 1; _ } )
+        ->
+          Alcotest.(check int) "same vote count" va vb;
+          Alcotest.(check (list (float 1e-9)))
+            "mirror posteriors" pa (List.rev pb)
+      | ra, rb ->
+          Alcotest.failf "unexpected finals: %s / %s"
+            (Wire.encode_response ra) (Wire.encode_response rb));
+      ignore (roundtrip ic oc (Wire.Session_close { pool = "iso"; task = "a" }));
+      ignore (roundtrip ic oc (Wire.Session_close { pool = "iso"; task = "b" }));
+      Unix.close fd;
+      (* Concurrent connections: each thread drives its own session; every
+         final snapshot must reflect only its own unanimous votes. *)
+      let failures = Array.make 4 None in
+      let client i =
+        try
+          let fd, ic, oc = connect port in
+          let task = Printf.sprintf "c%d" i in
+          let label = i mod 2 in
+          let transcript =
+            drive_session ic oc ~pool:"iso" ~task ~label_of:(fun _ -> label)
+          in
+          (* The last reply before the close echo is the final snapshot. *)
+          (match
+             Wire.decode_response (List.nth transcript (List.length transcript - 2))
+           with
+          | Ok (Wire.Session_result { task = t; decision = Some d; _ }) ->
+              if t <> task then failwith ("snapshot for wrong task " ^ t);
+              if d <> label then
+                failwith (Printf.sprintf "decision %d under unanimous %d" d label)
+          | Ok r -> failwith ("unexpected final " ^ Wire.encode_response r)
+          | Error e -> failwith e);
+          Unix.close fd
+        with exn -> failures.(i) <- Some (Printexc.to_string exn)
+      in
+      let threads = List.init 4 (fun i -> Thread.create client i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i failure ->
+          match failure with
+          | Some msg -> Alcotest.failf "client %d: %s" i msg
+          | None -> ())
+        failures;
+      let stats = Serve.Service.stats service in
+      Alcotest.(check bool) "session verbs counted" true
+        (List.assoc "session_verbs" stats > 0.);
+      Alcotest.(check bool) "verb latency quantiles present" true
+        (List.mem_assoc "session_verb_ns_p95" stats))
+
+(* A pool-put bumps the registry version; every live session on that pool
+   must answer [err unknown-session] from then on. *)
+let session_invalidation_test () =
+  let pool = test_pool 6 in
+  with_server ~domains:1 ~queue_capacity:16 (fun service port ->
+      let fd, ic, oc = connect port in
+      let put () =
+        match
+          roundtrip ic oc
+            (Wire.Pool_put { name = "inv"; workers = wire_workers pool })
+        with
+        | Wire.Pool_info _ -> ()
+        | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r)
+      in
+      put ();
+      (match roundtrip ic oc (session_open_request ~pool:"inv" ~task:"t") with
+      | Wire.Session_result { state = Wire.Sess_open; _ } -> ()
+      | r -> Alcotest.failf "open: %s" (Wire.encode_response r));
+      (* A vote on a task that was never opened is unknown, not a crash. *)
+      (match
+         roundtrip ic oc
+           (Wire.Session_vote { pool = "inv"; task = "ghost"; worker = 0; label = 0 })
+       with
+      | Wire.Error { code = Wire.Unknown_session; _ } -> ()
+      | r -> Alcotest.failf "ghost vote: %s" (Wire.encode_response r));
+      put ();
+      (match roundtrip ic oc (Wire.Session_advise { pool = "inv"; task = "t" })
+       with
+      | Wire.Error { code = Wire.Unknown_session; _ } -> ()
+      | r -> Alcotest.failf "post-put advise: %s" (Wire.encode_response r));
+      Unix.close fd;
+      let stats = Serve.Service.stats service in
+      Alcotest.(check bool) "invalidation counted" true
+        (List.assoc "sessions_invalidated" stats > 0.))
+
+(* Admission control: a 1-slot store refuses the second open with
+   [err overload] and admits it again once the first session closes. *)
+let session_cap_test () =
+  let service =
+    Serve.Service.create ~domains:1 ~queue_capacity:16 ~session_cap:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Service.shutdown service)
+    (fun () ->
+      let submit r = Serve.Service.submit service r in
+      (match
+         submit
+           (Wire.Pool_put { name = "cap"; workers = wire_workers (test_pool 5) })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      (match submit (session_open_request ~pool:"cap" ~task:"a") with
+      | Wire.Session_result _ -> ()
+      | r -> Alcotest.failf "open a: %s" (Wire.encode_response r));
+      (match submit (session_open_request ~pool:"cap" ~task:"b") with
+      | Wire.Error { code = Wire.Overload; _ } -> ()
+      | r -> Alcotest.failf "open b at cap: %s" (Wire.encode_response r));
+      (* Re-opening a live key is a bad request, not an overload. *)
+      (match submit (session_open_request ~pool:"cap" ~task:"a") with
+      | Wire.Error { code = Wire.Bad_request; _ } -> ()
+      | r -> Alcotest.failf "reopen a: %s" (Wire.encode_response r));
+      (match submit (Wire.Session_close { pool = "cap"; task = "a" }) with
+      | Wire.Session_result { state = Wire.Sess_closed; _ } -> ()
+      | r -> Alcotest.failf "close a: %s" (Wire.encode_response r));
+      (match submit (session_open_request ~pool:"cap" ~task:"b") with
+      | Wire.Session_result _ -> ()
+      | r -> Alcotest.failf "open b after close: %s" (Wire.encode_response r));
+      let stats = Serve.Service.stats service in
+      Alcotest.(check (float 0.)) "one rejection" 1.
+        (List.assoc "sessions_rejected" stats);
+      Alcotest.(check (float 0.)) "two admissions" 2.
+        (List.assoc "sessions_opened" stats))
+
+let session_service_tests =
+  [
+    Alcotest.test_case "session replies are byte-deterministic" `Quick
+      session_determinism_test;
+    Alcotest.test_case "interleaved sessions stay isolated" `Quick
+      session_isolation_test;
+    Alcotest.test_case "pool-put invalidates live sessions" `Quick
+      session_invalidation_test;
+    Alcotest.test_case "session store cap refuses then readmits" `Quick
+      session_cap_test;
+  ]
+
 let service_tests =
   [
     Alcotest.test_case "tcp mixed queries match direct calls" `Quick
@@ -1030,5 +1365,6 @@ let () =
       ("dispatch", dispatch_tests);
       ("metrics", metrics_tests);
       ("service", service_tests);
+      ("sessions", session_service_tests);
       ("pool_io", pool_io_tests);
     ]

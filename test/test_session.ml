@@ -1,0 +1,415 @@
+(* Tests for lib/session: the sequential posterior against the batch
+   aggregators, policy determinism, the stopping cascade, and the store's
+   three eviction mechanisms. *)
+
+let qtest ?(count = 200) ?print name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ?print ~name gen prop)
+
+let check_float = Alcotest.(check (float 1e-9))
+let alpha = 0.5
+
+(* ---- generators ----------------------------------------------------- *)
+
+let quality_gen = QCheck2.Gen.float_range 0.2 0.95
+
+let binary_case_gen =
+  QCheck2.Gen.(
+    int_range 1 7 >>= fun n ->
+    list_size (return n) quality_gen >>= fun qs ->
+    list_size (return n) (float_range 0.5 3.) >>= fun costs ->
+    list_size (return n) (int_range 0 1) >>= fun labels ->
+    (* A permutation of the worker indices: the solicitation order. *)
+    list_size (return n) (float_range 0. 1.) >>= fun keys ->
+    let order =
+      List.map fst
+        (List.sort
+           (fun (_, a) (_, b) -> compare a b)
+           (List.mapi (fun i k -> (i, k)) keys))
+    in
+    return (qs, costs, labels, order))
+
+let matrix_of ~labels d =
+  let off = (1. -. d) /. float_of_int (labels - 1) in
+  Array.init labels (fun j ->
+      Array.init labels (fun v -> if j = v then d else off))
+
+let matrix_case_gen =
+  QCheck2.Gen.(
+    int_range 3 4 >>= fun l ->
+    int_range 1 5 >>= fun n ->
+    list_size (return n) (float_range 0.4 0.95) >>= fun diags ->
+    list_size (return n) (int_range 0 (l - 1)) >>= fun labels ->
+    list_size (return n) (float_range 0. 1.) >>= fun keys ->
+    let order =
+      List.map fst
+        (List.sort
+           (fun (_, a) (_, b) -> compare a b)
+           (List.mapi (fun i k -> (i, k)) keys))
+    in
+    return (l, diags, labels, order))
+
+let binary_pool qs costs =
+  Engine.Pool.of_workers
+    (Workers.Pool.of_list
+       (List.mapi
+          (fun id (q, c) -> Workers.Worker.make ~id ~quality:q ~cost:c ())
+          (List.combine qs costs)))
+
+let matrix_pool ~labels diags =
+  Engine.Pool.of_confusions
+    (Array.of_list
+       (List.mapi
+          (fun id d ->
+            Workers.Confusion.make ~id ~matrix:(matrix_of ~labels d) ~cost:1. ())
+          diags))
+
+(* Feed votes in [order] while the session keeps soliciting; the accepted
+   prefix is what the batch aggregators must agree with. *)
+let feed session ~order ~labels_of =
+  List.iter
+    (fun i ->
+      match Session.Task.progress session with
+      | Session.Task.Soliciting ->
+          (match
+             Session.Task.vote session ~worker:i ~label:(labels_of i) ~now:0.
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "vote on soliciting session: %s" e)
+      | _ -> ())
+    order
+
+let create_exn ?policy ?confidence ~pool ~task ~budget () =
+  match
+    Session.Task.create ?policy ?confidence ~pool ~pool_version:0 ~task ~budget
+      ~now:0. ()
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "create: %s" e
+
+(* ---- sequential posterior vs batch aggregation ---------------------- *)
+
+let seq_vs_batch_binary =
+  qtest ~count:300 "binary sequential posterior = Optjs.posterior_no"
+    binary_case_gen (fun (qs, costs, labels, order) ->
+      let pool = binary_pool qs costs in
+      let task = Engine.Task.binary ~alpha in
+      let session =
+        create_exn ~pool ~task ~budget:1e9 ~confidence:1. ()
+      in
+      let qarr = Array.of_list qs and larr = Array.of_list labels in
+      feed session ~order ~labels_of:(fun i -> larr.(i));
+      let accepted = Session.Task.votes session in
+      let batch_qs =
+        Array.of_list (List.map (fun (w, _) -> qarr.(w)) accepted)
+      in
+      let voting =
+        Array.of_list
+          (List.map (fun (_, l) -> Voting.Vote.of_int l) accepted)
+      in
+      let want = Optjs.posterior_no ~alpha ~qualities:batch_qs voting in
+      Float.abs ((Session.Task.posterior session).(0) -. want) <= 1e-9)
+
+let seq_vs_batch_matrix =
+  qtest ~count:300 "matrix sequential posterior = Multiclass.posterior"
+    matrix_case_gen (fun (l, diags, labels, order) ->
+      let pool = matrix_pool ~labels:l diags in
+      let task =
+        Engine.Task.make ~prior:(Array.make l (1. /. float_of_int l))
+      in
+      let session =
+        create_exn ~pool ~task ~budget:1e9 ~confidence:1. ()
+      in
+      let darr = Array.of_list diags and larr = Array.of_list labels in
+      feed session ~order ~labels_of:(fun i -> larr.(i));
+      let accepted = Session.Task.votes session in
+      let jury =
+        Array.of_list
+          (List.map
+             (fun (w, _) ->
+               Workers.Confusion.make ~id:w ~matrix:(matrix_of ~labels:l darr.(w))
+                 ~cost:1. ())
+             accepted)
+      in
+      let voting = Array.of_list (List.map snd accepted) in
+      let want =
+        Voting.Multiclass.posterior
+          ~prior:(Engine.Task.prior task)
+          ~jury voting
+      in
+      let got = Session.Task.posterior session in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) got want)
+
+(* Two solicitation orders that both accept every vote end at the same
+   posterior — the sequential update commutes like the batch product. *)
+let order_invariance =
+  qtest ~count:300 "vote order does not change the posterior"
+    QCheck2.Gen.(pair binary_case_gen (list_size (return 7) (float_range 0. 1.)))
+    (fun ((qs, costs, labels, order), keys2) ->
+      let n = List.length qs in
+      let order2 =
+        List.map fst
+          (List.sort
+             (fun (_, a) (_, b) -> compare a b)
+             (List.mapi (fun i k -> (i, k)) (List.filteri (fun i _ -> i < n) keys2)))
+      in
+      let larr = Array.of_list labels in
+      let run order =
+        let session =
+          create_exn
+            ~pool:(binary_pool qs costs)
+            ~task:(Engine.Task.binary ~alpha) ~budget:1e9 ~confidence:1. ()
+        in
+        feed session ~order ~labels_of:(fun i -> larr.(i));
+        (Session.Task.votes_seen session, (Session.Task.posterior session).(0))
+      in
+      let n1, p1 = run order and n2, p2 = run order2 in
+      (* Early certification may truncate one order and not the other;
+         the invariance claim is about complete replays. *)
+      n1 < n || n2 < n || Float.abs (p1 -. p2) <= 1e-9)
+
+(* ---- task state machine --------------------------------------------- *)
+
+let task_tests =
+  let pool () = binary_pool [ 0.9; 0.8; 0.7 ] [ 1.; 1.; 1. ] in
+  let task = Engine.Task.binary ~alpha in
+  [
+    Alcotest.test_case "create validates inputs" `Quick (fun () ->
+        let bad f = match f with Ok _ -> Alcotest.fail "expected Error" | Error _ -> () in
+        bad
+          (Session.Task.create ~pool:(pool ()) ~pool_version:0 ~task
+             ~budget:(-1.) ~now:0. ());
+        bad
+          (Session.Task.create ~pool:(pool ()) ~pool_version:0 ~task ~budget:5.
+             ~confidence:0.4 ~now:0. ());
+        bad
+          (Session.Task.create ~pool:(pool ()) ~pool_version:0 ~task ~budget:5.
+             ~gain_floor:(-0.1) ~now:0. ());
+        bad
+          (Session.Task.create ~pool:(pool ())
+             ~pool_version:0
+             ~task:(Engine.Task.make ~prior:[| 0.4; 0.3; 0.3 |])
+             ~budget:5. ~now:0. ()));
+    Alcotest.test_case "votes charge budget and refuse duplicates" `Quick
+      (fun () ->
+        let s = create_exn ~pool:(pool ()) ~task ~budget:10. ~confidence:1. () in
+        (match Session.Task.vote s ~worker:0 ~label:0 ~now:0. with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        check_float "spent" 1. (Session.Task.spent s);
+        (match Session.Task.vote s ~worker:0 ~label:1 ~now:0. with
+        | Ok () -> Alcotest.fail "duplicate vote accepted"
+        | Error _ -> ());
+        (match Session.Task.vote s ~worker:9 ~label:0 ~now:0. with
+        | Ok () -> Alcotest.fail "out-of-range worker accepted"
+        | Error _ -> ());
+        (match Session.Task.vote s ~worker:1 ~label:2 ~now:0. with
+        | Ok () -> Alcotest.fail "out-of-range label accepted"
+        | Error _ -> ()));
+    Alcotest.test_case "confidence stop reports Confident" `Quick (fun () ->
+        let s =
+          create_exn ~pool:(pool ()) ~task ~budget:10. ~confidence:0.85 ()
+        in
+        (match Session.Task.vote s ~worker:0 ~label:0 ~now:0. with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        match Session.Task.progress s with
+        | Session.Task.Decided { label = 0; reason = Session.Stopping.Confident; _ }
+          ->
+            ()
+        | _ -> Alcotest.fail "expected a confident 0 decision");
+    Alcotest.test_case "exhausting the pool certifies the decision" `Quick
+      (fun () ->
+        let s = create_exn ~pool:(pool ()) ~task ~budget:10. ~confidence:1. () in
+        (* Unanimous evidence; the no-flip certificate fires at or before
+           pool exhaustion, so only feed while still soliciting. *)
+        List.iter
+          (fun w ->
+            match Session.Task.progress s with
+            | Session.Task.Soliciting -> (
+                match Session.Task.vote s ~worker:w ~label:0 ~now:0. with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e)
+            | _ -> ())
+          [ 0; 1; 2 ];
+        match Session.Task.progress s with
+        | Session.Task.Decided { label = 0; certified = true; _ } -> ()
+        | _ ->
+            Alcotest.fail
+              "a unanimously-voted session must be certified decided");
+    Alcotest.test_case "budget exhaustion reports the argmax" `Quick (fun () ->
+        let s = create_exn ~pool:(pool ()) ~task ~budget:1. ~confidence:1. () in
+        (match Session.Task.advise s ~now:0. with
+        | Some _ -> ()
+        | None -> Alcotest.fail "advice expected with budget for one vote");
+        (match Session.Task.vote s ~worker:1 ~label:1 ~now:0. with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        match Session.Task.progress s with
+        | Session.Task.Decided { label = 1; _ } | Session.Task.Exhausted { label = 1; _ }
+          ->
+            ()
+        | _ -> Alcotest.fail "expected terminal argmax 1");
+    Alcotest.test_case "decide forces and is idempotent" `Quick (fun () ->
+        let s = create_exn ~pool:(pool ()) ~task ~budget:10. ~confidence:1. () in
+        Session.Task.decide s ~now:0.;
+        (match Session.Task.progress s with
+        | Session.Task.Decided { reason = Session.Stopping.Forced; _ } -> ()
+        | _ -> Alcotest.fail "expected a forced decision");
+        Session.Task.decide s ~now:0.;
+        match Session.Task.progress s with
+        | Session.Task.Decided { reason = Session.Stopping.Forced; _ } -> ()
+        | _ -> Alcotest.fail "decide must be idempotent");
+  ]
+
+(* ---- policies -------------------------------------------------------- *)
+
+let policy_tests =
+  let pool = binary_pool [ 0.6; 0.9; 0.9 ] [ 1.; 2.; 2. ] in
+  let task = Engine.Task.binary ~alpha in
+  let posterior = [| 0.5; 0.5 |] in
+  let asked = [| false; false; false |] in
+  let pick ?(remaining = 100.) policy =
+    Session.Policy.pick policy ~task ~pool ~posterior ~asked ~remaining ()
+  in
+  [
+    Alcotest.test_case "cheapest-first picks the lowest cost" `Quick (fun () ->
+        match pick Session.Policy.Cheapest_first with
+        | Some (0, _) -> ()
+        | _ -> Alcotest.fail "expected worker 0");
+    Alcotest.test_case "quality-greedy ties break to the lowest index" `Quick
+      (fun () ->
+        match pick Session.Policy.Quality_greedy with
+        | Some (1, _) -> ()
+        | _ -> Alcotest.fail "expected worker 1");
+    Alcotest.test_case "affordability filters candidates" `Quick (fun () ->
+        match pick ~remaining:1.5 Session.Policy.Quality_greedy with
+        | Some (0, _) -> ()
+        | _ -> Alcotest.fail "only worker 0 is affordable");
+    Alcotest.test_case "no affordable candidate yields None" `Quick (fun () ->
+        match pick ~remaining:0.5 Session.Policy.Info_gain with
+        | None -> ()
+        | Some _ -> Alcotest.fail "nothing is affordable");
+    Alcotest.test_case "all policies advise deterministically" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            Alcotest.(check bool)
+              (Session.Policy.to_string p) true
+              (pick p = pick p))
+          Session.Policy.all);
+    Alcotest.test_case "policy tokens round-trip" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            match Session.Policy.of_string (Session.Policy.to_string p) with
+            | Some q ->
+                Alcotest.(check bool) (Session.Policy.to_string p) true (p = q)
+            | None -> Alcotest.fail "token did not parse")
+          Session.Policy.all);
+  ]
+
+(* ---- store ----------------------------------------------------------- *)
+
+let store_tests =
+  let fresh_session () =
+    create_exn
+      ~pool:(binary_pool [ 0.8 ] [ 1. ])
+      ~task:(Engine.Task.binary ~alpha) ~budget:5. ~confidence:1. ()
+  in
+  [
+    Alcotest.test_case "ttl expiry evicts and counts" `Quick (fun () ->
+        let store = Session.Store.create ~ttl:100. () in
+        (match
+           Session.Store.open_session store ~pool:"p" ~task:"t"
+             ~session:(fresh_session ()) ~now:0.
+         with
+        | `Ok -> ()
+        | _ -> Alcotest.fail "open refused");
+        (match Session.Store.find store ~pool:"p" ~task:"t" ~now:5. ~version:0 with
+        | `Found _ -> ()
+        | _ -> Alcotest.fail "live session not found");
+        (* A recent sweep keeps the amortized scan quiet, so the lookup at
+           101 exercises the lazy per-entry expiry path. *)
+        Session.Store.sweep store ~now:90.;
+        (match
+           Session.Store.find store ~pool:"p" ~task:"t" ~now:101. ~version:0
+         with
+        | `Expired -> ()
+        | _ -> Alcotest.fail "expected idle expiry");
+        (match
+           Session.Store.find store ~pool:"p" ~task:"t" ~now:101. ~version:0
+         with
+        | `Missing -> ()
+        | _ -> Alcotest.fail "expired session must be evicted");
+        let s = Session.Store.stats store in
+        Alcotest.(check int) "expired" 1 s.Session.Store.expired;
+        Alcotest.(check int) "open_now" 0 s.Session.Store.open_now);
+    Alcotest.test_case "version bump invalidates" `Quick (fun () ->
+        let store = Session.Store.create () in
+        ignore
+          (Session.Store.open_session store ~pool:"p" ~task:"t"
+             ~session:(fresh_session ()) ~now:0.);
+        (match Session.Store.find store ~pool:"p" ~task:"t" ~now:1. ~version:1 with
+        | `Invalidated -> ()
+        | _ -> Alcotest.fail "expected invalidation on version mismatch");
+        (match Session.Store.find store ~pool:"p" ~task:"t" ~now:1. ~version:1 with
+        | `Missing -> ()
+        | _ -> Alcotest.fail "invalidated session must be evicted");
+        Alcotest.(check int) "invalidated" 1
+          (Session.Store.stats store).Session.Store.invalidated);
+    Alcotest.test_case "cap refuses then admits after close" `Quick (fun () ->
+        let store = Session.Store.create ~cap:2 () in
+        let open_t t =
+          Session.Store.open_session store ~pool:"p" ~task:t
+            ~session:(fresh_session ()) ~now:0.
+        in
+        (match (open_t "a", open_t "b") with
+        | `Ok, `Ok -> ()
+        | _ -> Alcotest.fail "first two opens must succeed");
+        (match open_t "c" with
+        | `Full -> ()
+        | _ -> Alcotest.fail "expected Full at cap");
+        (match open_t "a" with
+        | `Exists -> ()
+        | _ -> Alcotest.fail "expected Exists for a live key");
+        ignore (Session.Store.remove store ~pool:"p" ~task:"a");
+        (match open_t "c" with
+        | `Ok -> ()
+        | _ -> Alcotest.fail "slot freed by close must admit");
+        let s = Session.Store.stats store in
+        Alcotest.(check int) "rejected" 1 s.Session.Store.rejected;
+        Alcotest.(check int) "opened" 3 s.Session.Store.opened);
+    Alcotest.test_case "cap reclaims expired sessions first" `Quick (fun () ->
+        let store = Session.Store.create ~cap:1 ~ttl:10. () in
+        ignore
+          (Session.Store.open_session store ~pool:"p" ~task:"old"
+             ~session:(fresh_session ()) ~now:0.);
+        match
+          Session.Store.open_session store ~pool:"p" ~task:"new"
+            ~session:(fresh_session ()) ~now:20.
+        with
+        | `Ok ->
+            Alcotest.(check int) "expired" 1
+              (Session.Store.stats store).Session.Store.expired
+        | _ -> Alcotest.fail "expected reclamation of the expired slot");
+    Alcotest.test_case "stats add is componentwise" `Quick (fun () ->
+        let a =
+          {
+            Session.Store.open_now = 1; opened = 2; decided = 3; expired = 4;
+            invalidated = 5; rejected = 6;
+          }
+        in
+        let s = Session.Store.add_stats a Session.Store.zero_stats in
+        Alcotest.(check bool) "identity" true (s = a);
+        let d = Session.Store.add_stats a a in
+        Alcotest.(check int) "opened doubled" 4 d.Session.Store.opened;
+        Alcotest.(check int) "decided doubled" 6 d.Session.Store.decided;
+        Alcotest.(check int) "rejected doubled" 12 d.Session.Store.rejected);
+  ]
+
+let () =
+  Alcotest.run "session"
+    [
+      ("posterior", [ seq_vs_batch_binary; seq_vs_batch_matrix; order_invariance ]);
+      ("task", task_tests);
+      ("policy", policy_tests);
+      ("store", store_tests);
+    ]

@@ -388,7 +388,7 @@ let test_multiclass_validation () =
            [| 0 |]))
 
 let test_multiclass_enumerate () =
-  let all = List.of_seq (Multiclass.enumerate_votings ~labels:3 ~n:3) in
+  let all = List.of_seq (Multiclass.enumerate_votings ~labels:3 ~n:3 ()) in
   check_int "3^3" 27 (List.length all);
   check_int "distinct" 27 (List.length (List.sort_uniq compare all))
 
