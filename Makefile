@@ -1,5 +1,5 @@
 .PHONY: all build test test-slow bench bench-smoke bench-jq \
-  bench-multiclass bench-serve bench-session serve-smoke clean
+  bench-multiclass bench-serve bench-session bench-quality serve-smoke clean
 
 all: build
 
@@ -31,13 +31,19 @@ bench:
 # >= 1.5x at l = 3 (multiclass); finally the gated session replay
 # (BENCH_session.json), which fails unless adaptive sessions cost at
 # most 0.8x the fixed jury with accuracy within 0.5 points and vote-verb
-# p95 stays under its latency bound.
+# p95 stays under its latency bound; last the gated quality-plane run
+# (BENCH_quality.json), which fails unless the streaming calibrator's
+# full-replay EM matches the offline Dawid-Skene fit within 1e-6, a
+# mid-stream spammer is flagged within one drift window of votes with
+# the standing jury re-selected past the stale one, and report-verb
+# ingest p95 stays under its bound.
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 	dune exec bench/main.exe -- --multiclass
 	dune exec bench/serve_bench.exe -- --fast --gate
 	dune exec bench/jq_bench.exe -- --fast --gate
 	dune exec bench/session_bench.exe -- --fast --gate
+	dune exec bench/quality_bench.exe -- --fast --gate
 
 # Flat dense-array kernel vs hashtable baseline over the full binary
 # n x num_buckets grid and l = 2, 3, 5 multiclass rows, written to
@@ -65,6 +71,14 @@ bench-serve: build
 bench-session: build
 	dune exec bench/session_bench.exe -- --gate
 
+# Streaming calibration vs the static registration: AMT replay matching
+# the offline Dawid-Skene fit, spammer-onset flagging latency, live
+# re-selection accuracy against the stale standing jury, and report-verb
+# ingest latency, written to BENCH_quality.json.  --gate as in
+# bench-smoke.
+bench-quality: build
+	dune exec bench/quality_bench.exe -- --gate
+
 # End-to-end daemon smoke: boot `optjs_cli serve`, run the closed-loop
 # load generator against it — once with the default scalar pool, once
 # with a 3-label confusion-matrix pool, once with a session-heavy mix —
@@ -88,4 +102,4 @@ serve-smoke: build
 clean:
 	dune clean
 	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json \
-	  BENCH_jq.json BENCH_session.json
+	  BENCH_jq.json BENCH_session.json BENCH_quality.json

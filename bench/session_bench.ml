@@ -206,15 +206,26 @@ let serve_sessions ~sessions =
     let steps = ref 0 in
     while still_open !reply && !steps <= Workers.Pool.size pool do
       incr steps;
-      match timed (Wire.Session_advise { pool = "bench"; task = task_id }) with
-      | Wire.Session_result { state = Wire.Sess_open; next = Some i; _ } ->
-          let q = Workers.Worker.quality (Workers.Pool.get pool i) in
-          let label =
-            if Prob.Rng.float rng 1. < q then truth else 1 - truth
-          in
-          reply :=
-            timed
-              (Wire.Session_vote { pool = "bench"; task = task_id; worker = i; label })
+      (* Batch solicitation: one advise answers the next three workers to
+         ask, so the drive loop spends one round trip per three votes. *)
+      match
+        timed (Wire.Session_advise { pool = "bench"; task = task_id; k = 3 })
+      with
+      | Wire.Session_result { state = Wire.Sess_open; advice = _ :: _ as advice; _ }
+        ->
+          List.iter
+            (fun i ->
+              if still_open !reply then begin
+                let q = Workers.Worker.quality (Workers.Pool.get pool i) in
+                let label =
+                  if Prob.Rng.float rng 1. < q then truth else 1 - truth
+                in
+                reply :=
+                  timed
+                    (Wire.Session_vote
+                       { pool = "bench"; task = task_id; worker = i; label })
+              end)
+            advice
       | r -> reply := r
     done;
     ignore (timed (Wire.Session_close { pool = "bench"; task = task_id }))

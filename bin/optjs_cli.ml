@@ -571,15 +571,38 @@ let serve_cmd =
       & opt float Session.Store.default_ttl
       & info [ "session-ttl" ] ~doc:"Idle-session expiry in seconds.")
   in
+  let calib_batch_arg =
+    Arg.(
+      value
+      & opt int Workers.Calib.default_config.Workers.Calib.batch
+      & info [ "calib-batch" ]
+          ~doc:
+            "Reported votes buffered before a mini-batch calibration step \
+             runs (and the pool version bumps).")
+  in
+  let calib_window_arg =
+    Arg.(
+      value
+      & opt int Workers.Calib.default_config.Workers.Calib.window
+      & info [ "calib-window" ]
+          ~doc:"Per-worker history ring capacity for calibration.")
+  in
   let run port domains queue_cap deadline log_interval batch_max session_cap
-      session_ttl file =
+      session_ttl calib_batch calib_window file =
     (* Executor domains size their own minor heaps; the accept/submit
        threads allocate here, and this domain's collections handshake
        with every executor just the same. *)
     Gc.set { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024 };
+    let calib_config =
+      {
+        Workers.Calib.default_config with
+        Workers.Calib.batch = calib_batch;
+        window = calib_window;
+      }
+    in
     let service =
       Serve.Service.create ?domains ~queue_capacity:queue_cap ?deadline
-        ~batch_max ~session_cap ~session_ttl ()
+        ~batch_max ~session_cap ~session_ttl ~calib_config ()
     in
     (match file with
     | Some path ->
@@ -604,7 +627,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the jury-selection TCP daemon.")
     Term.(
       const run $ port_arg ~default:7071 $ domains_arg $ queue_arg $ deadline_arg
-      $ log_arg $ batch_max_arg $ session_cap_arg $ session_ttl_arg $ file_arg)
+      $ log_arg $ batch_max_arg $ session_cap_arg $ session_ttl_arg
+      $ calib_batch_arg $ calib_window_arg $ file_arg)
 
 (* ---- loadgen ------------------------------------------------------- *)
 
@@ -653,7 +677,9 @@ let lg_mix_parse s =
       match String.split_on_char ':' (String.trim tok) with
       | [ kind; weight ] -> (
           match (kind, int_of_string_opt weight) with
-          | ("jq" | "jqpool" | "select" | "table" | "session"), Some w
+          | ( ("jq" | "jqpool" | "select" | "table" | "session" | "report"
+              | "quality"),
+              Some w )
             when w > 0 ->
               (kind, w)
           | _ -> failwith (Printf.sprintf "bad mix entry %S" tok))
@@ -678,7 +704,9 @@ let loadgen_cmd =
           ~doc:
             "Weighted request mix over jq, jqpool, select, table, session \
              (a session entry runs a whole open-advise-vote-close \
-             conversation, each verb counted as one request).")
+             conversation, each verb counted as one request), report (a \
+             calibration vote batch sampled from the generator's known \
+             qualities) and quality (per-worker readback).")
   in
   let pool_size_arg =
     Arg.(
@@ -810,6 +838,30 @@ let loadgen_cmd =
               prior = pool_prior;
               seed = Prob.Rng.int rng 16;
             }
+      | "report" ->
+          (* Votes sampled from the generator's known qualities, a quarter
+             of them gold — so the server's calibrators converge toward
+             the uploaded pool rather than drifting randomly. *)
+          let votes =
+            List.init 8 (fun _ ->
+                let task = Prob.Rng.int rng 4096 in
+                let worker = Prob.Rng.int rng pool_size in
+                let truth = Prob.Rng.int rng labels in
+                let q = Workers.Worker.quality (Workers.Pool.get pool worker) in
+                let label =
+                  if Prob.Rng.float rng 1. < q then truth
+                  else (truth + 1 + Prob.Rng.int rng (labels - 1)) mod labels
+                in
+                {
+                  Workers.Calib.task;
+                  worker;
+                  label;
+                  truth =
+                    (if Prob.Rng.float rng 1. < 0.25 then Some truth else None);
+                })
+          in
+          Serve.Wire.Report { pool = pool_name; votes }
+      | "quality" -> Serve.Wire.Quality { pool = pool_name }
       | _ -> assert false
     in
     let expected_kind request response =
@@ -820,7 +872,10 @@ let loadgen_cmd =
       | ( ( Serve.Wire.Session_open _ | Serve.Wire.Session_vote _
           | Serve.Wire.Session_advise _ | Serve.Wire.Session_decide _
           | Serve.Wire.Session_close _ ),
-          Serve.Wire.Session_result _ ) ->
+          Serve.Wire.Session_result _ )
+      | ( (Serve.Wire.Report _ | Serve.Wire.Recal _),
+          Serve.Wire.Report_result _ )
+      | Serve.Wire.Quality _, Serve.Wire.Quality_result _ ->
           true
       | _ -> false
     in
@@ -890,22 +945,37 @@ let loadgen_cmd =
             incr steps;
             match
               timed
-                (Serve.Wire.Session_advise { pool = pool_name; task = task_id })
+                (Serve.Wire.Session_advise
+                   { pool = pool_name; task = task_id; k = 3 })
             with
             | Ok
                 (Serve.Wire.Session_result
-                   { state = Serve.Wire.Sess_open; next = Some w; _ }) ->
-                reply :=
-                  timed
-                    (Serve.Wire.Session_vote
-                       {
-                         pool = pool_name;
-                         task = task_id;
-                         worker = w;
-                         label = vote_of w;
-                       })
+                   { state = Serve.Wire.Sess_open; advice = _ :: _ as advice; _ })
+              ->
+                (* Batch solicitation: vote down the advised list until the
+                   session leaves the open state. *)
+                List.iter
+                  (fun w ->
+                    if still_open !reply then
+                      reply :=
+                        timed
+                          (Serve.Wire.Session_vote
+                             {
+                               pool = pool_name;
+                               task = task_id;
+                               worker = w;
+                               label = vote_of w;
+                             }))
+                  advice
             | r -> reply := r
           done;
+          (* Closing the loop on the quality plane: the decide carries the
+             simulated ground truth, so the session's votes feed the
+             pool's calibrator as gold examples. *)
+          ignore
+            (timed
+               (Serve.Wire.Session_decide
+                  { pool = pool_name; task = task_id; truth = Some truth }));
           ignore
             (timed (Serve.Wire.Session_close { pool = pool_name; task = task_id }))
         in
@@ -1033,6 +1103,20 @@ let session_cmd =
       value & opt (some int) None
       & info [ "worker" ] ~doc:"Worker index (vote).")
   in
+  let k_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "k" ] ~doc:"Advice batch size: top-K workers per advise.")
+  in
+  let truth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "truth" ]
+          ~doc:
+            "Ground-truth label for decide: the session's votes feed the \
+             pool's calibrator as gold examples.")
+  in
   let label_arg =
     Arg.(
       value & opt (some int) None & info [ "label" ] ~doc:"Vote label (vote).")
@@ -1043,7 +1127,7 @@ let session_cmd =
       & info [ "pool-size" ] ~doc:"Synthetic pool size for drive.")
   in
   let run host port action pool task_id alpha prior budget confidence floor
-      policy worker label pool_size seed =
+      policy worker label k truth pool_size seed =
     let task = task_of ~alpha ~prior in
     let prior = Array.to_list (Engine.Task.prior task) in
     let fd, ic, oc = lg_connect host port in
@@ -1070,9 +1154,10 @@ let session_cmd =
               (round (Serve.Wire.Session_vote { pool; task = task_id; worker; label }))
         | _ -> failwith "vote needs --worker and --label")
     | `Advise ->
-        ignore (round (Serve.Wire.Session_advise { pool; task = task_id }))
+        ignore (round (Serve.Wire.Session_advise { pool; task = task_id; k }))
     | `Decide ->
-        ignore (round (Serve.Wire.Session_decide { pool; task = task_id }))
+        ignore
+          (round (Serve.Wire.Session_decide { pool; task = task_id; truth }))
     | `Close ->
         ignore (round (Serve.Wire.Session_close { pool; task = task_id }))
     | `Drive ->
@@ -1108,19 +1193,33 @@ let session_cmd =
         let steps = ref 0 in
         while still_open !r && !steps <= pool_size do
           incr steps;
-          match round (Serve.Wire.Session_advise { pool; task = task_id }) with
+          match
+            round (Serve.Wire.Session_advise { pool; task = task_id; k })
+          with
           | Serve.Wire.Session_result
-              { state = Serve.Wire.Sess_open; next = Some i; _ } ->
-              let q = Workers.Worker.quality (Workers.Pool.get wpool i) in
-              let vote =
-                if Prob.Rng.float rng 1. < q then truth else 1 - truth
-              in
-              r :=
-                round
-                  (Serve.Wire.Session_vote
-                     { pool; task = task_id; worker = i; label = vote })
+              { state = Serve.Wire.Sess_open; advice = _ :: _ as advice; _ } ->
+              List.iter
+                (fun i ->
+                  if still_open !r then begin
+                    let q = Workers.Worker.quality (Workers.Pool.get wpool i) in
+                    let vote =
+                      if Prob.Rng.float rng 1. < q then truth else 1 - truth
+                    in
+                    r :=
+                      round
+                        (Serve.Wire.Session_vote
+                           { pool; task = task_id; worker = i; label = vote })
+                  end)
+                advice
           | reply -> r := reply
         done;
+        (* Feed the conversation back into the quality plane: decide with
+           the simulated truth turns the session into gold calibration
+           data before the close drops it. *)
+        ignore
+          (round
+             (Serve.Wire.Session_decide
+                { pool; task = task_id; truth = Some truth }));
         ignore (round (Serve.Wire.Session_close { pool; task = task_id }));
         Printf.printf "# truth was %d\n" truth);
     Unix.close fd
@@ -1132,7 +1231,80 @@ let session_cmd =
       const run $ host_arg $ port_arg ~default:7071 $ action_arg
       $ pool_name_arg $ task_id_arg $ alpha_arg $ prior_arg
       $ session_budget_arg $ confidence_arg $ floor_arg $ session_policy_arg
-      $ worker_arg $ label_arg $ drive_pool_size_arg $ seed_arg)
+      $ worker_arg $ label_arg $ k_arg $ truth_arg $ drive_pool_size_arg
+      $ seed_arg)
+
+(* ---- quality ------------------------------------------------------- *)
+
+(* Thin client over the quality-plane verbs: per-worker readback, forced
+   recalibration, and ad-hoc vote reporting.  Replies are printed as raw
+   wire lines, like the session client's. *)
+
+let quality_cmd =
+  let action_arg =
+    let actions = [ ("show", `Show); ("recal", `Recal); ("report", `Report) ] in
+    let doc =
+      "Action: show (per-worker quality readback), recal (force a full \
+       calibration step), or report (ingest --votes)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let pool_name_arg =
+    Arg.(value & opt string "default" & info [ "pool" ] ~doc:"Pool name.")
+  in
+  let votes_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "votes" ]
+          ~doc:
+            "Comma-separated task:worker:label[:truth] votes for report \
+             (the wire's own vote syntax).")
+  in
+  let parse_vote tok =
+    let ints = List.map int_of_string_opt (String.split_on_char ':' tok) in
+    match ints with
+    | [ Some task; Some worker; Some label ] ->
+        { Workers.Calib.task; worker; label; truth = None }
+    | [ Some task; Some worker; Some label; Some g ] ->
+        { Workers.Calib.task; worker; label; truth = Some g }
+    | _ ->
+        failwith
+          (Printf.sprintf "bad vote %S: expected task:worker:label[:truth]" tok)
+  in
+  let run host port action pool votes =
+    let fd, ic, oc = lg_connect host port in
+    let round request =
+      match lg_roundtrip ic oc request with
+      | Ok r -> print_endline (Serve.Wire.encode_response r)
+      | Error e -> failwith ("undecodable reply: " ^ e)
+    in
+    (match action with
+    | `Show -> round (Serve.Wire.Quality { pool })
+    | `Recal -> round (Serve.Wire.Recal { pool })
+    | `Report ->
+        let votes =
+          match votes with
+          | None -> failwith "report needs --votes"
+          | Some s ->
+              List.map parse_vote
+                (List.filter
+                   (fun tok -> tok <> "")
+                   (List.map String.trim (String.split_on_char ',' s)))
+        in
+        if votes = [] then failwith "report needs at least one vote";
+        round (Serve.Wire.Report { pool; votes }));
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "quality"
+       ~doc:"Inspect and drive a pool's live worker-quality plane.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7071 $ action_arg
+      $ pool_name_arg $ votes_arg)
 
 (* ---- amt ---------------------------------------------------------- *)
 
@@ -1164,5 +1336,5 @@ let () =
           [
             jq_cmd; select_cmd; table_cmd; frontier_cmd; online_cmd;
             estimate_cmd; expt_cmd; amt_cmd; serve_cmd; loadgen_cmd;
-            session_cmd;
+            session_cmd; quality_cmd;
           ]))

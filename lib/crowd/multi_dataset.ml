@@ -101,7 +101,7 @@ let generate ?(params = default_params) rng =
   in
   let ids = Array.init p.n_workers Fun.id in
   let histories =
-    Array.init p.n_workers (fun worker_id -> Workers.History.create ~worker_id)
+    Array.init p.n_workers (fun worker_id -> Workers.History.create ~worker_id ())
   in
   let votes =
     Array.mapi

@@ -31,7 +31,7 @@ let run rng ~tasks ~qualities ~completions ~hits =
   let n_tasks = Array.length tasks in
   let n_workers = Array.length qualities in
   let votes_rev = Array.make n_tasks [] in
-  let histories = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id) in
+  let histories = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id ()) in
   List.iter
     (fun c ->
       if c.worker_id < 0 || c.worker_id >= n_workers then

@@ -81,7 +81,7 @@ let to_dawid_skene records =
 
 let histories records =
   let _, n_workers, _ = dimensions records in
-  let hs = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id) in
+  let hs = Array.init n_workers (fun worker_id -> Workers.History.create ~worker_id ()) in
   List.iter
     (fun r ->
       match r.truth with

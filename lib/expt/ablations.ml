@@ -207,7 +207,7 @@ let estimators ?(config = Config.default) () =
               let votes = ref [] in
               let histories =
                 Array.init n_workers (fun worker_id ->
-                    Workers.History.create ~worker_id)
+                    Workers.History.create ~worker_id ())
               in
               Array.iteri
                 (fun task truth ->

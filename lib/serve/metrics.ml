@@ -27,6 +27,13 @@ type shard = {
   session_ring : float array;            (* recent session verb times, ns *)
   mutable session_ring_len : int;
   mutable session_ring_next : int;
+  mutable ingests : int;                 (* applied report/recal calls *)
+  mutable votes_ingested : int;
+  mutable recal_runs : int;              (* standing juries re-solved *)
+  ingest_histogram : Prob.Histogram.t;   (* ingest (calibration) ns *)
+  ingest_ring : float array;             (* recent ingest times, ns *)
+  mutable ingest_ring_len : int;
+  mutable ingest_ring_next : int;
 }
 
 type t = {
@@ -65,6 +72,13 @@ let fresh_shard () =
     session_ring = Array.make ring_size 0.;
     session_ring_len = 0;
     session_ring_next = 0;
+    ingests = 0;
+    votes_ingested = 0;
+    recal_runs = 0;
+    ingest_histogram = Prob.Histogram.create ~lo:0. ~hi:1e8 ~buckets:100;
+    ingest_ring = Array.make ring_size 0.;
+    ingest_ring_len = 0;
+    ingest_ring_next = 0;
   }
 
 let create ?(shards = 1) () =
@@ -138,6 +152,20 @@ let session_verb t ~shard ~ns =
       if s.session_ring_len < ring_size then
         s.session_ring_len <- s.session_ring_len + 1)
 
+let ingest t ~shard ~votes ~ns =
+  with_shard t shard (fun s ->
+      s.ingests <- s.ingests + 1;
+      s.votes_ingested <- s.votes_ingested + votes;
+      Prob.Histogram.add s.ingest_histogram ns;
+      s.ingest_ring.(s.ingest_ring_next) <- ns;
+      s.ingest_ring_next <- (s.ingest_ring_next + 1) mod ring_size;
+      if s.ingest_ring_len < ring_size then
+        s.ingest_ring_len <- s.ingest_ring_len + 1)
+
+let recal_run t ~shard ~count =
+  if count > 0 then
+    with_shard t shard (fun s -> s.recal_runs <- s.recal_runs + count)
+
 let add_cache t ~merge =
   Mutex.lock t.sources_lock;
   t.cache_sources <- merge :: t.cache_sources;
@@ -170,6 +198,10 @@ type merged = {
   m_jq_ns : float array;
   m_session_verbs : int;
   m_session_ns : float array;
+  m_ingests : int;
+  m_votes_ingested : int;
+  m_recal_runs : int;
+  m_ingest_ns : float array;
 }
 
 let merge t =
@@ -185,6 +217,8 @@ let merge t =
   let jq_rings = ref [] in
   let session_verbs = ref 0 in
   let session_rings = ref [] in
+  let ingests = ref 0 and votes_ingested = ref 0 and recal_runs = ref 0 in
+  let ingest_rings = ref [] in
   Array.iteri
     (fun i _ ->
       with_shard t i (fun s ->
@@ -216,7 +250,13 @@ let merge t =
           session_verbs := !session_verbs + s.session_verbs;
           if s.session_ring_len > 0 then
             session_rings :=
-              Array.sub s.session_ring 0 s.session_ring_len :: !session_rings))
+              Array.sub s.session_ring 0 s.session_ring_len :: !session_rings;
+          ingests := !ingests + s.ingests;
+          votes_ingested := !votes_ingested + s.votes_ingested;
+          recal_runs := !recal_runs + s.recal_runs;
+          if s.ingest_ring_len > 0 then
+            ingest_rings :=
+              Array.sub s.ingest_ring 0 s.ingest_ring_len :: !ingest_rings))
     t.shards;
   {
     m_requests = !requests;
@@ -237,6 +277,10 @@ let merge t =
     m_jq_ns = Array.concat !jq_rings;
     m_session_verbs = !session_verbs;
     m_session_ns = Array.concat !session_rings;
+    m_ingests = !ingests;
+    m_votes_ingested = !votes_ingested;
+    m_recal_runs = !recal_runs;
+    m_ingest_ns = Array.concat !ingest_rings;
   }
 
 let snapshot t =
@@ -263,6 +307,9 @@ let snapshot t =
       ("jq_evals", f m.m_jq_evals);
       ("jq_flat_fallbacks", f m.m_jq_flat_fallbacks);
       ("session_verbs", f m.m_session_verbs);
+      ("ingests", f m.m_ingests);
+      ("votes_ingested", f m.m_votes_ingested);
+      ("recal_runs", f m.m_recal_runs);
     ]
     @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
   in
@@ -293,6 +340,16 @@ let snapshot t =
         ("session_verb_ns_p50", q 0.5);
         ("session_verb_ns_p95", q 0.95);
         ("session_verb_ns_p99", q 0.99);
+      ]
+  in
+  let ingest_quantiles =
+    if Array.length m.m_ingest_ns = 0 then []
+    else
+      let q p = Prob.Stats.quantile m.m_ingest_ns p in
+      [
+        ("ingest_ns_p50", q 0.5);
+        ("ingest_ns_p95", q 0.95);
+        ("ingest_ns_p99", q 0.99);
       ]
   in
   let cache =
@@ -328,8 +385,8 @@ let snapshot t =
     ]
   in
   List.sort compare
-    (base @ quantiles @ jq_quantiles @ session_quantiles @ cache_rows
-   @ session_rows)
+    (base @ quantiles @ jq_quantiles @ session_quantiles @ ingest_quantiles
+   @ cache_rows @ session_rows)
 
 let pp_line ppf t =
   let snap = snapshot t in

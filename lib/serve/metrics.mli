@@ -75,6 +75,17 @@ val session_verb : t -> shard:int -> ns:float -> unit
     updates and policy scans are tracked separately from jq kernel
     time. *)
 
+val ingest : t -> shard:int -> votes:int -> ns:float -> unit
+(** Record one applied calibration batch on [shard]: [votes] votes folded
+    into a pool's quality plane in [ns] nanoseconds (registry time only —
+    drift-triggered re-selection is counted via {!recal_run}, not here).
+    Feeds the [ingests]/[votes_ingested] counters and the merged
+    [ingest_ns_p50/95/99] quantiles. *)
+
+val recal_run : t -> shard:int -> count:int -> unit
+(** Count [count] drift-triggered jury re-selections (solver re-runs over
+    standing jury specs) on [shard].  No-op for [count <= 0]. *)
+
 val add_sessions : t -> stats:(unit -> Session.Store.stats) -> unit
 (** Register a pull-source of session-store counters (one per shard
     store); {!snapshot} sums every registered source into the
@@ -94,7 +105,9 @@ val snapshot : t -> (string * float) list
     [p50_ms]/[p95_ms]/[p99_ms] over recent latencies,
     [jq_eval_ns_p50]/[jq_eval_ns_p95]/[jq_eval_ns_p99] over recent kernel
     evaluations and [session_verb_ns_p50/95/99] over recent session verbs
-    (each trio absent until a first sample), [session_verbs] plus the
+    (each trio absent until a first sample), [session_verbs],
+    [ingests]/[votes_ingested]/[recal_runs] with
+    [ingest_ns_p50/95/99] over recent calibration batches, plus the
     [sessions_open]/[sessions_opened]/[sessions_decided]/
     [sessions_expired]/[sessions_invalidated]/[sessions_rejected] rows
     summed over registered session stores, and

@@ -265,9 +265,11 @@ let eval_select t exec ~name ~budget ~prior ~seed =
           solve_select t exec ~pool ~version ~pool_name:name ~budget ~prior
             ~seed
         in
+        let ids = Engine.Pool.ids result.Jsp.Solver.jury in
+        Registry.note_standing t.registry ~name ~budget ~prior ~seed ~jury:ids;
         Wire.Select_result
           {
-            ids = Engine.Pool.ids result.Jsp.Solver.jury;
+            ids;
             score = result.Jsp.Solver.score;
             cost = Engine.Pool.total_cost result.Jsp.Solver.jury;
           }
@@ -299,13 +301,116 @@ let eval_table t exec ~name ~budgets ~prior ~seed =
         in
         Wire.Table_result rows
 
+(* ---- quality plane --------------------------------------------------- *)
+
+(* Drift-triggered re-selection: re-solve every standing jury recorded for
+   the pool against its freshly bumped version.  Each spec re-runs the
+   annealer exactly as the equivalent [select] would (fresh RNG, version-
+   keyed memo), so the refreshed juries are byte-identical to what a
+   client re-issuing the original requests would get. *)
+let reselect_standing t exec ~name =
+  match Registry.find t.registry name with
+  | None -> 0
+  | Some (pool, version) -> (
+      match Registry.standing t.registry name with
+      | [] ->
+          Registry.clear_stale t.registry ~name;
+          0
+      | specs ->
+          let juries =
+            List.map
+              (fun (budget, prior, seed, _old) ->
+                let result =
+                  solve_select t exec ~pool ~version ~pool_name:name ~budget
+                    ~prior ~seed
+                in
+                (budget, prior, seed, Engine.Pool.ids result.Jsp.Solver.jury))
+              specs
+          in
+          Registry.refresh_standing t.registry ~name ~juries;
+          Metrics.recal_run t.metrics ~shard:exec.shard
+            ~count:(List.length juries);
+          List.length juries)
+
+let eval_report t exec ~name votes =
+  let t0 = Clock.now () in
+  match Registry.report t.registry ~name votes with
+  | Error `Unknown_pool -> unknown_pool name
+  | Error (`Invalid msg) -> bad_request msg
+  | Ok r ->
+      Metrics.ingest t.metrics ~shard:exec.shard ~votes:r.Registry.applied
+        ~ns:(1e9 *. (Clock.now () -. t0));
+      let recals =
+        if r.Registry.stale then reselect_standing t exec ~name else 0
+      in
+      Wire.Report_result
+        {
+          name;
+          version = r.Registry.version;
+          applied = r.Registry.applied;
+          pending = r.Registry.pending;
+          drifted =
+            List.map (fun (d : Workers.Calib.drift) -> d.worker) r.drifted;
+          stale = r.Registry.stale;
+          recals;
+        }
+
+let eval_recal t exec ~name =
+  let t0 = Clock.now () in
+  match Registry.recal t.registry ~name with
+  | Error `Unknown_pool -> unknown_pool name
+  | Ok r ->
+      Metrics.ingest t.metrics ~shard:exec.shard ~votes:r.Registry.applied
+        ~ns:(1e9 *. (Clock.now () -. t0));
+      let recals =
+        if r.Registry.stale then reselect_standing t exec ~name else 0
+      in
+      Wire.Report_result
+        {
+          name;
+          version = r.Registry.version;
+          applied = r.Registry.applied;
+          pending = r.Registry.pending;
+          drifted =
+            List.map (fun (d : Workers.Calib.drift) -> d.worker) r.drifted;
+          stale = r.Registry.stale;
+          recals;
+        }
+
+let eval_quality t ~name =
+  match Registry.quality t.registry ~name with
+  | None -> unknown_pool name
+  | Some (workers, version) -> Wire.Quality_result { name; version; workers }
+
+(* Decided sessions feed the quality plane exactly once: their votes enter
+   the pool's calibrator as gold examples when [decide] carried a truth
+   label, ungraded otherwise.  Runs after the session store lock is
+   released (the calibrator has its own lock, and a drift flag here can
+   trigger a solver run). *)
+let ingest_session_votes t exec ~pool_name ~task_name ~truth votes =
+  let task_id = Hashtbl.hash task_name in
+  let calib_votes =
+    List.map
+      (fun (worker, label) ->
+        { Workers.Calib.task = task_id; worker; label; truth })
+      votes
+  in
+  let t0 = Clock.now () in
+  match Registry.report t.registry ~name:pool_name calib_votes with
+  | Error _ -> ()
+  | Ok r ->
+      Metrics.ingest t.metrics ~shard:exec.shard ~votes:r.Registry.applied
+        ~ns:(1e9 *. (Clock.now () -. t0));
+      if r.Registry.stale then
+        ignore (reselect_standing t exec ~name:pool_name)
+
 (* ---- session verbs -------------------------------------------------- *)
 
 (* Every session verb answers with the full session snapshot.  The reply
    is a pure function of (pool contents, vote history, request) — the
    clock only feeds idle-expiry bookkeeping — so warm and cold replays
    stay byte-identical, matching the jq/select determinism contract. *)
-let session_reply ~pool_name ~task_name ?(closed = false) session =
+let session_reply ~pool_name ~task_name ?(closed = false) ?advice session =
   let state, decision, certified, reason =
     match Session.Task.progress session with
     | Session.Task.Soliciting -> (Wire.Sess_open, None, false, None)
@@ -317,6 +422,12 @@ let session_reply ~pool_name ~task_name ?(closed = false) session =
           Session.Task.certified_now session,
           Some reason )
   in
+  let next = Session.Task.next session in
+  let advice =
+    match advice with
+    | Some a -> a
+    | None -> ( match next with None -> [] | Some i -> [ i ])
+  in
   Wire.Session_result
     {
       pool = pool_name;
@@ -325,7 +436,8 @@ let session_reply ~pool_name ~task_name ?(closed = false) session =
       posterior = Array.to_list (Session.Task.posterior session);
       votes = Session.Task.votes_seen session;
       spent = Session.Task.spent session;
-      next = Session.Task.next session;
+      next;
+      advice;
       decision;
       certified;
       reason;
@@ -399,31 +511,59 @@ let with_session t ~pool_name ~task_name f =
           | `Found session -> f store session)
 
 let eval_session_vote t exec ~pool_name ~task_name ~worker ~label =
-  with_session t ~pool_name ~task_name (fun store session ->
-      let was_open = not (terminal session) in
-      match
-        Session.Task.vote ~workspace:exec.workspace session ~worker ~label
-          ~now:(Clock.now ())
-      with
-      | Error msg -> bad_request msg
-      | Ok () ->
-          if was_open && terminal session then
-            Session.Store.note_decided store;
-          session_reply ~pool_name ~task_name session)
+  let feed = ref None in
+  let response =
+    with_session t ~pool_name ~task_name (fun store session ->
+        let was_open = not (terminal session) in
+        match
+          Session.Task.vote ~workspace:exec.workspace session ~worker ~label
+            ~now:(Clock.now ())
+        with
+        | Error msg -> bad_request msg
+        | Ok () ->
+            if was_open && terminal session then begin
+              Session.Store.note_decided store;
+              if Session.Task.mark_fed session then
+                feed := Some (Session.Task.votes session)
+            end;
+            session_reply ~pool_name ~task_name session)
+  in
+  (match !feed with
+  | Some votes when votes <> [] ->
+      ingest_session_votes t exec ~pool_name ~task_name ~truth:None votes
+  | _ -> ());
+  response
 
-let eval_session_advise t exec ~pool_name ~task_name =
+let eval_session_advise t exec ~pool_name ~task_name ~k =
   with_session t ~pool_name ~task_name (fun _store session ->
-      ignore
-        (Session.Task.advise ~workspace:exec.workspace session
-           ~now:(Clock.now ()));
-      session_reply ~pool_name ~task_name session)
+      let advice =
+        Session.Task.advise_k ~workspace:exec.workspace session ~k
+          ~now:(Clock.now ())
+      in
+      session_reply ~pool_name ~task_name ~advice session)
 
-let eval_session_decide t ~pool_name ~task_name =
-  with_session t ~pool_name ~task_name (fun store session ->
-      let was_open = not (terminal session) in
-      Session.Task.decide session ~now:(Clock.now ());
-      if was_open then Session.Store.note_decided store;
-      session_reply ~pool_name ~task_name session)
+let eval_session_decide t exec ~pool_name ~task_name ~truth =
+  let feed = ref None in
+  let response =
+    with_session t ~pool_name ~task_name (fun store session ->
+        let labels = Engine.Task.labels (Session.Task.task session) in
+        match truth with
+        | Some g when g < 0 || g >= labels ->
+            bad_request
+              (Printf.sprintf "truth %d out of range for %d labels" g labels)
+        | _ ->
+            let was_open = not (terminal session) in
+            Session.Task.decide session ~now:(Clock.now ());
+            if was_open then Session.Store.note_decided store;
+            if Session.Task.mark_fed session then
+              feed := Some (Session.Task.votes session);
+            session_reply ~pool_name ~task_name session)
+  in
+  (match !feed with
+  | Some votes when votes <> [] ->
+      ingest_session_votes t exec ~pool_name ~task_name ~truth votes
+  | _ -> ());
+  response
 
 let eval_session_close t ~pool_name ~task_name =
   let lock, store = session_store t pool_name in
@@ -444,10 +584,10 @@ let eval_session t exec request =
           ~confidence ~gain_floor ~policy
     | Wire.Session_vote { pool; task; worker; label } ->
         eval_session_vote t exec ~pool_name:pool ~task_name:task ~worker ~label
-    | Wire.Session_advise { pool; task } ->
-        eval_session_advise t exec ~pool_name:pool ~task_name:task
-    | Wire.Session_decide { pool; task } ->
-        eval_session_decide t ~pool_name:pool ~task_name:task
+    | Wire.Session_advise { pool; task; k } ->
+        eval_session_advise t exec ~pool_name:pool ~task_name:task ~k
+    | Wire.Session_decide { pool; task; truth } ->
+        eval_session_decide t exec ~pool_name:pool ~task_name:task ~truth
     | Wire.Session_close { pool; task } ->
         eval_session_close t ~pool_name:pool ~task_name:task
     | _ -> assert false
@@ -469,6 +609,9 @@ let eval t exec request =
   | Wire.Session_open _ | Wire.Session_vote _ | Wire.Session_advise _
   | Wire.Session_decide _ | Wire.Session_close _ ->
       eval_session t exec request
+  | Wire.Report { pool; votes } -> eval_report t exec ~name:pool votes
+  | Wire.Recal { pool } -> eval_recal t exec ~name:pool
+  | Wire.Quality { pool } -> eval_quality t ~name:pool
   | Wire.Ping | Wire.Stats | Wire.Pool_put _ | Wire.Pool_list ->
       (* Control-plane verbs are answered inline by [submit]. *)
       assert false
@@ -491,6 +634,9 @@ let verb_of = function
   | Wire.Session_advise _ -> "advise"
   | Wire.Session_decide _ -> "decide"
   | Wire.Session_close _ -> "close"
+  | Wire.Report _ -> "report"
+  | Wire.Quality _ -> "quality"
+  | Wire.Recal _ -> "recal"
 
 let response_ok = function Wire.Error _ -> false | _ -> true
 
@@ -559,7 +705,7 @@ let executor_loop t exec =
 let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
     ?deadline ?(batch_max = 32) ?(num_buckets = Jq.Bucket.default_num_buckets)
     ?(session_cap = Session.Store.default_cap)
-    ?(session_ttl = Session.Store.default_ttl) () =
+    ?(session_ttl = Session.Store.default_ttl) ?calib_config () =
   if n_domains <= 0 then invalid_arg "Service.create: domains <= 0";
   if queue_capacity <= 0 then invalid_arg "Service.create: queue_capacity <= 0";
   if batch_max <= 0 then invalid_arg "Service.create: batch_max <= 0";
@@ -570,7 +716,7 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
   | _ -> ());
   let t =
     {
-      registry = Registry.create ();
+      registry = Registry.create ?calib_config ();
       metrics = Metrics.create ~shards:n_domains ();
       queue = Dispatch.create ~shards:n_domains ~capacity:queue_capacity;
       queue_capacity;
@@ -618,6 +764,8 @@ let stats t =
         ("domains", f t.n_domains);
         ("queue_len", f (Dispatch.length t.queue));
         ("queue_capacity", f t.queue_capacity);
+        ("stale_pools", f (Registry.stale_pools t.registry));
+        ("drift_flags", f (Registry.drift_total t.registry));
       ])
 
 let inline_reply t ~start request response =
@@ -640,7 +788,10 @@ let affinity_of t request =
   | Wire.Session_vote { pool = name; _ }
   | Wire.Session_advise { pool = name; _ }
   | Wire.Session_decide { pool = name; _ }
-  | Wire.Session_close { pool = name; _ } ->
+  | Wire.Session_close { pool = name; _ }
+  | Wire.Report { pool = name; _ }
+  | Wire.Quality { pool = name; _ }
+  | Wire.Recal { pool = name; _ } ->
       Hashtbl.hash name
   | _ -> Atomic.fetch_and_add t.inline_rr 1
 
@@ -685,7 +836,7 @@ let submit t request =
             (Wire.Error { code = Wire.Bad_request; message = msg }))
   | Wire.Jq _ | Wire.Select _ | Wire.Table _ | Wire.Session_open _
   | Wire.Session_vote _ | Wire.Session_advise _ | Wire.Session_decide _
-  | Wire.Session_close _ -> (
+  | Wire.Session_close _ | Wire.Report _ | Wire.Quality _ | Wire.Recal _ -> (
       let job =
         {
           request;

@@ -48,7 +48,17 @@
     replies are pure functions of (pool contents, vote history, request)
     — byte-deterministic at any cache warmth — and a [pool-put] bumping
     the registry version invalidates the pool's open sessions on their
-    next touch. *)
+    next touch.
+
+    The live quality plane rides the same machinery: [report]/[recal]
+    (and decided sessions auto-feeding their votes) mutate the pool's
+    streaming calibrator through {!Registry.report}; an applied batch
+    bumps the pool version, so every warm cache and open session keyed by
+    the old version invalidates exactly as under [pool-put].  Drift flags
+    mark the pool stale, and the executor reacts inline by re-solving the
+    pool's recorded standing juries ([select] requests register them)
+    before replying — visible in [stats] as [recal_runs], [drift_flags],
+    [stale_pools] and the [ingest_ns_p*] latency trio. *)
 
 type t
 
@@ -63,6 +73,7 @@ val create :
   ?num_buckets:int ->
   ?session_cap:int ->
   ?session_ttl:float ->
+  ?calib_config:Workers.Calib.config ->
   unit ->
   t
 (** Start the executor domains.  Defaults: [domains] =
@@ -71,7 +82,8 @@ val create :
     (the Algorithm-1 resolution used for select/table scoring),
     [session_cap] = {!Session.Store.default_cap} open sessions per shard
     store, [session_ttl] = {!Session.Store.default_ttl} seconds of idle
-    life.
+    life, [calib_config] = {!Workers.Calib.default_config} for the
+    streaming calibrators behind [report]/[recal].
     @raise Invalid_argument on non-positive sizes, deadline, cap or
     ttl. *)
 

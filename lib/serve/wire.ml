@@ -37,9 +37,12 @@ type request =
       policy : Session.Policy.t;
     }
   | Session_vote of { pool : string; task : string; worker : int; label : int }
-  | Session_advise of { pool : string; task : string }
-  | Session_decide of { pool : string; task : string }
+  | Session_advise of { pool : string; task : string; k : int }
+  | Session_decide of { pool : string; task : string; truth : int option }
   | Session_close of { pool : string; task : string }
+  | Report of { pool : string; votes : Workers.Calib.vote list }
+  | Quality of { pool : string }
+  | Recal of { pool : string }
 
 type error_code =
   | Bad_request
@@ -75,9 +78,25 @@ type response =
       votes : int;
       spent : float;
       next : int option;
+      advice : int list;
       decision : int option;
       certified : bool;
       reason : Session.Stopping.reason option;
+    }
+  | Report_result of {
+      name : string;
+      version : int;
+      applied : int;
+      pending : int;
+      drifted : int list;
+      stale : bool;
+      recals : int;
+    }
+  | Quality_result of {
+      name : string;
+      version : int;
+      workers : (int * float * int) list;
+          (** (worker id, quality, votes seen) in pool order. *)
     }
   | Error of { code : error_code; message : string }
 
@@ -323,6 +342,31 @@ let decode_prior fields =
       then fail "prior: does not sum to 1"
       else Ok ps
 
+(* A reported vote is "task:worker:label" — "task:worker:label:truth" when
+   it is a gold question.  Ids are nonnegative ints; label ranges are
+   checked by the service against the pool's ℓ. *)
+let report_vote_to_string (v : Workers.Calib.vote) =
+  match v.truth with
+  | None -> Printf.sprintf "%d:%d:%d" v.task v.worker v.label
+  | Some tr -> Printf.sprintf "%d:%d:%d:%d" v.task v.worker v.label tr
+
+let parse_report_vote what s =
+  match String.split_on_char ':' s with
+  | [ t; w; l ] ->
+      let* task = parse_nonneg_int (what ^ " task") t in
+      let* worker = parse_nonneg_int (what ^ " worker") w in
+      let* label = parse_nonneg_int (what ^ " label") l in
+      Ok { Workers.Calib.task; worker; label; truth = None }
+  | [ t; w; l; g ] ->
+      let* task = parse_nonneg_int (what ^ " task") t in
+      let* worker = parse_nonneg_int (what ^ " worker") w in
+      let* label = parse_nonneg_int (what ^ " label") l in
+      let* truth = parse_nonneg_int (what ^ " truth") g in
+      Ok { Workers.Calib.task; worker; label; truth = Some truth }
+  | _ ->
+      fail
+        (Printf.sprintf "%s: expected task:worker:label[:truth], got %S" what s)
+
 let encode_request = function
   | Ping -> "ping"
   | Jq { source; prior; num_buckets } ->
@@ -357,12 +401,20 @@ let encode_request = function
   | Session_vote { pool; task; worker; label } ->
       Printf.sprintf "vote pool=%s task=%s worker=%d label=%d" pool task worker
         label
-  | Session_advise { pool; task } ->
-      Printf.sprintf "advise pool=%s task=%s" pool task
-  | Session_decide { pool; task } ->
-      Printf.sprintf "decide pool=%s task=%s" pool task
+  | Session_advise { pool; task; k } ->
+      if k = 1 then Printf.sprintf "advise pool=%s task=%s" pool task
+      else Printf.sprintf "advise pool=%s task=%s k=%d" pool task k
+  | Session_decide { pool; task; truth } -> (
+      match truth with
+      | None -> Printf.sprintf "decide pool=%s task=%s" pool task
+      | Some tr -> Printf.sprintf "decide pool=%s task=%s truth=%d" pool task tr)
   | Session_close { pool; task } ->
       Printf.sprintf "close pool=%s task=%s" pool task
+  | Report { pool; votes } ->
+      Printf.sprintf "report pool=%s votes=%s" pool
+        (list_to_string ~sep:"," report_vote_to_string votes)
+  | Quality { pool } -> Printf.sprintf "quality pool=%s" pool
+  | Recal { pool } -> Printf.sprintf "recal pool=%s" pool
 
 let split_line line =
   (* Tolerate a trailing CR (telnet) and repeated spaces. *)
@@ -460,6 +512,36 @@ let decode_session_ref fields make =
   let* task = required fields "task" parse_task_name in
   finish fields (make ~pool ~task)
 
+let decode_session_advise fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* k = optional fields "k" ~default:1 parse_positive_int in
+  finish fields (Session_advise { pool; task; k })
+
+let decode_session_decide fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* truth =
+    match take fields "truth" with
+    | None -> Ok None
+    | Some s ->
+        let* tr = parse_nonneg_int "truth" s in
+        Ok (Some tr)
+  in
+  finish fields (Session_decide { pool; task; truth })
+
+let decode_report fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* votes =
+    required fields "votes" (fun what s ->
+        parse_nonempty_list what ~sep:',' (parse_report_vote what) s)
+  in
+  finish fields (Report { pool; votes })
+
+let decode_pool_ref fields make =
+  let* pool = required fields "pool" parse_pool_name in
+  finish fields (make ~pool)
+
 let decode_request line =
   match split_line line with
   | [] -> fail "empty request"
@@ -475,15 +557,14 @@ let decode_request line =
       | "stats" -> no_fields fields Stats
       | "open" -> decode_session_open fields
       | "vote" -> decode_session_vote fields
-      | "advise" ->
-          decode_session_ref fields (fun ~pool ~task ->
-              Session_advise { pool; task })
-      | "decide" ->
-          decode_session_ref fields (fun ~pool ~task ->
-              Session_decide { pool; task })
+      | "advise" -> decode_session_advise fields
+      | "decide" -> decode_session_decide fields
       | "close" ->
           decode_session_ref fields (fun ~pool ~task ->
               Session_close { pool; task })
+      | "report" -> decode_report fields
+      | "quality" -> decode_pool_ref fields (fun ~pool -> Quality { pool })
+      | "recal" -> decode_pool_ref fields (fun ~pool -> Recal { pool })
       | _ -> fail (Printf.sprintf "unknown verb %S" verb))
 
 (* ---- responses ----------------------------------------------------- *)
@@ -579,21 +660,36 @@ let encode_response = function
         votes;
         spent;
         next;
+        advice;
         decision;
         certified;
         reason;
       } ->
       Printf.sprintf
         "ok session pool=%s task=%s state=%s posterior=%s votes=%d spent=%s \
-         next=%s decision=%s certified=%d reason=%s"
+         next=%s advice=%s decision=%s certified=%d reason=%s"
         pool task
         (session_state_to_string state)
         (prior_to_string posterior) votes (float_to_string spent)
-        (opt_int_to_string next) (opt_int_to_string decision)
+        (opt_int_to_string next) (ids_to_string advice)
+        (opt_int_to_string decision)
         (if certified then 1 else 0)
         (match reason with
         | None -> "-"
         | Some r -> Session.Stopping.reason_to_string r)
+  | Report_result { name; version; applied; pending; drifted; stale; recals } ->
+      Printf.sprintf
+        "ok report name=%s version=%d applied=%d pending=%d drifted=%s \
+         stale=%d recals=%d"
+        name version applied pending (ids_to_string drifted)
+        (if stale then 1 else 0)
+        recals
+  | Quality_result { name; version; workers } ->
+      let worker_to_string (id, q, seen) =
+        Printf.sprintf "%d:%s:%d" id (float_to_string q) seen
+      in
+      Printf.sprintf "ok quality name=%s version=%d workers=%s" name version
+        (list_to_string ~sep:"," worker_to_string workers)
   | Error { code; message } ->
       Printf.sprintf "err %s message=%s" (error_code_to_string code)
         (escape message)
@@ -654,6 +750,7 @@ let decode_ok_response kind fields =
       let* votes = required fields "votes" parse_nonneg_int in
       let* spent = required fields "spent" parse_nonneg in
       let* next = required fields "next" parse_opt_int in
+      let* advice = required fields "advice" parse_ids in
       let* decision = required fields "decision" parse_opt_int in
       let* certified =
         required fields "certified" (fun what s ->
@@ -680,10 +777,44 @@ let decode_ok_response kind fields =
              votes;
              spent;
              next;
+             advice;
              decision;
              certified;
              reason;
            })
+  | "report" ->
+      let* name = required fields "name" parse_pool_name in
+      let* version = required fields "version" parse_nonneg_int in
+      let* applied = required fields "applied" parse_nonneg_int in
+      let* pending = required fields "pending" parse_nonneg_int in
+      let* drifted = required fields "drifted" parse_ids in
+      let* stale =
+        required fields "stale" (fun what s ->
+            match s with
+            | "0" -> Ok false
+            | "1" -> Ok true
+            | _ -> fail (Printf.sprintf "%s: expected 0 or 1" what))
+      in
+      let* recals = required fields "recals" parse_nonneg_int in
+      finish fields
+        (Report_result { name; version; applied; pending; drifted; stale; recals })
+  | "quality" ->
+      let* name = required fields "name" parse_pool_name in
+      let* version = required fields "version" parse_nonneg_int in
+      let* workers =
+        required fields "workers" (fun what s ->
+            parse_list what ~sep:','
+              (fun row ->
+                match String.split_on_char ':' row with
+                | [ id; q; seen ] ->
+                    let* id = parse_nonneg_int (what ^ " id") id in
+                    let* q = parse_prob (what ^ " quality") q in
+                    let* seen = parse_nonneg_int (what ^ " votes") seen in
+                    Ok (id, q, seen)
+                | _ -> fail (Printf.sprintf "%s: expected id:quality:votes" what))
+              s)
+      in
+      finish fields (Quality_result { name; version; workers })
   | _ -> fail (Printf.sprintf "unknown ok kind %S" kind)
 
 let decode_response line =

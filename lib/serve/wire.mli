@@ -17,9 +17,12 @@
     ping
     open pool=default task=t1 alpha=0.5 budget=6 confidence=0.97 policy=gain
     vote pool=default task=t1 worker=0 label=1
-    advise pool=default task=t1
-    decide pool=default task=t1
+    advise pool=default task=t1 k=3
+    decide pool=default task=t1 truth=1
     close pool=default task=t1
+    report pool=default votes=7:0:1,7:1:0:0,8:2:1
+    quality pool=default
+    recal pool=default
     v}
 
     Tasks are named by a prior vector [prior=p0,p1,…] over ℓ ≥ 2 labels
@@ -80,12 +83,22 @@ type request =
           may be omitted ({!default_confidence}, 0, {!Session.Policy.default}). *)
   | Session_vote of { pool : string; task : string; worker : int; label : int }
       (** Feed one vote: positional worker index, label in [0, ℓ). *)
-  | Session_advise of { pool : string; task : string }
-      (** Which worker to ask next (no state change). *)
-  | Session_decide of { pool : string; task : string }
-      (** Force a terminal decision now. *)
+  | Session_advise of { pool : string; task : string; k : int }
+      (** The top-[k] workers to ask next (no state change; [k] defaults
+          to 1 and may be omitted on the wire). *)
+  | Session_decide of { pool : string; task : string; truth : int option }
+      (** Force a terminal decision now.  With [truth=] the session closes
+          as a gold example: its votes feed the pool's calibrator carrying
+          the ground-truth label. *)
   | Session_close of { pool : string; task : string }
       (** Drop the session, freeing its store slot. *)
+  | Report of { pool : string; votes : Workers.Calib.vote list }
+      (** Ingest a batch of (task, worker, label[, truth]) votes into the
+          pool's streaming calibrator. *)
+  | Quality of { pool : string }
+      (** Per-worker quality readback. *)
+  | Recal of { pool : string }
+      (** Force a full calibration step now. *)
 
 type error_code =
   | Bad_request      (** Unparseable or invalid request line. *)
@@ -130,12 +143,31 @@ type response =
       votes : int;
       spent : float;
       next : int option;        (** Policy advice while [Sess_open]. *)
+      advice : int list;        (** Top-K advice — [advise k=K] fills K
+                                    entries, other verbs at most one
+                                    (equal to [next]). *)
       decision : int option;    (** Argmax label once terminal. *)
       certified : bool;         (** Decision provably cannot flip. *)
       reason : Session.Stopping.reason option;  (** Why it stopped. *)
     }
       (** Every session verb answers with the full session snapshot, so
           clients never need a follow-up read. *)
+  | Report_result of {
+      name : string;
+      version : int;   (** Pool version after the call — bumped iff the
+                           batch was applied. *)
+      applied : int;   (** Votes folded in now (0 = buffered for later). *)
+      pending : int;   (** Votes awaiting the next calibration step. *)
+      drifted : int list;  (** Workers flagged by the drift detector. *)
+      stale : bool;    (** Standing juries predate a drift flag. *)
+      recals : int;    (** Standing juries re-selected by this call. *)
+    }
+  | Quality_result of {
+      name : string;
+      version : int;
+      workers : (int * float * int) list;
+          (** (worker id, quality, votes seen) in pool order. *)
+    }
   | Error of { code : error_code; message : string }
 
 val valid_pool_name : string -> bool

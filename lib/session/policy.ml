@@ -79,3 +79,20 @@ let pick policy ~task ~pool ~posterior ~asked ~remaining ?inc ?workspace () =
     end
   done;
   match !best with None -> None | Some i -> Some (i, !best_score)
+
+let pick_k policy ~task ~pool ~posterior ~asked ~remaining ~k ?inc ?workspace ()
+    =
+  if k < 1 then invalid_arg "Policy.pick_k: k must be >= 1";
+  let n = Engine.Pool.size pool in
+  let scored = ref [] in
+  for i = n - 1 downto 0 do
+    if (not asked.(i)) && Engine.Pool.cost pool i <= remaining +. 1e-9 then
+      let s = score policy ~task ~pool ~posterior ~asked ?inc ?workspace i in
+      scored := (i, s) :: !scored
+  done;
+  (* Highest score first; ties toward the lowest index, matching [pick]
+     (whose strict [>] keeps the earliest maximum). *)
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> compare (b : float) a) !scored
+  in
+  List.filteri (fun rank _ -> rank < k) sorted

@@ -60,3 +60,20 @@ val pick :
   (int * float) option
 (** Best unasked candidate whose cost fits in [remaining] (±1e-9), with its
     score, or [None] when no affordable candidate is left. *)
+
+val pick_k :
+  t ->
+  task:Engine.Task.t ->
+  pool:Engine.Pool.t ->
+  posterior:float array ->
+  asked:bool array ->
+  remaining:float ->
+  k:int ->
+  ?inc:Jq.Incremental.t ->
+  ?workspace:Jq.Workspace.t ->
+  unit ->
+  (int * float) list
+(** The top [min k |affordable|] candidates, best first (ties toward the
+    lowest index — the head is exactly {!pick}'s answer).  Batch
+    solicitation: ask all [k] in one round trip instead of re-advising
+    after every vote.  @raise Invalid_argument when [k < 1]. *)

@@ -20,6 +20,7 @@ type t = {
   mutable next : int option;
   inc : Jq.Incremental.t option;
   mutable last_touch : float;
+  mutable fed : bool;
 }
 
 let pool t = t.pool
@@ -158,6 +159,7 @@ let create ?workspace ~pool ~pool_version ~task ~budget ?(confidence = 0.95)
         next = None;
         inc;
         last_touch = now;
+        fed = false;
       }
     in
     check_stop ?workspace t;
@@ -208,6 +210,23 @@ let advise ?workspace t ~now =
   touch t ~now;
   ignore workspace;
   t.next
+
+let advise_k ?workspace t ~k ~now =
+  touch t ~now;
+  match t.progress with
+  | Decided _ | Exhausted _ -> []
+  | Soliciting ->
+      if k = 1 then match t.next with None -> [] | Some i -> [ i ]
+      else
+        Policy.pick_k t.policy ~task:t.task ~pool:t.pool ~posterior:(posterior t)
+          ~asked:t.asked ~remaining:(remaining t) ~k ?inc:t.inc ?workspace ()
+        |> List.map fst
+
+let fed t = t.fed
+let mark_fed t =
+  let first = not t.fed in
+  t.fed <- true;
+  first
 
 let decide t ~now =
   touch t ~now;

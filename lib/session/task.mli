@@ -63,6 +63,11 @@ val advise : ?workspace:Jq.Workspace.t -> t -> now:float -> int option
 (** The cached policy advice: which worker to ask next, or [None] when the
     session is terminal or nothing affordable remains. *)
 
+val advise_k : ?workspace:Jq.Workspace.t -> t -> k:int -> now:float -> int list
+(** Batch advice: the top [min k |affordable|] candidates, best first (the
+    head is {!advise}'s answer).  [k = 1] reuses the cached advice; larger
+    [k] ranks the frontier afresh.  Empty on terminal sessions. *)
+
 val decide : t -> now:float -> unit
 (** Force a terminal decision ([Forced]) on a soliciting session;
     idempotent on terminal sessions. *)
@@ -91,3 +96,9 @@ val votes : t -> (int * int) list
 val last_touch : t -> float
 val touch : t -> now:float -> unit
 (** Idle-expiry bookkeeping for {!Store}. *)
+
+val fed : t -> bool
+val mark_fed : t -> bool
+(** Calibration bookkeeping: a decided session's votes feed the pool's
+    quality plane exactly once.  [mark_fed] sets the flag and returns
+    whether this call was the first (i.e. the caller should feed now). *)

@@ -1,0 +1,394 @@
+type vote = { task : int; worker : int; label : int; truth : int option }
+
+type config = {
+  window : int;
+  task_window : int;
+  batch : int;
+  em_iterations : int;
+  prior_strength : float;
+  smoothing : float;
+  drift_window : int;
+  drift_min : int;
+  drift_z : float;
+  spammer_threshold : float;
+}
+
+let default_config =
+  {
+    window = 256;
+    task_window = 512;
+    batch = 64;
+    em_iterations = 8;
+    prior_strength = 8.;
+    smoothing = 0.01;
+    drift_window = 24;
+    drift_min = 12;
+    drift_z = 3.5;
+    spammer_threshold = 0.12;
+  }
+
+type drift_kind = Quality_shift | Spammer_onset
+
+type drift = { worker : int; kind : drift_kind; before : float; after : float }
+
+type step_result = { applied : int; changed : bool; drifted : drift list }
+
+type base = Scalar of float array | Matrix of float array array array
+
+type t = {
+  config : config;
+  labels : int;
+  n : int;
+  matrix_base : bool;
+  (* per-worker anchor: a weak Beta/Dirichlet prior re-centered on drift *)
+  anchor_q : float array;
+  anchor_m : float array array array; (* row-stochastic anchor matrices *)
+  anchor_w : float array;
+  (* per-worker gold evidence, resettable on drift *)
+  gold_a : float array;
+  gold_b : float array;
+  gold_counts : float array array array; (* truth row x voted label *)
+  histories : History.t array;
+  seen : int array; (* applied votes per worker *)
+  (* retained ungraded votes for EM, bounded by [task_window] tasks *)
+  tasks : (int, (int * int) list ref) Hashtbl.t; (* task -> (worker, label) rev *)
+  task_order : int Queue.t;
+  mutable em : Dawid_skene.result option;
+  mutable em_index : (int, int) Hashtbl.t; (* task id -> dense index of last fit *)
+  pending : vote Queue.t;
+  qualities : float array; (* current blended scalar estimates *)
+  confusions : float array array array; (* current blended matrices *)
+  mutable applied_total : int;
+  mutable drift_total : int;
+}
+
+let clamp01 q = Float.max 0.01 (Float.min 0.99 q)
+
+let symmetric_matrix ~labels q =
+  let off = (1. -. q) /. float_of_int (labels - 1) in
+  Array.init labels (fun j -> Array.init labels (fun k -> if j = k then q else off))
+
+let matrix_scalar ?priors m =
+  let l = Array.length m in
+  let p j = match priors with Some pr -> pr.(j) | None -> 1. /. float_of_int l in
+  let acc = ref 0. in
+  for j = 0 to l - 1 do
+    acc := !acc +. (p j *. m.(j).(j))
+  done;
+  !acc
+
+let validate_config c =
+  if c.window < 1 || c.task_window < 1 || c.batch < 1 || c.em_iterations < 1 then
+    invalid_arg "Calib.create: window/task_window/batch/em_iterations must be >= 1";
+  if c.drift_min < 2 || c.drift_window < c.drift_min then
+    invalid_arg "Calib.create: need drift_window >= drift_min >= 2";
+  if c.prior_strength < 0. || c.drift_z <= 0. || c.spammer_threshold <= 0. then
+    invalid_arg "Calib.create: prior_strength/drift_z/spammer_threshold out of range"
+
+let create ?(config = default_config) ~base () =
+  validate_config config;
+  let labels, n, matrix_base, anchor_q, anchor_m =
+    match base with
+    | Scalar qs ->
+        let n = Array.length qs in
+        if n = 0 then invalid_arg "Calib.create: empty base";
+        Array.iter
+          (fun q ->
+            if not (Float.is_finite q) || q < 0. || q > 1. then
+              invalid_arg "Calib.create: base quality out of [0,1]")
+          qs;
+        let qs = Array.map clamp01 qs in
+        (2, n, false, qs, Array.map (symmetric_matrix ~labels:2) qs)
+    | Matrix ms ->
+        let n = Array.length ms in
+        if n = 0 then invalid_arg "Calib.create: empty base";
+        let l = Array.length ms.(0) in
+        if l < 2 then invalid_arg "Calib.create: need at least 2 labels";
+        Array.iter
+          (fun m ->
+            if Array.length m <> l then invalid_arg "Calib.create: ragged base";
+            Array.iter
+              (fun row ->
+                if Array.length row <> l then invalid_arg "Calib.create: ragged base")
+              m)
+          ms;
+        let copy = Array.map (Array.map Array.copy) ms in
+        (l, n, true, Array.map matrix_scalar copy, copy)
+  in
+  {
+    config;
+    labels;
+    n;
+    matrix_base;
+    anchor_q;
+    anchor_m;
+    anchor_w = Array.make n config.prior_strength;
+    gold_a = Array.make n 0.;
+    gold_b = Array.make n 0.;
+    gold_counts = Array.init n (fun _ -> Array.make_matrix labels labels 0.);
+    histories =
+      Array.init n (fun worker_id ->
+          History.create ~window:config.window ~worker_id ());
+    seen = Array.make n 0;
+    tasks = Hashtbl.create 64;
+    task_order = Queue.create ();
+    em = None;
+    em_index = Hashtbl.create 16;
+    pending = Queue.create ();
+    qualities = Array.copy anchor_q;
+    confusions = Array.map (Array.map Array.copy) anchor_m;
+    applied_total = 0;
+    drift_total = 0;
+  }
+
+let n_workers t = t.n
+let labels t = t.labels
+let pending t = Queue.length t.pending
+let due t = Queue.length t.pending >= t.config.batch
+let quality t i = t.qualities.(i)
+let qualities t = Array.copy t.qualities
+let confusion t i = Array.map Array.copy t.confusions.(i)
+let votes_seen t i = t.seen.(i)
+let applied_total t = t.applied_total
+let drift_count t = t.drift_total
+
+let em_qualities t =
+  match t.em with
+  | None -> None
+  | Some r ->
+      Some
+        (Array.map (matrix_scalar ~priors:r.class_priors) r.confusions)
+
+let check_vote t v =
+  if v.task < 0 then Error "report: task id must be >= 0"
+  else if v.worker < 0 || v.worker >= t.n then Error "report: worker id out of pool"
+  else if v.label < 0 || v.label >= t.labels then Error "report: label out of range"
+  else
+    match v.truth with
+    | Some tr when tr < 0 || tr >= t.labels -> Error "report: truth label out of range"
+    | _ -> Ok ()
+
+let feed t votes =
+  let rec check = function
+    | [] -> Ok ()
+    | v :: rest -> ( match check_vote t v with Ok () -> check rest | Error _ as e -> e)
+  in
+  match check votes with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iter (fun v -> Queue.push v t.pending) votes;
+      Ok (Queue.length t.pending)
+
+(* --- applying pending votes into the retained state ------------------- *)
+
+let retain_task t task worker label =
+  (match Hashtbl.find_opt t.tasks task with
+  | Some cell -> cell := (worker, label) :: !cell
+  | None ->
+      Hashtbl.add t.tasks task (ref [ (worker, label) ]);
+      Queue.push task t.task_order);
+  while Queue.length t.task_order > t.config.task_window do
+    Hashtbl.remove t.tasks (Queue.pop t.task_order)
+  done
+
+let apply_pending t =
+  let applied = ref 0 in
+  while not (Queue.is_empty t.pending) do
+    let v = Queue.pop t.pending in
+    incr applied;
+    t.seen.(v.worker) <- t.seen.(v.worker) + 1;
+    (match v.truth with
+    | Some truth ->
+        History.record_gold t.histories.(v.worker) ~task_id:v.task ~vote:v.label
+          ~truth;
+        if v.label = truth then t.gold_a.(v.worker) <- t.gold_a.(v.worker) +. 1.
+        else t.gold_b.(v.worker) <- t.gold_b.(v.worker) +. 1.;
+        let gc = t.gold_counts.(v.worker) in
+        gc.(truth).(v.label) <- gc.(truth).(v.label) +. 1.
+    | None ->
+        History.record_vote t.histories.(v.worker) ~task_id:v.task ~vote:v.label;
+        retain_task t v.task v.worker v.label)
+  done;
+  t.applied_total <- t.applied_total + !applied;
+  !applied
+
+(* --- EM over the retained ungraded votes ------------------------------ *)
+
+(* Canonical ordering (tasks by id, votes by worker then label) makes the
+   fit a function of the retained *set*, independent of ingestion order. *)
+let em_votes t =
+  let task_ids =
+    Hashtbl.fold (fun task _ acc -> task :: acc) t.tasks [] |> List.sort compare
+  in
+  let index = Hashtbl.create (List.length task_ids) in
+  List.iteri (fun i task -> Hashtbl.add index task i) task_ids;
+  let votes =
+    List.concat_map
+      (fun task ->
+        let dense = Hashtbl.find index task in
+        !(Hashtbl.find t.tasks task)
+        |> List.sort compare
+        |> List.map (fun (w, l) ->
+               { Dawid_skene.task = dense; worker = w; label = l }))
+      task_ids
+  in
+  (List.length task_ids, votes, index)
+
+let run_em t ~warm ~max_iterations =
+  let n_tasks, votes, index = em_votes t in
+  if n_tasks = 0 then begin
+    t.em <- None;
+    t.em_index <- Hashtbl.create 1
+  end
+  else begin
+    let init =
+      match (warm, t.em) with
+      | true, Some r -> Some (r.Dawid_skene.confusions, r.class_priors)
+      | _ -> None
+    in
+    let r =
+      Dawid_skene.run ?init ~max_iterations ~smoothing:t.config.smoothing
+        ~n_tasks ~n_workers:t.n ~n_labels:t.labels votes
+    in
+    t.em <- Some r;
+    t.em_index <- index
+  end
+
+(* Retained ungraded vote count per worker, for evidence weighting. *)
+let em_support t =
+  let u = Array.make t.n 0. in
+  Hashtbl.iter
+    (fun _ cell -> List.iter (fun (w, _) -> u.(w) <- u.(w) +. 1.) !cell)
+    t.tasks;
+  u
+
+(* --- drift detection -------------------------------------------------- *)
+
+(* Reference label for a history entry: gold truth, or the current EM
+   consensus when the task is still retained. *)
+let reference t (e : History.entry) =
+  match e.truth with
+  | Some tr -> Some tr
+  | None -> (
+      match (t.em, Hashtbl.find_opt t.em_index e.task_id) with
+      | Some r, Some dense -> Some r.Dawid_skene.labels.(dense)
+      | _ -> None)
+
+let detect_drift t ~prev i =
+  let cfg = t.config in
+  let recent = History.recent t.histories.(i) cfg.drift_window in
+  let k = ref 0 and matches = ref 0 in
+  List.iter
+    (fun e ->
+      match reference t e with
+      | Some tr ->
+          incr k;
+          if tr = e.vote then incr matches
+      | None -> ())
+    recent;
+  if !k < cfg.drift_min then None
+  else begin
+    let rate = float_of_int !matches /. float_of_int !k in
+    let q = Float.max 0.05 (Float.min 0.95 prev.(i)) in
+    let chance = 1. /. float_of_int t.labels in
+    let spammer_now = Float.abs (rate -. chance) < cfg.spammer_threshold in
+    (* The regime test uses the anchor, not the blended estimate: under
+       mini-batch ingestion the blend tracks fresh gold down smoothly, so
+       by the time a window of chance-level answers is in, the blend is no
+       longer informative — but the standing regime (anchor, which only
+       moves on reset) still is. *)
+    let was_informative =
+      Float.abs (t.anchor_q.(i) -. chance) >= 2. *. cfg.spammer_threshold
+    in
+    if spammer_now && was_informative then
+      Some { worker = i; kind = Spammer_onset; before = prev.(i); after = rate }
+    else
+      let bound = cfg.drift_z *. sqrt (q *. (1. -. q) /. float_of_int !k) in
+      if Float.abs (rate -. q) > bound then
+        Some { worker = i; kind = Quality_shift; before = prev.(i); after = rate }
+      else None
+  end
+
+(* On drift the old evidence describes a worker that no longer exists:
+   re-anchor on the recent window and drop the worker's retained EM votes. *)
+let reset_worker t d =
+  let i = d.worker in
+  let rate = clamp01 d.after in
+  t.anchor_q.(i) <- rate;
+  t.anchor_m.(i) <- symmetric_matrix ~labels:t.labels rate;
+  t.anchor_w.(i) <- 2.;
+  t.gold_a.(i) <- 0.;
+  t.gold_b.(i) <- 0.;
+  t.gold_counts.(i) <- Array.make_matrix t.labels t.labels 0.;
+  Hashtbl.iter
+    (fun _ cell -> cell := List.filter (fun (w, _) -> w <> i) !cell)
+    t.tasks
+
+(* --- blending --------------------------------------------------------- *)
+
+let blend t =
+  let em_q = em_qualities t in
+  let u = em_support t in
+  let em_priors = match t.em with Some r -> Some r.class_priors | None -> None in
+  let changed = ref false in
+  for i = 0 to t.n - 1 do
+    let a = ref ((t.anchor_w.(i) *. t.anchor_q.(i)) +. t.gold_a.(i)) in
+    let b = ref ((t.anchor_w.(i) *. (1. -. t.anchor_q.(i))) +. t.gold_b.(i)) in
+    (match em_q with
+    | Some eq when u.(i) > 0. ->
+        a := !a +. (eq.(i) *. u.(i));
+        b := !b +. ((1. -. eq.(i)) *. u.(i))
+    | _ -> ());
+    let q = clamp01 (!a /. (!a +. !b)) in
+    if Float.abs (q -. t.qualities.(i)) > 1e-12 then changed := true;
+    t.qualities.(i) <- q;
+    (* matrix estimate: anchor + gold counts + EM soft counts, row-normalized *)
+    let m =
+      Array.init t.labels (fun j ->
+          let row = Array.make t.labels 0. in
+          let anchor_row = t.anchor_m.(i).(j) in
+          let gold_row = t.gold_counts.(i).(j) in
+          let em_row =
+            match (t.em, u.(i) > 0.) with
+            | Some r, true -> Some r.Dawid_skene.confusions.(i).(j)
+            | _ -> None
+          in
+          let prior_j =
+            match em_priors with
+            | Some p -> p.(j)
+            | None -> 1. /. float_of_int t.labels
+          in
+          for k = 0 to t.labels - 1 do
+            row.(k) <- t.anchor_w.(i) *. anchor_row.(k) +. gold_row.(k);
+            (match em_row with
+            | Some er -> row.(k) <- row.(k) +. (u.(i) *. prior_j *. er.(k))
+            | None -> ())
+          done;
+          let s = Array.fold_left ( +. ) 0. row in
+          if s <= 0. then Array.make t.labels (1. /. float_of_int t.labels)
+          else Array.map (fun c -> c /. s) row)
+    in
+    t.confusions.(i) <- m
+  done;
+  !changed
+
+let calibrate t ~warm ~max_iterations =
+  let applied = apply_pending t in
+  run_em t ~warm ~max_iterations;
+  let prev = Array.copy t.qualities in
+  let drifted = ref [] in
+  for i = t.n - 1 downto 0 do
+    match detect_drift t ~prev i with
+    | Some d ->
+        drifted := d :: !drifted;
+        reset_worker t d
+    | None -> ()
+  done;
+  let drifted = !drifted in
+  if drifted <> [] then run_em t ~warm:false ~max_iterations;
+  t.drift_total <- t.drift_total + List.length drifted;
+  let changed = blend t in
+  { applied; changed = changed || drifted <> []; drifted }
+
+let step t = calibrate t ~warm:true ~max_iterations:t.config.em_iterations
+let recalibrate t = calibrate t ~warm:false ~max_iterations:200

@@ -1,0 +1,111 @@
+(** Streaming worker-quality calibration.
+
+    The paper takes worker qualities as "known in advance" from answering
+    history (§2.1); this module maintains that history live.  Votes are fed
+    in batches; each calibration step folds them into bounded per-worker
+    {!History} rings and re-estimates qualities from three evidence sources:
+
+    - a weak anchor prior centered on the registered quality (Beta pseudo
+      counts of strength [prior_strength]);
+    - gold questions (votes carrying ground truth) as exact Beta/Dirichlet
+      counts;
+    - a mini-batch Dawid–Skene EM over the retained window of ungraded
+      votes ([task_window] most recent distinct tasks), warm-started from
+      the previous fit — on a full replay with {!recalibrate} it coincides
+      with the offline {!Dawid_skene.run} over the same votes.
+
+    A windowed drift detector compares each worker's recent agreement rate
+    (against gold truth or the EM consensus) with the current estimate
+    under a binomial null model, with a dedicated spammer-onset test in the
+    style of {!Spammer} (recent behavior indistinguishable from chance
+    while the standing estimate is informative).  Flagged workers are
+    re-anchored on their recent window so the estimate tracks the new
+    regime instead of averaging across it. *)
+
+type vote = {
+  task : int;    (** External task id; used to group votes for EM. *)
+  worker : int;  (** Index into the pool, [0 .. n_workers - 1]. *)
+  label : int;
+  truth : int option;  (** Ground truth when the vote is a gold question. *)
+}
+
+type config = {
+  window : int;             (** Per-worker history ring capacity. *)
+  task_window : int;        (** Distinct tasks retained for EM. *)
+  batch : int;              (** Pending votes that make a step {!due}. *)
+  em_iterations : int;      (** EM iterations per mini-batch step. *)
+  prior_strength : float;   (** Anchor pseudo-count weight. *)
+  smoothing : float;        (** EM confusion smoothing. *)
+  drift_window : int;       (** Recent entries examined for drift. *)
+  drift_min : int;          (** Minimum referenced entries to test. *)
+  drift_z : float;          (** Binomial null-model threshold, in std devs. *)
+  spammer_threshold : float; (** Max |rate - chance| that reads as spam. *)
+}
+
+val default_config : config
+
+type drift_kind = Quality_shift | Spammer_onset
+
+type drift = {
+  worker : int;
+  kind : drift_kind;
+  before : float;  (** Estimate before the flag. *)
+  after : float;   (** Recent-window agreement rate (new anchor). *)
+}
+
+type step_result = {
+  applied : int;         (** Pending votes folded in by this step. *)
+  changed : bool;        (** Whether any estimate moved (or drift fired). *)
+  drifted : drift list;
+}
+
+type base =
+  | Scalar of float array  (** Registered scalar qualities (2 labels). *)
+  | Matrix of float array array array  (** Registered ℓ×ℓ confusions. *)
+
+type t
+
+val create : ?config:config -> base:base -> unit -> t
+(** @raise Invalid_argument on an empty/ragged base, qualities outside
+    [0,1], or a nonsensical config. *)
+
+val n_workers : t -> int
+val labels : t -> int
+
+val feed : t -> vote list -> (int, string) result
+(** Buffer votes for the next step; nothing is applied yet.  Validates the
+    whole batch first — on [Error] nothing is buffered.  [Ok pending]
+    returns the buffered count. *)
+
+val pending : t -> int
+val due : t -> bool
+(** [pending t >= batch]: the ingest path should run {!step} now. *)
+
+val step : t -> step_result
+(** Apply pending votes and run one mini-batch calibration: warm-started
+    EM capped at [em_iterations], drift detection, evidence blend. *)
+
+val recalibrate : t -> step_result
+(** Like {!step} but runs EM to convergence from the canonical
+    soft-majority initialization — the forced full calibration behind the
+    [recal] wire verb, and the anchor for the offline-equivalence tests
+    (the fit depends only on the retained vote set, not ingestion order). *)
+
+val quality : t -> int -> float
+(** Current blended scalar estimate, clamped to [0.01, 0.99]. *)
+
+val qualities : t -> float array
+
+val confusion : t -> int -> float array array
+(** Current blended row-stochastic confusion estimate. *)
+
+val votes_seen : t -> int -> int
+(** Applied votes by this worker (full stream). *)
+
+val applied_total : t -> int
+val drift_count : t -> int
+
+val em_qualities : t -> float array option
+(** Scalar summary (prior-weighted confusion diagonal) of the last EM fit
+    over the retained window, or [None] when EM has not run — what the
+    offline-equivalence property compares against {!Dawid_skene.run}. *)

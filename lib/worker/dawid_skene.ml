@@ -95,12 +95,22 @@ let argmax arr =
   Array.iteri (fun i x -> if x > arr.(!best) then best := i) arr;
   !best
 
-let run ?(max_iterations = 100) ?(tolerance = 1e-7) ?(smoothing = 0.01) ~n_tasks
-    ~n_workers ~n_labels votes =
+let run ?(max_iterations = 100) ?(tolerance = 1e-7) ?(smoothing = 0.01) ?init
+    ~n_tasks ~n_workers ~n_labels votes =
   if n_labels < 2 then invalid_arg "Dawid_skene.run: need at least 2 labels";
   validate ~n_tasks ~n_workers ~n_labels votes;
   let by_task = votes_by_task ~n_tasks votes in
-  let posteriors = ref (soft_majority_init ~n_tasks ~n_labels by_task) in
+  let initial_posteriors =
+    match init with
+    | None -> soft_majority_init ~n_tasks ~n_labels by_task
+    | Some (confusions, priors) ->
+        if Array.length confusions <> n_workers then
+          invalid_arg "Dawid_skene.run: init confusions must cover n_workers";
+        if Array.length priors <> n_labels then
+          invalid_arg "Dawid_skene.run: init priors must cover n_labels";
+        fst (e_step ~n_labels confusions priors by_task)
+  in
+  let posteriors = ref initial_posteriors in
   let confusions = ref [||] in
   let priors = ref [||] in
   let loglik = ref neg_infinity in

@@ -28,6 +28,7 @@ val run :
   ?max_iterations:int ->
   ?tolerance:float ->
   ?smoothing:float ->
+  ?init:float array array array * float array ->
   n_tasks:int ->
   n_workers:int ->
   n_labels:int ->
@@ -36,8 +37,12 @@ val run :
 (** [run ~n_tasks ~n_workers ~n_labels votes] fits the model.  Defaults:
     [max_iterations = 100], [tolerance = 1e-7] (stop when the log-likelihood
     gain drops below it), [smoothing = 0.01] added per confusion cell.
+    [init] warm-starts EM from [(confusions, class_priors)] instead of the
+    soft-majority initialization — the streaming calibrator uses this to
+    resume from its previous fit on each mini-batch.
     Tasks or workers with no votes get uniform posteriors / matrices.
-    @raise Invalid_argument on out-of-range ids or labels. *)
+    @raise Invalid_argument on out-of-range ids or labels, or [init] of the
+    wrong shape. *)
 
 val binary_qualities : result -> float array
 (** For a 2-label fit: each worker's scalar quality, the prior-weighted

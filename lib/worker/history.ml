@@ -1,21 +1,84 @@
 type entry = { task_id : int; vote : int; truth : int option }
 
-type t = { worker_id : int; mutable rev_entries : entry list; mutable count : int }
+let default_window = 1024
+let placeholder = { task_id = -1; vote = 0; truth = None }
 
-let create ~worker_id = { worker_id; rev_entries = []; count = 0 }
+(* Bounded ring of the most recent [window] entries plus running summary
+   counters.  The counters cover the full stream, so [empirical_quality]
+   and the graded counts stay exact even after old entries are evicted. *)
+type t = {
+  worker_id : int;
+  window : int;
+  mutable ring : entry array; (* grows to [window], then wraps *)
+  mutable start : int;        (* index of the oldest resident entry *)
+  mutable resident : int;     (* entries currently in the ring *)
+  mutable total : int;        (* entries ever recorded *)
+  mutable correct : int;      (* graded entries with vote = truth, full stream *)
+  mutable graded : int;       (* entries with known truth, full stream *)
+}
+
+let create ?(window = default_window) ~worker_id () =
+  if window < 1 then invalid_arg "History.create: window must be >= 1";
+  {
+    worker_id;
+    window;
+    ring = Array.make (min window 16) placeholder;
+    start = 0;
+    resident = 0;
+    total = 0;
+    correct = 0;
+    graded = 0;
+  }
+
 let worker_id t = t.worker_id
+let window t = t.window
+let resident t = t.resident
+
+let grow t =
+  let cap = Array.length t.ring in
+  if t.resident = cap && cap < t.window then begin
+    let cap' = min t.window (cap * 2) in
+    let ring' = Array.make cap' placeholder in
+    for i = 0 to t.resident - 1 do
+      ring'.(i) <- t.ring.((t.start + i) mod cap)
+    done;
+    t.ring <- ring';
+    t.start <- 0
+  end
 
 let record t e =
-  t.rev_entries <- e :: t.rev_entries;
-  t.count <- t.count + 1
+  grow t;
+  let cap = Array.length t.ring in
+  if t.resident = cap then begin
+    (* full window: overwrite the oldest slot *)
+    t.ring.(t.start) <- e;
+    t.start <- (t.start + 1) mod cap
+  end
+  else begin
+    t.ring.((t.start + t.resident) mod cap) <- e;
+    t.resident <- t.resident + 1
+  end;
+  t.total <- t.total + 1;
+  match e.truth with
+  | Some tr ->
+      t.graded <- t.graded + 1;
+      if tr = e.vote then t.correct <- t.correct + 1
+  | None -> ()
 
 let record_vote t ~task_id ~vote = record t { task_id; vote; truth = None }
 
 let record_gold t ~task_id ~vote ~truth =
   record t { task_id; vote; truth = Some truth }
 
-let entries t = List.rev t.rev_entries
-let length t = t.count
+let nth_resident t i = t.ring.((t.start + i) mod Array.length t.ring)
+
+let entries t = List.init t.resident (fun i -> nth_resident t i)
+
+let recent t k =
+  let k = min k t.resident in
+  List.init k (fun i -> nth_resident t (t.resident - k + i))
+
+let length t = t.total
 
 let answered_tasks t =
   let seen = Hashtbl.create 16 in
@@ -28,18 +91,9 @@ let answered_tasks t =
       end)
     (entries t)
 
-let correct_count t =
-  List.fold_left
-    (fun acc e ->
-      match e.truth with Some tr when tr = e.vote -> acc + 1 | _ -> acc)
-    0 t.rev_entries
-
-let graded_count t =
-  List.fold_left
-    (fun acc e -> match e.truth with Some _ -> acc + 1 | None -> acc)
-    0 t.rev_entries
+let correct_count t = t.correct
+let graded_count t = t.graded
 
 let empirical_quality t =
-  let graded = graded_count t in
-  if graded = 0 then None
-  else Some (float_of_int (correct_count t) /. float_of_int graded)
+  if t.graded = 0 then None
+  else Some (float_of_int t.correct /. float_of_int t.graded)

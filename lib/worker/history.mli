@@ -4,7 +4,12 @@
     answering history (§2.1, refs [7, 25, 37]).  This module is the record
     of that history: which tasks a worker answered, what they voted, and —
     when available — the ground truth.  {!Estimator} and {!Dawid_skene}
-    consume it. *)
+    consume it.
+
+    Entries live in a bounded ring: only the most recent [window] entries
+    are retained, but the summary counters ([length], [correct_count],
+    [graded_count], [empirical_quality]) cover the full stream, so
+    estimation over counts stays exact while memory is capped. *)
 
 type entry = {
   task_id : int;
@@ -13,30 +18,48 @@ type entry = {
 }
 
 type t
-(** Append-only log for one worker. *)
+(** Bounded log for one worker. *)
 
-val create : worker_id:int -> t
+val default_window : int
+(** Ring capacity used when [create] is not given [?window] (1024). *)
+
+val create : ?window:int -> worker_id:int -> unit -> t
+(** [window] bounds the retained entries; summary counts are unaffected.
+    Raises [Invalid_argument] when [window < 1]. *)
+
 val worker_id : t -> int
+
+val window : t -> int
+(** Ring capacity. *)
+
+val resident : t -> int
+(** Entries currently retained ([min (length t) (window t)]). *)
 
 val record : t -> entry -> unit
 val record_vote : t -> task_id:int -> vote:int -> unit
 val record_gold : t -> task_id:int -> vote:int -> truth:int -> unit
 
 val entries : t -> entry list
-(** Oldest first. *)
+(** Retained entries, oldest first. *)
+
+val recent : t -> int -> entry list
+(** [recent t k] is the newest [min k (resident t)] entries, oldest
+    first — the drift-detection window. *)
 
 val length : t -> int
+(** Entries ever recorded (full stream, O(1)). *)
 
 val answered_tasks : t -> int list
-(** Distinct task ids, oldest first. *)
+(** Distinct task ids among retained entries, oldest first. *)
 
 val correct_count : t -> int
-(** Entries with known truth where [vote = truth]. *)
+(** Full-stream entries with known truth where [vote = truth], O(1). *)
 
 val graded_count : t -> int
-(** Entries with known truth. *)
+(** Full-stream entries with known truth, O(1). *)
 
 val empirical_quality : t -> float option
-(** [correct / graded], or [None] when nothing was graded.  This is exactly
-    the paper's §6.2.1 definition: "the proportion of correctly answered
-    questions by the worker in all her answered questions". *)
+(** [correct / graded] over the full stream, or [None] when nothing was
+    graded.  This is exactly the paper's §6.2.1 definition: "the proportion
+    of correctly answered questions by the worker in all her answered
+    questions". *)

@@ -3,16 +3,20 @@ let total_variation row_a row_b =
   Array.iteri (fun k a -> acc := !acc +. Float.abs (a -. row_b.(k))) row_a;
   !acc /. 2.
 
-let score c =
-  let l = Confusion.labels c in
+let score_matrix m =
+  let l = Array.length m in
+  if l < 2 then invalid_arg "Spammer.score_matrix: need at least 2 rows";
   let acc = ref 0. and pairs = ref 0 in
   for j = 0 to l - 1 do
     for j' = j + 1 to l - 1 do
-      acc := !acc +. total_variation (Confusion.row c j) (Confusion.row c j');
+      acc := !acc +. total_variation m.(j) m.(j');
       incr pairs
     done
   done;
   !acc /. float_of_int !pairs
+
+let score c =
+  Array.init (Confusion.labels c) (fun j -> Confusion.row c j) |> score_matrix
 
 let is_spammer ?(threshold = 0.05) c = score c < threshold
 

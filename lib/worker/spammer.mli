@@ -14,6 +14,11 @@
 val score : Confusion.t -> float
 (** The informativeness score described above. *)
 
+val score_matrix : float array array -> float
+(** Same score on a raw row-stochastic matrix — used by the streaming
+    calibrator's drift detector on windowed empirical matrices.
+    @raise Invalid_argument with fewer than 2 rows. *)
+
 val is_spammer : ?threshold:float -> Confusion.t -> bool
 (** [score c < threshold] (default 0.05). *)
 

@@ -47,6 +47,14 @@ let workers_gen =
                rows) );
       ])
 
+let report_vote_gen =
+  QCheck2.Gen.(
+    int_range 0 500 >>= fun task ->
+    int_range 0 100 >>= fun worker ->
+    int_range 0 3 >>= fun label ->
+    option (int_range 0 3) >>= fun truth ->
+    return { Workers.Calib.task; worker; label; truth })
+
 let request_gen =
   QCheck2.Gen.(
     oneof
@@ -93,12 +101,20 @@ let request_gen =
           return (Wire.Session_vote { pool; task; worker; label }) );
         ( name_gen >>= fun pool ->
           name_gen >>= fun task ->
-          oneofl
-            [
-              Wire.Session_advise { pool; task };
-              Wire.Session_decide { pool; task };
-              Wire.Session_close { pool; task };
-            ] );
+          int_range 1 5 >>= fun k ->
+          return (Wire.Session_advise { pool; task; k }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          option (int_range 0 3) >>= fun truth ->
+          return (Wire.Session_decide { pool; task; truth }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          return (Wire.Session_close { pool; task }) );
+        ( name_gen >>= fun pool ->
+          list_size (int_range 1 8) report_vote_gen >>= fun votes ->
+          return (Wire.Report { pool; votes }) );
+        (name_gen >>= fun pool -> return (Wire.Quality { pool }));
+        (name_gen >>= fun pool -> return (Wire.Recal { pool }));
       ])
 
 let error_code_gen =
@@ -157,15 +173,31 @@ let response_gen =
           int_range 0 50 >>= fun votes ->
           cost_gen >>= fun spent ->
           option (int_range 0 100) >>= fun next ->
+          list0 (int_range 0 100) >>= fun advice ->
           option (int_range 0 3) >>= fun decision ->
           bool >>= fun certified ->
           option (oneofl Session.Stopping.all_reasons) >>= fun reason ->
           return
             (Wire.Session_result
                {
-                 pool; task; state; posterior; votes; spent; next; decision;
-                 certified; reason;
+                 pool; task; state; posterior; votes; spent; next; advice;
+                 decision; certified; reason;
                }) );
+        ( name_gen >>= fun name ->
+          int_range 1 1000 >>= fun version ->
+          int_range 0 200 >>= fun applied ->
+          int_range 0 200 >>= fun pending ->
+          list0 (int_range 0 100) >>= fun drifted ->
+          bool >>= fun stale ->
+          int_range 0 8 >>= fun recals ->
+          return
+            (Wire.Report_result
+               { name; version; applied; pending; drifted; stale; recals }) );
+        ( name_gen >>= fun name ->
+          int_range 1 1000 >>= fun version ->
+          list0 (triple (int_range 0 100) prob_gen (int_range 0 500))
+          >>= fun workers ->
+          return (Wire.Quality_result { name; version; workers }) );
         ( error_code_gen >>= fun code ->
           string >>= fun message ->
           return (Wire.Error { code; message }) );
@@ -651,8 +683,10 @@ let metrics_tests = [ metrics_merge_qcheck ]
 
 (* ---- service over TCP ------------------------------------------------- *)
 
-let with_server ?deadline ~domains ~queue_capacity f =
-  let service = Serve.Service.create ?deadline ~domains ~queue_capacity () in
+let with_server ?deadline ?calib_config ~domains ~queue_capacity f =
+  let service =
+    Serve.Service.create ?deadline ?calib_config ~domains ~queue_capacity ()
+  in
   let server = Serve.Server.create ~port:0 service in
   Serve.Server.start server;
   Fun.protect
@@ -1041,7 +1075,9 @@ let drive_session ic oc ~pool ~task ~label_of =
     incr steps;
     match !reply with
     | Wire.Session_result { state = Wire.Sess_open; next = Some _; _ } -> (
-        match record (roundtrip ic oc (Wire.Session_advise { pool; task })) with
+        match
+          record (roundtrip ic oc (Wire.Session_advise { pool; task; k = 1 }))
+        with
         | Wire.Session_result { state = Wire.Sess_open; next = Some i; _ } ->
             reply :=
               record
@@ -1073,7 +1109,9 @@ let session_determinism_test () =
       Alcotest.(check bool) "conversation went somewhere" true
         (List.length cold > 2);
       (* A verb on the closed session is an unknown-session error. *)
-      (match roundtrip ic oc (Wire.Session_advise { pool = "sdet"; task = "t0" })
+      (match
+         roundtrip ic oc
+           (Wire.Session_advise { pool = "sdet"; task = "t0"; k = 1 })
        with
       | Wire.Error { code = Wire.Unknown_session; _ } -> ()
       | r -> Alcotest.failf "closed session: %s" (Wire.encode_response r));
@@ -1198,7 +1236,8 @@ let session_invalidation_test () =
       | Wire.Error { code = Wire.Unknown_session; _ } -> ()
       | r -> Alcotest.failf "ghost vote: %s" (Wire.encode_response r));
       put ();
-      (match roundtrip ic oc (Wire.Session_advise { pool = "inv"; task = "t" })
+      (match
+         roundtrip ic oc (Wire.Session_advise { pool = "inv"; task = "t"; k = 1 })
        with
       | Wire.Error { code = Wire.Unknown_session; _ } -> ()
       | r -> Alcotest.failf "post-put advise: %s" (Wire.encode_response r));
@@ -1244,6 +1283,204 @@ let session_cap_test () =
         (List.assoc "sessions_rejected" stats);
       Alcotest.(check (float 0.)) "two admissions" 2.
         (List.assoc "sessions_opened" stats))
+
+(* ---- quality plane ---------------------------------------------------- *)
+
+let scalar_rows qs = List.map (fun q -> Wire.Scalar (q, 1.)) qs
+
+let calib_vote ?truth task worker label = { Workers.Calib.task; worker; label; truth }
+
+(* Every quality mutation must flow through a version bump: an applied
+   report batch retires warm session state exactly like a pool-put, and the
+   readback reflects the folded-in votes. *)
+let report_invalidation_test () =
+  let calib_config = { Workers.Calib.default_config with Workers.Calib.batch = 8 } in
+  with_server ~calib_config ~domains:2 ~queue_capacity:64 (fun service port ->
+      let fd, ic, oc = connect port in
+      let v1 =
+        match
+          roundtrip ic oc
+            (Wire.Pool_put
+               { name = "qp"; workers = scalar_rows [ 0.9; 0.85; 0.8; 0.75; 0.7; 0.65 ] })
+        with
+        | Wire.Pool_info { version; size = 6; _ } -> version
+        | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r)
+      in
+      (match roundtrip ic oc (Wire.Quality { pool = "qp" }) with
+      | Wire.Quality_result { name = "qp"; version; workers } ->
+          Alcotest.(check int) "readback at the put version" v1 version;
+          Alcotest.(check int) "one row per worker" 6 (List.length workers);
+          List.iter
+            (fun (_, _, votes) -> Alcotest.(check int) "no votes yet" 0 votes)
+            workers
+      | r -> Alcotest.failf "quality: %s" (Wire.encode_response r));
+      (* A sub-batch report buffers without touching the version. *)
+      (match
+         roundtrip ic oc
+           (Wire.Report { pool = "qp"; votes = [ calib_vote ~truth:1 900 0 1 ] })
+       with
+      | Wire.Report_result { version; applied = 0; pending = 1; _ } ->
+          Alcotest.(check int) "buffered report keeps the version" v1 version
+      | r -> Alcotest.failf "small report: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (session_open_request ~pool:"qp" ~task:"t") with
+      | Wire.Session_result { state = Wire.Sess_open; _ } -> ()
+      | r -> Alcotest.failf "open: %s" (Wire.encode_response r));
+      (* Seven more votes make the batch due: applied, version bumped. *)
+      let votes = List.init 7 (fun i -> calib_vote ~truth:1 i (succ i mod 6) 1) in
+      let v2 =
+        match roundtrip ic oc (Wire.Report { pool = "qp"; votes }) with
+        | Wire.Report_result
+            { name = "qp"; version; applied = 8; pending = 0; drifted = []; _ } ->
+            Alcotest.(check bool) "applied batch bumps the version" true (version > v1);
+            version
+        | r -> Alcotest.failf "report: %s" (Wire.encode_response r)
+      in
+      (* The warm session predates the bump: retired, not resumed. *)
+      (match
+         roundtrip ic oc (Wire.Session_advise { pool = "qp"; task = "t"; k = 1 })
+       with
+      | Wire.Error { code = Wire.Unknown_session; _ } -> ()
+      | r -> Alcotest.failf "post-report advise: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (Wire.Quality { pool = "qp" }) with
+      | Wire.Quality_result { version; workers; _ } ->
+          Alcotest.(check int) "readback at the bumped version" v2 version;
+          Alcotest.(check int) "all votes accounted" 8
+            (List.fold_left (fun a (_, _, v) -> a + v) 0 workers);
+          List.iter
+            (fun (_, q, _) ->
+              Alcotest.(check bool) "estimates stay in (0,1)" true (q > 0. && q < 1.))
+            workers
+      | r -> Alcotest.failf "quality after report: %s" (Wire.encode_response r));
+      (* Malformed votes and unknown pools are wire errors, not crashes. *)
+      (match
+         roundtrip ic oc (Wire.Report { pool = "qp"; votes = [ calib_vote 0 0 7 ] })
+       with
+      | Wire.Error { code = Wire.Bad_request; _ } -> ()
+      | r -> Alcotest.failf "bad label: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (Wire.Report { pool = "ghost"; votes }) with
+      | Wire.Error { code = Wire.Unknown_pool; _ } -> ()
+      | r -> Alcotest.failf "ghost report: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (Wire.Recal { pool = "qp" }) with
+      | Wire.Report_result { applied = 0; _ } -> ()
+      | r -> Alcotest.failf "recal: %s" (Wire.encode_response r));
+      Unix.close fd;
+      let stats = Serve.Service.stats service in
+      Alcotest.(check bool) "ingests counted" true (List.assoc "ingests" stats >= 2.);
+      Alcotest.(check bool) "votes counted" true
+        (List.assoc "votes_ingested" stats >= 8.);
+      Alcotest.(check bool) "ingest latency tracked" true
+        (List.mem_assoc "ingest_ns_p95" stats);
+      Alcotest.(check bool) "quality-plane gauges exported" true
+        (List.mem_assoc "stale_pools" stats && List.mem_assoc "drift_flags" stats))
+
+(* A mid-stream spammer must be flagged within one drift window and the
+   standing jury re-selected away from them. *)
+let drift_reselection_test () =
+  let calib_config = { Workers.Calib.default_config with Workers.Calib.batch = 24 } in
+  with_server ~calib_config ~domains:1 ~queue_capacity:16 (fun service port ->
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put
+              { name = "drift"; workers = scalar_rows [ 0.9; 0.85; 0.8; 0.78; 0.76; 0.74 ] })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      let select () =
+        match
+          roundtrip ic oc
+            (Wire.Select
+               { pool = "drift"; budget = 3.; prior = Wire.default_prior; seed = 5 })
+        with
+        | Wire.Select_result { ids; _ } -> ids
+        | r -> Alcotest.failf "select: %s" (Wire.encode_response r)
+      in
+      let before = select () in
+      Alcotest.(check bool) "the strongest worker starts on the jury" true
+        (List.mem 0 before);
+      (* Worker 0 turns into a coin flipper: one drift window of gold
+         answers at exactly chance agreement. *)
+      let votes = List.init 24 (fun i -> calib_vote ~truth:1 i 0 (i mod 2)) in
+      (match roundtrip ic oc (Wire.Report { pool = "drift"; votes }) with
+      | Wire.Report_result { applied = 24; drifted; stale; recals; _ } ->
+          Alcotest.(check (list int)) "spammer flagged within one window" [ 0 ] drifted;
+          Alcotest.(check bool) "standing juries went stale" true stale;
+          Alcotest.(check int) "one standing jury re-selected" 1 recals
+      | r -> Alcotest.failf "report: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (Wire.Quality { pool = "drift" }) with
+      | Wire.Quality_result { workers; _ } -> (
+          match List.assoc_opt 0 (List.map (fun (i, q, v) -> (i, (q, v))) workers) with
+          | Some (q, votes) ->
+              Alcotest.(check bool) "re-anchored near chance" true
+                (Float.abs (q -. 0.5) <= 0.05);
+              Alcotest.(check int) "votes attributed" 24 votes
+          | None -> Alcotest.fail "worker 0 missing from readback")
+      | r -> Alcotest.failf "quality: %s" (Wire.encode_response r));
+      let after = select () in
+      Alcotest.(check bool) "re-selection drops the spammer" true
+        (not (List.mem 0 after));
+      Unix.close fd;
+      let stats = Serve.Service.stats service in
+      Alcotest.(check bool) "re-selection counted" true
+        (List.assoc "recal_runs" stats >= 1.);
+      Alcotest.(check bool) "drift flag exported" true
+        (List.assoc "drift_flags" stats >= 1.))
+
+(* [decide truth=g] closes the session as a gold example; labels outside
+   the task's range are a wire error that leaves the session alive. *)
+let decide_truth_test () =
+  with_server ~domains:1 ~queue_capacity:16 (fun _service port ->
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put { name = "dt"; workers = scalar_rows [ 0.55; 0.7; 0.7 ] })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      (match roundtrip ic oc (session_open_request ~pool:"dt" ~task:"t") with
+      | Wire.Session_result { state = Wire.Sess_open; _ } -> ()
+      | r -> Alcotest.failf "open: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Session_vote { pool = "dt"; task = "t"; worker = 0; label = 0 })
+       with
+      | Wire.Session_result _ -> ()
+      | r -> Alcotest.failf "vote: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Session_decide { pool = "dt"; task = "t"; truth = Some 7 })
+       with
+      | Wire.Error { code = Wire.Bad_request; _ } -> ()
+      | r -> Alcotest.failf "out-of-range truth: %s" (Wire.encode_response r));
+      (* The bad decide did not kill the session. *)
+      (match
+         roundtrip ic oc (Wire.Session_advise { pool = "dt"; task = "t"; k = 1 })
+       with
+      | Wire.Session_result { state = Wire.Sess_open; _ } -> ()
+      | r -> Alcotest.failf "advise after bad decide: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Session_decide { pool = "dt"; task = "t"; truth = Some 0 })
+       with
+      | Wire.Session_result { decision = Some _; _ } -> ()
+      | r -> Alcotest.failf "decide: %s" (Wire.encode_response r));
+      (* The decided session fed its vote to the calibrator as gold; a
+         forced recalibration folds it in. *)
+      (match roundtrip ic oc (Wire.Recal { pool = "dt" }) with
+      | Wire.Report_result { applied; _ } ->
+          Alcotest.(check int) "session vote reached the calibrator" 1 applied
+      | r -> Alcotest.failf "recal: %s" (Wire.encode_response r));
+      Unix.close fd)
+
+let quality_plane_tests =
+  [
+    Alcotest.test_case "report bumps versions and invalidates" `Quick
+      report_invalidation_test;
+    Alcotest.test_case "drift re-selects the standing jury" `Quick
+      drift_reselection_test;
+    Alcotest.test_case "decide with ground truth feeds gold" `Quick
+      decide_truth_test;
+  ]
 
 let session_service_tests =
   [
@@ -1366,5 +1603,6 @@ let () =
       ("metrics", metrics_tests);
       ("service", service_tests);
       ("sessions", session_service_tests);
+      ("quality plane", quality_plane_tests);
       ("pool_io", pool_io_tests);
     ]

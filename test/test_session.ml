@@ -306,6 +306,65 @@ let policy_tests =
           Session.Policy.all);
   ]
 
+(* ---- batch advice ---------------------------------------------------- *)
+
+let batch_advice_tests =
+  let pool = binary_pool [ 0.6; 0.9; 0.8; 0.7 ] [ 1.; 1.; 1.; 1. ] in
+  let task = Engine.Task.binary ~alpha in
+  let posterior = [| 0.5; 0.5 |] in
+  let pick_k ?(remaining = 100.) ?(asked = Array.make 4 false) policy k =
+    Session.Policy.pick_k policy ~task ~pool ~posterior ~asked ~remaining ~k ()
+  in
+  [
+    Alcotest.test_case "head of pick_k is pick" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let head =
+              match pick_k p 3 with (i, _) :: _ -> Some i | [] -> None
+            in
+            let single =
+              Session.Policy.pick p ~task ~pool ~posterior
+                ~asked:(Array.make 4 false) ~remaining:100. ()
+            in
+            Alcotest.(check bool)
+              (Session.Policy.to_string p) true
+              (head = Option.map fst single))
+          Session.Policy.all);
+    Alcotest.test_case "quality-greedy ranks best first" `Quick (fun () ->
+        Alcotest.(check (list int))
+          "order" [ 1; 2; 3 ]
+          (List.map fst (pick_k Session.Policy.Quality_greedy 3)));
+    Alcotest.test_case "k beyond the frontier clamps" `Quick (fun () ->
+        Alcotest.(check int)
+          "all four" 4
+          (List.length (pick_k Session.Policy.Quality_greedy 99));
+        let asked = [| false; true; true; false |] in
+        Alcotest.(check (list int))
+          "asked workers excluded" [ 0; 3 ]
+          (List.sort compare
+             (List.map fst (pick_k ~asked Session.Policy.Cheapest_first 99))));
+    Alcotest.test_case "k < 1 raises" `Quick (fun () ->
+        Alcotest.check_raises "k = 0"
+          (Invalid_argument "Policy.pick_k: k must be >= 1") (fun () ->
+            ignore (pick_k Session.Policy.Quality_greedy 0)));
+    Alcotest.test_case "advise_k matches advise and empties on terminal"
+      `Quick (fun () ->
+        let s = create_exn ~pool ~task ~budget:10. ~confidence:1. () in
+        (match (Session.Task.advise_k s ~k:3 ~now:0., Session.Task.advise s ~now:0.) with
+        | (head :: _ as batch), Some single ->
+            Alcotest.(check int) "head is the cached advice" single head;
+            Alcotest.(check int) "three advised" 3 (List.length batch)
+        | batch, single ->
+            Alcotest.fail
+              (Printf.sprintf "advice mismatch (batch %d, single %s)"
+                 (List.length batch)
+                 (match single with Some _ -> "some" | None -> "none")));
+        Session.Task.decide s ~now:0.;
+        Alcotest.(check (list int))
+          "terminal sessions advise nobody" []
+          (Session.Task.advise_k s ~k:3 ~now:0.));
+  ]
+
 (* ---- store ----------------------------------------------------------- *)
 
 let store_tests =
@@ -411,5 +470,6 @@ let () =
       ("posterior", [ seq_vs_batch_binary; seq_vs_batch_matrix; order_invariance ]);
       ("task", task_tests);
       ("policy", policy_tests);
+      ("batch advice", batch_advice_tests);
       ("store", store_tests);
     ]

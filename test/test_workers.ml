@@ -217,7 +217,7 @@ let test_confusion_label_bounds () =
 (* ---- History / Estimator --------------------------------------------- *)
 
 let test_history_counts () =
-  let h = Workers.History.create ~worker_id:5 in
+  let h = Workers.History.create ~worker_id:5 () in
   Workers.History.record_gold h ~task_id:0 ~vote:1 ~truth:1;
   Workers.History.record_gold h ~task_id:1 ~vote:0 ~truth:1;
   Workers.History.record_vote h ~task_id:2 ~vote:1;
@@ -231,18 +231,18 @@ let test_history_counts () =
   check_int "answered tasks" 3 (List.length (Workers.History.answered_tasks h))
 
 let test_history_dedup () =
-  let h = Workers.History.create ~worker_id:0 in
+  let h = Workers.History.create ~worker_id:0 () in
   Workers.History.record_vote h ~task_id:7 ~vote:0;
   Workers.History.record_vote h ~task_id:7 ~vote:1;
   check_int "dedup tasks" 1 (List.length (Workers.History.answered_tasks h));
   check_int "entries kept" 2 (Workers.History.length h)
 
 let test_history_empty_quality () =
-  let h = Workers.History.create ~worker_id:0 in
+  let h = Workers.History.create ~worker_id:0 () in
   check_bool "no grades" true (Workers.History.empirical_quality h = None)
 
 let test_estimator_empirical () =
-  let h = Workers.History.create ~worker_id:0 in
+  let h = Workers.History.create ~worker_id:0 () in
   for i = 0 to 7 do
     Workers.History.record_gold h ~task_id:i ~vote:1 ~truth:(if i < 6 then 1 else 0)
   done;
@@ -253,12 +253,12 @@ let test_estimator_empirical () =
     (Workers.Estimator.beta_posterior_mean ~a:2. ~b:2. h)
 
 let test_estimator_default_half () =
-  let h = Workers.History.create ~worker_id:0 in
+  let h = Workers.History.create ~worker_id:0 () in
   check_float "ungraded -> 0.5" 0.5 (Workers.Estimator.empirical h)
 
 let test_estimate_pool () =
   let mk id correct total =
-    let h = Workers.History.create ~worker_id:id in
+    let h = Workers.History.create ~worker_id:id () in
     for i = 0 to total - 1 do
       Workers.History.record_gold h ~task_id:i ~vote:1
         ~truth:(if i < correct then 1 else 0)
@@ -275,7 +275,7 @@ let test_estimate_pool () =
   check_float "c1" 2. (Workers.Worker.cost (Workers.Pool.get pool 1))
 
 let test_confusion_empirical () =
-  let h = Workers.History.create ~worker_id:0 in
+  let h = Workers.History.create ~worker_id:0 () in
   (* Perfect on label 0; always answers 2 when truth is 1. *)
   for i = 0 to 9 do
     Workers.History.record_gold h ~task_id:i ~vote:0 ~truth:0
@@ -475,6 +475,205 @@ let test_pool_io_file () =
   Sys.remove path;
   check_bool "file roundtrip" true (Workers.Pool.equal pool loaded)
 
+(* ---- Calib (streaming calibration) ----------------------------------- *)
+
+let test_history_ring () =
+  let h = Workers.History.create ~window:4 ~worker_id:1 () in
+  for i = 0 to 9 do
+    Workers.History.record_gold h ~task_id:i ~vote:1
+      ~truth:(if i mod 2 = 0 then 1 else 0)
+  done;
+  check_int "window" 4 (Workers.History.window h);
+  check_int "resident capped" 4 (Workers.History.resident h);
+  (* Summary counters cover the full stream, not just the residents. *)
+  check_int "full-stream length" 10 (Workers.History.length h);
+  check_int "full-stream graded" 10 (Workers.History.graded_count h);
+  check_int "full-stream correct" 5 (Workers.History.correct_count h);
+  (match Workers.History.empirical_quality h with
+  | Some q -> check_float "exact despite eviction" 0.5 q
+  | None -> Alcotest.fail "expected quality");
+  let ids es = List.map (fun (e : Workers.History.entry) -> e.task_id) es in
+  Alcotest.(check (list int))
+    "newest four, oldest first" [ 6; 7; 8; 9 ]
+    (ids (Workers.History.entries h));
+  Alcotest.(check (list int)) "recent 2" [ 8; 9 ] (ids (Workers.History.recent h 2));
+  Alcotest.(check (list int))
+    "recent clamps to resident" [ 6; 7; 8; 9 ]
+    (ids (Workers.History.recent h 99))
+
+let calib_vote ?truth task worker label = { Workers.Calib.task; worker; label; truth }
+
+let feed_exn calib votes =
+  match Workers.Calib.feed calib votes with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("feed: " ^ e)
+
+let test_calib_gold_convergence () =
+  let calib = Workers.Calib.create ~base:(Workers.Calib.Scalar [| 0.8; 0.5 |]) () in
+  check_float "starts at the registration" 0.8 (Workers.Calib.quality calib 0);
+  (* Worker 0's true agreement with gold is 90%. *)
+  let votes =
+    List.init 100 (fun i ->
+        calib_vote ~truth:1 i 0 (if i mod 10 = 0 then 0 else 1))
+  in
+  feed_exn calib votes;
+  check_int "buffered, not applied" 100 (Workers.Calib.pending calib);
+  check_bool "a batch is due" true (Workers.Calib.due calib);
+  let r = Workers.Calib.step calib in
+  check_int "applied" 100 r.Workers.Calib.applied;
+  check_bool "estimate moved" true r.Workers.Calib.changed;
+  check_close 0.05 "converged to the gold rate" 0.9 (Workers.Calib.quality calib 0);
+  check_int "votes seen" 100 (Workers.Calib.votes_seen calib 0);
+  check_float "untouched worker keeps its base" 0.5 (Workers.Calib.quality calib 1)
+
+let test_calib_feed_validation () =
+  let calib = Workers.Calib.create ~base:(Workers.Calib.Scalar [| 0.8 |]) () in
+  (match Workers.Calib.feed calib [ calib_vote 0 3 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-pool worker accepted");
+  (match Workers.Calib.feed calib [ calib_vote 0 0 7 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range label accepted");
+  (* A rejected batch buffers nothing, even its valid prefix. *)
+  (match Workers.Calib.feed calib [ calib_vote 0 0 1; calib_vote 1 0 (-1) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad batch accepted");
+  check_int "nothing buffered" 0 (Workers.Calib.pending calib)
+
+let test_calib_spammer_flagged () =
+  let calib =
+    Workers.Calib.create ~base:(Workers.Calib.Scalar [| 0.85; 0.85 |]) ()
+  in
+  (* Worker 0 turns into a coin flipper: 12 of 24 gold answers correct,
+     indistinguishable from binary chance while the standing estimate
+     (0.85) is informative — the spammer-onset pattern. *)
+  let votes = List.init 24 (fun i -> calib_vote ~truth:1 i 0 (i mod 2)) in
+  feed_exn calib votes;
+  let r = Workers.Calib.step calib in
+  (match r.Workers.Calib.drifted with
+  | [ d ] ->
+      check_int "worker flagged" 0 d.Workers.Calib.worker;
+      check_bool "spammer onset" true
+        (d.Workers.Calib.kind = Workers.Calib.Spammer_onset);
+      check_float "estimate before" 0.85 d.Workers.Calib.before;
+      check_float "recent rate" 0.5 d.Workers.Calib.after
+  | ds -> Alcotest.fail (Printf.sprintf "expected one drift flag, got %d" (List.length ds)));
+  check_int "drift counted" 1 (Workers.Calib.drift_count calib);
+  check_close 0.05 "re-anchored near chance" 0.5 (Workers.Calib.quality calib 0);
+  check_float "steady worker untouched" 0.85 (Workers.Calib.quality calib 1)
+
+(* Random ungraded vote sets: n workers, each voting on a random subset of
+   small-id tasks.  Task counts stay below [drift_min] so no drift fires
+   and below every window so nothing truncates — the regime where the
+   streaming fit must coincide with the offline one exactly. *)
+let calib_stream_gen =
+  QCheck2.Gen.(
+    int_range 2 5 >>= fun n ->
+    int_range 3 10 >>= fun tasks ->
+    list_size (return (n * tasks)) (option (int_range 0 1)) >>= fun labels ->
+    let triples =
+      List.concat
+        (List.mapi
+           (fun idx label ->
+             match label with
+             | None -> []
+             | Some l -> [ (idx / n, idx mod n, l) ])
+           labels)
+    in
+    let triples = if triples = [] then [ (0, 0, 0) ] else triples in
+    return (n, triples))
+
+(* Offline reference: the same votes handed to Dawid_skene.run directly,
+   with the calibrator's canonical ordering (tasks by id densely
+   re-indexed, votes by worker). *)
+let offline_binary_fit ~n triples =
+  let module IS = Set.Make (Int) in
+  let task_ids =
+    IS.elements (List.fold_left (fun s (t, _, _) -> IS.add t s) IS.empty triples)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i t -> Hashtbl.add index t i) task_ids;
+  let votes =
+    List.sort compare (List.map (fun (t, w, l) -> (Hashtbl.find index t, w, l)) triples)
+    |> List.map (fun (task, worker, label) -> { Workers.Dawid_skene.task; worker; label })
+  in
+  Workers.Dawid_skene.run ~max_iterations:200 ~smoothing:0.01
+    ~n_tasks:(List.length task_ids) ~n_workers:n ~n_labels:2 votes
+
+let test_calib_matches_offline_em =
+  qtest ~count:100 "recalibrate = offline Dawid-Skene" calib_stream_gen
+    (fun (n, triples) ->
+      let calib =
+        Workers.Calib.create ~base:(Workers.Calib.Scalar (Array.make n 0.7)) ()
+      in
+      (match
+         Workers.Calib.feed calib
+           (List.map (fun (t, w, l) -> calib_vote t w l) triples)
+       with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      ignore (Workers.Calib.recalibrate calib);
+      let streaming =
+        match Workers.Calib.em_qualities calib with
+        | Some q -> q
+        | None -> failwith "EM never ran"
+      in
+      let offline = Workers.Dawid_skene.binary_qualities (offline_binary_fit ~n triples) in
+      Array.length streaming = n
+      && Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) streaming offline)
+
+let test_calib_order_invariance =
+  qtest ~count:100 "ingestion order does not matter" calib_stream_gen
+    (fun (n, triples) ->
+      (* Every third vote is gold so the Beta side is exercised too. *)
+      let votes =
+        List.mapi
+          (fun i (t, w, l) ->
+            calib_vote ?truth:(if i mod 3 = 0 then Some l else None) t w l)
+          triples
+      in
+      let fit order chunk =
+        let calib =
+          Workers.Calib.create ~base:(Workers.Calib.Scalar (Array.make n 0.6)) ()
+        in
+        List.iteri
+          (fun i v ->
+            (match Workers.Calib.feed calib [ v ] with
+            | Ok _ -> ()
+            | Error e -> failwith e);
+            if (i + 1) mod chunk = 0 then ignore (Workers.Calib.step calib))
+          order;
+        ignore (Workers.Calib.recalibrate calib);
+        Workers.Calib.qualities calib
+      in
+      let forward = fit votes 4 and backward = fit (List.rev votes) 7 in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-12) forward backward)
+
+let test_calib_recal_after_drift_refits () =
+  (* After a spammer reset the retained EM votes of the flagged worker are
+     dropped; a forced recalibration must still run cleanly and keep the
+     other estimates sane. *)
+  let calib =
+    Workers.Calib.create ~base:(Workers.Calib.Scalar [| 0.9; 0.6; 0.6 |]) ()
+  in
+  let votes =
+    List.concat
+      (List.init 30 (fun t ->
+           [
+             calib_vote ~truth:1 t 0 (t mod 2);
+             calib_vote t 1 1;
+             calib_vote t 2 1;
+           ]))
+  in
+  feed_exn calib votes;
+  ignore (Workers.Calib.step calib);
+  check_bool "spammer flagged" true (Workers.Calib.drift_count calib > 0);
+  let r = Workers.Calib.recalibrate calib in
+  check_int "nothing newly applied" 0 r.Workers.Calib.applied;
+  Array.iter
+    (fun q -> check_bool "estimates stay in (0,1)" true (q > 0. && q < 1.))
+    (Workers.Calib.qualities calib)
+
 let () =
   Alcotest.run "workers"
     [
@@ -537,6 +736,17 @@ let () =
           Alcotest.test_case "headerless" `Quick test_pool_io_headerless;
           Alcotest.test_case "errors" `Quick test_pool_io_errors;
           Alcotest.test_case "file roundtrip" `Quick test_pool_io_file;
+        ] );
+      ( "calib",
+        [
+          Alcotest.test_case "history ring" `Quick test_history_ring;
+          Alcotest.test_case "gold convergence" `Quick test_calib_gold_convergence;
+          Alcotest.test_case "feed validation" `Quick test_calib_feed_validation;
+          Alcotest.test_case "spammer flagged" `Quick test_calib_spammer_flagged;
+          test_calib_matches_offline_em;
+          test_calib_order_invariance;
+          Alcotest.test_case "recal after drift" `Quick
+            test_calib_recal_after_drift_refits;
         ] );
       ( "dawid_skene",
         [
