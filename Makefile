@@ -59,10 +59,14 @@ bench-multiclass:
 	dune exec bench/main.exe -- --multiclass
 
 # Serving throughput at 1, 2 and 4 executor domains over four
-# shard-spread pools, written to BENCH_serve.json with the 2-domain
-# (scaling_2d) and widest-row (speedup_vs_1_domain) ratios.
+# shard-spread pools, plus connection-scaling rows (100 and 1000 open
+# TCP connections with a closed-loop active subset), written to
+# BENCH_serve.json with the 2-domain (scaling_2d) and widest-row
+# (speedup_vs_1_domain) ratios and per-row conn_rows.  --gate as in
+# bench-smoke: nonzero exit on errors, shed connections, read timeouts,
+# a sub-threshold speedup or a collapsed active p95.
 bench-serve: build
-	dune exec bench/serve_bench.exe
+	dune exec bench/serve_bench.exe -- --gate
 
 # Adaptive sessions vs one-shot juries on the synthetic AMT replay
 # (cost/task at matched accuracy), plus session-verb latency quantiles

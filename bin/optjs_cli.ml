@@ -587,12 +587,30 @@ let serve_cmd =
       & info [ "calib-window" ]
           ~doc:"Per-worker history ring capacity for calibration.")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-conns" ]
+          ~doc:
+            "Most simultaneously open connections; excess accepts are shed \
+             with an err overload line.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ]
+          ~doc:
+            "Seconds a partial request line may sit unfinished before the \
+             connection is closed (slow-loris defense; 0 disables).  \
+             Connections idling between complete requests are never reaped.")
+  in
   let run port domains queue_cap deadline log_interval batch_max session_cap
-      session_ttl calib_batch calib_window file =
+      session_ttl calib_batch calib_window max_conns idle_timeout file =
     (* Executor domains size their own minor heaps; the accept/submit
        threads allocate here, and this domain's collections handshake
        with every executor just the same. *)
     Gc.set { (Gc.get ()) with minor_heap_size = 4 * 1024 * 1024 };
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let calib_config =
       {
         Workers.Calib.default_config with
@@ -613,11 +631,14 @@ let serve_cmd =
         Printf.printf "loaded pool 'default' (%d workers, %d labels) from %s\n"
           (Engine.Pool.size pool) (Engine.Pool.labels pool) path
     | None -> ());
-    let server = Serve.Server.create ~port service in
-    Printf.printf "optjs serve: listening on 127.0.0.1:%d (%d domains, queue %d)\n%!"
+    let server =
+      Serve.Server.create ~max_conns ~idle_timeout ~port service
+    in
+    Printf.printf
+      "optjs serve: listening on 127.0.0.1:%d (%d domains, queue %d, conn cap %d)\n%!"
       (Serve.Server.port server)
       (Serve.Service.domains service)
-      queue_cap;
+      queue_cap max_conns;
     let log_interval =
       match log_interval with Some i when i > 0. -> Some i | _ -> None
     in
@@ -628,7 +649,8 @@ let serve_cmd =
     Term.(
       const run $ port_arg ~default:7071 $ domains_arg $ queue_arg $ deadline_arg
       $ log_arg $ batch_max_arg $ session_cap_arg $ session_ttl_arg
-      $ calib_batch_arg $ calib_window_arg $ file_arg)
+      $ calib_batch_arg $ calib_window_arg $ max_conns_arg $ idle_timeout_arg
+      $ file_arg)
 
 (* ---- loadgen ------------------------------------------------------- *)
 
@@ -745,6 +767,9 @@ let loadgen_cmd =
   in
   let run host port connections duration mix pool_size labels budget pools
       seed =
+    (* A daemon dying mid-reply must show up as a counted error, not kill
+       the generator with SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     if connections <= 0 then failwith "connections must be positive";
     if duration <= 0. then failwith "duration must be positive";
     if labels < 2 then failwith "labels must be at least 2";
@@ -1128,6 +1153,7 @@ let session_cmd =
   in
   let run host port action pool task_id alpha prior budget confidence floor
       policy worker label k truth pool_size seed =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let task = task_of ~alpha ~prior in
     let prior = Array.to_list (Engine.Task.prior task) in
     let fd, ic, oc = lg_connect host port in

@@ -1,0 +1,145 @@
+external fd_int : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+external has_epoll : unit -> bool = "optjs_evloop_has_epoll"
+external epoll_create : unit -> int = "optjs_epoll_create"
+external epoll_ctl : int -> int -> int -> int -> int = "optjs_epoll_ctl"
+
+external epoll_wait_stub : int -> int -> int array -> int array -> int
+  = "optjs_epoll_wait"
+
+external poll_stub : int array -> int array -> int array -> int -> int
+  = "optjs_poll"
+
+external rlimit_nofile_stub : int -> int = "optjs_rlimit_nofile"
+
+let readable = 1
+let writable = 2
+let error = 4
+let batch = 512
+
+type t = {
+  kind : [ `Epoll | `Poll ];
+  epfd : int;                        (* epoll backend only *)
+  interest : (int, int) Hashtbl.t;   (* fd -> mask, both backends *)
+  out_fds : int array;               (* epoll wait scratch *)
+  out_evs : int array;
+  mutable poll_fds : int array;      (* poll wait scratch, grown on demand *)
+  mutable poll_masks : int array;
+  mutable poll_revs : int array;
+  mutable closed : bool;
+}
+
+let fail fn code =
+  (* [code] is -errno from the stub. *)
+  failwith
+    (Printf.sprintf "Evloop.%s: %s" fn
+       (Unix.error_message (Unix.EUNKNOWNERR (-code))))
+
+let create ?(force_poll = false) () =
+  let use_epoll = (not force_poll) && has_epoll () in
+  let epfd =
+    if not use_epoll then -1
+    else
+      let fd = epoll_create () in
+      if fd < 0 then fail "create" fd else fd
+  in
+  {
+    kind = (if use_epoll then `Epoll else `Poll);
+    epfd;
+    interest = Hashtbl.create 64;
+    out_fds = Array.make batch 0;
+    out_evs = Array.make batch 0;
+    poll_fds = Array.make 64 0;
+    poll_masks = Array.make 64 0;
+    poll_revs = Array.make 64 0;
+    closed = false;
+  }
+
+let backend t = t.kind
+let registered t = Hashtbl.length t.interest
+
+let ctl t fn op fd mask =
+  if t.kind = `Epoll then begin
+    let r = epoll_ctl t.epfd op (fd_int fd) mask in
+    if r < 0 then fail fn r
+  end
+
+let add t fd mask =
+  Hashtbl.replace t.interest (fd_int fd) mask;
+  ctl t "add" 0 fd mask
+
+let modify t fd mask =
+  match Hashtbl.find_opt t.interest (fd_int fd) with
+  | None -> add t fd mask
+  | Some old when old = mask -> ()
+  | Some _ ->
+      Hashtbl.replace t.interest (fd_int fd) mask;
+      ctl t "modify" 1 fd mask
+
+let remove t fd =
+  let key = fd_int fd in
+  if Hashtbl.mem t.interest key then begin
+    Hashtbl.remove t.interest key;
+    (* DEL may legitimately fail with EBADF when the caller already
+       closed the descriptor — the kernel dropped it for us. *)
+    if t.kind = `Epoll then ignore (epoll_ctl t.epfd 2 key 0)
+  end
+
+let wait_epoll t ~timeout_ms ~handle =
+  let n = epoll_wait_stub t.epfd timeout_ms t.out_fds t.out_evs in
+  if n < 0 then fail "wait" n;
+  for i = 0 to n - 1 do
+    handle (fd_of_int t.out_fds.(i)) t.out_evs.(i)
+  done;
+  n
+
+let wait_poll t ~timeout_ms ~handle =
+  let count = Hashtbl.length t.interest in
+  if Array.length t.poll_fds < count then begin
+    let cap = max count (2 * Array.length t.poll_fds) in
+    t.poll_fds <- Array.make cap 0;
+    t.poll_masks <- Array.make cap 0;
+    t.poll_revs <- Array.make cap 0
+  end;
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun fd mask ->
+      t.poll_fds.(!i) <- fd;
+      t.poll_masks.(!i) <- mask;
+      t.poll_revs.(!i) <- 0;
+      incr i)
+    t.interest;
+  let n =
+    poll_stub
+      (Array.sub t.poll_fds 0 count)
+      (Array.sub t.poll_masks 0 count)
+      t.poll_revs timeout_ms
+  in
+  if n < 0 then fail "wait" n;
+  let fired = ref 0 in
+  for j = 0 to count - 1 do
+    (* poll reports on the snapshot we submitted; a handler may have
+       removed a descriptor meanwhile, so skip the deregistered. *)
+    if t.poll_revs.(j) <> 0 && Hashtbl.mem t.interest t.poll_fds.(j) then begin
+      incr fired;
+      handle (fd_of_int t.poll_fds.(j)) t.poll_revs.(j)
+    end
+  done;
+  !fired
+
+let wait t ~timeout_ms ~handle =
+  match t.kind with
+  | `Epoll -> wait_epoll t ~timeout_ms ~handle
+  | `Poll -> wait_poll t ~timeout_ms ~handle
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.reset t.interest;
+    if t.kind = `Epoll then
+      try Unix.close (fd_of_int t.epfd) with Unix.Unix_error _ -> ()
+  end
+
+let rlimit_nofile ?(set = -1) () =
+  let r = rlimit_nofile_stub set in
+  if r < 0 then fail "rlimit_nofile" r else r

@@ -1,0 +1,59 @@
+(** Readiness-event loop over the C stubs in [evloop_stubs.c]: epoll(7)
+    on Linux, poll(2) elsewhere (or with [force_poll], for testing the
+    portable path on any host).
+
+    One {!t} belongs to one thread — the server's event thread — which
+    is the only caller of {!add}/{!modify}/{!remove}/{!wait}.  Interest
+    is level-triggered on both backends: a descriptor stays ready until
+    drained, so a bounded per-wait batch never loses events.  Waits
+    release the OCaml runtime lock.
+
+    Masks are bitwise: {!readable} lor {!writable}; handlers also see
+    {!error} for error/hangup conditions. *)
+
+type t
+
+val readable : int
+(** Interest/result bit 1: the descriptor has bytes (or EOF) to read. *)
+
+val writable : int
+(** Interest/result bit 2: the descriptor accepts writes. *)
+
+val error : int
+(** Result-only bit 4: error or hangup reported by the kernel. *)
+
+val create : ?force_poll:bool -> unit -> t
+(** [force_poll] (default false) selects the poll(2) backend even where
+    epoll is available.  @raise Failure if the backend cannot start. *)
+
+val backend : t -> [ `Epoll | `Poll ]
+
+val add : t -> Unix.file_descr -> int -> unit
+(** Register [fd] with an interest mask ({!readable} lor {!writable},
+    possibly 0).  @raise Failure on a kernel-level registration error. *)
+
+val modify : t -> Unix.file_descr -> int -> unit
+(** Change a registered descriptor's interest mask. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister [fd].  Safe to call with an already-closed descriptor
+    (the kernel auto-removes closed fds from an epoll set); unknown fds
+    are ignored. *)
+
+val registered : t -> int
+(** Number of currently registered descriptors. *)
+
+val wait : t -> timeout_ms:int -> handle:(Unix.file_descr -> int -> unit) -> int
+(** Block up to [timeout_ms] (-1 = forever) for readiness, then call
+    [handle fd mask] for each ready descriptor; returns the ready
+    count (0 on timeout or EINTR).  [handle] may add/modify/remove
+    descriptors — including the ones still queued in this batch; a
+    handler must tolerate events for descriptors it just removed. *)
+
+val close : t -> unit
+(** Release the backend (closes the epoll fd).  Idempotent. *)
+
+val rlimit_nofile : ?set:int -> unit -> int
+(** The process RLIMIT_NOFILE soft limit; with [set], first update it
+    (clamped to the hard limit).  Used by the fd-exhaustion tests and
+    the connection-scaling bench.  @raise Failure on rlimit errors. *)

@@ -1,0 +1,171 @@
+/* Readiness notification for the connection plane.
+
+   Two backends behind one int-mask interface (1 = readable, 2 =
+   writable, 4 = error): epoll(7) on Linux — O(1) per wakeup however
+   many mostly-idle connections are registered — and poll(2) everywhere
+   else.  Both waits release the OCaml runtime lock, so executor domains
+   and the metrics thread keep running while the event thread blocks.
+
+   The syscalls run against C stack/heap buffers only; OCaml arrays are
+   touched before release and after re-acquisition of the runtime lock
+   (they may move during the blocking section, so the rooted values are
+   re-read afterwards). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/resource.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#define OPTJS_EV_READ 1
+#define OPTJS_EV_WRITE 2
+#define OPTJS_EV_ERROR 4
+
+/* Bounded per-wait batch: level-triggered readiness re-reports anything
+   left over, so a small fixed batch costs one extra syscall at worst. */
+#define OPTJS_EV_BATCH 512
+
+CAMLprim value optjs_evloop_has_epoll(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+CAMLprim value optjs_epoll_create(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  return Val_long(fd < 0 ? -errno : fd);
+#else
+  return Val_long(-ENOSYS);
+#endif
+}
+
+/* op: 0 = add, 1 = mod, 2 = del.  Returns 0 or -errno. */
+CAMLprim value optjs_epoll_ctl(value vepfd, value vop, value vfd, value vmask)
+{
+#ifdef __linux__
+  struct epoll_event ev;
+  int mask = Int_val(vmask);
+  int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  memset(&ev, 0, sizeof ev);
+  ev.events = 0;
+  if (mask & OPTJS_EV_READ) ev.events |= EPOLLIN;
+  if (mask & OPTJS_EV_WRITE) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vepfd), ops[Int_val(vop)], Int_val(vfd), &ev) != 0)
+    return Val_long(-errno);
+  return Val_long(0);
+#else
+  (void)vepfd; (void)vop; (void)vfd; (void)vmask;
+  return Val_long(-ENOSYS);
+#endif
+}
+
+/* Fills fds/evs (int arrays) with up to min(len, OPTJS_EV_BATCH) ready
+   descriptors and their masks; returns the count, 0 on timeout or
+   EINTR, -errno otherwise.  timeout is in ms, -1 = infinite. */
+CAMLprim value optjs_epoll_wait(value vepfd, value vtimeout, value vfds,
+                                value vevs)
+{
+  CAMLparam4(vepfd, vtimeout, vfds, vevs);
+#ifdef __linux__
+  struct epoll_event buf[OPTJS_EV_BATCH];
+  int cap = Wosize_val(vfds);
+  int epfd = Int_val(vepfd);
+  int timeout = Int_val(vtimeout);
+  int n, i;
+  if ((int)Wosize_val(vevs) < cap) cap = Wosize_val(vevs);
+  if (cap > OPTJS_EV_BATCH) cap = OPTJS_EV_BATCH;
+  caml_release_runtime_system();
+  n = epoll_wait(epfd, buf, cap, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) CAMLreturn(Val_long(errno == EINTR ? 0 : -errno));
+  for (i = 0; i < n; i++) {
+    int m = 0;
+    if (buf[i].events & (EPOLLIN | EPOLLHUP)) m |= OPTJS_EV_READ;
+    if (buf[i].events & EPOLLOUT) m |= OPTJS_EV_WRITE;
+    if (buf[i].events & EPOLLERR) m |= OPTJS_EV_ERROR;
+    Field(vfds, i) = Val_int(buf[i].data.fd);
+    Field(vevs, i) = Val_int(m);
+  }
+  CAMLreturn(Val_long(n));
+#else
+  (void)vepfd; (void)vtimeout; (void)vfds; (void)vevs;
+  CAMLreturn(Val_long(-ENOSYS));
+#endif
+}
+
+/* Portable fallback: poll every fd in vfds with interest vmasks, write
+   result masks into vrevs.  Returns ready count, 0 on timeout/EINTR,
+   -errno otherwise. */
+CAMLprim value optjs_poll(value vfds, value vmasks, value vrevs,
+                          value vtimeout)
+{
+  CAMLparam4(vfds, vmasks, vrevs, vtimeout);
+  int n = Wosize_val(vfds);
+  int timeout = Int_val(vtimeout);
+  int r, i;
+  struct pollfd *pfds;
+  if ((int)Wosize_val(vmasks) < n) n = Wosize_val(vmasks);
+  if ((int)Wosize_val(vrevs) < n) n = Wosize_val(vrevs);
+  pfds = caml_stat_alloc((n > 0 ? n : 1) * sizeof(struct pollfd));
+  for (i = 0; i < n; i++) {
+    int mask = Int_val(Field(vmasks, i));
+    pfds[i].fd = Int_val(Field(vfds, i));
+    pfds[i].events = 0;
+    pfds[i].revents = 0;
+    if (mask & OPTJS_EV_READ) pfds[i].events |= POLLIN;
+    if (mask & OPTJS_EV_WRITE) pfds[i].events |= POLLOUT;
+  }
+  caml_release_runtime_system();
+  r = poll(pfds, n, timeout);
+  caml_acquire_runtime_system();
+  if (r < 0) {
+    int e = errno;
+    caml_stat_free(pfds);
+    CAMLreturn(Val_long(e == EINTR ? 0 : -e));
+  }
+  for (i = 0; i < n; i++) {
+    int m = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP)) m |= OPTJS_EV_READ;
+    if (pfds[i].revents & POLLOUT) m |= OPTJS_EV_WRITE;
+    if (pfds[i].revents & (POLLERR | POLLNVAL)) m |= OPTJS_EV_ERROR;
+    Field(vrevs, i) = Val_int(m);
+  }
+  caml_stat_free(pfds);
+  CAMLreturn(Val_long(r));
+}
+
+/* Query (soft < 0) or set-and-query the RLIMIT_NOFILE soft limit,
+   clamped to the hard limit.  Returns the soft limit in effect, or
+   -errno.  The fd-exhaustion tests shrink it to provoke EMFILE in
+   accept(2); the connection-scaling bench checks headroom with it. */
+CAMLprim value optjs_rlimit_nofile(value vsoft)
+{
+  struct rlimit rl;
+  long want = Long_val(vsoft);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-errno);
+  if (want >= 0) {
+    rlim_t ns = (rlim_t)want;
+    if (rl.rlim_max != RLIM_INFINITY && ns > rl.rlim_max) ns = rl.rlim_max;
+    rl.rlim_cur = ns;
+    if (setrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-errno);
+  }
+  if (rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur > (rlim_t)Max_long)
+    return Val_long(Max_long);
+  return Val_long((long)rl.rlim_cur);
+}

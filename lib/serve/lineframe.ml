@@ -1,0 +1,113 @@
+type t = {
+  max_line : int;
+  mutable buf : Bytes.t;
+  mutable start : int;    (* first unconsumed byte *)
+  mutable len : int;      (* end of valid data *)
+  mutable scanned : int;  (* '\n'-scan progress, start <= scanned <= len *)
+  mutable discard : bool; (* dropping an over-limit line up to its '\n' *)
+}
+
+let cap t = t.max_line + 1
+
+let create ?(initial = 4096) ~max_line () =
+  if max_line <= 0 then invalid_arg "Lineframe.create: max_line <= 0";
+  let initial = min (max 64 initial) (max_line + 1) in
+  {
+    max_line;
+    buf = Bytes.create initial;
+    start = 0;
+    len = 0;
+    scanned = 0;
+    discard = false;
+  }
+
+let buffered t = t.len - t.start
+
+let compact t =
+  if t.start > 0 then begin
+    let n = t.len - t.start in
+    if n > 0 then Bytes.blit t.buf t.start t.buf 0 n;
+    t.scanned <- t.scanned - t.start;
+    t.start <- 0;
+    t.len <- n
+  end
+
+let reserve t =
+  if t.len = Bytes.length t.buf then begin
+    compact t;
+    if t.len = Bytes.length t.buf && Bytes.length t.buf < cap t then begin
+      let grown = Bytes.create (min (cap t) (2 * Bytes.length t.buf)) in
+      Bytes.blit t.buf 0 grown 0 t.len;
+      t.buf <- grown
+    end
+  end;
+  if t.len = Bytes.length t.buf then None
+  else Some (t.buf, t.len, Bytes.length t.buf - t.len)
+
+let commit t n =
+  if n < 0 || t.len + n > Bytes.length t.buf then
+    invalid_arg "Lineframe.commit";
+  t.len <- t.len + n
+
+let find_nl t from =
+  match Bytes.index_from_opt t.buf from '\n' with
+  | Some i when i < t.len -> Some i
+  | _ -> None
+
+let rec next t =
+  if t.discard then begin
+    match find_nl t t.start with
+    | Some i ->
+        t.discard <- false;
+        t.start <- i + 1;
+        t.scanned <- t.start;
+        next t
+    | None ->
+        (* Drop everything buffered: the over-limit line is still
+           coming, and none of it will ever be served. *)
+        t.start <- t.len;
+        t.scanned <- t.len;
+        if t.start = t.len then begin
+          t.start <- 0;
+          t.len <- 0;
+          t.scanned <- 0
+        end;
+        `Await
+  end
+  else
+    match find_nl t (max t.start t.scanned) with
+    | Some i ->
+        if i - t.start > t.max_line then begin
+          (* A terminated line can exceed the limit only if the buffer
+             was created larger than the cap; handle it anyway. *)
+          t.start <- i + 1;
+          t.scanned <- t.start;
+          `Too_long
+        end
+        else begin
+          let line = Bytes.sub_string t.buf t.start (i - t.start) in
+          t.start <- i + 1;
+          t.scanned <- t.start;
+          if t.start = t.len then begin
+            t.start <- 0;
+            t.len <- 0;
+            t.scanned <- 0
+          end;
+          `Line line
+        end
+    | None ->
+        t.scanned <- t.len;
+        if t.len - t.start > t.max_line then begin
+          t.discard <- true;
+          t.start <- 0;
+          t.len <- 0;
+          t.scanned <- 0;
+          `Too_long
+        end
+        else `Await
+
+let has_room t = t.len - t.start < cap t
+
+let pending t =
+  t.discard
+  || (t.len > t.start && match find_nl t t.start with None -> true | Some _ -> false)

@@ -1,0 +1,50 @@
+(** Bounded newline framing over a per-connection reused buffer.
+
+    The event loop reads straight into the frame's buffer
+    ({!reserve}/{!commit} — no per-read allocation) and pulls complete
+    request lines out with {!next}.  The buffer never grows past
+    [max_line + 1] bytes, so an attacker streaming a newline-free line
+    costs a bounded buffer and one [`Too_long] event, not unbounded
+    memory: the frame then discards input up to the next ['\n'] and
+    resumes framing, keeping the connection usable.
+
+    A full buffer that holds complete-but-unconsumed lines (a pipelining
+    client outrunning the service) makes {!reserve} return [None] —
+    the caller's backpressure signal to stop reading until {!next}
+    drains. *)
+
+type t
+
+val create : ?initial:int -> max_line:int -> unit -> t
+(** [max_line] is the longest accepted line, exclusive of the
+    terminating newline; the buffer starts at [initial] (default 4096,
+    clamped to the cap) bytes and grows on demand to [max_line + 1].
+    @raise Invalid_argument for [max_line <= 0]. *)
+
+val reserve : t -> (Bytes.t * int * int) option
+(** [Some (buf, off, room)]: read up to [room] bytes into [buf] at
+    [off], then {!commit} the count actually read.  [None] when the
+    buffer is full of undrained lines (backpressure). *)
+
+val commit : t -> int -> unit
+(** Account [n] bytes just read into the last {!reserve} window. *)
+
+val next : t -> [ `Line of string | `Too_long | `Await ]
+(** Pull the next complete line (newline stripped; bytes otherwise
+    untouched).  [`Too_long] reports an over-limit line once — the
+    frame switches to discarding until the line's newline arrives, then
+    frames normally again.  [`Await] means no complete line is
+    buffered. *)
+
+val pending : t -> bool
+(** True when a partial line (or an over-limit line still being
+    discarded) is buffered — the condition the server's read deadline
+    (slow-loris defense) applies to.  Complete undrained lines alone do
+    not count as pending. *)
+
+val has_room : t -> bool
+(** True when {!reserve} would return a window — the read-interest
+    condition for the event loop. *)
+
+val buffered : t -> int
+(** Bytes currently buffered (diagnostics). *)

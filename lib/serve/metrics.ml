@@ -42,6 +42,7 @@ type t = {
   sources_lock : Mutex.t;
   mutable cache_sources : (unit -> Jsp.Objective_cache.stats) list;
   mutable session_sources : (unit -> Session.Store.stats) list;
+  mutable gauge_sources : (unit -> (string * float) list) list;
 }
 
 let fresh_shard () =
@@ -89,6 +90,7 @@ let create ?(shards = 1) () =
     sources_lock = Mutex.create ();
     cache_sources = [];
     session_sources = [];
+    gauge_sources = [];
   }
 
 let shards t = Array.length t.shards
@@ -174,6 +176,11 @@ let add_cache t ~merge =
 let add_sessions t ~stats =
   Mutex.lock t.sources_lock;
   t.session_sources <- stats :: t.session_sources;
+  Mutex.unlock t.sources_lock
+
+let add_gauges t ~gauges =
+  Mutex.lock t.sources_lock;
+  t.gauge_sources <- gauges :: t.gauge_sources;
   Mutex.unlock t.sources_lock
 
 (* Merged view of every shard: counters and histogram buckets sum, the
@@ -285,11 +292,13 @@ let merge t =
 
 let snapshot t =
   let m = merge t in
-  let sources, session_sources =
+  let sources, session_sources, gauge_sources =
     Mutex.lock t.sources_lock;
-    let s = t.cache_sources and ss = t.session_sources in
+    let s = t.cache_sources
+    and ss = t.session_sources
+    and gs = t.gauge_sources in
     Mutex.unlock t.sources_lock;
-    (s, ss)
+    (s, ss, gs)
   in
   let f = float_of_int in
   let base =
@@ -384,9 +393,10 @@ let snapshot t =
       ("cache_evictions", f cache.evictions);
     ]
   in
+  let gauge_rows = List.concat_map (fun gauges -> gauges ()) gauge_sources in
   List.sort compare
     (base @ quantiles @ jq_quantiles @ session_quantiles @ ingest_quantiles
-   @ cache_rows @ session_rows)
+   @ cache_rows @ session_rows @ gauge_rows)
 
 let pp_line ppf t =
   let snap = snapshot t in

@@ -91,6 +91,14 @@ val add_sessions : t -> stats:(unit -> Session.Store.stats) -> unit
     store); {!snapshot} sums every registered source into the
     [sessions_*] rows.  Same concurrency contract as {!add_cache}. *)
 
+val add_gauges : t -> gauges:(unit -> (string * float) list) -> unit
+(** Register a pull-source of free-form gauge rows appended verbatim to
+    {!snapshot} (e.g. the TCP server's [conns_open]/[conns_rejected]/
+    [read_timeouts] counters).  Keys should not collide with the built-in
+    rows.  Same concurrency contract as {!add_cache}: the thunk runs on
+    the snapshotting thread and may read other threads' counters
+    racily. *)
+
 val add_cache : t -> merge:(unit -> Jsp.Objective_cache.stats) -> unit
 (** Register a pull-source of solver-cache counters (one per executor);
     {!snapshot} sums every registered source.  The thunk is called from

@@ -34,7 +34,10 @@ type job = {
   request : Wire.request;   (* Data-plane verbs only: jq/select/table/session. *)
   submitted : float;        (* Monotonic (Clock.now). *)
   deadline : float;         (* Absolute monotonic; [infinity] when unset. *)
-  cell : Cell.t;
+  complete : Wire.response -> unit;
+      (* Exactly-once completion: a blocking submit fills a Cell, an
+         async submit hands the response to the event loop.  Runs on the
+         executor domain, so it must stay cheap and never raise. *)
 }
 
 (* Warm per-executor state.  The executor domain is the only writer; the
@@ -641,7 +644,7 @@ let verb_of = function
 let response_ok = function Wire.Error _ -> false | _ -> true
 
 let reply t exec job response =
-  Cell.fill job.cell response;
+  job.complete response;
   Metrics.record t.metrics ~shard:exec.shard ~verb:(verb_of job.request)
     ~latency:(Clock.now () -. job.submitted)
     ~ok:(response_ok response)
@@ -795,13 +798,21 @@ let affinity_of t request =
       Hashtbl.hash name
   | _ -> Atomic.fetch_and_add t.inline_rr 1
 
-let submit t request =
+(* One submission path for both faces: control-plane verbs are answered
+   inline on the calling thread (and [complete]d immediately), compute
+   verbs are enqueued with [complete] as their continuation.  [complete]
+   is called exactly once — synchronously for inline replies, admission
+   rejections and drain refusals, from an executor domain otherwise. *)
+let dispatch t request ~complete =
   let start = Clock.now () in
   match request with
-  | Wire.Ping -> inline_reply t ~start request Wire.Pong
-  | Wire.Stats -> inline_reply t ~start request (Wire.Stats_result (stats t))
+  | Wire.Ping -> complete (inline_reply t ~start request Wire.Pong)
+  | Wire.Stats ->
+      complete (inline_reply t ~start request (Wire.Stats_result (stats t)))
   | Wire.Pool_list ->
-      inline_reply t ~start request (Wire.Pool_entries (Registry.list t.registry))
+      complete
+        (inline_reply t ~start request
+           (Wire.Pool_entries (Registry.list t.registry)))
   | Wire.Pool_put { name; workers } -> (
       (* Wire decoding already validated the rows (uniform kind and ℓ,
          entries in range, stochastic matrix rows), so construction can
@@ -829,11 +840,13 @@ let submit t request =
       with
       | pool ->
           let version = Registry.upsert t.registry ~name pool in
-          inline_reply t ~start request
-            (Wire.Pool_info { name; version; size = Engine.Pool.size pool })
+          complete
+            (inline_reply t ~start request
+               (Wire.Pool_info { name; version; size = Engine.Pool.size pool }))
       | exception Invalid_argument msg ->
-          inline_reply t ~start request
-            (Wire.Error { code = Wire.Bad_request; message = msg }))
+          complete
+            (inline_reply t ~start request
+               (Wire.Error { code = Wire.Bad_request; message = msg })))
   | Wire.Jq _ | Wire.Select _ | Wire.Table _ | Wire.Session_open _
   | Wire.Session_vote _ | Wire.Session_advise _ | Wire.Session_decide _
   | Wire.Session_close _ | Wire.Report _ | Wire.Quality _ | Wire.Recal _ -> (
@@ -843,22 +856,31 @@ let submit t request =
           submitted = start;
           deadline =
             (match t.deadline with Some d -> start +. d | None -> infinity);
-          cell = Cell.create ();
+          complete;
         }
       in
       match Dispatch.push t.queue ~affinity:(affinity_of t request) job with
-      | `Ok -> Cell.await job.cell
+      | `Ok -> ()
       | `Closed ->
-          inline_reply t ~start request
-            (Wire.Error { code = Wire.Shutdown; message = "service draining" })
+          complete
+            (inline_reply t ~start request
+               (Wire.Error { code = Wire.Shutdown; message = "service draining" }))
       | `Overload ->
           Metrics.overload t.metrics;
-          Wire.Error
-            {
-              code = Wire.Overload;
-              message =
-                Printf.sprintf "queue full (%d waiting)" t.queue_capacity;
-            })
+          complete
+            (Wire.Error
+               {
+                 code = Wire.Overload;
+                 message =
+                   Printf.sprintf "queue full (%d waiting)" t.queue_capacity;
+               }))
+
+let submit t request =
+  let cell = Cell.create () in
+  dispatch t request ~complete:(Cell.fill cell);
+  Cell.await cell
+
+let submit_async t request ~k = dispatch t request ~complete:k
 
 let shutdown t =
   let workers =

@@ -92,6 +92,13 @@ val submit : t -> Wire.request -> Wire.response
     every failure mode is an [Error] response.  Thread-safe; call it from
     as many threads as you like. *)
 
+val submit_async : t -> Wire.request -> k:(Wire.response -> unit) -> unit
+(** Like {!submit}, but non-blocking: [k] receives the response exactly
+    once — synchronously on the calling thread for control-plane verbs,
+    admission rejections and post-shutdown refusals, from an executor
+    domain otherwise.  [k] must be cheap, thread-safe and non-raising
+    (the TCP event loop's completion hook is the intended caller). *)
+
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
 val domains : t -> int

@@ -1592,6 +1592,445 @@ let pool_io_tests =
         expect_failure "mixed kinds" "A,1,0.8,0.2,0.2,0.8\nB,0.9,1");
   ]
 
+(* ---- connection plane: event loop, framing, fault injection --------- *)
+
+let with_server_opts ?backlog ?max_conns ?idle_timeout ?max_line ?force_poll
+    ~domains ~queue_capacity f =
+  let service = Serve.Service.create ~domains ~queue_capacity () in
+  let server =
+    Serve.Server.create ?backlog ?max_conns ?idle_timeout ?max_line ?force_poll
+      ~port:0 service
+  in
+  Serve.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Service.shutdown service)
+    (fun () -> f service (Serve.Server.port server))
+
+let gauge service key =
+  match List.assoc_opt key (Serve.Service.stats service) with
+  | Some v -> v
+  | None -> Alcotest.failf "stats missing gauge %s" key
+
+(* Feed a string into a frame in [chunk]-byte pieces, collecting every
+   event [next] produces along the way. *)
+let frame_feed frame ~chunk s =
+  let out = ref [] in
+  let drain () =
+    let rec go () =
+      match Serve.Lineframe.next frame with
+      | `Await -> ()
+      | (`Line _ | `Too_long) as ev ->
+          out := ev :: !out;
+          go ()
+    in
+    go ()
+  in
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    (match Serve.Lineframe.reserve frame with
+    | None -> drain ()
+    | Some (buf, off, room) ->
+        let take = min chunk (min room (n - !pos)) in
+        Bytes.blit_string s !pos buf off take;
+        Serve.Lineframe.commit frame take;
+        pos := !pos + take);
+    drain ()
+  done;
+  drain ();
+  List.rev !out
+
+let lineframe_tests =
+  [
+    Alcotest.test_case "split reads frame in order" `Quick (fun () ->
+        let frame = Serve.Lineframe.create ~max_line:64 () in
+        let events = frame_feed frame ~chunk:3 "a\nbb\nccc\n" in
+        Alcotest.(check (list string))
+          "lines" [ "a"; "bb"; "ccc" ]
+          (List.map
+             (function `Line l -> l | `Too_long -> "<too-long>")
+             events);
+        Alcotest.(check bool) "no partial left" false
+          (Serve.Lineframe.pending frame));
+    Alcotest.test_case "over-limit line reported once, then resync" `Quick
+      (fun () ->
+        let frame = Serve.Lineframe.create ~max_line:16 () in
+        let events =
+          frame_feed frame ~chunk:5 (String.make 100 'x' ^ "\nping\n")
+        in
+        Alcotest.(check (list string))
+          "one too-long, then the next line"
+          [ "<too-long>"; "ping" ]
+          (List.map
+             (function `Line l -> l | `Too_long -> "<too-long>")
+             events));
+    Alcotest.test_case "exact max_line accepted, one over rejected" `Quick
+      (fun () ->
+        let exact = String.make 16 'y' in
+        let frame = Serve.Lineframe.create ~max_line:16 () in
+        (match frame_feed frame ~chunk:7 (exact ^ "\n") with
+        | [ `Line l ] -> Alcotest.(check string) "exact" exact l
+        | _ -> Alcotest.fail "expected exactly one line");
+        let frame = Serve.Lineframe.create ~max_line:16 () in
+        match frame_feed frame ~chunk:7 (exact ^ "y\n") with
+        | [ `Too_long ] -> ()
+        | _ -> Alcotest.fail "expected exactly one too-long event");
+    Alcotest.test_case "backpressure when full of undrained lines" `Quick
+      (fun () ->
+        let frame = Serve.Lineframe.create ~max_line:8 () in
+        (* Fill with complete 2-byte lines without draining. *)
+        let rec fill () =
+          match Serve.Lineframe.reserve frame with
+          | None -> ()
+          | Some (buf, off, room) ->
+              let take = min 2 room in
+              Bytes.blit_string (if take = 2 then "z\n" else "\n") 0 buf off
+                take;
+              Serve.Lineframe.commit frame take;
+              fill ()
+        in
+        fill ();
+        Alcotest.(check bool) "no room" false (Serve.Lineframe.has_room frame);
+        (match Serve.Lineframe.next frame with
+        | `Line _ -> ()
+        | _ -> Alcotest.fail "expected a buffered line");
+        Alcotest.(check bool) "room after drain" true
+          (Serve.Lineframe.has_room frame));
+  ]
+
+let accept_action_tests =
+  let check_action name expected error =
+    let show = function
+      | `Retry -> "retry"
+      | `Drained -> "drained"
+      | `Backoff -> "backoff"
+      | `Stop -> "stop"
+    in
+    Alcotest.(check string)
+      name (show expected)
+      (show (Serve.Server.accept_action error))
+  in
+  [
+    Alcotest.test_case "classification" `Quick (fun () ->
+        check_action "EINTR" `Retry Unix.EINTR;
+        check_action "ECONNABORTED" `Retry Unix.ECONNABORTED;
+        check_action "EAGAIN" `Drained Unix.EAGAIN;
+        check_action "EWOULDBLOCK" `Drained Unix.EWOULDBLOCK;
+        check_action "EMFILE" `Backoff Unix.EMFILE;
+        check_action "ENFILE" `Backoff Unix.ENFILE;
+        check_action "ENOBUFS" `Backoff Unix.ENOBUFS;
+        check_action "ENOMEM" `Backoff Unix.ENOMEM;
+        check_action "unknown errno" `Backoff (Unix.EUNKNOWNERR 999);
+        check_action "EBADF" `Stop Unix.EBADF;
+        check_action "EINVAL" `Stop Unix.EINVAL;
+        check_action "ENOTSOCK" `Stop Unix.ENOTSOCK);
+  ]
+
+let line_too_long_test () =
+  with_server_opts ~max_line:128 ~domains:1 ~queue_capacity:16
+    (fun service port ->
+      let fd, ic, oc = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          output_string oc (String.make 1000 'x');
+          output_char oc '\n';
+          flush oc;
+          (match Wire.decode_response (input_line ic) with
+          | Ok (Wire.Error { code = Wire.Bad_request; message }) ->
+              Alcotest.(check bool)
+                "names the limit" true
+                (String.length message >= 13
+                && String.sub message 0 13 = "line-too-long")
+          | Ok r ->
+              Alcotest.failf "expected bad-request, got %s"
+                (Wire.encode_response r)
+          | Error e -> Alcotest.failf "undecodable reply: %s" e);
+          (* Same connection still frames and serves after the resync. *)
+          check_response "conn survives too-long" Wire.Pong
+            (roundtrip ic oc Wire.Ping);
+          Alcotest.(check bool)
+            "long_lines counted" true
+            (gauge service "long_lines" >= 1.)))
+
+let midreply_disconnect_test () =
+  with_server_opts ~domains:1 ~queue_capacity:16 (fun service port ->
+      let pool = test_pool 10 in
+      (match
+         Serve.Service.submit service
+           (Wire.Pool_put { name = "p"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      (* Fire a compute request and slam the connection shut before the
+         reply lands: the write must become a clean close, not SIGPIPE or
+         an event-thread crash. *)
+      for seed = 0 to 4 do
+        let fd, _, oc = connect port in
+        output_string oc
+          (Wire.encode_request
+             (Wire.Select { pool = "p"; budget = 8.; prior = [ 0.5; 0.5 ]; seed }));
+        output_char oc '\n';
+        flush oc;
+        Unix.close fd
+      done;
+      (* The plane is still alive and serving. *)
+      let fd, ic, oc = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          check_response "server survives" Wire.Pong (roundtrip ic oc Wire.Ping)))
+
+let slowloris_test () =
+  with_server_opts ~idle_timeout:0.3 ~domains:1 ~queue_capacity:16
+    (fun service port ->
+      (* Conn B idles with an EMPTY buffer across the deadline: never
+         reaped (long-lived mostly-idle conversations are the design
+         workload). *)
+      let fd_b, ic_b, oc_b = connect port in
+      check_response "b alive before" Wire.Pong (roundtrip ic_b oc_b Wire.Ping);
+      (* Conn A drips a partial line and stalls: reaped at the deadline
+         even if bytes keep trickling in. *)
+      let fd_a, ic_a, oc_a = connect port in
+      output_string oc_a "pi";
+      flush oc_a;
+      Unix.sleepf 0.15;
+      output_string oc_a "ng";
+      flush oc_a;
+      Unix.setsockopt_float fd_a Unix.SO_RCVTIMEO 10.;
+      (match input_line ic_a with
+      | line -> Alcotest.failf "slow conn got a reply: %s" line
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ());
+      Alcotest.(check bool)
+        "read_timeouts counted" true
+        (gauge service "read_timeouts" >= 1.);
+      check_response "idle empty conn survives" Wire.Pong
+        (roundtrip ic_b oc_b Wire.Ping);
+      (try Unix.close fd_a with Unix.Unix_error _ -> ());
+      try Unix.close fd_b with Unix.Unix_error _ -> ())
+
+let conn_cap_test () =
+  with_server_opts ~max_conns:2 ~domains:1 ~queue_capacity:16
+    (fun service port ->
+      let fd1, ic1, oc1 = connect port in
+      let fd2, ic2, oc2 = connect port in
+      (* Roundtrips prove both are accepted before the third connects. *)
+      check_response "conn1" Wire.Pong (roundtrip ic1 oc1 Wire.Ping);
+      check_response "conn2" Wire.Pong (roundtrip ic2 oc2 Wire.Ping);
+      let fd3, ic3, _ = connect port in
+      Unix.setsockopt_float fd3 Unix.SO_RCVTIMEO 10.;
+      (match Wire.decode_response (input_line ic3) with
+      | Ok (Wire.Error { code = Wire.Overload; _ }) -> ()
+      | Ok r ->
+          Alcotest.failf "expected err overload, got %s"
+            (Wire.encode_response r)
+      | Error e -> Alcotest.failf "undecodable shed reply: %s" e);
+      Alcotest.(check bool)
+        "conns_rejected counted" true
+        (gauge service "conns_rejected" >= 1.);
+      (* Shedding does not disturb the admitted connections. *)
+      check_response "conn1 still served" Wire.Pong (roundtrip ic1 oc1 Wire.Ping);
+      check_response "conn2 still served" Wire.Pong (roundtrip ic2 oc2 Wire.Ping);
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ fd1; fd2; fd3 ])
+
+let fd_exhaustion_test () =
+  with_server_opts ~domains:1 ~queue_capacity:16 (fun service port ->
+      (* Create the client socket while descriptors are still plentiful,
+         then clamp RLIMIT_NOFILE so the server's accept(2) hits EMFILE:
+         the TCP handshake still completes against the listen backlog, so
+         the connection sits there until the loop's backoff retry finds
+         descriptors again. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let limit = Serve.Evloop.rlimit_nofile () in
+      let probe = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let next_fd : int = Obj.magic probe in
+      Unix.close probe;
+      ignore (Serve.Evloop.rlimit_nofile ~set:next_fd ());
+      Fun.protect
+        ~finally:(fun () -> ignore (Serve.Evloop.rlimit_nofile ~set:limit ()))
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          (* Give the loop time to hit EMFILE and start backing off. *)
+          let deadline = Serve.Clock.now () +. 5. in
+          while
+            gauge service "accept_backoffs" < 1.
+            && Serve.Clock.now () < deadline
+          do
+            Thread.yield ()
+          done;
+          Alcotest.(check bool)
+            "accept backed off" true
+            (gauge service "accept_backoffs" >= 1.));
+      (* Limit restored: the backoff retry must pick the connection up
+         and serve it — the listener never died. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      check_response "served after backoff" Wire.Pong
+        (roundtrip ic oc Wire.Ping);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+let thousand_conns_test () =
+  with_server_opts ~backlog:1024 ~max_conns:1100 ~domains:2 ~queue_capacity:256
+    (fun service port ->
+      let n = 1000 in
+      let need = (2 * n) + 256 in
+      if Serve.Evloop.rlimit_nofile () < need then
+        ignore (Serve.Evloop.rlimit_nofile ~set:need ());
+      let pool = test_pool 10 in
+      (match
+         Serve.Service.submit service
+           (Wire.Pool_put { name = "p"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info _ -> ()
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      let fds =
+        Array.init n (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            fd)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            fds)
+        (fun () ->
+          let deadline = Serve.Clock.now () +. 30. in
+          while
+            gauge service "conns_open" < float_of_int n
+            && Serve.Clock.now () < deadline
+          do
+            Thread.yield ()
+          done;
+          Alcotest.(check (float 0.))
+            "all connections held" (float_of_int n)
+            (gauge service "conns_open");
+          (* Pipelined batch on a few of the open connections, everyone
+             else idle: replies must come back in order and byte-identical
+             to direct Service.submit. *)
+          let requests =
+            [
+              Wire.Ping;
+              Wire.Jq
+                {
+                  source = Wire.Named "p";
+                  prior = [ 0.5; 0.5 ];
+                  num_buckets = Jq.Bucket.default_num_buckets;
+                };
+              Wire.Select
+                { pool = "p"; budget = 8.; prior = [ 0.5; 0.5 ]; seed = 3 };
+              Wire.Jq
+                {
+                  source = Wire.Inline [ 0.9; 0.6; 0.7 ];
+                  prior = [ 0.5; 0.5 ];
+                  num_buckets = Jq.Bucket.default_num_buckets;
+                };
+              Wire.Ping;
+            ]
+          in
+          let expected =
+            List.map
+              (fun r ->
+                Wire.encode_response (Serve.Service.submit service r))
+              requests
+          in
+          List.iter
+            (fun i ->
+              let fd = fds.(i) in
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              (* One write carrying the whole pipeline. *)
+              List.iter
+                (fun r ->
+                  output_string oc (Wire.encode_request r);
+                  output_char oc '\n')
+                requests;
+              flush oc;
+              List.iteri
+                (fun j e ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "conn %d reply %d" i j)
+                    e (input_line ic))
+                expected)
+            [ 0; 137; 499; 801; 999 ]))
+
+let force_poll_test () =
+  (match Serve.Evloop.backend (Serve.Evloop.create ~force_poll:true ()) with
+  | `Poll -> ()
+  | `Epoll -> Alcotest.fail "force_poll ignored");
+  with_server_opts ~force_poll:true ~domains:1 ~queue_capacity:16
+    (fun _service port ->
+      let fd, ic, oc = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          check_response "ping over poll backend" Wire.Pong
+            (roundtrip ic oc Wire.Ping);
+          check_response "jq over poll backend"
+            (Serve.Service.submit _service
+               (Wire.Jq
+                  {
+                    source = Wire.Inline [ 0.8; 0.7 ];
+                    prior = [ 0.5; 0.5 ];
+                    num_buckets = Jq.Bucket.default_num_buckets;
+                  }))
+            (roundtrip ic oc
+               (Wire.Jq
+                  {
+                    source = Wire.Inline [ 0.8; 0.7 ];
+                    prior = [ 0.5; 0.5 ];
+                    num_buckets = Jq.Bucket.default_num_buckets;
+                  }))))
+
+let stop_closes_plane_test () =
+  let service = Serve.Service.create ~domains:1 ~queue_capacity:16 () in
+  let server = Serve.Server.create ~port:0 service in
+  Serve.Server.start server;
+  let port = Serve.Server.port server in
+  let fd, ic, oc = connect port in
+  check_response "served before stop" Wire.Pong (roundtrip ic oc Wire.Ping);
+  Serve.Server.stop server;
+  (* stop joined the event thread: the listener is gone and the open
+     connection was closed. *)
+  (match connect port with
+  | _ -> Alcotest.fail "listener still accepting after stop"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  (match input_line ic with
+  | line -> Alcotest.failf "conn got data after stop: %s" line
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> Alcotest.fail "conn not closed by stop");
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Serve.Server.stop server;
+  (* Idempotent. *)
+  Serve.Service.shutdown service
+
+let connection_plane_tests =
+  [
+    Alcotest.test_case "over-limit line answered and survived" `Quick
+      line_too_long_test;
+    Alcotest.test_case "client closing mid-reply is clean teardown" `Quick
+      midreply_disconnect_test;
+    Alcotest.test_case "slow-loris partial line reaped, empty idle kept"
+      `Quick slowloris_test;
+    Alcotest.test_case "connection cap sheds with err overload" `Quick
+      conn_cap_test;
+    Alcotest.test_case "fd exhaustion backs off and recovers" `Quick
+      fd_exhaustion_test;
+    Alcotest.test_case "1k connections, pipelined, byte-identical" `Slow
+      thousand_conns_test;
+    Alcotest.test_case "poll backend serves end to end" `Quick
+      force_poll_test;
+    Alcotest.test_case "stop closes listener, conns and thread" `Quick
+      stop_closes_plane_test;
+  ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -1605,4 +2044,7 @@ let () =
       ("sessions", session_service_tests);
       ("quality plane", quality_plane_tests);
       ("pool_io", pool_io_tests);
+      ("lineframe", lineframe_tests);
+      ("accept classification", accept_action_tests);
+      ("connection plane", connection_plane_tests);
     ]
