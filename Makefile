@@ -1,5 +1,6 @@
 .PHONY: all build test test-slow bench bench-smoke bench-jq \
-  bench-multiclass bench-serve bench-session bench-quality serve-smoke clean
+  bench-multiclass bench-serve bench-session bench-quality bench-fleet \
+  serve-smoke clean
 
 all: build
 
@@ -36,7 +37,12 @@ bench:
 # full-replay EM matches the offline Dawid-Skene fit within 1e-6, a
 # mid-stream spammer is flagged within one drift window of votes with
 # the standing jury re-selected past the stale one, and report-verb
-# ingest p95 stays under its bound.
+# ingest p95 stays under its bound; and the gated fleet allocation rows
+# (BENCH_fleet.json), which fail unless price-based shared-pool
+# assignment beats the independent-greedy baseline on aggregate JQ with
+# zero non-overlap violations, delta-submit p95 under 50 ms, and a
+# single-decide delta re-solve >= 5x faster than a cold full
+# re-allocation.
 bench-smoke:
 	dune exec bench/main.exe -- fig7b --reps 1 --smoke
 	dune exec bench/main.exe -- --multiclass
@@ -44,6 +50,7 @@ bench-smoke:
 	dune exec bench/jq_bench.exe -- --fast --gate
 	dune exec bench/session_bench.exe -- --fast --gate
 	dune exec bench/quality_bench.exe -- --fast --gate
+	dune exec bench/fleet_bench.exe -- --fast --gate
 
 # Flat dense-array kernel vs hashtable baseline over the full binary
 # n x num_buckets grid and l = 2, 3, 5 multiclass rows, written to
@@ -83,10 +90,19 @@ bench-session: build
 bench-quality: build
 	dune exec bench/quality_bench.exe -- --gate
 
+# Price-based shared-pool fleet allocation at 1k and 10k concurrent
+# tasks: bulk throughput, aggregate JQ vs the independent-greedy
+# baseline, delta-path latency quantiles and the single-decide delta vs
+# cold-full re-solve ratio, written to BENCH_fleet.json.  --gate as in
+# bench-smoke.
+bench-fleet: build
+	dune exec bench/fleet_bench.exe -- --gate
+
 # End-to-end daemon smoke: boot `optjs_cli serve`, run the closed-loop
 # load generator against it — once with the default scalar pool, once
-# with a 3-label confusion-matrix pool, once with a session-heavy mix —
-# and assert zero protocol errors (loadgen exits nonzero otherwise).
+# with a 3-label confusion-matrix pool, once with a session-heavy mix,
+# once with a fleet-heavy mix (shared-pool contention churn) — and
+# assert zero protocol errors (loadgen exits nonzero otherwise).
 # The built binary is run directly so backgrounding and kill behave
 # predictably.
 SERVE_SMOKE_PORT ?= 17871
@@ -99,11 +115,14 @@ serve-smoke: build
 	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
 	  --labels 3 --connections 4 --duration 3 && \
 	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
-	  --mix "jqpool:2,session:3" --connections 4 --duration 3; status=$$?; \
+	  --mix "jqpool:2,session:3" --connections 4 --duration 3 && \
+	./_build/default/bin/optjs_cli.exe loadgen --port $(SERVE_SMOKE_PORT) \
+	  --mix "fleet:4,jq:1" --fleet-depth 8 --connections 4 \
+	  --duration 3; status=$$?; \
 	kill $$pid 2>/dev/null; \
 	exit $$status
 
 clean:
 	dune clean
 	rm -f BENCH_jsp.json BENCH_serve.json BENCH_multiclass.json \
-	  BENCH_jq.json BENCH_session.json BENCH_quality.json
+	  BENCH_jq.json BENCH_session.json BENCH_quality.json BENCH_fleet.json

@@ -8,7 +8,8 @@
      amt      generate the synthetic AMT dataset and print its statistics
      serve    run the jury-selection TCP daemon
      loadgen  closed-loop load generator for the daemon
-     session  drive sequential-jury sessions against the daemon *)
+     session  drive sequential-jury sessions against the daemon
+     fleet    drive the shared-pool fleet allocator over the wire *)
 
 open Cmdliner
 
@@ -668,6 +669,8 @@ type lg_counters = {
   mutable deadlined : int;
   mutable server_errors : int;
   mutable protocol_errors : int;
+  mutable fleet_submitted : int;
+  mutable fleet_released : int;
   mutable latencies : float list;  (* seconds, newest first *)
 }
 
@@ -679,6 +682,8 @@ let lg_fresh () =
     deadlined = 0;
     server_errors = 0;
     protocol_errors = 0;
+    fleet_submitted = 0;
+    fleet_released = 0;
     latencies = [];
   }
 
@@ -700,7 +705,7 @@ let lg_mix_parse s =
       | [ kind; weight ] -> (
           match (kind, int_of_string_opt weight) with
           | ( ("jq" | "jqpool" | "select" | "table" | "session" | "report"
-              | "quality"),
+              | "quality" | "fleet"),
               Some w )
             when w > 0 ->
               (kind, w)
@@ -728,7 +733,20 @@ let loadgen_cmd =
              (a session entry runs a whole open-advise-vote-close \
              conversation, each verb counted as one request), report (a \
              calibration vote batch sampled from the generator's known \
-             qualities) and quality (per-worker readback).")
+             qualities), quality (per-worker readback) and fleet (each \
+             draw submits a concurrent task into the shared-pool \
+             allocator until the connection holds --fleet-depth of them, \
+             then releases the oldest as decided — a steady-state \
+             contention workload).")
+  in
+  let fleet_depth_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "fleet-depth" ]
+          ~doc:
+            "Concurrent fleet tasks each connection keeps resident (the \
+             contention knob: connections x depth juries compete for one \
+             shared pool).")
   in
   let pool_size_arg =
     Arg.(
@@ -766,7 +784,7 @@ let loadgen_cmd =
              pool-affinity sharding sees several independent streams.")
   in
   let run host port connections duration mix pool_size labels budget pools
-      seed =
+      fleet_depth seed =
     (* A daemon dying mid-reply must show up as a counted error, not kill
        the generator with SIGPIPE. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -774,6 +792,7 @@ let loadgen_cmd =
     if duration <= 0. then failwith "duration must be positive";
     if labels < 2 then failwith "labels must be at least 2";
     if pools <= 0 then failwith "pools must be positive";
+    if fleet_depth <= 0 then failwith "fleet-depth must be positive";
     let pool_size =
       match pool_size with Some n -> n | None -> if labels = 2 then 40 else 12
     in
@@ -900,7 +919,10 @@ let loadgen_cmd =
           Serve.Wire.Session_result _ )
       | ( (Serve.Wire.Report _ | Serve.Wire.Recal _),
           Serve.Wire.Report_result _ )
-      | Serve.Wire.Quality _, Serve.Wire.Quality_result _ ->
+      | Serve.Wire.Quality _, Serve.Wire.Quality_result _
+      | Serve.Wire.Fleet_submit _, Serve.Wire.Fleet_task _
+      | Serve.Wire.Fleet_status _, (Serve.Wire.Fleet_task _ | Serve.Wire.Fleet_summary _)
+      | Serve.Wire.Fleet_release _, Serve.Wire.Fleet_released _ ->
           true
       | _ -> false
     in
@@ -1004,10 +1026,50 @@ let loadgen_cmd =
           ignore
             (timed (Serve.Wire.Session_close { pool = pool_name; task = task_id }))
         in
+        (* Steady-state contention: submit concurrent fleet tasks until
+           this connection holds --fleet-depth of them, then cycle by
+           releasing the oldest as decided.  Connections x depth juries
+           stay resident on the shared pool for the whole run. *)
+        let fleet_resident = Queue.create () in
+        let fleet_seq = ref 0 in
+        let release_oldest () =
+          let id = Queue.pop fleet_resident in
+          ignore
+            (timed
+               (Serve.Wire.Fleet_release
+                  { pool = pool_name; task = id; decided = true }));
+          counters.fleet_released <- counters.fleet_released + 1
+        in
+        let run_fleet () =
+          if Queue.length fleet_resident >= fleet_depth then release_oldest ()
+          else begin
+            incr fleet_seq;
+            let id = Printf.sprintf "fl%d-%d-%d" seed i !fleet_seq in
+            ignore
+              (timed
+                 (Serve.Wire.Fleet_submit
+                    {
+                      pool = pool_name;
+                      task = id;
+                      prior = pool_prior;
+                      budget;
+                      tier = !fleet_seq mod 3;
+                      target = 0.;
+                    }));
+            Queue.push id fleet_resident;
+            counters.fleet_submitted <- counters.fleet_submitted + 1
+          end
+        in
         while Serve.Clock.now () < t_end do
           match kinds.(Prob.Rng.int rng (Array.length kinds)) with
           | "session" -> run_session ()
+          | "fleet" -> run_fleet ()
           | kind -> ignore (timed (request_of ~pool_name rng kind))
+        done;
+        (* Drain this connection's resident fleet tasks so the run leaves
+           the server's allocators empty. *)
+        while not (Queue.is_empty fleet_resident) do
+          release_oldest ()
         done;
         Unix.close fd
       with exn ->
@@ -1029,6 +1091,8 @@ let loadgen_cmd =
         total.deadlined <- total.deadlined + c.deadlined;
         total.server_errors <- total.server_errors + c.server_errors;
         total.protocol_errors <- total.protocol_errors + c.protocol_errors;
+        total.fleet_submitted <- total.fleet_submitted + c.fleet_submitted;
+        total.fleet_released <- total.fleet_released + c.fleet_released;
         total.latencies <- c.latencies @ total.latencies)
       per_thread;
     Printf.printf "requests: %d in %.2fs (%.0f req/s)\n" total.sent wall
@@ -1036,6 +1100,11 @@ let loadgen_cmd =
     Printf.printf "ok: %d  overload: %d  deadline: %d  server-err: %d\n"
       total.ok total.overloaded total.deadlined total.server_errors;
     Printf.printf "protocol_errors: %d\n" total.protocol_errors;
+    if List.mem_assoc "fleet" mix then
+      Printf.printf
+        "fleet: depth %d  submitted %d  released %d  still-resident %d\n"
+        fleet_depth total.fleet_submitted total.fleet_released
+        (total.fleet_submitted - total.fleet_released);
     (match total.latencies with
     | [] -> ()
     | lats ->
@@ -1061,7 +1130,7 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg ~default:7071 $ connections_arg
       $ duration_arg $ mix_arg $ pool_size_arg $ labels_arg $ lg_budget_arg
-      $ pools_arg $ seed_arg)
+      $ pools_arg $ fleet_depth_arg $ seed_arg)
 
 (* ---- session ------------------------------------------------------- *)
 
@@ -1260,6 +1329,163 @@ let session_cmd =
       $ worker_arg $ label_arg $ k_arg $ truth_arg $ drive_pool_size_arg
       $ seed_arg)
 
+(* ---- fleet --------------------------------------------------------- *)
+
+(* Thin client over the fleet verbs, plus a closed-loop drive: register a
+   synthetic pool, submit a wave of concurrent tasks, inspect the shared
+   allocation, release half as decided, and show the delta re-solved
+   remainder.  Replies are printed as raw wire lines, like the session
+   client's. *)
+
+let fleet_cmd =
+  let action_arg =
+    let actions =
+      [
+        ("submit", `Submit); ("status", `Status); ("release", `Release);
+        ("drive", `Drive);
+      ]
+    in
+    let doc =
+      "Action: submit (admit one concurrent task and print its assigned \
+       jury), status (one task's assignment, or the pool's allocator \
+       summary without --task), release (free a task's jury), or drive \
+       (register a synthetic pool, submit a wave of concurrent tasks, \
+       then release half of them as decided)."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let pool_name_arg =
+    Arg.(value & opt string "default" & info [ "pool" ] ~doc:"Pool name.")
+  in
+  let task_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "task" ] ~doc:"Task id (shares the pool-name charset).")
+  in
+  let fleet_budget_arg =
+    Arg.(value & opt float 10. & info [ "b"; "budget" ] ~doc:"Per-task budget.")
+  in
+  let tier_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tier" ] ~doc:"Priority tier (0 = highest; weights 10^-tier).")
+  in
+  let target_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "target" ] ~doc:"Soft quality target in [0,1] (0 = none).")
+  in
+  let decided_arg =
+    Arg.(
+      value & flag
+      & info [ "decided" ]
+          ~doc:"Release as decided (the task reached its answer) rather \
+                than withdrawn.")
+  in
+  let tasks_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "tasks" ] ~doc:"Concurrent tasks submitted by drive.")
+  in
+  let drive_pool_size_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "pool-size" ] ~doc:"Synthetic pool size for drive.")
+  in
+  let run host port action pool task_id alpha prior budget tier target decided
+      tasks pool_size seed =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let taskv = task_of ~alpha ~prior in
+    let prior = Array.to_list (Engine.Task.prior taskv) in
+    let fd, ic, oc = lg_connect host port in
+    let round request =
+      match lg_roundtrip ic oc request with
+      | Ok r ->
+          print_endline (Serve.Wire.encode_response r);
+          r
+      | Error e -> failwith ("undecodable reply: " ^ e)
+    in
+    (match action with
+    | `Submit ->
+        let task =
+          match task_id with
+          | Some id -> id
+          | None -> failwith "submit needs --task"
+        in
+        ignore
+          (round
+             (Serve.Wire.Fleet_submit { pool; task; prior; budget; tier; target }))
+    | `Status ->
+        ignore (round (Serve.Wire.Fleet_status { pool; task = task_id }))
+    | `Release ->
+        let task =
+          match task_id with
+          | Some id -> id
+          | None -> failwith "release needs --task"
+        in
+        ignore
+          (round (Serve.Wire.Fleet_release { pool; task; decided }))
+    | `Drive ->
+        if Engine.Task.labels taskv <> 2 then
+          failwith "drive registers a binary pool; use --alpha, not --prior";
+        let rng = Prob.Rng.create seed in
+        let wpool =
+          Workers.Generator.gaussian_pool rng Workers.Generator.default
+            pool_size
+        in
+        let workers =
+          List.map
+            (fun w ->
+              Serve.Wire.Scalar
+                (Workers.Worker.quality w, Workers.Worker.cost w))
+            (Workers.Pool.to_list wpool)
+        in
+        (match lg_roundtrip ic oc (Serve.Wire.Pool_put { name = pool; workers }) with
+        | Ok (Serve.Wire.Pool_info _) -> ()
+        | Ok r ->
+            failwith
+              ("pool-put: unexpected reply " ^ Serve.Wire.encode_response r)
+        | Error e -> failwith ("pool-put: " ^ e));
+        let id_of i = Printf.sprintf "fl%d-%d" seed i in
+        for i = 0 to tasks - 1 do
+          ignore
+            (round
+               (Serve.Wire.Fleet_submit
+                  {
+                    pool;
+                    task = id_of i;
+                    prior;
+                    budget;
+                    tier = i mod 3;
+                    target;
+                  }))
+        done;
+        ignore (round (Serve.Wire.Fleet_status { pool; task = None }));
+        (* Decide every other task: each release delta re-solves the
+           juries that wanted the freed workers. *)
+        for i = 0 to tasks - 1 do
+          if i mod 2 = 0 then
+            ignore
+              (round
+                 (Serve.Wire.Fleet_release
+                    { pool; task = id_of i; decided = true }))
+        done;
+        ignore (round (Serve.Wire.Fleet_status { pool; task = None })));
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Drive the shared-pool fleet allocator against the serve daemon.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7071 $ action_arg
+      $ pool_name_arg $ task_id_arg $ alpha_arg $ prior_arg $ fleet_budget_arg
+      $ tier_arg $ target_arg $ decided_arg $ tasks_arg $ drive_pool_size_arg
+      $ seed_arg)
+
 (* ---- quality ------------------------------------------------------- *)
 
 (* Thin client over the quality-plane verbs: per-worker readback, forced
@@ -1362,5 +1588,5 @@ let () =
           [
             jq_cmd; select_cmd; table_cmd; frontier_cmd; online_cmd;
             estimate_cmd; expt_cmd; amt_cmd; serve_cmd; loadgen_cmd;
-            session_cmd; quality_cmd;
+            session_cmd; fleet_cmd; quality_cmd;
           ]))

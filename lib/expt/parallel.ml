@@ -5,7 +5,7 @@ let default_chunk ~n ~domains =
      that the atomic claim is noise. *)
   max 1 (n / (domains * 8))
 
-let map_array ?(domains = 1) ?chunk f xs =
+let map_array ?(domains = 1) ?chunk ?(sched = `Fixed) f xs =
   if domains <= 0 then invalid_arg "Parallel.map_array: domains <= 0";
   (match chunk with
   | Some c when c <= 0 -> invalid_arg "Parallel.map_array: chunk <= 0"
@@ -14,26 +14,54 @@ let map_array ?(domains = 1) ?chunk f xs =
   let domains = min domains n in
   if domains <= 1 then Array.map f xs
   else begin
-    let chunk =
-      match chunk with Some c -> c | None -> default_chunk ~n ~domains
-    in
     let outputs = Array.make n None in
-    (* Dynamic chunked partition: workers claim the next [chunk] indices
-       from a shared counter, so domains that draw cheap points keep
-       working instead of idling at a static block boundary.  Outputs land
-       at their input index, so the result order (and with pre-split
-       per-point state, the numbers themselves) is schedule-independent. *)
+    (* Dynamic partition: workers claim index ranges from a shared counter,
+       so domains that draw cheap points keep working instead of idling at
+       a static block boundary.  Outputs land at their input index, so the
+       result order (and with pre-split per-point state, the numbers
+       themselves) is schedule-independent.
+
+       [`Fixed] claims constant [chunk]-sized ranges.  [`Guided] is
+       self-scheduling: each claim takes half an even share of what
+       remains — max 1 ((n - done) / (2 * domains)) — so early claims are
+       large (few atomic rounds) while the tail degrades to single indices
+       and a handful of skewed-cost points cannot strand a whole chunk
+       behind one slow domain.  An explicit [chunk] forces fixed-size
+       claims regardless of [sched]. *)
     let next = Atomic.make 0 in
+    let claim =
+      match (chunk, sched) with
+      | (Some _, _) | (None, `Fixed) ->
+          let c =
+            match chunk with
+            | Some c -> c
+            | None -> default_chunk ~n ~domains
+          in
+          fun () ->
+            let lo = Atomic.fetch_and_add next c in
+            if lo >= n then None else Some (lo, min n (lo + c))
+      | None, `Guided ->
+          let rec claim () =
+            let lo = Atomic.get next in
+            if lo >= n then None
+            else begin
+              let take = max 1 ((n - lo) / (2 * domains)) in
+              let hi = min n (lo + take) in
+              if Atomic.compare_and_set next lo hi then Some (lo, hi)
+              else claim ()
+            end
+          in
+          claim
+    in
     let worker () =
       let rec loop () =
-        let lo = Atomic.fetch_and_add next chunk in
-        if lo < n then begin
-          let hi = min n (lo + chunk) in
-          for i = lo to hi - 1 do
-            outputs.(i) <- Some (f xs.(i))
-          done;
-          loop ()
-        end
+        match claim () with
+        | None -> ()
+        | Some (lo, hi) ->
+            for i = lo to hi - 1 do
+              outputs.(i) <- Some (f xs.(i))
+            done;
+            loop ()
       in
       loop ()
     in
@@ -45,7 +73,7 @@ let map_array ?(domains = 1) ?chunk f xs =
       outputs
   end
 
-let map ?(domains = 1) f xs =
+let map ?(domains = 1) ?sched f xs =
   if domains <= 0 then invalid_arg "Parallel.map: domains <= 0";
   if domains <= 1 then List.map f xs
-  else Array.to_list (map_array ~domains f (Array.of_list xs))
+  else Array.to_list (map_array ~domains ?sched f (Array.of_list xs))

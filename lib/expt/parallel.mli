@@ -9,18 +9,36 @@
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], capped at 8. *)
 
-val map_array : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?domains:int ->
+  ?chunk:int ->
+  ?sched:[ `Fixed | `Guided ] ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map_array ~domains f xs] applies [f] to every element across up to
     [domains] domains (default 1 = plain [Array.map]; values above the
-    array length are clamped), claiming work in chunks of [chunk] indices
-    (default ~n/8D) from a shared atomic counter, so uneven per-point
-    costs rebalance dynamically.  Results are returned in input order.
+    array length are clamped), claiming index ranges from a shared atomic
+    counter, so uneven per-point costs rebalance dynamically.  [sched]
+    picks the claim size: [`Fixed] (default) takes constant chunks of
+    [chunk] indices (default ~n/8D); [`Guided] is self-scheduling — each
+    claim takes half an even share of the remaining indices (never less
+    than 1), so claims start large and shrink toward single indices at the
+    tail, which keeps domains busy when per-element costs are heavily
+    skewed (a fixed chunk can strand several expensive elements behind one
+    slow domain).  An explicit [chunk] forces fixed-size claims and
+    overrides [sched].  Results are returned in input order.
     [f] must not share mutable state across calls — in particular, kernel
     evaluations inside [f] pick up their own domain's {!Jq.Workspace}
     automatically, so JQ sweeps scale without shared kernel state.
     Exceptions raised by [f] are re-raised in the caller.
     @raise Invalid_argument for domains <= 0 or chunk <= 0. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?domains:int ->
+  ?sched:[ `Fixed | `Guided ] ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** List façade over {!map_array}: same contract, same ordering guarantee
     (a parallel run produces exactly the numbers of a sequential one). *)

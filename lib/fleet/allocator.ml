@@ -1,0 +1,734 @@
+type config = {
+  anneal : Jsp.Annealing.params;
+  num_buckets : int;
+  restarts : int;
+  price_step : float;
+  price_decay : float;
+  max_rounds : int;
+  delta_rounds : int;
+  dev_weight : float;
+  exact_tasks : int;
+  exact_workers : int;
+  delta_cap : int;
+  domains : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    anneal =
+      {
+        Jsp.Annealing.default_params with
+        epsilon = 1e-4;
+        moves_per_temp = Some 128;
+      };
+    num_buckets = 64;
+    restarts = 1;
+    price_step = 0.25;
+    price_decay = 0.5;
+    max_rounds = 6;
+    delta_rounds = 2;
+    dev_weight = 0.5;
+    exact_tasks = 3;
+    exact_workers = 6;
+    delta_cap = 32;
+    domains = 1;
+    seed = 0x5EED;
+  }
+
+type assignment = {
+  id : string;
+  jury : int list;
+  score : float;
+  cost : float;
+  tier : int;
+}
+
+type stats = {
+  submits : int;
+  releases : int;
+  decides : int;
+  full_solves : int;
+  delta_solves : int;
+  price_rounds : int;
+  inner_solves : int;
+  proposal_hits : int;
+  conflicts : int;
+  resyncs : int;
+}
+
+type task = {
+  spec : Spec.t;
+  seq : int;
+  mutable jury : int list;
+  mutable score : float;
+  mutable proposal : int list;
+}
+
+type t = {
+  config : config;
+  mutable ctx : Inner.ctx;
+  mutable version : int;
+  mutable prices : float array;
+  mutable epoch : int;
+  tasks : (string, task) Hashtbl.t;
+  mutable owner : string option array;
+  mutable arrivals : int;
+  proposals : (string, int list) Hashtbl.t;
+  memos : (string, Jsp.Objective_cache.t) Hashtbl.t;
+  mutable submits : int;
+  mutable releases : int;
+  mutable decides : int;
+  mutable full_solves : int;
+  mutable delta_solves : int;
+  mutable price_rounds : int;
+  mutable inner_solves : int;
+  mutable proposal_hits : int;
+  mutable conflicts : int;
+  mutable resyncs : int;
+}
+
+let proposal_cap = 8192
+let memo_cap = 64
+
+let validate_config c =
+  if c.restarts < 1 then invalid_arg "Fleet.Allocator: restarts < 1";
+  if c.price_step <= 0. then invalid_arg "Fleet.Allocator: price_step <= 0";
+  if c.price_decay < 0. || c.price_decay >= 1. then
+    invalid_arg "Fleet.Allocator: price_decay outside [0, 1)";
+  if c.max_rounds < 1 then invalid_arg "Fleet.Allocator: max_rounds < 1";
+  if c.delta_rounds < 1 then invalid_arg "Fleet.Allocator: delta_rounds < 1";
+  if c.dev_weight < 0. then invalid_arg "Fleet.Allocator: dev_weight < 0";
+  if c.exact_tasks < 0 || c.exact_workers < 0 then
+    invalid_arg "Fleet.Allocator: negative exact caps";
+  if c.exact_tasks > Exhaustive.max_tasks then
+    invalid_arg "Fleet.Allocator: exact_tasks above Exhaustive.max_tasks";
+  if c.exact_workers > Exhaustive.max_workers then
+    invalid_arg "Fleet.Allocator: exact_workers above Exhaustive.max_workers";
+  if c.delta_cap < 1 then invalid_arg "Fleet.Allocator: delta_cap < 1";
+  if c.domains < 1 then invalid_arg "Fleet.Allocator: domains < 1"
+
+let create ?(config = default_config) ~pool ~version () =
+  validate_config config;
+  let ctx = Inner.make_ctx ~num_buckets:config.num_buckets pool in
+  {
+    config;
+    ctx;
+    version;
+    prices = Array.make ctx.Inner.n 0.;
+    epoch = 0;
+    tasks = Hashtbl.create 64;
+    owner = Array.make ctx.Inner.n None;
+    arrivals = 0;
+    proposals = Hashtbl.create 64;
+    memos = Hashtbl.create 8;
+    submits = 0;
+    releases = 0;
+    decides = 0;
+    full_solves = 0;
+    delta_solves = 0;
+    price_rounds = 0;
+    inner_solves = 0;
+    proposal_hits = 0;
+    conflicts = 0;
+    resyncs = 0;
+  }
+
+let config t = t.config
+let pool t = t.ctx.Inner.pool
+let pool_version t = t.version
+let epoch t = t.epoch
+let task_count t = Hashtbl.length t.tasks
+
+let claimed t =
+  Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 t.owner
+
+let priced t =
+  Array.fold_left (fun acc p -> if p > 0. then acc + 1 else acc) 0 t.prices
+
+let contention t =
+  let n = t.ctx.Inner.n in
+  if n = 0 then 0. else float_of_int (priced t) /. float_of_int n
+
+let stats t =
+  {
+    submits = t.submits;
+    releases = t.releases;
+    decides = t.decides;
+    full_solves = t.full_solves;
+    delta_solves = t.delta_solves;
+    price_rounds = t.price_rounds;
+    inner_solves = t.inner_solves;
+    proposal_hits = t.proposal_hits;
+    conflicts = t.conflicts;
+    resyncs = t.resyncs;
+  }
+
+let assignment_of t task =
+  {
+    id = Spec.id task.spec;
+    jury = task.jury;
+    score = task.score;
+    cost = Inner.jury_cost t.ctx task.jury;
+    tier = Spec.tier task.spec;
+  }
+
+let find t ~id =
+  Option.map (assignment_of t) (Hashtbl.find_opt t.tasks id)
+
+let sorted_tasks t =
+  Hashtbl.fold (fun _ task acc -> task :: acc) t.tasks []
+  |> List.sort (fun a b -> Spec.compare_priority a.spec b.spec)
+
+let arrival_tasks t =
+  Hashtbl.fold (fun _ task acc -> task :: acc) t.tasks []
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let assignments t = List.map (assignment_of t) (sorted_tasks t)
+
+let inner_assignments t =
+  List.map
+    (fun task -> { Inner.spec = task.spec; jury = task.jury; score = task.score })
+    (sorted_tasks t)
+
+let aggregate t =
+  Inner.aggregate ~dev_weight:t.config.dev_weight (inner_assignments t)
+
+let baseline_aggregate t =
+  Baseline.aggregate ~ctx:t.ctx ~dev_weight:t.config.dev_weight
+    (List.map (fun task -> task.spec) (arrival_tasks t))
+
+let violations t =
+  let n = t.ctx.Inner.n in
+  let claims = Array.make n 0 in
+  Hashtbl.iter
+    (fun _ task -> List.iter (fun p -> claims.(p) <- claims.(p) + 1) task.jury)
+    t.tasks;
+  Array.fold_left (fun acc c -> if c > 1 then acc + (c - 1) else acc) 0 claims
+
+let eff_costs t =
+  Array.init t.ctx.Inner.n (fun i -> t.ctx.Inner.costs.(i) +. t.prices.(i))
+
+let tiny t =
+  Hashtbl.length t.tasks <= t.config.exact_tasks
+  && t.ctx.Inner.n <= t.config.exact_workers
+
+let memo_for t sign =
+  match Hashtbl.find_opt t.memos sign with
+  | Some m -> m
+  | None ->
+      if Hashtbl.length t.memos >= memo_cap then Hashtbl.reset t.memos;
+      let m = Jsp.Objective_cache.create ~n:t.ctx.Inner.n () in
+      Hashtbl.add t.memos sign m;
+      m
+
+let remember_proposal t key jury =
+  if Hashtbl.length t.proposals >= proposal_cap then Hashtbl.reset t.proposals;
+  Hashtbl.replace t.proposals key jury
+
+let proposal_key t ~scope sign =
+  Printf.sprintf "%d|%d|%s|%s" t.version t.epoch scope sign
+
+(* One inner solve: the task's ordinary single-shot JSP over the available
+   positions at effective (price-adjusted) costs — warm annealing floored
+   by the greedy scans, so a proposal never lands below greedy.  Pure with
+   respect to [t] (counters are the caller's job): it runs inside the
+   Parallel fan. *)
+let inner_solve ?orders t ~spec ~avail ~eff ~anneal ~memo ~seed =
+  let ctx = t.ctx in
+  let positions = ref [] in
+  for i = ctx.Inner.n - 1 downto 0 do
+    if avail.(i) then positions := i :: !positions
+  done;
+  let positions = !positions in
+  if positions = [] then []
+  else if not anneal then
+    fst (Inner.greedy_jury ?orders ctx ~spec ~avail ~eff)
+  else begin
+    let epool =
+      match Engine.Pool.repr ctx.Inner.pool with
+      | Engine.Pool.Binary p ->
+          Engine.Pool.of_workers
+            (Workers.Pool.of_list
+               (List.map
+                  (fun i ->
+                    let w = Workers.Pool.get p i in
+                    Workers.Worker.make ~id:i
+                      ~quality:(Workers.Worker.quality w)
+                      ~cost:eff.(i) ())
+                  positions))
+      | Engine.Pool.Matrix a ->
+          let l = Engine.Pool.labels ctx.Inner.pool in
+          Engine.Pool.of_confusions
+            (Array.of_list
+               (List.map
+                  (fun i ->
+                    let c = a.(i) in
+                    Workers.Confusion.make ~id:i
+                      ~matrix:(Array.init l (Workers.Confusion.row c))
+                      ~cost:eff.(i) ())
+                  positions))
+    in
+    let cfg = t.config in
+    let rng = Prob.Rng.create seed in
+    let solve rng =
+      Jsp.Annealing.solve_engine ~params:cfg.anneal
+        ~num_buckets:cfg.num_buckets ?memo ~rng ~task:(Spec.task spec)
+        ~budget:(Spec.budget spec) epool
+    in
+    let best = ref (solve rng) in
+    for _ = 2 to cfg.restarts do
+      let r = solve (Prob.Rng.split rng) in
+      if r.Jsp.Solver.score > !best.Jsp.Solver.score then best := r
+    done;
+    let anneal_jury = List.sort compare (Engine.Pool.ids !best.Jsp.Solver.jury) in
+    let greedy_jury, greedy_score =
+      Inner.greedy_jury ?orders ctx ~spec ~avail ~eff
+    in
+    if greedy_score > !best.Jsp.Solver.score then greedy_jury else anneal_jury
+  end
+
+(* Distinct signatures of a priority-sorted task list, first-seen order,
+   with one representative spec each. *)
+let distinct_sigs group =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun task ->
+      let sign = Spec.signature task.spec in
+      if Hashtbl.mem seen sign then None
+      else begin
+        Hashtbl.add seen sign ();
+        Some (sign, task.spec)
+      end)
+    group
+
+(* Auction the [group]'s juries off against each other.  Positions owned
+   by tasks outside the group are untouchable; everything else (including
+   the group's own current claims) goes back on the block.  Rounds: one
+   inner solve per distinct signature (cached per price epoch, fanned
+   across domains), demand count, price raise on over-subscribed
+   positions / decay on undemanded ones, until demand clears or
+   [max_rounds] runs out.  Commit: priority order, claim proposal minus
+   already-claimed, repair evicted seats greedily — non-overlap by
+   construction. *)
+let auction t ~mode group =
+  let ctx = t.ctx in
+  let n = ctx.Inner.n in
+  let cfg = t.config in
+  (* Delta auctions trade polish for latency: fewer price rounds and
+     greedy-only inner solves (the standing prices still shape them).
+     Quality is re-established by the next full solve's anneal+floor. *)
+  let anneal, max_rounds =
+    match mode with
+    | `Full -> (true, cfg.max_rounds)
+    | `Delta -> (false, min cfg.delta_rounds cfg.max_rounds)
+  in
+  let group = List.sort (fun a b -> Spec.compare_priority a.spec b.spec) group in
+  if n = 0 then
+    List.iter
+      (fun task ->
+        task.jury <- [];
+        task.proposal <- [];
+        task.score <- Engine.Task.empty_score (Spec.task task.spec))
+      group
+  else begin
+    let in_group = Hashtbl.create 16 in
+    List.iter (fun task -> Hashtbl.replace in_group (Spec.id task.spec) ()) group;
+    let avail = Array.make n true in
+    Hashtbl.iter
+      (fun id task ->
+        if not (Hashtbl.mem in_group id) then
+          List.iter (fun p -> avail.(p) <- false) task.jury)
+      t.tasks;
+    let full_scope = Array.for_all Fun.id avail in
+    let scope =
+      let base =
+        if full_scope then "full"
+        else Printf.sprintf "s%x" (Hashtbl.hash avail)
+      in
+      (* greedy-only solves must not pollute the anneal-grade entries *)
+      match mode with `Full -> base | `Delta -> base ^ "|g"
+    in
+    let sigs = Array.of_list (distinct_sigs group) in
+    let cleared = ref false in
+    let round = ref 0 in
+    while (not !cleared) && !round < max_rounds do
+      incr round;
+      t.price_rounds <- t.price_rounds + 1;
+      let eff = eff_costs t in
+      (* one pool sort serves every signature this round *)
+      let orders = Inner.greedy_orders ctx ~eff in
+      (* Cache lookups and writes stay serial; only misses solve, fanned
+         across domains with guided self-scheduling (solve times are
+         skewed — warm memos and pool sizes differ per signature). *)
+      let jobs =
+        Array.map
+          (fun (sign, spec) ->
+            let key = proposal_key t ~scope sign in
+            match Hashtbl.find_opt t.proposals key with
+            | Some jury -> (sign, `Hit jury)
+            | None ->
+                let memo =
+                  if full_scope && anneal then Some (memo_for t sign)
+                  else None
+                in
+                let seed =
+                  Hashtbl.hash (cfg.seed, t.version, t.epoch, scope, sign)
+                in
+                (sign, `Solve (key, spec, memo, seed)))
+          sigs
+      in
+      let solved =
+        Expt.Parallel.map_array ~domains:cfg.domains ~sched:`Guided
+          (fun (sign, job) ->
+            match job with
+            | `Hit jury -> (sign, None, jury)
+            | `Solve (key, spec, memo, seed) ->
+                ( sign,
+                  Some key,
+                  inner_solve ~orders t ~spec ~avail ~eff ~anneal ~memo ~seed ))
+          jobs
+      in
+      let by_sig = Hashtbl.create 16 in
+      Array.iter
+        (fun (sign, written, jury) ->
+          (match written with
+          | Some key ->
+              t.inner_solves <- t.inner_solves + 1;
+              remember_proposal t key jury
+          | None -> t.proposal_hits <- t.proposal_hits + 1);
+          Hashtbl.replace by_sig sign jury)
+        solved;
+      List.iter
+        (fun task ->
+          task.proposal <- Hashtbl.find by_sig (Spec.signature task.spec))
+        group;
+      let demand = Array.make n 0 in
+      List.iter
+        (fun task ->
+          List.iter (fun p -> demand.(p) <- demand.(p) + 1) task.proposal)
+        group;
+      let moved = ref false and over = ref false in
+      for p = 0 to n - 1 do
+        if demand.(p) > 1 then begin
+          over := true;
+          moved := true;
+          t.prices.(p) <-
+            t.prices.(p)
+            +. cfg.price_step *. ctx.Inner.mean_cost
+               *. float_of_int (demand.(p) - 1)
+        end
+        else if avail.(p) && demand.(p) = 0 && t.prices.(p) > 0. then begin
+          let decayed = t.prices.(p) *. cfg.price_decay in
+          t.prices.(p) <-
+            (if decayed < 1e-6 *. ctx.Inner.mean_cost then 0. else decayed);
+          moved := true
+        end
+      done;
+      if !moved then t.epoch <- t.epoch + 1;
+      if not !over then cleared := true
+    done;
+    (* Commit pass: the group's old claims dissolve, then priority order
+       decides who keeps contested seats. *)
+    List.iter
+      (fun task -> List.iter (fun p -> t.owner.(p) <- None) task.jury)
+      group;
+    let eff = eff_costs t in
+    let order = Inner.density_order ctx ~eff in
+    let claimed_here = Array.make n false in
+    List.iter
+      (fun task ->
+        let keep =
+          List.filter (fun p -> avail.(p) && not claimed_here.(p)) task.proposal
+        in
+        let lost = List.length task.proposal - List.length keep in
+        let jury =
+          if lost = 0 then keep
+          else begin
+            t.conflicts <- t.conflicts + 1;
+            let budget = Spec.budget task.spec in
+            let spent = ref (Inner.jury_cost ctx keep) in
+            let on_keep = Array.make n false in
+            List.iter (fun p -> on_keep.(p) <- true) keep;
+            let added = ref [] and missing = ref lost in
+            (try
+               Array.iter
+                 (fun p ->
+                   if !missing = 0 then raise Exit;
+                   if
+                     avail.(p)
+                     && (not claimed_here.(p))
+                     && (not on_keep.(p))
+                     && !spent +. ctx.Inner.costs.(p) <= budget +. 1e-9
+                   then begin
+                     added := p :: !added;
+                     spent := !spent +. ctx.Inner.costs.(p);
+                     decr missing
+                   end)
+                 order
+             with Exit -> ());
+            List.sort compare (keep @ !added)
+          end
+        in
+        let id = Spec.id task.spec in
+        List.iter
+          (fun p ->
+            claimed_here.(p) <- true;
+            t.owner.(p) <- Some id)
+          jury;
+        task.jury <- jury;
+        task.score <- Inner.score_jury ctx ~task:(Spec.task task.spec) jury)
+      group
+  end
+
+(* Install a full assignment computed outside the auction (exhaustive or
+   baseline): owner table rebuilt from scratch. *)
+let install t assigns =
+  Array.fill t.owner 0 (Array.length t.owner) None;
+  List.iter
+    (fun { Inner.spec; jury; score } ->
+      let id = Spec.id spec in
+      let task = Hashtbl.find t.tasks id in
+      task.jury <- jury;
+      task.score <- score;
+      task.proposal <- jury;
+      List.iter (fun p -> t.owner.(p) <- Some id) jury)
+    assigns
+
+let exact_allocate t =
+  let specs = List.map (fun task -> task.spec) (sorted_tasks t) in
+  install t
+    (Exhaustive.allocate ~ctx:t.ctx ~dev_weight:t.config.dev_weight specs)
+
+(* Full price-based re-allocation, floored by the independent-greedy
+   baseline on the same instance: the adopted assignment is whichever
+   aggregates higher, so price-based >= baseline holds by construction
+   on every full solve. *)
+let full_solve t =
+  t.full_solves <- t.full_solves + 1;
+  if tiny t then exact_allocate t
+  else begin
+    auction t ~mode:`Full (sorted_tasks t);
+    let dev_weight = t.config.dev_weight in
+    let auction_agg = aggregate t in
+    let basel =
+      Baseline.allocate ~ctx:t.ctx ~dev_weight
+        (List.map (fun task -> task.spec) (arrival_tasks t))
+    in
+    if Inner.aggregate ~dev_weight basel > auction_agg then install t basel
+  end
+
+let reallocate t = if Hashtbl.length t.tasks > 0 then full_solve t
+
+(* Cap a delta re-solve's blast radius: only the [delta_cap] highest
+   priority affected juries go back to auction (must-keep tasks first). *)
+let cap_affected t ~must tasks =
+  let sorted =
+    List.sort (fun a b -> Spec.compare_priority a.spec b.spec) tasks
+  in
+  let cap = t.config.delta_cap in
+  let rec take acc k = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | x :: rest -> take (x :: acc) (k - 1) rest
+  in
+  let keep = take [] (max 0 (cap - List.length must)) sorted in
+  must @ List.filter (fun task -> not (List.memq task must)) keep
+
+let submit t spec =
+  let id = Spec.id spec in
+  if Hashtbl.mem t.tasks id then
+    invalid_arg ("Fleet.Allocator.submit: duplicate task id " ^ id);
+  let ctx = t.ctx in
+  if ctx.Inner.n > 0 && Spec.labels spec <> Engine.Pool.labels ctx.Inner.pool
+  then
+    invalid_arg "Fleet.Allocator.submit: task and pool label counts differ";
+  t.submits <- t.submits + 1;
+  let task =
+    {
+      spec;
+      seq = t.arrivals;
+      jury = [];
+      score = Engine.Task.empty_score (Spec.task spec);
+      proposal = [];
+    }
+  in
+  t.arrivals <- t.arrivals + 1;
+  Hashtbl.replace t.tasks id task;
+  if tiny t then begin
+    t.full_solves <- t.full_solves + 1;
+    exact_allocate t
+  end
+  else begin
+    t.delta_solves <- t.delta_solves + 1;
+    let cfg = t.config in
+    let avail = Array.make ctx.Inner.n true in
+    let eff = eff_costs t in
+    let sign = Spec.signature spec in
+    let key = proposal_key t ~scope:"full" sign in
+    let jury =
+      match Hashtbl.find_opt t.proposals key with
+      | Some j ->
+          t.proposal_hits <- t.proposal_hits + 1;
+          j
+      | None ->
+          let seed =
+            Hashtbl.hash (cfg.seed, t.version, t.epoch, "full", sign)
+          in
+          let j =
+            inner_solve t ~spec ~avail ~eff ~anneal:true
+              ~memo:(Some (memo_for t sign)) ~seed
+          in
+          t.inner_solves <- t.inner_solves + 1;
+          remember_proposal t key j;
+          j
+    in
+    task.proposal <- jury;
+    let contested = List.filter (fun p -> t.owner.(p) <> None) jury in
+    if contested = [] then begin
+      task.jury <- jury;
+      List.iter (fun p -> t.owner.(p) <- Some id) jury;
+      task.score <- Inner.score_jury ctx ~task:(Spec.task spec) jury
+    end
+    else begin
+      (* The wanted seats are contended: re-auction their owners together
+         with the newcomer (the auction's own rounds do the repricing —
+         bumping prices here would invalidate the proposal cache on every
+         saturated arrival). *)
+      let owner_ids = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          match t.owner.(p) with
+          | Some oid -> Hashtbl.replace owner_ids oid ()
+          | None -> ())
+        contested;
+      let owners =
+        Hashtbl.fold
+          (fun oid () acc -> Hashtbl.find t.tasks oid :: acc)
+          owner_ids []
+      in
+      auction t ~mode:`Delta (cap_affected t ~must:[ task ] owners)
+    end
+  end;
+  assignment_of t task
+
+(* Bulk arrival: admit the whole batch, then allocate it jointly with one
+   full solve — at 10k concurrent tasks this shares the per-signature
+   inner solves across the entire batch instead of re-auctioning per
+   arrival. *)
+let submit_all t specs =
+  (* validate everything before admitting anything *)
+  let batch = Hashtbl.create 64 in
+  List.iter
+    (fun spec ->
+      let id = Spec.id spec in
+      if Hashtbl.mem t.tasks id || Hashtbl.mem batch id then
+        invalid_arg ("Fleet.Allocator.submit_all: duplicate task id " ^ id);
+      Hashtbl.add batch id ();
+      if
+        t.ctx.Inner.n > 0
+        && Spec.labels spec <> Engine.Pool.labels t.ctx.Inner.pool
+      then
+        invalid_arg
+          "Fleet.Allocator.submit_all: task and pool label counts differ")
+    specs;
+  List.iter
+    (fun spec ->
+      let id = Spec.id spec in
+      t.submits <- t.submits + 1;
+      let task =
+        {
+          spec;
+          seq = t.arrivals;
+          jury = [];
+          score = Engine.Task.empty_score (Spec.task spec);
+          proposal = [];
+        }
+      in
+      t.arrivals <- t.arrivals + 1;
+      Hashtbl.replace t.tasks id task)
+    specs;
+  if specs <> [] then full_solve t;
+  List.map
+    (fun spec -> assignment_of t (Hashtbl.find t.tasks (Spec.id spec)))
+    specs
+
+let release t ~id ~decided =
+  match Hashtbl.find_opt t.tasks id with
+  | None -> None
+  | Some task ->
+      let final = assignment_of t task in
+      Hashtbl.remove t.tasks id;
+      t.releases <- t.releases + 1;
+      if decided then t.decides <- t.decides + 1;
+      List.iter (fun p -> t.owner.(p) <- None) task.jury;
+      let freed = task.jury in
+      if Hashtbl.length t.tasks = 0 then begin
+        if Array.exists (fun p -> p > 0.) t.prices then begin
+          Array.fill t.prices 0 (Array.length t.prices) 0.;
+          t.epoch <- t.epoch + 1
+        end
+      end
+      else if tiny t then begin
+        t.full_solves <- t.full_solves + 1;
+        exact_allocate t
+      end
+      else if freed <> [] then begin
+        (* Freed capacity relaxes contention: decay the freed seats'
+           prices and re-auction the juries that wanted them. *)
+        let moved = ref false in
+        List.iter
+          (fun p ->
+            if t.prices.(p) > 0. then begin
+              let decayed = t.prices.(p) *. t.config.price_decay in
+              t.prices.(p) <-
+                (if decayed < 1e-6 *. t.ctx.Inner.mean_cost then 0.
+                 else decayed);
+              moved := true
+            end)
+          freed;
+        if !moved then t.epoch <- t.epoch + 1;
+        let freed_set = Array.make t.ctx.Inner.n false in
+        List.iter (fun p -> freed_set.(p) <- true) freed;
+        let affected =
+          Hashtbl.fold
+            (fun _ other acc ->
+              if List.exists (fun p -> freed_set.(p)) other.proposal then
+                other :: acc
+              else acc)
+            t.tasks []
+        in
+        if affected <> [] then begin
+          t.delta_solves <- t.delta_solves + 1;
+          auction t ~mode:`Delta (cap_affected t ~must:[] affected)
+        end
+      end;
+      Some final
+
+let set_pool t ~pool ~version =
+  if version <> t.version then begin
+    t.resyncs <- t.resyncs + 1;
+    t.version <- version;
+    t.ctx <- Inner.make_ctx ~num_buckets:t.config.num_buckets pool;
+    let n = t.ctx.Inner.n in
+    t.prices <- Array.make n 0.;
+    t.owner <- Array.make n None;
+    t.epoch <- t.epoch + 1;
+    Hashtbl.reset t.proposals;
+    Hashtbl.reset t.memos;
+    let l = Engine.Pool.labels pool in
+    let dropped =
+      Hashtbl.fold
+        (fun id task acc ->
+          if n > 0 && Spec.labels task.spec <> l then id :: acc else acc)
+        t.tasks []
+    in
+    List.iter (Hashtbl.remove t.tasks) dropped;
+    Hashtbl.iter
+      (fun _ task ->
+        task.jury <- [];
+        task.proposal <- [];
+        task.score <- Engine.Task.empty_score (Spec.task task.spec))
+      t.tasks;
+    if Hashtbl.length t.tasks > 0 then full_solve t
+  end

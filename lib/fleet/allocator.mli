@@ -1,0 +1,146 @@
+(** Price-based shared-pool jury allocator.
+
+    One pool, a stream of concurrent tasks, two hard constraints — no
+    worker sits on two juries at once, and each task pays its own jury
+    within its own budget — and a tier-weighted, deviation-soft
+    aggregate JQ objective.  Solved by price-based (Lagrangian/auction)
+    decomposition:
+
+    - every position carries a {e price}, the shadow cost of contention,
+      and each task's inner problem is the ordinary single-task JSP of
+      the paper solved by the warm {!Jsp.Annealing.solve_engine} path
+      against {e effective} costs (true cost + price).  Prices only
+      shape preference: budgets are charged true costs, and since
+      effective ≥ true cost, a priced-feasible jury is always feasible.
+    - an outer loop counts demand per position across the per-task
+      proposals, raises prices on over-subscribed positions and decays
+      prices nobody pays, until demand clears or [max_rounds] runs out;
+      a final commit pass walks tasks in {!Spec.compare_priority} order,
+      granting each its proposal minus already-claimed positions and
+      repairing evicted seats greedily — so non-overlap holds by
+      construction, every epoch.
+
+    Inner solves are shared and cached: tasks with equal
+    {!Spec.signature} are interchangeable to the solver, so each auction
+    round solves one inner problem per {e distinct} signature (fanned
+    across domains via {!Expt.Parallel} with guided self-scheduling),
+    and proposals are memoized keyed by (pool version, price epoch,
+    scope, signature) — at 10k concurrent tasks over a handful of task
+    shapes, an allocation is a handful of anneals plus one cheap commit
+    sweep.  Arrival, departure and decide trigger {e delta} re-solves
+    touching only the (capped) set of juries sharing a contended or
+    freed worker; {!set_pool} resyncs on the registry's pool-version
+    bumps — the same invalidation rule as every other cache over pools.
+
+    Full re-allocations ({!reallocate}, and tiny instances routed to
+    {!Exhaustive}) additionally take the better of the auction and the
+    independent-greedy {!Baseline} on the same instance, so the
+    price-based result is ≥ the baseline by construction there. *)
+
+type config = {
+  anneal : Jsp.Annealing.params;  (** Inner-solve schedule (fleet default: ε=1e-4, 128 moves/temp — light). *)
+  num_buckets : int;      (** Bucket count for every JQ evaluation. *)
+  restarts : int;         (** Anneal restarts per inner solve. *)
+  price_step : float;     (** Price raise per unit of excess demand, in mean-cost units. *)
+  price_decay : float;    (** Multiplicative decay on undemanded priced positions. *)
+  max_rounds : int;       (** Outer price-adjustment rounds per full auction. *)
+  delta_rounds : int;     (** Rounds cap for delta auctions (greedy-only inner solves). *)
+  dev_weight : float;     (** Weight of the soft target-shortfall deviation. *)
+  exact_tasks : int;      (** Route instances ≤ this many tasks … *)
+  exact_workers : int;    (** … on pools ≤ this many workers to {!Exhaustive}. *)
+  delta_cap : int;        (** Max juries a delta re-solve may touch. *)
+  domains : int;          (** Domains for the inner-solve fan (1 = sequential). *)
+  seed : int;             (** Deterministic inner-solve RNG root. *)
+}
+
+val default_config : config
+
+type assignment = {
+  id : string;
+  jury : int list;   (** Ascending pool positions ([] when starved). *)
+  score : float;     (** JQ estimate for the task's prior. *)
+  cost : float;      (** True cost of the jury. *)
+  tier : int;
+}
+
+type stats = {
+  submits : int;
+  releases : int;        (** Tasks released, including decided ones. *)
+  decides : int;         (** Releases that carried a decision. *)
+  full_solves : int;     (** Full re-allocations (incl. exact routes). *)
+  delta_solves : int;    (** Delta re-solves (capped auctions). *)
+  price_rounds : int;    (** Outer price-adjustment rounds run. *)
+  inner_solves : int;    (** Per-signature inner solves actually run. *)
+  proposal_hits : int;   (** Inner solves answered from the proposal cache. *)
+  conflicts : int;       (** Commit-pass juries that lost a contested seat. *)
+  resyncs : int;         (** Pool-version resyncs via {!set_pool}. *)
+}
+
+type t
+
+val create : ?config:config -> pool:Engine.Pool.t -> version:int -> unit -> t
+val config : t -> config
+val pool : t -> Engine.Pool.t
+val pool_version : t -> int
+val epoch : t -> int
+(** Current price epoch (bumped whenever any price moves). *)
+
+val task_count : t -> int
+val claimed : t -> int
+(** Positions currently on some jury. *)
+
+val priced : t -> int
+(** Positions currently carrying a nonzero price. *)
+
+val contention : t -> float
+(** [priced / pool size] (0 on an empty pool) — how much of the pool the
+    auction is actively arbitrating. *)
+
+val submit : t -> Spec.t -> assignment
+(** Admit a task and assign it a jury: a cached/warm full-pool proposal,
+    claimed directly when unconteded, otherwise a delta auction over the
+    owners of the contested positions (≤ [delta_cap] juries).  Tiny
+    instances re-solve exactly.
+    @raise Invalid_argument on duplicate id or a prior whose label count
+    differs from the pool's. *)
+
+val submit_all : t -> Spec.t list -> assignment list
+(** Bulk arrival: admit every spec, then allocate the whole batch with
+    one full price-based solve (per-signature inner solves shared across
+    the batch — the 10k-concurrent-tasks path).  Assignments are
+    returned in input order.  All-or-nothing validation as in {!submit}:
+    a duplicate id or label mismatch raises before any allocation. *)
+
+val release : t -> id:string -> decided:bool -> assignment option
+(** Remove a task (its decision made, or withdrawn), free its jury, and
+    delta re-solve the (capped) set of tasks whose proposals wanted the
+    freed workers.  [None] when the id is unknown; otherwise the final
+    assignment the task held. *)
+
+val find : t -> id:string -> assignment option
+val assignments : t -> assignment list
+(** All resident tasks in {!Spec.compare_priority} order. *)
+
+val reallocate : t -> unit
+(** Full price-based re-allocation of every resident task (auction from
+    the current prices, floored by {!Baseline} — aggregate never lands
+    below independent greedy). *)
+
+val set_pool : t -> pool:Engine.Pool.t -> version:int -> unit
+(** Adopt a new pool snapshot (same-version calls are no-ops).  Tasks
+    whose label count no longer matches are dropped; everything else is
+    fully re-allocated against the new pool — registry version bumps
+    (worker-quality batches, puts) invalidate fleet state exactly like
+    they invalidate every other per-pool cache. *)
+
+val aggregate : t -> float
+(** Current tier-weighted deviation-soft aggregate utility. *)
+
+val baseline_aggregate : t -> float
+(** {!Baseline} re-run on the current instance (fresh computation). *)
+
+val violations : t -> int
+(** Overlapping position claims across resident juries — 0 by
+    construction; exposed so tests and benches can assert it. *)
+
+val stats : t -> stats

@@ -1,0 +1,68 @@
+let allocate ~ctx ~dev_weight:_ specs =
+  let n = ctx.Inner.n in
+  let all = Array.make n true in
+  let eff = ctx.Inner.costs in
+  (* One sort of the pool serves every task: the scan orders depend only
+     on (rank, cost), never on the spec. *)
+  let orders = Inner.greedy_orders ctx ~eff in
+  (* Phase 1: each task solved independently on the full pool.  Tasks
+     with equal signatures are interchangeable here (same prior, same
+     budget, same full pool), so solve each shape once. *)
+  let by_sig = Hashtbl.create 16 in
+  let wants =
+    List.map
+      (fun spec ->
+        let sign = Spec.signature spec in
+        let want =
+          match Hashtbl.find_opt by_sig sign with
+          | Some w -> w
+          | None ->
+              let w =
+                fst (Inner.greedy_jury ~orders ctx ~spec ~avail:all ~eff)
+              in
+              Hashtbl.add by_sig sign w;
+              w
+        in
+        (spec, want))
+      specs
+  in
+  let density = List.hd orders in
+  (* Phase 2: arrival-order eviction — claimed workers drop out of later
+     juries; evicted seats backfill greedily from what is left. *)
+  let claimed = Array.make n false in
+  List.map
+    (fun (spec, want) ->
+      let keep = List.filter (fun i -> not claimed.(i)) want in
+      let evicted = List.length want - List.length keep in
+      let jury =
+        if evicted = 0 then keep
+        else begin
+          let spent = Inner.jury_cost ctx keep in
+          let budget = Spec.budget spec in
+          let taken = Array.make n false in
+          List.iter (fun i -> taken.(i) <- true) keep;
+          let order = density in
+          let added = ref [] and spent = ref spent and missing = ref evicted in
+          Array.iter
+            (fun i ->
+              if
+                !missing > 0
+                && (not claimed.(i))
+                && (not taken.(i))
+                && !spent +. ctx.Inner.costs.(i) <= budget +. 1e-9
+              then begin
+                added := i :: !added;
+                spent := !spent +. ctx.Inner.costs.(i);
+                decr missing
+              end)
+            order;
+          List.sort compare (keep @ !added)
+        end
+      in
+      List.iter (fun i -> claimed.(i) <- true) jury;
+      let score = Inner.score_jury ctx ~task:(Spec.task spec) jury in
+      { Inner.spec; jury; score })
+    wants
+
+let aggregate ~ctx ~dev_weight specs =
+  Inner.aggregate ~dev_weight (allocate ~ctx ~dev_weight specs)

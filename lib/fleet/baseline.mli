@@ -1,0 +1,20 @@
+(** Independent greedy with conflict eviction — the fleet baseline.
+
+    What a platform without a shared-pool allocator does: each task runs
+    the per-task greedy on the {e full} pool as if it were alone, then a
+    single pass in arrival order resolves contention by eviction — a
+    worker already claimed by an earlier task is dropped from every
+    later jury, and each evicted seat is backfilled greedily from the
+    workers still unclaimed (within the task's remaining budget).  The
+    result respects non-overlap and budgets but prices contention not at
+    all, which is exactly what {!Allocator}'s price-based decomposition
+    must beat (and is guaranteed to: the allocator takes the better of
+    its auction and this baseline on every full re-allocation). *)
+
+val allocate :
+  ctx:Inner.ctx -> dev_weight:float -> Spec.t list -> Inner.assignment list
+(** Specs in arrival order; assignments returned in the same order.
+    Deterministic. *)
+
+val aggregate : ctx:Inner.ctx -> dev_weight:float -> Spec.t list -> float
+(** {!Inner.aggregate} of {!allocate}. *)

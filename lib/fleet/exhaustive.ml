@@ -1,0 +1,70 @@
+let max_tasks = 4
+let max_workers = 8
+
+let allocate ~ctx ~dev_weight specs =
+  let n = ctx.Inner.n in
+  let k = List.length specs in
+  if k > max_tasks || n > max_workers then
+    invalid_arg "Fleet.Exhaustive.allocate: instance too large";
+  let specs_a = Array.of_list specs in
+  let tasks = Array.map Spec.task specs_a in
+  let budgets = Array.map Spec.budget specs_a in
+  if k = 0 then []
+  else begin
+    (* owner.(pos) ∈ {-1 = unassigned, 0 .. k-1}; mixed-radix counter
+       enumerated lexicographically so the first optimum wins ties. *)
+    let owner = Array.make n (-1) in
+    let best_util = ref Float.neg_infinity in
+    let best = ref [||] in
+    let continue_ = ref true in
+    while !continue_ do
+      let spent = Array.make k 0. in
+      let feasible = ref true in
+      Array.iteri
+        (fun pos o ->
+          if o >= 0 then begin
+            spent.(o) <- spent.(o) +. ctx.Inner.costs.(pos);
+            if spent.(o) > budgets.(o) +. 1e-9 then feasible := false
+          end)
+        owner;
+      if !feasible then begin
+        let util = ref 0. in
+        for t = 0 to k - 1 do
+          let jury = ref [] in
+          for pos = n - 1 downto 0 do
+            if owner.(pos) = t then jury := pos :: !jury
+          done;
+          let score = Inner.score_jury ctx ~task:tasks.(t) !jury in
+          util := !util +. Inner.utility ~dev_weight specs_a.(t) ~score
+        done;
+        if !util > !best_util then begin
+          best_util := !util;
+          best := Array.copy owner
+        end
+      end;
+      (* increment the mixed-radix counter *)
+      let pos = ref 0 in
+      let carrying = ref true in
+      while !carrying && !pos < n do
+        if owner.(!pos) < k - 1 then begin
+          owner.(!pos) <- owner.(!pos) + 1;
+          carrying := false
+        end
+        else begin
+          owner.(!pos) <- -1;
+          incr pos
+        end
+      done;
+      if !carrying then continue_ := false
+    done;
+    let owner = !best in
+    List.mapi
+      (fun t spec ->
+        let jury = ref [] in
+        for pos = n - 1 downto 0 do
+          if owner.(pos) = t then jury := pos :: !jury
+        done;
+        let score = Inner.score_jury ctx ~task:tasks.(t) !jury in
+        { Inner.spec; jury = !jury; score })
+      specs
+  end

@@ -1,0 +1,23 @@
+(** Exact fleet assignment by enumeration, for tiny instances.
+
+    Enumerates every owner vector — each of the [n] pool positions goes
+    to one of the [k] tasks or to nobody, [(k+1)^n] combinations — and
+    keeps the budget-feasible assignment with the highest tier-weighted,
+    deviation-soft aggregate utility ({!Inner.aggregate}).  Non-overlap
+    holds by construction (a position has one owner).  This is the
+    ground truth the allocator's qcheck optimality invariant compares
+    against, and the allocator itself routes instances under its exact
+    caps here, so tiny fleets are solved optimally rather than
+    heuristically. *)
+
+val max_tasks : int
+(** Hard enumeration guard (4 tasks). *)
+
+val max_workers : int
+(** Hard enumeration guard (8 positions). *)
+
+val allocate :
+  ctx:Inner.ctx -> dev_weight:float -> Spec.t list -> Inner.assignment list
+(** Assignments in input spec order; juries are ascending positions.
+    Deterministic: ties keep the lexicographically first owner vector.
+    @raise Invalid_argument beyond {!max_tasks} × {!max_workers}. *)

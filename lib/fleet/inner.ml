@@ -1,0 +1,115 @@
+type ctx = {
+  pool : Engine.Pool.t;
+  n : int;
+  costs : float array;
+  rank : float array;
+  mean_cost : float;
+  num_buckets : int;
+  obj : Engine.Objective.t;
+}
+
+let make_ctx ?(num_buckets = Jq.Bucket.default_num_buckets) pool =
+  let n = Engine.Pool.size pool in
+  let costs = Engine.Pool.costs pool in
+  let rank =
+    match Engine.Pool.repr pool with
+    | Engine.Pool.Binary p ->
+        Array.map
+          (fun w -> Float.abs ((2. *. Workers.Worker.quality w) -. 1.))
+          (Workers.Pool.to_array p)
+    | Engine.Pool.Matrix a -> Array.map Workers.Spammer.score a
+  in
+  let mean_cost =
+    if n = 0 then 1.
+    else
+      let m = Engine.Pool.total_cost pool /. float_of_int n in
+      if m > 0. then m else 1.
+  in
+  let obj = Engine.Objective.bv_bucket ~num_buckets () in
+  { pool; n; costs; rank; mean_cost; num_buckets; obj }
+
+(* Positional subset in O(jury), not O(pool) — the commit pass scores
+   every resident jury, so this must not scan the whole pool. *)
+let subset ctx positions =
+  List.iter
+    (fun i ->
+      if i < 0 || i >= ctx.n then
+        invalid_arg "Fleet.Inner: position out of range")
+    positions;
+  match Engine.Pool.repr ctx.pool with
+  | Engine.Pool.Binary p ->
+      Engine.Pool.of_workers (Workers.Pool.sub p positions)
+  | Engine.Pool.Matrix a ->
+      Engine.Pool.of_confusions
+        (Array.of_list (List.map (Array.get a) positions))
+
+let score_jury ctx ~task positions =
+  Engine.Objective.score ctx.obj ~task (subset ctx positions)
+
+let jury_cost ctx positions =
+  List.fold_left (fun acc i -> acc +. ctx.costs.(i)) 0. positions
+
+let utility ~dev_weight spec ~score =
+  let shortfall = Float.max 0. (Spec.target spec -. score) in
+  Spec.weight spec *. (score -. (dev_weight *. shortfall))
+
+type assignment = { spec : Spec.t; jury : int list; score : float }
+
+let aggregate ~dev_weight assignments =
+  List.fold_left
+    (fun acc a -> acc +. utility ~dev_weight a.spec ~score:a.score)
+    0. assignments
+
+let sorted_positions ctx ~key =
+  let idx = Array.init ctx.n Fun.id in
+  (* Stable on the key so ties keep position order: deterministic scans. *)
+  let cmp a b =
+    match compare (key b) (key a) with 0 -> compare a b | c -> c
+  in
+  Array.sort cmp idx;
+  idx
+
+let density ctx ~eff i = ctx.rank.(i) /. Float.max 1e-9 eff.(i)
+let density_order ctx ~eff = sorted_positions ctx ~key:(density ctx ~eff)
+
+(* Greedy scan in the given position order: add every available worker
+   whose true cost still fits the budget (Lemma 1 — more workers never
+   hurt BV, so there is no reason to skip an affordable one). *)
+let scan ctx ~budget ~avail order =
+  let jury = ref [] and spent = ref 0. in
+  Array.iter
+    (fun i ->
+      if avail.(i) && !spent +. ctx.costs.(i) <= budget +. 1e-9 then begin
+        jury := i :: !jury;
+        spent := !spent +. ctx.costs.(i)
+      end)
+    order;
+  List.sort compare !jury
+
+let greedy_orders ctx ~eff =
+  [
+    density_order ctx ~eff;
+    sorted_positions ctx ~key:(fun i -> ctx.rank.(i));
+    sorted_positions ctx ~key:(fun i -> Float.neg eff.(i));
+  ]
+
+let greedy_jury ?orders ctx ~spec ~avail ~eff =
+  let budget = Spec.budget spec in
+  let task = Spec.task spec in
+  let orders =
+    match orders with Some o -> o | None -> greedy_orders ctx ~eff
+  in
+  (* Distinct orders often produce the same jury (small budgets exhaust
+     the affordable set); score each candidate jury once. *)
+  let juries =
+    List.fold_left
+      (fun acc order ->
+        let jury = scan ctx ~budget ~avail order in
+        if List.mem jury acc then acc else jury :: acc)
+      [] orders
+  in
+  List.fold_left
+    (fun (best_jury, best_score) jury ->
+      let score = score_jury ctx ~task jury in
+      if score > best_score then (jury, score) else (best_jury, best_score))
+    ([], Float.neg_infinity) (List.rev juries)

@@ -1,0 +1,68 @@
+(** Shared per-instance machinery for the fleet solvers.
+
+    A {!ctx} is the positional view of one shared pool that every fleet
+    solver (priced auction, greedy baseline, exhaustive checker) works
+    against: juries are ascending position lists into [pool], [costs]
+    are the true per-position costs that budgets are charged against,
+    and [rank] is a model-free informativeness score (|2q−1| for binary
+    workers, the {!Workers.Spammer} row-distance score for matrix
+    workers) used to order greedy scans.  Scoring goes through one
+    bucket-approximated BV objective, so every solver's JQ numbers are
+    directly comparable — the ≥-baseline guarantees in {!Allocator}
+    are comparisons of identical evaluators. *)
+
+type ctx = private {
+  pool : Engine.Pool.t;
+  n : int;
+  costs : float array;
+  rank : float array;
+  mean_cost : float;  (** Mean true cost (1 on an empty pool) — the price unit. *)
+  num_buckets : int;
+  obj : Engine.Objective.t;
+}
+
+val make_ctx : ?num_buckets:int -> Engine.Pool.t -> ctx
+(** [num_buckets] defaults to {!Jq.Bucket.default_num_buckets}.  The
+    objective resolves its kernel workspace per call (the calling
+    domain's default), so a ctx may be read from several domains. *)
+
+val score_jury : ctx -> task:Engine.Task.t -> int list -> float
+(** JQ estimate of the jury at the given positions (the empty jury
+    scores {!Engine.Task.empty_score}).
+    @raise Invalid_argument on out-of-range positions. *)
+
+val jury_cost : ctx -> int list -> float
+(** Σ true cost over the positions. *)
+
+val utility : dev_weight:float -> Spec.t -> score:float -> float
+(** Tier-weighted, deviation-soft task utility:
+    [weight · (score − dev_weight · max 0 (target − score))]. *)
+
+type assignment = { spec : Spec.t; jury : int list; score : float }
+
+val aggregate : dev_weight:float -> assignment list -> float
+(** Σ {!utility} over the assignments — the fleet objective. *)
+
+val density_order : ctx -> eff:float array -> int array
+(** All positions sorted by decreasing [rank/eff] (informativeness per
+    effective cost unit; ties by position), the greedy scan order. *)
+
+val greedy_orders : ctx -> eff:float array -> int array list
+(** The three greedy scan orders (density, raw rank, cheapest-first) for
+    one effective-cost vector — hoist across tasks that share [eff]:
+    the orders are per-pool, not per-task. *)
+
+val greedy_jury :
+  ?orders:int array list ->
+  ctx ->
+  spec:Spec.t ->
+  avail:bool array ->
+  eff:float array ->
+  int list * float
+(** Best of three greedy scans over the available positions — by
+    rank/[eff] density, by raw rank, and cheapest-[eff]-first — each
+    adding every worker whose {e true} cost still fits the spec's
+    budget (Lemma 1: affordable additions never hurt BV).  [eff] is the
+    effective (price-adjusted) cost vector that shapes preference
+    order; budgets are always charged true costs.  Returns the
+    best-scoring jury (ascending positions) and its score. *)

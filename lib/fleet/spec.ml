@@ -1,0 +1,59 @@
+type t = {
+  id : string;
+  task : Engine.Task.t;
+  budget : float;
+  tier : int;
+  target : float;
+  weight : float;
+  signature : string;
+}
+
+let wire_safe id =
+  id <> ""
+  && String.for_all
+       (fun c -> c <> ' ' && c <> '=' && c <> '\n' && c <> '\r')
+       id
+
+let make ?(tier = 0) ?(target = 0.) ~id ~prior ~budget () =
+  if not (wire_safe id) then
+    invalid_arg "Fleet.Spec.make: id must be non-empty and wire-safe";
+  if tier < 0 then invalid_arg "Fleet.Spec.make: tier must be >= 0";
+  if not (Float.is_finite target) || target < 0. || target > 1. then
+    invalid_arg "Fleet.Spec.make: target must lie in [0, 1]";
+  if not (Float.is_finite budget) then
+    invalid_arg "Fleet.Spec.make: budget must be finite";
+  Jsp.Budget.validate budget;
+  let task = Engine.Task.make ~prior in
+  let signature =
+    Printf.sprintf "%s|%h|%d|%h" (Engine.Task.fingerprint task) budget tier
+      target
+  in
+  {
+    id;
+    task;
+    budget;
+    tier;
+    target;
+    weight = 10. ** Float.neg (float_of_int tier);
+    signature;
+  }
+
+let id t = t.id
+let task t = t.task
+let prior t = Engine.Task.prior t.task
+let labels t = Engine.Task.labels t.task
+let budget t = t.budget
+let tier t = t.tier
+let target t = t.target
+let weight t = t.weight
+let signature t = t.signature
+
+let compare_priority a b =
+  match compare a.tier b.tier with
+  | 0 -> String.compare a.id b.id
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s(l=%d, B=%g, tier=%d%s)" t.id (labels t) t.budget
+    t.tier
+    (if t.target > 0. then Printf.sprintf ", target=%g" t.target else "")

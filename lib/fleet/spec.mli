@@ -1,0 +1,50 @@
+(** One task's slot in the fleet: what it asks of the shared pool.
+
+    A spec is the fleet-level view of a task — an ℓ-label prior (the
+    {!Engine.Task.t} the inner JSP solvers score against), a per-task
+    budget over true worker costs, a priority [tier] and an optional
+    soft quality [target].  Tiers weight the allocator's aggregate
+    objective geometrically (tier 0 outweighs tier 1 ten to one, as in
+    the tiered MIP formulations this mirrors), and the commit pass
+    breaks worker contention in {!compare_priority} order, so a tier-0
+    task never loses a contested worker to a tier-2 one.  [target] is
+    deviation-soft: falling short of it costs extra aggregate utility
+    but never makes an instance infeasible. *)
+
+type t
+
+val make :
+  ?tier:int ->
+  ?target:float ->
+  id:string ->
+  prior:float array ->
+  budget:float ->
+  unit ->
+  t
+(** Validates: [id] non-empty and wire-safe (no spaces, ['='] or
+    newlines), prior as in {!Engine.Task.make}, [budget >= 0] and finite,
+    [tier >= 0], [target] in [0, 1] (default 0 = no target; tier
+    defaults to 0 = highest priority).
+    @raise Invalid_argument on violations. *)
+
+val id : t -> string
+val task : t -> Engine.Task.t
+val prior : t -> float array
+val labels : t -> int
+val budget : t -> float
+val tier : t -> int
+val target : t -> float
+
+val weight : t -> float
+(** Aggregate-objective weight: [10^-tier]. *)
+
+val signature : t -> string
+(** Bit-exact digest of (prior, budget, tier, target) — everything the
+    inner solver's answer depends on, and nothing else.  Two specs with
+    equal signatures are interchangeable to the solver, so one priced
+    proposal serves all of them; the id is deliberately excluded. *)
+
+val compare_priority : t -> t -> int
+(** Commit order: increasing tier, ties by id (total order). *)
+
+val pp : Format.formatter -> t -> unit

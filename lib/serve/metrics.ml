@@ -34,6 +34,12 @@ type shard = {
   ingest_ring : float array;             (* recent ingest times, ns *)
   mutable ingest_ring_len : int;
   mutable ingest_ring_next : int;
+  mutable fleet_assigns : int;           (* fleet submits assigned *)
+  mutable fleet_releases : int;          (* fleet tasks released *)
+  fleet_histogram : Prob.Histogram.t;    (* fleet assign ns *)
+  fleet_ring : float array;              (* recent fleet assign times, ns *)
+  mutable fleet_ring_len : int;
+  mutable fleet_ring_next : int;
 }
 
 type t = {
@@ -80,6 +86,12 @@ let fresh_shard () =
     ingest_ring = Array.make ring_size 0.;
     ingest_ring_len = 0;
     ingest_ring_next = 0;
+    fleet_assigns = 0;
+    fleet_releases = 0;
+    fleet_histogram = Prob.Histogram.create ~lo:0. ~hi:1e8 ~buckets:100;
+    fleet_ring = Array.make ring_size 0.;
+    fleet_ring_len = 0;
+    fleet_ring_next = 0;
   }
 
 let create ?(shards = 1) () =
@@ -168,6 +180,18 @@ let recal_run t ~shard ~count =
   if count > 0 then
     with_shard t shard (fun s -> s.recal_runs <- s.recal_runs + count)
 
+let fleet_assign t ~shard ~ns =
+  with_shard t shard (fun s ->
+      s.fleet_assigns <- s.fleet_assigns + 1;
+      Prob.Histogram.add s.fleet_histogram ns;
+      s.fleet_ring.(s.fleet_ring_next) <- ns;
+      s.fleet_ring_next <- (s.fleet_ring_next + 1) mod ring_size;
+      if s.fleet_ring_len < ring_size then
+        s.fleet_ring_len <- s.fleet_ring_len + 1)
+
+let fleet_release t ~shard =
+  with_shard t shard (fun s -> s.fleet_releases <- s.fleet_releases + 1)
+
 let add_cache t ~merge =
   Mutex.lock t.sources_lock;
   t.cache_sources <- merge :: t.cache_sources;
@@ -209,6 +233,9 @@ type merged = {
   m_votes_ingested : int;
   m_recal_runs : int;
   m_ingest_ns : float array;
+  m_fleet_assigns : int;
+  m_fleet_releases : int;
+  m_fleet_ns : float array;
 }
 
 let merge t =
@@ -226,6 +253,8 @@ let merge t =
   let session_rings = ref [] in
   let ingests = ref 0 and votes_ingested = ref 0 and recal_runs = ref 0 in
   let ingest_rings = ref [] in
+  let fleet_assigns = ref 0 and fleet_releases = ref 0 in
+  let fleet_rings = ref [] in
   Array.iteri
     (fun i _ ->
       with_shard t i (fun s ->
@@ -263,7 +292,12 @@ let merge t =
           recal_runs := !recal_runs + s.recal_runs;
           if s.ingest_ring_len > 0 then
             ingest_rings :=
-              Array.sub s.ingest_ring 0 s.ingest_ring_len :: !ingest_rings))
+              Array.sub s.ingest_ring 0 s.ingest_ring_len :: !ingest_rings;
+          fleet_assigns := !fleet_assigns + s.fleet_assigns;
+          fleet_releases := !fleet_releases + s.fleet_releases;
+          if s.fleet_ring_len > 0 then
+            fleet_rings :=
+              Array.sub s.fleet_ring 0 s.fleet_ring_len :: !fleet_rings))
     t.shards;
   {
     m_requests = !requests;
@@ -288,6 +322,9 @@ let merge t =
     m_votes_ingested = !votes_ingested;
     m_recal_runs = !recal_runs;
     m_ingest_ns = Array.concat !ingest_rings;
+    m_fleet_assigns = !fleet_assigns;
+    m_fleet_releases = !fleet_releases;
+    m_fleet_ns = Array.concat !fleet_rings;
   }
 
 let snapshot t =
@@ -319,6 +356,8 @@ let snapshot t =
       ("ingests", f m.m_ingests);
       ("votes_ingested", f m.m_votes_ingested);
       ("recal_runs", f m.m_recal_runs);
+      ("fleet_assigns", f m.m_fleet_assigns);
+      ("fleet_releases", f m.m_fleet_releases);
     ]
     @ Hashtbl.fold (fun verb n acc -> ("req_" ^ verb, f n) :: acc) m.m_per_verb []
   in
@@ -361,6 +400,16 @@ let snapshot t =
         ("ingest_ns_p99", q 0.99);
       ]
   in
+  let fleet_quantiles =
+    if Array.length m.m_fleet_ns = 0 then []
+    else
+      let q p = Prob.Stats.quantile m.m_fleet_ns p in
+      [
+        ("fleet_assign_ns_p50", q 0.5);
+        ("fleet_assign_ns_p95", q 0.95);
+        ("fleet_assign_ns_p99", q 0.99);
+      ]
+  in
   let cache =
     List.fold_left
       (fun acc merge -> Jsp.Objective_cache.merge_stats acc (merge ()))
@@ -396,7 +445,7 @@ let snapshot t =
   let gauge_rows = List.concat_map (fun gauges -> gauges ()) gauge_sources in
   List.sort compare
     (base @ quantiles @ jq_quantiles @ session_quantiles @ ingest_quantiles
-   @ cache_rows @ session_rows @ gauge_rows)
+   @ fleet_quantiles @ cache_rows @ session_rows @ gauge_rows)
 
 let pp_line ppf t =
   let snap = snapshot t in

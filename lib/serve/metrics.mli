@@ -86,6 +86,16 @@ val recal_run : t -> shard:int -> count:int -> unit
 (** Count [count] drift-triggered jury re-selections (solver re-runs over
     standing jury specs) on [shard].  No-op for [count <= 0]. *)
 
+val fleet_assign : t -> shard:int -> ns:float -> unit
+(** Record one fleet submit assigned on [shard] in [ns] nanoseconds
+    (allocator time only — queueing is covered by the request latency).
+    Feeds the [fleet_assigns] counter and the merged
+    [fleet_assign_ns_p50/95/99] quantiles, so assignment-latency
+    regressions in the price-based allocator are visible in [stats]. *)
+
+val fleet_release : t -> shard:int -> unit
+(** Count one fleet task released on [shard] ([fleet_releases]). *)
+
 val add_sessions : t -> stats:(unit -> Session.Store.stats) -> unit
 (** Register a pull-source of session-store counters (one per shard
     store); {!snapshot} sums every registered source into the
@@ -115,7 +125,9 @@ val snapshot : t -> (string * float) list
     evaluations and [session_verb_ns_p50/95/99] over recent session verbs
     (each trio absent until a first sample), [session_verbs],
     [ingests]/[votes_ingested]/[recal_runs] with
-    [ingest_ns_p50/95/99] over recent calibration batches, plus the
+    [ingest_ns_p50/95/99] over recent calibration batches,
+    [fleet_assigns]/[fleet_releases] with [fleet_assign_ns_p50/95/99]
+    over recent fleet assignments, plus the
     [sessions_open]/[sessions_opened]/[sessions_decided]/
     [sessions_expired]/[sessions_invalidated]/[sessions_rejected] rows
     summed over registered session stores, and

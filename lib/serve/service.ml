@@ -93,6 +93,12 @@ type t = {
          (not shard ownership) is what guarantees consistency: a stolen
          or spilled session job still locks the session's *home* store,
          so state never splits across shards. *)
+  fleet_stores : (Mutex.t * (string, Fleet.Allocator.t) Hashtbl.t) array;
+      (* One allocator per pool, homed on the pool's affinity shard like
+         session stores: same-pool fleet verbs serialize on one warm
+         allocator (prices, proposal cache, memos), and the lock — not
+         shard ownership — is what keeps a stolen fleet job
+         consistent. *)
   shutdown_lock : Mutex.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
@@ -158,8 +164,18 @@ let unknown_pool name =
 let unknown_session message = Wire.Error { code = Wire.Unknown_session; message }
 let bad_request message = Wire.Error { code = Wire.Bad_request; message }
 
+let unknown_task ~pool_name ~task_name =
+  Wire.Error
+    {
+      code = Wire.Unknown_task;
+      message = Printf.sprintf "no fleet task %s/%s" pool_name task_name;
+    }
+
 let session_store t name =
   t.session_stores.(Hashtbl.hash name mod Array.length t.session_stores)
+
+let fleet_store t name =
+  t.fleet_stores.(Hashtbl.hash name mod Array.length t.fleet_stores)
 
 let prior_mismatch ~prior ~labels =
   Wire.Error
@@ -599,6 +615,161 @@ let eval_session t exec request =
     ~ns:(1e9 *. (Clock.now () -. t0));
   response
 
+(* ---- fleet verbs ---------------------------------------------------- *)
+
+(* Look up the pool's shared allocator under its home store's lock,
+   creating it on first touch and resyncing it when the registry version
+   moved — quality-plane batches and pool-puts invalidate fleet state by
+   the same version rule as every other per-pool cache.  The allocator
+   fans inner solves itself, so it runs with [domains = 1] here: the
+   service's parallelism is across shards, not within one verb. *)
+let with_fleet t ~pool_name f =
+  match Registry.find t.registry pool_name with
+  | None -> unknown_pool pool_name
+  | Some (pool, version) ->
+      let lock, store = fleet_store t pool_name in
+      with_lock lock (fun () ->
+          let alloc =
+            match Hashtbl.find_opt store pool_name with
+            | Some a ->
+                Fleet.Allocator.set_pool a ~pool ~version;
+                a
+            | None ->
+                let config =
+                  { Fleet.Allocator.default_config with
+                    num_buckets = t.num_buckets;
+                  }
+                in
+                let a = Fleet.Allocator.create ~config ~pool ~version () in
+                Hashtbl.add store pool_name a;
+                a
+          in
+          f alloc)
+
+let fleet_task_reply ~pool_name (a : Fleet.Allocator.assignment) =
+  Wire.Fleet_task
+    {
+      pool = pool_name;
+      task = a.id;
+      jury = a.jury;
+      score = a.score;
+      cost = a.cost;
+      tier = a.tier;
+    }
+
+let eval_fleet_submit t exec ~pool_name ~task_name ~prior ~budget ~tier ~target
+    =
+  with_fleet t ~pool_name (fun alloc ->
+      let labels = Engine.Pool.labels (Fleet.Allocator.pool alloc) in
+      if List.length prior <> labels then prior_mismatch ~prior ~labels
+      else
+        match
+          Fleet.Spec.make ~tier ~target ~id:task_name
+            ~prior:(Array.of_list prior) ~budget ()
+        with
+        | exception Invalid_argument msg -> bad_request msg
+        | spec -> (
+            let t0 = Clock.now () in
+            match Fleet.Allocator.submit alloc spec with
+            | exception Invalid_argument msg -> bad_request msg
+            | assignment ->
+                Metrics.fleet_assign t.metrics ~shard:exec.shard
+                  ~ns:(1e9 *. (Clock.now () -. t0));
+                fleet_task_reply ~pool_name assignment))
+
+let eval_fleet_status t ~pool_name ~task_name =
+  with_fleet t ~pool_name (fun alloc ->
+      match task_name with
+      | Some task_name -> (
+          match Fleet.Allocator.find alloc ~id:task_name with
+          | None -> unknown_task ~pool_name ~task_name
+          | Some assignment -> fleet_task_reply ~pool_name assignment)
+      | None ->
+          let assigned =
+            List.length
+              (List.filter
+                 (fun (a : Fleet.Allocator.assignment) -> a.jury <> [])
+                 (Fleet.Allocator.assignments alloc))
+          in
+          Wire.Fleet_summary
+            {
+              pool = pool_name;
+              version = Fleet.Allocator.pool_version alloc;
+              epoch = Fleet.Allocator.epoch alloc;
+              tasks = Fleet.Allocator.task_count alloc;
+              assigned;
+              claimed = Fleet.Allocator.claimed alloc;
+              priced = Fleet.Allocator.priced alloc;
+              aggregate = Fleet.Allocator.aggregate alloc;
+            })
+
+let eval_fleet_release t exec ~pool_name ~task_name ~decided =
+  with_fleet t ~pool_name (fun alloc ->
+      match Fleet.Allocator.release alloc ~id:task_name ~decided with
+      | None -> unknown_task ~pool_name ~task_name
+      | Some (assignment : Fleet.Allocator.assignment) ->
+          Metrics.fleet_release t.metrics ~shard:exec.shard;
+          Wire.Fleet_released
+            {
+              pool = pool_name;
+              task = task_name;
+              freed = List.length assignment.jury;
+            })
+
+(* Summed allocator counters across every shard store — the [fleet_*]
+   gauge rows of [stats].  Runs on the snapshotting thread, taking each
+   store's lock in turn. *)
+let fleet_gauges t =
+  let pools = ref 0
+  and tasks = ref 0
+  and claimed = ref 0
+  and priced = ref 0
+  and capacity = ref 0 in
+  let full = ref 0
+  and delta = ref 0
+  and rounds = ref 0
+  and inner = ref 0
+  and hits = ref 0
+  and conflicts = ref 0
+  and resyncs = ref 0 in
+  Array.iter
+    (fun (lock, store) ->
+      with_lock lock (fun () ->
+          Hashtbl.iter
+            (fun _ alloc ->
+              incr pools;
+              tasks := !tasks + Fleet.Allocator.task_count alloc;
+              claimed := !claimed + Fleet.Allocator.claimed alloc;
+              priced := !priced + Fleet.Allocator.priced alloc;
+              capacity :=
+                !capacity + Engine.Pool.size (Fleet.Allocator.pool alloc);
+              let s = Fleet.Allocator.stats alloc in
+              full := !full + s.Fleet.Allocator.full_solves;
+              delta := !delta + s.Fleet.Allocator.delta_solves;
+              rounds := !rounds + s.Fleet.Allocator.price_rounds;
+              inner := !inner + s.Fleet.Allocator.inner_solves;
+              hits := !hits + s.Fleet.Allocator.proposal_hits;
+              conflicts := !conflicts + s.Fleet.Allocator.conflicts;
+              resyncs := !resyncs + s.Fleet.Allocator.resyncs)
+            store))
+    t.fleet_stores;
+  let f = float_of_int in
+  [
+    ("fleet_pools", f !pools);
+    ("fleet_tasks", f !tasks);
+    ("fleet_claimed", f !claimed);
+    ("fleet_priced", f !priced);
+    ( "fleet_contention",
+      if !capacity = 0 then 0. else f !priced /. f !capacity );
+    ("fleet_full_solves", f !full);
+    ("fleet_delta_solves", f !delta);
+    ("fleet_price_rounds", f !rounds);
+    ("fleet_inner_solves", f !inner);
+    ("fleet_proposal_hits", f !hits);
+    ("fleet_conflicts", f !conflicts);
+    ("fleet_resyncs", f !resyncs);
+  ]
+
 let eval t exec request =
   match request with
   | Wire.Jq { source = Wire.Named name; prior; num_buckets } ->
@@ -615,6 +786,13 @@ let eval t exec request =
   | Wire.Report { pool; votes } -> eval_report t exec ~name:pool votes
   | Wire.Recal { pool } -> eval_recal t exec ~name:pool
   | Wire.Quality { pool } -> eval_quality t ~name:pool
+  | Wire.Fleet_submit { pool; task; prior; budget; tier; target } ->
+      eval_fleet_submit t exec ~pool_name:pool ~task_name:task ~prior ~budget
+        ~tier ~target
+  | Wire.Fleet_status { pool; task } ->
+      eval_fleet_status t ~pool_name:pool ~task_name:task
+  | Wire.Fleet_release { pool; task; decided } ->
+      eval_fleet_release t exec ~pool_name:pool ~task_name:task ~decided
   | Wire.Ping | Wire.Stats | Wire.Pool_put _ | Wire.Pool_list ->
       (* Control-plane verbs are answered inline by [submit]. *)
       assert false
@@ -640,6 +818,9 @@ let verb_of = function
   | Wire.Report _ -> "report"
   | Wire.Quality _ -> "quality"
   | Wire.Recal _ -> "recal"
+  | Wire.Fleet_submit _ -> "fleet-submit"
+  | Wire.Fleet_status _ -> "fleet-status"
+  | Wire.Fleet_release _ -> "fleet-release"
 
 let response_ok = function Wire.Error _ -> false | _ -> true
 
@@ -732,6 +913,8 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
         Array.init n_domains (fun _ ->
             ( Mutex.create (),
               Session.Store.create ~cap:session_cap ~ttl:session_ttl () ));
+      fleet_stores =
+        Array.init n_domains (fun _ -> (Mutex.create (), Hashtbl.create 4));
       shutdown_lock = Mutex.create ();
       closed = false;
       workers = [];
@@ -742,6 +925,7 @@ let create ?domains:(n_domains = recommended_domains ()) ?(queue_capacity = 256)
       Metrics.add_sessions t.metrics ~stats:(fun () ->
           with_lock lock (fun () -> Session.Store.stats store)))
     t.session_stores;
+  Metrics.add_gauges t.metrics ~gauges:(fun () -> fleet_gauges t);
   t.workers <-
     List.init n_domains (fun shard ->
         let exec =
@@ -794,7 +978,10 @@ let affinity_of t request =
   | Wire.Session_close { pool = name; _ }
   | Wire.Report { pool = name; _ }
   | Wire.Quality { pool = name; _ }
-  | Wire.Recal { pool = name; _ } ->
+  | Wire.Recal { pool = name; _ }
+  | Wire.Fleet_submit { pool = name; _ }
+  | Wire.Fleet_status { pool = name; _ }
+  | Wire.Fleet_release { pool = name; _ } ->
       Hashtbl.hash name
   | _ -> Atomic.fetch_and_add t.inline_rr 1
 
@@ -849,7 +1036,8 @@ let dispatch t request ~complete =
                (Wire.Error { code = Wire.Bad_request; message = msg })))
   | Wire.Jq _ | Wire.Select _ | Wire.Table _ | Wire.Session_open _
   | Wire.Session_vote _ | Wire.Session_advise _ | Wire.Session_decide _
-  | Wire.Session_close _ | Wire.Report _ | Wire.Quality _ | Wire.Recal _ -> (
+  | Wire.Session_close _ | Wire.Report _ | Wire.Quality _ | Wire.Recal _
+  | Wire.Fleet_submit _ | Wire.Fleet_status _ | Wire.Fleet_release _ -> (
       let job =
         {
           request;

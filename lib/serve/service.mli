@@ -58,7 +58,20 @@
     mark the pool stale, and the executor reacts inline by re-solving the
     pool's recorded standing juries ([select] requests register them)
     before replying — visible in [stats] as [recal_runs], [drift_flags],
-    [stale_pools] and the [ingest_ns_p*] latency trio. *)
+    [stale_pools] and the [ingest_ns_p*] latency trio.
+
+    The fleet plane ([fleet-submit]/[fleet-status]/[fleet-release])
+    shares a {!Fleet.Allocator} per pool, homed on the pool's affinity
+    shard exactly like session stores: same-pool fleet verbs serialize on
+    one warm allocator (prices, proposal cache, solver memos), and the
+    store mutex keeps a stolen or spilled job consistent.  A registry
+    version bump (pool-put, applied calibration batch) resyncs the
+    allocator on its next touch via {!Fleet.Allocator.set_pool} — the
+    same invalidation rule as every other per-pool cache.  [stats] grows
+    the [fleet_assigns]/[fleet_releases] counters, the
+    [fleet_assign_ns_p50/95/99] latency trio and the [fleet_*] gauge rows
+    (resident tasks, claimed/priced positions, contention rate, full vs
+    delta solve counts, price rounds, proposal-cache hits). *)
 
 type t
 

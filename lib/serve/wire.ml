@@ -43,11 +43,22 @@ type request =
   | Report of { pool : string; votes : Workers.Calib.vote list }
   | Quality of { pool : string }
   | Recal of { pool : string }
+  | Fleet_submit of {
+      pool : string;
+      task : string;
+      prior : float list;
+      budget : float;
+      tier : int;
+      target : float;
+    }
+  | Fleet_status of { pool : string; task : string option }
+  | Fleet_release of { pool : string; task : string; decided : bool }
 
 type error_code =
   | Bad_request
   | Unknown_pool
   | Unknown_session
+  | Unknown_task
   | Overload
   | Deadline
   | Shutdown
@@ -98,6 +109,25 @@ type response =
       workers : (int * float * int) list;
           (** (worker id, quality, votes seen) in pool order. *)
     }
+  | Fleet_task of {
+      pool : string;
+      task : string;
+      jury : int list;
+      score : float;
+      cost : float;
+      tier : int;
+    }
+  | Fleet_summary of {
+      pool : string;
+      version : int;
+      epoch : int;
+      tasks : int;
+      assigned : int;
+      claimed : int;
+      priced : int;
+      aggregate : float;
+    }
+  | Fleet_released of { pool : string; task : string; freed : int }
   | Error of { code : error_code; message : string }
 
 (* ---- atoms --------------------------------------------------------- *)
@@ -415,6 +445,19 @@ let encode_request = function
         (list_to_string ~sep:"," report_vote_to_string votes)
   | Quality { pool } -> Printf.sprintf "quality pool=%s" pool
   | Recal { pool } -> Printf.sprintf "recal pool=%s" pool
+  | Fleet_submit { pool; task; prior; budget; tier; target } ->
+      Printf.sprintf
+        "fleet-submit pool=%s task=%s prior=%s budget=%s tier=%d target=%s"
+        pool task (prior_to_string prior) (float_to_string budget) tier
+        (float_to_string target)
+  | Fleet_status { pool; task = None } ->
+      Printf.sprintf "fleet-status pool=%s" pool
+  | Fleet_status { pool; task = Some task } ->
+      Printf.sprintf "fleet-status pool=%s task=%s" pool task
+  | Fleet_release { pool; task; decided } ->
+      if decided then
+        Printf.sprintf "fleet-release pool=%s task=%s decide=1" pool task
+      else Printf.sprintf "fleet-release pool=%s task=%s" pool task
 
 let split_line line =
   (* Tolerate a trailing CR (telnet) and repeated spaces. *)
@@ -542,6 +585,38 @@ let decode_pool_ref fields make =
   let* pool = required fields "pool" parse_pool_name in
   finish fields (make ~pool)
 
+let parse_flag what s =
+  match s with
+  | "0" -> Ok false
+  | "1" -> Ok true
+  | _ -> fail (Printf.sprintf "%s: expected 0 or 1" what)
+
+let decode_fleet_submit fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* prior = decode_prior fields in
+  let* budget = required fields "budget" parse_nonneg in
+  let* tier = optional fields "tier" ~default:0 parse_nonneg_int in
+  let* target = optional fields "target" ~default:0. parse_prob in
+  finish fields (Fleet_submit { pool; task; prior; budget; tier; target })
+
+let decode_fleet_status fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task =
+    match take fields "task" with
+    | None -> Ok None
+    | Some s ->
+        let* name = parse_task_name "task" s in
+        Ok (Some name)
+  in
+  finish fields (Fleet_status { pool; task })
+
+let decode_fleet_release fields =
+  let* pool = required fields "pool" parse_pool_name in
+  let* task = required fields "task" parse_task_name in
+  let* decided = optional fields "decide" ~default:false parse_flag in
+  finish fields (Fleet_release { pool; task; decided })
+
 let decode_request line =
   match split_line line with
   | [] -> fail "empty request"
@@ -565,6 +640,9 @@ let decode_request line =
       | "report" -> decode_report fields
       | "quality" -> decode_pool_ref fields (fun ~pool -> Quality { pool })
       | "recal" -> decode_pool_ref fields (fun ~pool -> Recal { pool })
+      | "fleet-submit" -> decode_fleet_submit fields
+      | "fleet-status" -> decode_fleet_status fields
+      | "fleet-release" -> decode_fleet_release fields
       | _ -> fail (Printf.sprintf "unknown verb %S" verb))
 
 (* ---- responses ----------------------------------------------------- *)
@@ -573,6 +651,7 @@ let error_code_to_string = function
   | Bad_request -> "bad-request"
   | Unknown_pool -> "unknown-pool"
   | Unknown_session -> "unknown-session"
+  | Unknown_task -> "unknown-task"
   | Overload -> "overload"
   | Deadline -> "deadline"
   | Shutdown -> "shutdown"
@@ -582,6 +661,7 @@ let error_code_of_string = function
   | "bad-request" -> Ok Bad_request
   | "unknown-pool" -> Ok Unknown_pool
   | "unknown-session" -> Ok Unknown_session
+  | "unknown-task" -> Ok Unknown_task
   | "overload" -> Ok Overload
   | "deadline" -> Ok Deadline
   | "shutdown" -> Ok Shutdown
@@ -690,6 +770,19 @@ let encode_response = function
       in
       Printf.sprintf "ok quality name=%s version=%d workers=%s" name version
         (list_to_string ~sep:"," worker_to_string workers)
+  | Fleet_task { pool; task; jury; score; cost; tier } ->
+      Printf.sprintf "ok fleet-task pool=%s task=%s jury=%s score=%s cost=%s tier=%d"
+        pool task (ids_to_string jury) (float_to_string score)
+        (float_to_string cost) tier
+  | Fleet_summary { pool; version; epoch; tasks; assigned; claimed; priced; aggregate }
+    ->
+      Printf.sprintf
+        "ok fleet-summary pool=%s version=%d epoch=%d tasks=%d assigned=%d \
+         claimed=%d priced=%d aggregate=%s"
+        pool version epoch tasks assigned claimed priced
+        (float_to_string aggregate)
+  | Fleet_released { pool; task; freed } ->
+      Printf.sprintf "ok fleet-released pool=%s task=%s freed=%d" pool task freed
   | Error { code; message } ->
       Printf.sprintf "err %s message=%s" (error_code_to_string code)
         (escape message)
@@ -815,6 +908,31 @@ let decode_ok_response kind fields =
               s)
       in
       finish fields (Quality_result { name; version; workers })
+  | "fleet-task" ->
+      let* pool = required fields "pool" parse_pool_name in
+      let* task = required fields "task" parse_task_name in
+      let* jury = required fields "jury" parse_ids in
+      let* score = required fields "score" parse_prob in
+      let* cost = required fields "cost" parse_nonneg in
+      let* tier = required fields "tier" parse_nonneg_int in
+      finish fields (Fleet_task { pool; task; jury; score; cost; tier })
+  | "fleet-summary" ->
+      let* pool = required fields "pool" parse_pool_name in
+      let* version = required fields "version" parse_nonneg_int in
+      let* epoch = required fields "epoch" parse_nonneg_int in
+      let* tasks = required fields "tasks" parse_nonneg_int in
+      let* assigned = required fields "assigned" parse_nonneg_int in
+      let* claimed = required fields "claimed" parse_nonneg_int in
+      let* priced = required fields "priced" parse_nonneg_int in
+      let* aggregate = required fields "aggregate" parse_float in
+      finish fields
+        (Fleet_summary
+           { pool; version; epoch; tasks; assigned; claimed; priced; aggregate })
+  | "fleet-released" ->
+      let* pool = required fields "pool" parse_pool_name in
+      let* task = required fields "task" parse_task_name in
+      let* freed = required fields "freed" parse_nonneg_int in
+      finish fields (Fleet_released { pool; task; freed })
   | _ -> fail (Printf.sprintf "unknown ok kind %S" kind)
 
 let decode_response line =

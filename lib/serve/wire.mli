@@ -23,6 +23,9 @@
     report pool=default votes=7:0:1,7:1:0:0,8:2:1
     quality pool=default
     recal pool=default
+    fleet-submit pool=default task=f1 prior=0.3,0.7 budget=6 tier=0
+    fleet-status pool=default task=f1
+    fleet-release pool=default task=f1 decide=1
     v}
 
     Tasks are named by a prior vector [prior=p0,p1,…] over ℓ ≥ 2 labels
@@ -99,6 +102,23 @@ type request =
       (** Per-worker quality readback. *)
   | Recal of { pool : string }
       (** Force a full calibration step now. *)
+  | Fleet_submit of {
+      pool : string;
+      task : string;
+      prior : float list;
+      budget : float;
+      tier : int;     (** Priority tier, 0 = highest ([tier=] defaults to 0). *)
+      target : float; (** Soft quality target in [0, 1]; 0 = none. *)
+    }
+      (** Admit a task into the pool's shared-pool fleet allocator and
+          answer with its assigned jury.  Task ids share the pool-name
+          charset; [prior]/[alpha], [tier] and [target] may be omitted. *)
+  | Fleet_status of { pool : string; task : string option }
+      (** Without [task=]: the pool's allocator summary.  With it: that
+          task's current assignment (read-only either way). *)
+  | Fleet_release of { pool : string; task : string; decided : bool }
+      (** Remove a task (its decision made when [decide=1], withdrawn
+          otherwise), free its jury and delta re-solve the neighbours. *)
 
 type error_code =
   | Bad_request      (** Unparseable or invalid request line. *)
@@ -106,6 +126,7 @@ type error_code =
   | Unknown_session  (** No live session under (pool, task): never opened,
                          closed, idle-expired, or invalidated by a pool
                          version bump. *)
+  | Unknown_task     (** No resident fleet task under (pool, task). *)
   | Overload         (** Admission control refused: queue or session store full. *)
   | Deadline         (** The request expired before an executor reached it. *)
   | Shutdown         (** The service is draining. *)
@@ -168,6 +189,29 @@ type response =
       workers : (int * float * int) list;
           (** (worker id, quality, votes seen) in pool order. *)
     }
+  | Fleet_task of {
+      pool : string;
+      task : string;
+      jury : int list;   (** Assigned pool positions ([] when starved). *)
+      score : float;     (** JQ estimate for the task's prior. *)
+      cost : float;      (** True cost of the jury. *)
+      tier : int;
+    }
+      (** Reply to [fleet-submit] and per-task [fleet-status]. *)
+  | Fleet_summary of {
+      pool : string;
+      version : int;     (** Pool version the allocator is synced to. *)
+      epoch : int;       (** Price epoch (bumps whenever a price moves). *)
+      tasks : int;       (** Resident tasks. *)
+      assigned : int;    (** Resident tasks holding a nonempty jury. *)
+      claimed : int;     (** Pool positions currently on some jury. *)
+      priced : int;      (** Positions carrying a nonzero contention price. *)
+      aggregate : float; (** Tier-weighted deviation-soft aggregate utility. *)
+    }
+      (** Reply to pool-level [fleet-status]. *)
+  | Fleet_released of { pool : string; task : string; freed : int }
+      (** Reply to [fleet-release]: [freed] jury seats returned to the
+          pool. *)
   | Error of { code : error_code; message : string }
 
 val valid_pool_name : string -> bool

@@ -306,6 +306,33 @@ let detect_drift t ~prev i =
       let bound = cfg.drift_z *. sqrt (q *. (1. -. q) /. float_of_int !k) in
       if Float.abs (rate -. q) > bound then
         Some { worker = i; kind = Quality_shift; before = prev.(i); after = rate }
+      else if t.matrix_base then begin
+        (* Per-class shift test: a matrix worker who turns bad on one truth
+           label can keep the pooled windowed rate inside the global bound —
+           the damage is diluted by the classes she still answers well.
+           Bucket the same window by resolved truth and run the binomial
+           null per class against the anchor matrix diagonal (the standing
+           regime, like the scalar spammer test above). *)
+        let graded, correct =
+          History.recent_class_counts t.histories.(i) ~labels:t.labels
+            ~k:cfg.drift_window ~truth:(reference t)
+        in
+        let per_class_min = Int.max 2 (cfg.drift_min / t.labels) in
+        let hit = ref None in
+        for j = 0 to t.labels - 1 do
+          if !hit = None && graded.(j) >= per_class_min then begin
+            let kj = float_of_int graded.(j) in
+            let rate_j = float_of_int correct.(j) /. kj in
+            let qj = Float.max 0.05 (Float.min 0.95 t.anchor_m.(i).(j).(j)) in
+            let bound_j = cfg.drift_z *. sqrt (qj *. (1. -. qj) /. kj) in
+            if Float.abs (rate_j -. qj) > bound_j then
+              hit :=
+                Some
+                  { worker = i; kind = Quality_shift; before = prev.(i); after = rate }
+          end
+        done;
+        !hit
+      end
       else None
   end
 

@@ -91,6 +91,19 @@ let answered_tasks t =
       end)
     (entries t)
 
+let recent_class_counts t ~labels ~k ~truth =
+  if labels < 1 then invalid_arg "History.recent_class_counts: labels < 1";
+  let graded = Array.make labels 0 and correct = Array.make labels 0 in
+  List.iter
+    (fun e ->
+      match truth e with
+      | Some tr when tr >= 0 && tr < labels ->
+          graded.(tr) <- graded.(tr) + 1;
+          if e.vote = tr then correct.(tr) <- correct.(tr) + 1
+      | _ -> ())
+    (recent t k);
+  (graded, correct)
+
 let correct_count t = t.correct
 let graded_count t = t.graded
 

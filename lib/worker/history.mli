@@ -52,6 +52,22 @@ val length : t -> int
 val answered_tasks : t -> int list
 (** Distinct task ids among retained entries, oldest first. *)
 
+val recent_class_counts :
+  t ->
+  labels:int ->
+  k:int ->
+  truth:(entry -> int option) ->
+  int array * int array
+(** [recent_class_counts t ~labels ~k ~truth] buckets the newest [k]
+    entries by true class: each entry is resolved through [truth] (gold,
+    or a caller-supplied consensus resolver) and counted into
+    [(graded, correct)], both of length [labels], at its resolved label.
+    Entries resolving to [None] or to an out-of-range label are skipped.
+    This is the drift detector's per-class view of the window — a matrix
+    worker who turns bad on one truth label shows up in that label's
+    [correct/graded] rate even when the pooled scalar rate still looks
+    healthy.  Raises [Invalid_argument] when [labels < 1]. *)
+
 val correct_count : t -> int
 (** Full-stream entries with known truth where [vote = truth], O(1). *)
 

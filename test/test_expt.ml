@@ -95,6 +95,29 @@ let test_map_array_matches_sequential =
          Expt.Parallel.map_array ~domains ~chunk f xs = Array.map f xs
          && Expt.Parallel.map_array ~domains f xs = Array.map f xs))
 
+let test_map_array_guided_matches_sequential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"guided self-scheduling = Array.map, skewed costs included"
+       QCheck2.Gen.(
+         pair
+           (array_size (int_range 0 64) (int_range 0 1000))
+           (int_range 1 8))
+       (fun (xs, domains) ->
+         (* Skew the per-element cost so guided claims actually shrink:
+            a few elements spin, most are trivial. *)
+         let f x =
+           if x mod 17 = 0 then (
+             let acc = ref x in
+             for _ = 1 to 500 do
+               acc := (!acc * 31) lxor 9
+             done;
+             !acc)
+           else (x * 31) lxor 9
+         in
+         Expt.Parallel.map_array ~domains ~sched:`Guided f xs
+         = Array.map f xs))
+
 let test_map_array_uses_workspaces () =
   (* A JQ sweep through map_array: each domain picks up its own default
      workspace, and the numbers must match the sequential sweep exactly. *)
@@ -409,6 +432,7 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_parallel_propagates_exception;
           Alcotest.test_case "validation" `Quick test_parallel_validation;
           test_map_array_matches_sequential;
+          test_map_array_guided_matches_sequential;
           Alcotest.test_case "per-domain workspaces" `Quick
             test_map_array_uses_workspaces;
         ] );

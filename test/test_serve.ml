@@ -115,13 +115,29 @@ let request_gen =
           return (Wire.Report { pool; votes }) );
         (name_gen >>= fun pool -> return (Wire.Quality { pool }));
         (name_gen >>= fun pool -> return (Wire.Recal { pool }));
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          prior_gen >>= fun prior ->
+          cost_gen >>= fun budget ->
+          int_range 0 3 >>= fun tier ->
+          float_range 0. 1. >>= fun target ->
+          return (Wire.Fleet_submit { pool; task; prior; budget; tier; target })
+        );
+        ( name_gen >>= fun pool ->
+          option name_gen >>= fun task ->
+          return (Wire.Fleet_status { pool; task }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          bool >>= fun decided ->
+          return (Wire.Fleet_release { pool; task; decided }) );
       ])
 
 let error_code_gen =
   QCheck2.Gen.oneofl
     [
-      Wire.Bad_request; Wire.Unknown_pool; Wire.Unknown_session; Wire.Overload;
-      Wire.Deadline; Wire.Shutdown; Wire.Internal;
+      Wire.Bad_request; Wire.Unknown_pool; Wire.Unknown_session;
+      Wire.Unknown_task; Wire.Overload; Wire.Deadline; Wire.Shutdown;
+      Wire.Internal;
     ]
 
 let stats_gen =
@@ -198,6 +214,29 @@ let response_gen =
           list0 (triple (int_range 0 100) prob_gen (int_range 0 500))
           >>= fun workers ->
           return (Wire.Quality_result { name; version; workers }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          list0 (int_range 0 500) >>= fun jury ->
+          prob_gen >>= fun score ->
+          cost_gen >>= fun cost ->
+          int_range 0 3 >>= fun tier ->
+          return (Wire.Fleet_task { pool; task; jury; score; cost; tier }) );
+        ( name_gen >>= fun pool ->
+          int_range 1 1000 >>= fun version ->
+          int_range 0 1000 >>= fun epoch ->
+          int_range 0 1000 >>= fun tasks ->
+          int_range 0 1000 >>= fun assigned ->
+          int_range 0 1000 >>= fun claimed ->
+          int_range 0 1000 >>= fun priced ->
+          float_range (-10.) 1000. >>= fun aggregate ->
+          return
+            (Wire.Fleet_summary
+               { pool; version; epoch; tasks; assigned; claimed; priced;
+                 aggregate }) );
+        ( name_gen >>= fun pool ->
+          name_gen >>= fun task ->
+          int_range 0 100 >>= fun freed ->
+          return (Wire.Fleet_released { pool; task; freed }) );
         ( error_code_gen >>= fun code ->
           string >>= fun message ->
           return (Wire.Error { code; message }) );
@@ -290,6 +329,26 @@ let codec_units =
     check_decode "unknown verb" "bogus" None;
     check_decode "missing mandatory field" "select pool=p" None;
     check_decode "empty budgets rejected" "table pool=p budgets=-" None;
+    check_decode "fleet-submit defaults fill in"
+      "fleet-submit pool=p task=t1 prior=0.3,0.7 budget=6"
+      (Some
+         (Wire.Fleet_submit
+            {
+              pool = "p"; task = "t1"; prior = [ 0.3; 0.7 ]; budget = 6.;
+              tier = 0; target = 0.;
+            }));
+    check_decode "fleet-status without task is a summary"
+      "fleet-status pool=p"
+      (Some (Wire.Fleet_status { pool = "p"; task = None }));
+    check_decode "fleet-release decide flag"
+      "fleet-release pool=p task=t1 decide=1"
+      (Some (Wire.Fleet_release { pool = "p"; task = "t1"; decided = true }));
+    check_decode "fleet-submit bad task name"
+      "fleet-submit pool=p task=a*b prior=0.3,0.7 budget=6" None;
+    check_decode "fleet-submit negative tier rejected"
+      "fleet-submit pool=p task=t prior=0.3,0.7 budget=6 tier=-1" None;
+    check_decode "fleet-release bad flag"
+      "fleet-release pool=p task=t decide=yes" None;
     Alcotest.test_case "valid_pool_name" `Quick (fun () ->
         Alcotest.(check bool) "ok" true (Wire.valid_pool_name "A_b.c-9");
         Alcotest.(check bool) "empty" false (Wire.valid_pool_name "");
@@ -2031,6 +2090,116 @@ let connection_plane_tests =
       stop_closes_plane_test;
   ]
 
+(* ---- fleet plane ----------------------------------------------------- *)
+
+let fleet_tcp_test () =
+  let pool = test_pool 8 in
+  (* A third of the pool's total cost: neither task can hog every
+     worker, so both juries are non-empty whatever the draws. *)
+  let budget = Workers.Pool.total_cost pool /. 3. in
+  with_server ~domains:2 ~queue_capacity:64 (fun service port ->
+      let fd, ic, oc = connect port in
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put { name = "fp"; workers = wire_workers pool })
+       with
+      | Wire.Pool_info { version; _ } ->
+          Alcotest.(check int) "first version" 1 version
+      | r -> Alcotest.failf "pool-put: %s" (Wire.encode_response r));
+      let submit task =
+        match
+          roundtrip ic oc
+            (Wire.Fleet_submit
+               {
+                 pool = "fp"; task; prior = [ 0.5; 0.5 ]; budget; tier = 0;
+                 target = 0.;
+               })
+        with
+        | Wire.Fleet_task { task = echoed; jury; cost; _ } ->
+            Alcotest.(check string) "task echoed" task echoed;
+            Alcotest.(check bool) "within budget" true
+              (cost <= budget +. 1e-9);
+            jury
+        | r -> Alcotest.failf "fleet-submit: %s" (Wire.encode_response r)
+      in
+      ignore (submit "fa");
+      ignore (submit "fb");
+      (* The second arrival's delta auction may re-solve the first jury,
+         so current assignments come from status, not the submit echo. *)
+      let status task =
+        match
+          roundtrip ic oc (Wire.Fleet_status { pool = "fp"; task = Some task })
+        with
+        | Wire.Fleet_task { jury; cost; _ } ->
+            Alcotest.(check bool) "status within budget" true
+              (cost <= budget +. 1e-9);
+            jury
+        | r -> Alcotest.failf "fleet-status: %s" (Wire.encode_response r)
+      in
+      let j1 = status "fa" in
+      let j2 = status "fb" in
+      Alcotest.(check bool) "juries assigned" true (j1 <> [] && j2 <> []);
+      Alcotest.(check bool) "no worker on two juries" true
+        (List.for_all (fun p -> not (List.mem p j2)) j1);
+      (match
+         roundtrip ic oc (Wire.Fleet_status { pool = "fp"; task = None })
+       with
+      | Wire.Fleet_summary s ->
+          Alcotest.(check int) "resident tasks" 2 s.tasks;
+          Alcotest.(check int) "assigned tasks" 2 s.assigned;
+          Alcotest.(check int) "summary version" 1 s.version
+      | r -> Alcotest.failf "fleet summary: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Fleet_release { pool = "fp"; task = "fa"; decided = true })
+       with
+      | Wire.Fleet_released { freed; _ } ->
+          Alcotest.(check int) "freed the whole jury" (List.length j1) freed
+      | r -> Alcotest.failf "fleet-release: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Fleet_release { pool = "fp"; task = "fa"; decided = false })
+       with
+      | Wire.Error { code = Wire.Unknown_task; _ } -> ()
+      | r -> Alcotest.failf "double release: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc
+           (Wire.Fleet_submit
+              {
+                pool = "nope"; task = "t"; prior = [ 0.5; 0.5 ]; budget;
+                tier = 0; target = 0.;
+              })
+       with
+      | Wire.Error { code = Wire.Unknown_pool; _ } -> ()
+      | r -> Alcotest.failf "unknown pool: %s" (Wire.encode_response r));
+      (* A pool-put bumps the version; the allocator resyncs on its next
+         touch and keeps the still-compatible resident task. *)
+      (match
+         roundtrip ic oc
+           (Wire.Pool_put
+              { name = "fp"; workers = wire_workers (test_pool 6) })
+       with
+      | Wire.Pool_info { version; _ } ->
+          Alcotest.(check bool) "version bumped" true (version > 1)
+      | r -> Alcotest.failf "pool-put 2: %s" (Wire.encode_response r));
+      (match
+         roundtrip ic oc (Wire.Fleet_status { pool = "fp"; task = None })
+       with
+      | Wire.Fleet_summary s ->
+          Alcotest.(check bool) "resynced version" true (s.version > 1);
+          Alcotest.(check int) "survivor kept" 1 s.tasks
+      | r -> Alcotest.failf "post-put summary: %s" (Wire.encode_response r));
+      Unix.close fd;
+      let stats = Serve.Service.stats service in
+      let get k = try List.assoc k stats with Not_found -> -1. in
+      Alcotest.(check bool) "fleet_assigns counted" true (get "fleet_assigns" >= 2.);
+      Alcotest.(check bool) "fleet_releases counted" true
+        (get "fleet_releases" >= 1.);
+      Alcotest.(check bool) "fleet gauge present" true (get "fleet_pools" >= 1.))
+
+let fleet_plane_tests =
+  [ Alcotest.test_case "fleet verbs over tcp" `Quick fleet_tcp_test ]
+
 let () =
   Alcotest.run "serve"
     [
@@ -2043,6 +2212,7 @@ let () =
       ("service", service_tests);
       ("sessions", session_service_tests);
       ("quality plane", quality_plane_tests);
+      ("fleet plane", fleet_plane_tests);
       ("pool_io", pool_io_tests);
       ("lineframe", lineframe_tests);
       ("accept classification", accept_action_tests);

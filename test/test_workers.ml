@@ -562,6 +562,71 @@ let test_calib_spammer_flagged () =
   check_close 0.05 "re-anchored near chance" 0.5 (Workers.Calib.quality calib 0);
   check_float "steady worker untouched" 0.85 (Workers.Calib.quality calib 1)
 
+let test_history_class_counts () =
+  let h = Workers.History.create ~window:8 ~worker_id:0 () in
+  Workers.History.record_gold h ~task_id:0 ~vote:0 ~truth:0;
+  Workers.History.record_gold h ~task_id:1 ~vote:1 ~truth:1;
+  Workers.History.record_gold h ~task_id:2 ~vote:0 ~truth:1;
+  (* Ungraded votes resolve to None through the gold resolver: skipped. *)
+  Workers.History.record_vote h ~task_id:3 ~vote:2;
+  Workers.History.record_gold h ~task_id:4 ~vote:2 ~truth:2;
+  Workers.History.record_gold h ~task_id:5 ~vote:0 ~truth:2;
+  let truth (e : Workers.History.entry) = e.truth in
+  let graded, correct =
+    Workers.History.recent_class_counts h ~labels:3 ~k:10 ~truth
+  in
+  Alcotest.(check (array int)) "graded per class" [| 1; 2; 2 |] graded;
+  Alcotest.(check (array int)) "correct per class" [| 1; 1; 1 |] correct;
+  (* k keeps only the newest entries. *)
+  let graded2, correct2 =
+    Workers.History.recent_class_counts h ~labels:3 ~k:2 ~truth
+  in
+  Alcotest.(check (array int)) "k window graded" [| 0; 0; 2 |] graded2;
+  Alcotest.(check (array int)) "k window correct" [| 0; 0; 1 |] correct2;
+  (* Out-of-range labels are skipped, not counted. *)
+  Workers.History.record_gold h ~task_id:6 ~vote:0 ~truth:7;
+  let graded3, _ =
+    Workers.History.recent_class_counts h ~labels:3 ~k:10 ~truth
+  in
+  Alcotest.(check (array int)) "bad label skipped" [| 1; 2; 2 |] graded3
+
+let test_calib_per_class_drift () =
+  (* A matrix worker who turns bad on one rare truth label: 19 of 24
+     recent gold answers are on classes 0/1 and all correct, the 5 on
+     class 2 are all wrong.  The pooled windowed rate 19/24 = 0.79 sits
+     well inside the binomial bound around the 0.8 anchor (|0.79 - 0.8|
+     = 0.01 < 3.5·√(0.8·0.2/24) = 0.29), so the scalar test misses the
+     shift — but class 2's own window (0/5 vs 0.8, bound
+     3.5·√(0.8·0.2/5) = 0.63) flags it.  Worker 1 takes the same pooled
+     damage spread evenly across classes and must stay unflagged. *)
+  let m =
+    [| [| 0.8; 0.1; 0.1 |]; [| 0.1; 0.8; 0.1 |]; [| 0.1; 0.1; 0.8 |] |]
+  in
+  let calib = Workers.Calib.create ~base:(Workers.Calib.Matrix [| m; m |]) () in
+  let votes0 =
+    List.init 24 (fun i ->
+        if i < 19 then calib_vote ~truth:(i mod 2) i 0 (i mod 2)
+        else calib_vote ~truth:2 i 0 0)
+  in
+  let votes1 =
+    List.init 24 (fun i ->
+        let truth = i mod 3 in
+        let vote = if i mod 5 = 4 then (truth + 1) mod 3 else truth in
+        calib_vote ~truth (100 + i) 1 vote)
+  in
+  feed_exn calib (votes0 @ votes1);
+  let r = Workers.Calib.step calib in
+  (match r.Workers.Calib.drifted with
+  | [ d ] ->
+      check_int "the one-class worker flagged" 0 d.Workers.Calib.worker;
+      check_bool "quality shift, not spam" true
+        (d.Workers.Calib.kind = Workers.Calib.Quality_shift)
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one drift flag, got %d"
+           (List.length ds)));
+  check_int "drift counted" 1 (Workers.Calib.drift_count calib)
+
 (* Random ungraded vote sets: n workers, each voting on a random subset of
    small-id tasks.  Task counts stay below [drift_min] so no drift fires
    and below every window so nothing truncates — the regime where the
@@ -743,6 +808,10 @@ let () =
           Alcotest.test_case "gold convergence" `Quick test_calib_gold_convergence;
           Alcotest.test_case "feed validation" `Quick test_calib_feed_validation;
           Alcotest.test_case "spammer flagged" `Quick test_calib_spammer_flagged;
+          Alcotest.test_case "per-class window counts" `Quick
+            test_history_class_counts;
+          Alcotest.test_case "per-class drift flagged" `Quick
+            test_calib_per_class_drift;
           test_calib_matches_offline_em;
           test_calib_order_invariance;
           Alcotest.test_case "recal after drift" `Quick
